@@ -1,0 +1,140 @@
+"""Ablation benches A1-A3 (DESIGN.md): rewrites, lineage overhead, buffer pool.
+
+A1 — CSE + TSMM fusion on/off: the fused t(X)%*%X avoids materialising the
+     transpose; CSE shares it across uses.
+A2 — lineage tracing overhead, with and without deduplication (hash-consing),
+     against no tracing at all.
+A3 — buffer-pool eviction: the same program under a comfortable vs. a tiny
+     memory budget (spilling is visible but the program still completes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+_REWRITE_SCRIPT = """
+A = t(X) %*% X
+b = t(X) %*% y
+B = solve(A + diag(matrix(0.001, ncol(X), 1)), b)
+s = sum(B)
+"""
+
+
+@pytest.fixture(scope="module")
+def rewrite_data():
+    rng = np.random.default_rng(0)
+    x = rng.random((6_000, 128))
+    return x, x @ rng.random((128, 1))
+
+
+class TestA1Rewrites:
+    def _run(self, data, **overrides):
+        x, y = data
+        ml = MLContext(ReproConfig(**overrides))
+        return ml.execute(_REWRITE_SCRIPT, inputs={"X": x, "y": y}, outputs=["s"])
+
+    def test_a1_optimized(self, benchmark, rewrite_data):
+        result = benchmark.pedantic(
+            lambda: self._run(rewrite_data), rounds=3, iterations=1
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a1_no_fusion_no_cse(self, benchmark, rewrite_data):
+        result = benchmark.pedantic(
+            lambda: self._run(rewrite_data, enable_fusion=False, enable_cse=False),
+            rounds=3, iterations=1,
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a1_results_identical(self, rewrite_data):
+        a = self._run(rewrite_data).scalar("s")
+        b = self._run(rewrite_data, enable_fusion=False, enable_cse=False).scalar("s")
+        assert a == pytest.approx(b, rel=1e-10)
+
+
+_LINEAGE_SCRIPT = """
+acc = matrix(0, nrow(X), 1)
+for (i in 1:50) {
+  acc = acc + X %*% w * (1 / i)
+}
+s = sum(acc)
+"""
+
+
+@pytest.fixture(scope="module")
+def lineage_data():
+    rng = np.random.default_rng(1)
+    return rng.random((2_000, 40)), rng.random((40, 1))
+
+
+class TestA2LineageOverhead:
+    def _run(self, data, **overrides):
+        x, w = data
+        ml = MLContext(ReproConfig(**overrides))
+        return ml.execute(_LINEAGE_SCRIPT, inputs={"X": x, "w": w}, outputs=["s"])
+
+    def test_a2_no_lineage(self, benchmark, lineage_data):
+        benchmark.pedantic(lambda: self._run(lineage_data), rounds=3, iterations=1)
+
+    def test_a2_lineage_with_dedup(self, benchmark, lineage_data):
+        benchmark.pedantic(
+            lambda: self._run(lineage_data, enable_lineage=True,
+                              enable_lineage_dedup=True),
+            rounds=3, iterations=1,
+        )
+
+    def test_a2_lineage_without_dedup(self, benchmark, lineage_data):
+        benchmark.pedantic(
+            lambda: self._run(lineage_data, enable_lineage=True,
+                              enable_lineage_dedup=False),
+            rounds=3, iterations=1,
+        )
+
+    def test_a2_dedup_bounds_interned_nodes(self, lineage_data):
+        x, w = lineage_data
+        ml = MLContext(ReproConfig(enable_lineage=True, enable_lineage_dedup=True))
+        result = ml.execute(_LINEAGE_SCRIPT, inputs={"X": x, "w": w}, outputs=["s"])
+        item = result.lineage("s")
+        assert item.count_nodes() < 50 * 10  # hash-consing keeps the DAG small
+
+
+_BUFFERPOOL_SCRIPT = """
+A = X + 1
+B = X * 2
+C = X - 3
+D = X / 4
+E = A + B
+F = C + D
+s = sum(E) + sum(F) + sum(A) + sum(B) + sum(C) + sum(D)
+"""
+
+
+@pytest.fixture(scope="module")
+def bufferpool_data():
+    return np.random.default_rng(2).random((1_500, 400))
+
+
+class TestA3BufferPool:
+    def _run(self, x, budget):
+        ml = MLContext(ReproConfig(memory_budget=budget, bufferpool_fraction=0.3))
+        return ml.execute(_BUFFERPOOL_SCRIPT, inputs={"X": x}, outputs=["s"])
+
+    def test_a3_comfortable_budget(self, benchmark, bufferpool_data):
+        result = benchmark.pedantic(
+            lambda: self._run(bufferpool_data, 2 * 1024**3), rounds=3, iterations=1
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a3_tiny_budget_spills(self, benchmark, bufferpool_data):
+        # ~4.8 MB per intermediate against a ~5 MB pool: eviction territory
+        result = benchmark.pedantic(
+            lambda: self._run(bufferpool_data, 16 * 1024 * 1024), rounds=3, iterations=1
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a3_results_identical(self, bufferpool_data):
+        big = self._run(bufferpool_data, 2 * 1024**3).scalar("s")
+        small = self._run(bufferpool_data, 16 * 1024 * 1024).scalar("s")
+        assert big == pytest.approx(small, rel=1e-12)

@@ -1,0 +1,160 @@
+"""Backend benches A4-A6 (DESIGN.md): parfor scaling, distributed ops,
+federated push-down vs. centralised transfer."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.distributed import BlockedTensor, SimSparkContext, dist_ops
+from repro.federated import (
+    FederatedWorkerRegistry,
+    PrivacyConstraint,
+    PrivacyLevel,
+)
+from repro.federated import instructions as fed_ops
+from repro.federated.tensor import FederatedPartition, FederatedRange, FederatedTensor
+from repro.tensor import BasicTensorBlock
+
+# ---------------------------------------------------------------------------
+# A4: parfor scaling on the paper's hyper-parameter tuning use case
+# ---------------------------------------------------------------------------
+
+_PARFOR_SCRIPT = """
+k = nrow(lambdas)
+B = matrix(0, ncol(X), k)
+parfor (i in 1:k, par=workers) {
+  B[, i] = lmDS(X, y, reg=as.scalar(lambdas[i, 1]))
+}
+s = sum(B)
+"""
+
+
+@pytest.fixture(scope="module")
+def parfor_data():
+    rng = np.random.default_rng(3)
+    x = rng.random((4_000, 96))
+    y = x @ rng.random((96, 1))
+    lambdas = np.logspace(-6, 1, 12).reshape(-1, 1)
+    return x, y, lambdas
+
+
+class TestA4ParFor:
+    def _run(self, data, workers):
+        x, y, lambdas = data
+        ml = MLContext(ReproConfig(parallelism=max(workers, 1)))
+        return ml.execute(
+            _PARFOR_SCRIPT,
+            inputs={"X": x, "y": y, "lambdas": lambdas, "workers": workers},
+            outputs=["s"],
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_a4_parfor_workers(self, benchmark, parfor_data, workers):
+        result = benchmark.pedantic(
+            lambda: self._run(parfor_data, workers), rounds=2, iterations=1
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a4_results_independent_of_workers(self, parfor_data):
+        one = self._run(parfor_data, 1).scalar("s")
+        four = self._run(parfor_data, 4).scalar("s")
+        assert one == pytest.approx(four, rel=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# A5: distributed blocked operations and reblocking
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def blocked_pair():
+    sctx = SimSparkContext(parallelism=4)
+    rng = np.random.default_rng(4)
+    a = BlockedTensor.from_local(
+        BasicTensorBlock.from_numpy(rng.random((2_000, 256))), sctx, (512, 512)
+    )
+    b = BasicTensorBlock.from_numpy(rng.random((256, 64)))
+    return sctx, a, b
+
+
+class TestA5Distributed:
+    def test_a5_mapmm(self, benchmark, blocked_pair):
+        __, a, b = blocked_pair
+        result = benchmark.pedantic(
+            lambda: dist_ops.mapmm(a, b).collect_local(), rounds=3, iterations=1
+        )
+        assert result.shape == (2_000, 64)
+
+    def test_a5_tsmm(self, benchmark, blocked_pair):
+        __, a, ___ = blocked_pair
+        result = benchmark.pedantic(lambda: dist_ops.tsmm(a), rounds=3, iterations=1)
+        assert result.shape == (256, 256)
+
+    def test_a5_reblock(self, benchmark, blocked_pair):
+        __, a, ___ = blocked_pair
+        result = benchmark.pedantic(
+            lambda: a.reblock((64, 64)).collect_local(), rounds=2, iterations=1
+        )
+        assert result.shape == a.shape
+
+    def test_a5_shuffle_accounted(self, blocked_pair):
+        sctx, a, __ = blocked_pair
+        before = sctx.metrics["shuffles"]
+        a.reblock((128, 128)).collect_local()
+        assert sctx.metrics["shuffles"] > before
+
+
+# ---------------------------------------------------------------------------
+# A6: federated push-down vs. centralised collect (bytes transferred)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def federated_x():
+    registry = FederatedWorkerRegistry.default()
+    registry.clear()
+    rng = np.random.default_rng(5)
+    data = rng.random((6_000, 64))
+    half = 3_000
+    sites = []
+    for index, chunk in enumerate((data[:half], data[half:])):
+        site = registry.start_site(f"bench-site-{index}:9000")
+        site.put("X", BasicTensorBlock.from_numpy(chunk),
+                 PrivacyConstraint(PrivacyLevel.PUBLIC))
+        sites.append(site)
+    fed = FederatedTensor([
+        FederatedPartition(sites[0], "X", FederatedRange((0, 0), (half, 64))),
+        FederatedPartition(sites[1], "X", FederatedRange((half, 0), (6_000, 64))),
+    ])
+    yield data, fed, sites
+    registry.clear()
+
+
+class TestA6Federated:
+    def test_a6_pushdown_tsmm(self, benchmark, federated_x):
+        data, fed, __ = federated_x
+        result = benchmark.pedantic(lambda: fed_ops.fed_tsmm(fed), rounds=3, iterations=1)
+        np.testing.assert_allclose(result.to_numpy(), data.T @ data, rtol=1e-9)
+
+    def test_a6_centralised_tsmm(self, benchmark, federated_x):
+        data, fed, __ = federated_x
+
+        def centralised():
+            collected = fed_ops.collect_federated(fed)
+            from repro.tensor import ops as local_ops
+
+            return local_ops.tsmm(collected)
+
+        result = benchmark.pedantic(centralised, rounds=3, iterations=1)
+        np.testing.assert_allclose(result.to_numpy(), data.T @ data, rtol=1e-9)
+
+    def test_a6_pushdown_moves_fewer_bytes(self, federated_x):
+        data, fed, sites = federated_x
+        fed_ops.fed_tsmm(fed)
+        pushdown_bytes = sum(s.metrics["bytes_sent"] for s in sites)
+        for site in sites:
+            site.metrics["bytes_sent"] = 0
+        fed_ops.collect_federated(fed)
+        centralised_bytes = sum(s.metrics["bytes_sent"] for s in sites)
+        assert pushdown_bytes * 10 < centralised_bytes

@@ -1,0 +1,145 @@
+"""Benches A9-A11: the section-3.4 research-direction extensions.
+
+A9  — cell-template codegen fusion on/off on an elementwise-heavy pipeline.
+A10 — compressed linear algebra: t(X)v on compressed vs. dense data, plus
+      the compression ratio on one-hot-style inputs.
+A11 — matmult chain ordering: a pathological left-deep chain with and
+      without the DP reordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.tensor import BasicTensorBlock
+from repro.tensor.compressed import CompressedBlock
+
+# ---------------------------------------------------------------------------
+# A9: codegen fusion
+# ---------------------------------------------------------------------------
+
+_FUSION_SCRIPT = """
+Z = sigmoid((X - colMeans(X)) / (colSds(X) + 0.000001)) * w + b
+s = sum(abs(Z) + sqrt(abs(Z)))
+"""
+
+
+@pytest.fixture(scope="module")
+def fusion_data():
+    rng = np.random.default_rng(0)
+    x = rng.random((30_000, 60))
+    return {
+        "X": x,
+        "w": rng.random((1, 60)),
+        "b": rng.random((1, 60)),
+    }
+
+
+class TestA9Codegen:
+    def _run(self, data, codegen):
+        ml = MLContext(ReproConfig(enable_codegen=codegen))
+        return ml.execute(_FUSION_SCRIPT, inputs=data, outputs=["s"])
+
+    def test_a9_fused(self, benchmark, fusion_data):
+        result = benchmark.pedantic(
+            lambda: self._run(fusion_data, True), rounds=3, iterations=1
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a9_unfused(self, benchmark, fusion_data):
+        result = benchmark.pedantic(
+            lambda: self._run(fusion_data, False), rounds=3, iterations=1
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a9_results_identical(self, fusion_data):
+        fused = self._run(fusion_data, True).scalar("s")
+        plain = self._run(fusion_data, False).scalar("s")
+        assert fused == pytest.approx(plain, rel=1e-12)
+
+    def test_a9_fewer_instructions(self, fusion_data):
+        fused = self._run(fusion_data, True).metrics["instructions"]
+        plain = self._run(fusion_data, False).metrics["instructions"]
+        assert fused < plain
+
+
+# ---------------------------------------------------------------------------
+# A10: compressed linear algebra
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def categorical_matrix():
+    rng = np.random.default_rng(1)
+    # dummy-coded + small-integer features: CLA's target workload
+    columns = [rng.choice([0.0, 1.0], size=200_000) for __ in range(8)]
+    columns += [rng.integers(0, 12, size=200_000).astype(float) for __ in range(8)]
+    data = np.column_stack(columns)
+    return data, CompressedBlock.compress(BasicTensorBlock.from_numpy(data))
+
+
+class TestA10Compression:
+    def test_a10_vecmat_compressed(self, benchmark, categorical_matrix):
+        data, compressed = categorical_matrix
+        v = np.random.default_rng(2).random(data.shape[0])
+        result = benchmark.pedantic(lambda: compressed.vecmat(v), rounds=5, iterations=1)
+        np.testing.assert_allclose(result.ravel(), data.T @ v, rtol=1e-9)
+
+    def test_a10_vecmat_dense(self, benchmark, categorical_matrix):
+        data, __ = categorical_matrix
+        v = np.random.default_rng(2).random(data.shape[0])
+        benchmark.pedantic(lambda: data.T @ v, rounds=5, iterations=1)
+
+    def test_a10_compression_ratio(self, categorical_matrix):
+        __, compressed = categorical_matrix
+        assert compressed.compression_ratio() > 3.0
+
+    def test_a10_scalar_op_on_dictionaries(self, benchmark, categorical_matrix):
+        __, compressed = categorical_matrix
+        result = benchmark.pedantic(
+            lambda: compressed.scalar_op("*", 2.0), rounds=5, iterations=1
+        )
+        assert result.compression_ratio() > 3.0
+
+
+# ---------------------------------------------------------------------------
+# A11: matmult chain ordering
+# ---------------------------------------------------------------------------
+
+# u %*% v %*% w: left-deep materialises the 4000^2 outer product (cost
+# O(n^2) twice); the DP order computes the scalar v %*% w first (cost O(n))
+_CHAIN_SCRIPT = "s = sum(u %*% v %*% w)"
+
+
+@pytest.fixture(scope="module")
+def chain_data():
+    rng = np.random.default_rng(3)
+    return {
+        "u": rng.random((4_000, 1)),
+        "v": rng.random((1, 4_000)),
+        "w": rng.random((4_000, 1)),
+    }
+
+
+class TestA11ChainOrdering:
+    def _run(self, data, rewrites):
+        ml = MLContext(ReproConfig(enable_rewrites=rewrites))
+        return ml.execute(_CHAIN_SCRIPT, inputs=data, outputs=["s"])
+
+    def test_a11_optimized_order(self, benchmark, chain_data):
+        result = benchmark.pedantic(
+            lambda: self._run(chain_data, True), rounds=3, iterations=1
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a11_parse_order(self, benchmark, chain_data):
+        result = benchmark.pedantic(
+            lambda: self._run(chain_data, False), rounds=1, iterations=1
+        )
+        assert np.isfinite(result.scalar("s"))
+
+    def test_a11_results_identical(self, chain_data):
+        fast = self._run(chain_data, True).scalar("s")
+        slow = self._run(chain_data, False).scalar("s")
+        assert fast == pytest.approx(slow, rel=1e-9)

@@ -1,0 +1,78 @@
+"""Figure 5(a) — Baselines Dense (experiment E1 of DESIGN.md).
+
+End-to-end time (CSV read, k ridge models, CSV write) for the five series
+of the paper: TF (eager), TF-G (graph CSE), Julia (native numerics), SysDS
+(tiled kernels), SysDS-B (native BLAS).  The expected shape: SysDS wins at
+k=1 on parallel CSV parsing; Julia overtakes plain SysDS as matmults
+dominate; SysDS-B tracks or beats Julia; TF trails; all grow linearly in k
+(no system eliminates the cross-model redundancy -- that is Figure 5(c)).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.baselines import JuliaStyleBaseline, TFGraphBaseline, TFStyleBaseline
+from benchmarks.workload import (
+    dense_workload,
+    expected_model,
+    lambda_grid,
+    run_sysds,
+    sysds_config,
+)
+
+K_GRID = (1, 5, 20)
+
+
+def _verify(data, result_path, k):
+    models = np.loadtxt(result_path, delimiter=",", ndmin=2)
+    lam = lambda_grid(k)[-1, 0]
+    np.testing.assert_allclose(models[:, [-1]], expected_model(data, lam), atol=1e-6)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5a_tf(benchmark, k):
+    data = dense_workload()
+    baseline = TFStyleBaseline()
+    benchmark.pedantic(
+        lambda: baseline.run(data.x_path, data.y_path, lambda_grid(k)[:, 0], data.out_path),
+        rounds=1, iterations=1,
+    )
+    _verify(data, data.out_path, k)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5a_tfg(benchmark, k):
+    data = dense_workload()
+    baseline = TFGraphBaseline()
+    benchmark.pedantic(
+        lambda: baseline.run(data.x_path, data.y_path, lambda_grid(k)[:, 0], data.out_path),
+        rounds=1, iterations=1,
+    )
+    _verify(data, data.out_path, k)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5a_julia(benchmark, k):
+    data = dense_workload()
+    baseline = JuliaStyleBaseline()
+    benchmark.pedantic(
+        lambda: baseline.run(data.x_path, data.y_path, lambda_grid(k)[:, 0], data.out_path),
+        rounds=1, iterations=1,
+    )
+    _verify(data, data.out_path, k)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5a_sysds(benchmark, k):
+    data = dense_workload()
+    config = sysds_config(native_blas=False)
+    benchmark.pedantic(lambda: run_sysds(data, k, config), rounds=1, iterations=1)
+    _verify(data, data.out_path, k)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5a_sysds_blas(benchmark, k):
+    data = dense_workload()
+    config = sysds_config(native_blas=True)
+    benchmark.pedantic(lambda: run_sysds(data, k, config), rounds=1, iterations=1)
+    _verify(data, data.out_path, k)

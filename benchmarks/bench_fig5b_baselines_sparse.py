@@ -1,0 +1,68 @@
+"""Figure 5(b) — Baselines Sparse (experiment E2 of DESIGN.md).
+
+The same workload on sparse X (sparsity 0.1).  Expected shape: SysDS
+largely outperforms TF (per-model transpose materialisation without a
+fused sparse-dense call); TF-G pays the transpose only once; Julia's
+sparse path has no fused transpose call either.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.baselines import JuliaStyleBaseline, TFGraphBaseline, TFStyleBaseline
+from benchmarks.workload import (
+    expected_model,
+    lambda_grid,
+    run_sysds,
+    sparse_workload,
+    sysds_config,
+)
+
+K_GRID = (1, 5, 20)
+
+
+def _verify(data, result_path, k):
+    models = np.loadtxt(result_path, delimiter=",", ndmin=2)
+    lam = lambda_grid(k)[-1, 0]
+    np.testing.assert_allclose(models[:, [-1]], expected_model(data, lam), atol=1e-6)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5b_tf(benchmark, k):
+    data = sparse_workload()
+    baseline = TFStyleBaseline()
+    benchmark.pedantic(
+        lambda: baseline.run_sparse(data.x_path, data.y_path, lambda_grid(k)[:, 0], data.out_path),
+        rounds=1, iterations=1,
+    )
+    _verify(data, data.out_path, k)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5b_tfg(benchmark, k):
+    data = sparse_workload()
+    baseline = TFGraphBaseline()
+    benchmark.pedantic(
+        lambda: baseline.run_sparse(data.x_path, data.y_path, lambda_grid(k)[:, 0], data.out_path),
+        rounds=1, iterations=1,
+    )
+    _verify(data, data.out_path, k)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5b_julia(benchmark, k):
+    data = sparse_workload()
+    baseline = JuliaStyleBaseline()
+    benchmark.pedantic(
+        lambda: baseline.run_sparse(data.x_path, data.y_path, lambda_grid(k)[:, 0], data.out_path),
+        rounds=1, iterations=1,
+    )
+    _verify(data, data.out_path, k)
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_fig5b_sysds(benchmark, k):
+    data = sparse_workload()
+    config = sysds_config(native_blas=False)
+    benchmark.pedantic(lambda: run_sysds(data, k, config), rounds=1, iterations=1)
+    _verify(data, data.out_path, k)

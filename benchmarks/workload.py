@@ -1,0 +1,140 @@
+"""The shared Figure 5 workload: data generation and engine runners.
+
+Paper section 4.1: "The workload is a hyper-parameter optimization script
+that reads a CSV file, trains k regression models with different
+regularization parameters lambda (see lmDS in Figure 2), and stores the
+resulting models as a single CSV file."
+
+Sizes scale with ``REPRO_BENCH_SCALE`` (default 1.0); see DESIGN.md for the
+substitution of the paper's 100K x 1K inputs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.io import csv as csv_io
+from repro.tensor import BasicTensorBlock
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Paper grid of model counts (k).
+PAPER_K_GRID = (1, 10, 20, 30, 40, 50, 60, 70)
+
+#: Default dense workload size (paper: 100K x 1K).
+DENSE_ROWS = int(8_000 * SCALE)
+DENSE_COLS = int(96 * SCALE)
+
+#: Default sparse workload size (paper: 100K x 1K at sparsity 0.1).
+SPARSE_ROWS = int(16_000 * SCALE)
+SPARSE_COLS = 128
+SPARSITY = 0.1
+
+#: The DML script of the workload (lambdas bound as an input matrix).
+HYPEROPT_SCRIPT = """
+X = read(x_path)
+y = read(y_path)
+k = nrow(lambdas)
+B = matrix(0, ncol(X), k)
+for (i in 1:k) {
+  B[, i] = lmDS(X, y, reg=as.scalar(lambdas[i, 1]))
+}
+write(B, out_path, format="csv")
+"""
+
+
+def lambda_grid(k: int) -> np.ndarray:
+    return np.logspace(-7, 2, max(k, 1)).reshape(-1, 1)
+
+
+class WorkloadData:
+    """Materialised workload inputs (CSV on disk plus in-memory copies)."""
+
+    def __init__(self, rows: int, cols: int, sparsity: float = 1.0, seed: int = 7):
+        self.rows = rows
+        self.cols = cols
+        self.sparsity = sparsity
+        rng = np.random.default_rng(seed)
+        if sparsity >= 1.0:
+            self.X = rng.random((rows, cols))
+            self.X_sparse = None
+        else:
+            dense = rng.random((rows, cols)) * (rng.random((rows, cols)) < sparsity)
+            self.X = dense
+            self.X_sparse = sp.csr_matrix(dense)
+        beta = rng.random((cols, 1))
+        self.y = self.X @ beta + 0.01 * rng.standard_normal((rows, 1))
+        self.workdir = tempfile.mkdtemp(prefix="repro-bench-")
+        self.x_path = os.path.join(self.workdir, "X.csv")
+        self.y_path = os.path.join(self.workdir, "y.csv")
+        self.out_path = os.path.join(self.workdir, "models.csv")
+        csv_io.write_csv_matrix(BasicTensorBlock.from_numpy(self.X), self.x_path)
+        csv_io.write_csv_matrix(BasicTensorBlock.from_numpy(self.y), self.y_path)
+        from repro.io.mtd import write_mtd
+
+        write_mtd(self.x_path, rows, cols, int(self.X.astype(bool).sum()))
+        write_mtd(self.y_path, rows, 1, rows)
+
+
+_DENSE_CACHE = {}
+_SPARSE_CACHE = {}
+
+
+def dense_workload(rows: int = DENSE_ROWS, cols: int = DENSE_COLS) -> WorkloadData:
+    key = (rows, cols)
+    if key not in _DENSE_CACHE:
+        _DENSE_CACHE[key] = WorkloadData(rows, cols)
+    return _DENSE_CACHE[key]
+
+
+def sparse_workload(rows: int = SPARSE_ROWS, cols: int = SPARSE_COLS) -> WorkloadData:
+    key = (rows, cols)
+    if key not in _SPARSE_CACHE:
+        _SPARSE_CACHE[key] = WorkloadData(rows, cols, sparsity=SPARSITY)
+    return _SPARSE_CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# engine runners (the SysDS / SysDS-B / SysDS w-Reuse series)
+# ---------------------------------------------------------------------------
+
+
+def sysds_config(native_blas: bool = False, reuse: bool = False,
+                 **overrides) -> ReproConfig:
+    """SysDS = tiled kernels; SysDS-B = native BLAS; optional reuse."""
+    settings = dict(
+        native_blas=native_blas,
+        matmult_tile=64,
+        enable_lineage=reuse,
+        reuse_policy="full" if reuse else "none",
+    )
+    settings.update(overrides)
+    return ReproConfig(**settings)
+
+
+def run_sysds(data: WorkloadData, k: int, config: ReproConfig) -> MLContext:
+    """End-to-end engine run of the hyper-parameter workload (incl. I/O)."""
+    ml = MLContext(config)
+    ml.execute(
+        HYPEROPT_SCRIPT,
+        inputs={
+            "x_path": data.x_path,
+            "y_path": data.y_path,
+            "out_path": data.out_path,
+            "lambdas": lambda_grid(k),
+        },
+    )
+    return ml
+
+
+def expected_model(data: WorkloadData, lam: float) -> np.ndarray:
+    """Oracle ridge solution for result verification."""
+    xtx = data.X.T @ data.X
+    xty = data.X.T @ data.y
+    return np.linalg.solve(xtx + lam * np.eye(data.cols), xty)

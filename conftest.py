@@ -1,0 +1,7 @@
+"""Repo-root pytest configuration: make `benchmarks` importable regardless
+of how pytest was invoked (tests validate the benchmark harness too)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

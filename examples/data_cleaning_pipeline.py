@@ -1,0 +1,91 @@
+"""End-to-end data preparation pipeline (paper sections 2.2 and 3.2).
+
+Raw heterogeneous CSV -> schema detection -> feature transformation
+(recode/dummy-code/binning) -> missing-value imputation -> outlier capping
+-> standardisation -> model training -> slice-based model debugging.
+Everything runs inside one declarative script; transform metadata travels
+as a frame (the system stays stateless).
+
+Run:  python examples/data_cleaning_pipeline.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+
+def synthesize_raw_csv(path: str, n: int = 2_000) -> None:
+    """A messy raw dataset: categories, skewed numbers, missing cells."""
+    rng = np.random.default_rng(99)
+    segment = rng.choice(["consumer", "business", "public"], size=n)
+    region = rng.choice(["north", "south", "east", "west"], size=n)
+    usage = np.exp(rng.standard_normal(n) * 1.2 + 3)  # skewed, has outliers
+    tenure = rng.integers(0, 120, size=n)
+    churn_score = (
+        (segment == "consumer") * 1.5
+        + usage / 100.0
+        - tenure / 100.0
+        + 0.1 * rng.standard_normal(n)
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("segment,region,usage,tenure,churn_score\n")
+        for i in range(n):
+            usage_text = "" if i % 97 == 0 else f"{usage[i]:.3f}"
+            handle.write(
+                f"{segment[i]},{region[i]},{usage_text},{tenure[i]},{churn_score[i]:.4f}\n"
+            )
+
+
+PIPELINE = """
+F = read(data_path, data_type="frame", header=TRUE)
+schema = detectSchema(F)
+
+# split features and label
+G = F[, 1:4]
+y = as.matrix(F[, 5])
+
+spec = "{\\"recode\\": [\\"segment\\", \\"region\\"], \\"dummycode\\": [\\"segment\\", \\"region\\"], \\"bin\\": [{\\"name\\": \\"tenure\\", \\"method\\": \\"equi-width\\", \\"numbins\\": 6}]}"
+[X0, M] = transformencode(G, spec)
+
+[X1, colmeans] = imputeByMean(X0)
+[X2, lo, hi] = outlierByIQR(X1, 1.5)
+[X, centering, scaling] = scale(X2)
+
+B = lmDS(X, y, icpt=1, reg=0.001)
+k = nrow(B) - 1
+yhat = X %*% B[1:k, ] + as.scalar(B[k + 1, 1])
+e = abs(y - yhat)
+mse = sum(e * e) / nrow(X)
+
+# model debugging: which single-category slice has the worst error?
+Xcat = X0[, 1:7] * 0
+Xcat = cbind(rowIndexMax(X0[, 1:3]), rowIndexMax(X0[, 4:7]))
+S = sliceFinder(Xcat, e, k=3, minSup=50)
+"""
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-cleaning-")
+    data_path = os.path.join(workdir, "raw.csv")
+    synthesize_raw_csv(data_path)
+    print(f"raw data: {data_path}")
+
+    ml = MLContext(ReproConfig(parallelism=4))
+    result = ml.execute(
+        PIPELINE, inputs={"data_path": data_path},
+        outputs=["schema", "mse", "S"],
+    )
+    print("detected schema:", result.frame("schema").row(0))
+    print(f"model mse after cleaning: {result.scalar('mse'):.4f}")
+    print("worst slices [feature, value, avg error, size]:")
+    for row in result.matrix("S"):
+        print(f"    feature {int(row[0])}, value {int(row[1])}: "
+              f"avg error {row[2]:.3f} over {int(row[3])} rows")
+
+
+if __name__ == "__main__":
+    main()

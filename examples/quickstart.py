@@ -1,0 +1,65 @@
+"""Quickstart: three ways to run declarative ML with repro.
+
+1. MLContext — execute DML scripts with in-memory inputs/outputs.
+2. The lazy Python binding — collect operation DAGs, compile on demand.
+3. PreparedScript — precompile once, score repeatedly (JMLC style).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.api.jmlc import PreparedScript
+
+
+def mlcontext_example():
+    """Train a ridge regression model declaratively."""
+    rng = np.random.default_rng(1)
+    X = rng.random((500, 10))
+    beta = rng.standard_normal((10, 1))
+    y = X @ beta + 0.01 * rng.standard_normal((500, 1))
+
+    ml = repro.MLContext()
+    result = ml.execute(
+        """
+        B = lm(X, y, reg=0.0001)
+        r = y - X %*% B
+        rmse = sqrt(sum(r * r) / nrow(X))
+        print("rmse: " + rmse)
+        """,
+        inputs={"X": X, "y": y},
+        outputs=["B", "rmse"],
+    )
+    print("[mlcontext] rmse =", round(result.scalar("rmse"), 5))
+    print("[mlcontext] max coefficient error =",
+          round(float(np.abs(result.matrix("B") - beta).max()), 5))
+
+
+def lazy_binding_example():
+    """Collect a whole expression DAG, compile it as one DML program."""
+    data = np.random.default_rng(2).random((200, 8))
+    x = repro.matrix(data)
+    # the compiler sees the full program: t(x) @ x fuses into one TSMM
+    gram_trace = ((x - x.mean(axis=0)).t() @ (x - x.mean(axis=0))).sum()
+    print("[lazy] sum of centered gram matrix =", round(gram_trace.compute(), 4))
+
+
+def prepared_script_example():
+    """Low-latency repeated scoring of a fixed model."""
+    model = np.random.default_rng(3).random((8, 1))
+    scorer = PreparedScript(
+        "yhat = X %*% B\ntop = max(yhat)",
+        inputs=["X", "B"],
+        outputs=["yhat", "top"],
+    )
+    for batch_id in range(3):
+        batch = np.random.default_rng(batch_id).random((4, 8))
+        out = scorer.execute(X=batch, B=model)
+        print(f"[jmlc] batch {batch_id}: top score = {out.scalar('top'):.4f}")
+
+
+if __name__ == "__main__":
+    mlcontext_example()
+    lazy_binding_example()
+    prepared_script_example()

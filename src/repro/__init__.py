@@ -1,0 +1,51 @@
+"""repro — a from-scratch Python reproduction of SystemDS (CIDR 2020).
+
+The public API surface is intentionally small:
+
+* :func:`dml` / :class:`MLContext` — compile and execute DML scripts.
+* :class:`PreparedScript` — JMLC-style precompiled, repeatedly executable scripts.
+* :func:`matrix` — the lazy Python language binding that collects operation
+  DAGs and compiles them on demand.
+* :class:`ReproConfig` — compiler/runtime configuration.
+* The tensor data model (:class:`BasicTensorBlock`, :class:`DataTensorBlock`,
+  :class:`Frame`).
+
+Everything else (compiler, runtime, lineage, distributed and federated
+backends) is reachable through the subpackages but is not re-exported here.
+"""
+
+from repro.config import ReproConfig, default_config
+from repro.tensor import BasicTensorBlock, DataTensorBlock, Frame
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicTensorBlock",
+    "DataTensorBlock",
+    "Frame",
+    "MLContext",
+    "PreparedScript",
+    "ReproConfig",
+    "default_config",
+    "dml",
+    "matrix",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light and avoid cycles while the
+    # api package itself imports the tensor/compiler layers.
+    if name in ("MLContext", "dml"):
+        from repro.api.mlcontext import MLContext, dml
+
+        return {"MLContext": MLContext, "dml": dml}[name]
+    if name == "PreparedScript":
+        from repro.api.jmlc import PreparedScript
+
+        return PreparedScript
+    if name == "matrix":
+        from repro.api.matrix import matrix
+
+        return matrix
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

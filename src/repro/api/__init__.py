@@ -1,0 +1,3 @@
+"""User-facing APIs (paper Figure 3, step 1): MLContext-style script
+execution, JMLC-style prepared scripts for low-latency repeated scoring,
+and the lazy Python language binding that collects operation DAGs."""

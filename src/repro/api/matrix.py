@@ -1,0 +1,249 @@
+"""Lazy Python language binding (paper Figure 3, step 1).
+
+Host-language bindings "expose individual operations, internally collect
+larger DAGs of operations and entire programs, and finally compile and
+execute efficient runtime plans on user request or output conversion".
+
+    import repro
+    x = repro.matrix(numpy_array)
+    result = (x.t() @ x).sum()
+    result.compute()          # compiles one DML script for the whole DAG
+
+Every operation returns a new lazy node; ``compute()`` linearises the DAG
+into a DML script (shared subexpressions become shared variables, so the
+compiler's CSE and fusion rewrites see the whole program), executes it, and
+caches the result on the node.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.config import ReproConfig
+
+_NODE_IDS = itertools.count(1)
+
+Scalar = Union[int, float]
+
+
+def matrix(data) -> "LazyMatrix":
+    """Wrap a NumPy array (or nested list) as a lazy matrix."""
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError("matrix() requires 1D or 2D data")
+    return LazyMatrix("input", [], data=array)
+
+
+class LazyMatrix:
+    """One node of a lazily collected operation DAG."""
+
+    def __init__(self, op: str, children: List["LazyMatrix"], data=None,
+                 params: Optional[dict] = None, scalar: bool = False):
+        self.node_id = next(_NODE_IDS)
+        self.op = op
+        self.children = children
+        self.data = data
+        self.params = dict(params or {})
+        self.is_scalar = scalar
+        self._result = None
+
+    # --- DAG construction helpers ---------------------------------------------
+
+    def _binary(self, op: str, other) -> "LazyMatrix":
+        other_node = _as_node(other)
+        return LazyMatrix(op, [self, other_node],
+                          scalar=self.is_scalar and other_node.is_scalar)
+
+    def _rbinary(self, op: str, other) -> "LazyMatrix":
+        other_node = _as_node(other)
+        return LazyMatrix(op, [other_node, self],
+                          scalar=self.is_scalar and other_node.is_scalar)
+
+    def __add__(self, other):
+        return self._binary("+", other)
+
+    def __radd__(self, other):
+        return self._rbinary("+", other)
+
+    def __sub__(self, other):
+        return self._binary("-", other)
+
+    def __rsub__(self, other):
+        return self._rbinary("-", other)
+
+    def __mul__(self, other):
+        return self._binary("*", other)
+
+    def __rmul__(self, other):
+        return self._rbinary("*", other)
+
+    def __truediv__(self, other):
+        return self._binary("/", other)
+
+    def __rtruediv__(self, other):
+        return self._rbinary("/", other)
+
+    def __pow__(self, other):
+        return self._binary("^", other)
+
+    def __matmul__(self, other):
+        return LazyMatrix("%*%", [self, _as_node(other)])
+
+    def __neg__(self):
+        return LazyMatrix("uminus", [self], scalar=self.is_scalar)
+
+    def __lt__(self, other):
+        return self._binary("<", other)
+
+    def __le__(self, other):
+        return self._binary("<=", other)
+
+    def __gt__(self, other):
+        return self._binary(">", other)
+
+    def __ge__(self, other):
+        return self._binary(">=", other)
+
+    def t(self) -> "LazyMatrix":
+        return LazyMatrix("t", [self])
+
+    def _agg(self, func: str, axis: Optional[int]) -> "LazyMatrix":
+        if axis is None:
+            return LazyMatrix(func, [self], scalar=True)
+        if axis == 0:
+            return LazyMatrix({"sum": "colSums", "mean": "colMeans",
+                               "min": "colMins", "max": "colMaxs"}[func], [self])
+        if axis == 1:
+            return LazyMatrix({"sum": "rowSums", "mean": "rowMeans",
+                               "min": "rowMins", "max": "rowMaxs"}[func], [self])
+        raise ValueError("axis must be None, 0, or 1")
+
+    def sum(self, axis: Optional[int] = None) -> "LazyMatrix":
+        return self._agg("sum", axis)
+
+    def mean(self, axis: Optional[int] = None) -> "LazyMatrix":
+        return self._agg("mean", axis)
+
+    def min(self, axis: Optional[int] = None) -> "LazyMatrix":
+        return self._agg("min", axis)
+
+    def max(self, axis: Optional[int] = None) -> "LazyMatrix":
+        return self._agg("max", axis)
+
+    def abs(self) -> "LazyMatrix":
+        return LazyMatrix("abs", [self], scalar=self.is_scalar)
+
+    def exp(self) -> "LazyMatrix":
+        return LazyMatrix("exp", [self], scalar=self.is_scalar)
+
+    def log(self) -> "LazyMatrix":
+        return LazyMatrix("log", [self], scalar=self.is_scalar)
+
+    def sqrt(self) -> "LazyMatrix":
+        return LazyMatrix("sqrt", [self], scalar=self.is_scalar)
+
+    def cbind(self, other) -> "LazyMatrix":
+        return LazyMatrix("cbind", [self, _as_node(other)])
+
+    def rbind(self, other) -> "LazyMatrix":
+        return LazyMatrix("rbind", [self, _as_node(other)])
+
+    def __getitem__(self, key) -> "LazyMatrix":
+        if not isinstance(key, tuple) or len(key) != 2:
+            raise TypeError("use m[rows, cols] with slices or ints (0-based)")
+        bounds = []
+        for part, axis in zip(key, ("row", "col")):
+            if isinstance(part, slice):
+                if part.step not in (None, 1):
+                    raise ValueError("strided slicing is not supported")
+                bounds.append((part.start, part.stop))
+            elif isinstance(part, int):
+                bounds.append((part, part + 1))
+            else:
+                raise TypeError(f"unsupported {axis} index: {part!r}")
+        return LazyMatrix("rix", [self], params={"bounds": bounds})
+
+    # --- compilation & execution ------------------------------------------------
+
+    def to_dml(self) -> tuple:
+        """(script, inputs dict, output variable) for this node's DAG."""
+        lines: List[str] = []
+        inputs: Dict[str, np.ndarray] = {}
+        names: Dict[int, str] = {}
+
+        def visit(node: "LazyMatrix") -> str:
+            cached = names.get(node.node_id)
+            if cached is not None:
+                return cached
+            name = f"V{node.node_id}"
+            if node.op == "input":
+                inputs[name] = node.data
+                names[node.node_id] = name
+                return name
+            if node.op == "const":
+                names[node.node_id] = repr(float(node.data))
+                return names[node.node_id]
+            operands = [visit(child) for child in node.children]
+            lines.append(f"{name} = {_render(node, operands)}")
+            names[node.node_id] = name
+            return name
+
+        output = visit(self)
+        if not lines:  # bare input or constant
+            lines.append(f"{output}_out = {output}")
+            output = f"{output}_out"
+        return "\n".join(lines), inputs, output
+
+    def compute(self, config: Optional[ReproConfig] = None):
+        """Compile and execute the collected DAG; returns NumPy/float."""
+        if self._result is not None:
+            return self._result
+        from repro.api.mlcontext import MLContext
+
+        script, inputs, output = self.to_dml()
+        ml = MLContext(config)
+        results = ml.execute(script, inputs=inputs, outputs=[output])
+        if self.is_scalar:
+            self._result = results.scalar(output)
+        else:
+            self._result = results.matrix(output)
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LazyMatrix({self.op}, id={self.node_id})"
+
+
+def _as_node(value) -> LazyMatrix:
+    if isinstance(value, LazyMatrix):
+        return value
+    if isinstance(value, (int, float)):
+        return LazyMatrix("const", [], data=float(value), scalar=True)
+    if isinstance(value, (np.ndarray, list)):
+        return matrix(value)
+    raise TypeError(f"cannot lift {type(value).__name__} into a lazy matrix")
+
+
+_INFIX = {"+", "-", "*", "/", "^", "%*%", "<", "<=", ">", ">="}
+
+
+def _render(node: LazyMatrix, operands: List[str]) -> str:
+    if node.op in _INFIX:
+        return f"({operands[0]} {node.op} {operands[1]})"
+    if node.op == "uminus":
+        return f"(-{operands[0]})"
+    if node.op == "rix":
+        (r0, r1), (c0, c1) = node.params["bounds"]
+        row = f"{(r0 or 0) + 1}:{r1}" if r1 is not None else f"{(r0 or 0) + 1}:nrow({operands[0]})"
+        col = f"{(c0 or 0) + 1}:{c1}" if c1 is not None else f"{(c0 or 0) + 1}:ncol({operands[0]})"
+        return f"{operands[0]}[{row}, {col}]"
+    return f"{node.op}({', '.join(operands)})"
+
+
+def solve(a: LazyMatrix, b: LazyMatrix) -> LazyMatrix:
+    """Lazy linear solve ``a %*% x = b``."""
+    return LazyMatrix("solve", [_as_node(a), _as_node(b)])

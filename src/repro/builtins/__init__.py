@@ -1,0 +1,11 @@
+"""DML-bodied builtin functions (paper section 2.2).
+
+SystemDS registers builtin functions written in DML itself; scripts that
+call e.g. ``steplm`` or ``lm`` transparently pull the corresponding
+function definitions from :mod:`repro.builtins.registry`, which loads and
+parses the ``scripts/*.dml`` files shipped with the package.
+"""
+
+from repro.builtins.registry import available_builtins, lookup_builtin_function
+
+__all__ = ["available_builtins", "lookup_builtin_function"]

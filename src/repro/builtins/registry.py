@@ -1,0 +1,63 @@
+"""Registry of DML-bodied builtin functions.
+
+Each file ``scripts/<name>.dml`` defines the function ``<name>`` (plus any
+private helpers, prefixed with the builtin's name to avoid collisions).
+The registry parses scripts lazily and caches the resulting function ASTs;
+the compiler's builtin-resolution pass calls :func:`lookup_builtin_function`
+for every referenced name it cannot otherwise resolve.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+SCRIPTS_DIR = os.path.join(os.path.dirname(__file__), "scripts")
+
+_cache: Dict[str, Dict[str, ast.FunctionDef]] = {}
+_lock = threading.Lock()
+
+
+def available_builtins() -> List[str]:
+    """Names of all DML-bodied builtins shipped with the package."""
+    names = []
+    for entry in sorted(os.listdir(SCRIPTS_DIR)):
+        if entry.endswith(".dml"):
+            names.append(entry[: -len(".dml")])
+    return names
+
+
+def lookup_builtin_function(name: str) -> Optional[Dict[str, ast.FunctionDef]]:
+    """The function definitions provided by builtin ``name`` (or None).
+
+    Returns a fresh deep copy per call: the compiler's IPA pass mutates
+    function bodies (inlining), so cached ASTs must never leak.
+    """
+    with _lock:
+        cached = _cache.get(name)
+        if cached is None:
+            path = os.path.join(SCRIPTS_DIR, f"{name}.dml")
+            if not os.path.exists(path):
+                return None
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            program = parse(source)
+            if name not in program.functions:
+                raise CompileError(
+                    f"builtin script {name}.dml does not define function {name!r}"
+                )
+            cached = program.functions
+            _cache[name] = cached
+        return copy.deepcopy(cached)
+
+
+def clear_cache() -> None:
+    """Drop parsed script caches (test helper)."""
+    with _lock:
+        _cache.clear()

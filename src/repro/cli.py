@@ -1,0 +1,123 @@
+"""Command-line invocation of DML scripts (paper Figure 3, step 1).
+
+    repro-dml script.dml [-f] [--args k=v ...] [--stats] [--explain]
+    python -m repro.cli script.dml --args reg=0.001
+
+Named arguments are bound as scalar input variables (ints, floats,
+booleans, or strings).  ``--stats`` prints runtime metrics after execution,
+``--explain`` the compiled runtime program, ``--lineage`` enables lineage
+tracing and ``--reuse`` lineage-based reuse of intermediates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict
+
+from repro.config import ReproConfig
+
+
+def _parse_value(text: str):
+    if text in ("TRUE", "true", "True"):
+        return True
+    if text in ("FALSE", "false", "False"):
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _parse_args(pairs) -> Dict[str, object]:
+    bound = {}
+    for pair in pairs or []:
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--args entries must be name=value, got {pair!r}")
+        bound[name] = _parse_value(value)
+    return bound
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-dml argument parser (exposed for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dml",
+        description="Execute a DML script on the repro SystemDS reproduction.",
+    )
+    parser.add_argument("script", help="path to the .dml script")
+    parser.add_argument("--args", nargs="*", metavar="NAME=VALUE",
+                        help="scalar input bindings")
+    parser.add_argument("--stats", action="store_true",
+                        help="print runtime statistics after execution")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the compiled runtime program")
+    parser.add_argument("--lineage", action="store_true",
+                        help="enable lineage tracing")
+    parser.add_argument("--reuse", choices=["none", "full", "full_partial"],
+                        default="none", help="lineage-based reuse policy")
+    parser.add_argument("--mem", type=int, default=0,
+                        help="memory budget in MB (0 = default)")
+    parser.add_argument("--par", type=int, default=0,
+                        help="degree of parallelism (0 = all cores)")
+    parser.add_argument("--no-rewrites", action="store_true",
+                        help="disable optimizer rewrites (debugging)")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point of ``repro-dml``; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    overrides = {}
+    if args.mem > 0:
+        overrides["memory_budget"] = args.mem * 1024 * 1024
+    if args.par > 0:
+        overrides["parallelism"] = args.par
+    if args.lineage or args.reuse != "none":
+        overrides["enable_lineage"] = True
+        overrides["reuse_policy"] = args.reuse
+    if args.no_rewrites:
+        overrides["enable_rewrites"] = False
+        overrides["enable_cse"] = False
+        overrides["enable_fusion"] = False
+    config = ReproConfig(**overrides)
+
+    try:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.api.mlcontext import MLContext
+
+    if args.explain:
+        from repro.compiler.compile import compile_script
+
+        program = compile_script(source, config)
+        print(program.explain(), file=sys.stderr)
+
+    ml = MLContext(config)
+    start = time.time()
+    try:
+        results = ml.execute(
+            source, inputs=_parse_args(args.args), capture_prints=False
+        )
+    except Exception as exc:  # noqa: BLE001 - report any script failure
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.time() - start
+    if args.stats:
+        print(f"-- execution time: {elapsed:.3f}s", file=sys.stderr)
+        for key, value in sorted(results.metrics.items()):
+            print(f"-- {key}: {value}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Optimizing compiler: AST -> statement blocks -> HOP DAGs -> LOPs -> instructions.
+
+The compilation chain mirrors SystemML/SystemDS (paper section 2.3(2)):
+statement blocks delineated by control flow, per-block DAGs of high-level
+operators, multiple rounds of rewrites and size propagation, memory-estimate
+driven operator selection, and finally linear runtime instruction sequences
+per program block.
+"""
+
+from repro.compiler.compile import compile_program, compile_script
+
+__all__ = ["compile_program", "compile_script"]

@@ -1,0 +1,597 @@
+"""HOP DAG construction from statement blocks.
+
+Within one basic block, statements are translated into a single DAG: each
+variable read pulls a shared transient-read leaf (or the hop of a previous
+assignment in the same block), and every variable that is live-out and was
+(re)assigned gets a transient-write root.  Builtin functions map to HOPs via
+the table at the bottom of this module; calls to user/DML-bodied functions
+become :class:`FunctionCallHop` nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.compiler import hops as H
+from repro.compiler.blocks import BasicBlock, PredicateBlock
+from repro.types import DataType, Direction, ValueType
+
+#: Builtins with multiple return values, with their output count.
+MULTI_RETURN_BUILTINS = {
+    "eigen": 2,
+    "svd": 3,
+    "transformencode": 2,
+}
+
+
+class DagBuilder:
+    """Builds HOP DAGs for basic blocks and predicates of one program."""
+
+    def __init__(self, functions: Dict[str, ast.FunctionDef]):
+        self.functions = functions
+
+    # --- public entry points ---------------------------------------------------
+
+    def build_basic_block(self, block: BasicBlock) -> None:
+        block.hop_roots = self.build_roots(block.statements, block.live_out)
+
+    def build_roots(self, statements, live_out) -> List[H.Hop]:
+        """DAG roots for a statement list (pure; used by recompilation too)."""
+        env: Dict[str, H.Hop] = {}
+        assigned: set = set()
+        roots: List[H.Hop] = []
+        for statement in statements:
+            self._statement(statement, env, assigned, roots)
+        for name in sorted(assigned & set(live_out)):
+            roots.append(self._twrite(name, env[name]))
+        return roots
+
+    def build_predicate(self, block: PredicateBlock) -> None:
+        env: Dict[str, H.Hop] = {}
+        roots: List[H.Hop] = []
+        hop = self._expr(block.expr, env, roots)
+        if roots:
+            raise CompileError("function calls are not allowed in predicates")
+        block.hop_root = hop
+
+    # --- statements ----------------------------------------------------------------
+
+    def _statement(self, statement: ast.Statement, env, assigned, roots) -> None:
+        if isinstance(statement, ast.Assign):
+            value = self._expr(statement.value, env, roots)
+            if statement.accumulate:
+                value = H.BinaryHop("+", self._read(statement.target, env), value)
+            env[statement.target] = value
+            assigned.add(statement.target)
+        elif isinstance(statement, ast.IndexedAssign):
+            target = self._read(statement.target, env)
+            source = self._expr(statement.value, env, roots)
+            bounds = self._bounds(statement.ranges, target, env, roots)
+            env[statement.target] = H.LeftIndexingHop(target, source, bounds)
+            assigned.add(statement.target)
+        elif isinstance(statement, ast.MultiAssign):
+            self._multi_assign(statement, env, assigned, roots)
+        elif isinstance(statement, ast.ExprStatement):
+            self._effect_statement(statement.value, env, roots)
+        else:
+            raise CompileError(
+                f"unexpected statement in basic block: {type(statement).__name__}"
+            )
+
+    def _multi_assign(self, statement: ast.MultiAssign, env, assigned, roots) -> None:
+        call = statement.value
+        if not isinstance(call, ast.Call):
+            raise CompileError("multi-assignment requires a function call")
+        targets = statement.targets
+        if call.name in MULTI_RETURN_BUILTINS:
+            expected = MULTI_RETURN_BUILTINS[call.name]
+            if len(targets) != expected:
+                raise CompileError(
+                    f"{call.name} returns {expected} values, got {len(targets)} targets"
+                )
+            args = [self._expr(a, env, roots) for a in call.args]
+            args += [self._expr(v, env, roots) for v in call.named_args.values()]
+            parent = H.MultiReturnBuiltinHop(call.name, args, expected)
+            roots.append(parent)
+            for index, target in enumerate(targets):
+                dt = DataType.FRAME if (call.name == "transformencode" and index == 1) else DataType.MATRIX
+                env[target] = H.FuncOutHop(parent, index, dt)
+                assigned.add(target)
+            return
+        if call.name in self.functions:
+            fcall = self._function_call(call, targets, env, roots)
+            func = self.functions[call.name]
+            for index, target in enumerate(targets):
+                ret = func.returns[index]
+                env[target] = H.FuncOutHop(
+                    fcall, index, ret.type_spec.data_type, ret.type_spec.value_type
+                )
+                assigned.add(target)
+            return
+        raise CompileError(f"unknown multi-return function: {call.name}")
+
+    def _function_call(self, call: ast.Call, targets: Sequence[str], env, roots) -> H.FunctionCallHop:
+        func = self.functions[call.name]
+        if len(targets) > len(func.returns):
+            raise CompileError(
+                f"{call.name} returns {len(func.returns)} values, got {len(targets)} targets"
+            )
+        args: List[H.Hop] = []
+        arg_names: List[Optional[str]] = []
+        for arg in call.args:
+            args.append(self._expr(arg, env, roots))
+            arg_names.append(None)
+        for name, arg in call.named_args.items():
+            args.append(self._expr(arg, env, roots))
+            arg_names.append(name)
+        fcall = H.FunctionCallHop(call.name, args, arg_names, list(targets))
+        roots.append(fcall)
+        return fcall
+
+    def _effect_statement(self, expr: ast.Expr, env, roots) -> None:
+        if isinstance(expr, ast.Call) and expr.name == "write":
+            self._write_call(expr, env, roots)
+            return
+        if isinstance(expr, ast.Call) and expr.name in ("print", "stop", "assert"):
+            if len(expr.args) != 1 or expr.named_args:
+                raise CompileError(f"{expr.name} takes exactly one argument")
+            operand = self._expr(expr.args[0], env, roots)
+            roots.append(H.UnaryHop(expr.name, operand))
+            return
+        if isinstance(expr, ast.Call) and expr.name in self.functions:
+            # call for side effects; bind no outputs
+            self._function_call(expr, [], env, roots)
+            return
+        # evaluate and discard (keeps semantics of bare expressions)
+        hop = self._expr(expr, env, roots)
+        roots.append(H.UnaryHop("discard", hop))
+
+    def _write_call(self, call: ast.Call, env, roots) -> None:
+        if len(call.args) < 2:
+            raise CompileError("write requires a value and a file name")
+        value = self._expr(call.args[0], env, roots)
+        file_hop = self._expr(call.args[1], env, roots)
+        params = {
+            name: self._expr(arg, env, roots) for name, arg in call.named_args.items()
+        }
+        roots.append(
+            H.DataHop("pwrite", "", [value, file_hop], DataType.UNKNOWN, ValueType.UNKNOWN, params)
+        )
+
+    # --- expressions -----------------------------------------------------------------
+
+    def _read(self, name: str, env: Dict[str, H.Hop]) -> H.Hop:
+        hop = env.get(name)
+        if hop is None:
+            hop = H.DataHop("tread", name, (), DataType.UNKNOWN, ValueType.UNKNOWN)
+            env[name] = hop
+        return hop
+
+    def _twrite(self, name: str, value: H.Hop) -> H.Hop:
+        hop = H.DataHop("twrite", name, [value], value.data_type, value.value_type)
+        return hop
+
+    def _expr(self, expr: ast.Expr, env, roots) -> H.Hop:
+        if isinstance(expr, ast.IntLiteral):
+            return H.LiteralHop(expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return H.LiteralHop(expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            return H.LiteralHop(expr.value)
+        if isinstance(expr, ast.BoolLiteral):
+            return H.LiteralHop(expr.value)
+        if isinstance(expr, ast.Identifier):
+            return self._read(expr.name, env)
+        if isinstance(expr, ast.BinaryExpr):
+            left = self._expr(expr.left, env, roots)
+            right = self._expr(expr.right, env, roots)
+            if expr.op == "%*%":
+                return H.AggBinaryHop(left, right)
+            return H.BinaryHop(expr.op, left, right)
+        if isinstance(expr, ast.UnaryExpr):
+            operand = self._expr(expr.operand, env, roots)
+            return H.UnaryHop("uminus" if expr.op == "-" else expr.op, operand)
+        if isinstance(expr, ast.IndexExpr):
+            target = self._expr(expr.target, env, roots)
+            bounds = self._bounds(expr.ranges, target, env, roots)
+            return H.IndexingHop(target, bounds)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, env, roots)
+        raise CompileError(f"unsupported expression: {type(expr).__name__}")
+
+    def _bounds(self, ranges: List[ast.IndexRange], target: H.Hop, env, roots) -> List[H.Hop]:
+        """1-based inclusive (rl, ru, cl, cu) bound hops for 2D indexing."""
+        if len(ranges) == 1:
+            # X[i] on a column vector means X[i, 1]; on a list it selects
+            # an element -- resolved at runtime.
+            ranges = [ranges[0], ast.IndexRange(lower=ast.IntLiteral(value=1))]
+        if len(ranges) != 2:
+            raise CompileError("DML matrix indexing is 2-dimensional")
+        bounds: List[H.Hop] = []
+        for dim, rng in enumerate(ranges):
+            if rng.is_all:
+                lo = H.LiteralHop(1)
+                hi = H.UnaryHop("nrow" if dim == 0 else "ncol", target)
+            elif rng.is_single:
+                lo = self._expr(rng.lower, env, roots)
+                hi = lo
+            else:
+                lo = self._expr(rng.lower, env, roots)
+                hi = self._expr(rng.upper, env, roots)
+            bounds.extend([lo, hi])
+        return bounds
+
+    # --- builtin calls ------------------------------------------------------------------
+
+    def _call(self, call: ast.Call, env, roots) -> H.Hop:
+        name = call.name
+        if name in self.functions:
+            func = self.functions[name]
+            if not func.returns:
+                raise CompileError(f"{name} returns no value; call it as a statement")
+            fcall = self._function_call(call, [f"__{name}_out"], env, roots)
+            ret = func.returns[0]
+            return H.FuncOutHop(fcall, 0, ret.type_spec.data_type, ret.type_spec.value_type)
+        if name in MULTI_RETURN_BUILTINS:
+            raise CompileError(f"{name} has multiple outputs; use [a, b] = {name}(...)")
+        handler = _BUILTINS.get(name)
+        if handler is None:
+            raise CompileError(f"unknown function: {name}")
+        args = [self._expr(a, env, roots) for a in call.args]
+        named = {k: self._expr(v, env, roots) for k, v in call.named_args.items()}
+        return handler(args, named)
+
+
+# ---------------------------------------------------------------------------
+# builtin -> HOP mapping
+# ---------------------------------------------------------------------------
+
+
+def _require(args, named, n_min, n_max, name):
+    if not n_min <= len(args) <= n_max:
+        raise CompileError(f"{name} expects {n_min}..{n_max} positional arguments, got {len(args)}")
+    return args
+
+
+def _agg(op, direction):
+    def build(args, named):
+        _require(args, named, 1, 1, op)
+        return H.AggUnaryHop(op, args[0], direction)
+
+    return build
+
+
+def _unary(op):
+    def build(args, named):
+        _require(args, named, 1, 1, op)
+        return H.UnaryHop(op, args[0])
+
+    return build
+
+
+def _minmax(op):
+    def build(args, named):
+        if len(args) == 1:
+            return H.AggUnaryHop(op, args[0], Direction.FULL)
+        if len(args) == 2:
+            return H.BinaryHop(op, args[0], args[1])
+        result = args[0]
+        for arg in args[1:]:
+            result = H.BinaryHop(op, result, arg)
+        return result
+
+    return build
+
+
+def _log(args, named):
+    if len(args) == 1:
+        return H.UnaryHop("log", args[0])
+    if len(args) == 2:
+        return H.BinaryHop("log", args[0], args[1])
+    raise CompileError("log expects 1 or 2 arguments")
+
+
+def _read(args, named):
+    _require(args, named, 1, 1, "read")
+    return H.DataHop("pread", "", args, DataType.UNKNOWN, ValueType.UNKNOWN, named)
+
+
+def _rand(args, named):
+    if args:
+        raise CompileError("rand takes named arguments only (rows=, cols=, ...)")
+    params = dict(named)
+    if "rows" not in params or "cols" not in params:
+        raise CompileError("rand requires rows= and cols=")
+    return H.DataGenHop("rand", params)
+
+
+def _matrix(args, named):
+    _require(args, named, 1, 3, "matrix")
+    data = args[0]
+    rows = named.get("rows", args[1] if len(args) > 1 else None)
+    cols = named.get("cols", args[2] if len(args) > 2 else None)
+    if rows is None or cols is None:
+        raise CompileError("matrix requires rows and cols")
+    if data.is_scalar():
+        return H.DataGenHop("fill", {"value": data, "rows": rows, "cols": cols})
+    byrow = named.get("byrow", H.LiteralHop(True))
+    return H.ReorgHop("reshape", [data, rows, cols, byrow])
+
+
+def _seq(args, named):
+    _require(args, named, 2, 3, "seq")
+    params = {"from": args[0], "to": args[1]}
+    if len(args) == 3:
+        params["incr"] = args[2]
+    return H.DataGenHop("seq", params)
+
+
+def _sample(args, named):
+    _require(args, named, 2, 4, "sample")
+    params = {"range": args[0], "size": args[1]}
+    if len(args) >= 3:
+        params["replace"] = args[2]
+    if len(args) == 4:
+        params["seed"] = args[3]
+    params.update(named)
+    return H.DataGenHop("sample", params)
+
+
+def _nary(op):
+    def build(args, named):
+        if len(args) < 1:
+            raise CompileError(f"{op} expects at least one argument")
+        return H.NaryHop(op, args)
+
+    return build
+
+
+def _reorg(op, n_args):
+    def build(args, named):
+        _require(args, named, n_args, n_args, op)
+        return H.ReorgHop(op, args)
+
+    return build
+
+
+def _order(args, named):
+    params = {}
+    if args:
+        params["target"] = args[0]
+    params.update(named)
+    if "target" not in params:
+        raise CompileError("order requires target=")
+    return H.ParamBuiltinHop("order", params)
+
+
+def _param_builtin(op, required):
+    def build(args, named):
+        params = {}
+        positional = list(required)
+        for arg, pname in zip(args, positional):
+            params[pname] = arg
+        params.update(named)
+        for pname in required[: min(len(required), 1)]:
+            if pname not in params:
+                raise CompileError(f"{op} requires {pname}=")
+        return H.ParamBuiltinHop(op, params)
+
+    return build
+
+
+def _table(args, named):
+    _require(args, named, 2, 5, "table")
+    return H.TernaryHop("table", args)
+
+
+def _eval(args, named):
+    if not args:
+        raise CompileError("eval requires a function name")
+    inputs = list(args) + list(named.values())
+    hop = H.NaryHop("eval", inputs)
+    hop.data_type = DataType.UNKNOWN
+    return hop
+
+
+def _ifelse(args, named):
+    _require(args, named, 3, 3, "ifelse")
+    return H.TernaryHop("ifelse", args)
+
+
+def _outer(args, named):
+    _require(args, named, 3, 3, "outer")
+    if not isinstance(args[2], H.LiteralHop):
+        raise CompileError("outer requires a literal operation string")
+    return H.ParamBuiltinHop("outer", {"u": args[0], "v": args[1], "op": args[2]})
+
+
+def _quantile(args, named):
+    _require(args, named, 2, 2, "quantile")
+    return H.TernaryHop("quantile", args)
+
+
+def _median(args, named):
+    _require(args, named, 1, 1, "median")
+    return H.TernaryHop("quantile", [args[0], H.LiteralHop(0.5)])
+
+
+def _time(args, named):
+    return H.ParamBuiltinHop("time", {}, DataType.SCALAR)
+
+
+def _cast(op, data_type, value_type=ValueType.FP64):
+    def build(args, named):
+        _require(args, named, 1, 1, op)
+        hop = H.UnaryHop(op, args[0])
+        hop.data_type = data_type
+        hop.value_type = value_type
+        return hop
+
+    return build
+
+
+def _tostring(args, named):
+    _require(args, named, 1, 1, "toString")
+    params = {"target": args[0]}
+    params.update(named)
+    return H.ParamBuiltinHop("toString", params, DataType.SCALAR, ValueType.STRING)
+
+
+def _nrow_like(op):
+    def build(args, named):
+        _require(args, named, 1, 1, op)
+        hop = H.UnaryHop(op, args[0])
+        hop.value_type = ValueType.INT64
+        return hop
+
+    return build
+
+
+def _transformapply(args, named):
+    params = dict(named)
+    positional = ["target", "meta", "spec"]
+    for value, name in zip(args, positional):
+        params.setdefault(name, value)
+    if "target" not in params or "meta" not in params:
+        raise CompileError("transformapply requires target= and meta=")
+    return H.ParamBuiltinHop("transformapply", params)
+
+
+def _lineage(args, named):
+    if len(args) != 1:
+        raise CompileError("lineage() takes a single expression")
+    return H.ParamBuiltinHop(
+        "lineage", {"target": args[0]}, DataType.SCALAR, ValueType.STRING
+    )
+
+
+def _federated(args, named):
+    params = dict(named)
+    if "addresses" not in params or "ranges" not in params:
+        raise CompileError("federated requires addresses= and ranges=")
+    return H.ParamBuiltinHop("federated", params)
+
+
+def _paramserv(args, named):
+    if args:
+        raise CompileError("paramserv takes named arguments only")
+    return H.ParamBuiltinHop("paramserv", dict(named), DataType.LIST)
+
+
+def _list_builtin(args, named):
+    inputs = list(args) + list(named.values())
+    return H.NaryHop("list", inputs)
+
+
+_BUILTINS = {
+    # aggregates
+    "sum": _agg("sum", Direction.FULL),
+    "mean": _agg("mean", Direction.FULL),
+    "avg": _agg("mean", Direction.FULL),
+    "var": _agg("var", Direction.FULL),
+    "sd": _agg("sd", Direction.FULL),
+    "prod": _agg("prod", Direction.FULL),
+    "trace": _agg("trace", Direction.FULL),
+    "rowSums": _agg("sum", Direction.ROW),
+    "rowMeans": _agg("mean", Direction.ROW),
+    "rowMins": _agg("min", Direction.ROW),
+    "rowMaxs": _agg("max", Direction.ROW),
+    "rowVars": _agg("var", Direction.ROW),
+    "rowSds": _agg("sd", Direction.ROW),
+    "colSums": _agg("sum", Direction.COL),
+    "colMeans": _agg("mean", Direction.COL),
+    "colMins": _agg("min", Direction.COL),
+    "colMaxs": _agg("max", Direction.COL),
+    "colVars": _agg("var", Direction.COL),
+    "colSds": _agg("sd", Direction.COL),
+    "rowIndexMax": _agg("rowIndexMax", Direction.ROW),
+    "rowIndexMin": _agg("rowIndexMin", Direction.ROW),
+    "cumsum": _agg("cumsum", Direction.COL),
+    "cumprod": _agg("cumprod", Direction.COL),
+    "cummin": _agg("cummin", Direction.COL),
+    "cummax": _agg("cummax", Direction.COL),
+    "min": _minmax("min"),
+    "max": _minmax("max"),
+    # elementwise unaries
+    "exp": _unary("exp"),
+    "log": _log,
+    "sqrt": _unary("sqrt"),
+    "abs": _unary("abs"),
+    "round": _unary("round"),
+    "floor": _unary("floor"),
+    "ceil": _unary("ceil"),
+    "ceiling": _unary("ceil"),
+    "sign": _unary("sign"),
+    "sin": _unary("sin"),
+    "cos": _unary("cos"),
+    "tan": _unary("tan"),
+    "asin": _unary("asin"),
+    "acos": _unary("acos"),
+    "atan": _unary("atan"),
+    "sinh": _unary("sinh"),
+    "cosh": _unary("cosh"),
+    "tanh": _unary("tanh"),
+    "sigmoid": _unary("sigmoid"),
+    "is.nan": _unary("isnan"),
+    "isNaN": _unary("isnan"),
+    "xor": lambda args, named: H.BinaryHop("xor", *_require(args, named, 2, 2, "xor")),
+    # metadata
+    "nrow": _nrow_like("nrow"),
+    "ncol": _nrow_like("ncol"),
+    "length": _nrow_like("length"),
+    # casts
+    "as.scalar": _cast("cast_as_scalar", DataType.SCALAR),
+    "as.matrix": _cast("cast_as_matrix", DataType.MATRIX),
+    "as.double": _cast("cast_as_double", DataType.SCALAR, ValueType.FP64),
+    "as.integer": _cast("cast_as_integer", DataType.SCALAR, ValueType.INT64),
+    "as.logical": _cast("cast_as_boolean", DataType.SCALAR, ValueType.BOOLEAN),
+    "as.frame": _cast("cast_as_frame", DataType.FRAME),
+    "toString": _tostring,
+    # linear algebra
+    "t": _reorg("t", 1),
+    "rev": _reorg("rev", 1),
+    "diag": _reorg("rdiag", 1),
+    "solve": lambda args, named: H.BinaryHop("solve", *_require(args, named, 2, 2, "solve")),
+    "inv": _unary("inv"),
+    "cholesky": _unary("cholesky"),
+    # data generation
+    "read": _read,
+    "rand": _rand,
+    "matrix": _matrix,
+    "seq": _seq,
+    "sample": _sample,
+    # reorganisation & data ops
+    "cbind": _nary("cbind"),
+    "rbind": _nary("rbind"),
+    "append": _nary("cbind"),
+    "table": _table,
+    "ifelse": _ifelse,
+    "outer": _outer,
+    "order": _order,
+    "sort": _order,
+    "removeEmpty": _param_builtin("removeEmpty", ["target", "margin", "select"]),
+    "replace": _param_builtin("replace", ["target", "pattern", "replacement"]),
+    "quantile": _quantile,
+    "median": _median,
+    "lowertri": _param_builtin("lowertri", ["target", "diag", "values"]),
+    "uppertri": _param_builtin("uppertri", ["target", "diag", "values"]),
+    # lifecycle / systems builtins
+    "time": _time,
+    "transformapply": _transformapply,
+    "detectSchema": _param_builtin("detectSchema", ["target"]),
+    "federated": _federated,
+    "paramserv": _paramserv,
+    "list": _list_builtin,
+    "nnz": _nrow_like("nnz"),
+    "eval": _eval,
+    "lineage": _lineage,
+}
+
+
+def builtin_names() -> frozenset:
+    """Names handled directly by the HOP builder (not DML-bodied)."""
+    return frozenset(_BUILTINS) | frozenset(MULTI_RETURN_BUILTINS) | frozenset(
+        {"print", "stop", "assert", "write"}
+    )

@@ -1,0 +1,133 @@
+"""Matrix-multiplication chain ordering (paper Figure 3, "operator ordering").
+
+SystemML/SystemDS reorder chains of matrix multiplies ``A %*% B %*% C ...``
+with the classic dynamic-programming algorithm once dimensions are known:
+the parse tree's left-deep order can be arbitrarily worse than the optimal
+parenthesisation (e.g. ``(X %*% y') %*% v`` at O(n^2 m) vs
+``X %*% (y' %*% v)`` at O(n m)).
+
+This is a dynamic rewrite: it runs after size propagation, only reorders
+chains whose dimensions are fully known, and skips chain members that feed
+other consumers (their intermediate result is needed anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler import hops as H
+
+
+def _consumer_counts(roots: Sequence[H.Hop]) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for hop in H.topological_order(roots):
+        for child in hop.inputs:
+            counts[child.hop_id] = counts.get(child.hop_id, 0) + 1
+    return counts
+
+
+def _collect_chain(root: H.AggBinaryHop, counts: Dict[int, int]) -> List[H.Hop]:
+    """The operand sequence of the maximal matmult chain rooted at ``root``.
+
+    A child matmult joins the chain only when ``root`` is its sole consumer
+    (otherwise its intermediate is materialised regardless) and its
+    dimensions are known.
+    """
+    operands: List[H.Hop] = []
+
+    def expand(hop: H.Hop) -> None:
+        if (
+            isinstance(hop, H.AggBinaryHop)
+            and hop.physical is None
+            and counts.get(hop.hop_id, 0) <= 1
+            and hop.dims_known
+        ):
+            expand(hop.inputs[0])
+            expand(hop.inputs[1])
+        else:
+            operands.append(hop)
+
+    expand(root.inputs[0])
+    expand(root.inputs[1])
+    return operands
+
+
+def _optimal_split(dims: List[int]) -> Tuple[float, List[List[int]]]:
+    """Classic O(n^3) matrix-chain DP; returns (cost, split table)."""
+    n = len(dims) - 1
+    cost = [[0.0] * n for __ in range(n)]
+    split = [[0] * n for __ in range(n)]
+    for length in range(2, n + 1):
+        for i in range(n - length + 1):
+            j = i + length - 1
+            cost[i][j] = float("inf")
+            for k in range(i, j):
+                candidate = (
+                    cost[i][k]
+                    + cost[k + 1][j]
+                    + dims[i] * dims[k + 1] * dims[j + 1]
+                )
+                if candidate < cost[i][j]:
+                    cost[i][j] = candidate
+                    split[i][j] = k
+    return cost[0][n - 1], split
+
+
+def _current_cost(root: H.Hop, counts: Dict[int, int]) -> float:
+    """Scalar-multiplication cost of the chain as currently parenthesised."""
+    if not (
+        isinstance(root, H.AggBinaryHop)
+        and root.physical is None
+        and root.dims_known
+    ):
+        return 0.0
+    left, right = root.inputs
+
+    def member(hop: H.Hop) -> bool:
+        return (
+            isinstance(hop, H.AggBinaryHop)
+            and hop.physical is None
+            and counts.get(hop.hop_id, 0) <= 1
+            and hop.dims_known
+        )
+
+    total = float(left.rows * left.cols * right.cols)
+    if member(left):
+        total += _current_cost(left, counts)
+    if member(right):
+        total += _current_cost(right, counts)
+    return total
+
+
+def _build(operands: List[H.Hop], split, i: int, j: int) -> H.Hop:
+    if i == j:
+        return operands[i]
+    k = split[i][j]
+    left = _build(operands, split, i, k)
+    right = _build(operands, split, k + 1, j)
+    hop = H.AggBinaryHop(left, right)
+    hop.set_dims(left.rows, right.cols, -1)
+    return hop
+
+
+def optimize_matmult_chains(roots: Sequence[H.Hop]) -> List[H.Hop]:
+    """Reorder beneficial matmult chains in place; returns the roots."""
+    counts = _consumer_counts(roots)
+    for hop in H.topological_order(roots):
+        if not isinstance(hop, H.AggBinaryHop) or hop.physical is not None:
+            continue
+        # only the top of a chain: a parent matmult would re-collect it
+        operands = _collect_chain(hop, counts)
+        if len(operands) < 3:
+            continue
+        if any(not op.dims_known for op in operands):
+            continue
+        dims = [operands[0].rows] + [op.cols for op in operands]
+        optimal_cost, split = _optimal_split(dims)
+        if optimal_cost >= _current_cost(hop, counts) * 0.999999:
+            # rebuild only when the DP strictly improves on the current tree
+            continue
+        best = _build(operands, split, 0, len(operands) - 1)
+        hop.inputs = list(best.inputs)
+        hop.set_dims(best.rows, best.cols, -1)
+    return list(roots)

@@ -1,0 +1,383 @@
+"""High-level operators (HOPs): the logical algebra of the compiler.
+
+A HOP DAG represents all statements of one basic statement block.  Nodes
+carry propagated output statistics (dims, nnz) and a worst-case memory
+estimate; both drive rewrites and physical operator selection.  Unknown
+statistics are encoded as ``-1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.types import DataType, Direction, ValueType
+
+_HOP_IDS = itertools.count(1)
+
+
+class Hop:
+    """Base high-level operator."""
+
+    def __init__(
+        self,
+        op: str,
+        inputs: Sequence["Hop"] = (),
+        data_type: DataType = DataType.MATRIX,
+        value_type: ValueType = ValueType.FP64,
+    ):
+        self.hop_id = next(_HOP_IDS)
+        self.op = op
+        self.inputs: List[Hop] = list(inputs)
+        self.data_type = data_type
+        self.value_type = value_type
+        self.rows: int = -1
+        self.cols: int = -1
+        self.nnz: int = -1
+        self.mem_estimate: float = -1.0
+        self.exec_type = None  # set by the LOP phase
+        #: physical operator refinement (e.g. "tsmm" for a fused matmult)
+        self.physical: Optional[str] = None
+
+    # --- statistics -------------------------------------------------------------
+
+    @property
+    def dims_known(self) -> bool:
+        return self.rows >= 0 and self.cols >= 0
+
+    @property
+    def nnz_known(self) -> bool:
+        return self.nnz >= 0
+
+    @property
+    def sparsity(self) -> float:
+        if not self.dims_known or not self.nnz_known or self.rows * self.cols == 0:
+            return 1.0
+        return self.nnz / (self.rows * self.cols)
+
+    def set_dims(self, rows: int, cols: int, nnz: int = -1) -> None:
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.nnz = int(nnz)
+
+    def copy_stats_from(self, other: "Hop") -> None:
+        self.rows, self.cols, self.nnz = other.rows, other.cols, other.nnz
+
+    # --- structural helpers --------------------------------------------------------
+
+    def replace_input(self, old: "Hop", new: "Hop") -> None:
+        self.inputs = [new if child is old else child for child in self.inputs]
+
+    def semantic_key(self) -> Tuple:
+        """Key for common-subexpression elimination (op + params + input ids)."""
+        return (type(self).__name__, self.op, self._param_key(), tuple(h.hop_id for h in self.inputs))
+
+    def _param_key(self) -> Tuple:
+        return ()
+
+    def is_matrix(self) -> bool:
+        return self.data_type in (DataType.MATRIX, DataType.TENSOR)
+
+    def is_scalar(self) -> bool:
+        return self.data_type == DataType.SCALAR
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dims = f"[{self.rows}x{self.cols},nnz={self.nnz}]" if self.dims_known else "[?]"
+        return f"{type(self).__name__}#{self.hop_id}({self.op}){dims}"
+
+
+class LiteralHop(Hop):
+    """A scalar literal."""
+
+    def __init__(self, value):
+        if isinstance(value, bool):
+            vt = ValueType.BOOLEAN
+        elif isinstance(value, int):
+            vt = ValueType.INT64
+        elif isinstance(value, float):
+            vt = ValueType.FP64
+        elif isinstance(value, str):
+            vt = ValueType.STRING
+        else:
+            raise TypeError(f"unsupported literal: {type(value).__name__}")
+        super().__init__("literal", (), DataType.SCALAR, vt)
+        self.value = value
+        self.set_dims(0, 0, 0)
+
+    def _param_key(self) -> Tuple:
+        return (repr(self.value),)
+
+
+class DataHop(Hop):
+    """Data access: persistent/transient reads and writes.
+
+    kinds: ``pread`` (read from file), ``pwrite`` (write to file),
+    ``tread`` (transient read of a live variable), ``twrite`` (transient
+    write making a DAG result visible as a variable).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        inputs: Sequence[Hop] = (),
+        data_type: DataType = DataType.MATRIX,
+        value_type: ValueType = ValueType.FP64,
+        params: Optional[Dict[str, Hop]] = None,
+    ):
+        super().__init__(kind, inputs, data_type, value_type)
+        self.name = name
+        self.params = dict(params or {})
+
+    def _param_key(self) -> Tuple:
+        # reads of the same variable are shareable; writes never merge
+        if self.op in ("tread", "pread"):
+            return (self.op, self.name)
+        return (self.op, self.name, self.hop_id)
+
+
+class DataGenHop(Hop):
+    """Data generators: rand, seq, sample, and scalar fill (``matrix(v, r, c)``)."""
+
+    def __init__(self, method: str, params: Dict[str, Hop]):
+        super().__init__(f"datagen_{method}", list(params.values()), DataType.MATRIX, ValueType.FP64)
+        self.method = method
+        self.param_names = list(params.keys())
+
+    @property
+    def params(self) -> Dict[str, Hop]:
+        return dict(zip(self.param_names, self.inputs))
+
+    def _param_key(self) -> Tuple:
+        if self.method in ("rand", "sample") and not self._deterministic():
+            # unseeded generators are non-deterministic: never CSE-merge
+            return (self.method, self.hop_id)
+        return (self.method, tuple(self.param_names))
+
+    def _deterministic(self) -> bool:
+        seed = self.params.get("seed")
+        return (
+            isinstance(seed, LiteralHop)
+            and isinstance(seed.value, (int, float))
+            and seed.value >= 0
+        )
+
+
+class BinaryHop(Hop):
+    """Elementwise binary operation (matrix/matrix, matrix/scalar, scalar/scalar)."""
+
+    def __init__(self, op: str, left: Hop, right: Hop):
+        if left.is_scalar() and right.is_scalar():
+            dt = DataType.SCALAR
+        else:
+            dt = DataType.MATRIX
+        super().__init__(op, (left, right), dt, ValueType.FP64)
+
+
+class UnaryHop(Hop):
+    """Elementwise unary operation, cast, or metadata op (nrow/ncol/length)."""
+
+    _SCALAR_OUT = frozenset({"nrow", "ncol", "length", "cast_as_scalar", "cast_as_boolean",
+                             "cast_as_integer", "cast_as_double", "cast_as_string", "exists"})
+
+    def __init__(self, op: str, operand: Hop):
+        if op in self._SCALAR_OUT or operand.is_scalar():
+            dt = DataType.SCALAR
+        else:
+            dt = DataType.MATRIX
+        super().__init__(op, (operand,), dt, ValueType.FP64)
+
+
+class AggUnaryHop(Hop):
+    """Full or partial aggregation (sum/mean/min/max/var/sd/trace/cum*)."""
+
+    def __init__(self, op: str, operand: Hop, direction: Direction):
+        dt = DataType.SCALAR if direction == Direction.FULL and not op.startswith("cum") else DataType.MATRIX
+        super().__init__(op, (operand,), dt, ValueType.FP64)
+        self.direction = direction
+
+    def _param_key(self) -> Tuple:
+        return (self.direction.value,)
+
+
+class AggBinaryHop(Hop):
+    """Matrix multiplication; ``physical`` refines to tsmm/tmm at LOP time."""
+
+    def __init__(self, left: Hop, right: Hop):
+        super().__init__("mm", (left, right), DataType.MATRIX, ValueType.FP64)
+
+
+class ReorgHop(Hop):
+    """Reorganisation: transpose (t), rev, diag, sort, reshape."""
+
+    def __init__(self, op: str, inputs: Sequence[Hop], params: Optional[Dict[str, Hop]] = None):
+        super().__init__(op, inputs, DataType.MATRIX, ValueType.FP64)
+        self.params = dict(params or {})
+
+    def _param_key(self) -> Tuple:
+        return tuple(sorted((k, v.hop_id) for k, v in self.params.items()))
+
+
+class IndexingHop(Hop):
+    """Right indexing with 1-based inclusive bound inputs (rl, ru, cl, cu)."""
+
+    def __init__(self, source: Hop, bounds: Sequence[Hop]):
+        super().__init__("rix", [source, *bounds], DataType.MATRIX, ValueType.FP64)
+
+    @property
+    def source(self) -> Hop:
+        return self.inputs[0]
+
+    @property
+    def bounds(self) -> List[Hop]:
+        return self.inputs[1:]
+
+
+class LeftIndexingHop(Hop):
+    """Left indexing ``X[rl:ru, cl:cu] = Y`` producing a new version of X."""
+
+    def __init__(self, target: Hop, source: Hop, bounds: Sequence[Hop]):
+        super().__init__("lix", [target, source, *bounds], DataType.MATRIX, ValueType.FP64)
+
+    @property
+    def target(self) -> Hop:
+        return self.inputs[0]
+
+    @property
+    def source(self) -> Hop:
+        return self.inputs[1]
+
+    @property
+    def bounds(self) -> List[Hop]:
+        return self.inputs[2:]
+
+
+class TernaryHop(Hop):
+    """Three-input operations: ifelse, table, +* / -* fused ternaries."""
+
+    def __init__(self, op: str, inputs: Sequence[Hop]):
+        super().__init__(op, inputs, DataType.MATRIX, ValueType.FP64)
+
+
+class NaryHop(Hop):
+    """N-ary operations: cbind, rbind, nary min/max, list construction."""
+
+    def __init__(self, op: str, inputs: Sequence[Hop]):
+        dt = DataType.LIST if op == "list" else DataType.MATRIX
+        super().__init__(op, inputs, dt, ValueType.FP64)
+
+
+class ParamBuiltinHop(Hop):
+    """Parameterised builtin with named arguments (removeEmpty, order, ...)."""
+
+    def __init__(
+        self,
+        op: str,
+        params: Dict[str, Hop],
+        data_type: DataType = DataType.MATRIX,
+        value_type: ValueType = ValueType.FP64,
+    ):
+        super().__init__(op, list(params.values()), data_type, value_type)
+        self.param_names = list(params.keys())
+
+    @property
+    def params(self) -> Dict[str, Hop]:
+        return dict(zip(self.param_names, self.inputs))
+
+    def _param_key(self) -> Tuple:
+        return tuple(self.param_names)
+
+
+class FunctionCallHop(Hop):
+    """Call of a (non-inlined) DML-bodied function with multiple outputs."""
+
+    def __init__(self, func_name: str, args: Sequence[Hop], arg_names: Sequence[Optional[str]],
+                 output_names: Sequence[str]):
+        super().__init__("fcall", args, DataType.UNKNOWN, ValueType.UNKNOWN)
+        self.func_name = func_name
+        self.arg_names = list(arg_names)
+        self.output_names = list(output_names)
+
+    def _param_key(self) -> Tuple:
+        # function calls are never merged by CSE (side effects, multi-output)
+        return (self.func_name, self.hop_id)
+
+
+class MultiReturnBuiltinHop(Hop):
+    """A builtin with multiple outputs (eigen, svd, qr, transformencode)."""
+
+    def __init__(self, op: str, inputs: Sequence[Hop], n_outputs: int):
+        super().__init__(op, inputs, DataType.UNKNOWN, ValueType.UNKNOWN)
+        self.n_outputs = n_outputs
+
+    def _param_key(self) -> Tuple:
+        return (self.n_outputs, self.hop_id)  # never CSE-merged
+
+
+class FuncOutHop(Hop):
+    """Projection of one output of a multi-output hop (fcall or builtin)."""
+
+    def __init__(self, parent: Hop, index: int,
+                 data_type: DataType = DataType.MATRIX,
+                 value_type: ValueType = ValueType.FP64):
+        super().__init__("fout", (parent,), data_type, value_type)
+        self.index = index
+
+    def _param_key(self) -> Tuple:
+        return (self.index,)
+
+
+# ---------------------------------------------------------------------------
+# DAG utilities
+# ---------------------------------------------------------------------------
+
+
+def topological_order(roots: Sequence[Hop]) -> List[Hop]:
+    """Inputs-before-consumers ordering of all HOPs reachable from ``roots``."""
+    visited = {}
+    order: List[Hop] = []
+
+    def visit(hop: Hop) -> None:
+        state = visited.get(hop.hop_id)
+        if state == 2:
+            return
+        if state == 1:
+            raise ValueError("cycle in HOP DAG")
+        visited[hop.hop_id] = 1
+        for child in hop.inputs:
+            visit(child)
+        visited[hop.hop_id] = 2
+        order.append(hop)
+
+    for root in roots:
+        visit(root)
+    return order
+
+
+def clone_dag(roots: Sequence[Hop], stop_at=None) -> Tuple[List[Hop], Dict[int, Hop]]:
+    """Deep-copy a DAG preserving sharing; returns (new roots, old-id -> new).
+
+    ``stop_at`` is an optional predicate; matching nodes are shared, not
+    cloned (used to keep literals shared during recompilation).
+    """
+    memo: Dict[int, Hop] = {}
+
+    def visit(hop: Hop) -> Hop:
+        cached = memo.get(hop.hop_id)
+        if cached is not None:
+            return cached
+        if stop_at is not None and stop_at(hop):
+            memo[hop.hop_id] = hop
+            return hop
+        clone = object.__new__(type(hop))
+        clone.__dict__ = dict(hop.__dict__)
+        clone.hop_id = next(_HOP_IDS)
+        clone.inputs = [visit(child) for child in hop.inputs]
+        if isinstance(hop, ReorgHop):
+            clone.params = {k: memo[v.hop_id] if v.hop_id in memo else visit(v)
+                            for k, v in hop.params.items()}
+        memo[hop.hop_id] = clone
+        return clone
+
+    new_roots = [visit(root) for root in roots]
+    return new_roots, memo

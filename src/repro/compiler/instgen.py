@@ -1,0 +1,298 @@
+"""Instruction generation: lowering HOP DAGs to runtime instructions.
+
+Hops are emitted in topological order following ``effective_inputs`` (so
+fused matmults skip transpose materialisation).  Every non-literal hop gets
+a temp operand ``_t<hop id>``; transient writes copy temps into variable
+names.  Operator backends are selected per hop from the memory estimate:
+estimates above the configured budget produce distributed (Spark-like)
+instructions, everything else local CP instructions (paper section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.compiler import hops as H
+from repro.compiler.rewrites import effective_inputs
+from repro.config import ReproConfig
+from repro.errors import CompileError
+from repro.runtime.instructions import cp
+from repro.runtime.instructions.base import Instruction, Operand
+from repro.types import ExecType
+
+#: Opcodes with a distributed implementation (see runtime/instructions/spark.py).
+_SPARK_BINARY = frozenset({"+", "-", "*", "/", "^", "min", "max", "<", "<=", ">", ">=", "==", "!="})
+_SPARK_AGG = frozenset({"sum", "mean", "min", "max"})
+_SPARK_REORG = frozenset({"t"})
+
+
+class InstructionGenerator:
+    """Generates the instruction sequence for one DAG."""
+
+    def __init__(self, config: ReproConfig):
+        self.config = config
+        self.instructions: List[Instruction] = []
+        self._operands: Dict[int, Operand] = {}
+        #: entry-value snapshots for variables that are both read and
+        #: overwritten in this DAG (avoids write-after-read hazards between
+        #: transient writes and by-name transient reads)
+        self._snapshots: Dict[str, Operand] = {}
+        #: cell-fusion regions by root hop id (filled by generate())
+        self._fusion: Dict[int, object] = {}
+
+    # --- public -------------------------------------------------------------
+
+    def generate(self, roots) -> List[Instruction]:
+        if self.config.enable_codegen:
+            from repro.compiler.codegen import plan_cell_fusion
+
+            self._fusion = plan_cell_fusion(roots)
+        else:
+            self._fusion = {}
+        self._emit_snapshots(roots)
+        for root in roots:
+            self.operand(root)
+        return self.instructions
+
+    def _emit_snapshots(self, roots) -> None:
+        written = set()
+        read = set()
+        for hop in H.topological_order(roots):
+            if isinstance(hop, H.DataHop):
+                if hop.op == "twrite":
+                    written.add(hop.name)
+                elif hop.op == "tread":
+                    read.add(hop.name)
+        for name in sorted(read & written):
+            snapshot = f"_tin_{name}"
+            self.instructions.append(
+                cp.AssignVarInstruction(Operand.var(name), snapshot)
+            )
+            self._snapshots[name] = Operand.var(snapshot)
+
+    def operand(self, hop: H.Hop) -> Operand:
+        """The operand holding the result of ``hop``, emitting it if needed."""
+        cached = self._operands.get(hop.hop_id)
+        if cached is not None:
+            return cached
+        operand = self._emit(hop)
+        self._operands[hop.hop_id] = operand
+        return operand
+
+    # --- helpers -------------------------------------------------------------------
+
+    def _temp(self, hop: H.Hop) -> str:
+        return f"_t{hop.hop_id}"
+
+    def _use_spark(self, hop: H.Hop) -> bool:
+        # unknown sizes stay CP: dynamic recompilation re-selects operators
+        # once the live statistics are known (paper section 2.3(3))
+        if hop.mem_estimate < 0 or hop.mem_estimate == float("inf"):
+            return False
+        return hop.mem_estimate > self.config.operator_memory_budget
+
+    def _spark(self, hop: H.Hop, kind: str, *args) -> Optional[Operand]:
+        """Emit a distributed instruction when selected; None otherwise."""
+        if not self._use_spark(hop):
+            return None
+        from repro.runtime.instructions import spark
+
+        instruction = spark.create(kind, *args)
+        if instruction is None:
+            return None
+        hop.exec_type = ExecType.SPARK
+        self.instructions.append(instruction)
+        return Operand.var(instruction.output)
+
+    # --- emission per hop type -------------------------------------------------------
+
+    def _emit(self, hop: H.Hop) -> Operand:
+        if isinstance(hop, H.LiteralHop):
+            return Operand.lit(hop.value)
+        if isinstance(hop, H.DataHop):
+            return self._emit_data(hop)
+        if isinstance(hop, H.FuncOutHop):
+            parent = hop.inputs[0]
+            self.operand(parent)  # ensure the call is emitted
+            return Operand.var(f"_t{parent.hop_id}_o{hop.index}")
+        if isinstance(hop, H.FunctionCallHop):
+            return self._emit_fcall(hop)
+        if isinstance(hop, H.MultiReturnBuiltinHop):
+            return self._emit_multireturn(hop)
+        if isinstance(hop, H.DataGenHop):
+            return self._emit_datagen(hop)
+        if isinstance(hop, H.AggBinaryHop):
+            return self._emit_matmult(hop)
+        region = self._fusion.get(hop.hop_id)
+        if region is not None:
+            operands = [self.operand(leaf) for leaf in region.leaves]
+            out = self._temp(hop)
+            hop.exec_type = ExecType.CP
+            self.instructions.append(cp.FusedCellInstruction(region, operands, out))
+            return Operand.var(out)
+        if isinstance(hop, H.BinaryHop):
+            left = self.operand(hop.inputs[0])
+            right = self.operand(hop.inputs[1])
+            out = self._temp(hop)
+            spark_op = None
+            if hop.op in _SPARK_BINARY and hop.is_matrix():
+                spark_op = self._spark(hop, "binary", hop.op, left, right, out)
+            if spark_op is not None:
+                return spark_op
+            hop.exec_type = ExecType.CP
+            self.instructions.append(cp.BinaryInstruction(hop.op, left, right, out))
+            return Operand.var(out)
+        if isinstance(hop, H.AggUnaryHop):
+            operand = self.operand(hop.inputs[0])
+            out = self._temp(hop)
+            if hop.op in _SPARK_AGG:
+                spark_op = self._spark(hop, "agg", hop.op, hop.direction, operand, out)
+                if spark_op is not None:
+                    return spark_op
+            hop.exec_type = ExecType.CP
+            self.instructions.append(
+                cp.AggregateUnaryInstruction(hop.op, hop.direction, operand, out)
+            )
+            return Operand.var(out)
+        if isinstance(hop, H.UnaryHop):
+            return self._emit_unary(hop)
+        if isinstance(hop, H.ReorgHop):
+            operands = [self.operand(child) for child in hop.inputs]
+            out = self._temp(hop)
+            if hop.op in _SPARK_REORG:
+                spark_op = self._spark(hop, "reorg", hop.op, operands[0], out)
+                if spark_op is not None:
+                    return spark_op
+            hop.exec_type = ExecType.CP
+            self.instructions.append(cp.ReorgInstruction(hop.op, operands, out))
+            return Operand.var(out)
+        if isinstance(hop, H.IndexingHop):
+            operands = [self.operand(child) for child in hop.inputs]
+            out = self._temp(hop)
+            self.instructions.append(cp.IndexingInstruction(operands, out))
+            return Operand.var(out)
+        if isinstance(hop, H.LeftIndexingHop):
+            operands = [self.operand(child) for child in hop.inputs]
+            out = self._temp(hop)
+            self.instructions.append(cp.LeftIndexingInstruction(operands, out))
+            return Operand.var(out)
+        if isinstance(hop, H.TernaryHop):
+            operands = [self.operand(child) for child in hop.inputs]
+            out = self._temp(hop)
+            self.instructions.append(cp.TernaryInstruction(hop.op, operands, out))
+            return Operand.var(out)
+        if isinstance(hop, H.NaryHop):
+            operands = [self.operand(child) for child in hop.inputs]
+            out = self._temp(hop)
+            self.instructions.append(cp.NaryInstruction(hop.op, operands, out))
+            return Operand.var(out)
+        if isinstance(hop, H.ParamBuiltinHop):
+            params = {
+                name: self.operand(child)
+                for name, child in zip(hop.param_names, hop.inputs)
+            }
+            out = self._temp(hop)
+            self.instructions.append(cp.ParamBuiltinInstruction(hop.op, params, out))
+            return Operand.var(out)
+        raise CompileError(f"no lowering for hop {hop!r}")
+
+    def _emit_data(self, hop: H.DataHop) -> Operand:
+        if hop.op == "tread":
+            snapshot = self._snapshots.get(hop.name)
+            if snapshot is not None:
+                return snapshot
+            return Operand.var(hop.name)
+        if hop.op == "twrite":
+            source = self.operand(hop.inputs[0])
+            self.instructions.append(cp.AssignVarInstruction(source, hop.name))
+            return Operand.var(hop.name)
+        if hop.op == "pread":
+            operands = [self.operand(hop.inputs[0])]
+            names = list(hop.params.keys())
+            operands += [self.operand(child) for child in hop.params.values()]
+            out = self._temp(hop)
+            self.instructions.append(
+                cp.ReadInstruction(operands, out, {"names": names})
+            )
+            return Operand.var(out)
+        if hop.op == "pwrite":
+            operands = [self.operand(hop.inputs[0]), self.operand(hop.inputs[1])]
+            names = list(hop.params.keys())
+            operands += [self.operand(child) for child in hop.params.values()]
+            self.instructions.append(cp.WriteInstruction(operands, {"names": names}))
+            return Operand.lit(True)
+        raise CompileError(f"unknown data op {hop.op!r}")
+
+    def _emit_unary(self, hop: H.UnaryHop) -> Operand:
+        operand = self.operand(hop.inputs[0])
+        if hop.op == "print":
+            self.instructions.append(cp.PrintInstruction(operand))
+            return Operand.lit(True)
+        if hop.op == "stop":
+            self.instructions.append(cp.StopInstruction(operand))
+            return Operand.lit(True)
+        if hop.op == "assert":
+            self.instructions.append(cp.AssertInstruction(operand))
+            return Operand.lit(True)
+        if hop.op == "discard":
+            self.instructions.append(cp.DiscardInstruction(operand))
+            return Operand.lit(True)
+        out = self._temp(hop)
+        hop.exec_type = ExecType.CP
+        self.instructions.append(cp.UnaryInstruction(hop.op, operand, out))
+        return Operand.var(out)
+
+    def _emit_datagen(self, hop: H.DataGenHop) -> Operand:
+        params = {
+            name: self.operand(child)
+            for name, child in zip(hop.param_names, hop.inputs)
+        }
+        out = self._temp(hop)
+        if hop.method == "rand":
+            spark_op = self._spark(hop, "rand", params, out)
+            if spark_op is not None:
+                return spark_op
+        hop.exec_type = ExecType.CP
+        self.instructions.append(cp.DataGenInstruction(hop.method, params, out))
+        return Operand.var(out)
+
+    def _emit_matmult(self, hop: H.AggBinaryHop) -> Operand:
+        inputs = effective_inputs(hop)
+        operands = [self.operand(child) for child in inputs]
+        out = self._temp(hop)
+        physical = hop.physical or "mm"
+        spark_op = self._spark(hop, "matmult", physical, operands, out,
+                               [(h.rows, h.cols) for h in inputs])
+        if spark_op is not None:
+            return spark_op
+        hop.exec_type = ExecType.CP
+        self.instructions.append(cp.MatMultInstruction(physical, operands, out))
+        return Operand.var(out)
+
+    def _emit_fcall(self, hop: H.FunctionCallHop) -> Operand:
+        operands = [self.operand(child) for child in hop.inputs]
+        outputs = [f"_t{hop.hop_id}_o{i}" for i in range(len(hop.output_names))]
+        self.instructions.append(
+            cp.FunctionCallInstruction(hop.func_name, operands, hop.arg_names, outputs)
+        )
+        return Operand.lit(True)
+
+    def _emit_multireturn(self, hop: H.MultiReturnBuiltinHop) -> Operand:
+        operands = [self.operand(child) for child in hop.inputs]
+        outputs = [f"_t{hop.hop_id}_o{i}" for i in range(hop.n_outputs)]
+        self.instructions.append(
+            cp.MultiReturnBuiltinInstruction(hop.op, operands, outputs)
+        )
+        return Operand.lit(True)
+
+
+def generate_instructions(roots, config: ReproConfig) -> List[Instruction]:
+    """Lower one DAG (given by its roots) to a linear instruction sequence."""
+    return InstructionGenerator(config).generate(roots)
+
+
+def generate_predicate(root, config: ReproConfig):
+    """Lower a predicate DAG; returns (instructions, result operand)."""
+    generator = InstructionGenerator(config)
+    operand = generator.operand(root)
+    return generator.instructions, operand

@@ -1,0 +1,222 @@
+"""Inter-procedural analysis: dead-function elimination and inlining.
+
+Two AST-level IPA passes run before block building (paper sections 2.2/2.3):
+
+* **dead-function elimination** — functions unreachable from the main script
+  are dropped, so DML-bodied builtin libraries don't bloat compilation;
+* **function inlining** — small, straight-line, non-recursive functions are
+  spliced into their call sites (with renamed locals), which exposes their
+  bodies to the caller's DAG rewrites and size propagation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Set
+
+from repro.lang import ast
+
+_INLINE_IDS = itertools.count(1)
+
+#: Bodies longer than this are not inlined.
+INLINE_MAX_STATEMENTS = 8
+
+
+def collect_called_functions(statements: List[ast.Statement]) -> Set[str]:
+    """Names of all functions called anywhere below the given statements."""
+    names: Set[str] = set()
+    stack = list(statements)
+    while stack:
+        statement = stack.pop()
+        for expr in ast.walk_expressions(statement):
+            if isinstance(expr, ast.Call):
+                names.add(expr.name)
+        for attr in ("then_body", "else_body", "body"):
+            stack.extend(getattr(statement, attr, []))
+    return names
+
+
+def collect_string_references(statements: List[ast.Statement]) -> Set[str]:
+    """String literals that may name functions (second-order builtins like
+    ``paramserv(upd="gradients", ...)`` or ``gridSearch`` reference functions
+    by name)."""
+    names: Set[str] = set()
+    stack = list(statements)
+    while stack:
+        statement = stack.pop()
+        for expr in ast.walk_expressions(statement):
+            if isinstance(expr, ast.StringLiteral):
+                names.add(expr.value)
+        for attr in ("then_body", "else_body", "body"):
+            stack.extend(getattr(statement, attr, []))
+    return names
+
+
+def eliminate_dead_functions(
+    statements: List[ast.Statement], functions: Dict[str, ast.FunctionDef]
+) -> Dict[str, ast.FunctionDef]:
+    """Keep only functions reachable from the main statements."""
+    reachable: Set[str] = set()
+    frontier = (
+        collect_called_functions(statements) | collect_string_references(statements)
+    ) & set(functions)
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        body = functions[name].body
+        called = (
+            collect_called_functions(body) | collect_string_references(body)
+        ) & set(functions)
+        frontier |= called - reachable
+    return {name: functions[name] for name in reachable}
+
+
+def _is_inlinable(func: ast.FunctionDef, functions: Dict[str, ast.FunctionDef]) -> bool:
+    if len(func.body) > INLINE_MAX_STATEMENTS:
+        return False
+    for statement in func.body:
+        if isinstance(statement, (ast.If, ast.While, ast.For, ast.ParFor)):
+            return False
+        if isinstance(statement, ast.MultiAssign):
+            return False
+    if func.name in collect_called_functions(func.body):
+        return False  # recursive
+    return True
+
+
+def _rename_expr(expr: ast.Expr, mapping: Dict[str, str]) -> ast.Expr:
+    if isinstance(expr, ast.Identifier):
+        return dataclasses.replace(expr, name=mapping.get(expr.name, expr.name))
+    if isinstance(expr, ast.BinaryExpr):
+        return dataclasses.replace(
+            expr,
+            left=_rename_expr(expr.left, mapping),
+            right=_rename_expr(expr.right, mapping),
+        )
+    if isinstance(expr, ast.UnaryExpr):
+        return dataclasses.replace(expr, operand=_rename_expr(expr.operand, mapping))
+    if isinstance(expr, ast.Call):
+        return dataclasses.replace(
+            expr,
+            args=[_rename_expr(a, mapping) for a in expr.args],
+            named_args={k: _rename_expr(v, mapping) for k, v in expr.named_args.items()},
+        )
+    if isinstance(expr, ast.IndexExpr):
+        return dataclasses.replace(
+            expr,
+            target=_rename_expr(expr.target, mapping),
+            ranges=[_rename_range(r, mapping) for r in expr.ranges],
+        )
+    return expr
+
+
+def _rename_range(rng: ast.IndexRange, mapping: Dict[str, str]) -> ast.IndexRange:
+    return dataclasses.replace(
+        rng,
+        lower=_rename_expr(rng.lower, mapping) if rng.lower is not None else None,
+        upper=_rename_expr(rng.upper, mapping) if rng.upper is not None else None,
+    )
+
+
+def _rename_statement(statement: ast.Statement, mapping: Dict[str, str]) -> ast.Statement:
+    if isinstance(statement, ast.Assign):
+        return dataclasses.replace(
+            statement,
+            target=mapping.get(statement.target, statement.target),
+            value=_rename_expr(statement.value, mapping),
+        )
+    if isinstance(statement, ast.IndexedAssign):
+        return dataclasses.replace(
+            statement,
+            target=mapping.get(statement.target, statement.target),
+            ranges=[_rename_range(r, mapping) for r in statement.ranges],
+            value=_rename_expr(statement.value, mapping),
+        )
+    if isinstance(statement, ast.ExprStatement):
+        return dataclasses.replace(statement, value=_rename_expr(statement.value, mapping))
+    raise TypeError(f"cannot rename {type(statement).__name__}")
+
+
+def _local_names(func: ast.FunctionDef) -> Set[str]:
+    names = {p.name for p in func.params} | {r.name for r in func.returns}
+    for statement in func.body:
+        names |= ast.written_variables(statement)
+        names |= ast.read_variables(statement)
+    return names
+
+
+def _inline_call(call: ast.Call, func: ast.FunctionDef, target: str) -> List[ast.Statement]:
+    """Splice ``target = func(call args)`` into renamed body statements."""
+    prefix = f"__inl{next(_INLINE_IDS)}_"
+    mapping = {name: prefix + name for name in _local_names(func)}
+    statements: List[ast.Statement] = []
+    # bind arguments
+    bound: Set[str] = set()
+    for param, arg in zip(func.params, call.args):
+        statements.append(ast.Assign(target=mapping[param.name], value=arg))
+        bound.add(param.name)
+    for name, arg in call.named_args.items():
+        if name not in mapping:
+            raise KeyError(f"{func.name} has no parameter {name!r}")
+        statements.append(ast.Assign(target=mapping[name], value=arg))
+        bound.add(name)
+    for param in func.params:
+        if param.name not in bound:
+            if param.default is None:
+                raise KeyError(f"{func.name}: missing argument {param.name!r}")
+            statements.append(ast.Assign(target=mapping[param.name], value=param.default))
+    # body
+    statements += [_rename_statement(s, mapping) for s in func.body]
+    # result
+    ret = func.returns[0]
+    statements.append(
+        ast.Assign(target=target, value=ast.Identifier(name=mapping[ret.name]))
+    )
+    return statements
+
+
+def inline_functions(
+    statements: List[ast.Statement], functions: Dict[str, ast.FunctionDef]
+) -> List[ast.Statement]:
+    """Inline eligible calls of the form ``x = f(...)`` (recursively in bodies)."""
+    inlinable = {
+        name: func
+        for name, func in functions.items()
+        if len(func.returns) == 1 and _is_inlinable(func, functions)
+    }
+
+    def process(stmts: List[ast.Statement]) -> List[ast.Statement]:
+        result: List[ast.Statement] = []
+        for statement in stmts:
+            if (
+                isinstance(statement, ast.Assign)
+                and not statement.accumulate
+                and isinstance(statement.value, ast.Call)
+                and statement.value.name in inlinable
+            ):
+                func = inlinable[statement.value.name]
+                try:
+                    result.extend(_inline_call(statement.value, func, statement.target))
+                    continue
+                except KeyError:
+                    pass  # malformed call: leave it for normal compilation errors
+            for attr in ("then_body", "else_body", "body"):
+                if hasattr(statement, attr):
+                    setattr(statement, attr, process(getattr(statement, attr)))
+            result.append(statement)
+        return result
+
+    return process(statements)
+
+
+def run_ipa(program: ast.Program, functions: Dict[str, ast.FunctionDef],
+            enable_inlining: bool = True) -> Dict[str, ast.FunctionDef]:
+    """Full IPA pass over a program; mutates bodies, returns live functions."""
+    if enable_inlining:
+        program.statements = inline_functions(program.statements, functions)
+        for func in functions.values():
+            func.body = inline_functions(func.body, functions)
+    return eliminate_dead_functions(program.statements, functions)

@@ -1,0 +1,102 @@
+"""Dynamic recompilation of basic blocks (paper section 2.3(3)).
+
+Blocks whose HOP DAGs had unknown sizes at compile time are recompiled
+right before execution against the statistics of the live symbol table —
+SystemDS' counterpart to adaptive query processing.  Recompilation rebuilds
+the block's DAG from its statements (so it is thread-safe for parfor
+workers), applies dynamic rewrites with the now-known sizes, and regenerates
+the instruction sequence with fresh operator selections.
+
+Because the generated plan depends only on the *statistics* of the read
+variables (data type, dims, nnz), recompiled instruction sequences are
+cached per (block, statistics signature): a loop whose inputs keep their
+shapes pays for recompilation once, not per iteration.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, List, Tuple
+
+from repro.compiler.blocks import BasicBlock
+from repro.compiler.builder import DagBuilder
+from repro.compiler.instgen import generate_instructions
+from repro.compiler.rewrites import apply_dynamic_rewrites, apply_rewrites
+from repro.compiler.sizes import VarStats, propagate_dag
+from repro.runtime.data import (
+    FrameObject,
+    ListObject,
+    MatrixObject,
+    ScalarObject,
+)
+from repro.types import DataType
+
+_CACHE_LOCK = threading.Lock()
+_PLAN_CACHE: "weakref.WeakKeyDictionary[BasicBlock, Dict[Tuple, List]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Per-block cap on cached plans (loops over wildly varying shapes).
+_MAX_PLANS_PER_BLOCK = 32
+
+
+def stats_from_symbol_table(ctx) -> Dict[str, VarStats]:
+    """Exact statistics of all live variables of one execution context."""
+    stats: Dict[str, VarStats] = {}
+    for name, value in ctx.variables.items():
+        if isinstance(value, ScalarObject):
+            stats[name] = VarStats.scalar(value.value_type)
+        elif isinstance(value, MatrixObject):
+            stats[name] = VarStats(
+                value.data_type, value.value_type,
+                value.num_rows, value.num_cols, value.nnz,
+            )
+        elif isinstance(value, FrameObject):
+            stats[name] = VarStats(
+                DataType.FRAME, value.frame.schema[0] if value.frame.schema else None,
+                value.num_rows, value.num_cols, -1,
+            )
+        elif isinstance(value, ListObject):
+            stats[name] = VarStats(DataType.LIST, None, len(value), 1, -1)
+    return stats
+
+
+def _stats_signature(block: BasicBlock, stats: Dict[str, VarStats]) -> Tuple:
+    """A hashable key over the statistics the recompiled plan depends on."""
+    parts = []
+    for name in sorted(block.reads()):
+        entry = stats.get(name)
+        if entry is None:
+            parts.append((name, None))
+        else:
+            parts.append(
+                (name, entry.data_type.value, entry.value_type.value
+                 if entry.value_type else None, entry.rows, entry.cols, entry.nnz)
+            )
+    return tuple(parts)
+
+
+def recompile_basic_block(block: BasicBlock, ctx) -> List:
+    """Instructions for one basic block given live statistics (plan-cached)."""
+    config = ctx.config
+    stats = stats_from_symbol_table(ctx)
+    signature = (_stats_signature(block, stats), id(config))
+    with _CACHE_LOCK:
+        plans = _PLAN_CACHE.get(block)
+        if plans is not None:
+            cached = plans.get(signature)
+            if cached is not None:
+                return cached
+    builder = DagBuilder(ctx.program.ast_functions)
+    roots = builder.build_roots(block.statements, block.live_out)
+    roots = apply_rewrites(roots, config)
+    propagate_dag(roots, stats)
+    roots = apply_dynamic_rewrites(roots, config)
+    propagate_dag(roots, stats)
+    instructions = generate_instructions(roots, config)
+    with _CACHE_LOCK:
+        plans = _PLAN_CACHE.setdefault(block, {})
+        if len(plans) < _MAX_PLANS_PER_BLOCK:
+            plans[signature] = instructions
+    return instructions

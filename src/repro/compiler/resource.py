@@ -1,0 +1,179 @@
+"""What-if resource optimisation (paper section 3.4, "Cloud and Auto Scaling").
+
+The paper argues that the stateless design plus size inference "enable
+automatic resource optimization [29] in cloud environments": because the
+compiler can estimate every operator's memory footprint *before* running,
+it can compile the same script against candidate machine configurations and
+pick the cheapest one whose plan is acceptable.
+
+``optimize_resources`` does exactly that: for each candidate (memory
+budget, price), it compiles the script, sums a cost proxy over the selected
+operators (local operators are cheap; distributed operators pay a fixed
+dispatch/shuffle penalty plus a data-volume term), and returns the
+candidate minimising estimated money cost (time proxy x price).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler import hops as H
+from repro.compiler.blocks import BasicBlock, ForBlock, IfBlock, WhileBlock
+from repro.compiler.compile import compile_script
+from repro.compiler.sizes import VarStats, output_memory
+from repro.config import ReproConfig
+from repro.types import ExecType
+
+#: Relative cost of dispatching one distributed operator (scheduling,
+#: serialisation, shuffle) compared to one local operator.
+SPARK_DISPATCH_PENALTY = 8.0
+
+#: Cost per gigabyte of operator output (memory bandwidth proxy).
+COST_PER_GB = 1.0
+
+#: Assumed iterations for loops whose trip count is unknown at compile time.
+DEFAULT_LOOP_ITERATIONS = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateResource:
+    """One machine configuration to evaluate."""
+
+    name: str
+    memory_budget: int
+    price_per_hour: float
+
+
+@dataclasses.dataclass
+class ResourceEstimate:
+    """Compile-time estimates for one candidate."""
+
+    candidate: CandidateResource
+    cp_operators: int
+    spark_operators: int
+    time_proxy: float
+    money_proxy: float
+
+
+@dataclasses.dataclass
+class ResourcePlan:
+    chosen: CandidateResource
+    estimates: List[ResourceEstimate]
+
+    def explain(self) -> str:
+        lines = [f"{'candidate':>12} {'memory':>10} {'cp':>6} {'spark':>6}"
+                 f" {'time~':>10} {'money~':>10}"]
+        for estimate in self.estimates:
+            marker = " *" if estimate.candidate is self.chosen else ""
+            lines.append(
+                f"{estimate.candidate.name:>12}"
+                f" {estimate.candidate.memory_budget // (1024**2):>9}M"
+                f" {estimate.cp_operators:>6} {estimate.spark_operators:>6}"
+                f" {estimate.time_proxy:>10.2f} {estimate.money_proxy:>10.2f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def _dag_cost(roots) -> Dict[str, float]:
+    cp_ops = 0
+    spark_ops = 0
+    time_proxy = 0.0
+    for hop in H.topological_order(roots):
+        if isinstance(hop, (H.LiteralHop,)):
+            continue
+        if isinstance(hop, H.DataHop) and hop.op in ("tread", "twrite"):
+            continue
+        volume = output_memory(hop)
+        if volume == float("inf"):
+            volume = 0.0  # unknown sizes contribute the dispatch cost only
+        gigabytes = volume / (1024**3)
+        if hop.exec_type == ExecType.SPARK:
+            spark_ops += 1
+            time_proxy += SPARK_DISPATCH_PENALTY + gigabytes * COST_PER_GB * 2
+        else:
+            cp_ops += 1
+            time_proxy += 1.0 + gigabytes * COST_PER_GB
+    return {"cp": cp_ops, "spark": spark_ops, "time": time_proxy}
+
+
+def _blocks_cost(blocks) -> Dict[str, float]:
+    total = {"cp": 0, "spark": 0, "time": 0.0}
+
+    def accumulate(cost, factor=1.0):
+        total["cp"] += cost["cp"] * factor
+        total["spark"] += cost["spark"] * factor
+        total["time"] += cost["time"] * factor
+
+    for block in blocks:
+        if isinstance(block, BasicBlock):
+            accumulate(_dag_cost(block.hop_roots))
+        elif isinstance(block, IfBlock):
+            then_cost = _blocks_cost(block.then_blocks)
+            else_cost = _blocks_cost(block.else_blocks)
+            # expected cost: average of the branches
+            for key in total:
+                total[key] += (then_cost[key] + else_cost[key]) / 2
+        elif isinstance(block, (WhileBlock, ForBlock)):
+            body = _blocks_cost(block.body)
+            accumulate(body, DEFAULT_LOOP_ITERATIONS)
+    return total
+
+
+def _all_written_variables(script: str) -> List[str]:
+    """Top-level assignment targets: kept live so nothing is DCE'd away."""
+    from repro.lang import ast
+    from repro.lang.parser import parse
+
+    names = set()
+    stack = list(parse(script).statements)
+    while stack:
+        statement = stack.pop()
+        names |= ast.written_variables(statement)
+        for attr in ("then_body", "else_body", "body"):
+            stack.extend(getattr(statement, attr, []))
+    return sorted(names)
+
+
+def estimate_for_candidate(
+    script: str,
+    candidate: CandidateResource,
+    input_stats: Optional[Dict[str, VarStats]] = None,
+    base_config: Optional[ReproConfig] = None,
+) -> ResourceEstimate:
+    """Compile under one candidate's budget and estimate its cost."""
+    base = base_config or ReproConfig()
+    config = base.copy(memory_budget=candidate.memory_budget)
+    program = compile_script(
+        script, config, dict(input_stats or {}), outputs=_all_written_variables(script)
+    )
+    cost = _blocks_cost(program.blocks)
+    for func in program.functions.values():
+        function_cost = _blocks_cost(func.blocks)
+        for key in cost:
+            cost[key] += function_cost[key]
+    money = cost["time"] * candidate.price_per_hour
+    return ResourceEstimate(
+        candidate=candidate,
+        cp_operators=int(cost["cp"]),
+        spark_operators=int(cost["spark"]),
+        time_proxy=cost["time"],
+        money_proxy=money,
+    )
+
+
+def optimize_resources(
+    script: str,
+    candidates: Sequence[CandidateResource],
+    input_stats: Optional[Dict[str, VarStats]] = None,
+    base_config: Optional[ReproConfig] = None,
+) -> ResourcePlan:
+    """Pick the candidate minimising estimated money cost for one script."""
+    if not candidates:
+        raise ValueError("at least one candidate resource required")
+    estimates = [
+        estimate_for_candidate(script, candidate, input_stats, base_config)
+        for candidate in candidates
+    ]
+    chosen = min(estimates, key=lambda e: (e.money_proxy, e.candidate.memory_budget))
+    return ResourcePlan(chosen=chosen.candidate, estimates=estimates)

@@ -1,0 +1,240 @@
+"""Static and dynamic HOP rewrites (paper sections 2.2, 2.3, 3.4).
+
+Implemented rewrite classes:
+
+* constant folding of scalar expressions;
+* algebraic simplifications (``X*1``, ``X+0``, ``t(t(X))``, ...);
+* metadata folding: ``nrow(X)``/``ncol(X)`` become literals once sizes are
+  known (this is what lets the compiler collapse ``lm``'s branch in the
+  paper's Example 1);
+* common-subexpression elimination over the DAG;
+* fusion annotation: ``t(X) %*% X`` -> TSMM and ``t(X) %*% Y`` -> fused
+  transpose-matmult, avoiding transpose materialisation.
+
+All rewrites operate in place on a DAG given as a list of root hops and
+return the (possibly replaced) roots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.compiler import hops as H
+from repro.config import ReproConfig
+from repro.types import DataType
+
+_FOLDABLE_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else None,
+    "^": lambda a, b: a ** b,
+    "%%": lambda a, b: a % b if b != 0 else None,
+    "%/%": lambda a, b: a // b if b != 0 else None,
+    "min": min,
+    "max": max,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "&": lambda a, b: bool(a) and bool(b),
+    "|": lambda a, b: bool(a) or bool(b),
+}
+
+_FOLDABLE_UNARY = {
+    "uminus": lambda a: -a,
+    "!": lambda a: not bool(a),
+    "abs": abs,
+    "sqrt": lambda a: math.sqrt(a) if a >= 0 else None,
+    "exp": math.exp,
+    "log": lambda a: math.log(a) if a > 0 else None,
+    "floor": lambda a: float(math.floor(a)),
+    "ceil": lambda a: float(math.ceil(a)),
+    "round": lambda a: float(round(a)),
+    "cast_as_double": float,
+    "cast_as_integer": lambda a: int(a),
+    "cast_as_boolean": bool,
+}
+
+
+def apply_rewrites(roots: Sequence[H.Hop], config: ReproConfig) -> List[H.Hop]:
+    """One full static rewrite round: fold, simplify, CSE, fusion."""
+    roots = list(roots)
+    if config.enable_rewrites:
+        roots = rewrite_dag(roots, _fold_constant)
+        roots = rewrite_dag(roots, _simplify_algebraic)
+    if config.enable_cse:
+        roots = eliminate_cse(roots)
+    if config.enable_fusion:
+        annotate_fusion(roots)
+    return roots
+
+
+def apply_dynamic_rewrites(roots: Sequence[H.Hop], config: ReproConfig) -> List[H.Hop]:
+    """Rewrites valid only once sizes are known (after size propagation)."""
+    roots = list(roots)
+    if config.enable_rewrites:
+        roots = rewrite_dag(roots, _fold_metadata)
+        roots = rewrite_dag(roots, _fold_constant)
+        roots = rewrite_dag(roots, _simplify_algebraic)
+        from repro.compiler.chains import optimize_matmult_chains
+
+        roots = optimize_matmult_chains(roots)
+    if config.enable_cse:
+        roots = eliminate_cse(roots)
+    if config.enable_fusion:
+        annotate_fusion(roots)
+    return roots
+
+
+def rewrite_dag(roots: Sequence[H.Hop], rule) -> List[H.Hop]:
+    """Apply one bottom-up rewrite rule to every node of the DAG."""
+    replacement: Dict[int, H.Hop] = {}
+    for hop in H.topological_order(roots):
+        hop.inputs = [replacement.get(child.hop_id, child) for child in hop.inputs]
+        new_hop = rule(hop)
+        if new_hop is not hop:
+            if new_hop.rows < 0 and hop.rows >= 0:
+                new_hop.copy_stats_from(hop)
+            replacement[hop.hop_id] = new_hop
+    return [replacement.get(root.hop_id, root) for root in roots]
+
+
+# ---------------------------------------------------------------------------
+# individual rules
+# ---------------------------------------------------------------------------
+
+
+def _fold_constant(hop: H.Hop) -> H.Hop:
+    if isinstance(hop, H.BinaryHop) and hop.op in _FOLDABLE_BINARY:
+        left, right = hop.inputs
+        if isinstance(left, H.LiteralHop) and isinstance(right, H.LiteralHop):
+            if isinstance(left.value, str) or isinstance(right.value, str):
+                if hop.op == "+":
+                    return H.LiteralHop(str(left.value) + str(right.value))
+                return hop
+            result = _FOLDABLE_BINARY[hop.op](left.value, right.value)
+            if result is not None:
+                return H.LiteralHop(result)
+    elif isinstance(hop, H.UnaryHop) and hop.op in _FOLDABLE_UNARY:
+        operand = hop.inputs[0]
+        if isinstance(operand, H.LiteralHop) and not isinstance(operand.value, str):
+            result = _FOLDABLE_UNARY[hop.op](operand.value)
+            if result is not None:
+                return H.LiteralHop(result)
+    return hop
+
+
+def _is_literal(hop: H.Hop, value) -> bool:
+    return isinstance(hop, H.LiteralHop) and not isinstance(hop.value, (str, bool)) and hop.value == value
+
+
+def _simplify_algebraic(hop: H.Hop) -> H.Hop:
+    if isinstance(hop, H.BinaryHop):
+        left, right = hop.inputs
+        op = hop.op
+        # X * 1, 1 * X, X / 1, X ^ 1
+        if op in ("*",) and _is_literal(right, 1):
+            return left
+        if op == "*" and _is_literal(left, 1):
+            return right
+        if op in ("/", "^") and _is_literal(right, 1):
+            return left
+        # X + 0, 0 + X, X - 0
+        if op == "+" and _is_literal(right, 0):
+            return left
+        if op == "+" and _is_literal(left, 0):
+            return right
+        if op == "-" and _is_literal(right, 0):
+            return left
+    elif isinstance(hop, H.UnaryHop):
+        operand = hop.inputs[0]
+        # -(-X)
+        if hop.op == "uminus" and isinstance(operand, H.UnaryHop) and operand.op == "uminus":
+            return operand.inputs[0]
+        # !(!X)
+        if hop.op == "!" and isinstance(operand, H.UnaryHop) and operand.op == "!":
+            return operand.inputs[0]
+    elif isinstance(hop, H.ReorgHop) and hop.op == "t":
+        operand = hop.inputs[0]
+        # t(t(X))
+        if isinstance(operand, H.ReorgHop) and operand.op == "t":
+            return operand.inputs[0]
+    elif isinstance(hop, H.AggUnaryHop) and hop.op in ("sum", "min", "max", "mean"):
+        operand = hop.inputs[0]
+        # sum(t(X)) -> sum(X) for full aggregates
+        from repro.types import Direction
+
+        if hop.direction == Direction.FULL and isinstance(operand, H.ReorgHop) and operand.op == "t":
+            return H.AggUnaryHop(hop.op, operand.inputs[0], hop.direction)
+    return hop
+
+
+def _fold_metadata(hop: H.Hop) -> H.Hop:
+    """nrow/ncol/length over a hop with known dims become literals."""
+    if isinstance(hop, H.UnaryHop) and hop.op in ("nrow", "ncol", "length"):
+        source = hop.inputs[0]
+        if source.dims_known:
+            if hop.op == "nrow":
+                return H.LiteralHop(int(source.rows))
+            if hop.op == "ncol":
+                return H.LiteralHop(int(source.cols))
+            return H.LiteralHop(int(source.rows * max(source.cols, 1)))
+    return hop
+
+
+# ---------------------------------------------------------------------------
+# common-subexpression elimination
+# ---------------------------------------------------------------------------
+
+
+def eliminate_cse(roots: Sequence[H.Hop]) -> List[H.Hop]:
+    """Merge structurally identical subexpressions bottom-up."""
+    canonical: Dict[tuple, H.Hop] = {}
+    replacement: Dict[int, H.Hop] = {}
+    for hop in H.topological_order(roots):
+        hop.inputs = [replacement.get(child.hop_id, child) for child in hop.inputs]
+        key = hop.semantic_key()
+        existing = canonical.get(key)
+        if existing is not None and existing is not hop:
+            replacement[hop.hop_id] = existing
+        else:
+            canonical[key] = hop
+    return [replacement.get(root.hop_id, root) for root in roots]
+
+
+# ---------------------------------------------------------------------------
+# fusion annotation
+# ---------------------------------------------------------------------------
+
+
+def annotate_fusion(roots: Sequence[H.Hop]) -> None:
+    """Mark matmults whose left input is a transpose for fused execution.
+
+    ``t(X) %*% X`` becomes a TSMM, ``t(X) %*% Y`` a fused transpose-left
+    matmult.  The transpose node stays in the DAG (other consumers may need
+    it); instruction generation follows ``effective_inputs`` and skips it
+    when it has no remaining consumers.
+    """
+    for hop in H.topological_order(roots):
+        if not isinstance(hop, H.AggBinaryHop):
+            continue
+        left, right = hop.inputs
+        if isinstance(left, H.ReorgHop) and left.op == "t":
+            base = left.inputs[0]
+            if base is right:
+                hop.physical = "tsmm"
+            else:
+                hop.physical = "tmm"
+
+
+def effective_inputs(hop: H.Hop) -> List[H.Hop]:
+    """The inputs instruction generation actually consumes (after fusion)."""
+    if isinstance(hop, H.AggBinaryHop) and hop.physical == "tsmm":
+        return [hop.inputs[1]]
+    if isinstance(hop, H.AggBinaryHop) and hop.physical == "tmm":
+        return [hop.inputs[0].inputs[0], hop.inputs[1]]
+    return list(hop.inputs)

@@ -1,0 +1,131 @@
+"""Global configuration for compiler and runtime behaviour.
+
+A :class:`ReproConfig` plays the role of SystemDS' ``SystemDS-config.xml``
+plus the JVM heap settings: it fixes the memory budget that drives operator
+selection (CP vs. distributed), the degree of parallelism, block sizes for
+the distributed backend, and the feature flags used by the ablation
+benchmarks (rewrites, lineage, reuse).
+
+Configs are plain dataclasses; the active config travels with each
+execution context rather than being process-global, so tests can run
+different configurations concurrently.  ``default_config()`` returns the
+shared default instance used when none is supplied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+from typing import Optional
+
+
+@dataclasses.dataclass
+class ReproConfig:
+    """Tunable knobs of the compiler and runtime."""
+
+    # --- memory management -------------------------------------------------
+    #: Budget (bytes) for live in-memory data; drives CP vs. distributed
+    #: operator selection and buffer-pool eviction.  Defaults to 2 GiB.
+    memory_budget: int = 2 * 1024**3
+    #: Fraction of the budget a single operation may claim before the
+    #: compiler selects a distributed operator for it.
+    operator_memory_fraction: float = 0.7
+    #: Fraction of the budget managed by the buffer pool before eviction.
+    bufferpool_fraction: float = 0.5
+    #: Directory for buffer-pool spill files (created lazily).
+    spill_dir: Optional[str] = None
+
+    # --- parallelism --------------------------------------------------------
+    #: Degree of parallelism for multithreaded kernels, parfor, and the
+    #: distributed scheduler.  Defaults to the machine's CPU count.
+    parallelism: int = dataclasses.field(default_factory=lambda: os.cpu_count() or 4)
+    #: Number of partitions for the SimRDD backend (0 = use parallelism).
+    default_partitions: int = 0
+
+    # --- distributed blocking ----------------------------------------------
+    #: Side length of square matrix blocks (paper: 1024).  Tests shrink this.
+    block_size: int = 1024
+
+    # --- optimizer feature flags (ablations) ---------------------------------
+    enable_rewrites: bool = True
+    enable_cse: bool = True
+    enable_fusion: bool = True  # e.g. t(X)%*%X -> TSMM
+    enable_ipa: bool = True  # inter-procedural analysis + inlining
+    enable_recompile: bool = True
+    #: Cell-template operator fusion via code generation (paper section 3.4).
+    enable_codegen: bool = True
+
+    # --- lineage / reuse -----------------------------------------------------
+    enable_lineage: bool = False
+    enable_lineage_dedup: bool = True
+    #: Reuse policy: "none", "full", or "full_partial".
+    reuse_policy: str = "none"
+    #: Budget (bytes) of the lineage reuse cache.
+    reuse_cache_size: int = 512 * 1024**2
+
+    # --- kernels --------------------------------------------------------------
+    #: When False, dense matrix multiplies use the blocked pure-Python-driven
+    #: kernel that models SystemDS' Java matmult; when True they call the
+    #: native BLAS (NumPy dot), modelling SysDS-B in the paper.
+    native_blas: bool = True
+    #: Tile size of the cache-conscious non-BLAS matmult kernel.
+    matmult_tile: int = 64
+
+    # --- misc -------------------------------------------------------------------
+    #: Seed used for generated randomness when a script does not specify one.
+    random_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.memory_budget <= 0:
+            raise ValueError("memory_budget must be positive")
+        if not 0.0 < self.operator_memory_fraction <= 1.0:
+            raise ValueError("operator_memory_fraction must be in (0, 1]")
+        if not 0.0 < self.bufferpool_fraction <= 1.0:
+            raise ValueError("bufferpool_fraction must be in (0, 1]")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.reuse_policy not in ("none", "full", "full_partial"):
+            raise ValueError(f"unknown reuse policy: {self.reuse_policy!r}")
+
+    @property
+    def operator_memory_budget(self) -> int:
+        """Bytes a single operator may use before going distributed."""
+        return int(self.memory_budget * self.operator_memory_fraction)
+
+    @property
+    def bufferpool_budget(self) -> int:
+        """Bytes the buffer pool manages before evicting."""
+        return int(self.memory_budget * self.bufferpool_fraction)
+
+    @property
+    def reuse_enabled(self) -> bool:
+        return self.enable_lineage and self.reuse_policy != "none"
+
+    @property
+    def partial_reuse_enabled(self) -> bool:
+        return self.enable_lineage and self.reuse_policy == "full_partial"
+
+    def resolve_spill_dir(self) -> str:
+        """The spill directory, creating a temporary one on first use."""
+        if self.spill_dir is None:
+            self.spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+        os.makedirs(self.spill_dir, exist_ok=True)
+        return self.spill_dir
+
+    def copy(self, **overrides) -> "ReproConfig":
+        """A new config with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+
+_DEFAULT: Optional[ReproConfig] = None
+
+
+def default_config() -> ReproConfig:
+    """The process-wide default configuration (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ReproConfig()
+    return _DEFAULT

@@ -1,0 +1,15 @@
+"""Distributed backend: a Spark-like lazy RDD engine and blocked tensors.
+
+This package substitutes for Apache Spark (see DESIGN.md): SimRDD provides
+lazy, partitioned collections with narrow (map/filter) and wide
+(reduceByKey/join) transformations scheduled on a thread pool, with task and
+shuffle accounting.  ``BlockedTensor`` layers the paper's fixed-size tensor
+blocking (section 2.4) on top, and ``dist_ops`` implements the distributed
+matrix operations used by the Spark-like instruction set.
+"""
+
+from repro.distributed.rdd import SimRDD, SimSparkContext
+from repro.distributed.blocked import BlockedTensor, block_sizes_for
+from repro.distributed import ops as dist_ops
+
+__all__ = ["BlockedTensor", "SimRDD", "SimSparkContext", "block_sizes_for", "dist_ops"]

@@ -1,0 +1,330 @@
+"""Distributed matrix operations over blocked tensors.
+
+Implements the physical operators of the Spark-like instruction set:
+elementwise (block-aligned join), broadcast and cross-product matrix
+multiplies (mapmm / cpmm), fused TSMM, transpose (index swap + local
+transpose), aggregates (local partial aggregate + reduce), range indexing,
+and aligned cbind/rbind.  Fixed-size blocking keeps blocks aligned, which
+"simplifies join processing" exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.distributed.blocked import BlockedTensor
+from repro.tensor import BasicTensorBlock
+from repro.tensor import ops as local_ops
+from repro.types import Direction, ValueType
+
+
+def _require_aligned(a: BlockedTensor, b: BlockedTensor) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.block_sizes != b.block_sizes:
+        raise ValueError(f"blocking mismatch: {a.block_sizes} vs {b.block_sizes}")
+
+
+# ---------------------------------------------------------------------------
+# elementwise
+# ---------------------------------------------------------------------------
+
+
+def elementwise(op: str, a: BlockedTensor, b: BlockedTensor) -> BlockedTensor:
+    """Blockwise binary op via an index-aligned join."""
+    _require_aligned(a, b)
+    joined = a.rdd.join(b.rdd)
+    rdd = joined.map_values(lambda pair: local_ops.binary_op(op, pair[0], pair[1]))
+    return BlockedTensor(a.sctx, rdd, a.shape, a.block_sizes, a.value_type)
+
+
+def elementwise_scalar(op: str, a: BlockedTensor, scalar: float, scalar_left: bool = False) -> BlockedTensor:
+    rdd = a.rdd.map_values(
+        lambda tile: local_ops.binary_scalar(op, tile, scalar, scalar_left)
+    )
+    return BlockedTensor(a.sctx, rdd, a.shape, a.block_sizes, a.value_type)
+
+
+def unary(op: str, a: BlockedTensor) -> BlockedTensor:
+    rdd = a.rdd.map_values(lambda tile: local_ops.unary_op(op, tile))
+    return BlockedTensor(a.sctx, rdd, a.shape, a.block_sizes, a.value_type)
+
+
+# ---------------------------------------------------------------------------
+# matrix multiplication
+# ---------------------------------------------------------------------------
+
+
+def mapmm(a: BlockedTensor, b_local: BasicTensorBlock, native_blas: bool = True) -> BlockedTensor:
+    """Broadcast matrix multiply: distributed A times small local B."""
+    if a.ndim != 2 or b_local.ndim != 2:
+        raise ValueError("mapmm requires 2D operands")
+    if a.num_cols != b_local.num_rows:
+        raise ValueError(f"dimension mismatch: {a.shape} %*% {b_local.shape}")
+    col_block = a.block_sizes[1]
+    b_data = b_local.to_numpy()
+
+    def multiply(record):
+        (bi, bj), tile = record
+        k_lo = bj * col_block
+        k_hi = k_lo + tile.num_cols
+        piece = tile.to_numpy() @ b_data[k_lo:k_hi, :]
+        return ((bi, 0), BasicTensorBlock.from_numpy(piece))
+
+    partial = a.rdd.map(multiply)
+    summed = partial.reduce_by_key(lambda x, y: local_ops.binary_op("+", x, y))
+    shape = (a.num_rows, b_local.num_cols)
+    block_sizes = (a.block_sizes[0], max(b_local.num_cols, 1))
+    return BlockedTensor(a.sctx, summed, shape, block_sizes, a.value_type)
+
+
+def cpmm(a: BlockedTensor, b: BlockedTensor) -> BlockedTensor:
+    """Cross-product matrix multiply: join on the common dimension, then
+    aggregate partial products by output block index."""
+    if a.num_cols != b.num_rows:
+        raise ValueError(f"dimension mismatch: {a.shape} %*% {b.shape}")
+    if a.block_sizes[1] != b.block_sizes[0]:
+        raise ValueError("cpmm requires aligned common-dimension blocking")
+    left = a.rdd.map(lambda record: (record[0][1], (record[0][0], record[1])))
+    right = b.rdd.map(lambda record: (record[0][0], (record[0][1], record[1])))
+    joined = left.join(right)
+
+    def multiply(record):
+        __, ((bi, tile_a), (bj, tile_b)) = record
+        product = local_ops.matmult(tile_a, tile_b)
+        return ((bi, bj), product)
+
+    partial = joined.map(multiply)
+    summed = partial.reduce_by_key(lambda x, y: local_ops.binary_op("+", x, y))
+    shape = (a.num_rows, b.num_cols)
+    block_sizes = (a.block_sizes[0], b.block_sizes[1])
+    return BlockedTensor(a.sctx, summed, shape, block_sizes, a.value_type)
+
+
+def tsmm(a: BlockedTensor) -> BasicTensorBlock:
+    """Fused t(X) %*% X over a row-blocked matrix: sum of local TSMMs.
+
+    Requires the column dimension to fit one block (the common case for
+    tall-skinny feature matrices); the result is small and returned local.
+    """
+    if a.ndim != 2:
+        raise ValueError("tsmm requires a 2D operand")
+    if a.blocks_per_dim()[1] != 1:
+        full = collect_then(a)
+        return local_ops.tsmm(full)
+    partial = a.rdd.map(lambda record: ((0, 0), local_ops.tsmm(record[1])))
+    summed = partial.reduce_by_key(lambda x, y: local_ops.binary_op("+", x, y))
+    results = summed.collect()
+    return results[0][1]
+
+
+def tmm(a: BlockedTensor, b: BlockedTensor) -> BasicTensorBlock:
+    """Fused t(X) %*% Y for row-aligned X and Y; small local result."""
+    if a.block_sizes[0] != b.block_sizes[0]:
+        raise ValueError("tmm requires aligned row blocking")
+    if a.blocks_per_dim()[1] != 1 or b.blocks_per_dim()[1] != 1:
+        return local_ops.mapmm_transpose_left(collect_then(a), collect_then(b))
+    left = a.rdd.map(lambda record: (record[0][0], record[1]))
+    right = b.rdd.map(lambda record: (record[0][0], record[1]))
+    joined = left.join(right)
+    partial = joined.map(
+        lambda record: ((0, 0), local_ops.mapmm_transpose_left(record[1][0], record[1][1]))
+    )
+    summed = partial.reduce_by_key(lambda x, y: local_ops.binary_op("+", x, y))
+    return summed.collect()[0][1]
+
+
+def collect_then(a: BlockedTensor) -> BasicTensorBlock:
+    return a.collect_local()
+
+
+# ---------------------------------------------------------------------------
+# reorganisation
+# ---------------------------------------------------------------------------
+
+
+def transpose(a: BlockedTensor) -> BlockedTensor:
+    """Index swap plus local transpose — a purely local transformation."""
+    if a.ndim != 2:
+        raise ValueError("transpose requires a 2D operand")
+    rdd = a.rdd.map(
+        lambda record: ((record[0][1], record[0][0]), local_ops.transpose(record[1]))
+    )
+    shape = (a.shape[1], a.shape[0])
+    block_sizes = (a.block_sizes[1], a.block_sizes[0])
+    return BlockedTensor(a.sctx, rdd, shape, block_sizes, a.value_type, a.nnz)
+
+
+def right_index(a: BlockedTensor, rl: int, ru: int, cl: int, cu: int) -> BlockedTensor:
+    """Range indexing with 0-based half-open bounds: filter + slice + reindex."""
+    rb, cb = a.block_sizes
+
+    def overlaps(record) -> bool:
+        (bi, bj), tile = record
+        r0, c0 = bi * rb, bj * cb
+        return r0 < ru and r0 + tile.num_rows > rl and c0 < cu and c0 + tile.num_cols > cl
+
+    def slice_block(record):
+        (bi, bj), tile = record
+        r0, c0 = bi * rb, bj * cb
+        lo_r = max(rl - r0, 0)
+        hi_r = min(ru - r0, tile.num_rows)
+        lo_c = max(cl - c0, 0)
+        hi_c = min(cu - c0, tile.num_cols)
+        piece = local_ops.right_index(tile, [(lo_r, hi_r), (lo_c, hi_c)])
+        out_r = (r0 + lo_r) - rl
+        out_c = (c0 + lo_c) - cl
+        return ((out_r, out_c), piece)
+
+    pieces = a.rdd.filter(overlaps).map(slice_block)
+
+    # regroup pieces into the output blocking; the index shift can move a
+    # piece across output block boundaries, so split at each boundary
+    def rekey(record):
+        (out_r, out_c), piece = record
+        data = piece.to_numpy()
+        outputs = []
+        r = 0
+        while r < data.shape[0]:
+            abs_r = out_r + r
+            take_r = min(rb - abs_r % rb, data.shape[0] - r)
+            c = 0
+            while c < data.shape[1]:
+                abs_c = out_c + c
+                take_c = min(cb - abs_c % cb, data.shape[1] - c)
+                sub = data[r : r + take_r, c : c + take_c]
+                outputs.append(
+                    (
+                        (abs_r // rb, abs_c // cb),
+                        ((abs_r % rb, abs_c % cb), BasicTensorBlock.from_numpy(sub.copy())),
+                    )
+                )
+                c += take_c
+            r += take_r
+        return outputs
+
+    grouped = pieces.flat_map(rekey).group_by_key()
+    shape = (ru - rl, cu - cl)
+
+    def assemble(record):
+        (bi, bj), parts = record
+        extent_r = min(rb, shape[0] - bi * rb)
+        extent_c = min(cb, shape[1] - bj * cb)
+        out = np.zeros((extent_r, extent_c))
+        for (orr, occ), piece in parts:
+            data = piece.to_numpy()
+            out[orr : orr + data.shape[0], occ : occ + data.shape[1]] = data
+        return ((bi, bj), BasicTensorBlock.from_numpy(out))
+
+    rdd = grouped.map(assemble)
+    return BlockedTensor(a.sctx, rdd, shape, a.block_sizes, a.value_type)
+
+
+def cbind(a: BlockedTensor, b: BlockedTensor) -> BlockedTensor:
+    """Column concatenation (requires a's column count to be block-aligned)."""
+    if a.num_rows != b.num_rows:
+        raise ValueError("cbind requires equal row counts")
+    if a.block_sizes != b.block_sizes:
+        raise ValueError("cbind requires equal blocking")
+    if a.num_cols % a.block_sizes[1] != 0:
+        # misaligned: fall back through reblocked local concat
+        merged = local_ops.cbind([a.collect_local(), b.collect_local()])
+        return BlockedTensor.from_local(merged, a.sctx, a.block_sizes)
+    offset = a.num_cols // a.block_sizes[1]
+    shifted = b.rdd.map(lambda record: ((record[0][0], record[0][1] + offset), record[1]))
+    rdd = a.rdd.union(shifted)
+    shape = (a.num_rows, a.num_cols + b.num_cols)
+    return BlockedTensor(a.sctx, rdd, shape, a.block_sizes, a.value_type)
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+def aggregate_sum(a: BlockedTensor) -> float:
+    partials = a.rdd.map(lambda record: local_ops.aggregate("sum", record[1]))
+    return float(sum(partials.collect()))
+
+
+def aggregate(op: str, a: BlockedTensor, direction: Direction):
+    """Full/row/col aggregates via local partials + reduction."""
+    if direction == Direction.FULL:
+        if op == "sum":
+            return aggregate_sum(a)
+        if op == "mean":
+            cells = a.shape[0] * a.shape[1]
+            return aggregate_sum(a) / cells
+        if op in ("min", "max"):
+            partials = a.rdd.map(lambda record: local_ops.aggregate(op, record[1]))
+            values = partials.collect()
+            return float(min(values) if op == "min" else max(values))
+        raise ValueError(f"unsupported distributed aggregate {op!r}")
+    axis_block = 0 if direction == Direction.ROW else 1
+    inner = "sum" if op in ("sum", "mean") else op
+
+    def partial(record):
+        (bi, bj), tile = record
+        agg = local_ops.aggregate(inner, tile, direction)
+        key = bi if direction == Direction.ROW else bj
+        return (key, agg)
+
+    combine = "+" if inner == "sum" else inner
+    partials = a.rdd.map(partial).reduce_by_key(
+        lambda x, y: local_ops.binary_op(combine, x, y)
+    )
+    results = dict(partials.collect())
+    if direction == Direction.ROW:
+        out = np.zeros((a.num_rows, 1))
+        for bi, vec in results.items():
+            start = bi * a.block_sizes[0]
+            data = vec.to_numpy()
+            out[start : start + data.shape[0], :] = data
+    else:
+        out = np.zeros((1, a.num_cols))
+        for bj, vec in results.items():
+            start = bj * a.block_sizes[1]
+            data = vec.to_numpy()
+            out[:, start : start + data.shape[1]] = data
+    if op == "mean":
+        divisor = a.num_cols if direction == Direction.ROW else a.num_rows
+        out = out / divisor
+    return BasicTensorBlock.from_numpy(out)
+
+
+# ---------------------------------------------------------------------------
+# data generation
+# ---------------------------------------------------------------------------
+
+
+def rand(
+    sctx,
+    rows: int,
+    cols: int,
+    block_sizes: Tuple[int, int],
+    min_value: float = 0.0,
+    max_value: float = 1.0,
+    sparsity: float = 1.0,
+    seed: int = 7,
+) -> BlockedTensor:
+    """Distributed random matrix with deterministic per-block seeds."""
+    row_blocks = max(1, math.ceil(rows / block_sizes[0]))
+    col_blocks = max(1, math.ceil(cols / block_sizes[1]))
+    indexes = [(bi, bj) for bi in range(row_blocks) for bj in range(col_blocks)]
+
+    def generate(index):
+        bi, bj = index
+        extent_r = min(block_sizes[0], rows - bi * block_sizes[0])
+        extent_c = min(block_sizes[1], cols - bj * block_sizes[1])
+        block_seed = (seed * 1000003 + bi * 1009 + bj) % (2**31)
+        tile = BasicTensorBlock.rand(
+            (extent_r, extent_c), min_value, max_value, sparsity, seed=block_seed
+        )
+        return (index, tile)
+
+    rdd = sctx.parallelize(indexes).map(generate)
+    nnz = int(rows * cols * min(max(sparsity, 0.0), 1.0))
+    return BlockedTensor(sctx, rdd, (rows, cols), block_sizes, ValueType.FP64, nnz)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro SystemDS reproduction.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch everything from one root.  The split mirrors the phases of
+the system: language (parse), validation (semantic), compilation, and runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class DMLSyntaxError(ReproError):
+    """Raised by the lexer/parser on malformed DML input."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1):
+        self.line = line
+        self.column = column
+        location = f" (line {line}, col {column})" if line >= 0 else ""
+        super().__init__(f"{message}{location}")
+
+
+class ValidationError(ReproError):
+    """Raised during semantic validation of a parsed program."""
+
+
+class CompileError(ReproError):
+    """Raised when HOP/LOP compilation fails."""
+
+
+class RuntimeDMLError(ReproError):
+    """Raised while interpreting a compiled runtime program."""
+
+
+class DMLStopError(RuntimeDMLError):
+    """Raised by the DML ``stop()`` builtin; carries the user message."""
+
+
+class BufferPoolError(ReproError):
+    """Raised on buffer-pool protocol violations (double free, missing spill)."""
+
+
+class FederatedError(ReproError):
+    """Raised by the federated backend (unknown site, range overlap, ...)."""
+
+
+class PrivacyError(FederatedError):
+    """Raised when an operation would violate a federated exchange constraint."""
+
+
+class IOFormatError(ReproError):
+    """Raised on malformed persistent data or format descriptors."""

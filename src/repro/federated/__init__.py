@@ -1,0 +1,22 @@
+"""Federated ML backend (paper section 3.3).
+
+Multiple control programs, each holding local data: a master holds
+federated tensors — metadata objects mapping disjoint index ranges to
+(potentially remote) sites — and federated instructions push computation to
+the sites instead of moving raw data.  Sites enforce exchange (privacy)
+constraints and account every byte transferred, substituting explicit
+transfer metrics for network cost (see DESIGN.md).
+"""
+
+from repro.federated.site import FederatedSite, FederatedWorkerRegistry
+from repro.federated.tensor import FederatedRange, FederatedTensor
+from repro.federated.privacy import PrivacyConstraint, PrivacyLevel
+
+__all__ = [
+    "FederatedRange",
+    "FederatedSite",
+    "FederatedTensor",
+    "FederatedWorkerRegistry",
+    "PrivacyConstraint",
+    "PrivacyLevel",
+]

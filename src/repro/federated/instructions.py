@@ -1,0 +1,190 @@
+"""Federated operations: computation push-down to sites (paper section 3.3).
+
+Each operation ships the *small* side (or nothing) to the sites, runs the
+local part there, and either aggregates the small results at the master
+(tsmm, tmm, aggregates) or leaves the large results at the sites as a new
+federated tensor (matmult, elementwise) — "pushing as much computation to
+the individual sites as possible, while adhering to exchange constraints".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FederatedError
+from repro.federated.tensor import FederatedPartition, FederatedRange, FederatedTensor
+from repro.tensor import BasicTensorBlock
+from repro.tensor import ops as local_ops
+from repro.types import Direction
+
+_TMP_NAMES = itertools.count(1)
+
+
+def _require_row_partitioned(fed: FederatedTensor, op: str) -> None:
+    if not fed.is_row_partitioned:
+        raise FederatedError(f"{op} requires a row-partitioned federated tensor")
+
+
+def collect_federated(fed: FederatedTensor) -> BasicTensorBlock:
+    """Assemble the full tensor at the master (raw transfer, checked)."""
+    out = np.zeros(fed.shape, dtype=np.float64)
+    for part in fed.partitions:
+        block = part.site.fetch(part.tensor_name)
+        (r0, c0), (r1, c1) = part.range.begin, part.range.end
+        out[r0:r1, c0:c1] = block.to_numpy()
+    return BasicTensorBlock.from_numpy(out)
+
+
+def fed_tsmm(fed: FederatedTensor) -> BasicTensorBlock:
+    """t(X) %*% X over a row-federated X: sum of per-site local TSMMs.
+
+    Only k x k aggregates leave the sites — the federated counterpart of
+    the distributed TSMM.
+    """
+    _require_row_partitioned(fed, "federated tsmm")
+    total: Optional[np.ndarray] = None
+    for part in fed.partitions:
+        result = part.site.execute_and_return(
+            part.tensor_name,
+            local_ops.tsmm,
+            flops=2 * part.range.rows * fed.num_cols**2,
+        )
+        data = result.to_numpy()
+        total = data if total is None else total + data
+    return BasicTensorBlock.from_numpy(total)
+
+
+def fed_tmm(fed: FederatedTensor, y: BasicTensorBlock) -> BasicTensorBlock:
+    """t(X) %*% y: ship each site its y-slice, aggregate k x m results."""
+    _require_row_partitioned(fed, "federated tmm")
+    if y.num_rows != fed.num_rows:
+        raise FederatedError(f"dimension mismatch: {fed.shape} vs {y.shape}")
+    y_data = y.to_numpy()
+    total: Optional[np.ndarray] = None
+    for part in fed.partitions:
+        r0, r1 = part.range.begin[0], part.range.end[0]
+        y_slice = BasicTensorBlock.from_numpy(y_data[r0:r1].copy())
+        result = part.site.execute_and_return(
+            part.tensor_name,
+            lambda block, ys=y_slice: local_ops.mapmm_transpose_left(block, ys),
+            payload_bytes=y_slice.memory_size(),
+            flops=2 * part.range.rows * fed.num_cols * y.num_cols,
+        )
+        data = result.to_numpy()
+        total = data if total is None else total + data
+    return BasicTensorBlock.from_numpy(total)
+
+
+def fed_matmult(fed: FederatedTensor, right: BasicTensorBlock) -> FederatedTensor:
+    """X %*% B: broadcast B to the sites; per-site results stay federated."""
+    _require_row_partitioned(fed, "federated matmult")
+    if fed.num_cols != right.num_rows:
+        raise FederatedError(f"dimension mismatch: {fed.shape} %*% {right.shape}")
+    partitions = []
+    for part in fed.partitions:
+        out_name = f"_fedtmp{next(_TMP_NAMES)}"
+        result = part.site.execute_local(
+            part.tensor_name,
+            lambda block, b=right: local_ops.matmult(block, b),
+            payload_bytes=right.memory_size(),
+            flops=2 * part.range.rows * fed.num_cols * right.num_cols,
+        )
+        part.site.put(out_name, result, part.site.constraint(part.tensor_name))
+        r0, r1 = part.range.begin[0], part.range.end[0]
+        partitions.append(
+            FederatedPartition(
+                part.site, out_name,
+                FederatedRange((r0, 0), (r1, right.num_cols)),
+            )
+        )
+    return FederatedTensor(partitions)
+
+
+def fed_elementwise_scalar(op: str, fed: FederatedTensor, scalar: float,
+                           scalar_left: bool = False) -> FederatedTensor:
+    """Elementwise op with a scalar: pushed down, results stay at the sites."""
+    partitions = []
+    for part in fed.partitions:
+        out_name = f"_fedtmp{next(_TMP_NAMES)}"
+        result = part.site.execute_local(
+            part.tensor_name,
+            lambda block: local_ops.binary_scalar(op, block, scalar, scalar_left),
+            payload_bytes=8,
+        )
+        part.site.put(out_name, result, part.site.constraint(part.tensor_name))
+        partitions.append(FederatedPartition(part.site, out_name, part.range))
+    return FederatedTensor(partitions)
+
+
+def fed_binary_rowsliced(op: str, fed: FederatedTensor, other: BasicTensorBlock) -> FederatedTensor:
+    """Elementwise op with a local matrix, sliced per partition range."""
+    _require_row_partitioned(fed, f"federated {op}")
+    data = other.to_numpy()
+    broadcast_row = data.shape[0] == 1
+    partitions = []
+    for part in fed.partitions:
+        r0, r1 = part.range.begin[0], part.range.end[0]
+        piece = data if broadcast_row else data[r0:r1]
+        operand = BasicTensorBlock.from_numpy(np.ascontiguousarray(piece))
+        out_name = f"_fedtmp{next(_TMP_NAMES)}"
+        result = part.site.execute_local(
+            part.tensor_name,
+            lambda block, o=operand: local_ops.binary_op(op, block, o),
+            payload_bytes=operand.memory_size(),
+        )
+        part.site.put(out_name, result, part.site.constraint(part.tensor_name))
+        partitions.append(FederatedPartition(part.site, out_name, part.range))
+    return FederatedTensor(partitions)
+
+
+def fed_aggregate(op: str, fed: FederatedTensor, direction: Direction):
+    """sum/min/max/mean aggregates with per-site partials (aggregate-checked)."""
+    if direction == Direction.COL or direction == Direction.FULL:
+        _require_row_partitioned(fed, f"federated {op}")
+        partials = []
+        counts = []
+        for part in fed.partitions:
+            inner = "sum" if op == "mean" else op
+            result = part.site.execute_and_return(
+                part.tensor_name,
+                lambda block, o=inner, d=direction: _local_partial(o, block, d),
+            )
+            partials.append(result.to_numpy())
+            counts.append(part.range.rows)
+        stacked = np.vstack([np.atleast_2d(p) for p in partials])
+        if direction == Direction.FULL:
+            # per-site partials are scalar totals (or min/max)
+            if op == "sum":
+                return float(stacked.sum())
+            if op == "mean":
+                return float(stacked.sum()) / (fed.num_rows * fed.num_cols)
+            return float(stacked.min() if op == "min" else stacked.max())
+        if op in ("sum", "mean"):
+            combined = stacked.sum(axis=0, keepdims=True)
+            if op == "mean":
+                combined = combined / fed.num_rows
+        elif op == "min":
+            combined = stacked.min(axis=0, keepdims=True)
+        else:
+            combined = stacked.max(axis=0, keepdims=True)
+        return BasicTensorBlock.from_numpy(combined)
+    # row aggregates: per-site row vectors concatenate in range order
+    _require_row_partitioned(fed, f"federated {op}")
+    out = np.zeros((fed.num_rows, 1))
+    for part in fed.partitions:
+        result = part.site.execute_and_return(
+            part.tensor_name,
+            lambda block, o=op: local_ops.aggregate(o if o != "mean" else "mean", block, Direction.ROW),
+        )
+        r0, r1 = part.range.begin[0], part.range.end[0]
+        out[r0:r1] = result.to_numpy()
+    return BasicTensorBlock.from_numpy(out)
+
+
+def _local_partial(op: str, block: BasicTensorBlock, direction: Direction) -> BasicTensorBlock:
+    if direction == Direction.FULL:
+        return BasicTensorBlock.scalar(local_ops.aggregate(op, block))
+    return local_ops.aggregate(op, block, direction)

@@ -1,0 +1,45 @@
+"""Exchange constraints for federated data (paper section 3.3).
+
+Every tensor a site hosts carries a privacy level; federated instructions
+check the level before any response leaves the site:
+
+* ``PUBLIC`` — raw data may be shipped (no constraint);
+* ``PRIVATE_AGGREGATE`` — only aggregates whose output is much smaller than
+  the raw data may leave (local matmult results, sums, gradient updates);
+* ``PRIVATE`` — nothing derived from the data may leave; only model updates
+  computed *and consumed* locally are allowed (parameter-server style).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import PrivacyError
+
+
+class PrivacyLevel(enum.Enum):
+    PUBLIC = "public"
+    PRIVATE_AGGREGATE = "private_aggregate"
+    PRIVATE = "private"
+
+
+@dataclasses.dataclass(frozen=True)
+class PrivacyConstraint:
+    level: PrivacyLevel = PrivacyLevel.PUBLIC
+
+    def check_raw_transfer(self, what: str) -> None:
+        if self.level != PrivacyLevel.PUBLIC:
+            raise PrivacyError(
+                f"exchange constraint {self.level.value!r} forbids shipping raw data ({what})"
+            )
+
+    def check_aggregate_transfer(self, what: str) -> None:
+        if self.level == PrivacyLevel.PRIVATE:
+            raise PrivacyError(
+                f"exchange constraint 'private' forbids shipping derived data ({what})"
+            )
+
+    @classmethod
+    def parse(cls, name: str) -> "PrivacyConstraint":
+        return cls(PrivacyLevel(name))

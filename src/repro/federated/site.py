@@ -1,0 +1,171 @@
+"""Federated sites: worker control programs holding local data.
+
+A :class:`FederatedSite` models one federated worker — its own symbol
+table of hosted tensors, privacy constraints, and a small request protocol
+(get metadata, execute an operation locally, retrieve a result).  All
+communication goes through ``request``/``respond`` so bytes in/out are
+accounted per site; the :class:`FederatedWorkerRegistry` plays the role of
+the address book (host:port -> site).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.errors import FederatedError
+from repro.federated.privacy import PrivacyConstraint, PrivacyLevel
+from repro.tensor import BasicTensorBlock
+from repro.tensor import ops as local_ops
+
+
+class FederatedSite:
+    """One federated worker with local data and transfer accounting."""
+
+    def __init__(self, address: str):
+        self.address = address
+        self._data: Dict[str, BasicTensorBlock] = {}
+        self._constraints: Dict[str, PrivacyConstraint] = {}
+        self._lock = threading.RLock()
+        self.metrics = {
+            "requests": 0,
+            "bytes_received": 0,
+            "bytes_sent": 0,
+            "local_flops": 0,
+        }
+
+    # --- hosting -------------------------------------------------------------
+
+    def put(
+        self,
+        name: str,
+        block: BasicTensorBlock,
+        constraint: Optional[PrivacyConstraint] = None,
+    ) -> None:
+        with self._lock:
+            self._data[name] = block
+            self._constraints[name] = constraint or PrivacyConstraint()
+
+    def has(self, name: str) -> bool:
+        return name in self._data
+
+    def constraint(self, name: str) -> PrivacyConstraint:
+        entry = self._constraints.get(name)
+        if entry is None:
+            raise FederatedError(f"site {self.address}: unknown tensor {name!r}")
+        return entry
+
+    def metadata(self, name: str):
+        with self._lock:
+            block = self._require(name)
+            self.metrics["requests"] += 1
+            return {"shape": block.shape, "nnz": block.nnz}
+
+    def _require(self, name: str) -> BasicTensorBlock:
+        block = self._data.get(name)
+        if block is None:
+            raise FederatedError(f"site {self.address}: unknown tensor {name!r}")
+        return block
+
+    # --- request protocol ---------------------------------------------------------
+
+    def fetch(self, name: str) -> BasicTensorBlock:
+        """Ship the raw hosted tensor (checked against its constraint)."""
+        with self._lock:
+            block = self._require(name)
+            self.constraint(name).check_raw_transfer(name)
+            self.metrics["requests"] += 1
+            self.metrics["bytes_sent"] += block.memory_size()
+            return block
+
+    def execute_local(
+        self,
+        name: str,
+        operation: Callable[[BasicTensorBlock], BasicTensorBlock],
+        payload_bytes: int = 0,
+        flops: int = 0,
+    ) -> BasicTensorBlock:
+        """Run an operation on the hosted tensor; result stays at the site."""
+        with self._lock:
+            block = self._require(name)
+            self.metrics["requests"] += 1
+            self.metrics["bytes_received"] += payload_bytes
+            self.metrics["local_flops"] += flops
+            return operation(block)
+
+    def execute_and_return(
+        self,
+        name: str,
+        operation: Callable[[BasicTensorBlock], BasicTensorBlock],
+        payload_bytes: int = 0,
+        flops: int = 0,
+    ) -> BasicTensorBlock:
+        """Run an operation and ship the (aggregate) result to the caller."""
+        result = self.execute_local(name, operation, payload_bytes, flops)
+        self.constraint(name).check_aggregate_transfer(name)
+        with self._lock:
+            self.metrics["bytes_sent"] += result.memory_size()
+        return result
+
+    def update(self, name: str, block: BasicTensorBlock) -> None:
+        """Replace the hosted tensor (e.g. with a locally computed update)."""
+        with self._lock:
+            if name not in self._data:
+                raise FederatedError(f"site {self.address}: unknown tensor {name!r}")
+            self._data[name] = block
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FederatedSite({self.address}, tensors={sorted(self._data)})"
+
+
+class FederatedWorkerRegistry:
+    """Address book mapping 'host:port/name' style addresses to sites.
+
+    In a real deployment these would be network endpoints; here sites are
+    in-process workers, which preserves the push-down semantics and the
+    transfer accounting (see DESIGN.md substitutions).
+    """
+
+    _instance: Optional["FederatedWorkerRegistry"] = None
+    _instance_lock = threading.Lock()
+
+    def __init__(self):
+        self._sites: Dict[str, FederatedSite] = {}
+        self._lock = threading.RLock()
+
+    @classmethod
+    def default(cls) -> "FederatedWorkerRegistry":
+        with cls._instance_lock:
+            if cls._instance is None:
+                cls._instance = cls()
+            return cls._instance
+
+    def start_site(self, address: str) -> FederatedSite:
+        with self._lock:
+            site = self._sites.get(address)
+            if site is None:
+                site = FederatedSite(address)
+                self._sites[address] = site
+            return site
+
+    def site(self, address: str) -> FederatedSite:
+        with self._lock:
+            site = self._sites.get(address)
+            if site is None:
+                raise FederatedError(f"no federated worker at {address!r}")
+            return site
+
+    def stop_site(self, address: str) -> None:
+        with self._lock:
+            self._sites.pop(address, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._sites.clear()
+
+    def total_bytes_transferred(self) -> int:
+        with self._lock:
+            return sum(
+                site.metrics["bytes_sent"] + site.metrics["bytes_received"]
+                for site in self._sites.values()
+            )

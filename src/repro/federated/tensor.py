@@ -1,0 +1,137 @@
+"""Federated tensors: metadata objects over remote subtensors (paper §2.4).
+
+A federated tensor holds references to in-memory tensors at multiple sites;
+subtensors cover disjoint index ranges and uncovered areas are zero.  The
+DML builtin ``federated(addresses=..., ranges=...)`` builds one; federated
+instructions (:mod:`repro.federated.instructions`) process it by pushing
+computation to the sites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from repro.errors import FederatedError
+from repro.federated.site import FederatedSite, FederatedWorkerRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class FederatedRange:
+    """A half-open 0-based index range [begin, end) per dimension."""
+
+    begin: Tuple[int, int]
+    end: Tuple[int, int]
+
+    @property
+    def rows(self) -> int:
+        return self.end[0] - self.begin[0]
+
+    @property
+    def cols(self) -> int:
+        return self.end[1] - self.begin[1]
+
+    def overlaps(self, other: "FederatedRange") -> bool:
+        return (
+            self.begin[0] < other.end[0]
+            and other.begin[0] < self.end[0]
+            and self.begin[1] < other.end[1]
+            and other.begin[1] < self.end[1]
+        )
+
+
+@dataclasses.dataclass
+class FederatedPartition:
+    site: FederatedSite
+    tensor_name: str
+    range: FederatedRange
+
+
+class FederatedTensor:
+    """Metadata object referencing disjoint subtensors at federated sites."""
+
+    def __init__(self, partitions: Sequence[FederatedPartition]):
+        if not partitions:
+            raise FederatedError("federated tensor requires at least one partition")
+        for i, a in enumerate(partitions):
+            for b in list(partitions)[i + 1 :]:
+                if a.range.overlaps(b.range):
+                    raise FederatedError(
+                        f"overlapping federated ranges: {a.range} and {b.range}"
+                    )
+        self.partitions = list(partitions)
+        rows = max(p.range.end[0] for p in partitions)
+        cols = max(p.range.end[1] for p in partitions)
+        self.shape = (rows, cols)
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def is_row_partitioned(self) -> bool:
+        """True when every partition spans all columns (row federation)."""
+        return all(
+            p.range.begin[1] == 0 and p.range.end[1] == self.num_cols
+            for p in self.partitions
+        )
+
+    def memory_size(self) -> int:
+        return self.num_rows * self.num_cols * 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sites = ",".join(p.site.address for p in self.partitions)
+        return f"FederatedTensor(shape={self.shape}, sites=[{sites}])"
+
+
+def build_federated_matrix(ctx, addresses, ranges) -> FederatedTensor:
+    """Build a federated tensor from DML ``federated(addresses=, ranges=)``.
+
+    ``addresses`` is a list of "host:port/name" strings; ``ranges`` a list
+    of [begin_row, begin_col, end_row, end_col] row vectors (as a list or a
+    (2k) x 2 matrix of begin/end pairs, as in SystemDS).
+    """
+    from repro.runtime.data import ListObject, MatrixObject, ScalarObject
+
+    registry = FederatedWorkerRegistry.default()
+    address_list: List[str] = []
+    if isinstance(addresses, ListObject):
+        for item in addresses.items:
+            if not isinstance(item, ScalarObject):
+                raise FederatedError("federated addresses must be strings")
+            address_list.append(item.as_string())
+    else:
+        raise FederatedError("federated addresses must be a list(...)")
+    range_pairs: List[FederatedRange] = []
+    if isinstance(ranges, ListObject):
+        for item in ranges.items:
+            if not isinstance(item, MatrixObject):
+                raise FederatedError("federated ranges must be matrices")
+            data = item.acquire_local(ctx.collect).to_numpy().reshape(-1)
+            if data.size != 4:
+                raise FederatedError("each federated range needs 4 values")
+            range_pairs.append(
+                FederatedRange(
+                    (int(data[0]), int(data[1])), (int(data[2]), int(data[3]))
+                )
+            )
+    else:
+        raise FederatedError("federated ranges must be a list(...)")
+    if len(address_list) != len(range_pairs):
+        raise FederatedError("one range per federated address required")
+    partitions = []
+    for address, rng in zip(address_list, range_pairs):
+        host, __, tensor_name = address.partition("/")
+        if not tensor_name:
+            raise FederatedError(
+                f"federated address {address!r} must be host:port/tensor"
+            )
+        site = registry.site(host)
+        if not site.has(tensor_name):
+            raise FederatedError(f"site {host} hosts no tensor {tensor_name!r}")
+        partitions.append(FederatedPartition(site, tensor_name, rng))
+    return FederatedTensor(partitions)

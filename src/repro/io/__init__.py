@@ -1,0 +1,17 @@
+"""Data ingestion and persistence (paper section 3.2).
+
+Readers/writers for CSV, JSON-lines, text-cell, and a binary block format,
+plus JSON ``.mtd`` metadata files and a generator that compiles efficient
+readers/writers from high-level format descriptors.
+"""
+
+from repro.io.formats import DelimitedFormat, FormatDescriptor, JsonLinesFormat
+from repro.io.generator import generate_reader, generate_writer
+
+__all__ = [
+    "DelimitedFormat",
+    "FormatDescriptor",
+    "JsonLinesFormat",
+    "generate_reader",
+    "generate_writer",
+]

@@ -1,0 +1,76 @@
+"""Binary block format: the fast persistent representation.
+
+Layout: a JSON header line (shape, value type, layout) followed by raw
+little-endian payload bytes — dense cell data, or CSR arrays for sparse
+blocks.  Reading is zero-parse (``np.frombuffer``), the binary counterpart
+to SystemDS' binary-block format on HDFS.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import IOFormatError
+from repro.tensor import BasicTensorBlock
+from repro.types import ValueType
+
+_MAGIC = b"RPBB"
+
+
+def write_binary_matrix(block: BasicTensorBlock, path: str) -> None:
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        if block.is_sparse and block.ndim == 2:
+            csr = block.to_scipy()
+            header = {
+                "layout": "csr",
+                "shape": list(block.shape),
+                "value_type": block.value_type.value,
+                "nnz": int(csr.nnz),
+            }
+            _write_header(handle, header)
+            handle.write(csr.indptr.astype("<i8").tobytes())
+            handle.write(csr.indices.astype("<i8").tobytes())
+            handle.write(csr.data.astype("<f8").tobytes())
+        else:
+            data = block.to_numpy()
+            header = {
+                "layout": "dense",
+                "shape": list(data.shape),
+                "value_type": block.value_type.value,
+            }
+            _write_header(handle, header)
+            handle.write(np.ascontiguousarray(data, dtype="<f8").tobytes())
+
+
+def _write_header(handle, header: dict) -> None:
+    payload = json.dumps(header).encode("utf-8")
+    handle.write(len(payload).to_bytes(8, "little"))
+    handle.write(payload)
+
+
+def read_binary_matrix(path: str) -> BasicTensorBlock:
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+        if magic != _MAGIC:
+            raise IOFormatError(f"{path} is not a repro binary block file")
+        header_len = int.from_bytes(handle.read(8), "little")
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+        shape = tuple(header["shape"])
+        if header["layout"] == "dense":
+            count = int(np.prod(shape))
+            data = np.frombuffer(handle.read(count * 8), dtype="<f8").reshape(shape)
+            value_type = ValueType(header.get("value_type", "fp64"))
+            return BasicTensorBlock.from_numpy(data.copy(), value_type)
+        if header["layout"] == "csr":
+            rows = shape[0]
+            nnz = int(header["nnz"])
+            indptr = np.frombuffer(handle.read((rows + 1) * 8), dtype="<i8")
+            indices = np.frombuffer(handle.read(nnz * 8), dtype="<i8")
+            values = np.frombuffer(handle.read(nnz * 8), dtype="<f8")
+            csr = sp.csr_matrix((values.copy(), indices.copy(), indptr.copy()), shape=shape)
+            return BasicTensorBlock.from_scipy(csr)
+    raise IOFormatError(f"unknown binary layout {header.get('layout')!r}")

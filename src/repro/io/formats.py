@@ -1,0 +1,47 @@
+"""High-level format descriptors for generated readers/writers (paper §3.2).
+
+A :class:`FormatDescriptor` declaratively describes an external data format;
+:mod:`repro.io.generator` compiles descriptors into specialised Python
+reader/writer functions, the reproduction of SystemDS' "generate code for
+efficient readers and writers from high-level descriptions of data formats".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class FormatDescriptor:
+    """Base class of declarative format descriptions."""
+
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class DelimitedFormat(FormatDescriptor):
+    """A delimited text format (CSV and friends).
+
+    ``select_columns`` restricts parsing to the named positions — the
+    generated reader never materialises unused fields (the "avoid
+    unnecessary parsing" optimisation).
+    """
+
+    delimiter: str = ","
+    header: bool = False
+    comment: Optional[str] = None
+    quote: Optional[str] = None
+    na_values: Tuple[str, ...] = ("", "NA")
+    select_columns: Optional[Tuple[int, ...]] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class JsonLinesFormat(FormatDescriptor):
+    """Newline-delimited JSON records.
+
+    ``fields`` lists dotted paths extracted from each record, in output
+    column order (e.g. ``("user.age", "score")``).
+    """
+
+    fields: Tuple[str, ...] = ()

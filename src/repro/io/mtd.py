@@ -1,0 +1,54 @@
+"""JSON metadata (``.mtd``) files accompanying persistent data.
+
+SystemDS stores dimensions, sparsity, and format next to every written
+file; readers use the metadata to skip inference and the compiler uses it
+for compile-time size propagation of ``read()`` calls.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.errors import IOFormatError
+
+
+def mtd_path(path: str) -> str:
+    return path + ".mtd"
+
+
+def write_mtd(
+    path: str,
+    rows: int,
+    cols: int,
+    nnz: int = -1,
+    data_type: str = "matrix",
+    format_name: str = "csv",
+    header: bool = False,
+    schema: Optional[list] = None,
+) -> None:
+    meta = {
+        "rows": int(rows),
+        "cols": int(cols),
+        "nnz": int(nnz),
+        "data_type": data_type,
+        "format": format_name,
+        "header": bool(header),
+    }
+    if schema is not None:
+        meta["schema"] = schema
+    with open(mtd_path(path), "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def read_mtd(path: str) -> Optional[dict]:
+    """The metadata for a data file, or None when absent."""
+    candidate = mtd_path(path)
+    if not os.path.exists(candidate):
+        return None
+    try:
+        with open(candidate, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise IOFormatError(f"malformed metadata file {candidate}: {exc}") from exc

@@ -1,0 +1,77 @@
+"""Writer facade used by the ``write()`` instruction.
+
+Writes the payload in the requested format and always emits the ``.mtd``
+metadata file next to it, so later reads (and compile-time size
+propagation) know dimensions without scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import IOFormatError
+from repro.io import binary as binary_io
+from repro.io import csv as csv_io
+from repro.io.mtd import write_mtd
+from repro.runtime.data import ScalarObject
+from repro.tensor import BasicTensorBlock, Frame
+
+
+def _param_str(params: Dict, name: str, default: str) -> str:
+    value = params.get(name)
+    if value is None:
+        return default
+    if isinstance(value, ScalarObject):
+        return value.as_string()
+    return str(value)
+
+
+def _param_bool(params: Dict, name: str, default: bool) -> bool:
+    value = params.get(name)
+    if value is None:
+        return default
+    if isinstance(value, ScalarObject):
+        return value.as_bool()
+    return bool(value)
+
+
+def write_matrix(block: BasicTensorBlock, path: str, params: Dict) -> None:
+    format_name = _param_str(params, "format", "csv")
+    if format_name == "csv":
+        csv_io.write_csv_matrix(block, path, sep=_param_str(params, "sep", ","))
+    elif format_name == "binary":
+        binary_io.write_binary_matrix(block, path)
+    elif format_name == "text":
+        _write_text_cells(block, path)
+    else:
+        raise IOFormatError(f"unknown format {format_name!r}")
+    write_mtd(
+        path, block.num_rows, block.num_cols, block.nnz,
+        data_type="matrix", format_name=format_name,
+    )
+
+
+def _write_text_cells(block: BasicTensorBlock, path: str) -> None:
+    csr = block.to_scipy().tocoo()
+    with open(path, "w", encoding="utf-8") as handle:
+        for i, j, v in zip(csr.row, csr.col, csr.data):
+            handle.write(f"{i + 1} {j + 1} {v:.17g}\n")
+
+
+def write_frame(frame: Frame, path: str, params: Dict) -> None:
+    format_name = _param_str(params, "format", "csv")
+    if format_name != "csv":
+        raise IOFormatError(f"frames support csv only, not {format_name!r}")
+    header = _param_bool(params, "header", True)
+    csv_io.write_csv_frame(frame, path, sep=_param_str(params, "sep", ","), header=header)
+    write_mtd(
+        path, frame.num_rows, frame.num_cols, -1,
+        data_type="frame", format_name="csv", header=header,
+        schema=[vt.value for vt in frame.schema],
+    )
+
+
+def write_scalar(value, path: str, params: Dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    write_mtd(path, 1, 1, 1, data_type="scalar", format_name="text")

@@ -1,0 +1,12 @@
+"""The DML scripting language frontend (paper section 2.2).
+
+DML is an R-like declarative language for linear algebra, statistical
+operations, control flow, and user-defined functions.  This package
+implements the lexer, recursive-descent parser, and the AST consumed by
+the compiler (:mod:`repro.compiler`).
+"""
+
+from repro.lang.lexer import Lexer, Token, TokenType, tokenize
+from repro.lang.parser import Parser, parse
+
+__all__ = ["Lexer", "Parser", "Token", "TokenType", "parse", "tokenize"]

@@ -1,0 +1,329 @@
+"""Abstract syntax tree for DML programs.
+
+Nodes are small frozen-ish dataclasses with source locations; the compiler
+walks them once to build statement blocks and HOP DAGs, so there is no
+visitor infrastructure — plain ``isinstance`` dispatch keeps the code flat.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.types import DataType, ValueType
+
+
+@dataclasses.dataclass
+class Node:
+    """Base class carrying the source location of every AST node."""
+
+    line: int = dataclasses.field(default=-1, kw_only=True)
+    column: int = dataclasses.field(default=-1, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Expr(Node):
+    pass
+
+
+@dataclasses.dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclasses.dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclasses.dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclasses.dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclasses.dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclasses.dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclasses.dataclass
+class UnaryExpr(Expr):
+    op: str = ""  # "-" or "!"
+    operand: Expr = None
+
+
+@dataclasses.dataclass
+class Call(Expr):
+    """Function or builtin call with positional and named arguments."""
+
+    name: str = ""
+    args: List[Expr] = dataclasses.field(default_factory=list)
+    named_args: Dict[str, Expr] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class IndexRange(Node):
+    """One dimension of an indexing expression.
+
+    ``lower is None and upper is None`` means "all" (an omitted dimension,
+    e.g. the row dimension in ``X[,i]``).  ``upper is None`` with a lower
+    bound means a single position.  Bounds are 1-based inclusive DML
+    expressions; the compiler normalises them.
+    """
+
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+
+    @property
+    def is_all(self) -> bool:
+        return self.lower is None and self.upper is None
+
+    @property
+    def is_single(self) -> bool:
+        return self.lower is not None and self.upper is None
+
+
+@dataclasses.dataclass
+class IndexExpr(Expr):
+    """Right indexing ``X[ranges...]``."""
+
+    target: Expr = None
+    ranges: List[IndexRange] = dataclasses.field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Statement(Node):
+    pass
+
+
+@dataclasses.dataclass
+class Assign(Statement):
+    target: str = ""
+    value: Expr = None
+    #: ``True`` for accumulation assignment ``x += e``.
+    accumulate: bool = False
+
+
+@dataclasses.dataclass
+class IndexedAssign(Statement):
+    """Left indexing ``X[ranges...] = value``."""
+
+    target: str = ""
+    ranges: List[IndexRange] = dataclasses.field(default_factory=list)
+    value: Expr = None
+
+
+@dataclasses.dataclass
+class MultiAssign(Statement):
+    """``[a, b] = f(...)`` — multi-return function call."""
+
+    targets: List[str] = dataclasses.field(default_factory=list)
+    value: Expr = None
+
+
+@dataclasses.dataclass
+class ExprStatement(Statement):
+    """An expression evaluated for effect (``print``, ``write``, ``stop``)."""
+
+    value: Expr = None
+
+
+@dataclasses.dataclass
+class If(Statement):
+    condition: Expr = None
+    then_body: List[Statement] = dataclasses.field(default_factory=list)
+    else_body: List[Statement] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class While(Statement):
+    condition: Expr = None
+    body: List[Statement] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class For(Statement):
+    """``for (var in from:to)`` or ``for (var in seq(from, to, incr))``."""
+
+    var: str = ""
+    from_expr: Expr = None
+    to_expr: Expr = None
+    step_expr: Optional[Expr] = None
+    body: List[Statement] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class ParFor(Statement):
+    """Parallel for loop; ``opts`` carries parfor parameters (check, par, ...)."""
+
+    var: str = ""
+    from_expr: Expr = None
+    to_expr: Expr = None
+    step_expr: Optional[Expr] = None
+    body: List[Statement] = dataclasses.field(default_factory=list)
+    opts: Dict[str, Expr] = dataclasses.field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# functions
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class TypeSpec(Node):
+    """A declared DML type, e.g. ``Matrix[Double]`` or ``Integer``."""
+
+    data_type: DataType = DataType.UNKNOWN
+    value_type: ValueType = ValueType.UNKNOWN
+
+    @classmethod
+    def of(cls, data_type: DataType, value_type: ValueType = ValueType.FP64) -> "TypeSpec":
+        return cls(data_type=data_type, value_type=value_type)
+
+
+@dataclasses.dataclass
+class Param(Node):
+    name: str = ""
+    type_spec: TypeSpec = None
+    default: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class FunctionDef(Statement):
+    name: str = ""
+    params: List[Param] = dataclasses.field(default_factory=list)
+    returns: List[Param] = dataclasses.field(default_factory=list)
+    body: List[Statement] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Program(Node):
+    """A parsed DML script: top-level statements plus function definitions."""
+
+    statements: List[Statement] = dataclasses.field(default_factory=list)
+    functions: Dict[str, FunctionDef] = dataclasses.field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_expressions(statement: Statement):
+    """Yield every expression reachable from one statement (pre-order)."""
+    roots: List[Expr] = []
+    if isinstance(statement, Assign):
+        roots = [statement.value]
+    elif isinstance(statement, IndexedAssign):
+        roots = [statement.value]
+        for rng in statement.ranges:
+            roots.extend(e for e in (rng.lower, rng.upper) if e is not None)
+    elif isinstance(statement, MultiAssign):
+        roots = [statement.value]
+    elif isinstance(statement, ExprStatement):
+        roots = [statement.value]
+    elif isinstance(statement, If):
+        roots = [statement.condition]
+    elif isinstance(statement, While):
+        roots = [statement.condition]
+    elif isinstance(statement, (For, ParFor)):
+        roots = [statement.from_expr, statement.to_expr]
+        if statement.step_expr is not None:
+            roots.append(statement.step_expr)
+    stack = [root for root in roots if root is not None]
+    while stack:
+        expr = stack.pop()
+        yield expr
+        if isinstance(expr, BinaryExpr):
+            stack.extend([expr.left, expr.right])
+        elif isinstance(expr, UnaryExpr):
+            stack.append(expr.operand)
+        elif isinstance(expr, Call):
+            stack.extend(expr.args)
+            stack.extend(expr.named_args.values())
+        elif isinstance(expr, IndexExpr):
+            stack.append(expr.target)
+            for rng in expr.ranges:
+                stack.extend(e for e in (rng.lower, rng.upper) if e is not None)
+
+
+def read_variables(statement: Statement) -> set:
+    """Names of variables read by one statement (for live-variable analysis)."""
+    names = set()
+    for expr in walk_expressions(statement):
+        if isinstance(expr, Identifier):
+            names.add(expr.name)
+    if isinstance(statement, IndexedAssign):
+        # left indexing reads the previous value of the target
+        names.add(statement.target)
+    if isinstance(statement, Assign) and statement.accumulate:
+        names.add(statement.target)
+    return names
+
+
+def written_variables(statement: Statement) -> set:
+    """Names of variables written by one statement."""
+    if isinstance(statement, Assign):
+        return {statement.target}
+    if isinstance(statement, IndexedAssign):
+        return {statement.target}
+    if isinstance(statement, MultiAssign):
+        return set(statement.targets)
+    if isinstance(statement, (For, ParFor)):
+        return {statement.var}
+    return set()
+
+
+def format_expr(expr: Expr) -> str:
+    """A compact, parseable-ish rendering of an expression (for messages)."""
+    if isinstance(expr, IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, FloatLiteral):
+        return repr(expr.value)
+    if isinstance(expr, StringLiteral):
+        return repr(expr.value)
+    if isinstance(expr, BoolLiteral):
+        return "TRUE" if expr.value else "FALSE"
+    if isinstance(expr, Identifier):
+        return expr.name
+    if isinstance(expr, BinaryExpr):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, UnaryExpr):
+        return f"{expr.op}{format_expr(expr.operand)}"
+    if isinstance(expr, Call):
+        args = [format_expr(a) for a in expr.args]
+        args += [f"{k}={format_expr(v)}" for k, v in expr.named_args.items()]
+        return f"{expr.name}({', '.join(args)})"
+    if isinstance(expr, IndexExpr):
+        parts = []
+        for rng in expr.ranges:
+            if rng.is_all:
+                parts.append("")
+            elif rng.is_single:
+                parts.append(format_expr(rng.lower))
+            else:
+                parts.append(f"{format_expr(rng.lower)}:{format_expr(rng.upper)}")
+        return f"{format_expr(expr.target)}[{','.join(parts)}]"
+    return f"<{type(expr).__name__}>"

@@ -1,0 +1,260 @@
+"""Tokenizer for the DML scripting language.
+
+A hand-written single-pass lexer.  DML's R heritage shows in a few places:
+``%*%``/``%%``/``%/%`` operators, ``TRUE``/``FALSE`` literals, ``#`` line
+comments (plus C-style block comments), and ``<-`` as an assignment alias.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, List
+
+from repro.errors import DMLSyntaxError
+
+
+class TokenType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    ASSIGN = "="
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "if",
+        "else",
+        "while",
+        "for",
+        "parfor",
+        "in",
+        "function",
+        "return",
+        "source",
+        "as",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "%*%",
+    "%/%",
+    "%%",
+    "<-",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "^",
+    "<",
+    ">",
+    "&",
+    "|",
+    "!",
+]
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass tokenizer over a DML source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                yield Token(TokenType.EOF, "", self.line, self.column)
+                return
+            char = self.source[self.pos]
+            if char == "\n":
+                token = Token(TokenType.NEWLINE, "\n", self.line, self.column)
+                self._advance()
+                yield token
+            elif char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                yield self._number()
+            elif char == '"' or char == "'":
+                yield self._string(char)
+            elif char.isalpha() or char == "_":
+                yield self._word()
+            elif char == "=" and self._peek(1) != "=":
+                token = Token(TokenType.ASSIGN, "=", self.line, self.column)
+                self._advance()
+                yield token
+            elif char in _SINGLE_CHAR:
+                token = Token(_SINGLE_CHAR[char], char, self.line, self.column)
+                self._advance()
+                yield token
+            else:
+                yield self._operator()
+
+    # --- internals ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for __ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip spaces/tabs and comments, but not newlines (they end statements)."""
+        while self.pos < len(self.source):
+            char = self.source[self.pos]
+            if char in (" ", "\t", "\r"):
+                self._advance()
+            elif char == "#":
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self.source[self.pos] == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise DMLSyntaxError("unterminated block comment", start_line, 0)
+                self._advance(2)
+            elif char == "\\" and self._peek(1) == "\n":
+                self._advance(2)  # explicit line continuation
+            else:
+                return
+
+    def _number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        return Token(TokenType.FLOAT if is_float else TokenType.INT, text, line, column)
+
+    def _string(self, quote: str) -> Token:
+        line, column = self.line, self.column
+        self._advance()
+        chars: List[str] = []
+        while True:
+            char = self._peek()
+            if char == "":
+                raise DMLSyntaxError("unterminated string literal", line, column)
+            if char == "\n":
+                raise DMLSyntaxError("newline in string literal", line, column)
+            if char == "\\":
+                escape = self._peek(1)
+                mapped = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(escape)
+                if mapped is None:
+                    raise DMLSyntaxError(f"unknown escape: \\{escape}", self.line, self.column)
+                chars.append(mapped)
+                self._advance(2)
+                continue
+            if char == quote:
+                self._advance()
+                break
+            chars.append(char)
+            self._advance()
+        return Token(TokenType.STRING, "".join(chars), line, column)
+
+    def _word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isalnum() or self._peek() in ("_", "."):
+            self._advance()
+        text = self.source[start : self.pos]
+        if text in ("TRUE", "FALSE"):
+            return Token(TokenType.BOOLEAN, text, line, column)
+        if text in KEYWORDS:
+            return Token(TokenType.KEYWORD, text, line, column)
+        return Token(TokenType.IDENTIFIER, text, line, column)
+
+    def _operator(self) -> Token:
+        line, column = self.line, self.column
+        for op in _OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                # <- is an assignment alias from R
+                if op == "<-":
+                    return Token(TokenType.ASSIGN, "=", line, column)
+                if op == "&&":
+                    op = "&"
+                elif op == "||":
+                    op = "|"
+                return Token(TokenType.OPERATOR, op, line, column)
+        raise DMLSyntaxError(
+            f"unexpected character {self.source[self.pos]!r}", line, column
+        )
+
+
+def tokenize(source: str) -> List[Token]:
+    """All tokens of a DML source string, ending with EOF."""
+    return list(Lexer(source).tokens())

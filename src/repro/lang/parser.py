@@ -1,0 +1,585 @@
+"""Recursive-descent parser for DML.
+
+Produces the AST of :mod:`repro.lang.ast`.  Statements are terminated by
+newlines or semicolons; newlines are insignificant inside parentheses,
+brackets, and braces-delimited blocks, mirroring R.  Operator precedence
+(loosest to tightest)::
+
+    |   &   comparison   + -   * / %% %/%   %*%   unary -/!   ^   indexing
+
+``^`` is right-associative and binds tighter than unary minus (as in R,
+``-2^2 == -4``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DMLSyntaxError
+from repro.lang import ast
+from repro.lang.lexer import Token, TokenType, tokenize
+from repro.types import DataType, ValueType
+
+_DATA_TYPE_NAMES = {
+    "matrix": DataType.MATRIX,
+    "Matrix": DataType.MATRIX,
+    "tensor": DataType.TENSOR,
+    "Tensor": DataType.TENSOR,
+    "frame": DataType.FRAME,
+    "Frame": DataType.FRAME,
+    "list": DataType.LIST,
+    "List": DataType.LIST,
+    "scalar": DataType.SCALAR,
+    "Scalar": DataType.SCALAR,
+    "Double": DataType.SCALAR,
+    "double": DataType.SCALAR,
+    "Integer": DataType.SCALAR,
+    "integer": DataType.SCALAR,
+    "int": DataType.SCALAR,
+    "Int": DataType.SCALAR,
+    "Boolean": DataType.SCALAR,
+    "boolean": DataType.SCALAR,
+    "String": DataType.SCALAR,
+    "string": DataType.SCALAR,
+}
+
+_VALUE_TYPE_NAMES = {
+    "double": ValueType.FP64,
+    "Double": ValueType.FP64,
+    "fp64": ValueType.FP64,
+    "fp32": ValueType.FP32,
+    "float": ValueType.FP32,
+    "integer": ValueType.INT64,
+    "Integer": ValueType.INT64,
+    "int": ValueType.INT64,
+    "Int": ValueType.INT64,
+    "int32": ValueType.INT32,
+    "boolean": ValueType.BOOLEAN,
+    "Boolean": ValueType.BOOLEAN,
+    "string": ValueType.STRING,
+    "String": ValueType.STRING,
+}
+
+_SCALAR_VALUE_TYPES = {
+    "Double": ValueType.FP64,
+    "double": ValueType.FP64,
+    "Integer": ValueType.INT64,
+    "integer": ValueType.INT64,
+    "int": ValueType.INT64,
+    "Int": ValueType.INT64,
+    "Boolean": ValueType.BOOLEAN,
+    "boolean": ValueType.BOOLEAN,
+    "String": ValueType.STRING,
+    "string": ValueType.STRING,
+}
+
+
+class Parser:
+    """Parses one DML script into an :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self._group_depth = 0
+
+    # --- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = self.pos + offset
+        if self._group_depth > 0 or offset > 0:
+            # skip newlines inside groups; for lookahead, skip them as well
+            # so `f(a,\n b)` parses naturally
+            count = 0
+            index = self.pos
+            while index < len(self.tokens):
+                token = self.tokens[index]
+                if token.type == TokenType.NEWLINE and self._group_depth > 0:
+                    index += 1
+                    continue
+                if count == offset:
+                    return token
+                count += 1
+                index += 1
+            return self.tokens[-1]
+        return self.tokens[min(index, len(self.tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        # move pos past that token (skipping any newlines we skipped in peek)
+        while self.tokens[self.pos] is not token:
+            self.pos += 1
+        self.pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.type != token_type:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, token_type: TokenType, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(token_type, text):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(token_type, text):
+            wanted = text or token_type.value
+            raise DMLSyntaxError(
+                f"expected {wanted!r}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self.tokens[self.pos].type in (TokenType.NEWLINE, TokenType.SEMICOLON):
+            self.pos += 1
+
+    def _end_statement(self) -> None:
+        token = self.tokens[self.pos]
+        if token.type in (TokenType.NEWLINE, TokenType.SEMICOLON):
+            self._skip_newlines()
+        elif token.type not in (TokenType.EOF, TokenType.RBRACE):
+            raise DMLSyntaxError(
+                f"expected end of statement, found {token.text!r}", token.line, token.column
+            )
+
+    # --- program --------------------------------------------------------------
+
+    def parse(self) -> ast.Program:
+        program = ast.Program()
+        self._skip_newlines()
+        while not self._check(TokenType.EOF):
+            statement = self._statement()
+            if isinstance(statement, ast.FunctionDef):
+                if statement.name in program.functions:
+                    raise DMLSyntaxError(
+                        f"duplicate function definition: {statement.name}",
+                        statement.line,
+                        statement.column,
+                    )
+                program.functions[statement.name] = statement
+            else:
+                program.statements.append(statement)
+            self._skip_newlines()
+        return program
+
+    # --- statements --------------------------------------------------------------
+
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.type == TokenType.KEYWORD:
+            if token.text == "if":
+                return self._if_statement()
+            if token.text == "while":
+                return self._while_statement()
+            if token.text == "for":
+                return self._for_statement(parallel=False)
+            if token.text == "parfor":
+                return self._for_statement(parallel=True)
+            raise DMLSyntaxError(
+                f"unexpected keyword {token.text!r}", token.line, token.column
+            )
+        if token.type == TokenType.LBRACKET:
+            return self._multi_assign()
+        if token.type == TokenType.IDENTIFIER:
+            return self._identifier_statement()
+        # bare expression statement, e.g. print("...")
+        expr = self._expression()
+        statement = ast.ExprStatement(value=expr, line=token.line, column=token.column)
+        self._end_statement()
+        return statement
+
+    def _identifier_statement(self) -> ast.Statement:
+        token = self._peek()
+        # function definition: name = function(...)
+        if self._peek(1).type == TokenType.ASSIGN and self._is_function_keyword(2):
+            return self._function_def()
+        # left-indexed assignment: name [ ranges ] = expr
+        if self._peek(1).type == TokenType.LBRACKET:
+            saved = self.pos
+            name = self._advance().text
+            ranges = self._index_ranges()
+            if self._check(TokenType.ASSIGN):
+                self._advance()
+                value = self._expression()
+                statement = ast.IndexedAssign(
+                    target=name, ranges=ranges, value=value,
+                    line=token.line, column=token.column,
+                )
+                self._end_statement()
+                return statement
+            self.pos = saved  # it was an expression like X[1,2] used bare
+        if self._peek(1).type == TokenType.ASSIGN:
+            name = self._advance().text
+            self._advance()  # '='
+            value = self._expression()
+            statement = ast.Assign(
+                target=name, value=value, line=token.line, column=token.column
+            )
+            self._end_statement()
+            return statement
+        if self._peek(1).type == TokenType.OPERATOR and self._peek(1).text == "+=":
+            name = self._advance().text
+            self._advance()  # '+='
+            value = self._expression()
+            statement = ast.Assign(
+                target=name, value=value, accumulate=True,
+                line=token.line, column=token.column,
+            )
+            self._end_statement()
+            return statement
+        expr = self._expression()
+        statement = ast.ExprStatement(value=expr, line=token.line, column=token.column)
+        self._end_statement()
+        return statement
+
+    def _is_function_keyword(self, offset: int) -> bool:
+        token = self._peek(offset)
+        return token.type == TokenType.KEYWORD and token.text == "function"
+
+    def _multi_assign(self) -> ast.Statement:
+        token = self._expect(TokenType.LBRACKET)
+        targets = [self._expect(TokenType.IDENTIFIER).text]
+        while self._match(TokenType.COMMA):
+            targets.append(self._expect(TokenType.IDENTIFIER).text)
+        self._expect(TokenType.RBRACKET)
+        self._expect(TokenType.ASSIGN)
+        value = self._expression()
+        statement = ast.MultiAssign(
+            targets=targets, value=value, line=token.line, column=token.column
+        )
+        self._end_statement()
+        return statement
+
+    def _block(self) -> List[ast.Statement]:
+        """A braces-delimited block or a single statement."""
+        self._skip_newlines()
+        if self._match(TokenType.LBRACE):
+            statements = []
+            self._skip_newlines()
+            while not self._check(TokenType.RBRACE):
+                if self._check(TokenType.EOF):
+                    token = self._peek()
+                    raise DMLSyntaxError("unterminated block", token.line, token.column)
+                statements.append(self._statement())
+                self._skip_newlines()
+            self._expect(TokenType.RBRACE)
+            return statements
+        return [self._statement()]
+
+    def _if_statement(self) -> ast.If:
+        token = self._expect(TokenType.KEYWORD, "if")
+        self._expect(TokenType.LPAREN)
+        self._group_depth += 1
+        condition = self._expression()
+        self._group_depth -= 1
+        self._expect(TokenType.RPAREN)
+        then_body = self._block()
+        else_body: List[ast.Statement] = []
+        saved = self.pos
+        self._skip_newlines()
+        if self._check(TokenType.KEYWORD, "else"):
+            self._advance()
+            self._skip_newlines()
+            if self._check(TokenType.KEYWORD, "if"):
+                else_body = [self._if_statement()]
+            else:
+                else_body = self._block()
+        else:
+            self.pos = saved
+        return ast.If(
+            condition=condition, then_body=then_body, else_body=else_body,
+            line=token.line, column=token.column,
+        )
+
+    def _while_statement(self) -> ast.While:
+        token = self._expect(TokenType.KEYWORD, "while")
+        self._expect(TokenType.LPAREN)
+        self._group_depth += 1
+        condition = self._expression()
+        self._group_depth -= 1
+        self._expect(TokenType.RPAREN)
+        body = self._block()
+        return ast.While(condition=condition, body=body, line=token.line, column=token.column)
+
+    def _for_statement(self, parallel: bool) -> ast.Statement:
+        keyword = "parfor" if parallel else "for"
+        token = self._expect(TokenType.KEYWORD, keyword)
+        self._expect(TokenType.LPAREN)
+        self._group_depth += 1
+        var = self._expect(TokenType.IDENTIFIER).text
+        self._expect(TokenType.KEYWORD, "in")
+        from_expr, to_expr, step_expr = self._iteration_range()
+        opts: Dict[str, ast.Expr] = {}
+        while self._match(TokenType.COMMA):
+            opt_name = self._expect(TokenType.IDENTIFIER).text
+            self._expect(TokenType.ASSIGN)
+            opts[opt_name] = self._expression()
+        self._group_depth -= 1
+        self._expect(TokenType.RPAREN)
+        body = self._block()
+        if parallel:
+            return ast.ParFor(
+                var=var, from_expr=from_expr, to_expr=to_expr, step_expr=step_expr,
+                body=body, opts=opts, line=token.line, column=token.column,
+            )
+        if opts:
+            raise DMLSyntaxError("for loops take no options", token.line, token.column)
+        return ast.For(
+            var=var, from_expr=from_expr, to_expr=to_expr, step_expr=step_expr,
+            body=body, line=token.line, column=token.column,
+        )
+
+    def _iteration_range(self) -> Tuple[ast.Expr, ast.Expr, Optional[ast.Expr]]:
+        """``lo:hi`` or ``seq(lo, hi[, step])`` in a for/parfor header."""
+        first = self._expression()
+        if self._match(TokenType.COLON):
+            return first, self._expression(), None
+        if isinstance(first, ast.Call) and first.name == "seq":
+            args = first.args
+            if not 2 <= len(args) <= 3 or first.named_args:
+                raise DMLSyntaxError(
+                    "seq() in a loop header takes 2 or 3 positional arguments",
+                    first.line, first.column,
+                )
+            step = args[2] if len(args) == 3 else None
+            return args[0], args[1], step
+        raise DMLSyntaxError(
+            "loop header requires lo:hi or seq(lo, hi, step)", first.line, first.column
+        )
+
+    # --- functions ----------------------------------------------------------------
+
+    def _function_def(self) -> ast.FunctionDef:
+        name_token = self._expect(TokenType.IDENTIFIER)
+        self._expect(TokenType.ASSIGN)
+        self._expect(TokenType.KEYWORD, "function")
+        self._expect(TokenType.LPAREN)
+        self._group_depth += 1
+        params = self._param_list(defaults_allowed=True)
+        self._group_depth -= 1
+        self._expect(TokenType.RPAREN)
+        self._skip_newlines()
+        self._expect(TokenType.KEYWORD, "return")
+        self._expect(TokenType.LPAREN)
+        self._group_depth += 1
+        returns = self._param_list(defaults_allowed=False)
+        self._group_depth -= 1
+        self._expect(TokenType.RPAREN)
+        body = self._block()
+        return ast.FunctionDef(
+            name=name_token.text, params=params, returns=returns, body=body,
+            line=name_token.line, column=name_token.column,
+        )
+
+    def _param_list(self, defaults_allowed: bool) -> List[ast.Param]:
+        params: List[ast.Param] = []
+        if self._check(TokenType.RPAREN):
+            return params
+        while True:
+            params.append(self._param(defaults_allowed))
+            if not self._match(TokenType.COMMA):
+                return params
+
+    def _param(self, defaults_allowed: bool) -> ast.Param:
+        type_token = self._expect(TokenType.IDENTIFIER)
+        type_spec = self._type_spec(type_token)
+        name_token = self._expect(TokenType.IDENTIFIER)
+        default = None
+        if self._match(TokenType.ASSIGN):
+            if not defaults_allowed:
+                raise DMLSyntaxError(
+                    "return parameters take no defaults", name_token.line, name_token.column
+                )
+            default = self._expression()
+        return ast.Param(
+            name=name_token.text, type_spec=type_spec, default=default,
+            line=type_token.line, column=type_token.column,
+        )
+
+    def _type_spec(self, type_token: Token) -> ast.TypeSpec:
+        name = type_token.text
+        data_type = _DATA_TYPE_NAMES.get(name)
+        if data_type is None:
+            raise DMLSyntaxError(f"unknown type {name!r}", type_token.line, type_token.column)
+        value_type = _SCALAR_VALUE_TYPES.get(name, ValueType.FP64)
+        if self._match(TokenType.LBRACKET):
+            vt_token = self._expect(TokenType.IDENTIFIER)
+            value_type = _VALUE_TYPE_NAMES.get(vt_token.text)
+            if value_type is None:
+                raise DMLSyntaxError(
+                    f"unknown value type {vt_token.text!r}", vt_token.line, vt_token.column
+                )
+            self._expect(TokenType.RBRACKET)
+        return ast.TypeSpec(
+            data_type=data_type, value_type=value_type,
+            line=type_token.line, column=type_token.column,
+        )
+
+    # --- expressions -----------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _binary_level(self, operators: Tuple[str, ...], next_level) -> ast.Expr:
+        left = next_level()
+        while self._check(TokenType.OPERATOR) and self._peek().text in operators:
+            op_token = self._advance()
+            right = next_level()
+            left = ast.BinaryExpr(
+                op=op_token.text, left=left, right=right,
+                line=op_token.line, column=op_token.column,
+            )
+        return left
+
+    def _or_expr(self) -> ast.Expr:
+        return self._binary_level(("|",), self._and_expr)
+
+    def _and_expr(self) -> ast.Expr:
+        return self._binary_level(("&",), self._not_expr)
+
+    def _not_expr(self) -> ast.Expr:
+        if self._check(TokenType.OPERATOR, "!"):
+            token = self._advance()
+            operand = self._not_expr()
+            return ast.UnaryExpr(op="!", operand=operand, line=token.line, column=token.column)
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        return self._binary_level(("==", "!=", "<", "<=", ">", ">="), self._additive)
+
+    def _additive(self) -> ast.Expr:
+        return self._binary_level(("+", "-"), self._multiplicative)
+
+    def _multiplicative(self) -> ast.Expr:
+        return self._binary_level(("*", "/", "%%", "%/%"), self._matmult)
+
+    def _matmult(self) -> ast.Expr:
+        return self._binary_level(("%*%",), self._unary)
+
+    def _unary(self) -> ast.Expr:
+        if self._check(TokenType.OPERATOR, "-"):
+            token = self._advance()
+            operand = self._unary()
+            if isinstance(operand, ast.IntLiteral):
+                return ast.IntLiteral(value=-operand.value, line=token.line, column=token.column)
+            if isinstance(operand, ast.FloatLiteral):
+                return ast.FloatLiteral(value=-operand.value, line=token.line, column=token.column)
+            return ast.UnaryExpr(op="-", operand=operand, line=token.line, column=token.column)
+        if self._check(TokenType.OPERATOR, "+"):
+            self._advance()
+            return self._unary()
+        return self._power()
+
+    def _power(self) -> ast.Expr:
+        base = self._postfix()
+        if self._check(TokenType.OPERATOR, "^"):
+            op_token = self._advance()
+            # right associative; exponent may itself be -x^y
+            exponent = self._unary()
+            return ast.BinaryExpr(
+                op="^", left=base, right=exponent,
+                line=op_token.line, column=op_token.column,
+            )
+        return base
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while self._check(TokenType.LBRACKET):
+            line, column = self._peek().line, self._peek().column
+            ranges = self._index_ranges()
+            expr = ast.IndexExpr(target=expr, ranges=ranges, line=line, column=column)
+        return expr
+
+    def _index_ranges(self) -> List[ast.IndexRange]:
+        self._expect(TokenType.LBRACKET)
+        self._group_depth += 1
+        ranges: List[ast.IndexRange] = []
+        while True:
+            ranges.append(self._index_range())
+            if not self._match(TokenType.COMMA):
+                break
+        self._group_depth -= 1
+        self._expect(TokenType.RBRACKET)
+        return ranges
+
+    def _index_range(self) -> ast.IndexRange:
+        token = self._peek()
+        if token.type in (TokenType.COMMA, TokenType.RBRACKET):
+            return ast.IndexRange(line=token.line, column=token.column)  # "all"
+        lower = self._expression()
+        if self._match(TokenType.COLON):
+            upper = self._expression()
+            return ast.IndexRange(lower=lower, upper=upper, line=token.line, column=token.column)
+        return ast.IndexRange(lower=lower, line=token.line, column=token.column)
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type == TokenType.INT:
+            self._advance()
+            return ast.IntLiteral(value=int(token.text), line=token.line, column=token.column)
+        if token.type == TokenType.FLOAT:
+            self._advance()
+            return ast.FloatLiteral(value=float(token.text), line=token.line, column=token.column)
+        if token.type == TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(value=token.text, line=token.line, column=token.column)
+        if token.type == TokenType.BOOLEAN:
+            self._advance()
+            return ast.BoolLiteral(value=token.text == "TRUE", line=token.line, column=token.column)
+        if token.type == TokenType.LPAREN:
+            self._advance()
+            self._group_depth += 1
+            expr = self._expression()
+            self._group_depth -= 1
+            self._expect(TokenType.RPAREN)
+            return expr
+        if token.type == TokenType.IDENTIFIER:
+            self._advance()
+            if self._check(TokenType.LPAREN):
+                return self._call(token)
+            return ast.Identifier(name=token.text, line=token.line, column=token.column)
+        raise DMLSyntaxError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )
+
+    def _call(self, name_token: Token) -> ast.Call:
+        self._expect(TokenType.LPAREN)
+        self._group_depth += 1
+        args: List[ast.Expr] = []
+        named_args: Dict[str, ast.Expr] = {}
+        if not self._check(TokenType.RPAREN):
+            while True:
+                if (
+                    self._peek().type == TokenType.IDENTIFIER
+                    and self._peek(1).type == TokenType.ASSIGN
+                ):
+                    key = self._advance().text
+                    self._advance()
+                    if key in named_args:
+                        raise DMLSyntaxError(
+                            f"duplicate named argument {key!r}",
+                            name_token.line, name_token.column,
+                        )
+                    named_args[key] = self._expression()
+                else:
+                    if named_args:
+                        raise DMLSyntaxError(
+                            "positional argument after named argument",
+                            self._peek().line, self._peek().column,
+                        )
+                    args.append(self._expression())
+                if not self._match(TokenType.COMMA):
+                    break
+        self._group_depth -= 1
+        self._expect(TokenType.RPAREN)
+        return ast.Call(
+            name=name_token.text, args=args, named_args=named_args,
+            line=name_token.line, column=name_token.column,
+        )
+
+
+def parse(source: str) -> ast.Program:
+    """Parse one DML script into a :class:`repro.lang.ast.Program`."""
+    return Parser(source).parse()

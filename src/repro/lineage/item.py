@@ -1,0 +1,115 @@
+"""Lineage items: nodes of the per-variable lineage DAGs.
+
+Each item records one logical operation (or a leaf: input, literal, or
+seeded data generation) and links to the items of its inputs.  Items are
+immutable and carry a canonical 128-bit key (BLAKE2b over opcode, payload,
+and child keys) used both for deduplication (hash-consing) and as the reuse
+cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Iterable, Optional, Sequence, Tuple
+
+_ITEM_IDS = itertools.count(1)
+
+
+class LineageItem:
+    """One node of a lineage DAG."""
+
+    __slots__ = ("item_id", "opcode", "data", "inputs", "key")
+
+    def __init__(self, opcode: str, inputs: Sequence["LineageItem"] = (), data: str = ""):
+        self.item_id = next(_ITEM_IDS)
+        self.opcode = opcode
+        self.data = data
+        self.inputs: Tuple[LineageItem, ...] = tuple(inputs)
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(opcode.encode())
+        digest.update(b"\x00")
+        digest.update(data.encode())
+        for child in self.inputs:
+            digest.update(b"\x01")
+            digest.update(child.key)
+        self.key = digest.digest()
+
+    # --- structural helpers ----------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.inputs
+
+    def iter_nodes(self) -> Iterable["LineageItem"]:
+        """All nodes of this item's DAG (each exactly once)."""
+        seen = set()
+        stack = [self]
+        while stack:
+            item = stack.pop()
+            if item.item_id in seen:
+                continue
+            seen.add(item.item_id)
+            yield item
+            stack.extend(item.inputs)
+
+    def depth(self) -> int:
+        if not self.inputs:
+            return 1
+        return 1 + max(child.depth() for child in self.inputs)
+
+    def count_nodes(self) -> int:
+        return sum(1 for __ in self.iter_nodes())
+
+    # --- serialisation (debugging / lineage query processing) ---------------------
+
+    def explain(self, max_nodes: int = 200) -> str:
+        """A readable multi-line rendering of the lineage DAG (topological)."""
+        lines = []
+        seen = set()
+
+        def visit(item: LineageItem) -> None:
+            if item.item_id in seen or len(lines) >= max_nodes:
+                return
+            for child in item.inputs:
+                visit(child)
+            seen.add(item.item_id)
+            refs = ",".join(str(child.item_id) for child in item.inputs)
+            payload = f" {item.data}" if item.data else ""
+            lines.append(f"({item.item_id}) {item.opcode}{payload} [{refs}]")
+
+        visit(self)
+        return "\n".join(lines)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LineageItem) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LineageItem({self.opcode}, key={self.key.hex()[:10]})"
+
+
+def literal_item(value) -> LineageItem:
+    """A leaf item for an inline literal."""
+    return LineageItem("lit", (), f"{type(value).__name__}:{value!r}")
+
+
+_GUID = itertools.count(1)
+
+
+def input_item(name: str, guid: Optional[int] = None) -> LineageItem:
+    """A leaf item for an external input (bound object or unknown variable).
+
+    ``guid`` distinguishes different objects bound under the same name across
+    executions; a fresh one is drawn when not supplied.
+    """
+    if guid is None:
+        guid = next(_GUID)
+    return LineageItem("input", (), f"{name}#{guid}")
+
+
+def pread_item(path: str, mtime: float) -> LineageItem:
+    """A leaf item for a persistent read, keyed by path and modification time."""
+    return LineageItem("pread", (), f"{path}@{mtime}")

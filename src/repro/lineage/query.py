@@ -1,0 +1,122 @@
+"""Query processing over lineage traces (paper section 3.1).
+
+The paper positions lineage as the enabler of "debugging via query
+processing over lineage traces of different runs".  This module provides
+that query layer: structural search, trace statistics, diffing two traces
+(e.g., two runs of a pipeline with different parameters), and a Graphviz
+rendering for inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.lineage.item import LineageItem
+
+
+def find(root: LineageItem, predicate: Callable[[LineageItem], bool]) -> List[LineageItem]:
+    """All nodes of a lineage DAG matching a predicate (pre-order)."""
+    return [item for item in root.iter_nodes() if predicate(item)]
+
+
+def find_by_opcode(root: LineageItem, opcode: str) -> List[LineageItem]:
+    """All operations of one kind in a trace, e.g. every matrix multiply."""
+    return find(root, lambda item: item.opcode == opcode)
+
+
+def inputs_of(root: LineageItem) -> List[LineageItem]:
+    """The external inputs (leaves) a result was computed from."""
+    return find(root, lambda item: item.is_leaf and item.opcode in ("input", "pread"))
+
+
+def nondeterministic_ops(root: LineageItem) -> List[LineageItem]:
+    """Data generators whose seeds were captured for reproducibility."""
+    return find(root, lambda item: item.opcode == "datagen")
+
+
+def opcode_histogram(root: LineageItem) -> Dict[str, int]:
+    """How often each logical operation occurs in a trace."""
+    histogram: Dict[str, int] = {}
+    for item in root.iter_nodes():
+        histogram[item.opcode] = histogram.get(item.opcode, 0) + 1
+    return dict(sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+def depends_on(root: LineageItem, leaf: LineageItem) -> bool:
+    """True when the result transitively depends on the given item."""
+    return any(item.key == leaf.key for item in root.iter_nodes())
+
+
+# ---------------------------------------------------------------------------
+# trace diffing
+# ---------------------------------------------------------------------------
+
+
+def diff(left: LineageItem, right: LineageItem) -> List[Tuple[str, LineageItem, Optional[LineageItem]]]:
+    """Structural differences between two traces.
+
+    Returns a list of (kind, left node, right node) records where kind is
+    ``"opcode"`` (same position, different operation), ``"data"`` (same
+    operation, different payload — e.g. a changed literal or seed), or
+    ``"arity"`` (different input counts; subtrees are not descended).
+    Identical subtrees (equal keys) are skipped wholesale.
+    """
+    differences: List[Tuple[str, LineageItem, Optional[LineageItem]]] = []
+    stack = [(left, right)]
+    seen = set()
+    while stack:
+        a, b = stack.pop()
+        pair_key = (a.item_id, b.item_id)
+        if pair_key in seen or a.key == b.key:
+            continue
+        seen.add(pair_key)
+        if a.opcode != b.opcode:
+            differences.append(("opcode", a, b))
+            continue
+        if a.data != b.data:
+            differences.append(("data", a, b))
+        if len(a.inputs) != len(b.inputs):
+            differences.append(("arity", a, b))
+            continue
+        stack.extend(zip(a.inputs, b.inputs))
+    return differences
+
+
+def first_divergence(left: LineageItem, right: LineageItem) -> Optional[Tuple[LineageItem, LineageItem]]:
+    """The deepest-first difference between two traces, or None if equal."""
+    if left.key == right.key:
+        return None
+    if left.opcode == right.opcode and len(left.inputs) == len(right.inputs):
+        for a, b in zip(left.inputs, right.inputs):
+            deeper = first_divergence(a, b)
+            if deeper is not None:
+                return deeper
+        if left.data != right.data:
+            return (left, right)
+    return (left, right)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def to_dot(root: LineageItem, max_nodes: int = 500) -> str:
+    """A Graphviz rendering of a lineage DAG (for debugging sessions)."""
+    lines = ["digraph lineage {", "  rankdir=BT;", "  node [shape=box, fontsize=10];"]
+    count = 0
+    for item in root.iter_nodes():
+        if count >= max_nodes:
+            lines.append('  truncated [label="... truncated ...", style=dashed];')
+            break
+        label = item.opcode
+        if item.data:
+            payload = item.data if len(item.data) <= 30 else item.data[:27] + "..."
+            label += f"\\n{payload}"
+        shape = ', style=filled, fillcolor="#e8f0fe"' if item.is_leaf else ""
+        lines.append(f'  n{item.item_id} [label="{label}"{shape}];')
+        for child in item.inputs:
+            lines.append(f"  n{child.item_id} -> n{item.item_id};")
+        count += 1
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Per-execution lineage tracer.
+
+The tracer maintains the lineage DAG of every live variable.  After each
+instruction the interpreter calls :meth:`trace`, which derives the output
+item from the opcode and the input items.  With deduplication enabled,
+items are hash-consed: structurally identical subtrees (e.g. the trace of
+every loop iteration that takes the same control-flow path) share one
+object, so loops add O(1) new nodes per iteration instead of re-recording
+the whole path (paper section 3.1).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+from repro.lineage.item import LineageItem, input_item, literal_item, pread_item
+
+
+class LineageTracer:
+    """Traces lineage DAGs of live variables during interpretation."""
+
+    def __init__(self, dedup: bool = True):
+        self.items: Dict[str, LineageItem] = {}
+        self.dedup = dedup
+        self._interned: Dict[bytes, LineageItem] = {}
+        self.stats = {"traced": 0, "interned_hits": 0}
+
+    # --- item construction -----------------------------------------------------
+
+    def _intern(self, item: LineageItem) -> LineageItem:
+        if not self.dedup:
+            return item
+        existing = self._interned.get(item.key)
+        if existing is not None:
+            self.stats["interned_hits"] += 1
+            return existing
+        self._interned[item.key] = item
+        return existing or item
+
+    def make(self, opcode: str, inputs: Sequence[LineageItem], data: str = "") -> LineageItem:
+        return self._intern(LineageItem(opcode, inputs, data))
+
+    def operand_item(self, operand) -> LineageItem:
+        """The lineage item of one instruction operand."""
+        if operand.is_literal:
+            return self._intern(literal_item(operand.literal.value))
+        item = self.items.get(operand.name)
+        if item is None:
+            # a variable bound outside traced execution (e.g. API input)
+            item = input_item(operand.name)
+            self.items[operand.name] = item
+        return item
+
+    # --- tracing entry points -------------------------------------------------------
+
+    def trace(self, instruction) -> Optional[LineageItem]:
+        """Derive and record the output lineage of one executed instruction."""
+        outputs = instruction.output_names()
+        if not outputs:
+            return None
+        self.stats["traced"] += 1
+        opcode = instruction.opcode
+        if opcode == "assignvar":
+            item = self.operand_item(instruction.inputs[0])
+            self.items[outputs[0]] = item
+            return item
+        inputs = [self.operand_item(operand) for operand in instruction.inputs]
+        extra = self._instruction_data(instruction)
+        if len(outputs) == 1:
+            item = self.make(opcode, inputs, extra)
+            self.items[outputs[0]] = item
+            return item
+        parent = self.make(opcode, inputs, extra)
+        for index, name in enumerate(outputs):
+            self.items[name] = self.make("fout", [parent], str(index))
+        return parent
+
+    @staticmethod
+    def _instruction_data(instruction) -> str:
+        params = instruction.params
+        if not params:
+            return ""
+        parts = []
+        for key in sorted(params):
+            if key == "source":
+                continue  # generated code is summarised by its signature
+            value = params[key]
+            if key in ("names", "outputs", "arg_names"):
+                parts.append(f"{key}={','.join(str(v) for v in value)}")
+            else:
+                parts.append(f"{key}={value}")
+        return ";".join(parts)
+
+    def trace_datagen(self, name: str, instruction, seed: int) -> LineageItem:
+        """Trace a data generator including its (possibly generated) seed."""
+        data = f"{instruction.params.get('method')};seed={seed}"
+        inputs = [self.operand_item(op) for op in instruction.inputs]
+        item = self.make("datagen", inputs, data)
+        self.items[name] = item
+        return item
+
+    def trace_pread(self, name: str, path: str) -> LineageItem:
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            mtime = -1.0
+        item = self._intern(pread_item(path, mtime))
+        self.items[name] = item
+        return item
+
+    def bind_input(self, name: str, guid: int) -> LineageItem:
+        """Register an externally bound input under a stable object guid."""
+        item = self._intern(input_item(name, guid))
+        self.items[name] = item
+        return item
+
+    # --- queries ----------------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[LineageItem]:
+        return self.items.get(name)
+
+    def remove(self, name: str) -> None:
+        self.items.pop(name, None)
+
+    def copy_binding(self, source: str, target: str) -> None:
+        item = self.items.get(source)
+        if item is not None:
+            self.items[target] = item

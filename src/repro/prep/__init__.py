@@ -1,0 +1,14 @@
+"""Data integration, cleaning, and preparation primitives (paper section 3.2).
+
+Vectorised native kernels behind the DML builtins ``transformencode`` /
+``transformapply`` / ``detectSchema``; higher-level cleaning and preparation
+(imputation, outlier handling, scaling, winsorisation) is implemented as
+DML-bodied builtins on top (see ``repro/builtins/scripts/``).  Transform
+metadata is returned as a frame, keeping the system stateless: rules and
+pre-trained transformations travel as data (paper's key design choice).
+"""
+
+from repro.prep.transform import TransformSpec, transform_apply, transform_encode
+from repro.prep.schema import detect_schema
+
+__all__ = ["TransformSpec", "detect_schema", "transform_apply", "transform_encode"]

@@ -1,0 +1,6 @@
+"""Runtime control program (paper Figure 3, steps 3-4).
+
+The compiled runtime program — a hierarchy of program blocks with linear
+instruction sequences — is interpreted here.  The runtime also hosts the
+multi-level buffer pool, the parfor backend, and the parameter server.
+"""

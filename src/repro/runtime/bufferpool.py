@@ -1,0 +1,189 @@
+"""Multi-level buffer pool for intermediate variables (paper section 2.3(3)).
+
+The buffer pool owns the in-memory payloads of matrix/tensor variables.  When
+the managed footprint exceeds its budget it evicts unpinned entries in LRU
+order by serialising them to spill files; a later access restores them
+transparently.  Pinning protects entries while an instruction computes on
+them.
+
+The pool tracks simple statistics (evictions, restores, bytes spilled) so
+the buffer-pool ablation bench can observe its behaviour.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import os
+import pickle
+import threading
+from typing import Dict, Optional
+
+from repro.errors import BufferPoolError
+
+
+class CacheEntry:
+    """One buffered payload: in memory, spilled to disk, or both."""
+
+    __slots__ = ("entry_id", "payload", "size", "pin_count", "spill_path", "dirty")
+
+    def __init__(self, entry_id: int, payload, size: int):
+        self.entry_id = entry_id
+        self.payload = payload
+        self.size = size
+        self.pin_count = 0
+        self.spill_path: Optional[str] = None
+        self.dirty = True  # not yet persisted to the spill file
+
+    @property
+    def in_memory(self) -> bool:
+        return self.payload is not None
+
+
+class BufferPool:
+    """LRU buffer pool with pinning and spill-to-disk eviction."""
+
+    def __init__(self, budget: int, spill_dir: str):
+        if budget <= 0:
+            raise ValueError("buffer pool budget must be positive")
+        self.budget = budget
+        self.spill_dir = spill_dir
+        self._entries: Dict[int, CacheEntry] = {}
+        self._lru = collections.OrderedDict()  # entry_id -> None, oldest first
+        self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._used = 0
+        self.stats = {
+            "puts": 0,
+            "gets": 0,
+            "evictions": 0,
+            "restores": 0,
+            "bytes_spilled": 0,
+        }
+
+    # --- public protocol -------------------------------------------------------
+
+    def put(self, payload, size: int) -> int:
+        """Register a payload; returns the entry id used for later access."""
+        with self._lock:
+            entry = CacheEntry(next(self._ids), payload, max(int(size), 0))
+            self._entries[entry.entry_id] = entry
+            self._lru[entry.entry_id] = None
+            self._used += entry.size
+            self.stats["puts"] += 1
+            self._evict_if_needed()
+            return entry.entry_id
+
+    def get(self, entry_id: int):
+        """The payload for an entry, restoring it from disk if evicted."""
+        with self._lock:
+            entry = self._require(entry_id)
+            self.stats["gets"] += 1
+            if not entry.in_memory:
+                self._restore(entry)
+            self._touch(entry)
+            return entry.payload
+
+    def pin(self, entry_id: int):
+        """Pin an entry (restore if needed) and return its payload."""
+        with self._lock:
+            entry = self._require(entry_id)
+            if not entry.in_memory:
+                self._restore(entry)
+            entry.pin_count += 1
+            self._touch(entry)
+            return entry.payload
+
+    def unpin(self, entry_id: int) -> None:
+        with self._lock:
+            entry = self._require(entry_id)
+            if entry.pin_count <= 0:
+                raise BufferPoolError(f"unpin of unpinned entry {entry_id}")
+            entry.pin_count -= 1
+            self._evict_if_needed()
+
+    def update(self, entry_id: int, payload, size: int) -> None:
+        """Replace the payload of an entry (e.g. after an in-place op)."""
+        with self._lock:
+            entry = self._require(entry_id)
+            if entry.in_memory:
+                self._used -= entry.size
+            entry.payload = payload
+            entry.size = max(int(size), 0)
+            entry.dirty = True
+            self._used += entry.size
+            self._touch(entry)
+            self._evict_if_needed()
+
+    def free(self, entry_id: int) -> None:
+        """Drop an entry and its spill file (variable went out of scope)."""
+        with self._lock:
+            entry = self._entries.pop(entry_id, None)
+            if entry is None:
+                return  # idempotent: rmvar on already-freed entries is fine
+            self._lru.pop(entry_id, None)
+            if entry.in_memory:
+                self._used -= entry.size
+            if entry.spill_path and os.path.exists(entry.spill_path):
+                os.unlink(entry.spill_path)
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            for entry_id in list(self._entries):
+                self.free(entry_id)
+
+    # --- internals ------------------------------------------------------------------
+
+    def _require(self, entry_id: int) -> CacheEntry:
+        entry = self._entries.get(entry_id)
+        if entry is None:
+            raise BufferPoolError(f"unknown buffer pool entry {entry_id}")
+        return entry
+
+    def _touch(self, entry: CacheEntry) -> None:
+        self._lru.pop(entry.entry_id, None)
+        self._lru[entry.entry_id] = None
+
+    def _evict_if_needed(self) -> None:
+        if self._used <= self.budget:
+            return
+        for entry_id in list(self._lru):
+            if self._used <= self.budget:
+                return
+            entry = self._entries[entry_id]
+            if entry.pin_count > 0 or not entry.in_memory:
+                continue
+            self._evict(entry)
+
+    def _evict(self, entry: CacheEntry) -> None:
+        if entry.dirty or entry.spill_path is None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            entry.spill_path = os.path.join(
+                self.spill_dir, f"entry-{id(self)}-{entry.entry_id}.bin"
+            )
+            with open(entry.spill_path, "wb") as handle:
+                pickle.dump(entry.payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            entry.dirty = False
+            self.stats["bytes_spilled"] += entry.size
+        entry.payload = None
+        self._used -= entry.size
+        self._lru.pop(entry.entry_id, None)
+        self.stats["evictions"] += 1
+
+    def _restore(self, entry: CacheEntry) -> None:
+        if entry.spill_path is None or not os.path.exists(entry.spill_path):
+            raise BufferPoolError(
+                f"entry {entry.entry_id} evicted without a spill file"
+            )
+        with open(entry.spill_path, "rb") as handle:
+            entry.payload = pickle.load(handle)
+        self._used += entry.size
+        self.stats["restores"] += 1

@@ -1,0 +1,166 @@
+"""Execution context: symbol table plus the services of the control program.
+
+One context corresponds to one frame of interpretation (the main script, a
+function call, or a parfor worker).  Child contexts get a fresh symbol
+table but share the buffer pool, the lineage interning table, the reuse
+cache, and the runtime metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import ReproConfig
+from repro.errors import RuntimeDMLError
+from repro.lineage import LineageTracer, ReuseCache
+from repro.runtime.bufferpool import BufferPool
+from repro.runtime.data import MatrixObject
+from repro.tensor import BasicTensorBlock
+
+
+class ExecutionContext:
+    """Symbol table + services for one interpretation frame."""
+
+    def __init__(
+        self,
+        program,
+        config: ReproConfig,
+        pool: Optional[BufferPool] = None,
+        tracer: Optional[LineageTracer] = None,
+        reuse: Optional[ReuseCache] = None,
+        print_handler: Optional[Callable[[str], None]] = None,
+        metrics: Optional[Dict[str, float]] = None,
+    ):
+        self.program = program
+        self.config = config
+        self.pool = pool or BufferPool(config.bufferpool_budget, config.resolve_spill_dir())
+        if tracer is None and config.enable_lineage:
+            tracer = LineageTracer(dedup=config.enable_lineage_dedup)
+        self.tracer = tracer
+        if reuse is None and config.reuse_enabled:
+            reuse = ReuseCache(config.reuse_cache_size, config.partial_reuse_enabled)
+        self.reuse = reuse
+        self.variables: Dict[str, object] = {}
+        self.prints: List[str] = []
+        self.print_handler = print_handler
+        self.metrics = metrics if metrics is not None else {
+            "instructions": 0,
+            "collects": 0,
+            "bytes_collected": 0,
+            "recompiles": 0,
+            "fcalls": 0,
+        }
+        self._seed_state = (config.random_seed * 2654435761 + 1) % (2**63)
+        self._spark = None
+
+    def spark(self):
+        """The lazily created simulated Spark context (shared with children)."""
+        if self._spark is None:
+            from repro.distributed.rdd import SimSparkContext
+
+            self._spark = SimSparkContext(
+                self.config.parallelism, self.config.default_partitions
+            )
+        return self._spark
+
+    # --- symbol table -------------------------------------------------------------
+
+    def get(self, name: str):
+        """The bound value of a variable (raises on unbound names)."""
+        value = self.variables.get(name)
+        if value is None:
+            raise RuntimeDMLError(f"undefined variable: {name}")
+        return value
+
+    def get_or_none(self, name: str):
+        """The bound value, or None when the variable is unbound."""
+        return self.variables.get(name)
+
+    def set(self, name: str, value) -> None:
+        """Bind (or rebind) a variable in this frame."""
+        self.variables[name] = value
+
+    def remove(self, name: str) -> None:
+        """Unbind a variable and drop its lineage binding."""
+        self.variables.pop(name, None)
+        if self.tracer is not None:
+            self.tracer.remove(name)
+
+    def has(self, name: str) -> bool:
+        """True when the variable is bound in this frame."""
+        return name in self.variables
+
+    def cleanup_temps(self) -> None:
+        """Drop instruction temps (``_t...``) after a basic block completes."""
+        for name in [n for n in self.variables if n.startswith("_t")]:
+            self.remove(name)
+
+    def cleanup_nonlive(self, live: set) -> None:
+        """Drop variables that are no longer live after a block."""
+        for name in list(self.variables):
+            if name.startswith("_t") or name not in live:
+                self.remove(name)
+
+    # --- child frames ----------------------------------------------------------------
+
+    def child(self) -> "ExecutionContext":
+        """A function-call/parfor frame sharing all services."""
+        tracer = None
+        if self.tracer is not None:
+            tracer = LineageTracer(dedup=self.tracer.dedup)
+            tracer._interned = self.tracer._interned  # shared hash-consing
+            tracer.stats = self.tracer.stats
+        frame = ExecutionContext(
+            self.program,
+            self.config,
+            pool=self.pool,
+            tracer=tracer,
+            reuse=self.reuse,
+            print_handler=self.print_handler,
+            metrics=self.metrics,
+        )
+        frame.prints = self.prints  # shared output stream
+        frame._seed_state = self._next_seed_state()
+        frame._spark = self._spark
+        return frame
+
+    # --- services -----------------------------------------------------------------------
+
+    def emit_print(self, text: str) -> None:
+        self.prints.append(text)
+        if self.print_handler is not None:
+            self.print_handler(text)
+        else:
+            print(text)
+
+    def _next_seed_state(self) -> int:
+        self._seed_state = (self._seed_state * 6364136223846793005 + 1442695040888963407) % (2**63)
+        return self._seed_state
+
+    def next_seed(self) -> int:
+        """A deterministic per-context seed for unseeded data generators."""
+        return self._next_seed_state() % (2**31)
+
+    def collect(self, matrix: MatrixObject) -> BasicTensorBlock:
+        """Collect a distributed/federated matrix into one local block."""
+        self.metrics["collects"] += 1
+        if matrix.rdd is not None:
+            block = matrix.rdd.collect_local()
+        elif matrix.federated is not None:
+            from repro.federated.instructions import collect_federated
+
+            block = collect_federated(matrix.federated)
+        else:
+            raise RuntimeDMLError("collect on a local matrix")
+        self.metrics["bytes_collected"] += block.memory_size()
+        return block
+
+    # --- lineage hooks (no-ops when lineage is disabled) -----------------------------------
+
+    def trace_datagen(self, name: str, instruction, seed: int) -> None:
+        if self.tracer is not None:
+            self.tracer.trace_datagen(name, instruction, seed)
+
+    def trace_pread(self, name: str, path: str) -> None:
+        if self.tracer is not None:
+            self.tracer.trace_pread(name, path)

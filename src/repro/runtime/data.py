@@ -1,0 +1,329 @@
+"""Symbol-table value objects of the runtime control program.
+
+Every live DML variable maps to one of these handles:
+
+* :class:`ScalarObject` — int/float/bool/string scalars (held directly).
+* :class:`MatrixObject` — matrices and n-d tensors.  The payload lives in
+  the buffer pool (local :class:`BasicTensorBlock`), in the distributed
+  backend (:class:`~repro.distributed.blocked.BlockedTensor`), or in the
+  federated backend (:class:`~repro.federated.tensor.FederatedTensor`);
+  the handle carries metadata (shape, nnz) either way.
+* :class:`FrameObject` — 2D tables with schema.
+* :class:`ListObject` — ordered, optionally named collections of handles.
+
+``MatrixObject.acquire_local`` is the single funnel through which non-local
+payloads become local blocks, so every collect/transfer is observable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import RuntimeDMLError
+from repro.runtime.bufferpool import BufferPool
+from repro.tensor import BasicTensorBlock, DataTensorBlock, Frame
+from repro.types import DataType, ValueType
+
+
+class Representation(enum.Enum):
+    """Where a matrix payload lives: one block, blocked RDD, or fed sites."""
+
+    LOCAL = "local"
+    DISTRIBUTED = "distributed"
+    FEDERATED = "federated"
+
+
+class ScalarObject:
+    """An immutable scalar value."""
+
+    __slots__ = ("value", "value_type")
+
+    data_type = DataType.SCALAR
+
+    def __init__(self, value, value_type: Optional[ValueType] = None):
+        if value_type is None:
+            if isinstance(value, bool):
+                value_type = ValueType.BOOLEAN
+            elif isinstance(value, (int, np.integer)):
+                value_type = ValueType.INT64
+            elif isinstance(value, (float, np.floating)):
+                value_type = ValueType.FP64
+            elif isinstance(value, str):
+                value_type = ValueType.STRING
+            else:
+                raise RuntimeDMLError(f"unsupported scalar type: {type(value).__name__}")
+        if value_type == ValueType.BOOLEAN:
+            value = bool(value)
+        elif value_type in (ValueType.INT32, ValueType.INT64):
+            value = int(value)
+        elif value_type in (ValueType.FP32, ValueType.FP64):
+            value = float(value)
+        elif value_type == ValueType.STRING:
+            value = str(value)
+        self.value = value
+        self.value_type = value_type
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.value_type.is_numeric
+
+    def as_float(self) -> float:
+        """The value as a float (numeric strings parse; others reject)."""
+        if self.value_type == ValueType.STRING:
+            try:
+                return float(self.value)
+            except ValueError:
+                raise RuntimeDMLError(f"string {self.value!r} used as number") from None
+        return float(self.value)
+
+    def as_int(self) -> int:
+        return int(self.as_float())
+
+    def as_bool(self) -> bool:
+        if self.value_type == ValueType.STRING:
+            raise RuntimeDMLError(f"string {self.value!r} used as boolean")
+        return bool(self.value)
+
+    def as_string(self) -> str:
+        if self.value_type == ValueType.BOOLEAN:
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ScalarObject({self.value!r}, {self.value_type.value})"
+
+
+class MatrixObject:
+    """Handle for a matrix/tensor variable with buffer-pool-managed payload."""
+
+    data_type = DataType.MATRIX
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        value_type: ValueType = ValueType.FP64,
+        nnz: int = -1,
+    ):
+        self.shape: Tuple[int, ...] = tuple(int(d) for d in shape)
+        self.value_type = value_type
+        self.nnz = int(nnz)
+        self.representation = Representation.LOCAL
+        self._pool: Optional[BufferPool] = None
+        self._entry_id: Optional[int] = None
+        self._direct: Optional[BasicTensorBlock] = None  # fallback without a pool
+        self.rdd = None  # BlockedTensor when DISTRIBUTED
+        self.federated = None  # FederatedTensor when FEDERATED
+
+    # --- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_block(cls, block: BasicTensorBlock, pool: Optional[BufferPool] = None) -> "MatrixObject":
+        """Wrap a local block; with a pool, its payload becomes evictable."""
+        obj = cls(block.shape, block.value_type, block.nnz)
+        obj.set_local(block, pool)
+        return obj
+
+    @classmethod
+    def from_blocked(cls, blocked) -> "MatrixObject":
+        obj = cls(blocked.shape, blocked.value_type, blocked.nnz)
+        obj.representation = Representation.DISTRIBUTED
+        obj.rdd = blocked
+        return obj
+
+    @classmethod
+    def from_federated(cls, federated) -> "MatrixObject":
+        obj = cls(federated.shape, ValueType.FP64, -1)
+        obj.representation = Representation.FEDERATED
+        obj.federated = federated
+        return obj
+
+    # --- metadata -----------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0] if self.shape else 1
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1] if len(self.shape) > 1 else 1
+
+    @property
+    def is_local(self) -> bool:
+        return self.representation == Representation.LOCAL
+
+    def memory_size(self) -> int:
+        """Estimated payload bytes (sparse-aware when nnz is known)."""
+        cells = 1
+        for dim in self.shape:
+            cells *= max(dim, 1)
+        if 0 <= self.nnz < cells:
+            return int(self.nnz * 12 + self.num_rows * 8)
+        return int(cells * 8)
+
+    # --- payload management ----------------------------------------------------------
+
+    def set_local(self, block: BasicTensorBlock, pool: Optional[BufferPool] = None) -> None:
+        """Replace the payload with a local block and refresh the metadata."""
+        self.representation = Representation.LOCAL
+        self.rdd = None
+        self.federated = None
+        self.shape = block.shape
+        self.value_type = block.value_type
+        self.nnz = block.nnz
+        if pool is not None:
+            if self._pool is not None and self._entry_id is not None:
+                self._pool.free(self._entry_id)
+            self._pool = pool
+            self._entry_id = pool.put(block, block.memory_size())
+            self._direct = None
+        else:
+            self._direct = block
+            self._pool = None
+            self._entry_id = None
+
+    def acquire_local(self, collector=None) -> BasicTensorBlock:
+        """The payload as a local block.
+
+        Non-local representations are collected through ``collector`` (an
+        ``ExecutionContext`` method) so transfers are accounted; without a
+        collector, non-local access is an error.
+        """
+        if self.representation == Representation.LOCAL:
+            if self._pool is not None:
+                return self._pool.get(self._entry_id)
+            if self._direct is None:
+                raise RuntimeDMLError("matrix object has no payload")
+            return self._direct
+        if collector is None:
+            raise RuntimeDMLError(
+                f"{self.representation.value} matrix used where a local block is required"
+            )
+        block = collector(self)
+        self.set_local(block, self._pool)
+        return block
+
+    @contextlib.contextmanager
+    def pinned(self):
+        """Pin the local payload for the duration of a kernel call."""
+        if self.representation != Representation.LOCAL:
+            raise RuntimeDMLError("pinned() requires a local payload")
+        if self._pool is None:
+            yield self._direct
+            return
+        block = self._pool.pin(self._entry_id)
+        try:
+            yield block
+        finally:
+            self._pool.unpin(self._entry_id)
+
+    def free(self) -> None:
+        """Release the payload (variable removed from the symbol table)."""
+        if self._pool is not None and self._entry_id is not None:
+            self._pool.free(self._entry_id)
+            self._entry_id = None
+        self._direct = None
+        self.rdd = None
+        self.federated = None
+
+    def __del__(self):  # payload lifetime follows the handle's references
+        try:
+            self.free()
+        except Exception:  # noqa: BLE001 - interpreter teardown must not raise
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MatrixObject(shape={self.shape}, nnz={self.nnz},"
+            f" repr={self.representation.value})"
+        )
+
+
+class FrameObject:
+    """Handle for a frame variable."""
+
+    data_type = DataType.FRAME
+
+    def __init__(self, frame: Frame):
+        self.frame = frame
+
+    @property
+    def shape(self):
+        return self.frame.shape
+
+    @property
+    def num_rows(self) -> int:
+        return self.frame.num_rows
+
+    @property
+    def num_cols(self) -> int:
+        return self.frame.num_cols
+
+    def memory_size(self) -> int:
+        return self.frame.memory_size()
+
+    def free(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FrameObject({self.frame!r})"
+
+
+class TensorObject(MatrixObject):
+    """Handle for n-dimensional (possibly heterogeneous) tensors."""
+
+    data_type = DataType.TENSOR
+
+    def __init__(self, shape: Sequence[int], value_type: ValueType = ValueType.FP64, nnz: int = -1):
+        super().__init__(shape, value_type, nnz)
+        self.data_tensor: Optional[DataTensorBlock] = None
+
+    @classmethod
+    def from_data_tensor(cls, tensor: DataTensorBlock) -> "TensorObject":
+        obj = cls(tensor.shape)
+        obj.data_tensor = tensor
+        return obj
+
+
+class ListObject:
+    """An ordered, optionally named, list of data objects."""
+
+    data_type = DataType.LIST
+
+    def __init__(self, items: List, names: Optional[List[str]] = None):
+        self.items = list(items)
+        if names is not None and len(names) != len(items):
+            raise RuntimeDMLError("list names must match item count")
+        self.names = list(names) if names is not None else None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def get(self, key):
+        if isinstance(key, str):
+            if self.names is None or key not in self.names:
+                raise RuntimeDMLError(f"list has no element named {key!r}")
+            return self.items[self.names.index(key)]
+        index = int(key)
+        if not 1 <= index <= len(self.items):
+            raise RuntimeDMLError(f"list index {index} out of range 1..{len(self.items)}")
+        return self.items[index - 1]
+
+    def append(self, item, name: Optional[str] = None) -> "ListObject":
+        items = self.items + [item]
+        names = None
+        if self.names is not None:
+            names = self.names + [name or f"e{len(items)}"]
+        return ListObject(items, names)
+
+    def free(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ListObject(n={len(self.items)})"
+
+
+DataObject = Union[ScalarObject, MatrixObject, FrameObject, TensorObject, ListObject]

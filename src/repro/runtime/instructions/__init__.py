@@ -1,0 +1,1 @@
+"""Runtime instruction sets: CP (local), Spark-like (distributed), federated."""

@@ -1,0 +1,144 @@
+"""Instruction and operand model shared by all backends.
+
+Instructions are the unit of interpretation of the control program (paper
+section 2.3(3)): each carries an opcode, input operands (variable names or
+inline literals), one or more output variable names, and backend-specific
+parameters.  ``execute`` runs against an
+:class:`~repro.runtime.context.ExecutionContext`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import RuntimeDMLError
+from repro.runtime.data import (
+    FrameObject,
+    ListObject,
+    MatrixObject,
+    ScalarObject,
+)
+from repro.tensor import BasicTensorBlock, Frame
+from repro.types import ExecType
+
+
+class Operand:
+    """A variable reference or an inline scalar literal."""
+
+    __slots__ = ("name", "literal")
+
+    def __init__(self, name: Optional[str] = None, literal: Optional[ScalarObject] = None):
+        if (name is None) == (literal is None):
+            raise ValueError("operand is either a variable or a literal")
+        self.name = name
+        self.literal = literal
+
+    @classmethod
+    def var(cls, name: str) -> "Operand":
+        return cls(name=name)
+
+    @classmethod
+    def lit(cls, value) -> "Operand":
+        return cls(literal=ScalarObject(value))
+
+    @property
+    def is_literal(self) -> bool:
+        return self.literal is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_literal:
+            return f"Lit({self.literal.value!r})"
+        return f"Var({self.name})"
+
+
+class Instruction:
+    """Base runtime instruction."""
+
+    exec_type = ExecType.CP
+    #: Opcodes eligible for lineage-based reuse probe before execution.
+    reusable = False
+
+    def __init__(self, opcode: str, inputs: Sequence[Operand], output: Optional[str],
+                 params: Optional[dict] = None):
+        self.opcode = opcode
+        self.inputs: List[Operand] = list(inputs)
+        self.output = output
+        self.params = dict(params or {})
+
+    # --- operand resolution ------------------------------------------------------
+
+    def _resolve(self, operand: Operand, ctx):
+        if operand.is_literal:
+            return operand.literal
+        return ctx.get(operand.name)
+
+    def scalar_in(self, index: int, ctx) -> ScalarObject:
+        value = self._resolve(self.inputs[index], ctx)
+        if isinstance(value, ScalarObject):
+            return value
+        if isinstance(value, MatrixObject):
+            block = value.acquire_local(ctx.collect)
+            return ScalarObject(block.as_scalar())
+        raise RuntimeDMLError(
+            f"{self.opcode}: expected a scalar, found {type(value).__name__}"
+        )
+
+    def matrix_in(self, index: int, ctx) -> MatrixObject:
+        value = self._resolve(self.inputs[index], ctx)
+        if isinstance(value, MatrixObject):
+            return value
+        if isinstance(value, ScalarObject) and value.is_numeric:
+            return MatrixObject.from_block(
+                BasicTensorBlock.scalar(value.as_float()), ctx.pool
+            )
+        if isinstance(value, FrameObject):
+            return MatrixObject.from_block(value.frame.to_matrix(), ctx.pool)
+        raise RuntimeDMLError(
+            f"{self.opcode}: expected a matrix, found {type(value).__name__}"
+        )
+
+    def block_in(self, index: int, ctx) -> BasicTensorBlock:
+        return self.matrix_in(index, ctx).acquire_local(ctx.collect)
+
+    def frame_in(self, index: int, ctx) -> Frame:
+        value = self._resolve(self.inputs[index], ctx)
+        if isinstance(value, FrameObject):
+            return value.frame
+        if isinstance(value, MatrixObject):
+            return Frame.from_matrix(value.acquire_local(ctx.collect))
+        raise RuntimeDMLError(
+            f"{self.opcode}: expected a frame, found {type(value).__name__}"
+        )
+
+    def any_in(self, index: int, ctx):
+        return self._resolve(self.inputs[index], ctx)
+
+    # --- result binding ------------------------------------------------------------------
+
+    def bind_block(self, ctx, block: BasicTensorBlock) -> None:
+        ctx.set(self.output, MatrixObject.from_block(block, ctx.pool))
+
+    def bind_scalar(self, ctx, value) -> None:
+        scalar = value if isinstance(value, ScalarObject) else ScalarObject(value)
+        ctx.set(self.output, scalar)
+
+    def bind_frame(self, ctx, frame: Frame) -> None:
+        ctx.set(self.output, FrameObject(frame))
+
+    def bind_list(self, ctx, items, names=None) -> None:
+        ctx.set(self.output, ListObject(items, names))
+
+    def bind(self, ctx, value) -> None:
+        ctx.set(self.output, value)
+
+    # --- contract ----------------------------------------------------------------------------
+
+    def execute(self, ctx) -> None:
+        raise NotImplementedError
+
+    def output_names(self) -> List[str]:
+        return [self.output] if self.output else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ins = ", ".join(repr(op) for op in self.inputs)
+        return f"{self.exec_type.value}.{self.opcode}({ins}) -> {self.output}"

@@ -1,0 +1,188 @@
+"""Distributed (Spark-like) instruction set.
+
+Selected by the compiler when an operator's memory estimate exceeds the
+configured budget (paper section 2.3(2)).  Inputs that are still local are
+"parallelized" into blocked tensors on first use; outputs stay distributed
+(as ``MatrixObject.from_blocked``) unless the result is inherently small
+(full aggregates, TSMM over tall-skinny inputs), in which case it comes
+back local immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.distributed import dist_ops
+from repro.distributed.blocked import BlockedTensor, block_sizes_for
+from repro.errors import RuntimeDMLError
+from repro.runtime.data import MatrixObject, ScalarObject
+from repro.runtime.instructions.base import Instruction, Operand
+from repro.types import Direction, ExecType
+
+
+class SparkInstruction(Instruction):
+    exec_type = ExecType.SPARK
+
+    def blocked_in(self, index: int, ctx) -> BlockedTensor:
+        """Input as a blocked tensor (parallelizing local payloads)."""
+        matrix = self.matrix_in(index, ctx)
+        if matrix.rdd is not None:
+            return matrix.rdd
+        block = matrix.acquire_local(ctx.collect)
+        sizes = block_sizes_for(block.ndim, ctx.config.block_size)
+        blocked = BlockedTensor.from_local(block, ctx.spark(), sizes)
+        matrix.rdd = blocked  # remember the distributed view
+        return blocked
+
+    def bind_blocked(self, ctx, blocked: BlockedTensor) -> None:
+        ctx.set(self.output, MatrixObject.from_blocked(blocked))
+
+
+class BinarySPInstruction(SparkInstruction):
+    """Elementwise binary over aligned blocked tensors (or scalar map)."""
+
+    def __init__(self, op: str, left: Operand, right: Operand, output: str):
+        super().__init__(op, [left, right], output)
+
+    def execute(self, ctx) -> None:
+        left = self._resolve(self.inputs[0], ctx)
+        right = self._resolve(self.inputs[1], ctx)
+        if isinstance(left, ScalarObject) and isinstance(right, ScalarObject):
+            raise RuntimeDMLError("scalar-scalar op selected for Spark backend")
+        if isinstance(right, ScalarObject):
+            blocked = self.blocked_in(0, ctx)
+            result = dist_ops.elementwise_scalar(self.opcode, blocked, right.as_float())
+        elif isinstance(left, ScalarObject):
+            blocked = self.blocked_in(1, ctx)
+            result = dist_ops.elementwise_scalar(
+                self.opcode, blocked, left.as_float(), scalar_left=True
+            )
+        else:
+            a = self.blocked_in(0, ctx)
+            b = self.blocked_in(1, ctx)
+            if a.shape != b.shape:
+                # broadcasting across blocks: fall back through local kernels
+                from repro.tensor import ops as local_ops
+
+                result_block = local_ops.binary_op(
+                    self.opcode, a.collect_local(), b.collect_local()
+                )
+                self.bind_block(ctx, result_block)
+                return
+            if a.block_sizes != b.block_sizes:
+                b = b.reblock(a.block_sizes)
+            result = dist_ops.elementwise(self.opcode, a, b)
+        self.bind_blocked(ctx, result)
+
+
+class AggSPInstruction(SparkInstruction):
+    def __init__(self, op: str, direction: Direction, operand: Operand, output: str):
+        super().__init__(op, [operand], output, {"direction": direction})
+
+    def execute(self, ctx) -> None:
+        blocked = self.blocked_in(0, ctx)
+        direction: Direction = self.params["direction"]
+        result = dist_ops.aggregate(self.opcode, blocked, direction)
+        if direction == Direction.FULL:
+            self.bind_scalar(ctx, float(result))
+        else:
+            self.bind_block(ctx, result)
+
+
+class ReorgSPInstruction(SparkInstruction):
+    def __init__(self, op: str, operand: Operand, output: str):
+        super().__init__(op, [operand], output)
+
+    def execute(self, ctx) -> None:
+        if self.opcode != "t":
+            raise RuntimeDMLError(f"unsupported distributed reorg {self.opcode!r}")
+        self.bind_blocked(ctx, dist_ops.transpose(self.blocked_in(0, ctx)))
+
+
+class MatMultSPInstruction(SparkInstruction):
+    """Distributed matmult: tsmm/tmm fused forms, mapmm broadcast, or cpmm."""
+
+    reusable = True
+
+    #: Right-hand sides smaller than this stay local and are broadcast.
+    BROADCAST_THRESHOLD = 64 * 1024 * 1024
+
+    def __init__(self, physical: str, inputs: Sequence[Operand], output: str):
+        super().__init__(physical, inputs, output)
+
+    def execute(self, ctx) -> None:
+        if self.opcode == "tsmm":
+            blocked = self.blocked_in(0, ctx)
+            self.bind_block(ctx, dist_ops.tsmm(blocked))
+            return
+        if self.opcode == "tmm":
+            a = self.blocked_in(0, ctx)
+            b = self.blocked_in(1, ctx)
+            if a.block_sizes[0] != b.block_sizes[0]:
+                b = b.reblock((a.block_sizes[0], b.block_sizes[1]))
+            self.bind_block(ctx, dist_ops.tmm(a, b))
+            return
+        left = self.matrix_in(0, ctx)
+        right = self.matrix_in(1, ctx)
+        right_size = right.memory_size()
+        if right.is_local and right_size <= self.BROADCAST_THRESHOLD:
+            blocked = self.blocked_in(0, ctx)
+            result = dist_ops.mapmm(blocked, right.acquire_local(ctx.collect),
+                                    ctx.config.native_blas)
+            self.bind_blocked(ctx, result)
+            return
+        a = self.blocked_in(0, ctx)
+        b = self.blocked_in(1, ctx)
+        if a.block_sizes[1] != b.block_sizes[0]:
+            b = b.reblock((a.block_sizes[1], b.block_sizes[1]))
+        self.bind_blocked(ctx, dist_ops.cpmm(a, b))
+
+
+class RandSPInstruction(SparkInstruction):
+    def __init__(self, param_operands: Dict[str, Operand], output: str):
+        super().__init__("datagen_rand", list(param_operands.values()), output,
+                         {"names": list(param_operands.keys()), "method": "rand"})
+
+    def execute(self, ctx) -> None:
+        named = {}
+        for name, operand in zip(self.params["names"], self.inputs):
+            value = self._resolve(operand, ctx)
+            if not isinstance(value, ScalarObject):
+                raise RuntimeDMLError("rand parameters must be scalars")
+            named[name] = value
+        seed = named["seed"].as_int() if "seed" in named else ctx.next_seed()
+        sizes = block_sizes_for(2, ctx.config.block_size)
+        blocked = dist_ops.rand(
+            ctx.spark(),
+            named["rows"].as_int(),
+            named["cols"].as_int(),
+            sizes,
+            min_value=named["min"].as_float() if "min" in named else 0.0,
+            max_value=named["max"].as_float() if "max" in named else 1.0,
+            sparsity=named["sparsity"].as_float() if "sparsity" in named else 1.0,
+            seed=seed,
+        )
+        ctx.trace_datagen(self.output, self, seed)
+        self.bind_blocked(ctx, blocked)
+
+
+def create(kind: str, *args) -> Optional[Instruction]:
+    """Factory used by instruction generation for distributed operators."""
+    if kind == "binary":
+        op, left, right, out = args
+        return BinarySPInstruction(op, left, right, out)
+    if kind == "agg":
+        op, direction, operand, out = args
+        return AggSPInstruction(op, direction, operand, out)
+    if kind == "reorg":
+        op, operand, out = args
+        if op != "t":
+            return None
+        return ReorgSPInstruction(op, operand, out)
+    if kind == "matmult":
+        physical, operands, out, __shapes = args
+        return MatMultSPInstruction(physical, operands, out)
+    if kind == "rand":
+        params, out = args
+        return RandSPInstruction(params, out)
+    return None

@@ -1,0 +1,193 @@
+"""Parameter server for mini-batch training (paper section 2.3(4)).
+
+The DML builtin ``paramserv`` drives data-parallel mini-batch training with
+user-supplied DML update/aggregate functions:
+
+    model2 = paramserv(model=model, features=X, labels=y,
+                       upd="gradients", agg="aggregate",
+                       mode="BSP", k=4, epochs=2, batchsize=32,
+                       hyperparams=params)
+
+Function contracts (positional):
+
+* ``upd(model, features, labels, hyperparams) -> gradients`` — compute the
+  gradients of one mini-batch against the current model;
+* ``agg(model, gradients, hyperparams) -> model`` — fold one worker's
+  gradients into the model.
+
+Rows are partitioned disjointly and contiguously across ``k`` workers.
+``mode="BSP"`` synchronises after every batch step (all workers' gradients
+aggregated before anyone proceeds); ``mode="ASP"`` lets workers push and
+pull asynchronously under a model lock.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import RuntimeDMLError
+from repro.runtime.data import ListObject, MatrixObject, ScalarObject
+from repro.tensor import BasicTensorBlock
+
+
+class _ParamServer:
+    """The shared model store with push/pull under a lock."""
+
+    def __init__(self, model: ListObject):
+        self.model = model
+        self._lock = threading.Lock()
+        self.stats = {"pushes": 0, "pulls": 0}
+
+    def pull(self) -> ListObject:
+        with self._lock:
+            self.stats["pulls"] += 1
+            return self.model
+
+    def push(self, ctx, agg_name: str, gradients: ListObject, hyperparams) -> None:
+        from repro.runtime.interpreter import call_function
+
+        with self._lock:
+            self.stats["pushes"] += 1
+            results, __ = call_function(
+                ctx, agg_name, [self.model, gradients, hyperparams], [None, None, None]
+            )
+            new_model = results[0]
+            if not isinstance(new_model, ListObject):
+                raise RuntimeDMLError("paramserv agg function must return a list")
+            self.model = new_model
+
+
+def _named_scalar(named: Dict, name: str, default) -> ScalarObject:
+    value = named.get(name)
+    if value is None:
+        return ScalarObject(default)
+    if not isinstance(value, ScalarObject):
+        raise RuntimeDMLError(f"paramserv: parameter {name!r} must be scalar")
+    return value
+
+
+def run_paramserv(ctx, named: Dict) -> ListObject:
+    """Execute the paramserv builtin; returns the trained model list."""
+    model = named.get("model")
+    if not isinstance(model, ListObject):
+        raise RuntimeDMLError("paramserv requires model=list(...)")
+    features = named.get("features")
+    labels = named.get("labels")
+    if not isinstance(features, MatrixObject) or not isinstance(labels, MatrixObject):
+        raise RuntimeDMLError("paramserv requires features= and labels= matrices")
+    upd_name = _named_scalar(named, "upd", "").as_string()
+    agg_name = _named_scalar(named, "agg", "").as_string()
+    if not upd_name or not agg_name:
+        raise RuntimeDMLError("paramserv requires upd= and agg= function names")
+    for func_name in (upd_name, agg_name):
+        if func_name not in ctx.program.functions:
+            raise RuntimeDMLError(f"paramserv: undefined function {func_name!r}")
+    mode = _named_scalar(named, "mode", "BSP").as_string().upper()
+    if mode not in ("BSP", "ASP"):
+        raise RuntimeDMLError(f"paramserv: unknown mode {mode!r}")
+    workers = max(1, _named_scalar(named, "k", ctx.config.parallelism).as_int())
+    epochs = max(1, _named_scalar(named, "epochs", 1).as_int())
+    batch_size = max(1, _named_scalar(named, "batchsize", 64).as_int())
+    hyperparams = named.get("hyperparams")
+    if hyperparams is None:
+        hyperparams = ListObject([])
+
+    x_block = features.acquire_local(ctx.collect)
+    y_block = labels.acquire_local(ctx.collect)
+    n = x_block.num_rows
+    if y_block.num_rows != n:
+        raise RuntimeDMLError("paramserv: features and labels row counts differ")
+    workers = min(workers, n)
+    server = _ParamServer(model)
+
+    # disjoint contiguous row partitioning
+    partitions = []
+    rows_per_worker = math.ceil(n / workers)
+    x_data = x_block.to_numpy()
+    y_data = y_block.to_numpy()
+    for w in range(workers):
+        lo = w * rows_per_worker
+        hi = min(lo + rows_per_worker, n)
+        if lo < hi:
+            partitions.append((lo, hi))
+
+    if mode == "BSP":
+        _run_bsp(ctx, server, upd_name, agg_name, hyperparams,
+                 x_data, y_data, partitions, epochs, batch_size)
+    else:
+        _run_asp(ctx, server, upd_name, agg_name, hyperparams,
+                 x_data, y_data, partitions, epochs, batch_size)
+    ctx.metrics["paramserv_pushes"] = ctx.metrics.get("paramserv_pushes", 0) + server.stats["pushes"]
+    return server.model
+
+
+def _batches(lo: int, hi: int, batch_size: int) -> List:
+    return [(b, min(b + batch_size, hi)) for b in range(lo, hi, batch_size)]
+
+
+def _compute_gradients(ctx, upd_name: str, model: ListObject, x_data, y_data,
+                       batch, hyperparams) -> ListObject:
+    from repro.runtime.interpreter import call_function
+
+    lo, hi = batch
+    x_batch = MatrixObject.from_block(BasicTensorBlock.from_numpy(x_data[lo:hi].copy()), ctx.pool)
+    y_batch = MatrixObject.from_block(BasicTensorBlock.from_numpy(y_data[lo:hi].copy()), ctx.pool)
+    results, __ = call_function(
+        ctx, upd_name, [model, x_batch, y_batch, hyperparams], [None, None, None, None]
+    )
+    gradients = results[0]
+    if not isinstance(gradients, ListObject):
+        raise RuntimeDMLError("paramserv upd function must return a list")
+    return gradients
+
+
+def _run_bsp(ctx, server, upd_name, agg_name, hyperparams,
+             x_data, y_data, partitions, epochs, batch_size) -> None:
+    """Bulk-synchronous: one barrier per batch step, then ordered aggregation."""
+    worker_batches = [_batches(lo, hi, batch_size) for lo, hi in partitions]
+    steps = max(len(batches) for batches in worker_batches)
+    pool = concurrent.futures.ThreadPoolExecutor(max_workers=len(partitions))
+    worker_ctxs = [ctx.child() for __ in partitions]
+    try:
+        for __ in range(epochs):
+            for step in range(steps):
+                model = server.pull()
+                futures = []
+                for wctx, batches in zip(worker_ctxs, worker_batches):
+                    if step >= len(batches):
+                        continue
+                    futures.append(
+                        pool.submit(
+                            _compute_gradients, wctx, upd_name, model,
+                            x_data, y_data, batches[step], hyperparams,
+                        )
+                    )
+                all_gradients = [future.result() for future in futures]
+                for gradients in all_gradients:  # barrier, then ordered agg
+                    server.push(ctx, agg_name, gradients, hyperparams)
+    finally:
+        pool.shutdown(wait=False)
+
+
+def _run_asp(ctx, server, upd_name, agg_name, hyperparams,
+             x_data, y_data, partitions, epochs, batch_size) -> None:
+    """Asynchronous: each worker pushes/pulls on its own schedule."""
+
+    def worker_loop(wctx, lo, hi):
+        for __ in range(epochs):
+            for batch in _batches(lo, hi, batch_size):
+                model = server.pull()
+                gradients = _compute_gradients(
+                    wctx, upd_name, model, x_data, y_data, batch, hyperparams
+                )
+                server.push(wctx, agg_name, gradients, hyperparams)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=len(partitions)) as pool:
+        futures = [
+            pool.submit(worker_loop, ctx.child(), lo, hi) for lo, hi in partitions
+        ]
+        for future in futures:
+            future.result()

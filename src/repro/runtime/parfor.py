@@ -1,0 +1,221 @@
+"""Parallel for loops (paper section 2.3(4), citing the ParFor work [5]).
+
+The parfor backend runs loop iterations on a thread pool.  Before spawning
+workers it performs a loop-dependency analysis over the body: result
+variables (written in the body and live after the loop) must be updated
+through left-indexing whose subscripts are *linear in the loop variable*
+(guaranteeing disjoint writes across iterations), otherwise a loop-carried
+dependency is reported — unless the user passes ``check=0``, mirroring the
+``parfor(..., check=0)`` escape hatch of SystemDS.
+
+Result merge follows SystemML's merge-with-compare: each worker operates on
+a copy-on-write view; after the join, cells that differ from the pre-loop
+snapshot are merged into the final result.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.compiler.blocks import ForBlock
+from repro.errors import RuntimeDMLError
+from repro.lang import ast
+from repro.runtime.data import MatrixObject, ScalarObject
+from repro.tensor import BasicTensorBlock
+
+
+class ParForDependencyError(RuntimeDMLError):
+    """A loop-carried dependency was detected for a result variable."""
+
+
+# ---------------------------------------------------------------------------
+# dependency analysis
+# ---------------------------------------------------------------------------
+
+
+def _expr_is_linear_in(expr: ast.Expr, var: str) -> bool:
+    """True when ``expr`` is a non-degenerate linear function of ``var``.
+
+    Accepts ``var``, ``var + c``, ``c + var``, ``var - c``, ``c * var``,
+    ``var * c`` and nested combinations thereof; a conservative subset of
+    the Banerjee-style tests used by SystemML.
+    """
+    if isinstance(expr, ast.Identifier):
+        return expr.name == var
+    if isinstance(expr, ast.BinaryExpr):
+        left_uses = _uses_var(expr.left, var)
+        right_uses = _uses_var(expr.right, var)
+        if left_uses and right_uses:
+            return False  # e.g. i*i -- not linear
+        if expr.op in ("+", "-"):
+            side = expr.left if left_uses else expr.right
+            return _expr_is_linear_in(side, var)
+        if expr.op == "*":
+            side = expr.left if left_uses else expr.right
+            other = expr.right if left_uses else expr.left
+            # coefficient must be a non-zero literal to guarantee injectivity
+            coefficient = _literal_value(other)
+            if coefficient in (None, 0):
+                return False
+            return _expr_is_linear_in(side, var)
+    return False
+
+
+def _literal_value(expr: ast.Expr):
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.FloatLiteral):
+        return expr.value
+    return None
+
+
+def _uses_var(expr: ast.Expr, var: str) -> bool:
+    statement = ast.ExprStatement(value=expr)
+    return var in ast.read_variables(statement)
+
+
+def _collect_statements(body) -> List[ast.Statement]:
+    from repro.compiler.blocks import BasicBlock, ForBlock as FB, IfBlock, WhileBlock
+
+    statements: List[ast.Statement] = []
+    for block in body:
+        if isinstance(block, BasicBlock):
+            statements.extend(block.statements)
+        elif isinstance(block, IfBlock):
+            statements.extend(_collect_statements(block.then_blocks))
+            statements.extend(_collect_statements(block.else_blocks))
+        elif isinstance(block, (WhileBlock, FB)):
+            statements.extend(_collect_statements(block.body))
+    return statements
+
+
+def check_dependencies(block: ForBlock, result_vars: Set[str]) -> None:
+    """Raise :class:`ParForDependencyError` on unsafe result-variable updates."""
+    statements = _collect_statements(block.body)
+    for statement in statements:
+        written = ast.written_variables(statement)
+        conflict = written & result_vars
+        if not conflict:
+            continue
+        if isinstance(statement, ast.IndexedAssign):
+            if any(
+                rng.is_single and _expr_is_linear_in(rng.lower, block.var)
+                for rng in statement.ranges
+                if rng.lower is not None
+            ):
+                continue
+            raise ParForDependencyError(
+                f"parfor: left-indexing of result variable "
+                f"{statement.target!r} is not linear in {block.var!r}"
+            )
+        raise ParForDependencyError(
+            f"parfor: result variable {sorted(conflict)[0]!r} is overwritten "
+            f"whole in every iteration (loop-carried dependency)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def execute_parfor(block: ForBlock, ctx, start: int, stop: int, step: int) -> None:
+    """Run a parfor: dependency check, threaded workers, result merge."""
+    from repro.runtime.interpreter import execute_blocks
+
+    iterations = list(range(start, stop + (1 if step > 0 else -1), step))
+    if not iterations:
+        return
+    result_vars = (block.writes() & block.live_out) - {block.var}
+    check = _opt_int(block, ctx, "check", 1)
+    if check:
+        check_dependencies(block, result_vars)
+    degree = _opt_int(block, ctx, "par", ctx.config.parallelism)
+    degree = max(1, min(degree, len(iterations)))
+
+    snapshots: Dict[str, Optional[BasicTensorBlock]] = {}
+    for name in result_vars:
+        value = ctx.get_or_none(name)
+        if isinstance(value, MatrixObject):
+            snapshots[name] = value.acquire_local(ctx.collect)
+        else:
+            snapshots[name] = None
+
+    def run_chunk(chunk: List[int]):
+        worker = ctx.child()
+        worker.variables = dict(ctx.variables)
+        if worker.tracer is not None and ctx.tracer is not None:
+            worker.tracer.items = dict(ctx.tracer.items)
+        for i in chunk:
+            worker.set(block.var, ScalarObject(int(i)))
+            if worker.tracer is not None:
+                worker.tracer.items[block.var] = worker.tracer.make("lit", (), f"int:{int(i)}")
+            execute_blocks(block.body, worker)
+        return worker
+
+    chunks = [iterations[i::degree] for i in range(degree)]
+    chunks = [chunk for chunk in chunks if chunk]
+    if len(chunks) == 1:
+        workers = [run_chunk(chunks[0])]
+    else:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            workers = list(pool.map(run_chunk, chunks))
+
+    _merge_results(ctx, result_vars, snapshots, workers)
+
+
+def _opt_int(block: ForBlock, ctx, name: str, default: int) -> int:
+    expr = block.opts.get(name)
+    if expr is None:
+        return default
+    value = _literal_value(expr)
+    if value is not None:
+        return int(value)
+    if isinstance(expr, ast.Identifier):
+        bound = ctx.get_or_none(expr.name)
+        if isinstance(bound, ScalarObject):
+            return bound.as_int()
+    raise RuntimeDMLError(f"parfor option {name!r} must be a literal or scalar variable")
+
+
+def _merge_results(ctx, result_vars: Set[str], snapshots, workers) -> None:
+    for name in sorted(result_vars):
+        initial = snapshots.get(name)
+        if initial is None:
+            # created inside the loop: last writer wins
+            for worker in reversed(workers):
+                value = worker.get_or_none(name)
+                if value is not None:
+                    ctx.set(name, value)
+                    if ctx.tracer is not None and worker.tracer is not None:
+                        item = worker.tracer.get(name)
+                        if item is not None:
+                            ctx.tracer.items[name] = item
+                    break
+            continue
+        merged = initial.to_numpy().astype(np.float64, copy=True)
+        base = initial.to_numpy()
+        items = []
+        for worker in workers:
+            value = worker.get_or_none(name)
+            if not isinstance(value, MatrixObject):
+                continue
+            candidate = value.acquire_local(ctx.collect)
+            if candidate.shape != initial.shape:
+                raise RuntimeDMLError(
+                    f"parfor: result variable {name!r} changed shape "
+                    f"{initial.shape} -> {candidate.shape}"
+                )
+            data = candidate.to_numpy()
+            changed = data != base
+            merged = np.where(changed, data, merged)
+            if worker.tracer is not None:
+                item = worker.tracer.get(name)
+                if item is not None:
+                    items.append(item)
+        ctx.set(name, MatrixObject.from_block(BasicTensorBlock.from_numpy(merged), ctx.pool))
+        if ctx.tracer is not None and items:
+            ctx.tracer.items[name] = ctx.tracer.make("parfor_merge", items)

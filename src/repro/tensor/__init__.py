@@ -1,0 +1,23 @@
+"""Heterogeneous tensor data model (paper section 2.4).
+
+The central abstraction is the :class:`~repro.tensor.block.BasicTensorBlock`,
+a homogeneous multi-dimensional array with dense and sparse physical
+representations, complemented by the heterogeneous
+:class:`~repro.tensor.data.DataTensorBlock` (schema on the second dimension)
+and 2D :class:`~repro.tensor.frame.Frame` tables used for feature transforms.
+Local single- and multi-threaded kernels live in :mod:`repro.tensor.ops`.
+"""
+
+from repro.tensor.block import BasicTensorBlock
+from repro.tensor.data import DataTensorBlock
+from repro.tensor.dense import DenseStore
+from repro.tensor.frame import Frame
+from repro.tensor.sparse import SparseStore
+
+__all__ = [
+    "BasicTensorBlock",
+    "DataTensorBlock",
+    "DenseStore",
+    "Frame",
+    "SparseStore",
+]

@@ -1,0 +1,163 @@
+"""The heterogeneous ``DataTensorBlock`` (paper section 2.4, Figure 4(a)).
+
+A data tensor is a multi-dimensional array whose *second* dimension carries a
+schema: each index along dimension 2 has its own value type (e.g., sensor
+readings as FP64, flags as BOOLEAN, categories as STRING).  This generalises
+2D datasets to n dimensions while keeping range indexing well-defined.
+
+Internally the block is composed of multiple :class:`BasicTensorBlock`
+instances — one per maximal run of equally-typed schema positions — exactly
+as the paper describes ("composed of multiple basic tensors for the given
+schema").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.block import BasicTensorBlock
+from repro.types import ValueType
+
+
+def _column_groups(schema: Sequence[ValueType]) -> List[Tuple[int, int, ValueType]]:
+    """Split the schema into maximal (start, stop, value_type) runs."""
+    groups = []
+    start = 0
+    for i in range(1, len(schema) + 1):
+        if i == len(schema) or schema[i] != schema[start]:
+            groups.append((start, i, schema[start]))
+            start = i
+    return groups
+
+
+class DataTensorBlock:
+    """A heterogeneous tensor with a schema on the second dimension."""
+
+    __slots__ = ("_shape", "schema", "groups", "blocks")
+
+    def __init__(self, shape: Sequence[int], schema: Sequence[ValueType], blocks: List[BasicTensorBlock]):
+        self._shape = tuple(int(d) for d in shape)
+        if len(self._shape) < 2:
+            raise ValueError("data tensors require at least 2 dimensions")
+        if len(schema) != self._shape[1]:
+            raise ValueError(
+                f"schema length {len(schema)} does not match dim-2 size {self._shape[1]}"
+            )
+        self.schema = list(schema)
+        self.groups = _column_groups(self.schema)
+        if len(blocks) != len(self.groups):
+            raise ValueError("one basic tensor per schema group required")
+        for block, (start, stop, vt) in zip(blocks, self.groups):
+            expected = self._shape[:1] + (stop - start,) + self._shape[2:]
+            if block.shape != expected:
+                raise ValueError(f"group block shape {block.shape} != expected {expected}")
+            if block.value_type != vt:
+                raise ValueError("group block value type does not match schema")
+        self.blocks = blocks
+
+    # --- constructors -----------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, shape: Sequence[int], schema: Sequence[ValueType]) -> "DataTensorBlock":
+        shape = tuple(int(d) for d in shape)
+        blocks = []
+        for start, stop, vt in _column_groups(list(schema)):
+            group_shape = shape[:1] + (stop - start,) + shape[2:]
+            blocks.append(BasicTensorBlock.zeros(group_shape, vt))
+        return cls(shape, list(schema), blocks)
+
+    @classmethod
+    def from_columns(cls, columns: Sequence[np.ndarray], schema: Sequence[ValueType]) -> "DataTensorBlock":
+        """Build a 2D data tensor from per-column arrays."""
+        if len(columns) != len(schema):
+            raise ValueError("one column per schema entry required")
+        n_rows = len(columns[0]) if columns else 0
+        shape = (n_rows, len(columns))
+        blocks = []
+        for start, stop, vt in _column_groups(list(schema)):
+            group = np.column_stack([np.asarray(columns[j]) for j in range(start, stop)])
+            if vt == ValueType.STRING:
+                group = group.astype(object)
+            else:
+                group = group.astype(vt.numpy_dtype)
+            blocks.append(BasicTensorBlock.from_numpy(group, vt))
+        return cls(shape, list(schema), blocks)
+
+    # --- basic properties ----------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def num_rows(self) -> int:
+        return self._shape[0]
+
+    def memory_size(self) -> int:
+        return sum(block.memory_size() for block in self.blocks)
+
+    # --- cell access -------------------------------------------------------------------
+
+    def _locate(self, schema_index: int) -> Tuple[int, int]:
+        """Map a dim-2 index to (group number, offset within group)."""
+        for g, (start, stop, _vt) in enumerate(self.groups):
+            if start <= schema_index < stop:
+                return g, schema_index - start
+        raise IndexError(f"schema index {schema_index} out of range")
+
+    def get(self, index: Tuple[int, ...]):
+        group, offset = self._locate(index[1])
+        inner = index[:1] + (offset,) + index[2:]
+        return self.blocks[group].get(inner)
+
+    def set(self, index: Tuple[int, ...], value) -> None:
+        group, offset = self._locate(index[1])
+        inner = index[:1] + (offset,) + index[2:]
+        self.blocks[group].set(inner, value)
+
+    # --- projections ----------------------------------------------------------------------
+
+    def column(self, schema_index: int) -> BasicTensorBlock:
+        """The basic tensor holding one dim-2 slice (shape n x 1 x ...)."""
+        group, offset = self._locate(schema_index)
+        data = self.blocks[group].to_numpy()
+        selector = (slice(None), slice(offset, offset + 1)) + (slice(None),) * (self.ndim - 2)
+        return BasicTensorBlock.from_numpy(data[selector], self.schema[schema_index])
+
+    def numeric_view(self) -> BasicTensorBlock:
+        """All numeric schema positions as one homogeneous FP64 tensor.
+
+        This is the bridge from prepared heterogeneous data into linear
+        algebra: string positions are excluded.
+        """
+        pieces = []
+        for block, (_start, _stop, vt) in zip(self.blocks, self.groups):
+            if vt.is_numeric:
+                pieces.append(block.to_numpy().astype(np.float64))
+        if not pieces:
+            raise ValueError("data tensor has no numeric schema positions")
+        return BasicTensorBlock.from_numpy(np.concatenate(pieces, axis=1))
+
+    def slice_rows(self, start: int, stop: int) -> "DataTensorBlock":
+        shape = (stop - start,) + self._shape[1:]
+        blocks = []
+        for block in self.blocks:
+            data = block.to_numpy()[start:stop]
+            blocks.append(BasicTensorBlock.from_numpy(data, block.value_type))
+        return DataTensorBlock(shape, self.schema, blocks)
+
+    def equals(self, other: "DataTensorBlock") -> bool:
+        if self._shape != other.shape or self.schema != other.schema:
+            return False
+        return all(a.equals(b) for a, b in zip(self.blocks, other.blocks))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        types = ",".join(vt.value for vt in self.schema[:8])
+        suffix = ",..." if len(self.schema) > 8 else ""
+        return f"DataTensorBlock(shape={self._shape}, schema=[{types}{suffix}])"

@@ -1,0 +1,108 @@
+"""Dense physical representation of a tensor block.
+
+A :class:`DenseStore` is a thin, typed wrapper around a contiguous NumPy
+array.  Like SystemDS' ``DenseBlock`` it is a *linearised* multi-dimensional
+array of one value type; all shape/type bookkeeping that the runtime relies
+on lives here rather than leaking raw ``ndarray`` objects through the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.types import ValueType
+
+
+class DenseStore:
+    """Dense, linearised storage for one :class:`BasicTensorBlock`."""
+
+    __slots__ = ("array", "value_type")
+
+    def __init__(self, array: np.ndarray, value_type: ValueType):
+        expected = value_type.numpy_dtype
+        if array.dtype != expected:
+            array = array.astype(expected)
+        self.array = array
+        self.value_type = value_type
+
+    # --- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray) -> "DenseStore":
+        array = np.asarray(array)
+        return cls(array, ValueType.from_numpy_dtype(array.dtype))
+
+    @classmethod
+    def zeros(cls, shape: Sequence[int], value_type: ValueType = ValueType.FP64) -> "DenseStore":
+        if value_type == ValueType.STRING:
+            array = np.full(tuple(shape), "", dtype=object)
+        else:
+            array = np.zeros(tuple(shape), dtype=value_type.numpy_dtype)
+        return cls(array, value_type)
+
+    @classmethod
+    def full(cls, shape: Sequence[int], value, value_type: ValueType = ValueType.FP64) -> "DenseStore":
+        array = np.full(tuple(shape), value, dtype=value_type.numpy_dtype)
+        return cls(array, value_type)
+
+    # --- basic properties ----------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.array.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.array.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.array.size)
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero (non-empty for strings) cells."""
+        if self.value_type == ValueType.STRING:
+            return int(np.count_nonzero(self.array != ""))
+        return int(np.count_nonzero(self.array))
+
+    def memory_size(self) -> int:
+        """Approximate in-memory footprint in bytes."""
+        if self.value_type == ValueType.STRING:
+            # object array: pointer per cell plus average string payload
+            payload = sum(len(str(v)) for v in self.array.ravel()[:1024])
+            sampled = min(self.size, 1024) or 1
+            return self.size * (8 + payload // sampled)
+        return int(self.array.nbytes)
+
+    # --- cell access -----------------------------------------------------------
+
+    def get(self, index: Tuple[int, ...]):
+        value = self.array[tuple(index)]
+        return value.item() if hasattr(value, "item") else value
+
+    def set(self, index: Tuple[int, ...], value) -> None:
+        self.array[tuple(index)] = value
+
+    # --- conversions ----------------------------------------------------------
+
+    def to_numpy(self) -> np.ndarray:
+        return self.array
+
+    def astype(self, value_type: ValueType) -> "DenseStore":
+        if value_type == self.value_type:
+            return self
+        return DenseStore(self.array.astype(value_type.numpy_dtype), value_type)
+
+    def copy(self) -> "DenseStore":
+        return DenseStore(self.array.copy(), self.value_type)
+
+    def iter_cells(self) -> Iterable[Tuple[Tuple[int, ...], object]]:
+        """Iterate (index, value) over all cells (test/debug helper)."""
+        for index in np.ndindex(*self.shape):
+            yield index, self.get(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DenseStore(shape={self.shape}, vt={self.value_type.value})"

@@ -1,0 +1,170 @@
+"""Sparse physical representation of a tensor block.
+
+Two layouts are used, mirroring SystemDS' split between optimised 2D sparse
+matrix blocks and generic sparse tensors:
+
+* 2D blocks are stored in CSR form (``scipy.sparse.csr_matrix``) so that the
+  compute-heavy sparse kernels (sparse-dense matmult, row aggregates) run on
+  optimised code.
+* N-dimensional blocks (ndim != 2) are stored in coordinate (COO) form as a
+  ``(coords, values)`` pair of NumPy arrays.
+
+Both layouts expose the same small protocol consumed by
+:class:`~repro.tensor.block.BasicTensorBlock`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.types import ValueType
+
+
+class SparseStore:
+    """Sparse storage for one tensor block (CSR for 2D, COO otherwise)."""
+
+    __slots__ = ("_shape", "value_type", "csr", "coords", "values")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        value_type: ValueType,
+        csr: sp.csr_matrix = None,
+        coords: np.ndarray = None,
+        values: np.ndarray = None,
+    ):
+        if not value_type.is_numeric:
+            raise ValueError("sparse blocks support numeric value types only")
+        self._shape = tuple(int(d) for d in shape)
+        self.value_type = value_type
+        if len(self._shape) == 2:
+            if csr is None:
+                csr = sp.csr_matrix(self._shape, dtype=value_type.numpy_dtype)
+            self.csr = csr
+            self.coords = None
+            self.values = None
+        else:
+            if coords is None:
+                coords = np.zeros((0, len(self._shape)), dtype=np.int64)
+                values = np.zeros(0, dtype=value_type.numpy_dtype)
+            self.csr = None
+            self.coords = coords
+            self.values = values
+
+    # --- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray, value_type: ValueType = None) -> "SparseStore":
+        array = np.asarray(array)
+        if value_type is None:
+            value_type = ValueType.from_numpy_dtype(array.dtype)
+        if array.ndim == 2:
+            return cls(array.shape, value_type, csr=sp.csr_matrix(array))
+        coords = np.argwhere(array != 0).astype(np.int64)
+        values = array[tuple(coords.T)] if coords.size else np.zeros(0, array.dtype)
+        return cls(array.shape, value_type, coords=coords, values=np.asarray(values))
+
+    @classmethod
+    def from_scipy(cls, matrix, value_type: ValueType = None) -> "SparseStore":
+        csr = matrix.tocsr()
+        if value_type is None:
+            value_type = ValueType.from_numpy_dtype(csr.dtype)
+        return cls(csr.shape, value_type, csr=csr)
+
+    @classmethod
+    def empty(cls, shape: Sequence[int], value_type: ValueType = ValueType.FP64) -> "SparseStore":
+        return cls(shape, value_type)
+
+    # --- basic properties --------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self._shape)) if self._shape else 1
+
+    @property
+    def nnz(self) -> int:
+        if self.csr is not None:
+            return int(self.csr.nnz)
+        return int(self.values.shape[0])
+
+    def memory_size(self) -> int:
+        """Approximate in-memory footprint in bytes (CSR: 12 bytes/nnz + rows)."""
+        cell = self.value_type.numpy_dtype.itemsize
+        if self.csr is not None:
+            return int(self.nnz * (cell + 4) + (self._shape[0] + 1) * 8)
+        return int(self.nnz * (cell + 8 * self.ndim))
+
+    # --- cell access ----------------------------------------------------------------
+
+    def get(self, index: Tuple[int, ...]):
+        if self.csr is not None:
+            return self.csr[index[0], index[1]].item() if hasattr(
+                self.csr[index[0], index[1]], "item"
+            ) else self.csr[index[0], index[1]]
+        mask = np.all(self.coords == np.asarray(index, dtype=np.int64), axis=1)
+        hits = np.flatnonzero(mask)
+        if hits.size == 0:
+            return self.value_type.numpy_dtype.type(0).item()
+        return self.values[hits[0]].item()
+
+    def set(self, index: Tuple[int, ...], value) -> None:
+        if self.csr is not None:
+            lil = self.csr.tolil()
+            lil[index[0], index[1]] = value
+            self.csr = lil.tocsr()
+            return
+        mask = np.all(self.coords == np.asarray(index, dtype=np.int64), axis=1)
+        hits = np.flatnonzero(mask)
+        if hits.size:
+            self.values[hits[0]] = value
+        else:
+            self.coords = np.vstack([self.coords, np.asarray([index], dtype=np.int64)])
+            self.values = np.append(self.values, value)
+
+    # --- conversions -----------------------------------------------------------------
+
+    def to_numpy(self) -> np.ndarray:
+        if self.csr is not None:
+            return np.asarray(self.csr.todense())
+        dense = np.zeros(self._shape, dtype=self.value_type.numpy_dtype)
+        if self.nnz:
+            dense[tuple(self.coords.T)] = self.values
+        return dense
+
+    def to_scipy(self) -> sp.csr_matrix:
+        if self.csr is None:
+            raise ValueError("only 2D sparse blocks have a CSR representation")
+        return self.csr
+
+    def astype(self, value_type: ValueType) -> "SparseStore":
+        if value_type == self.value_type:
+            return self
+        if self.csr is not None:
+            return SparseStore(self._shape, value_type, csr=self.csr.astype(value_type.numpy_dtype))
+        return SparseStore(
+            self._shape,
+            value_type,
+            coords=self.coords.copy(),
+            values=self.values.astype(value_type.numpy_dtype),
+        )
+
+    def copy(self) -> "SparseStore":
+        if self.csr is not None:
+            return SparseStore(self._shape, self.value_type, csr=self.csr.copy())
+        return SparseStore(
+            self._shape, self.value_type, coords=self.coords.copy(), values=self.values.copy()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SparseStore(shape={self._shape}, nnz={self.nnz}, vt={self.value_type.value})"

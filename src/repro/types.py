@@ -1,0 +1,125 @@
+"""Core enumerations shared across the compiler, runtime, and data model.
+
+These mirror the type lattice of SystemDS: every value in a DML program has a
+``DataType`` (scalar, matrix, tensor, frame, list) and — for scalars and
+tensor cells — a ``ValueType``.  ``ExecType`` tags low-level operators with
+the backend selected by the compiler, and ``FileFormat`` enumerates the
+persistent representations understood by the I/O layer.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class ValueType(enum.Enum):
+    """Cell/scalar value types supported by tensor blocks (paper section 2.4)."""
+
+    FP32 = "fp32"
+    FP64 = "fp64"
+    INT32 = "int32"
+    INT64 = "int64"
+    BOOLEAN = "boolean"
+    STRING = "string"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in _NUMERIC_VALUE_TYPES
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype used to store cells of this value type."""
+        return _NUMPY_DTYPES[self]
+
+    @classmethod
+    def from_numpy_dtype(cls, dtype) -> "ValueType":
+        """Map a NumPy dtype (or anything ``np.dtype`` accepts) to a ValueType."""
+        dtype = np.dtype(dtype)
+        if dtype == np.float32:
+            return cls.FP32
+        if dtype == np.float64:
+            return cls.FP64
+        if dtype == np.int32:
+            return cls.INT32
+        if dtype in (np.int64, np.dtype("int")):
+            return cls.INT64
+        if dtype == np.bool_:
+            return cls.BOOLEAN
+        if dtype.kind in ("U", "S", "O"):
+            return cls.STRING
+        raise ValueError(f"unsupported numpy dtype: {dtype}")
+
+    @classmethod
+    def common(cls, a: "ValueType", b: "ValueType") -> "ValueType":
+        """The smallest value type that can represent both inputs."""
+        if a == b:
+            return a
+        if cls.STRING in (a, b):
+            return cls.STRING
+        order = [cls.BOOLEAN, cls.INT32, cls.INT64, cls.FP32, cls.FP64]
+        try:
+            return order[max(order.index(a), order.index(b))]
+        except ValueError:
+            return cls.UNKNOWN
+
+
+_NUMERIC_VALUE_TYPES = frozenset(
+    {ValueType.FP32, ValueType.FP64, ValueType.INT32, ValueType.INT64, ValueType.BOOLEAN}
+)
+
+_NUMPY_DTYPES = {
+    ValueType.FP32: np.dtype(np.float32),
+    ValueType.FP64: np.dtype(np.float64),
+    ValueType.INT32: np.dtype(np.int32),
+    ValueType.INT64: np.dtype(np.int64),
+    ValueType.BOOLEAN: np.dtype(np.bool_),
+    ValueType.STRING: np.dtype(object),
+    ValueType.UNKNOWN: np.dtype(np.float64),
+}
+
+
+class DataType(enum.Enum):
+    """High-level data types of DML variables."""
+
+    SCALAR = "scalar"
+    MATRIX = "matrix"
+    TENSOR = "tensor"
+    FRAME = "frame"
+    LIST = "list"
+    UNKNOWN = "unknown"
+
+
+class ExecType(enum.Enum):
+    """Backend selected for a low-level operator (paper Figure 3, step 4)."""
+
+    CP = "cp"  # local control-program instruction
+    SPARK = "spark"  # distributed instruction on the SimRDD backend
+    FED = "fed"  # federated instruction
+    GPU = "gpu"  # reserved; lowered to CP in this reproduction
+
+
+class FileFormat(enum.Enum):
+    """Persistent file formats understood by the I/O layer."""
+
+    CSV = "csv"
+    BINARY = "binary"
+    JSONL = "jsonl"
+    TEXT = "text"  # i,j,v text cells (matrix market style)
+
+    @classmethod
+    def parse(cls, name: str) -> "FileFormat":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise ValueError(f"unknown file format: {name!r}") from None
+
+
+class Direction(enum.Enum):
+    """Aggregation direction for (partial) aggregates."""
+
+    FULL = "full"
+    ROW = "row"  # aggregate each row -> column vector
+    COL = "col"  # aggregate each column -> row vector

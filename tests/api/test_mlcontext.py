@@ -1,0 +1,112 @@
+"""Tests for the MLContext programmatic API."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api.mlcontext import MLContext, dml
+from repro.config import ReproConfig
+from repro.errors import RuntimeDMLError
+from repro.tensor import BasicTensorBlock, Frame
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext()
+
+
+class TestInputBinding:
+    def test_numpy_2d(self, ml):
+        x = np.ones((3, 4))
+        result = ml.execute("n = nrow(X)\nm = ncol(X)", inputs={"X": x}, outputs=["n", "m"])
+        assert (result.scalar("n"), result.scalar("m")) == (3, 4)
+
+    def test_numpy_1d_becomes_column(self, ml):
+        result = ml.execute("n = nrow(X)\nm = ncol(X)",
+                            inputs={"X": np.asarray([1.0, 2.0, 3.0])},
+                            outputs=["n", "m"])
+        assert (result.scalar("n"), result.scalar("m")) == (3, 1)
+
+    def test_scipy_sparse(self, ml):
+        x = sp.random(50, 50, density=0.05, random_state=0, format="csr")
+        result = ml.execute("s = sum(X)", inputs={"X": x}, outputs=["s"])
+        assert result.scalar("s") == pytest.approx(x.sum())
+
+    def test_tensor_block(self, ml):
+        block = BasicTensorBlock.rand((5, 5), seed=1)
+        result = ml.execute("s = sum(X)", inputs={"X": block}, outputs=["s"])
+        assert result.scalar("s") == pytest.approx(block.to_numpy().sum())
+
+    def test_frame(self, ml):
+        frame = Frame.from_dict({"a": [1.0, 2.0]})
+        result = ml.execute("n = nrow(F)", inputs={"F": frame}, outputs=["n"])
+        assert result.scalar("n") == 2
+
+    def test_python_scalars(self, ml):
+        result = ml.execute(
+            's = a + b\nt = flag\nu = name + "!"',
+            inputs={"a": 1, "b": 2.5, "flag": True, "name": "x"},
+            outputs=["s", "t", "u"],
+        )
+        assert result.scalar("s") == 3.5
+        assert result.scalar("t") is True
+        assert result.scalar("u") == "x!"
+
+    def test_unsupported_input_rejected(self, ml):
+        with pytest.raises(RuntimeDMLError, match="cannot bind"):
+            ml.execute("x = 1", inputs={"X": object()})
+
+
+class TestOutputs:
+    def test_matrix_output(self, ml):
+        result = ml.execute("Y = X * 2", inputs={"X": np.ones((2, 2))}, outputs=["Y"])
+        np.testing.assert_array_equal(result.matrix("Y"), np.full((2, 2), 2.0))
+
+    def test_scalar_from_1x1_matrix(self, ml):
+        result = ml.execute("Y = matrix(5, 1, 1)", outputs=["Y"])
+        assert result.scalar("Y") == 5.0
+
+    def test_frame_output(self, ml):
+        frame = Frame.from_dict({"a": np.asarray(["x", "1"], dtype=object)})
+        result = ml.execute("S = detectSchema(F)", inputs={"F": frame}, outputs=["S"])
+        assert result.frame("S").num_cols == 1
+
+    def test_missing_output_rejected(self, ml):
+        result = ml.execute("x = 1", outputs=["x"])
+        with pytest.raises(RuntimeDMLError, match="no output"):
+            result.get("zzz")
+
+    def test_metrics_exposed(self, ml):
+        result = ml.execute("x = 1 + 1", outputs=["x"])
+        assert result.metrics["instructions"] >= 1
+
+    def test_prints_captured_not_stdout(self, ml, capsys):
+        result = ml.execute('print("quiet")')
+        assert result.prints == ["quiet"]
+        assert "quiet" not in capsys.readouterr().out
+
+
+class TestFluentScriptAPI:
+    def test_dml_builder(self):
+        x = np.full((2, 2), 3.0)
+        result = dml("s = sum(X * f)").input(X=x, f=2.0).output("s").execute()
+        assert result.scalar("s") == 24.0
+
+    def test_chained_inputs(self):
+        result = dml("z = a + b").input(a=1).input(b=2).output("z").execute()
+        assert result.scalar("z") == 3
+
+
+class TestSessionReuseCache:
+    def test_cache_shared_across_executes(self):
+        cfg = ReproConfig(enable_lineage=True, reuse_policy="full")
+        ml = MLContext(cfg)
+        x = np.random.default_rng(0).random((50, 5))
+        block = BasicTensorBlock.from_numpy(x)
+        # same MatrixObject-producing input object both times
+        from repro.api.mlcontext import _to_data_object
+
+        bound = _to_data_object(block)
+        ml.execute("s = sum(t(X) %*% X)", inputs={"X": bound}, outputs=["s"])
+        assert ml.reuse_cache is not None
+        assert ml.reuse_cache.stats["puts"] >= 1

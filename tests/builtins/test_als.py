@@ -1,0 +1,70 @@
+"""Tests for the ALS matrix-completion builtin."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    """A rank-3 matrix with 60% of cells observed."""
+    rng = np.random.default_rng(9)
+    u = rng.random((30, 3))
+    v = rng.random((20, 3))
+    full = u @ v.T + 0.5  # keep all true values positive (0 means missing)
+    mask = rng.random((30, 20)) < 0.6
+    observed = np.where(mask, full, 0.0)
+    return observed, full, mask
+
+
+class TestALS:
+    def test_reconstructs_observed_cells(self, ml, ratings):
+        observed, __, mask = ratings
+        source = """
+        [U, V] = als(X, rank=3, reg=0.01, max_iter=8, seed=3)
+        rmse = alsLoss(X, U, V)
+        """
+        result = ml.execute(source, inputs={"X": observed},
+                            outputs=["U", "V", "rmse"])
+        assert result.scalar("rmse") < 0.05
+
+    def test_generalizes_to_missing_cells(self, ml, ratings):
+        observed, full, mask = ratings
+        source = "[U, V] = als(X, rank=3, reg=0.05, max_iter=10, seed=3)"
+        result = ml.execute(source, inputs={"X": observed}, outputs=["U", "V"])
+        reconstruction = result.matrix("U") @ result.matrix("V").T
+        missing = ~mask
+        error = np.abs(reconstruction[missing] - full[missing]).mean()
+        assert error < 0.25  # unobserved cells predicted from the factors
+
+    def test_factor_shapes(self, ml, ratings):
+        observed, __, ___ = ratings
+        result = ml.execute("[U, V] = als(X, rank=4, max_iter=2)",
+                            inputs={"X": observed}, outputs=["U", "V"])
+        assert result.matrix("U").shape == (30, 4)
+        assert result.matrix("V").shape == (20, 4)
+
+    def test_deterministic_under_seed(self, ml, ratings):
+        observed, __, ___ = ratings
+        source = "[U, V] = als(X, rank=3, max_iter=2, seed=11)"
+        a = ml.execute(source, inputs={"X": observed}, outputs=["U"])
+        b = ml.execute(source, inputs={"X": observed}, outputs=["U"])
+        np.testing.assert_array_equal(a.matrix("U"), b.matrix("U"))
+
+    def test_regularization_shrinks_factors(self, ml, ratings):
+        observed, __, ___ = ratings
+        norms = {}
+        for reg in (0.01, 10.0):
+            result = ml.execute(
+                f"[U, V] = als(X, rank=3, reg={reg}, max_iter=4, seed=3)",
+                inputs={"X": observed}, outputs=["U"],
+            )
+            norms[reg] = float(np.abs(result.matrix("U")).sum())
+        assert norms[10.0] < norms[0.01]

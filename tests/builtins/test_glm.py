@@ -1,0 +1,70 @@
+"""Tests for the GLM builtin (IRLS over gaussian/binomial/poisson)."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+class TestGaussian:
+    def test_matches_lmds(self, ml):
+        rng = np.random.default_rng(0)
+        x = rng.random((200, 6))
+        y = x @ rng.random((6, 1)) + 0.01 * rng.standard_normal((200, 1))
+        source = """
+        b1 = glm(X, y, dfam=1, reg=0.001)
+        b2 = lmDS(X, y, reg=0.001)
+        d = max(abs(b1 - b2))
+        """
+        result = ml.execute(source, inputs={"X": x, "y": y}, outputs=["d"])
+        assert result.scalar("d") < 1e-10
+
+
+class TestBinomial:
+    def test_recovers_logit_coefficients(self, ml):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((3000, 3))
+        beta_true = np.asarray([[1.5], [-2.0], [0.8]])
+        probabilities = 1 / (1 + np.exp(-(x @ beta_true)))
+        y = (rng.random((3000, 1)) < probabilities).astype(float)
+        result = ml.execute("b = glm(X, y, dfam=2)", inputs={"X": x, "y": y},
+                            outputs=["b"])
+        np.testing.assert_allclose(result.matrix("b"), beta_true, atol=0.25)
+
+    def test_predictions_are_probabilities(self, ml):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((200, 2))
+        y = (x[:, [0]] > 0).astype(float)
+        source = "b = glm(X, y, dfam=2)\np = glmPredict(X, b, dfam=2)"
+        result = ml.execute(source, inputs={"X": x, "y": y}, outputs=["p"])
+        predictions = result.matrix("p")
+        assert predictions.min() >= 0.0
+        assert predictions.max() <= 1.0
+        accuracy = ((predictions > 0.5) == (y > 0.5)).mean()
+        assert accuracy > 0.9
+
+
+class TestPoisson:
+    def test_recovers_log_rates(self, ml):
+        rng = np.random.default_rng(3)
+        x = np.column_stack([np.ones(4000), rng.random(4000)])
+        beta_true = np.asarray([[0.5], [1.2]])
+        rates = np.exp(x @ beta_true)
+        y = rng.poisson(rates.ravel()).astype(float).reshape(-1, 1)
+        result = ml.execute("b = glm(X, y, dfam=3)", inputs={"X": x, "y": y},
+                            outputs=["b"])
+        np.testing.assert_allclose(result.matrix("b"), beta_true, atol=0.1)
+
+    def test_predictions_nonnegative(self, ml):
+        rng = np.random.default_rng(4)
+        x = rng.random((100, 2))
+        y = rng.poisson(2.0, size=(100, 1)).astype(float)
+        source = "b = glm(X, y, dfam=3)\nmu = glmPredict(X, b, dfam=3)"
+        result = ml.execute(source, inputs={"X": x, "y": y}, outputs=["mu"])
+        assert result.matrix("mu").min() >= 0.0

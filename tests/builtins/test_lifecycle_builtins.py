@@ -1,0 +1,231 @@
+"""Tests for the lifecycle builtins: cleaning, algorithms, model selection."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+class TestCleaningBuiltins:
+    def test_scale(self, ml):
+        x = np.random.default_rng(0).random((40, 5)) * 7
+        result = ml.execute("[Y, c, s] = scale(X)", inputs={"X": x},
+                            outputs=["Y", "c", "s"])
+        np.testing.assert_allclose(
+            result.matrix("Y"), (x - x.mean(0)) / x.std(0, ddof=1), atol=1e-9
+        )
+        np.testing.assert_allclose(result.matrix("c")[0], x.mean(0))
+
+    def test_scale_constant_column_safe(self, ml):
+        x = np.ones((10, 2))
+        result = ml.execute("[Y, c, s] = scale(X)", inputs={"X": x}, outputs=["Y"])
+        assert np.isfinite(result.matrix("Y")).all()
+
+    def test_scale_center_only(self, ml):
+        x = np.random.default_rng(1).random((20, 3))
+        result = ml.execute("[Y, c, s] = scale(X, scale=FALSE)",
+                            inputs={"X": x}, outputs=["Y"])
+        np.testing.assert_allclose(result.matrix("Y"), x - x.mean(0))
+
+    def test_normalize(self, ml):
+        x = np.random.default_rng(2).random((30, 4)) * 100 - 50
+        result = ml.execute("[Y, mn, mx] = normalize(X)", inputs={"X": x}, outputs=["Y"])
+        out = result.matrix("Y")
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_impute_by_mean(self, ml):
+        x = np.random.default_rng(3).random((20, 3))
+        x[4, 1] = np.nan
+        x[9, 1] = np.nan
+        result = ml.execute("[Y, mu] = imputeByMean(X)", inputs={"X": x}, outputs=["Y", "mu"])
+        out = result.matrix("Y")
+        assert not np.isnan(out).any()
+        assert out[4, 1] == pytest.approx(np.nanmean(x[:, 1]))
+
+    def test_impute_by_median(self, ml):
+        # 22 rows with one NaN -> 21 present values, so the type-1 (inverse
+        # ECDF, non-interpolating) median equals numpy's nanmedian
+        x = np.random.default_rng(4).random((22, 2))
+        x[0, 0] = np.nan
+        result = ml.execute("[Y, md] = imputeByMedian(X)", inputs={"X": x}, outputs=["Y"])
+        assert result.matrix("Y")[0, 0] == pytest.approx(np.nanmedian(x[:, 0]))
+
+    def test_winsorize_caps_tails(self, ml):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((200, 1))
+        x[0, 0] = 100.0
+        result = ml.execute("Y = winsorize(X)", inputs={"X": x}, outputs=["Y"])
+        out = result.matrix("Y")
+        assert out.max() < 10.0
+        assert out.max() == pytest.approx(np.quantile(x, 0.95), abs=0.1)
+
+    def test_outlier_by_sd(self, ml):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((300, 2))
+        x[0, 0] = 50.0
+        result = ml.execute("[Y, lo, hi] = outlierBySd(X, 3)", inputs={"X": x},
+                            outputs=["Y", "lo", "hi"])
+        assert result.matrix("Y")[0, 0] < 10
+
+    def test_outlier_by_iqr(self, ml):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((300, 1))
+        x[0, 0] = 40.0
+        result = ml.execute("[Y, lo, hi] = outlierByIQR(X)", inputs={"X": x}, outputs=["Y"])
+        assert result.matrix("Y")[0, 0] < 10
+
+
+class TestAlgorithms:
+    def test_kmeans_separated_clusters(self, ml):
+        rng = np.random.default_rng(8)
+        centers = np.asarray([[0.0, 0.0], [8.0, 8.0]])
+        pts = np.vstack([c + 0.2 * rng.standard_normal((25, 2)) for c in centers])
+        result = ml.execute("[C, a, w] = kmeans(X, k=2, seed=3)",
+                            inputs={"X": pts}, outputs=["C", "a", "w"])
+        found = np.sort(np.round(result.matrix("C")), axis=0)
+        np.testing.assert_allclose(found, [[0, 0], [8, 8]], atol=0.5)
+        assignments = result.matrix("a").ravel()
+        assert len(set(assignments[:25])) == 1
+        assert assignments[0] != assignments[30]
+
+    def test_kmeans_deterministic_under_seed(self, ml):
+        pts = np.random.default_rng(9).random((50, 3))
+        a = ml.execute("[C, a, w] = kmeans(X, k=4, seed=11)", inputs={"X": pts}, outputs=["C"])
+        b = ml.execute("[C, a, w] = kmeans(X, k=4, seed=11)", inputs={"X": pts}, outputs=["C"])
+        np.testing.assert_array_equal(a.matrix("C"), b.matrix("C"))
+
+    def test_pca_captures_variance(self, ml):
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((200, 4)) @ np.diag([10.0, 5.0, 0.1, 0.01])
+        result = ml.execute("[Z, comp, ev] = pca(X, K=2)",
+                            inputs={"X": x}, outputs=["Z", "comp", "ev"])
+        evalues = result.matrix("ev").ravel()
+        assert evalues[0] > evalues[1] > 0
+        # projection variance matches reported eigenvalues
+        z = result.matrix("Z")
+        np.testing.assert_allclose(z.var(axis=0, ddof=1), evalues, rtol=0.01)
+
+    def test_pca_components_orthonormal(self, ml):
+        x = np.random.default_rng(11).random((50, 5))
+        result = ml.execute("[Z, comp, ev] = pca(X, K=3)", inputs={"X": x}, outputs=["comp"])
+        comp = result.matrix("comp")
+        np.testing.assert_allclose(comp.T @ comp, np.eye(3), atol=1e-9)
+
+    def test_l2svm_separable(self, ml):
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal((150, 4))
+        w_true = np.asarray([[1.0], [-1.0], [2.0], [0.5]])
+        y = (x @ w_true > 0).astype(float)
+        result = ml.execute("w = l2svm(X, y)", inputs={"X": x, "y": y}, outputs=["w"])
+        pred = (x @ result.matrix("w") > 0).astype(float)
+        assert (pred == y).mean() > 0.97
+
+    def test_multilogreg_multiclass(self, ml):
+        rng = np.random.default_rng(13)
+        labels = rng.integers(1, 4, size=(200, 1)).astype(float)
+        x = np.hstack([(labels == k) for k in (1, 2, 3)]).astype(float)
+        x += 0.05 * rng.standard_normal(x.shape)
+        source = """
+        W = multiLogReg(X, y)
+        [P, pred] = multiLogRegPredict(X, W)
+        [cm, acc] = confusionMatrix(pred, y)
+        """
+        result = ml.execute(source, inputs={"X": x, "y": labels},
+                            outputs=["acc", "cm", "P"])
+        assert result.scalar("acc") > 0.97
+        probs = result.matrix("P")
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(200), atol=1e-9)
+        cm = result.matrix("cm")
+        assert cm.shape == (3, 3)
+        assert np.trace(cm) == pytest.approx(200 * result.scalar("acc"))
+
+
+class TestModelSelection:
+    _ADAPTERS = """
+    trainRidge = function(Matrix[Double] X, Matrix[Double] y, Matrix[Double] config)
+      return (Matrix[Double] B)
+    {
+      B = lmDS(X, y, reg=as.scalar(config[1, 1]))
+    }
+    lossMSE = function(Matrix[Double] X, Matrix[Double] y, Matrix[Double] B)
+      return (Double mse)
+    {
+      r = y - X %*% B
+      mse = sum(r * r) / nrow(X)
+    }
+    """
+
+    def test_grid_search_prefers_good_lambda(self, ml):
+        rng = np.random.default_rng(14)
+        x = rng.random((120, 5))
+        y = x @ rng.random((5, 1)) + 0.01 * rng.standard_normal((120, 1))
+        source = self._ADAPTERS + """
+        [best, bestP, losses] = gridSearch(X, y, "trainRidge", "lossMSE", params)
+        """
+        params = np.asarray([[100.0], [0.001]])
+        result = ml.execute(source, inputs={"X": x, "y": y, "params": params},
+                            outputs=["bestP", "losses"])
+        assert result.matrix("bestP")[0, 0] == 0.001
+        losses = result.matrix("losses").ravel()
+        assert losses[1] < losses[0]
+
+    def test_cross_validation_folds(self, ml):
+        rng = np.random.default_rng(15)
+        x = rng.random((100, 4))
+        y = x @ rng.random((4, 1))
+        source = self._ADAPTERS + """
+        [meanLoss, foldLosses] = crossV(X, y, "trainRidge", "lossMSE", config, folds=5)
+        """
+        result = ml.execute(source, inputs={"X": x, "y": y,
+                                            "config": np.asarray([[0.0001]])},
+                            outputs=["meanLoss", "foldLosses"])
+        folds = result.matrix("foldLosses").ravel()
+        assert folds.shape == (5,)
+        assert result.scalar("meanLoss") == pytest.approx(folds.mean())
+        assert result.scalar("meanLoss") < 1e-4
+
+
+class TestDebuggingAndAugmentation:
+    def test_slicefinder_identifies_bad_slice(self, ml):
+        rng = np.random.default_rng(16)
+        x = rng.integers(1, 5, size=(300, 4)).astype(float)
+        errors = 0.05 * np.ones((300, 1))
+        bad = x[:, 2] == 3
+        errors[bad] = 0.8
+        result = ml.execute("S = sliceFinder(X, e, k=2, minSup=10)",
+                            inputs={"X": x, "e": errors}, outputs=["S"])
+        top = result.matrix("S")[0]
+        assert (top[0], top[1]) == (3, 3)
+        assert top[2] == pytest.approx(0.8, abs=0.05)
+
+    def test_slicefinder_respects_min_support(self, ml):
+        x = np.ones((50, 1))
+        x[0, 0] = 2  # the (1, value 2) slice has support 1
+        errors = np.zeros((50, 1))
+        errors[0] = 100.0
+        result = ml.execute("S = sliceFinder(X, e, k=1, minSup=5)",
+                            inputs={"X": x, "e": errors}, outputs=["S"])
+        assert result.matrix("S")[0, 1] == 1  # big-error slice filtered out
+
+    def test_smote_interpolates_within_hull(self, ml):
+        rng = np.random.default_rng(17)
+        minority = rng.random((30, 3)) + 5.0
+        result = ml.execute("S = smote(X, s=100, seed=4)",
+                            inputs={"X": minority}, outputs=["S"])
+        synth = result.matrix("S")
+        assert synth.shape == (100, 3)
+        assert synth.min() >= minority.min() - 1e-9
+        assert synth.max() <= minority.max() + 1e-9
+
+    def test_smote_deterministic_under_seed(self, ml):
+        minority = np.random.default_rng(18).random((20, 2))
+        a = ml.execute("S = smote(X, s=10, seed=9)", inputs={"X": minority}, outputs=["S"])
+        b = ml.execute("S = smote(X, s=10, seed=9)", inputs={"X": minority}, outputs=["S"])
+        np.testing.assert_array_equal(a.matrix("S"), b.matrix("S"))

@@ -1,0 +1,151 @@
+"""Tests for the lm family of DML-bodied builtins (paper Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.builtins.registry import available_builtins, lookup_builtin_function
+from repro.config import ReproConfig
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(17)
+    X = rng.random((300, 12))
+    beta = rng.standard_normal((12, 1))
+    y = X @ beta + 0.001 * rng.standard_normal((300, 1))
+    return X, beta, y
+
+
+class TestRegistry:
+    def test_core_builtins_available(self):
+        names = available_builtins()
+        for expected in ("lm", "lmDS", "lmCG", "steplm", "kmeans", "pca",
+                         "scale", "gridSearch", "crossV"):
+            assert expected in names
+
+    def test_lookup_returns_fresh_copies(self):
+        first = lookup_builtin_function("lm")
+        second = lookup_builtin_function("lm")
+        assert first["lm"] is not second["lm"]
+
+    def test_unknown_returns_none(self):
+        assert lookup_builtin_function("no_such_builtin") is None
+
+
+class TestLmDS:
+    def test_recovers_coefficients(self, ml, problem):
+        X, beta, y = problem
+        result = ml.execute("B = lmDS(X, y, reg=0.0000001)",
+                            inputs={"X": X, "y": y}, outputs=["B"])
+        np.testing.assert_allclose(result.matrix("B"), beta, atol=1e-2)
+
+    def test_matches_normal_equations(self, ml, problem):
+        X, __, y = problem
+        reg = 0.5
+        result = ml.execute("B = lmDS(X, y, reg=r)",
+                            inputs={"X": X, "y": y, "r": reg}, outputs=["B"])
+        expected = np.linalg.solve(X.T @ X + reg * np.eye(12), X.T @ y)
+        np.testing.assert_allclose(result.matrix("B"), expected, atol=1e-9)
+
+    def test_intercept(self, ml):
+        rng = np.random.default_rng(3)
+        X = rng.random((100, 2))
+        y = X @ np.asarray([[2.0], [3.0]]) + 5.0
+        result = ml.execute("B = lmDS(X, y, icpt=1, reg=0.0000001)",
+                            inputs={"X": X, "y": y}, outputs=["B"])
+        coeffs = result.matrix("B")
+        assert coeffs.shape == (3, 1)
+        assert coeffs[2, 0] == pytest.approx(5.0, abs=1e-6)
+
+    def test_sparse_input(self, ml):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(5)
+        dense = rng.random((200, 8)) * (rng.random((200, 8)) < 0.1)
+        y = dense @ rng.random((8, 1))
+        result = ml.execute("B = lmDS(X, y, reg=0.0000001)",
+                            inputs={"X": sp.csr_matrix(dense), "y": y}, outputs=["B"])
+        expected = np.linalg.solve(dense.T @ dense + 1e-7 * np.eye(8), dense.T @ y)
+        np.testing.assert_allclose(result.matrix("B"), expected, atol=1e-8)
+
+
+class TestLmCG:
+    def test_matches_lmds(self, ml, problem):
+        X, __, y = problem
+        source = """
+        B1 = lmDS(X, y, reg=0.001)
+        B2 = lmCG(X, y, reg=0.001, tol=0.000000001, maxi=200)
+        d = max(abs(B1 - B2))
+        """
+        result = ml.execute(source, inputs={"X": X, "y": y}, outputs=["d"])
+        assert result.scalar("d") < 1e-6
+
+    def test_verbose_prints_iterations(self, ml, problem):
+        X, __, y = problem
+        result = ml.execute("B = lmCG(X, y, verbose=TRUE)",
+                            inputs={"X": X, "y": y}, outputs=["B"])
+        assert any("lmCG" in line for line in result.prints)
+
+
+class TestLmDispatch:
+    def test_narrow_goes_direct_solve(self, ml, problem):
+        X, __, y = problem
+        result = ml.execute("B = lm(X, y, reg=0.001)",
+                            inputs={"X": X, "y": y}, outputs=["B"])
+        expected = np.linalg.solve(X.T @ X + 0.001 * np.eye(12), X.T @ y)
+        np.testing.assert_allclose(result.matrix("B"), expected, atol=1e-9)
+
+    def test_wide_goes_cg(self, ml):
+        rng = np.random.default_rng(6)
+        X = rng.random((50, 1030))
+        y = rng.random((50, 1))
+        result = ml.execute("B = lm(X, y, maxi=30)",
+                            inputs={"X": X, "y": y}, outputs=["B"])
+        assert result.matrix("B").shape == (1030, 1)
+
+
+class TestSteplm:
+    def test_selects_true_features(self, ml):
+        rng = np.random.default_rng(23)
+        X = rng.random((200, 8))
+        y = 4.0 * X[:, [2]] - 3.0 * X[:, [6]] + 0.01 * rng.standard_normal((200, 1))
+        result = ml.execute("[B, S] = steplm(X, y)",
+                            inputs={"X": X, "y": y}, outputs=["B", "S"])
+        selected = np.flatnonzero(result.matrix("S").ravel() > 0)
+        assert 2 in selected
+        assert 6 in selected
+        coeffs = result.matrix("B").ravel()
+        assert coeffs[3] == pytest.approx(4.0, abs=0.1)   # B[j+1] for feature 2
+        assert coeffs[7] == pytest.approx(-3.0, abs=0.1)
+
+    def test_irrelevant_features_zero(self, ml):
+        rng = np.random.default_rng(29)
+        X = rng.random((150, 6))
+        y = 2.0 * X[:, [0]] + 0.01 * rng.standard_normal((150, 1))
+        result = ml.execute("[B, S] = steplm(X, y)",
+                            inputs={"X": X, "y": y}, outputs=["B", "S"])
+        coeffs = result.matrix("B").ravel()
+        selected = result.matrix("S").ravel()
+        for j in range(1, 6):
+            if selected[j] == 0:
+                assert coeffs[j + 1] == 0.0
+
+    def test_reuse_does_not_change_selection(self):
+        rng = np.random.default_rng(31)
+        X = rng.random((120, 5))
+        y = X[:, [1]] - 2 * X[:, [3]] + 0.01 * rng.standard_normal((120, 1))
+        plain = MLContext(ReproConfig(parallelism=2)).execute(
+            "[B, S] = steplm(X, y)", inputs={"X": X, "y": y}, outputs=["B", "S"]
+        )
+        reuse = MLContext(ReproConfig(parallelism=2, enable_lineage=True,
+                                      reuse_policy="full_partial")).execute(
+            "[B, S] = steplm(X, y)", inputs={"X": X, "y": y}, outputs=["B", "S"]
+        )
+        np.testing.assert_allclose(plain.matrix("B"), reuse.matrix("B"), atol=1e-9)
+        np.testing.assert_array_equal(plain.matrix("S"), reuse.matrix("S"))

@@ -1,0 +1,95 @@
+"""Tests for the statistics builtins (cor, dist, naiveBayes) and lineage()."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+class TestCor:
+    def test_matches_numpy(self, ml):
+        x = np.random.default_rng(0).random((60, 5))
+        result = ml.execute("R = cor(X)", inputs={"X": x}, outputs=["R"])
+        np.testing.assert_allclose(result.matrix("R"), np.corrcoef(x.T), atol=1e-9)
+
+    def test_diagonal_is_one(self, ml):
+        x = np.random.default_rng(1).random((30, 4))
+        result = ml.execute("R = cor(X)", inputs={"X": x}, outputs=["R"])
+        np.testing.assert_allclose(np.diag(result.matrix("R")), np.ones(4))
+
+    def test_constant_column_safe(self, ml):
+        x = np.column_stack([np.ones(20), np.random.default_rng(2).random(20)])
+        result = ml.execute("R = cor(X)", inputs={"X": x}, outputs=["R"])
+        assert np.isfinite(result.matrix("R")).all()
+
+
+class TestDist:
+    def test_matches_scipy_style(self, ml):
+        x = np.random.default_rng(3).random((25, 3))
+        result = ml.execute("D = dist(X)", inputs={"X": x}, outputs=["D"])
+        expected = np.sqrt(((x[:, None, :] - x[None, :, :]) ** 2).sum(-1))
+        # the |a|^2 - 2ab + |b|^2 expansion leaves ~1e-16 residue on the
+        # diagonal, which sqrt amplifies to ~1e-8
+        np.testing.assert_allclose(result.matrix("D"), expected, atol=1e-7)
+
+    def test_zero_diagonal_and_symmetry(self, ml):
+        x = np.random.default_rng(4).random((15, 4))
+        result = ml.execute("D = dist(X)", inputs={"X": x}, outputs=["D"])
+        distances = result.matrix("D")
+        np.testing.assert_allclose(np.diag(distances), np.zeros(15), atol=1e-7)
+        np.testing.assert_allclose(distances, distances.T, atol=1e-9)
+
+
+class TestNaiveBayes:
+    def test_separable_classification(self, ml):
+        rng = np.random.default_rng(5)
+        labels = rng.integers(1, 4, size=(300, 1)).astype(float)
+        centers = np.asarray([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+        x = centers[labels.astype(int).ravel() - 1] + 0.5 * rng.standard_normal((300, 2))
+        source = """
+        [priors, means, variances] = naiveBayes(X, y)
+        [scores, pred] = naiveBayesPredict(X, priors, means, variances)
+        acc = mean(pred == y)
+        """
+        result = ml.execute(source, inputs={"X": x, "y": labels},
+                            outputs=["acc", "priors", "means"])
+        assert result.scalar("acc") > 0.97
+        np.testing.assert_allclose(result.matrix("priors").sum(), 1.0, atol=0.01)
+        means = result.matrix("means")
+        np.testing.assert_allclose(np.sort(means, axis=0), np.sort(centers, axis=0),
+                                   atol=0.3)
+
+    def test_priors_reflect_imbalance(self, ml):
+        labels = np.concatenate([np.ones(90), np.full(10, 2.0)]).reshape(-1, 1)
+        x = labels + 0.1 * np.random.default_rng(6).standard_normal((100, 1))
+        result = ml.execute("[p, m, v] = naiveBayes(X, y, laplace=0)",
+                            inputs={"X": x, "y": labels}, outputs=["p"])
+        priors = result.matrix("p").ravel()
+        assert priors[0] == pytest.approx(0.9)
+        assert priors[1] == pytest.approx(0.1)
+
+
+class TestLineageBuiltin:
+    def test_lineage_string_in_dml(self):
+        ml = MLContext(ReproConfig(enable_lineage=True))
+        source = """
+        Z = t(X) %*% X
+        trace = lineage(Z)
+        """
+        result = ml.execute(source, inputs={"X": np.ones((4, 3))},
+                            outputs=["trace"])
+        text = result.scalar("trace")
+        assert "tsmm" in text
+        assert "input" in text
+
+    def test_lineage_disabled_message(self):
+        ml = MLContext(ReproConfig(enable_lineage=False))
+        result = ml.execute("Z = X * 2\ntrace = lineage(Z)",
+                            inputs={"X": np.ones((2, 2))}, outputs=["trace"])
+        assert "disabled" in result.scalar("trace")

@@ -1,0 +1,103 @@
+"""Unit tests for statement-block construction and live-variable analysis."""
+
+from repro.compiler.blocks import (
+    BasicBlock,
+    ForBlock,
+    IfBlock,
+    WhileBlock,
+    analyze_liveness,
+    build_blocks,
+)
+from repro.lang.parser import parse
+
+
+def _blocks(source):
+    return build_blocks(parse(source).statements)
+
+
+class TestBuildBlocks:
+    def test_straight_line_is_one_basic_block(self):
+        blocks = _blocks("a = 1\nb = a + 2\nc = b * 3")
+        assert len(blocks) == 1
+        assert isinstance(blocks[0], BasicBlock)
+        assert len(blocks[0].statements) == 3
+
+    def test_if_cuts_blocks(self):
+        blocks = _blocks("a = 1\nif (a > 0) { b = 2 }\nc = 3")
+        assert [type(b).__name__ for b in blocks] == ["BasicBlock", "IfBlock", "BasicBlock"]
+
+    def test_nested_structure(self):
+        blocks = _blocks(
+            "while (x < 5) { if (y > 0) { z = 1 } else { z = 2 }\n x = x + 1 }"
+        )
+        assert isinstance(blocks[0], WhileBlock)
+        inner = blocks[0].body
+        assert isinstance(inner[0], IfBlock)
+
+    def test_for_block_fields(self):
+        blocks = _blocks("for (i in 1:10) { s = s + i }")
+        block = blocks[0]
+        assert isinstance(block, ForBlock)
+        assert block.var == "i"
+        assert not block.parallel
+
+    def test_parfor_flag_and_opts(self):
+        blocks = _blocks("parfor (i in 1:10, check=0) { B[,i] = i }")
+        block = blocks[0]
+        assert block.parallel
+        assert "check" in block.opts
+
+
+class TestLiveness:
+    def test_dead_assignment_not_live(self):
+        blocks = _blocks("a = 1\nb = 2")
+        analyze_liveness(blocks, {"b"})
+        assert "b" in blocks[0].live_out
+        assert "a" not in blocks[0].live_out
+
+    def test_read_after_block_is_live(self):
+        blocks = _blocks("a = 1\nb = 2\nc = a + b")
+        analyze_liveness(blocks, {"c"})
+        assert blocks[0].live_out == {"c"}
+
+    def test_if_branches_union(self):
+        blocks = _blocks("if (p) { x = a } else { x = b }\ny = x")
+        live_in = analyze_liveness(blocks, {"y"})
+        assert {"a", "b", "p"} <= live_in
+
+    def test_while_predicate_variable_live_through_body(self):
+        # the classic infinite-loop bug: continue = FALSE inside the body
+        # must stay live because the predicate re-reads it
+        blocks = _blocks(
+            "continue = TRUE\nwhile (continue) { continue = FALSE }\nz = 1"
+        )
+        analyze_liveness(blocks, {"z"})
+        loop = blocks[1]
+        body_block = loop.body[0]
+        assert "continue" in body_block.live_out
+
+    def test_loop_carried_value_live(self):
+        blocks = _blocks("s = 0\nfor (i in 1:3) { s = s + i }\nt = s")
+        analyze_liveness(blocks, {"t"})
+        loop = blocks[1]
+        assert "s" in loop.body[0].live_out
+
+    def test_body_local_temp_not_live_out_of_parfor(self):
+        # Xi is defined before use in every iteration: not a result variable
+        blocks = _blocks(
+            "parfor (i in 1:3) { Xi = X * i\n B[,i] = colSums(Xi) }\nz = sum(B)"
+        )
+        loop = blocks[0]
+        analyze_liveness(blocks, {"z"})
+        assert "B" in loop.live_out
+        assert "Xi" not in loop.live_out
+
+    def test_loop_var_not_live_after_for(self):
+        blocks = _blocks("for (i in 1:3) { s = s + i }\nz = s")
+        live_in = analyze_liveness(blocks, {"z"})
+        assert "i" not in live_in
+
+    def test_reads_helper_excludes_locally_defined(self):
+        blocks = _blocks("a = 1\nb = a + c")
+        assert blocks[0].reads() == {"c"}
+        assert blocks[0].writes() == {"a", "b"}

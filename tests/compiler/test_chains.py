@@ -1,0 +1,123 @@
+"""Tests for matrix-multiplication chain ordering (dynamic rewrite)."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.compiler import hops as H
+from repro.compiler.blocks import BasicBlock
+from repro.compiler.chains import _optimal_split, optimize_matmult_chains
+from repro.compiler.compile import compile_script
+from repro.compiler.sizes import VarStats
+from repro.config import ReproConfig
+
+
+class TestDP:
+    def test_classic_example(self):
+        # CLRS example: dims 30x35, 35x15, 15x5, 5x10, 10x20, 20x25
+        dims = [30, 35, 15, 5, 10, 20, 25]
+        cost, __ = _optimal_split(dims)
+        assert cost == 15125
+
+    def test_two_matrices_cost(self):
+        cost, __ = _optimal_split([10, 20, 30])
+        assert cost == 10 * 20 * 30
+
+    def test_collapsing_middle_dimension(self):
+        # ((A B) C) wins: A B collapses to a column vector first
+        dims = [1000, 1000, 1, 1000]
+        cost, split = _optimal_split(dims)
+        assert cost == 1000 * 1000 * 1 + 1000 * 1 * 1000
+        assert split[0][2] == 1  # split after the second matrix
+
+
+def _compiled_matmult_shapes(source, stats):
+    program = compile_script(source, input_stats=stats, outputs=["Z"])
+    block = program.blocks[0]
+    matmults = [
+        hop for hop in H.topological_order(block.hop_roots)
+        if isinstance(hop, H.AggBinaryHop)
+    ]
+    return [(mm.rows, mm.cols) for mm in matmults]
+
+
+class TestCompilerIntegration:
+    def test_right_association_chosen(self):
+        # X (1000x1000) %*% u (1000x1) %*% v' would be disastrous left-deep
+        stats = {
+            "X": VarStats.matrix(1000, 1000),
+            "u": VarStats.matrix(1000, 1),
+            "v": VarStats.matrix(1, 500),
+        }
+        shapes = _compiled_matmult_shapes("Z = X %*% u %*% v", stats)
+        # optimal: (X %*% u) is 1000x1, then (1000x1) %*% (1x500)
+        assert (1000, 1) in shapes
+        assert (1000, 500) in shapes
+
+    def test_left_association_kept_when_optimal(self):
+        stats = {
+            "a": VarStats.matrix(1, 1000),
+            "X": VarStats.matrix(1000, 1000),
+            "Y": VarStats.matrix(1000, 1000),
+        }
+        shapes = _compiled_matmult_shapes("Z = a %*% X %*% Y", stats)
+        assert (1, 1000) in shapes  # row vector stays on the left
+
+    def test_four_matrix_chain(self):
+        stats = {
+            "A": VarStats.matrix(40, 20),
+            "B": VarStats.matrix(20, 30),
+            "C": VarStats.matrix(30, 10),
+            "D": VarStats.matrix(10, 30),
+        }
+        shapes = _compiled_matmult_shapes("Z = A %*% B %*% C %*% D", stats)
+        # optimal for dims [40,20,30,10,30]: ((A(BC))D): intermediates
+        # BC=20x10, A(BC)=40x10, final 40x30
+        assert (20, 10) in shapes
+        assert (40, 10) in shapes
+
+    def test_results_identical_after_reordering(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((200, 100))
+        u = rng.random((100, 1))
+        v = rng.random((1, 50))
+        source = "Z = X %*% u %*% v\ns = sum(Z)"
+        expected = (x @ u @ v).sum()
+        for rewrites in (True, False):
+            cfg = ReproConfig(enable_rewrites=rewrites)
+            result = MLContext(cfg).execute(
+                source, inputs={"X": x, "u": u, "v": v}, outputs=["s"]
+            )
+            assert result.scalar("s") == pytest.approx(expected, rel=1e-9)
+
+    def test_tsmm_pattern_not_destroyed(self):
+        stats = {"X": VarStats.matrix(100, 10), "Y": VarStats.matrix(10, 5)}
+        program = compile_script("Z = t(X) %*% X %*% Y",
+                                 input_stats=stats, outputs=["Z"])
+        block = program.blocks[0]
+        matmults = [
+            hop for hop in H.topological_order(block.hop_roots)
+            if isinstance(hop, H.AggBinaryHop)
+        ]
+        physicals = {mm.physical for mm in matmults}
+        assert "tsmm" in physicals  # fusion survives chain optimisation
+
+    def test_shared_intermediate_not_recollected(self):
+        # M = A %*% B is used twice: it must be computed, so the chain
+        # optimizer must not inline it into the outer product
+        stats = {
+            "A": VarStats.matrix(10, 1000),
+            "B": VarStats.matrix(1000, 10),
+            "C": VarStats.matrix(10, 10),
+        }
+        source = "M = A %*% B\nZ = M %*% C\ns = sum(M) + sum(Z)"
+        program = compile_script(source, input_stats=stats, outputs=["s"])
+        rng = np.random.default_rng(1)
+        a, b, c = rng.random((10, 1000)), rng.random((1000, 10)), rng.random((10, 10))
+        result = MLContext().execute(source, inputs={"A": a, "B": b, "C": c}, outputs=["s"])
+        expected = (a @ b).sum() + (a @ b @ c).sum()
+        assert result.scalar("s") == pytest.approx(expected, rel=1e-9)
+
+    def test_unknown_dims_left_alone(self):
+        shapes = _compiled_matmult_shapes("Z = A %*% B %*% C", {})
+        assert len(shapes) == 2  # chain untouched, two matmults remain

@@ -1,0 +1,148 @@
+"""Tests for cell-template operator fusion via code generation."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.compiler import hops as H
+from repro.compiler.builder import DagBuilder
+from repro.compiler.codegen import MIN_REGION_SIZE, plan_cell_fusion
+from repro.compiler.compile import compile_script
+from repro.compiler.rewrites import apply_rewrites
+from repro.compiler.sizes import VarStats, propagate_dag
+from repro.config import ReproConfig
+from repro.lang.parser import parse
+
+
+def _plan(source, live_out, stats=None):
+    program = parse(source)
+    builder = DagBuilder(program.functions)
+    roots = builder.build_roots(program.statements, set(live_out))
+    roots = apply_rewrites(roots, ReproConfig())
+    propagate_dag(roots, dict(stats or {}))
+    return plan_cell_fusion(roots), roots
+
+
+STATS = {"X": VarStats.matrix(50, 10), "Y": VarStats.matrix(50, 10)}
+
+
+class TestPlanning:
+    def test_chain_fused_into_one_region(self):
+        regions, __ = _plan("Z = abs(X - Y) * 2 + 1", ["Z"], STATS)
+        assert len(regions) == 1
+        region = next(iter(regions.values()))
+        assert len(region.interior) == 4  # -, abs, *, +
+        leaf_ops = {leaf.op for leaf in region.leaves}
+        assert leaf_ops == {"tread"}
+
+    def test_single_op_not_fused(self):
+        regions, __ = _plan("Z = X + Y", ["Z"], STATS)
+        assert regions == {}
+        assert MIN_REGION_SIZE == 2
+
+    def test_matmult_is_a_leaf(self):
+        regions, __ = _plan("Z = abs(X %*% t(Y)) + 1", ["Z"],
+                            STATS)
+        assert len(regions) == 1
+        region = next(iter(regions.values()))
+        assert any(isinstance(leaf, H.AggBinaryHop) for leaf in region.leaves)
+
+    def test_shared_intermediate_stays_unfused(self):
+        # W is live-out: the chain through it must not be absorbed
+        regions, roots = _plan("W = X * 2\nZ = abs(W) + 1", ["W", "Z"], STATS)
+        for region in regions.values():
+            interior_ops = {h.op for h in H.topological_order(roots)
+                            if h.hop_id in region.interior}
+            assert "*" not in interior_ops
+
+    def test_literal_inlined_not_leaf(self):
+        regions, __ = _plan("Z = X * 2 + 1", ["Z"], STATS)
+        region = next(iter(regions.values()))
+        assert len(region.leaves) == 1
+        assert "2.0" in region.source
+        assert "1.0" in region.source
+
+    def test_sparse_region_guarded(self):
+        sparse_stats = {"X": VarStats.matrix(1000, 1000, nnz=500)}
+        regions, __ = _plan("Z = abs(X) * 2", ["Z"], sparse_stats)
+        assert regions == {}
+
+    def test_generated_source_is_inspectable(self):
+        regions, __ = _plan("Z = sigmoid(X * 2 - 1)", ["Z"], STATS)
+        region = next(iter(regions.values()))
+        assert region.source.startswith("def fused_cell_")
+        assert "np.exp" in region.source  # sigmoid expansion
+
+
+class TestExecution:
+    _CASES = [
+        ("Z = (X - Y) / (abs(Y) + 0.5)",
+         lambda x, y: (x - y) / (np.abs(y) + 0.5)),
+        ("Z = sigmoid(X * 2) + sqrt(abs(Y))",
+         lambda x, y: 1 / (1 + np.exp(-x * 2)) + np.sqrt(np.abs(y))),
+        ("Z = min(max(X, 0.2), 0.8) * Y",
+         lambda x, y: np.minimum(np.maximum(x, 0.2), 0.8) * y),
+        ("Z = (X > Y) * X + (X <= Y) * Y",
+         lambda x, y: np.maximum(x, y)),
+        ("Z = -(X ^ 2) + Y %% 0.3",
+         lambda x, y: -(x ** 2) + np.mod(y, 0.3)),
+    ]
+
+    @pytest.mark.parametrize("source,oracle", _CASES)
+    def test_fused_matches_unfused(self, source, oracle):
+        rng = np.random.default_rng(1)
+        x, y = rng.random((30, 8)), rng.random((30, 8))
+        fused = MLContext(ReproConfig(enable_codegen=True)).execute(
+            source, inputs={"X": x, "Y": y}, outputs=["Z"]
+        )
+        plain = MLContext(ReproConfig(enable_codegen=False)).execute(
+            source, inputs={"X": x, "Y": y}, outputs=["Z"]
+        )
+        np.testing.assert_allclose(fused.matrix("Z"), plain.matrix("Z"), rtol=1e-12)
+        np.testing.assert_allclose(fused.matrix("Z"), oracle(x, y), rtol=1e-9)
+
+    def test_fewer_instructions_executed(self):
+        source = "Z = abs(X - 0.5) * 2 + sqrt(abs(X))\ns = sum(Z)"
+        x = np.random.default_rng(2).random((20, 5))
+        fused = MLContext(ReproConfig(enable_codegen=True)).execute(
+            source, inputs={"X": x}, outputs=["s"]
+        )
+        plain = MLContext(ReproConfig(enable_codegen=False)).execute(
+            source, inputs={"X": x}, outputs=["s"]
+        )
+        assert fused.metrics["instructions"] < plain.metrics["instructions"]
+        assert fused.scalar("s") == pytest.approx(plain.scalar("s"))
+
+    def test_broadcasting_leaves(self):
+        x = np.random.default_rng(3).random((40, 6))
+        source = "Z = (X - colMeans(X)) / (colSds(X) + 0.000001) * 2"
+        result = MLContext().execute(source, inputs={"X": x}, outputs=["Z"])
+        expected = (x - x.mean(0)) / (x.std(0, ddof=1) + 1e-6) * 2
+        np.testing.assert_allclose(result.matrix("Z"), expected, rtol=1e-9)
+
+    def test_scalar_variable_leaves(self):
+        x = np.ones((4, 4))
+        result = MLContext().execute(
+            "Z = (X * a + b) / a", inputs={"X": x, "a": 2.0, "b": 3.0}, outputs=["Z"]
+        )
+        np.testing.assert_allclose(result.matrix("Z"), (x * 2 + 3) / 2)
+
+    def test_explain_shows_fused_opcode(self):
+        program = compile_script(
+            "Z = abs(X) * 2 + 1", input_stats=STATS, outputs=["Z"]
+        )
+        assert "fused" in program.explain()
+
+    def test_inside_algorithm_correct(self):
+        # lmCG's elementwise updates go through fusion; results must match
+        rng = np.random.default_rng(4)
+        x = rng.random((120, 8))
+        y = x @ rng.random((8, 1))
+        results = {}
+        for codegen in (True, False):
+            ml = MLContext(ReproConfig(enable_codegen=codegen))
+            results[codegen] = ml.execute(
+                "B = lmCG(X, y, reg=0.01, maxi=50)",
+                inputs={"X": x, "y": y}, outputs=["B"],
+            ).matrix("B")
+        np.testing.assert_allclose(results[True], results[False], atol=1e-10)

@@ -1,0 +1,122 @@
+"""Integration tests for the full compilation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.blocks import BasicBlock, IfBlock
+from repro.compiler.compile import compile_script
+from repro.compiler.sizes import VarStats
+from repro.config import ReproConfig
+from repro.errors import CompileError
+from repro.runtime.instructions.cp import MatMultInstruction
+from repro.types import ExecType
+
+
+def _instructions(program):
+    collected = []
+
+    def walk(blocks):
+        for block in blocks:
+            if isinstance(block, BasicBlock):
+                collected.extend(block.instructions)
+            for attr in ("then_blocks", "else_blocks", "body"):
+                walk(getattr(block, attr, []))
+
+    walk(program.blocks)
+    return collected
+
+
+class TestPipeline:
+    def test_compiles_to_instructions(self):
+        program = compile_script(
+            "Z = t(X) %*% X", input_stats={"X": VarStats.matrix(10, 3)}, outputs=["Z"]
+        )
+        opcodes = [i.opcode for i in _instructions(program)]
+        assert "tsmm" in opcodes
+
+    def test_known_sizes_no_recompile_flag(self):
+        program = compile_script(
+            "Z = X %*% t(X)", input_stats={"X": VarStats.matrix(10, 3)}, outputs=["Z"]
+        )
+        assert not program.blocks[0].requires_recompile
+
+    def test_unknown_sizes_flag_recompile(self):
+        program = compile_script("Z = X %*% t(X)", outputs=["Z"])
+        assert program.blocks[0].requires_recompile
+
+    def test_constant_branch_removed(self):
+        program = compile_script("if (1 > 0) { x = 1 } else { x = 2 }", outputs=["x"])
+        assert all(not isinstance(b, IfBlock) for b in program.blocks)
+
+    def test_constant_false_branch_removed(self):
+        program = compile_script("if (FALSE) { x = 1 } else { x = 2 }", outputs=["x"])
+        assert all(not isinstance(b, IfBlock) for b in program.blocks)
+        instructions = _instructions(program)
+        literal_values = [
+            op.literal.value
+            for instr in instructions
+            for op in instr.inputs
+            if op.is_literal
+        ]
+        assert 2 in literal_values
+
+    def test_branch_removal_disabled_without_rewrites(self):
+        cfg = ReproConfig(enable_rewrites=False, enable_cse=False, enable_fusion=False)
+        program = compile_script("if (1 > 0) { x = 1 }", config=cfg, outputs=["x"])
+        assert any(isinstance(b, IfBlock) for b in program.blocks)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            compile_script("x = definitely_not_a_function(1)")
+
+    def test_builtin_scripts_resolved(self):
+        program = compile_script("B = lm(X, y)", outputs=["B"])
+        assert "lm" in program.functions
+        assert "lmDS" in program.functions
+        assert "lmCG" in program.functions
+
+    def test_transitive_builtin_resolution(self):
+        program = compile_script("[B, S] = steplm(X, y)", outputs=["B", "S"])
+        assert "steplm" in program.functions
+        assert "steplm_fit_aic" in program.functions
+
+    def test_operator_selection_spark_for_large(self):
+        stats = {"X": VarStats.matrix(100_000, 10_000)}
+        cfg = ReproConfig(memory_budget=64 * 1024 * 1024)
+        program = compile_script("Z = X %*% t(X)", config=cfg,
+                                 input_stats=stats, outputs=["Z"])
+        instructions = _instructions(program)
+        assert any(i.exec_type == ExecType.SPARK for i in instructions)
+
+    def test_operator_selection_cp_for_small(self):
+        stats = {"X": VarStats.matrix(100, 10)}
+        program = compile_script("Z = X %*% t(X)", input_stats=stats, outputs=["Z"])
+        instructions = _instructions(program)
+        assert all(i.exec_type == ExecType.CP for i in instructions)
+
+    def test_explain_renders(self):
+        program = compile_script("B = lm(X, y)", outputs=["B"])
+        text = program.explain()
+        assert "FUNCTION lm" in text
+        assert "GENERIC" in text
+
+
+class TestProgramLevelSizes:
+    def test_sizes_flow_across_blocks(self):
+        program = compile_script(
+            "A = X %*% t(X)\nif (s > 0) { B = A + 1 }\nC = A * 2",
+            input_stats={"X": VarStats.matrix(10, 3), "s": VarStats.scalar()},
+            outputs=["C"],
+        )
+        last = program.blocks[-1]
+        assert isinstance(last, BasicBlock)
+        assert not last.requires_recompile
+
+    def test_loop_wipes_sizes(self):
+        program = compile_script(
+            "A = X\nfor (i in 1:3) { A = cbind(A, X) }\nZ = t(A) %*% A",
+            input_stats={"X": VarStats.matrix(10, 3)},
+            outputs=["Z"],
+        )
+        last = program.blocks[-1]
+        assert last.requires_recompile  # A's size unknown after the loop

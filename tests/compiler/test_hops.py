@@ -1,0 +1,134 @@
+"""Unit tests for HOP classes and DAG utilities."""
+
+import pytest
+
+from repro.compiler import hops as H
+from repro.types import DataType, Direction, ValueType
+
+
+class TestHopConstruction:
+    def test_literal_value_types(self):
+        assert H.LiteralHop(True).value_type == ValueType.BOOLEAN
+        assert H.LiteralHop(3).value_type == ValueType.INT64
+        assert H.LiteralHop(3.5).value_type == ValueType.FP64
+        assert H.LiteralHop("x").value_type == ValueType.STRING
+
+    def test_literal_rejects_objects(self):
+        with pytest.raises(TypeError):
+            H.LiteralHop([1, 2])
+
+    def test_binary_scalar_vs_matrix_dt(self):
+        scalar = H.LiteralHop(1)
+        matrix = H.DataHop("tread", "X", (), DataType.MATRIX)
+        assert H.BinaryHop("+", scalar, scalar).data_type == DataType.SCALAR
+        assert H.BinaryHop("+", matrix, scalar).data_type == DataType.MATRIX
+
+    def test_agg_direction_dt(self):
+        matrix = H.DataHop("tread", "X", (), DataType.MATRIX)
+        assert H.AggUnaryHop("sum", matrix, Direction.FULL).data_type == DataType.SCALAR
+        assert H.AggUnaryHop("sum", matrix, Direction.ROW).data_type == DataType.MATRIX
+        assert H.AggUnaryHop("cumsum", matrix, Direction.COL).data_type == DataType.MATRIX
+
+    def test_unary_scalar_outputs(self):
+        matrix = H.DataHop("tread", "X", (), DataType.MATRIX)
+        assert H.UnaryHop("nrow", matrix).data_type == DataType.SCALAR
+        assert H.UnaryHop("abs", matrix).data_type == DataType.MATRIX
+
+    def test_sparsity_property(self):
+        hop = H.Hop("x")
+        hop.set_dims(10, 10, 20)
+        assert hop.sparsity == 0.2
+        hop.set_dims(10, 10, -1)
+        assert hop.sparsity == 1.0  # unknown defaults dense
+
+
+class TestSemanticKeys:
+    def test_reads_shareable(self):
+        a = H.DataHop("tread", "X")
+        b = H.DataHop("tread", "X")
+        assert a.semantic_key() == b.semantic_key()
+
+    def test_writes_never_shareable(self):
+        a = H.DataHop("twrite", "X", [H.LiteralHop(1)])
+        b = H.DataHop("twrite", "X", [H.LiteralHop(1)])
+        assert a.semantic_key() != b.semantic_key()
+
+    def test_seeded_rand_shareable(self):
+        def make():
+            return H.DataGenHop("rand", {
+                "rows": H.LiteralHop(2), "cols": H.LiteralHop(2),
+                "seed": H.LiteralHop(42),
+            })
+
+        a, b = make(), make()
+        # same param structure, but inputs differ by hop identity; key
+        # includes input ids, so CSE requires shared literal nodes
+        rows, cols, seed = H.LiteralHop(2), H.LiteralHop(2), H.LiteralHop(42)
+        a = H.DataGenHop("rand", {"rows": rows, "cols": cols, "seed": seed})
+        b = H.DataGenHop("rand", {"rows": rows, "cols": cols, "seed": seed})
+        assert a.semantic_key() == b.semantic_key()
+
+    def test_unseeded_rand_not_shareable(self):
+        rows, cols = H.LiteralHop(2), H.LiteralHop(2)
+        a = H.DataGenHop("rand", {"rows": rows, "cols": cols})
+        b = H.DataGenHop("rand", {"rows": rows, "cols": cols})
+        assert a.semantic_key() != b.semantic_key()
+
+    def test_negative_seed_not_shareable(self):
+        rows, cols, seed = H.LiteralHop(2), H.LiteralHop(2), H.LiteralHop(-1)
+        a = H.DataGenHop("rand", {"rows": rows, "cols": cols, "seed": seed})
+        b = H.DataGenHop("rand", {"rows": rows, "cols": cols, "seed": seed})
+        assert a.semantic_key() != b.semantic_key()
+
+    def test_agg_direction_distinguishes(self):
+        matrix = H.DataHop("tread", "X", (), DataType.MATRIX)
+        row = H.AggUnaryHop("sum", matrix, Direction.ROW)
+        col = H.AggUnaryHop("sum", matrix, Direction.COL)
+        assert row.semantic_key() != col.semantic_key()
+
+
+class TestTopologicalOrder:
+    def test_inputs_before_consumers(self):
+        x = H.DataHop("tread", "X", (), DataType.MATRIX)
+        t = H.ReorgHop("t", [x])
+        mm = H.AggBinaryHop(t, x)
+        order = H.topological_order([mm])
+        positions = {hop.hop_id: i for i, hop in enumerate(order)}
+        assert positions[x.hop_id] < positions[t.hop_id] < positions[mm.hop_id]
+
+    def test_shared_node_visited_once(self):
+        x = H.DataHop("tread", "X", (), DataType.MATRIX)
+        a = H.UnaryHop("abs", x)
+        b = H.UnaryHop("exp", x)
+        order = H.topological_order([a, b])
+        assert len(order) == 3
+
+    def test_cycle_detected(self):
+        a = H.Hop("a")
+        b = H.Hop("b", [a])
+        a.inputs = [b]
+        with pytest.raises(ValueError, match="cycle"):
+            H.topological_order([b])
+
+
+class TestCloneDag:
+    def test_preserves_sharing(self):
+        x = H.DataHop("tread", "X", (), DataType.MATRIX)
+        left = H.UnaryHop("abs", x)
+        right = H.UnaryHop("exp", x)
+        root = H.BinaryHop("+", left, right)
+        clones, memo = H.clone_dag([root])
+        clone = clones[0]
+        assert clone is not root
+        assert clone.inputs[0].inputs[0] is clone.inputs[1].inputs[0]
+
+    def test_stop_predicate_shares_nodes(self):
+        lit = H.LiteralHop(5)
+        root = H.UnaryHop("abs", lit)
+        clones, __ = H.clone_dag([root], stop_at=lambda h: isinstance(h, H.LiteralHop))
+        assert clones[0].inputs[0] is lit
+
+    def test_fresh_ids(self):
+        x = H.DataHop("tread", "X", (), DataType.MATRIX)
+        clones, __ = H.clone_dag([x])
+        assert clones[0].hop_id != x.hop_id

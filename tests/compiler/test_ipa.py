@@ -1,0 +1,124 @@
+"""Unit tests for inter-procedural analysis: DCE and inlining."""
+
+from repro.compiler.ipa import (
+    collect_called_functions,
+    collect_string_references,
+    eliminate_dead_functions,
+    inline_functions,
+    run_ipa,
+)
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+class TestCallCollection:
+    def test_collects_nested_calls(self):
+        program = parse("if (a > 0) { x = f(g(y)) }\nwhile (b) { z = h(1) }")
+        assert collect_called_functions(program.statements) >= {"f", "g", "h"}
+
+    def test_string_references(self):
+        program = parse('m = paramserv(upd="gradfn", agg="aggfn")')
+        refs = collect_string_references(program.statements)
+        assert {"gradfn", "aggfn"} <= refs
+
+
+class TestDeadFunctionElimination:
+    def test_unreachable_removed(self):
+        program = parse(
+            "used = function(Double a) return (Double b) { b = a }\n"
+            "unused = function(Double a) return (Double b) { b = a * 2 }\n"
+            "x = used(1)"
+        )
+        live = eliminate_dead_functions(program.statements, program.functions)
+        assert set(live) == {"used"}
+
+    def test_transitively_reachable_kept(self):
+        program = parse(
+            "inner = function(Double a) return (Double b) { b = a }\n"
+            "outer = function(Double a) return (Double b) { b = inner(a) }\n"
+            "x = outer(1)"
+        )
+        live = eliminate_dead_functions(program.statements, program.functions)
+        assert set(live) == {"inner", "outer"}
+
+    def test_string_referenced_kept(self):
+        program = parse(
+            "grad = function(Double a) return (Double b) { b = a }\n"
+            'm = paramserv(upd="grad")'
+        )
+        live = eliminate_dead_functions(program.statements, program.functions)
+        assert "grad" in live
+
+
+class TestInlining:
+    def test_small_function_inlined(self):
+        program = parse(
+            "double_it = function(Matrix[Double] A) return (Matrix[Double] R) { R = A * 2 }\n"
+            "y = double_it(X)"
+        )
+        statements = inline_functions(program.statements, program.functions)
+        # the call disappeared; only assigns remain
+        calls = collect_called_functions(statements)
+        assert "double_it" not in calls
+
+    def test_inlined_result_correct(self):
+        import numpy as np
+
+        from repro.api.mlcontext import MLContext
+        from repro.config import ReproConfig
+
+        source = (
+            "add_bias = function(Matrix[Double] A, Double b = 10) return (Matrix[Double] R)"
+            " { R = A + b }\n"
+            "y = add_bias(X)\nz = add_bias(X, 1)"
+        )
+        x = np.ones((3, 3))
+        for ipa in (True, False):
+            ml = MLContext(ReproConfig(enable_ipa=ipa))
+            result = ml.execute(source, inputs={"X": x}, outputs=["y", "z"])
+            np.testing.assert_array_equal(result.matrix("y"), x + 10)
+            np.testing.assert_array_equal(result.matrix("z"), x + 1)
+
+    def test_control_flow_not_inlined(self):
+        program = parse(
+            "branchy = function(Double a) return (Double b) {"
+            " if (a > 0) { b = 1 } else { b = 0 } }\n"
+            "y = branchy(x)"
+        )
+        statements = inline_functions(program.statements, program.functions)
+        assert "branchy" in collect_called_functions(statements)
+
+    def test_recursive_not_inlined(self):
+        program = parse(
+            "rec = function(Double a) return (Double b) { b = rec(a - 1) }\n"
+            "y = rec(3)"
+        )
+        statements = inline_functions(program.statements, program.functions)
+        assert "rec" in collect_called_functions(statements)
+
+    def test_renaming_avoids_capture(self):
+        import numpy as np
+
+        from repro.api.mlcontext import MLContext
+
+        # the function local `t` must not clobber the caller's `t`
+        source = (
+            "f = function(Double a) return (Double r) { t = a * 2\n r = t + 1 }\n"
+            "t = 100\n"
+            "y = f(3)\n"
+            "z = t + y"
+        )
+        ml = MLContext()
+        result = ml.execute(source, outputs=["z"])
+        assert result.scalar("z") == 107
+
+    def test_run_ipa_combines_passes(self):
+        program = parse(
+            "tiny = function(Double a) return (Double b) { b = a + 1 }\n"
+            "dead = function(Double a) return (Double b) { b = a }\n"
+            "y = tiny(1)"
+        )
+        live = run_ipa(program, dict(program.functions))
+        assert "dead" not in live
+        # tiny was inlined everywhere, so it is dead too
+        assert "tiny" not in live

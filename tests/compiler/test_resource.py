@@ -1,0 +1,92 @@
+"""Tests for the what-if resource optimizer (cloud auto-scaling direction)."""
+
+import pytest
+
+from repro.compiler.resource import (
+    CandidateResource,
+    ResourcePlan,
+    estimate_for_candidate,
+    optimize_resources,
+)
+from repro.compiler.sizes import VarStats
+from repro.config import ReproConfig
+
+SCRIPT = """
+G = X %*% t(X)
+s = sum(G)
+"""
+
+SMALL = CandidateResource("small", 64 * 1024 * 1024, 1.0)
+LARGE = CandidateResource("large", 64 * 1024**3, 4.0)
+
+#: X of 40,000 x 2,000 -> the gram matrix alone is 12.8 GB dense.
+BIG_STATS = {"X": VarStats.matrix(40_000, 2_000)}
+TINY_STATS = {"X": VarStats.matrix(100, 10)}
+
+
+class TestEstimates:
+    def test_small_budget_selects_spark_operators(self):
+        estimate = estimate_for_candidate(SCRIPT, SMALL, BIG_STATS)
+        assert estimate.spark_operators >= 1
+
+    def test_large_budget_stays_local(self):
+        estimate = estimate_for_candidate(SCRIPT, LARGE, BIG_STATS)
+        assert estimate.spark_operators == 0
+        assert estimate.cp_operators >= 2
+
+    def test_time_proxy_reflects_dispatch_penalty(self):
+        small = estimate_for_candidate(SCRIPT, SMALL, BIG_STATS)
+        large = estimate_for_candidate(SCRIPT, LARGE, BIG_STATS)
+        assert small.time_proxy > large.time_proxy
+
+    def test_money_scales_with_price(self):
+        pricey = CandidateResource("pricey", LARGE.memory_budget, 40.0)
+        cheap = estimate_for_candidate(SCRIPT, LARGE, BIG_STATS)
+        expensive = estimate_for_candidate(SCRIPT, pricey, BIG_STATS)
+        assert expensive.money_proxy == pytest.approx(cheap.money_proxy * 10)
+
+    def test_loops_amplify_cost(self):
+        looped = "for (i in 1:100) { s = sum(X %*% t(X)) }"
+        flat = "s = sum(X %*% t(X))"
+        loop_cost = estimate_for_candidate(looped, LARGE, TINY_STATS).time_proxy
+        flat_cost = estimate_for_candidate(flat, LARGE, TINY_STATS).time_proxy
+        assert loop_cost > flat_cost * 3
+
+
+class TestOptimization:
+    def test_small_input_prefers_cheap_machine(self):
+        plan = optimize_resources(SCRIPT, [SMALL, LARGE], TINY_STATS)
+        assert plan.chosen is SMALL  # everything fits; pay less
+
+    def test_large_input_prefers_big_machine_when_worth_it(self):
+        # at 2x price, avoiding the spark dispatch penalties pays off
+        affordable_large = CandidateResource("large2x", LARGE.memory_budget, 2.0)
+        plan = optimize_resources(SCRIPT, [SMALL, affordable_large], BIG_STATS)
+        assert plan.chosen is affordable_large
+
+    def test_expensive_big_machine_rejected(self):
+        # at 4x price the distributed plan on the small machine is cheaper
+        plan = optimize_resources(SCRIPT, [SMALL, LARGE], BIG_STATS)
+        assert plan.chosen is SMALL
+
+    def test_tie_broken_by_smaller_memory(self):
+        twin_a = CandidateResource("a", 1 * 1024**3, 2.0)
+        twin_b = CandidateResource("b", 2 * 1024**3, 2.0)
+        plan = optimize_resources(SCRIPT, [twin_b, twin_a], TINY_STATS)
+        assert plan.chosen is twin_a
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            optimize_resources(SCRIPT, [], TINY_STATS)
+
+    def test_explain_renders_table(self):
+        plan = optimize_resources(SCRIPT, [SMALL, LARGE], BIG_STATS)
+        text = plan.explain()
+        assert "small" in text and "large" in text
+        assert "*" in text  # chosen marker
+
+    def test_estimates_cover_functions(self):
+        script = "B = lm(X, y)"
+        stats = {"X": VarStats.matrix(1000, 10), "y": VarStats.matrix(1000, 1)}
+        estimate = estimate_for_candidate(script, LARGE, stats)
+        assert estimate.cp_operators > 5  # lm/lmDS/lmCG bodies counted

@@ -1,0 +1,158 @@
+"""Unit tests for HOP rewrites: folding, simplification, CSE, fusion."""
+
+import pytest
+
+from repro.compiler import hops as H
+from repro.compiler.blocks import BasicBlock
+from repro.compiler.builder import DagBuilder
+from repro.compiler.rewrites import (
+    annotate_fusion,
+    apply_dynamic_rewrites,
+    apply_rewrites,
+    effective_inputs,
+    eliminate_cse,
+)
+from repro.compiler.sizes import VarStats, propagate_dag
+from repro.config import ReproConfig
+from repro.lang.parser import parse
+
+
+def _roots(source, live_out):
+    program = parse(source)
+    builder = DagBuilder(program.functions)
+    return builder.build_roots(program.statements, set(live_out))
+
+
+def _find(roots, hop_type):
+    return [h for h in H.topological_order(roots) if isinstance(h, hop_type)]
+
+
+CFG = ReproConfig()
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        roots = apply_rewrites(_roots("x = 1 + 2 * 3", ["x"]), CFG)
+        twrite = roots[-1]
+        assert isinstance(twrite.inputs[0], H.LiteralHop)
+        assert twrite.inputs[0].value == 7
+
+    def test_comparison_folds(self):
+        roots = apply_rewrites(_roots("x = 3 > 2", ["x"]), CFG)
+        assert roots[-1].inputs[0].value is True
+
+    def test_string_concat_folds(self):
+        roots = apply_rewrites(_roots('x = "a" + "b"', ["x"]), CFG)
+        assert roots[-1].inputs[0].value == "ab"
+
+    def test_division_by_zero_not_folded(self):
+        roots = apply_rewrites(_roots("x = 1 / 0", ["x"]), CFG)
+        assert isinstance(roots[-1].inputs[0], H.BinaryHop)
+
+    def test_unary_folds(self):
+        roots = apply_rewrites(_roots("x = abs(-5)", ["x"]), CFG)
+        assert roots[-1].inputs[0].value == 5
+
+    def test_disabled_by_config(self):
+        cfg = ReproConfig(enable_rewrites=False, enable_cse=False, enable_fusion=False)
+        roots = apply_rewrites(_roots("x = 1 + 2", ["x"]), cfg)
+        assert isinstance(roots[-1].inputs[0], H.BinaryHop)
+
+
+class TestAlgebraicSimplification:
+    @pytest.mark.parametrize("source", ["y = X * 1", "y = 1 * X", "y = X + 0",
+                                        "y = 0 + X", "y = X - 0", "y = X / 1",
+                                        "y = X ^ 1"])
+    def test_identity_removed(self, source):
+        roots = apply_rewrites(_roots(source, ["y"]), CFG)
+        value = roots[-1].inputs[0]
+        assert isinstance(value, H.DataHop)
+        assert value.name == "X"
+
+    def test_double_transpose_removed(self):
+        roots = apply_rewrites(_roots("y = t(t(X))", ["y"]), CFG)
+        value = roots[-1].inputs[0]
+        assert isinstance(value, H.DataHop)
+
+    def test_double_negation_removed(self):
+        roots = apply_rewrites(_roots("y = -(-X)", ["y"]), CFG)
+        assert isinstance(roots[-1].inputs[0], H.DataHop)
+
+    def test_sum_of_transpose(self):
+        roots = apply_rewrites(_roots("y = sum(t(X))", ["y"]), CFG)
+        agg = roots[-1].inputs[0]
+        assert isinstance(agg, H.AggUnaryHop)
+        assert isinstance(agg.inputs[0], H.DataHop)
+
+
+class TestCSE:
+    def test_duplicate_subexpression_merged(self):
+        roots = _roots("a = t(X) %*% X\nb = t(X) %*% X", ["a", "b"])
+        roots = eliminate_cse(roots)
+        mms = _find(roots, H.AggBinaryHop)
+        assert len(mms) == 1
+
+    def test_shared_transpose(self):
+        roots = _roots("a = t(X) %*% X\nb = t(X) %*% y", ["a", "b"])
+        roots = eliminate_cse(roots)
+        transposes = _find(roots, H.ReorgHop)
+        assert len(transposes) == 1
+
+    def test_different_literals_not_merged(self):
+        roots = eliminate_cse(_roots("a = X + 1\nb = X + 2", ["a", "b"]))
+        assert len(_find(roots, H.BinaryHop)) == 2
+
+    def test_writes_never_merged(self):
+        roots = eliminate_cse(_roots("a = X + 1\nb = X + 1", ["a", "b"]))
+        twrites = [r for r in roots if isinstance(r, H.DataHop) and r.op == "twrite"]
+        assert len(twrites) == 2
+        assert twrites[0].inputs[0] is twrites[1].inputs[0]
+
+
+class TestFusion:
+    def test_tsmm_detected(self):
+        roots = apply_rewrites(_roots("a = t(X) %*% X", ["a"]), CFG)
+        mm = _find(roots, H.AggBinaryHop)[0]
+        assert mm.physical == "tsmm"
+        assert len(effective_inputs(mm)) == 1
+
+    def test_tmm_detected(self):
+        roots = apply_rewrites(_roots("a = t(X) %*% y", ["a"]), CFG)
+        mm = _find(roots, H.AggBinaryHop)[0]
+        assert mm.physical == "tmm"
+        names = [h.name for h in effective_inputs(mm)]
+        assert names == ["X", "y"]
+
+    def test_plain_matmult_untouched(self):
+        roots = apply_rewrites(_roots("a = X %*% Y", ["a"]), CFG)
+        mm = _find(roots, H.AggBinaryHop)[0]
+        assert mm.physical is None
+
+    def test_fusion_disabled(self):
+        cfg = ReproConfig(enable_fusion=False)
+        roots = apply_rewrites(_roots("a = t(X) %*% X", ["a"]), cfg)
+        mm = _find(roots, H.AggBinaryHop)[0]
+        assert mm.physical is None
+
+
+class TestMetadataFolding:
+    def test_nrow_folds_with_known_dims(self):
+        roots = _roots("n = nrow(X)\ny = n * 2", ["y"])
+        stats = {"X": VarStats.matrix(100, 10)}
+        propagate_dag(roots, stats)
+        roots = apply_dynamic_rewrites(roots, CFG)
+        assert isinstance(roots[-1].inputs[0], H.LiteralHop)
+        assert roots[-1].inputs[0].value == 200
+
+    def test_ncol_branching_constant(self):
+        # the lm() dispatch pattern: ncol(X) <= 1024 folds to a literal
+        roots = _roots("c = ncol(X) <= 1024", ["c"])
+        propagate_dag(roots, {"X": VarStats.matrix(100, 10)})
+        roots = apply_dynamic_rewrites(roots, CFG)
+        assert roots[-1].inputs[0].value is True
+
+    def test_unknown_dims_not_folded(self):
+        roots = _roots("n = nrow(X)", ["n"])
+        propagate_dag(roots, {})
+        roots = apply_dynamic_rewrites(roots, CFG)
+        assert isinstance(roots[-1].inputs[0], H.UnaryHop)

@@ -1,0 +1,146 @@
+"""Unit tests for size propagation and memory estimates."""
+
+import json
+
+import pytest
+
+from repro.compiler import hops as H
+from repro.compiler.builder import DagBuilder
+from repro.compiler.sizes import (
+    VarStats,
+    dag_has_unknowns,
+    output_memory,
+    propagate_dag,
+)
+from repro.lang.parser import parse
+
+
+def _propagated(source, live_out, stats):
+    program = parse(source)
+    builder = DagBuilder(program.functions)
+    roots = builder.build_roots(program.statements, set(live_out))
+    propagate_dag(roots, dict(stats))
+    return roots
+
+
+def _result_hop(roots, name):
+    for root in roots:
+        if isinstance(root, H.DataHop) and root.op == "twrite" and root.name == name:
+            return root.inputs[0]
+    raise AssertionError(f"no twrite for {name}")
+
+
+X = {"X": VarStats.matrix(100, 20, nnz=500)}
+
+
+class TestDimensionPropagation:
+    def test_matmult_dims(self):
+        roots = _propagated("Z = X %*% t(X)", ["Z"], X)
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (100, 100)
+
+    def test_tsmm_dims(self):
+        roots = _propagated("Z = t(X) %*% X", ["Z"], X)
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (20, 20)
+
+    def test_binary_broadcast_dims(self):
+        roots = _propagated("Z = X - colMeans(X)", ["Z"], X)
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (100, 20)
+
+    def test_agg_directions(self):
+        roots = _propagated("r = rowSums(X)\nc = colSums(X)\ns = sum(X)", ["r", "c", "s"], X)
+        assert (_result_hop(roots, "r").rows, _result_hop(roots, "r").cols) == (100, 1)
+        assert (_result_hop(roots, "c").rows, _result_hop(roots, "c").cols) == (1, 20)
+        assert _result_hop(roots, "s").is_scalar()
+
+    def test_indexing_with_literal_bounds(self):
+        roots = _propagated("Z = X[11:20, 3:5]", ["Z"], X)
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (10, 3)
+
+    def test_indexing_full_column(self):
+        roots = _propagated("Z = X[, 3]", ["Z"], X)
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (100, 1)
+
+    def test_cbind_dims(self):
+        roots = _propagated("Z = cbind(X, X)", ["Z"], X)
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (100, 40)
+
+    def test_rand_dims_and_nnz(self):
+        roots = _propagated("Z = rand(rows=50, cols=10, sparsity=0.5)", ["Z"], {})
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols, hop.nnz) == (50, 10, 250)
+
+    def test_seq_dims(self):
+        roots = _propagated("Z = seq(1, 10)", ["Z"], {})
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (10, 1)
+
+    def test_diag_vector_to_matrix(self):
+        roots = _propagated("Z = diag(matrix(1, 20, 1))", ["Z"], {})
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (20, 20)
+
+    def test_unknown_input_propagates_unknown(self):
+        roots = _propagated("Z = Y %*% X", ["Z"], X)
+        hop = _result_hop(roots, "Z")
+        assert hop.rows == -1
+        assert hop.cols == 20
+
+
+class TestSparsityPropagation:
+    def test_elementwise_multiply_nnz_min(self):
+        roots = _propagated("Z = X * X", ["Z"], X)
+        assert _result_hop(roots, "Z").nnz == 500
+
+    def test_add_nnz_sum_capped(self):
+        roots = _propagated("Z = X + X", ["Z"], X)
+        assert _result_hop(roots, "Z").nnz == 1000
+
+    def test_transpose_preserves_nnz(self):
+        roots = _propagated("Z = t(X)", ["Z"], X)
+        assert _result_hop(roots, "Z").nnz == 500
+
+    def test_matmult_nnz_estimated(self):
+        roots = _propagated("Z = X %*% t(X)", ["Z"], X)
+        hop = _result_hop(roots, "Z")
+        assert 0 <= hop.nnz <= 100 * 100
+
+
+class TestMemoryEstimates:
+    def test_dense_output_memory(self):
+        hop = H.Hop("x")
+        hop.data_type = hop.data_type  # matrix by default
+        hop.set_dims(100, 20, 2000)
+        assert output_memory(hop) == 100 * 20 * 8
+
+    def test_sparse_output_memory_smaller(self):
+        hop = H.Hop("x")
+        hop.set_dims(1000, 1000, 100)
+        assert output_memory(hop) < 1000 * 1000 * 8
+
+    def test_unknown_is_infinite(self):
+        hop = H.Hop("x")
+        assert output_memory(hop) == float("inf")
+
+    def test_dag_has_unknowns(self):
+        roots = _propagated("Z = X %*% Y", ["Z"], X)
+        assert dag_has_unknowns(roots)
+        roots = _propagated("Z = t(X) %*% X", ["Z"], X)
+        assert not dag_has_unknowns(roots)
+
+
+class TestMtdSizeSource:
+    def test_pread_uses_mtd(self, tmp_path):
+        data_path = tmp_path / "input.csv"
+        data_path.write_text("1.0,2.0\n3.0,4.0\n")
+        (tmp_path / "input.csv.mtd").write_text(
+            json.dumps({"rows": 2, "cols": 2, "nnz": 4, "format": "csv"})
+        )
+        roots = _propagated(f'Z = read("{data_path}") * 2', ["Z"], {})
+        hop = _result_hop(roots, "Z")
+        assert (hop.rows, hop.cols) == (2, 2)

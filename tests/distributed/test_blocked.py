@@ -1,0 +1,101 @@
+"""Tests for blocked tensors: tiling, blocking schemes, reblocking."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.blocked import BlockedTensor, block_sizes_for
+from repro.distributed.rdd import SimSparkContext
+from repro.tensor import BasicTensorBlock
+
+
+@pytest.fixture
+def sctx():
+    return SimSparkContext(parallelism=4)
+
+
+class TestBlockingScheme:
+    def test_paper_scheme(self):
+        # exponentially decreasing block sizes: 1024^2, 128^3, 32^4, 16^5, 8^6, 8^7
+        assert block_sizes_for(2) == (1024, 1024)
+        assert block_sizes_for(3) == (128, 128, 128)
+        assert block_sizes_for(4) == (32, 32, 32, 32)
+        assert block_sizes_for(5) == (16,) * 5
+        assert block_sizes_for(6) == (8,) * 6
+        assert block_sizes_for(7) == (8,) * 7
+
+    def test_scheme_bounds_block_cells(self):
+        # every scheme entry stays within a few megabytes (dense FP64)
+        for ndim in range(2, 8):
+            sizes = block_sizes_for(ndim)
+            cells = int(np.prod(sizes))
+            assert cells * 8 <= 16 * 1024 * 1024
+
+    def test_scaled_scheme(self):
+        assert block_sizes_for(2, base=64) == (64, 64)
+        assert block_sizes_for(3, base=512) == (64, 64, 64)
+
+    def test_adjacent_schemes_divide(self):
+        # local reblocking (paper's 1024^2 -> 64 x 128^2 example) requires
+        # adjacent block sizes to divide each other
+        assert block_sizes_for(2)[0] % block_sizes_for(3)[0] == 0
+        assert block_sizes_for(3)[0] % block_sizes_for(4)[0] == 0
+
+
+class TestTiling:
+    def test_roundtrip_2d(self, sctx):
+        data = np.random.default_rng(0).random((130, 70))
+        blocked = BlockedTensor.from_local(BasicTensorBlock.from_numpy(data), sctx, (64, 64))
+        assert blocked.blocks_per_dim() == (3, 2)
+        assert blocked.num_blocks() == 6
+        np.testing.assert_array_equal(blocked.collect_local().to_numpy(), data)
+
+    def test_roundtrip_3d(self, sctx):
+        data = np.random.default_rng(1).random((20, 17, 9))
+        blocked = BlockedTensor.from_local(BasicTensorBlock.from_numpy(data), sctx, (8, 8, 8))
+        assert blocked.blocks_per_dim() == (3, 3, 2)
+        np.testing.assert_array_equal(blocked.collect_local().to_numpy(), data)
+
+    def test_block_at(self, sctx):
+        data = np.arange(64, dtype=float).reshape(8, 8)
+        blocked = BlockedTensor.from_local(BasicTensorBlock.from_numpy(data), sctx, (4, 4))
+        tile = blocked.block_at((1, 0))
+        np.testing.assert_array_equal(tile.to_numpy(), data[4:8, 0:4])
+
+    def test_edge_blocks_truncated(self, sctx):
+        data = np.ones((10, 10))
+        blocked = BlockedTensor.from_local(BasicTensorBlock.from_numpy(data), sctx, (8, 8))
+        corner = blocked.block_at((1, 1))
+        assert corner.shape == (2, 2)
+
+
+class TestReblocking:
+    def test_split_down_2d(self, sctx):
+        data = np.random.default_rng(2).random((128, 128))
+        blocked = BlockedTensor.from_local(BasicTensorBlock.from_numpy(data), sctx, (64, 64))
+        smaller = blocked.reblock((32, 32))
+        assert smaller.blocks_per_dim() == (4, 4)
+        np.testing.assert_array_equal(smaller.collect_local().to_numpy(), data)
+
+    def test_merge_up_2d(self, sctx):
+        data = np.random.default_rng(3).random((96, 96))
+        blocked = BlockedTensor.from_local(BasicTensorBlock.from_numpy(data), sctx, (32, 32))
+        bigger = blocked.reblock((96, 96))
+        assert bigger.num_blocks() == 1
+        np.testing.assert_array_equal(bigger.collect_local().to_numpy(), data)
+
+    def test_paper_example_matrix_to_3d_compatible_blocks(self, sctx):
+        # "on a 3D-tensor/matrix operation, we split each 1024^2 matrix block
+        # into 64 x 128^2 blocks" -- scaled down by 8 for test speed:
+        # 128^2 blocks split into 64 x 16^2
+        data = np.random.default_rng(4).random((256, 256))
+        blocked = BlockedTensor.from_local(BasicTensorBlock.from_numpy(data), sctx, (128, 128))
+        assert blocked.num_blocks() == 4
+        split = blocked.reblock((16, 16))
+        assert split.num_blocks() == 4 * 64
+        np.testing.assert_array_equal(split.collect_local().to_numpy(), data)
+
+    def test_reblock_uneven_edges(self, sctx):
+        data = np.random.default_rng(5).random((70, 45))
+        blocked = BlockedTensor.from_local(BasicTensorBlock.from_numpy(data), sctx, (64, 64))
+        small = blocked.reblock((16, 16))
+        np.testing.assert_array_equal(small.collect_local().to_numpy(), data)

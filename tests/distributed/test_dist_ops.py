@@ -1,0 +1,168 @@
+"""Tests for distributed matrix operations and the Spark instruction path."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.distributed import dist_ops
+from repro.distributed.blocked import BlockedTensor
+from repro.distributed.rdd import SimSparkContext
+from repro.tensor import BasicTensorBlock
+from repro.types import Direction
+
+
+@pytest.fixture
+def sctx():
+    return SimSparkContext(parallelism=4)
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(9)
+    return rng.random((150, 90)), rng.random((90, 40))
+
+
+def _blocked(array, sctx, sizes=(64, 64)):
+    return BlockedTensor.from_local(BasicTensorBlock.from_numpy(array), sctx, sizes)
+
+
+class TestMatMult:
+    def test_cpmm(self, sctx, data):
+        a, b = data
+        result = dist_ops.cpmm(_blocked(a, sctx), _blocked(b, sctx))
+        np.testing.assert_allclose(result.collect_local().to_numpy(), a @ b)
+
+    def test_mapmm(self, sctx, data):
+        a, b = data
+        result = dist_ops.mapmm(_blocked(a, sctx), BasicTensorBlock.from_numpy(b))
+        np.testing.assert_allclose(result.collect_local().to_numpy(), a @ b)
+
+    def test_tsmm_single_col_block(self, sctx, data):
+        a, __ = data
+        blocked = _blocked(a, sctx, (64, 128))
+        np.testing.assert_allclose(dist_ops.tsmm(blocked).to_numpy(), a.T @ a)
+
+    def test_tsmm_multi_col_block_fallback(self, sctx, data):
+        a, __ = data
+        blocked = _blocked(a, sctx, (64, 32))
+        np.testing.assert_allclose(dist_ops.tsmm(blocked).to_numpy(), a.T @ a)
+
+    def test_tmm(self, sctx, data):
+        a, __ = data
+        y = np.random.default_rng(1).random((150, 1))
+        result = dist_ops.tmm(_blocked(a, sctx, (64, 128)), _blocked(y, sctx, (64, 128)))
+        np.testing.assert_allclose(result.to_numpy(), a.T @ y)
+
+    def test_cpmm_dimension_mismatch(self, sctx, data):
+        a, __ = data
+        with pytest.raises(ValueError, match="mismatch"):
+            dist_ops.cpmm(_blocked(a, sctx), _blocked(a, sctx))
+
+
+class TestElementwiseAndReorg:
+    def test_elementwise(self, sctx, data):
+        a, __ = data
+        result = dist_ops.elementwise("*", _blocked(a, sctx), _blocked(a, sctx))
+        np.testing.assert_allclose(result.collect_local().to_numpy(), a * a)
+
+    def test_elementwise_scalar(self, sctx, data):
+        a, __ = data
+        result = dist_ops.elementwise_scalar("+", _blocked(a, sctx), 5.0)
+        np.testing.assert_allclose(result.collect_local().to_numpy(), a + 5.0)
+
+    def test_unary(self, sctx, data):
+        a, __ = data
+        result = dist_ops.unary("sqrt", _blocked(a, sctx))
+        np.testing.assert_allclose(result.collect_local().to_numpy(), np.sqrt(a))
+
+    def test_transpose(self, sctx, data):
+        a, __ = data
+        result = dist_ops.transpose(_blocked(a, sctx))
+        np.testing.assert_allclose(result.collect_local().to_numpy(), a.T)
+
+    def test_right_index(self, sctx, data):
+        a, __ = data
+        result = dist_ops.right_index(_blocked(a, sctx), 13, 97, 5, 71)
+        np.testing.assert_allclose(result.collect_local().to_numpy(), a[13:97, 5:71])
+
+    def test_cbind_aligned(self, sctx):
+        a = np.random.default_rng(0).random((100, 64))
+        b = np.random.default_rng(1).random((100, 30))
+        result = dist_ops.cbind(_blocked(a, sctx), _blocked(b, sctx))
+        np.testing.assert_allclose(
+            result.collect_local().to_numpy(), np.hstack([a, b])
+        )
+
+    def test_cbind_misaligned_fallback(self, sctx):
+        a = np.random.default_rng(0).random((100, 50))
+        b = np.random.default_rng(1).random((100, 30))
+        result = dist_ops.cbind(_blocked(a, sctx), _blocked(b, sctx))
+        np.testing.assert_allclose(
+            result.collect_local().to_numpy(), np.hstack([a, b])
+        )
+
+
+class TestAggregates:
+    def test_full_sum(self, sctx, data):
+        a, __ = data
+        assert dist_ops.aggregate_sum(_blocked(a, sctx)) == pytest.approx(a.sum())
+
+    @pytest.mark.parametrize("op", ["sum", "mean", "min", "max"])
+    def test_full_aggregates(self, sctx, data, op):
+        a, __ = data
+        expected = {"sum": a.sum(), "mean": a.mean(), "min": a.min(), "max": a.max()}[op]
+        assert dist_ops.aggregate(op, _blocked(a, sctx), Direction.FULL) == pytest.approx(expected)
+
+    def test_row_sum(self, sctx, data):
+        a, __ = data
+        result = dist_ops.aggregate("sum", _blocked(a, sctx), Direction.ROW)
+        np.testing.assert_allclose(result.to_numpy()[:, 0], a.sum(axis=1))
+
+    def test_col_mean(self, sctx, data):
+        a, __ = data
+        result = dist_ops.aggregate("mean", _blocked(a, sctx), Direction.COL)
+        np.testing.assert_allclose(result.to_numpy()[0], a.mean(axis=0))
+
+    def test_row_max(self, sctx, data):
+        a, __ = data
+        result = dist_ops.aggregate("max", _blocked(a, sctx), Direction.ROW)
+        np.testing.assert_allclose(result.to_numpy()[:, 0], a.max(axis=1))
+
+
+class TestRandGeneration:
+    def test_shape_and_determinism(self, sctx):
+        a = dist_ops.rand(sctx, 100, 60, (64, 64), seed=5).collect_local()
+        b = dist_ops.rand(sctx, 100, 60, (64, 64), seed=5).collect_local()
+        assert a.shape == (100, 60)
+        np.testing.assert_array_equal(a.to_numpy(), b.to_numpy())
+
+    def test_different_blocks_differ(self, sctx):
+        a = dist_ops.rand(sctx, 128, 128, (64, 64), seed=5).collect_local().to_numpy()
+        assert not np.allclose(a[:64, :64], a[64:, 64:])
+
+    def test_sparsity(self, sctx):
+        a = dist_ops.rand(sctx, 200, 200, (64, 64), sparsity=0.1, seed=5).collect_local()
+        assert 0.05 < a.nnz / a.size < 0.15
+
+
+class TestCompilerIntegration:
+    def test_end_to_end_spark_selection(self):
+        cfg = ReproConfig(memory_budget=150 * 1024, block_size=64, parallelism=4)
+        ml = MLContext(cfg)
+        x = np.random.default_rng(2).random((200, 64))
+        source = "G = X %*% t(X)\ns = sum(G)\nr = rowSums(G)"
+        result = ml.execute(source, inputs={"X": x}, outputs=["s", "r"])
+        gram = x @ x.T
+        assert result.scalar("s") == pytest.approx(gram.sum())
+        np.testing.assert_allclose(result.matrix("r")[:, 0], gram.sum(axis=1))
+
+    def test_distributed_rand_pipeline(self):
+        cfg = ReproConfig(memory_budget=120 * 1024, block_size=64, parallelism=4)
+        ml = MLContext(cfg)
+        source = """
+        X = rand(rows=300, cols=64, seed=3)
+        s = sum(X * 2)
+        """
+        result = ml.execute(source, outputs=["s"])
+        assert result.scalar("s") > 0

@@ -1,0 +1,98 @@
+"""Unit tests for the SimRDD engine."""
+
+import pytest
+
+from repro.distributed.rdd import SimSparkContext
+
+
+@pytest.fixture
+def sctx():
+    return SimSparkContext(parallelism=4)
+
+
+class TestNarrowTransformations:
+    def test_parallelize_collect(self, sctx):
+        rdd = sctx.parallelize(range(10), 3)
+        assert sorted(rdd.collect()) == list(range(10))
+        assert rdd.num_partitions == 3
+
+    def test_map(self, sctx):
+        assert sorted(sctx.parallelize([1, 2, 3]).map(lambda v: v * 2).collect()) == [2, 4, 6]
+
+    def test_filter(self, sctx):
+        rdd = sctx.parallelize(range(10)).filter(lambda v: v % 2 == 0)
+        assert sorted(rdd.collect()) == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, sctx):
+        rdd = sctx.parallelize([1, 2]).flat_map(lambda v: [v] * v)
+        assert sorted(rdd.collect()) == [1, 2, 2]
+
+    def test_map_values(self, sctx):
+        rdd = sctx.parallelize([("a", 1), ("b", 2)]).map_values(lambda v: v + 10)
+        assert dict(rdd.collect()) == {"a": 11, "b": 12}
+
+    def test_union(self, sctx):
+        a = sctx.parallelize([1, 2])
+        b = sctx.parallelize([3])
+        assert sorted(a.union(b).collect()) == [1, 2, 3]
+
+    def test_lazy_until_action(self, sctx):
+        jobs_before = sctx.metrics["jobs"]
+        rdd = sctx.parallelize(range(100)).map(lambda v: v + 1).filter(lambda v: v > 5)
+        assert sctx.metrics["jobs"] == jobs_before  # nothing ran yet
+        rdd.collect()
+        assert sctx.metrics["jobs"] > jobs_before
+
+    def test_count(self, sctx):
+        assert sctx.parallelize(range(17)).count() == 17
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, sctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)]
+        result = dict(sctx.parallelize(pairs).reduce_by_key(lambda x, y: x + y).collect())
+        assert result == {"a": 4, "b": 6, "c": 5}
+
+    def test_group_by_key(self, sctx):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        grouped = dict(sctx.parallelize(pairs).group_by_key().collect())
+        assert sorted(grouped["a"]) == [1, 2]
+        assert grouped["b"] == [3]
+
+    def test_join(self, sctx):
+        left = sctx.parallelize([("a", 1), ("b", 2)])
+        right = sctx.parallelize([("a", 10), ("a", 20), ("c", 30)])
+        joined = sorted(left.join(right).collect())
+        assert joined == [("a", (1, 10)), ("a", (1, 20))]
+
+    def test_shuffle_metrics_recorded(self, sctx):
+        pairs = [(i % 3, i) for i in range(30)]
+        sctx.parallelize(pairs).reduce_by_key(lambda x, y: x + y).collect()
+        assert sctx.metrics["shuffles"] >= 1
+        assert sctx.metrics["records_shuffled"] == 30
+        assert sctx.metrics["bytes_shuffled"] > 0
+
+
+class TestActionsAndCaching:
+    def test_reduce(self, sctx):
+        assert sctx.parallelize(range(1, 11)).reduce(lambda x, y: x + y) == 55
+
+    def test_reduce_empty_rejected(self, sctx):
+        with pytest.raises(ValueError, match="empty"):
+            sctx.parallelize([]).reduce(lambda x, y: x + y)
+
+    def test_lookup(self, sctx):
+        rdd = sctx.parallelize([("k", 1), ("k", 2), ("j", 3)])
+        assert sorted(rdd.lookup("k")) == [1, 2]
+
+    def test_cache_avoids_recompute(self, sctx):
+        calls = []
+
+        def track(v):
+            calls.append(v)
+            return v
+
+        rdd = sctx.parallelize(range(5), 1).map(track).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 5  # second collect served from cache

@@ -1,0 +1,140 @@
+"""Unit tests for the Spark-like instruction set (distributed backend)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_script
+from repro.config import ReproConfig
+from repro.runtime.context import ExecutionContext
+from repro.runtime.data import MatrixObject, ScalarObject
+from repro.runtime.instructions import spark
+from repro.runtime.instructions.base import Operand
+from repro.tensor import BasicTensorBlock
+from repro.types import Direction
+
+
+@pytest.fixture
+def ctx():
+    config = ReproConfig(block_size=64, parallelism=4)
+    program = compile_script("x = 1", config=config)
+    return ExecutionContext(program, config)
+
+
+def _bind(ctx, name, data):
+    ctx.set(name, MatrixObject.from_block(BasicTensorBlock.from_numpy(np.asarray(data, dtype=float)), ctx.pool))
+
+
+@pytest.fixture
+def matrices(ctx):
+    rng = np.random.default_rng(0)
+    a = rng.random((150, 80))
+    b = rng.random((80, 20))
+    _bind(ctx, "A", a)
+    _bind(ctx, "B", b)
+    return a, b
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert spark.create("binary", "+", Operand.var("A"), Operand.var("B"), "o") is not None
+        assert spark.create("agg", "sum", Direction.FULL, Operand.var("A"), "o") is not None
+        assert spark.create("reorg", "t", Operand.var("A"), "o") is not None
+        assert spark.create("matmult", "mm", [Operand.var("A")], "o", []) is not None
+        assert spark.create("rand", {}, "o") is not None
+
+    def test_unknown_reorg_refused(self):
+        assert spark.create("reorg", "rev", Operand.var("A"), "o") is None
+
+    def test_unknown_kind_refused(self):
+        assert spark.create("nonsense") is None
+
+
+class TestBinarySP:
+    def test_matrix_matrix(self, ctx, matrices):
+        a, __ = matrices
+        _bind(ctx, "A2", a)
+        spark.BinarySPInstruction("+", Operand.var("A"), Operand.var("A2"), "out").execute(ctx)
+        out = ctx.get("out")
+        assert out.rdd is not None  # result stays distributed
+        np.testing.assert_allclose(out.rdd.collect_local().to_numpy(), a + a)
+
+    def test_matrix_scalar(self, ctx, matrices):
+        a, __ = matrices
+        spark.BinarySPInstruction("*", Operand.var("A"), Operand.lit(3.0), "out").execute(ctx)
+        np.testing.assert_allclose(
+            ctx.get("out").rdd.collect_local().to_numpy(), a * 3.0
+        )
+
+    def test_scalar_matrix(self, ctx, matrices):
+        a, __ = matrices
+        spark.BinarySPInstruction("-", Operand.lit(1.0), Operand.var("A"), "out").execute(ctx)
+        np.testing.assert_allclose(
+            ctx.get("out").rdd.collect_local().to_numpy(), 1.0 - a
+        )
+
+    def test_distributed_view_remembered(self, ctx, matrices):
+        spark.BinarySPInstruction("+", Operand.var("A"), Operand.lit(0.0), "o1").execute(ctx)
+        assert ctx.get("A").rdd is not None  # parallelized view cached
+
+
+class TestMatMultSP:
+    def test_broadcast_mapmm(self, ctx, matrices):
+        a, b = matrices
+        instr = spark.MatMultSPInstruction("mm", [Operand.var("A"), Operand.var("B")], "out")
+        instr.execute(ctx)
+        np.testing.assert_allclose(
+            ctx.get("out").rdd.collect_local().to_numpy(), a @ b, rtol=1e-9
+        )
+
+    def test_tsmm_returns_local(self, ctx, matrices):
+        a, __ = matrices
+        instr = spark.MatMultSPInstruction("tsmm", [Operand.var("A")], "out")
+        instr.execute(ctx)
+        out = ctx.get("out")
+        assert out.is_local  # k x k result comes back local
+        np.testing.assert_allclose(out.acquire_local().to_numpy(), a.T @ a, rtol=1e-9)
+
+    def test_tmm(self, ctx, matrices):
+        a, __ = matrices
+        y = np.random.default_rng(1).random((150, 1))
+        _bind(ctx, "y", y)
+        instr = spark.MatMultSPInstruction("tmm", [Operand.var("A"), Operand.var("y")], "out")
+        instr.execute(ctx)
+        np.testing.assert_allclose(
+            ctx.get("out").acquire_local().to_numpy(), a.T @ y, rtol=1e-9
+        )
+
+
+class TestAggAndReorgSP:
+    def test_full_sum(self, ctx, matrices):
+        a, __ = matrices
+        spark.AggSPInstruction("sum", Direction.FULL, Operand.var("A"), "out").execute(ctx)
+        assert ctx.get("out").value == pytest.approx(a.sum())
+
+    def test_row_mean(self, ctx, matrices):
+        a, __ = matrices
+        spark.AggSPInstruction("mean", Direction.ROW, Operand.var("A"), "out").execute(ctx)
+        np.testing.assert_allclose(
+            ctx.get("out").acquire_local().to_numpy()[:, 0], a.mean(axis=1)
+        )
+
+    def test_transpose(self, ctx, matrices):
+        a, __ = matrices
+        spark.ReorgSPInstruction("t", Operand.var("A"), "out").execute(ctx)
+        np.testing.assert_allclose(
+            ctx.get("out").rdd.collect_local().to_numpy(), a.T
+        )
+
+
+class TestRandSP:
+    def test_distributed_rand(self, ctx):
+        params = {
+            "rows": Operand.lit(200), "cols": Operand.lit(100),
+            "seed": Operand.lit(5), "min": Operand.lit(0.0), "max": Operand.lit(1.0),
+        }
+        spark.RandSPInstruction(params, "out").execute(ctx)
+        out = ctx.get("out")
+        assert out.rdd is not None
+        block = out.rdd.collect_local()
+        assert block.shape == (200, 100)
+        assert 0.0 <= block.to_numpy().min() <= block.to_numpy().max() <= 1.0

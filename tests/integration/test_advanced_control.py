@@ -1,0 +1,127 @@
+"""Advanced control-flow combinations: nesting, parfor-in-for, xor, etc."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=3))
+
+
+class TestNesting:
+    def test_parfor_inside_for(self, ml):
+        source = """
+        B = matrix(0, 3, 4)
+        for (r in 1:3) {
+          parfor (c in 1:4) {
+            B[r, c] = r * 10 + c
+          }
+        }
+        """
+        result = ml.execute(source, outputs=["B"])
+        expected = np.asarray([[11, 12, 13, 14], [21, 22, 23, 24], [31, 32, 33, 34]],
+                              dtype=float)
+        np.testing.assert_array_equal(result.matrix("B"), expected)
+
+    def test_for_inside_parfor(self, ml):
+        source = """
+        B = matrix(0, 1, 4)
+        parfor (c in 1:4) {
+          acc = 0
+          for (k in 1:c) {
+            acc = acc + k
+          }
+          B[1, c] = acc
+        }
+        """
+        result = ml.execute(source, outputs=["B"])
+        np.testing.assert_array_equal(result.matrix("B"), [[1, 3, 6, 10]])
+
+    def test_while_inside_function_inside_loop(self, ml):
+        source = """
+        collatz_steps = function(Double n) return (Double steps) {
+          steps = 0
+          while (n > 1) {
+            if (n %% 2 == 0) { n = n %/% 2 } else { n = 3 * n + 1 }
+            steps = steps + 1
+          }
+        }
+        S = matrix(0, 1, 6)
+        for (i in 1:6) {
+          S[1, i] = collatz_steps(i)
+        }
+        """
+        result = ml.execute(source, outputs=["S"])
+        np.testing.assert_array_equal(result.matrix("S"), [[0, 1, 7, 2, 5, 8]])
+
+    def test_triple_nested_if(self, ml):
+        source = """
+        if (a > 0) {
+          if (b > 0) {
+            if (c > 0) { x = 1 } else { x = 2 }
+          } else { x = 3 }
+        } else { x = 4 }
+        """
+        cases = [((1, 1, 1), 1), ((1, 1, -1), 2), ((1, -1, 9), 3), ((-1, 9, 9), 4)]
+        for (a, b, c), expected in cases:
+            result = ml.execute(source, inputs={"a": a, "b": b, "c": c}, outputs=["x"])
+            assert result.scalar("x") == expected
+
+
+class TestLogicSurface:
+    def test_xor_scalars(self, ml):
+        result = ml.execute("a = xor(TRUE, FALSE)\nb = xor(TRUE, TRUE)",
+                            outputs=["a", "b"])
+        assert result.scalar("a") is True
+        assert result.scalar("b") is False
+
+    def test_xor_matrices(self, ml):
+        x = np.asarray([[1.0, 0.0], [1.0, 0.0]])
+        y = np.asarray([[1.0, 1.0], [0.0, 0.0]])
+        result = ml.execute("Z = xor(X, Y)", inputs={"X": x, "Y": y}, outputs=["Z"])
+        np.testing.assert_array_equal(result.matrix("Z"), [[0, 1], [1, 0]])
+
+    def test_short_circuit_semantics_not_required(self, ml):
+        # & evaluates both sides (matrix semantics); results still correct
+        result = ml.execute("x = (2 > 1) & (3 > 2) | FALSE", outputs=["x"])
+        assert result.scalar("x") is True
+
+
+class TestLoopBoundaryCases:
+    def test_single_iteration_parfor(self, ml):
+        result = ml.execute(
+            "B = matrix(0, 1, 1)\nparfor (i in 1:1) { B[1, i] = 7 }", outputs=["B"]
+        )
+        assert result.matrix("B")[0, 0] == 7
+
+    def test_large_iteration_count_scalar_loop(self, ml):
+        result = ml.execute("s = 0\nfor (i in 1:2000) { s = s + 1 }", outputs=["s"])
+        assert result.scalar("s") == 2000
+
+    def test_loop_variable_shadowing_outer(self, ml):
+        source = """
+        i = 100
+        s = 0
+        for (i in 1:3) { s = s + i }
+        t = s
+        """
+        # the loop variable is removed after the loop; the outer `i` was
+        # overwritten by the loop header (R semantics keep the last value,
+        # our for removes it -- either way `t` is well-defined)
+        result = ml.execute(source, outputs=["t"])
+        assert result.scalar("t") == 6
+
+    def test_while_with_matrix_predicate_scalarized(self, ml):
+        source = """
+        X = matrix(5, 1, 1)
+        while (as.scalar(X) > 1) {
+          X = X - 1
+        }
+        v = as.scalar(X)
+        """
+        result = ml.execute(source, outputs=["v"])
+        assert result.scalar("v") == 1

@@ -1,0 +1,97 @@
+"""Correctness tests for the benchmark baselines and workload harness.
+
+The baselines must compute exactly the same models as the engine; the
+benchmark numbers would be meaningless otherwise.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.baselines import JuliaStyleBaseline, TFGraphBaseline, TFStyleBaseline
+from benchmarks.workload import (
+    WorkloadData,
+    expected_model,
+    lambda_grid,
+    run_sysds,
+    sysds_config,
+)
+
+
+@pytest.fixture(scope="module")
+def dense_data():
+    return WorkloadData(300, 12)
+
+
+@pytest.fixture(scope="module")
+def sparse_data():
+    return WorkloadData(500, 16, sparsity=0.1)
+
+
+def _read_models(path):
+    return np.loadtxt(path, delimiter=",", ndmin=2)
+
+
+LAMBDAS = lambda_grid(3)
+
+
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize("baseline_cls", [TFStyleBaseline, TFGraphBaseline, JuliaStyleBaseline])
+    def test_dense_models_match_oracle(self, dense_data, baseline_cls):
+        baseline = baseline_cls()
+        baseline.run(dense_data.x_path, dense_data.y_path, LAMBDAS[:, 0], dense_data.out_path)
+        models = _read_models(dense_data.out_path)
+        for i, lam in enumerate(LAMBDAS[:, 0]):
+            np.testing.assert_allclose(
+                models[:, [i]], expected_model(dense_data, lam), atol=1e-8
+            )
+
+    @pytest.mark.parametrize("baseline_cls", [TFStyleBaseline, TFGraphBaseline, JuliaStyleBaseline])
+    def test_sparse_models_match_oracle(self, sparse_data, baseline_cls):
+        baseline = baseline_cls()
+        baseline.run_sparse(
+            sparse_data.x_path, sparse_data.y_path, LAMBDAS[:, 0], sparse_data.out_path
+        )
+        models = _read_models(sparse_data.out_path)
+        for i, lam in enumerate(LAMBDAS[:, 0]):
+            np.testing.assert_allclose(
+                models[:, [i]], expected_model(sparse_data, lam), atol=1e-8
+            )
+
+    def test_csv_readers_agree(self, dense_data):
+        tf = TFStyleBaseline().read_csv(dense_data.x_path)
+        julia = JuliaStyleBaseline().read_csv(dense_data.x_path)
+        np.testing.assert_allclose(tf, julia)
+        np.testing.assert_allclose(tf, dense_data.X)
+
+
+class TestEngineWorkload:
+    @pytest.mark.parametrize("native_blas", [True, False])
+    def test_engine_models_match_oracle(self, dense_data, native_blas):
+        run_sysds(dense_data, 3, sysds_config(native_blas=native_blas))
+        models = _read_models(dense_data.out_path)
+        for i, lam in enumerate(LAMBDAS[:, 0]):
+            np.testing.assert_allclose(
+                models[:, [i]], expected_model(dense_data, lam), atol=1e-8
+            )
+
+    def test_engine_with_reuse_matches_oracle(self, dense_data):
+        ml = run_sysds(dense_data, 3, sysds_config(native_blas=True, reuse=True))
+        models = _read_models(dense_data.out_path)
+        for i, lam in enumerate(LAMBDAS[:, 0]):
+            np.testing.assert_allclose(
+                models[:, [i]], expected_model(dense_data, lam), atol=1e-8
+            )
+        assert ml.reuse_cache.stats["hits_full"] >= 2 * (3 - 1)
+
+    def test_sparse_engine_matches_oracle(self, sparse_data):
+        run_sysds(sparse_data, 2, sysds_config())
+        models = _read_models(sparse_data.out_path)
+        np.testing.assert_allclose(
+            models[:, [0]], expected_model(sparse_data, lambda_grid(2)[0, 0]), atol=1e-8
+        )
+
+    def test_workload_metadata_written(self, dense_data):
+        from repro.io.mtd import read_mtd
+
+        meta = read_mtd(dense_data.x_path)
+        assert (meta["rows"], meta["cols"]) == (300, 12)

@@ -1,0 +1,164 @@
+"""Property-based end-to-end tests: random DML expressions vs. NumPy oracle.
+
+Hypothesis generates small expression trees over two bound matrices; each
+tree carries its concrete output shape, so only shape-valid operations are
+composed.  Every tree is rendered both as a DML script (executed through
+the full parse/compile/execute stack) and as the equivalent NumPy
+computation; results must agree under several optimizer configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+_N, _M = 7, 5
+
+SCALAR = "scalar"
+
+
+class Node:
+    """Expression with paired DML/NumPy renderings and a concrete shape."""
+
+    def __init__(self, dml, func, shape):
+        self.dml = dml
+        self.func = func
+        self.shape = shape  # SCALAR or an (nrows, ncols) tuple
+
+    def __repr__(self):  # pragma: no cover - hypothesis reporting aid
+        return f"Node({self.dml!r}, shape={self.shape})"
+
+
+def _leaves(draw):
+    choice = draw(st.integers(0, 2))
+    if choice == 0:
+        return Node("A", lambda a, b: a, (_N, _M))
+    if choice == 1:
+        return Node("B", lambda a, b: b, (_N, _M))
+    value = float(draw(st.integers(-3, 3)))
+    return Node(repr(value), lambda a, b, v=value: v, SCALAR)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return _leaves(draw)
+    kind = draw(st.sampled_from(
+        ["add", "sub", "mul", "min", "matmul_tb", "transpose", "abs",
+         "sum", "rowsums", "colsums", "uminus", "sqrtabs"]
+    ))
+    left = draw(expressions(depth=depth + 1))
+    if kind == "transpose" and left.shape != SCALAR:
+        r, c = left.shape
+        return Node(f"t({left.dml})", lambda a, b, f=left.func: f(a, b).T, (c, r))
+    if kind == "uminus":
+        return Node(f"(-{left.dml})", lambda a, b, f=left.func: -f(a, b), left.shape)
+    if kind == "abs":
+        return Node(f"abs({left.dml})", lambda a, b, f=left.func: np.abs(f(a, b)), left.shape)
+    if kind == "sqrtabs":
+        return Node(f"sqrt(abs({left.dml}))",
+                    lambda a, b, f=left.func: np.sqrt(np.abs(f(a, b))), left.shape)
+    if kind == "sum":
+        return Node(f"sum({left.dml})",
+                    lambda a, b, f=left.func: float(np.sum(f(a, b))), SCALAR)
+    if kind == "rowsums" and left.shape != SCALAR:
+        return Node(f"rowSums({left.dml})",
+                    lambda a, b, f=left.func: f(a, b).sum(1, keepdims=True),
+                    (left.shape[0], 1))
+    if kind == "colsums" and left.shape != SCALAR:
+        return Node(f"colSums({left.dml})",
+                    lambda a, b, f=left.func: f(a, b).sum(0, keepdims=True),
+                    (1, left.shape[1]))
+    if kind in ("transpose", "rowsums", "colsums"):
+        return left  # scalar operand: these unaries do not apply
+    right = draw(expressions(depth=depth + 1))
+    if kind == "matmul_tb":
+        if (left.shape != SCALAR and right.shape != SCALAR
+                and left.shape[0] == right.shape[0]):
+            shape = (left.shape[1], right.shape[1])
+            return Node(f"(t({left.dml}) %*% ({right.dml}))",
+                        lambda a, b, f=left.func, g=right.func: f(a, b).T @ g(a, b),
+                        shape)
+        return left
+    ops = {"add": ("+", np.add), "sub": ("-", np.subtract),
+           "mul": ("*", np.multiply), "min": None}
+    if kind == "min":
+        if left.shape == right.shape and left.shape != SCALAR:
+            return Node(f"min({left.dml}, {right.dml})",
+                        lambda a, b, f=left.func, g=right.func: np.minimum(f(a, b), g(a, b)),
+                        left.shape)
+        return left
+    symbol, func = ops[kind]
+    # elementwise: allowed for scalar/any or exactly matching matrix shapes
+    # (DML broadcasting of vectors exists but the oracle keeps it simple)
+    if left.shape == SCALAR or right.shape == SCALAR or left.shape == right.shape:
+        shape = left.shape if left.shape != SCALAR else right.shape
+        return Node(f"({left.dml} {symbol} {right.dml})",
+                    lambda a, b, f=left.func, g=right.func, o=func: o(f(a, b), g(a, b)),
+                    shape)
+    return left
+
+
+_CONFIGS = [
+    ReproConfig(),
+    ReproConfig(enable_rewrites=False, enable_cse=False, enable_fusion=False),
+    ReproConfig(enable_lineage=True, reuse_policy="full"),
+    ReproConfig(native_blas=False, matmult_tile=3),
+]
+
+
+@given(expr=expressions(), config_index=st.integers(0, len(_CONFIGS) - 1))
+@settings(max_examples=120, deadline=None)
+def test_random_expression_matches_numpy(expr, config_index):
+    rng = np.random.default_rng(0)
+    a, b = rng.random((_N, _M)), rng.random((_N, _M))
+    expected = expr.func(a, b)
+    ml = MLContext(_CONFIGS[config_index])
+    result = ml.execute(f"Z = {expr.dml}", inputs={"A": a, "B": b}, outputs=["Z"])
+    if expr.shape == SCALAR:
+        assert result.scalar("Z") == pytest.approx(float(expected), rel=1e-9, abs=1e-9)
+    else:
+        np.testing.assert_allclose(
+            result.matrix("Z"), np.atleast_2d(expected), rtol=1e-9, atol=1e-9
+        )
+        assert result.matrix("Z").shape == expr.shape
+
+
+@given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_indexing_roundtrip_random_shapes(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.random((rows + 2, cols + 2))
+    source = f"Z = X[2:{rows + 1}, 2:{cols + 1}]"
+    result = MLContext().execute(source, inputs={"X": data}, outputs=["Z"])
+    np.testing.assert_array_equal(result.matrix("Z"), data[1 : rows + 1, 1 : cols + 1])
+
+
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_scalar_fold_matches_python(values):
+    # a chain of literal additions goes through constant folding
+    source = "x = " + " + ".join(repr(v) for v in values)
+    result = MLContext().execute(source, outputs=["x"])
+    assert result.scalar("x") == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+
+
+@given(st.integers(1, 40), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_for_loop_accumulation_matches_python(iterations, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.random(iterations)
+    source = f"""
+    s = 0
+    for (i in 1:{iterations}) {{
+      s = s + as.scalar(w[i, 1]) * i
+    }}
+    """
+    result = MLContext().execute(
+        source, inputs={"w": weights.reshape(-1, 1)}, outputs=["s"]
+    )
+    expected = sum(w * (i + 1) for i, w in enumerate(weights))
+    assert result.scalar("s") == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,179 @@
+"""End-to-end coverage of the DML builtin surface not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+@pytest.fixture(scope="module")
+def x():
+    return np.random.default_rng(0).random((8, 5))
+
+
+class TestAggregateSurface:
+    def test_row_col_variants(self, ml, x):
+        source = """
+        rv = rowVars(X)
+        cv = colVars(X)
+        rs = rowSds(X)
+        cs = colSds(X)
+        rm = rowMins(X)
+        cm = colMins(X)
+        """
+        result = ml.execute(source, inputs={"X": x},
+                            outputs=["rv", "cv", "rs", "cs", "rm", "cm"])
+        np.testing.assert_allclose(result.matrix("rv")[:, 0], x.var(1, ddof=1))
+        np.testing.assert_allclose(result.matrix("cv")[0], x.var(0, ddof=1))
+        np.testing.assert_allclose(result.matrix("rs")[:, 0], x.std(1, ddof=1))
+        np.testing.assert_allclose(result.matrix("cm")[0], x.min(0))
+
+    def test_cumulative_family(self, ml, x):
+        source = "a = cumsum(X)\nb = cumprod(X)\nc = cummin(X)\nd = cummax(X)"
+        result = ml.execute(source, inputs={"X": x}, outputs=["a", "b", "c", "d"])
+        np.testing.assert_allclose(result.matrix("a"), np.cumsum(x, 0))
+        np.testing.assert_allclose(result.matrix("b"), np.cumprod(x, 0))
+        np.testing.assert_allclose(result.matrix("c"), np.minimum.accumulate(x, 0))
+        np.testing.assert_allclose(result.matrix("d"), np.maximum.accumulate(x, 0))
+
+    def test_prod_var_sd_scalars(self, ml):
+        data = np.asarray([[1.0, 2.0], [3.0, 4.0]])
+        source = "p = prod(X)\nv = var(X)\ns = sd(X)"
+        result = ml.execute(source, inputs={"X": data}, outputs=["p", "v", "s"])
+        assert result.scalar("p") == 24.0
+        assert result.scalar("v") == pytest.approx(data.var(ddof=1))
+
+    def test_row_index_min(self, ml):
+        data = np.asarray([[3.0, 1.0, 2.0], [0.5, 0.9, 0.1]])
+        result = ml.execute("i = rowIndexMin(X)", inputs={"X": data}, outputs=["i"])
+        np.testing.assert_array_equal(result.matrix("i")[:, 0], [2, 3])
+
+
+class TestReorgSurface:
+    def test_rev(self, ml, x):
+        result = ml.execute("Y = rev(X)", inputs={"X": x}, outputs=["Y"])
+        np.testing.assert_array_equal(result.matrix("Y"), x[::-1])
+
+    def test_sort_alias_and_index_return(self, ml):
+        data = np.asarray([[3.0], [1.0], [2.0]])
+        source = """
+        s = sort(target=X, by=1)
+        i = order(target=X, by=1, decreasing=TRUE, index.return=TRUE)
+        """
+        result = ml.execute(source, inputs={"X": data}, outputs=["s", "i"])
+        np.testing.assert_array_equal(result.matrix("s")[:, 0], [1, 2, 3])
+        np.testing.assert_array_equal(result.matrix("i")[:, 0], [1, 3, 2])
+
+    def test_lower_upper_triangle(self, ml):
+        data = np.ones((4, 4))
+        source = """
+        L = lowertri(target=X, diag=TRUE)
+        U = uppertri(target=X, diag=FALSE)
+        """
+        result = ml.execute(source, inputs={"X": data}, outputs=["L", "U"])
+        np.testing.assert_array_equal(result.matrix("L"), np.tril(data))
+        np.testing.assert_array_equal(result.matrix("U"), np.triu(data, 1))
+
+    def test_append_alias(self, ml, x):
+        result = ml.execute("Y = append(X, X)", inputs={"X": x}, outputs=["Y"])
+        assert result.matrix("Y").shape == (8, 10)
+
+    def test_matrix_reshape_bycol(self, ml):
+        data = np.arange(6, dtype=float).reshape(2, 3)
+        result = ml.execute("Y = matrix(X, rows=3, cols=2, byrow=FALSE)",
+                            inputs={"X": data}, outputs=["Y"])
+        np.testing.assert_array_equal(
+            result.matrix("Y"), data.reshape((3, 2), order="F")
+        )
+
+    def test_outer_with_operator(self, ml):
+        u = np.asarray([[1.0], [2.0], [3.0]])
+        v = np.asarray([[2.0], [3.0]])
+        result = ml.execute('Z = outer(u, v, "+")', inputs={"u": u, "v": v},
+                            outputs=["Z"])
+        np.testing.assert_array_equal(result.matrix("Z"), u + v.T)
+
+
+class TestScalarAndStringSurface:
+    def test_tostring_on_matrix(self, ml):
+        data = np.asarray([[1.0, 2.0]])
+        result = ml.execute("s = toString(X)", inputs={"X": data}, outputs=["s"])
+        assert "1" in result.scalar("s") and "2" in result.scalar("s")
+
+    def test_trig_and_hyperbolic(self, ml):
+        source = """
+        a = asin(0.5) + acos(0.5) + atan(1.0)
+        b = sinh(1.0) + cosh(1.0) + tanh(1.0)
+        """
+        import math
+
+        result = ml.execute(source, outputs=["a", "b"])
+        assert result.scalar("a") == pytest.approx(
+            math.asin(0.5) + math.acos(0.5) + math.atan(1.0)
+        )
+        assert result.scalar("b") == pytest.approx(
+            math.sinh(1) + math.cosh(1) + math.tanh(1)
+        )
+
+    def test_log_with_base(self, ml):
+        result = ml.execute("x = log(8, 2)", outputs=["x"])
+        assert result.scalar("x") == pytest.approx(3.0)
+
+    def test_log_with_base_matrix(self, ml):
+        data = np.asarray([[4.0, 16.0]])
+        result = ml.execute("Y = log(X, 2)", inputs={"X": data}, outputs=["Y"])
+        np.testing.assert_allclose(result.matrix("Y"), [[2.0, 4.0]])
+
+    def test_nnz_builtin(self, ml):
+        data = np.asarray([[1.0, 0.0], [0.0, 2.0]])
+        result = ml.execute("n = nnz(X)", inputs={"X": data}, outputs=["n"])
+        assert result.scalar("n") == 2
+
+    def test_casts_roundtrip(self, ml):
+        source = """
+        a = as.integer(3.9)
+        b = as.double(7)
+        c = as.logical(1)
+        M = as.matrix(2.5)
+        d = as.scalar(M)
+        """
+        result = ml.execute(source, outputs=["a", "b", "c", "d"])
+        assert result.scalar("a") == 3
+        assert result.scalar("b") == 7.0
+        assert result.scalar("c") is True
+        assert result.scalar("d") == 2.5
+
+
+class TestDataGenSurface:
+    def test_sample_with_replacement(self, ml):
+        result = ml.execute("s = sample(5, 20, TRUE, 3)", outputs=["s"])
+        values = result.matrix("s").ravel()
+        assert len(values) == 20
+        assert set(values) <= {1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_rand_normal_pdf(self, ml):
+        result = ml.execute('m = mean(rand(rows=200, cols=200, pdf="normal", seed=1))',
+                            outputs=["m"])
+        assert abs(result.scalar("m")) < 0.05
+
+    def test_quantile_vector(self, ml):
+        data = np.arange(1, 101, dtype=float).reshape(-1, 1)
+        probs = np.asarray([[0.25], [0.5], [0.75]])
+        result = ml.execute("q = quantile(X, p)", inputs={"X": data, "p": probs},
+                            outputs=["q"])
+        np.testing.assert_array_equal(result.matrix("q")[:, 0], [25, 50, 75])
+
+    def test_table_with_weights_dml(self, ml):
+        rows = np.asarray([[1.0], [1.0], [2.0]])
+        cols = np.asarray([[1.0], [2.0], [1.0]])
+        weights = np.asarray([[0.5], [1.5], [2.0]])
+        result = ml.execute("T = table(r, c, w)",
+                            inputs={"r": rows, "c": cols, "w": weights},
+                            outputs=["T"])
+        np.testing.assert_array_equal(result.matrix("T"), [[0.5, 1.5], [2.0, 0.0]])

@@ -1,0 +1,70 @@
+"""Smoke tests: the shipped examples must run end-to-end.
+
+The heavyweight demos (hyperparameter_tuning, feature_selection_steplm,
+distributed_backend) are exercised at benchmark scale elsewhere; here the
+fast examples run as-is so documentation and code cannot drift apart.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def _run_example(name, capsys):
+    path = os.path.abspath(os.path.join(_EXAMPLES_DIR, name))
+    assert os.path.exists(path), f"example missing: {name}"
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "[mlcontext] rmse" in out
+    assert "[lazy]" in out
+    assert "[jmlc] batch 2" in out
+
+
+def test_federated_learning(capsys):
+    out = _run_example("federated_learning.py", capsys)
+    assert "max coefficient error" in out
+    assert "raw fetch blocked as expected" in out
+    # push-down beats shipping the raw partitions
+    assert "bytes sent" in out
+
+
+def test_parameter_server_training(capsys):
+    out = _run_example("parameter_server_training.py", capsys)
+    assert "[BSP] accuracy" in out
+    assert "[ASP] accuracy" in out
+    for line in out.splitlines():
+        if "accuracy =" in line:
+            accuracy = float(line.split("accuracy = ")[1].split()[0])
+            assert accuracy > 0.9
+
+
+def test_data_cleaning_pipeline(capsys):
+    out = _run_example("data_cleaning_pipeline.py", capsys)
+    assert "detected schema" in out
+    assert "model mse after cleaning" in out
+    assert "worst slices" in out
+
+
+def test_lifecycle_optimization(capsys):
+    out = _run_example("lifecycle_optimization.py", capsys)
+    assert "choose m5.large" in out
+    assert "compressed bytes" in out
+    assert "diff of the two runs" in out
+
+
+def test_all_examples_have_docstrings():
+    for name in os.listdir(_EXAMPLES_DIR):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(_EXAMPLES_DIR, name), "r", encoding="utf-8") as handle:
+            source = handle.read()
+        assert source.lstrip().startswith('"""'), f"{name} lacks a module docstring"
+        assert "Run:" in source, f"{name} lacks run instructions"

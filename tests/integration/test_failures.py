@@ -1,0 +1,135 @@
+"""Failure-injection tests: errors must be precise, early, and recoverable."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.errors import (
+    CompileError,
+    DMLStopError,
+    DMLSyntaxError,
+    RuntimeDMLError,
+)
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("x = ", "unexpected"),
+        ("x = (1 + 2", "expected"),
+        ("if (x > 1 { y = 2 }", "expected"),
+        ("x = 1 +* 2", "unexpected"),
+        ('x = "unterminated', "unterminated"),
+        ("for i in 1:3 { }", "expected"),
+    ])
+    def test_syntax_errors_reported_with_location(self, ml, source, fragment):
+        with pytest.raises(DMLSyntaxError, match=fragment) as info:
+            ml.execute(source)
+        assert "line" in str(info.value)
+
+
+class TestCompileErrors:
+    def test_unknown_builtin(self, ml):
+        with pytest.raises(CompileError, match="unknown function: frobnicate"):
+            ml.execute("x = frobnicate(1)")
+
+    def test_wrong_multi_return_arity(self, ml):
+        with pytest.raises(CompileError, match="returns 2 values"):
+            ml.execute("[a, b, c] = eigen(X)", inputs={"X": np.eye(2)})
+
+    def test_rand_missing_dims(self, ml):
+        with pytest.raises(CompileError, match="rows"):
+            ml.execute("x = rand(min=0)")
+
+    def test_stop_takes_one_argument(self, ml):
+        with pytest.raises(CompileError, match="exactly one"):
+            ml.execute('stop("a", "b")')
+
+    def test_3d_indexing_rejected(self, ml):
+        with pytest.raises(CompileError, match="2-dimensional"):
+            ml.execute("y = X[1, 2, 3]", inputs={"X": np.ones((2, 2))})
+
+
+class TestRuntimeErrors:
+    def test_dimension_mismatch_surfaces(self, ml):
+        with pytest.raises(ValueError, match="mismatch"):
+            ml.execute("Z = X %*% X", inputs={"X": np.ones((2, 3))}, outputs=["Z"])
+
+    def test_singular_solve_surfaces(self, ml):
+        with pytest.raises(np.linalg.LinAlgError):
+            ml.execute("Z = solve(X, y)",
+                       inputs={"X": np.zeros((2, 2)), "y": np.ones((2, 1))},
+                       outputs=["Z"])
+
+    def test_stop_message_propagates(self, ml):
+        with pytest.raises(DMLStopError, match="custom abort 42"):
+            ml.execute('v = 42\nstop("custom abort " + v)')
+
+    def test_error_inside_function_propagates(self, ml):
+        source = """
+        f = function(Double a) return (Double r) {
+          if (a < 0) { stop("negative input") }
+          r = sqrt(a)
+        }
+        x = f(-1)
+        """
+        with pytest.raises(DMLStopError, match="negative input"):
+            ml.execute(source, outputs=["x"])
+
+    def test_error_inside_parfor_worker_propagates(self, ml):
+        source = """
+        B = matrix(0, 1, 4)
+        parfor (i in 1:4) {
+          if (i == 3) { stop("worker failure") }
+          B[1, i] = i
+        }
+        s = sum(B)
+        """
+        with pytest.raises(DMLStopError, match="worker failure"):
+            ml.execute(source, outputs=["s"])
+
+    def test_context_usable_after_failure(self, ml):
+        with pytest.raises(DMLStopError):
+            ml.execute('stop("boom")')
+        result = ml.execute("x = 1 + 1", outputs=["x"])
+        assert result.scalar("x") == 2
+
+    def test_missing_input_variable(self, ml):
+        with pytest.raises(RuntimeDMLError, match="undefined variable"):
+            ml.execute("y = sum(NOT_BOUND)", outputs=["y"])
+
+    def test_index_out_of_bounds(self, ml):
+        with pytest.raises(IndexError):
+            ml.execute("y = X[5, 1]", inputs={"X": np.ones((2, 2))}, outputs=["y"])
+
+
+class TestShadowingAndScoping:
+    def test_user_function_shadows_dml_builtin(self, ml):
+        # a user-defined `scale` wins over the DML-bodied builtin
+        source = """
+        scale = function(Matrix[Double] A) return (Matrix[Double] R) {
+          R = A * 100
+        }
+        Y = scale(X)
+        """
+        result = ml.execute(source, inputs={"X": np.ones((2, 2))}, outputs=["Y"])
+        np.testing.assert_array_equal(result.matrix("Y"), np.full((2, 2), 100.0))
+
+    def test_builtin_keyword_names_usable_as_variables(self, ml):
+        result = ml.execute("sum = 3\ny = sum * 2", outputs=["y"])
+        assert result.scalar("y") == 6
+
+    def test_deep_recursion_limited_by_python(self, ml):
+        source = """
+        rec = function(Double n) return (Double r) {
+          if (n <= 0) { r = 0 } else { r = rec(n - 1) + 1 }
+        }
+        x = rec(40)
+        """
+        result = ml.execute(source, outputs=["x"])
+        assert result.scalar("x") == 40

@@ -1,0 +1,199 @@
+"""End-to-end data science lifecycle tests (the paper's core claim).
+
+One script covers: raw heterogeneous data -> schema detection -> feature
+transformation -> cleaning -> model training -> validation -> debugging,
+all inside the same declarative system, with files on disk in between.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.io import csv as csv_io
+from repro.tensor import BasicTensorBlock, Frame
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+@pytest.fixture
+def raw_csv(tmp_path):
+    """A messy raw dataset: categories, numbers, a missing value."""
+    path = tmp_path / "customers.csv"
+    rng = np.random.default_rng(42)
+    n = 120
+    cities = rng.choice(["graz", "wien", "linz"], size=n)
+    age = rng.integers(18, 70, size=n)
+    income = np.round(rng.random(n) * 80 + 20, 2)
+    # label depends on city and age
+    label = (
+        (cities == "wien").astype(float) * 2.0
+        + age / 50.0
+        + 0.05 * rng.standard_normal(n)
+    )
+    lines = ["city,age,income"]
+    for i in range(n):
+        income_text = "" if i == 7 else f"{income[i]}"
+        lines.append(f"{cities[i]},{age[i]},{income_text}")
+    path.write_text("\n".join(lines) + "\n")
+    label_path = tmp_path / "labels.csv"
+    csv_io.write_csv_matrix(BasicTensorBlock.from_numpy(label.reshape(-1, 1)),
+                            str(label_path))
+    return str(path), str(label_path)
+
+
+class TestEndToEndLifecycle:
+    def test_prepare_train_validate(self, ml, raw_csv, tmp_path):
+        data_path, label_path = raw_csv
+        model_path = str(tmp_path / "model.csv")
+        source = f"""
+        # 1) ingestion of raw heterogeneous data
+        F = read("{data_path}", data_type="frame", header=TRUE)
+        y = read("{label_path}")
+
+        # 2) feature transformation (recode+dummycode city, passthrough rest)
+        spec = "{{\\"recode\\": [\\"city\\"], \\"dummycode\\": [\\"city\\"]}}"
+        [X0, M] = transformencode(F, spec)
+
+        # 3) cleaning: impute the missing income, z-score everything
+        [X1, mu] = imputeByMean(X0)
+        [X, centering, scaling] = scale(X1)
+
+        # 4) training with ridge regression (icpt: z-scoring removed the
+        #    constant direction the dummy-coded city columns spanned)
+        B = lmDS(X, y, icpt=1, reg=0.001)
+
+        # 5) validation: in-sample mse must be small
+        k = nrow(B) - 1
+        r = y - (X %*% B[1:k, ] + as.scalar(B[k + 1, 1]))
+        mse = sum(r * r) / nrow(X)
+
+        # 6) persist the model for serving
+        write(B, "{model_path}", format="csv")
+        """
+        result = ml.execute(source, outputs=["mse", "B"])
+        assert result.scalar("mse") < 0.05
+        # the model landed on disk with metadata
+        model = csv_io.read_csv_matrix(model_path)
+        assert model.shape == (result.matrix("B").shape[0], 1)
+
+    def test_transform_then_serve_consistency(self, ml, raw_csv):
+        data_path, label_path = raw_csv
+        source = f"""
+        F = read("{data_path}", data_type="frame", header=TRUE)
+        y = read("{label_path}")
+        spec = "{{\\"recode\\": [\\"city\\"], \\"dummycode\\": [\\"city\\"]}}"
+        [Xtrain, M] = transformencode(F, spec)
+        Xserve = transformapply(F, M)
+        # the raw data contains one missing cell; NaN != NaN, so compare
+        # after replacing missing values on both sides
+        A = replace(target=Xtrain, pattern=0/0, replacement=-7)
+        Z = replace(target=Xserve, pattern=0/0, replacement=-7)
+        d = sum(abs(A - Z))
+        """
+        result = ml.execute(source, outputs=["d"])
+        assert result.scalar("d") == 0.0
+
+    def test_model_debugging_via_slicefinder(self, ml):
+        rng = np.random.default_rng(7)
+        n = 400
+        x = rng.integers(1, 4, size=(n, 3)).astype(float)
+        y = rng.random((n, 1))
+        source = """
+        B = lmDS(X, y, reg=0.1)
+        e = abs(y - X %*% B)
+        S = sliceFinder(X, e, k=3, minSup=20)
+        worst = as.scalar(S[1, 3])
+        overall = mean(e)
+        """
+        result = ml.execute(source, inputs={"X": x, "y": y},
+                            outputs=["S", "worst", "overall"])
+        assert result.scalar("worst") >= result.scalar("overall")
+
+    def test_hyperparameter_workload_figure5(self, ml):
+        """The paper's evaluation workload: k models over a lambda grid."""
+        rng = np.random.default_rng(11)
+        x = rng.random((150, 10))
+        y = x @ rng.random((10, 1))
+        source = """
+        k = nrow(lambdas)
+        B = matrix(0, ncol(X), k)
+        parfor (i in 1:k) {
+          B[, i] = lmDS(X, y, reg=as.scalar(lambdas[i, 1]))
+        }
+        """
+        lambdas = np.logspace(-7, 2, 8).reshape(-1, 1)
+        result = ml.execute(source, inputs={"X": x, "y": y, "lambdas": lambdas},
+                            outputs=["B"])
+        models = result.matrix("B")
+        assert models.shape == (10, 8)
+        for i, lam in enumerate(lambdas[:, 0]):
+            expected = np.linalg.solve(x.T @ x + lam * np.eye(10), x.T @ y)
+            np.testing.assert_allclose(models[:, [i]], expected, atol=1e-8)
+
+
+class TestOptimizerEquivalence:
+    """Results must not depend on which optimizations are enabled."""
+
+    _CONFIGS = {
+        "default": {},
+        "no_rewrites": {"enable_rewrites": False},
+        "no_cse": {"enable_cse": False},
+        "no_fusion": {"enable_fusion": False},
+        "no_ipa": {"enable_ipa": False},
+        "no_recompile": {"enable_recompile": False},
+        "no_codegen": {"enable_codegen": False},
+        "everything_off": {
+            "enable_rewrites": False, "enable_cse": False,
+            "enable_fusion": False, "enable_ipa": False,
+            "enable_codegen": False,
+        },
+        "lineage": {"enable_lineage": True},
+        "reuse_full": {"enable_lineage": True, "reuse_policy": "full"},
+        "reuse_partial": {"enable_lineage": True, "reuse_policy": "full_partial"},
+        "tiny_memory": {"memory_budget": 300 * 1024, "block_size": 64},
+        "no_blas": {"native_blas": False, "matmult_tile": 16},
+    }
+
+    @pytest.mark.parametrize("name", sorted(_CONFIGS))
+    def test_lm_pipeline_equivalent(self, name):
+        overrides = self._CONFIGS[name]
+        rng = np.random.default_rng(3)
+        x = rng.random((80, 6))
+        y = x @ rng.random((6, 1)) + 0.01 * rng.standard_normal((80, 1))
+        source = """
+        [Ys, c, s] = scale(X)
+        B = lm(Ys, y, reg=0.01)
+        r = y - Ys %*% B
+        mse = sum(r * r) / nrow(X)
+        total = sum(abs(B))
+        """
+        baseline = MLContext(ReproConfig(parallelism=2)).execute(
+            source, inputs={"X": x, "y": y}, outputs=["mse", "total"]
+        )
+        variant = MLContext(ReproConfig(parallelism=2, **overrides)).execute(
+            source, inputs={"X": x, "y": y}, outputs=["mse", "total"]
+        )
+        assert variant.scalar("mse") == pytest.approx(baseline.scalar("mse"), rel=1e-9)
+        assert variant.scalar("total") == pytest.approx(baseline.scalar("total"), rel=1e-9)
+
+    @pytest.mark.parametrize("name", ["default", "no_rewrites", "reuse_partial",
+                                      "tiny_memory", "everything_off"])
+    def test_steplm_equivalent(self, name):
+        overrides = self._CONFIGS[name]
+        rng = np.random.default_rng(5)
+        x = rng.random((90, 5))
+        y = 2 * x[:, [1]] - x[:, [4]] + 0.01 * rng.standard_normal((90, 1))
+        baseline = MLContext(ReproConfig(parallelism=2)).execute(
+            "[B, S] = steplm(X, y)", inputs={"X": x, "y": y}, outputs=["B", "S"]
+        )
+        variant = MLContext(ReproConfig(parallelism=2, **overrides)).execute(
+            "[B, S] = steplm(X, y)", inputs={"X": x, "y": y}, outputs=["B", "S"]
+        )
+        np.testing.assert_allclose(
+            variant.matrix("B"), baseline.matrix("B"), atol=1e-8
+        )
+        np.testing.assert_array_equal(variant.matrix("S"), baseline.matrix("S"))

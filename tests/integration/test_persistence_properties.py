@@ -1,0 +1,76 @@
+"""Property-based persistence tests: write/read roundtrips through DML."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+
+_FINITE = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+                    allow_infinity=False, width=64)
+
+
+def _matrices(max_dim=10):
+    return st.integers(1, max_dim).flatmap(
+        lambda n: st.integers(1, max_dim).flatmap(
+            lambda m: arrays(np.float64, (n, m), elements=_FINITE)
+        )
+    )
+
+
+@given(data=_matrices(), format_name=st.sampled_from(["csv", "binary"]))
+@settings(max_examples=40, deadline=None)
+def test_write_read_roundtrip(data, format_name):
+    ml = MLContext(ReproConfig(parallelism=2))
+    import tempfile
+
+    path = os.path.join(tempfile.mkdtemp(), f"m.{format_name}")
+    ml.execute(
+        f'write(X, "{path}", format="{format_name}")',
+        inputs={"X": data},
+    )
+    back = ml.execute(f'Y = read("{path}")', outputs=["Y"]).matrix("Y")
+    if format_name == "binary":
+        np.testing.assert_array_equal(back, data)
+    else:
+        np.testing.assert_allclose(back, data, rtol=1e-15)
+
+
+@given(data=_matrices())
+@settings(max_examples=25, deadline=None)
+def test_text_cell_roundtrip_preserves_nonzeros(data):
+    import tempfile
+
+    ml = MLContext(ReproConfig(parallelism=2))
+    path = os.path.join(tempfile.mkdtemp(), "m.ijv")
+    ml.execute(f'write(X, "{path}", format="text")', inputs={"X": data})
+    back = ml.execute(f'Y = read("{path}")', outputs=["Y"]).matrix("Y")
+    # text cells drop trailing all-zero rows/columns; compare the overlap
+    rows = min(back.shape[0], data.shape[0])
+    cols = min(back.shape[1], data.shape[1])
+    np.testing.assert_allclose(back[:rows, :cols], data[:rows, :cols], rtol=1e-15)
+    if back.shape != data.shape:
+        assert np.count_nonzero(data[rows:, :]) == 0 or rows == data.shape[0]
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(2, 50), st.integers(1, 8))
+@settings(max_examples=25, deadline=None)
+def test_mtd_written_matches_data(seed, rows, cols):
+    import tempfile
+
+    from repro.io.mtd import read_mtd
+
+    rng = np.random.default_rng(seed)
+    data = rng.random((rows, cols))
+    ml = MLContext(ReproConfig(parallelism=2))
+    path = os.path.join(tempfile.mkdtemp(), "meta.csv")
+    ml.execute(f'write(X, "{path}")', inputs={"X": data})
+    meta = read_mtd(path)
+    assert meta["rows"] == rows
+    assert meta["cols"] == cols
+    assert meta["nnz"] == int(np.count_nonzero(data))

@@ -1,0 +1,71 @@
+"""Tests for AST helper utilities: walking, variable sets, formatting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+class TestWalkExpressions:
+    def test_covers_nested_calls_and_indexing(self):
+        statement = parse("z = f(X[1:n, i], k=g(y)) + t(W)").statements[0]
+        names = {e.name for e in ast.walk_expressions(statement) if isinstance(e, ast.Identifier)}
+        assert names == {"X", "n", "i", "y", "W"}
+
+    def test_indexed_assign_ranges_walked(self):
+        statement = parse("A[lo:hi, c] = v * 2").statements[0]
+        names = ast.read_variables(statement)
+        assert names == {"lo", "hi", "c", "v", "A"}
+
+    def test_loop_bounds_walked(self):
+        statement = parse("for (i in a:(b * 2)) { x = 1 }").statements[0]
+        names = ast.read_variables(statement)
+        assert {"a", "b"} <= names
+
+    def test_written_variables(self):
+        assert ast.written_variables(parse("[p, q] = f(1)").statements[0]) == {"p", "q"}
+        assert ast.written_variables(parse("x = 1").statements[0]) == {"x"}
+        assert ast.written_variables(parse("print(1)").statements[0]) == set()
+
+
+class TestFormatExpr:
+    @pytest.mark.parametrize("source", [
+        "z = 1 + 2 * x",
+        'z = f(a, k=3) %*% t(B)',
+        "z = X[1:5, ]",
+        "z = X[, i]",
+        "z = -abs(y) ^ 2",
+        'z = "text" + TRUE',
+    ])
+    def test_format_reparses_equivalently(self, source):
+        statement = parse(source).statements[0]
+        formatted = ast.format_expr(statement.value)
+        reparsed = parse(f"z = {formatted}").statements[0]
+        # formatting again must be a fixpoint
+        assert ast.format_expr(reparsed.value) == formatted
+
+
+@st.composite
+def simple_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            return str(draw(st.integers(0, 99)))
+        if kind == 1:
+            return draw(st.sampled_from(["x", "y", "longer_name"]))
+        return repr(draw(st.floats(0, 10, allow_nan=False)).__float__())
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    left = draw(simple_exprs(depth=depth + 1))
+    right = draw(simple_exprs(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@given(simple_exprs())
+@settings(max_examples=80, deadline=None)
+def test_parse_format_roundtrip(source):
+    statement = parse(f"z = {source}").statements[0]
+    formatted = ast.format_expr(statement.value)
+    reparsed = parse(f"z = {formatted}").statements[0]
+    assert ast.format_expr(reparsed.value) == formatted

@@ -1,0 +1,96 @@
+"""Unit tests for the DML lexer."""
+
+import pytest
+
+from repro.errors import DMLSyntaxError
+from repro.lang.lexer import TokenType, tokenize
+
+
+def _types(source):
+    return [t.type for t in tokenize(source) if t.type != TokenType.EOF]
+
+
+def _texts(source):
+    return [t.text for t in tokenize(source) if t.type != TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_integer_and_float(self):
+        tokens = tokenize("42 3.14 1e3 2.5e-2 .5")
+        assert [t.type for t in tokens[:5]] == [
+            TokenType.INT, TokenType.FLOAT, TokenType.FLOAT, TokenType.FLOAT, TokenType.FLOAT,
+        ]
+
+    def test_string_double_and_single_quotes(self):
+        tokens = tokenize("\"hello\" 'world'")
+        assert tokens[0].text == "hello"
+        assert tokens[1].text == "world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\tc\\d"')[0].text == "a\nb\tc\\d"
+
+    def test_unterminated_string(self):
+        with pytest.raises(DMLSyntaxError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_booleans(self):
+        tokens = tokenize("TRUE FALSE")
+        assert all(t.type == TokenType.BOOLEAN for t in tokens[:2])
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("if whilex for parfor foo function")
+        assert tokens[0].type == TokenType.KEYWORD
+        assert tokens[1].type == TokenType.IDENTIFIER  # whilex is no keyword
+        assert tokens[2].type == TokenType.KEYWORD
+        assert tokens[3].type == TokenType.KEYWORD
+        assert tokens[4].type == TokenType.IDENTIFIER
+        assert tokens[5].type == TokenType.KEYWORD
+
+    def test_dotted_identifier(self):
+        assert tokenize("as.scalar")[0].text == "as.scalar"
+
+
+class TestOperators:
+    def test_matmult_and_modulo_family(self):
+        assert _texts("a %*% b %% c %/% d") == ["a", "%*%", "b", "%%", "c", "%/%", "d"]
+
+    def test_comparison_operators(self):
+        assert _texts("a == b != c <= d >= e < f > g")[1::2] == [
+            "==", "!=", "<=", ">=", "<", ">",
+        ]
+
+    def test_logical_aliases(self):
+        # && and || normalise to & and |
+        assert _texts("a && b || c")[1::2] == ["&", "|"]
+
+    def test_arrow_assignment_normalises(self):
+        tokens = tokenize("x <- 3")
+        assert tokens[1].type == TokenType.ASSIGN
+
+    def test_unexpected_character(self):
+        with pytest.raises(DMLSyntaxError, match="unexpected character"):
+            tokenize("a ? b")
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert _texts("a # comment\nb") == ["a", "\n", "b"]
+
+    def test_block_comment(self):
+        assert _texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(DMLSyntaxError, match="block comment"):
+            tokenize("/* oops")
+
+    def test_newlines_preserved(self):
+        assert TokenType.NEWLINE in _types("a = 1\nb = 2")
+
+    def test_line_continuation(self):
+        assert TokenType.NEWLINE not in _types("a = 1 \\\n + 2")
+
+    def test_positions(self):
+        tokens = tokenize("x = 1\ny = 2")
+        y_token = [t for t in tokens if t.text == "y"][0]
+        assert y_token.line == 2
+        assert y_token.column == 1

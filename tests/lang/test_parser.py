@@ -1,0 +1,297 @@
+"""Unit tests for the DML parser."""
+
+import pytest
+
+from repro.errors import DMLSyntaxError
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.types import DataType, ValueType
+
+
+class TestAssignments:
+    def test_simple_assignment(self):
+        program = parse("x = 1 + 2")
+        assert len(program.statements) == 1
+        statement = program.statements[0]
+        assert isinstance(statement, ast.Assign)
+        assert statement.target == "x"
+        assert isinstance(statement.value, ast.BinaryExpr)
+
+    def test_accumulate_assignment(self):
+        statement = parse("x += 1").statements[0]
+        assert isinstance(statement, ast.Assign)
+        assert statement.accumulate
+
+    def test_arrow_assignment(self):
+        statement = parse("x <- 5").statements[0]
+        assert isinstance(statement, ast.Assign)
+
+    def test_multi_assignment(self):
+        statement = parse("[B, S] = steplm(X, y)").statements[0]
+        assert isinstance(statement, ast.MultiAssign)
+        assert statement.targets == ["B", "S"]
+        assert isinstance(statement.value, ast.Call)
+
+    def test_indexed_assignment(self):
+        statement = parse("X[1:3, 2] = Y").statements[0]
+        assert isinstance(statement, ast.IndexedAssign)
+        assert statement.target == "X"
+        assert len(statement.ranges) == 2
+        assert not statement.ranges[0].is_single
+        assert statement.ranges[1].is_single
+
+    def test_semicolon_separated(self):
+        program = parse("a = 1; b = 2; c = a + b")
+        assert len(program.statements) == 3
+
+
+class TestPrecedence:
+    def _value(self, source):
+        return parse(f"x = {source}").statements[0].value
+
+    def test_mult_binds_tighter_than_add(self):
+        expr = self._value("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_matmult_binds_tighter_than_mult(self):
+        expr = self._value("a * b %*% c")
+        assert expr.op == "*"
+        assert expr.right.op == "%*%"
+
+    def test_power_right_associative(self):
+        expr = self._value("2 ^ 3 ^ 2")
+        assert expr.op == "^"
+        assert expr.right.op == "^"
+
+    def test_unary_minus_power(self):
+        # R semantics: -2^2 == -(2^2)
+        expr = self._value("-x ^ 2")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert expr.operand.op == "^"
+
+    def test_negative_literal_folded(self):
+        expr = self._value("-3")
+        assert isinstance(expr, ast.IntLiteral)
+        assert expr.value == -3
+
+    def test_comparison_below_arithmetic(self):
+        expr = self._value("a + 1 > b * 2")
+        assert expr.op == ">"
+
+    def test_logical_lowest(self):
+        expr = self._value("a > 1 & b < 2 | c == 3")
+        assert expr.op == "|"
+        assert expr.left.op == "&"
+
+    def test_parentheses_override(self):
+        expr = self._value("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_not_operator(self):
+        expr = self._value("!fixed")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert expr.op == "!"
+
+
+class TestCallsAndIndexing:
+    def _value(self, source):
+        return parse(f"x = {source}").statements[0].value
+
+    def test_positional_and_named_args(self):
+        expr = self._value("lm(X, y, icpt=0, reg=0.001)")
+        assert expr.name == "lm"
+        assert len(expr.args) == 2
+        assert set(expr.named_args) == {"icpt", "reg"}
+
+    def test_named_before_positional_rejected(self):
+        with pytest.raises(DMLSyntaxError, match="positional"):
+            parse("x = f(a=1, 2)")
+
+    def test_duplicate_named_rejected(self):
+        with pytest.raises(DMLSyntaxError, match="duplicate"):
+            parse("x = f(a=1, a=2)")
+
+    def test_multiline_call(self):
+        expr = self._value("f(a,\n   b,\n   c)")
+        assert len(expr.args) == 3
+
+    def test_right_indexing_full_row(self):
+        expr = self._value("X[,i]")
+        assert isinstance(expr, ast.IndexExpr)
+        assert expr.ranges[0].is_all
+        assert expr.ranges[1].is_single
+
+    def test_right_indexing_ranges(self):
+        expr = self._value("X[1:n, 2:m]")
+        assert not expr.ranges[0].is_all
+        assert not expr.ranges[0].is_single
+
+    def test_chained_indexing(self):
+        expr = self._value("X[1:2,][,3]")
+        assert isinstance(expr, ast.IndexExpr)
+        assert isinstance(expr.target, ast.IndexExpr)
+
+    def test_dotted_builtin_call(self):
+        expr = self._value("as.scalar(X[1,1])")
+        assert expr.name == "as.scalar"
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        program = parse(
+            """
+            if (ncol(X) > 1024) {
+              B = lmCG(X, y)
+            } else {
+              B = lmDS(X, y)
+            }
+            """
+        )
+        statement = program.statements[0]
+        assert isinstance(statement, ast.If)
+        assert len(statement.then_body) == 1
+        assert len(statement.else_body) == 1
+
+    def test_if_without_braces(self):
+        statement = parse("if (a > 1) b = 2").statements[0]
+        assert isinstance(statement, ast.If)
+        assert len(statement.then_body) == 1
+
+    def test_else_if_chain(self):
+        statement = parse(
+            "if (a == 1) { x = 1 } else if (a == 2) { x = 2 } else { x = 3 }"
+        ).statements[0]
+        nested = statement.else_body[0]
+        assert isinstance(nested, ast.If)
+        assert len(nested.else_body) == 1
+
+    def test_while(self):
+        statement = parse("while (continue) { i = i + 1 }").statements[0]
+        assert isinstance(statement, ast.While)
+
+    def test_for_range(self):
+        statement = parse("for (i in 1:n) { s = s + i }").statements[0]
+        assert isinstance(statement, ast.For)
+        assert statement.var == "i"
+        assert statement.step_expr is None
+
+    def test_for_seq_with_step(self):
+        statement = parse("for (i in seq(1, 10, 2)) { s = s + i }").statements[0]
+        assert statement.step_expr is not None
+
+    def test_parfor_with_options(self):
+        statement = parse("parfor (i in 1:n, check=0) { B[,i] = f(i) }").statements[0]
+        assert isinstance(statement, ast.ParFor)
+        assert "check" in statement.opts
+
+    def test_for_rejects_options(self):
+        with pytest.raises(DMLSyntaxError, match="options"):
+            parse("for (i in 1:n, check=0) { }")
+
+    def test_invalid_loop_header(self):
+        with pytest.raises(DMLSyntaxError, match="loop header"):
+            parse("for (i in X) { }")
+
+
+class TestFunctions:
+    def test_function_definition(self):
+        program = parse(
+            """
+            m_lm = function(Matrix[Double] X, Matrix[Double] y,
+                            Integer icpt = 0, Double reg = 0.001)
+              return (Matrix[Double] B)
+            {
+              B = X
+            }
+            """
+        )
+        assert "m_lm" in program.functions
+        func = program.functions["m_lm"]
+        assert [p.name for p in func.params] == ["X", "y", "icpt", "reg"]
+        assert func.params[0].type_spec.data_type == DataType.MATRIX
+        assert func.params[2].type_spec.data_type == DataType.SCALAR
+        assert func.params[2].default is not None
+        assert func.returns[0].name == "B"
+
+    def test_multi_return_function(self):
+        program = parse(
+            "f = function(Matrix[Double] X) return (Matrix[Double] A, Double s) { A = X; s = 1 }"
+        )
+        assert len(program.functions["f"].returns) == 2
+
+    def test_frame_and_value_types(self):
+        program = parse(
+            "f = function(Frame[String] F) return (Matrix[Double] M) { M = x }"
+        )
+        param = program.functions["f"].params[0]
+        assert param.type_spec.data_type == DataType.FRAME
+        assert param.type_spec.value_type == ValueType.STRING
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(DMLSyntaxError, match="duplicate"):
+            parse("f = function() return (Double x) { x = 1 }\n"
+                  "f = function() return (Double x) { x = 2 }")
+
+    def test_return_defaults_rejected(self):
+        with pytest.raises(DMLSyntaxError, match="defaults"):
+            parse("f = function() return (Double x = 1) { x = 1 }")
+
+
+class TestSteplmScript:
+    """The paper's Figure 2 user script must parse end-to-end."""
+
+    def test_figure2_script(self):
+        program = parse(
+            """
+            X = read("features.csv")
+            Y = read("labels.csv")
+            [B, S] = steplm(X, Y, icpt=0, reg=0.001)
+            write(B, "model.txt")
+            """
+        )
+        assert len(program.statements) == 4
+
+    def test_figure2_builtin_body(self):
+        program = parse(
+            """
+            m_steplm = function(Matrix[Double] X, Matrix[Double] y, Double reg = 0.001)
+              return (Matrix[Double] B, Matrix[Double] S)
+            {
+              continue = TRUE
+              while (continue) {
+                parfor (i in 1:n, check=0) {
+                  if (!as.scalar(fixed[1,i])) {
+                    Xi = cbind(Xg, X[,i])
+                    B[,i] = lm(Xi, y, reg=reg)
+                  }
+                }
+                continue = FALSE
+              }
+              S = B
+            }
+            """
+        )
+        assert "m_steplm" in program.functions
+
+
+class TestExprStatements:
+    def test_print_statement(self):
+        statement = parse('print("hello")').statements[0]
+        assert isinstance(statement, ast.ExprStatement)
+
+    def test_write_statement(self):
+        statement = parse('write(B, "out.csv", format="csv")').statements[0]
+        assert isinstance(statement, ast.ExprStatement)
+        assert statement.value.named_args["format"].value == "csv"
+
+    def test_helpers_read_written_variables(self):
+        statement = parse("X[1:2, 1] = a + b").statements[0]
+        assert ast.read_variables(statement) == {"a", "b", "X"}
+        assert ast.written_variables(statement) == {"X"}
+
+    def test_format_expr_roundtrip_ish(self):
+        statement = parse("z = f(X[,i], k=2) %*% t(Y)").statements[0]
+        formatted = ast.format_expr(statement.value)
+        assert "%*%" in formatted and "f(" in formatted

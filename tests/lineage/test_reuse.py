@@ -1,0 +1,198 @@
+"""Tests for lineage-based full and partial reuse (paper section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.lineage.cache import ReuseCache
+from repro.lineage.item import LineageItem, input_item
+from repro.tensor import BasicTensorBlock
+
+
+def _ml(policy="full", **overrides):
+    cfg = ReproConfig(enable_lineage=True, reuse_policy=policy, **overrides)
+    return MLContext(cfg)
+
+
+class TestCacheMechanics:
+    def test_put_probe(self):
+        cache = ReuseCache(1024)
+        item = input_item("X", 1)
+        block = BasicTensorBlock.from_numpy(np.ones((2, 2)))
+        cache.put(item, block, 32)
+        assert cache.probe(item) is block
+        assert cache.stats["hits_full"] == 1
+
+    def test_miss_counted(self):
+        cache = ReuseCache(1024)
+        assert cache.probe(input_item("X", 1)) is None
+        assert cache.stats["misses"] == 1
+
+    def test_lru_eviction_by_budget(self):
+        cache = ReuseCache(100)
+        items = [input_item("X", i) for i in range(4)]
+        for item in items:
+            cache.put(item, "v", 40)
+        assert cache.stats["evictions"] >= 2
+        assert cache.used <= 100
+
+    def test_oversized_entry_rejected(self):
+        cache = ReuseCache(100)
+        cache.put(input_item("X", 1), "v", 500)
+        assert len(cache) == 0
+
+
+class TestFullReuse:
+    def test_redundant_tsmm_reused(self):
+        # the recomputations live in different blocks, so compile-time CSE
+        # cannot merge them -- only lineage-based reuse can
+        ml = _ml()
+        x = np.random.default_rng(0).random((60, 8))
+        source = """
+        A = t(X) %*% X
+        if (g > 0) {
+          B = t(X) %*% X
+        } else {
+          B = A
+        }
+        d = sum(A - B)
+        """
+        result = ml.execute(source, inputs={"X": x, "g": 1}, outputs=["d"])
+        assert result.scalar("d") == 0.0
+        assert ml.reuse_cache.stats["hits_full"] >= 1
+
+    def test_reuse_across_loop_iterations(self):
+        ml = _ml()
+        x = np.random.default_rng(0).random((60, 8))
+        source = """
+        total = 0
+        for (k in 1:5) {
+          A = t(X) %*% X
+          total = total + sum(A) * k
+        }
+        """
+        result = ml.execute(source, inputs={"X": x}, outputs=["total"])
+        expected = sum((x.T @ x).sum() * k for k in range(1, 6))
+        assert result.scalar("total") == pytest.approx(expected)
+        assert ml.reuse_cache.stats["hits_full"] >= 4
+
+    def test_reuse_across_executions_same_object(self):
+        ml = _ml()
+        x = np.random.default_rng(0).random((60, 8))
+        from repro.api.jmlc import PreparedScript
+
+        ps = PreparedScript(
+            "s = sum(t(X) %*% X)", inputs=["X"], outputs=["s"],
+            config=ml.config, reuse_cache=ml.reuse_cache,
+        )
+        first = ps.execute(X=x).scalar("s")
+        hits_before = ml.reuse_cache.stats["hits_full"]
+        second = ps.execute(X=x).scalar("s")
+        assert first == second
+        assert ml.reuse_cache.stats["hits_full"] > hits_before
+
+    def test_different_inputs_not_confused(self):
+        ml = _ml()
+        a = np.ones((4, 4))
+        b = np.full((4, 4), 2.0)
+        source = "s = sum(t(X) %*% X)"
+        ra = ml.execute(source, inputs={"X": a}, outputs=["s"]).scalar("s")
+        rb = ml.execute(source, inputs={"X": b}, outputs=["s"]).scalar("s")
+        assert ra != rb
+
+    def test_results_identical_with_and_without_reuse(self):
+        x = np.random.default_rng(3).random((50, 6))
+        y = np.random.default_rng(4).random((50, 1))
+        source = """
+        B1 = lmDS(X, y, reg=0.1)
+        B2 = lmDS(X, y, reg=0.01)
+        s = sum(B1) + sum(B2)
+        """
+        plain = MLContext(ReproConfig()).execute(
+            source, inputs={"X": x, "y": y}, outputs=["s"]
+        )
+        reused = _ml().execute(source, inputs={"X": x, "y": y}, outputs=["s"])
+        assert plain.scalar("s") == pytest.approx(reused.scalar("s"))
+
+    def test_rand_without_seed_not_reused_wrongly(self):
+        ml = _ml()
+        source = """
+        A = rand(rows=10, cols=10)
+        B = rand(rows=10, cols=10)
+        d = sum(abs(A - B))
+        """
+        result = ml.execute(source, outputs=["d"])
+        assert result.scalar("d") > 0  # different generated seeds
+
+
+class TestPartialReuse:
+    def test_tsmm_compensation_correct(self):
+        cache = ReuseCache(1 << 20, allow_partial=True)
+        rng = np.random.default_rng(1)
+        a = rng.random((40, 5))
+        d = rng.random((40, 2))
+        item_a = input_item("A", 1)
+        item_d = input_item("d", 2)
+        cache.put(item_a, None, 0)  # unrelated entry
+        tsmm_a = LineageItem("tsmm", [item_a])
+        cache.put(tsmm_a, BasicTensorBlock.from_numpy(a.T @ a), a.shape[1] ** 2 * 8)
+        cbind_item = LineageItem("cbind", [item_a, item_d])
+        out_item = LineageItem("tsmm", [cbind_item])
+        combined = BasicTensorBlock.from_numpy(np.hstack([a, d]))
+        result = cache.probe_partial_tsmm(out_item, combined)
+        assert result is not None
+        full = np.hstack([a, d])
+        np.testing.assert_allclose(result.to_numpy(), full.T @ full, atol=1e-12)
+
+    def test_tmm_compensation_correct(self):
+        cache = ReuseCache(1 << 20, allow_partial=True)
+        rng = np.random.default_rng(2)
+        a = rng.random((40, 5))
+        d = rng.random((40, 2))
+        y = rng.random((40, 1))
+        item_a, item_d, item_y = (input_item(n, i) for i, n in enumerate("Ady"))
+        cache.put(LineageItem("tmm", [item_a, item_y]),
+                  BasicTensorBlock.from_numpy(a.T @ y), 40)
+        out_item = LineageItem("tmm", [LineageItem("cbind", [item_a, item_d]), item_y])
+        combined = BasicTensorBlock.from_numpy(np.hstack([a, d]))
+        result = cache.probe_partial_tmm(out_item, combined, BasicTensorBlock.from_numpy(y))
+        assert result is not None
+        np.testing.assert_allclose(
+            result.to_numpy(), np.hstack([a, d]).T @ y, atol=1e-12
+        )
+
+    def test_partial_disabled_returns_none(self):
+        cache = ReuseCache(1 << 20, allow_partial=False)
+        out_item = LineageItem("tsmm", [LineageItem("cbind", [input_item("A", 1), input_item("d", 2)])])
+        assert cache.probe_partial_tsmm(out_item, BasicTensorBlock.from_numpy(np.ones((4, 3)))) is None
+
+    def test_steplm_uses_partial_reuse(self):
+        ml = _ml("full_partial", parallelism=2)
+        rng = np.random.default_rng(7)
+        x = rng.random((80, 5))
+        y = x[:, [0]] * 2 - x[:, [3]] + 0.01 * rng.standard_normal((80, 1))
+        result = ml.execute(
+            "[B, S] = steplm(X, y)", inputs={"X": x, "y": y}, outputs=["B", "S"]
+        )
+        assert ml.reuse_cache.stats["hits_partial"] > 0
+        # correctness against the no-reuse run
+        plain = MLContext(ReproConfig(parallelism=2)).execute(
+            "[B, S] = steplm(X, y)", inputs={"X": x, "y": y}, outputs=["B", "S"]
+        )
+        np.testing.assert_allclose(result.matrix("B"), plain.matrix("B"), atol=1e-9)
+
+    def test_sparse_partial_reuse(self):
+        cache = ReuseCache(1 << 20, allow_partial=True)
+        rng = np.random.default_rng(3)
+        dense = rng.random((60, 4)) * (rng.random((60, 4)) < 0.2)
+        delta = rng.random((60, 1)) * (rng.random((60, 1)) < 0.2)
+        a_block = BasicTensorBlock.from_numpy(dense).to_sparse()
+        item_a, item_d = input_item("A", 1), input_item("d", 2)
+        cache.put(LineageItem("tsmm", [item_a]),
+                  BasicTensorBlock.from_numpy(dense.T @ dense), 128)
+        combined = BasicTensorBlock.from_numpy(np.hstack([dense, delta])).to_sparse()
+        out_item = LineageItem("tsmm", [LineageItem("cbind", [item_a, item_d])])
+        result = cache.probe_partial_tsmm(out_item, combined)
+        full = np.hstack([dense, delta])
+        np.testing.assert_allclose(result.to_numpy(), full.T @ full, atol=1e-10)

@@ -1,0 +1,117 @@
+"""Unit tests for the multi-level buffer pool."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.runtime.bufferpool import BufferPool
+
+
+@pytest.fixture
+def pool(tmp_path):
+    return BufferPool(budget=1000, spill_dir=str(tmp_path))
+
+
+class TestBasicProtocol:
+    def test_put_get_roundtrip(self, pool):
+        entry = pool.put({"x": 1}, 100)
+        assert pool.get(entry) == {"x": 1}
+
+    def test_unknown_entry_rejected(self, pool):
+        with pytest.raises(BufferPoolError, match="unknown"):
+            pool.get(999)
+
+    def test_free_is_idempotent(self, pool):
+        entry = pool.put("payload", 10)
+        pool.free(entry)
+        pool.free(entry)  # no error
+        with pytest.raises(BufferPoolError):
+            pool.get(entry)
+
+    def test_used_tracks_sizes(self, pool):
+        pool.put("a", 300)
+        pool.put("b", 200)
+        assert pool.used == 500
+
+    def test_update_replaces_payload_and_size(self, pool):
+        entry = pool.put("old", 100)
+        pool.update(entry, "new", 400)
+        assert pool.get(entry) == "new"
+        assert pool.used == 400
+
+
+class TestEviction:
+    def test_eviction_over_budget(self, pool):
+        first = pool.put(np.ones(10), 600)
+        pool.put(np.zeros(10), 600)
+        assert pool.stats["evictions"] == 1
+        assert pool.used <= 1000
+        # evicted entry transparently restores
+        np.testing.assert_array_equal(pool.get(first), np.ones(10))
+        assert pool.stats["restores"] == 1
+
+    def test_lru_order(self, pool):
+        a = pool.put("a", 400)
+        b = pool.put("b", 400)
+        pool.get(a)  # touch a so b is least recently used
+        pool.put("c", 400)
+        entry_b = pool._entries[b]
+        assert not entry_b.in_memory
+        assert pool._entries[a].in_memory
+
+    def test_pinned_entries_not_evicted(self, pool):
+        a = pool.put("a", 600)
+        pool.pin(a)
+        pool.put("b", 600)  # would evict a, but it is pinned
+        assert pool._entries[a].in_memory
+        pool.unpin(a)
+
+    def test_unpin_without_pin_rejected(self, pool):
+        a = pool.put("a", 10)
+        with pytest.raises(BufferPoolError, match="unpin"):
+            pool.unpin(a)
+
+    def test_spill_file_cleanup_on_free(self, pool, tmp_path):
+        a = pool.put("a" * 100, 600)
+        pool.put("b", 600)  # evicts a to disk
+        spill = pool._entries[a].spill_path
+        assert spill and os.path.exists(spill)
+        pool.free(a)
+        assert not os.path.exists(spill)
+
+    def test_clean_entry_not_rewritten(self, pool):
+        a = pool.put("payload", 600)
+        pool.put("b", 600)       # evicts a (writes its spill file: 600)
+        pool.get(a)              # restore a; b stays resident
+        pool.put("c", 600)       # evicts b (dirty: +600) and a (clean: +0)
+        assert pool.stats["evictions"] == 3
+        assert pool.stats["bytes_spilled"] == 1200  # a written exactly once
+
+    def test_clear(self, pool):
+        pool.put("a", 100)
+        pool.put("b", 100)
+        pool.clear()
+        assert pool.num_entries == 0
+        assert pool.used == 0
+
+
+class TestIntegrationWithExecution:
+    def test_script_runs_under_tiny_bufferpool(self):
+        import numpy as np
+
+        from repro.api.mlcontext import MLContext
+        from repro.config import ReproConfig
+
+        # budget so small that intermediates must spill
+        cfg = ReproConfig(memory_budget=400_000, bufferpool_fraction=0.1)
+        ml = MLContext(cfg)
+        x = np.random.default_rng(0).random((100, 50))
+        result = ml.execute(
+            "A = X + 1\nB = X * 2\nC = X - 3\nD = A + B + C + X\ns = sum(D)",
+            inputs={"X": x},
+            outputs=["s"],
+        )
+        expected = ((x + 1) + (x * 2) + (x - 3) + x).sum()
+        assert abs(result.scalar("s") - expected) < 1e-6

@@ -1,0 +1,136 @@
+"""Unit tests for symbol-table value objects (ScalarObject, MatrixObject, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.errors import RuntimeDMLError
+from repro.runtime.bufferpool import BufferPool
+from repro.runtime.data import (
+    FrameObject,
+    ListObject,
+    MatrixObject,
+    Representation,
+    ScalarObject,
+)
+from repro.tensor import BasicTensorBlock, Frame
+from repro.types import ValueType
+
+
+class TestScalarObject:
+    def test_type_inference(self):
+        assert ScalarObject(True).value_type == ValueType.BOOLEAN
+        assert ScalarObject(3).value_type == ValueType.INT64
+        assert ScalarObject(3.5).value_type == ValueType.FP64
+        assert ScalarObject("x").value_type == ValueType.STRING
+
+    def test_coercion_on_construction(self):
+        assert ScalarObject(3.9, ValueType.INT64).value == 3
+        assert ScalarObject(0, ValueType.BOOLEAN).value is False
+        assert ScalarObject(1, ValueType.FP64).value == 1.0
+
+    def test_as_float_parses_numeric_strings(self):
+        assert ScalarObject("2.5").as_float() == 2.5
+        with pytest.raises(RuntimeDMLError, match="used as number"):
+            ScalarObject("abc").as_float()
+
+    def test_as_bool_rejects_strings(self):
+        with pytest.raises(RuntimeDMLError, match="boolean"):
+            ScalarObject("TRUE").as_bool()
+
+    def test_as_string_formats_booleans(self):
+        assert ScalarObject(True).as_string() == "TRUE"
+        assert ScalarObject(False).as_string() == "FALSE"
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(RuntimeDMLError):
+            ScalarObject([1, 2])
+
+
+class TestMatrixObject:
+    def test_from_block_metadata(self):
+        block = BasicTensorBlock.rand((5, 3), sparsity=0.5, seed=1)
+        obj = MatrixObject.from_block(block)
+        assert obj.shape == (5, 3)
+        assert obj.nnz == block.nnz
+        assert obj.is_local
+
+    def test_acquire_local_direct(self):
+        block = BasicTensorBlock.rand((4, 4), seed=2)
+        obj = MatrixObject.from_block(block)
+        assert obj.acquire_local() is block
+
+    def test_pool_backed_payload(self, tmp_path):
+        pool = BufferPool(10_000_000, str(tmp_path))
+        block = BasicTensorBlock.rand((4, 4), seed=3)
+        obj = MatrixObject.from_block(block, pool)
+        assert obj.acquire_local() is block
+        assert pool.num_entries == 1
+
+    def test_free_releases_pool_entry(self, tmp_path):
+        pool = BufferPool(10_000_000, str(tmp_path))
+        obj = MatrixObject.from_block(BasicTensorBlock.rand((4, 4), seed=4), pool)
+        obj.free()
+        assert pool.num_entries == 0
+
+    def test_gc_releases_pool_entry(self, tmp_path):
+        pool = BufferPool(10_000_000, str(tmp_path))
+        obj = MatrixObject.from_block(BasicTensorBlock.rand((4, 4), seed=5), pool)
+        del obj
+        import gc
+
+        gc.collect()
+        assert pool.num_entries == 0
+
+    def test_nonlocal_requires_collector(self):
+        obj = MatrixObject((10, 10))
+        obj.representation = Representation.DISTRIBUTED
+        with pytest.raises(RuntimeDMLError, match="local block"):
+            obj.acquire_local()
+
+    def test_pinned_context_manager(self, tmp_path):
+        pool = BufferPool(10_000_000, str(tmp_path))
+        obj = MatrixObject.from_block(BasicTensorBlock.rand((4, 4), seed=6), pool)
+        with obj.pinned() as block:
+            assert block.shape == (4, 4)
+
+    def test_memory_size_sparse_aware(self):
+        dense = MatrixObject((100, 100), nnz=100 * 100)
+        sparse = MatrixObject((100, 100), nnz=10)
+        assert sparse.memory_size() < dense.memory_size()
+
+
+class TestListObject:
+    def test_one_based_access(self):
+        items = [ScalarObject(1), ScalarObject(2)]
+        lst = ListObject(items)
+        assert lst.get(1).value == 1
+        assert lst.get(2).value == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(RuntimeDMLError, match="out of range"):
+            ListObject([ScalarObject(1)]).get(0)
+
+    def test_named_access(self):
+        lst = ListObject([ScalarObject(1)], names=["alpha"])
+        assert lst.get("alpha").value == 1
+        with pytest.raises(RuntimeDMLError, match="no element"):
+            lst.get("beta")
+
+    def test_names_length_checked(self):
+        with pytest.raises(RuntimeDMLError):
+            ListObject([ScalarObject(1)], names=["a", "b"])
+
+    def test_append_immutably(self):
+        lst = ListObject([ScalarObject(1)])
+        grown = lst.append(ScalarObject(2))
+        assert len(lst) == 1
+        assert len(grown) == 2
+
+
+class TestFrameObject:
+    def test_metadata(self):
+        frame = Frame.from_dict({"a": [1, 2], "b": [3.0, 4.0]})
+        obj = FrameObject(frame)
+        assert obj.shape == (2, 2)
+        assert obj.memory_size() > 0

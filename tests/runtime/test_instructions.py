@@ -1,0 +1,184 @@
+"""Unit tests for individual CP instructions and their error paths."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_script
+from repro.config import ReproConfig
+from repro.errors import RuntimeDMLError
+from repro.runtime.context import ExecutionContext
+from repro.runtime.data import (
+    FrameObject,
+    ListObject,
+    MatrixObject,
+    ScalarObject,
+)
+from repro.runtime.instructions import cp
+from repro.runtime.instructions.base import Operand
+from repro.tensor import BasicTensorBlock, Frame
+from repro.types import Direction, ValueType
+
+
+@pytest.fixture
+def ctx():
+    program = compile_script("x = 1")
+    return ExecutionContext(program, ReproConfig())
+
+
+def _matrix(ctx, name, data):
+    ctx.set(name, MatrixObject.from_block(BasicTensorBlock.from_numpy(np.asarray(data, dtype=float)), ctx.pool))
+
+
+class TestOperandResolution:
+    def test_literal_operand(self, ctx):
+        instr = cp.BinaryInstruction("+", Operand.lit(2), Operand.lit(3), "out")
+        instr.execute(ctx)
+        assert ctx.get("out").value == 5
+
+    def test_undefined_variable(self, ctx):
+        instr = cp.BinaryInstruction("+", Operand.var("nope"), Operand.lit(1), "out")
+        with pytest.raises(RuntimeDMLError, match="undefined"):
+            instr.execute(ctx)
+
+    def test_scalar_in_from_1x1_matrix(self, ctx):
+        _matrix(ctx, "m", [[7.0]])
+        instr = cp.UnaryInstruction("exp", Operand.var("m"), "out")
+        instr.execute(ctx)
+
+    def test_matrix_in_from_scalar(self, ctx):
+        ctx.set("s", ScalarObject(4.0))
+        instr = cp.ReorgInstruction("t", [Operand.var("s")], "out")
+        instr.execute(ctx)
+        assert ctx.get("out").acquire_local().as_scalar() == 4.0
+
+    def test_operand_validation(self):
+        with pytest.raises(ValueError):
+            Operand()
+        with pytest.raises(ValueError):
+            Operand(name="x", literal=ScalarObject(1))
+
+
+class TestScalarSemantics:
+    def test_string_comparison(self, ctx):
+        instr = cp.BinaryInstruction("==", Operand.lit("abc"), Operand.lit("abc"), "out")
+        instr.execute(ctx)
+        assert ctx.get("out").value is True
+
+    def test_string_number_concat(self, ctx):
+        instr = cp.BinaryInstruction("+", Operand.lit("n="), Operand.lit(3), "out")
+        instr.execute(ctx)
+        assert ctx.get("out").value == "n=3"
+
+    def test_int_preserving_ops(self, ctx):
+        instr = cp.BinaryInstruction("*", Operand.lit(3), Operand.lit(4), "out")
+        instr.execute(ctx)
+        value = ctx.get("out")
+        assert value.value == 12
+        assert value.value_type == ValueType.INT64
+
+    def test_division_always_float(self, ctx):
+        instr = cp.BinaryInstruction("/", Operand.lit(7), Operand.lit(2), "out")
+        instr.execute(ctx)
+        assert ctx.get("out").value == 3.5
+
+    def test_division_by_zero_nan(self, ctx):
+        instr = cp.BinaryInstruction("/", Operand.lit(1), Operand.lit(0), "out")
+        instr.execute(ctx)
+        assert np.isnan(ctx.get("out").value)
+
+
+class TestMetadataInstructions:
+    def test_nrow_on_frame(self, ctx):
+        ctx.set("f", FrameObject(Frame.from_dict({"a": [1, 2, 3]})))
+        cp.UnaryInstruction("nrow", Operand.var("f"), "out").execute(ctx)
+        assert ctx.get("out").value == 3
+
+    def test_length_on_list(self, ctx):
+        ctx.set("l", ListObject([ScalarObject(1), ScalarObject(2)]))
+        cp.UnaryInstruction("length", Operand.var("l"), "out").execute(ctx)
+        assert ctx.get("out").value == 2
+
+    def test_nnz(self, ctx):
+        _matrix(ctx, "m", [[1.0, 0.0], [0.0, 2.0]])
+        cp.UnaryInstruction("nnz", Operand.var("m"), "out").execute(ctx)
+        assert ctx.get("out").value == 2
+
+
+class TestCasts:
+    def test_as_scalar_rejects_big_matrix(self, ctx):
+        _matrix(ctx, "m", [[1.0, 2.0]])
+        instr = cp.UnaryInstruction("cast_as_scalar", Operand.var("m"), "out")
+        with pytest.raises(Exception):
+            instr.execute(ctx)
+
+    def test_cast_frame_to_matrix(self, ctx):
+        ctx.set("f", FrameObject(Frame.from_dict({"a": [1.0, 2.0]})))
+        cp.UnaryInstruction("cast_as_matrix", Operand.var("f"), "out").execute(ctx)
+        np.testing.assert_array_equal(
+            ctx.get("out").acquire_local().to_numpy(), [[1.0], [2.0]]
+        )
+
+    def test_cast_matrix_to_frame(self, ctx):
+        _matrix(ctx, "m", [[1.0], [2.0]])
+        cp.UnaryInstruction("cast_as_frame", Operand.var("m"), "out").execute(ctx)
+        assert isinstance(ctx.get("out"), FrameObject)
+
+
+class TestRmAndAssign:
+    def test_assignvar_aliases(self, ctx):
+        _matrix(ctx, "a", [[1.0]])
+        cp.AssignVarInstruction(Operand.var("a"), "b").execute(ctx)
+        assert ctx.get("b") is ctx.get("a")
+
+    def test_rmvar(self, ctx):
+        ctx.set("x", ScalarObject(1))
+        cp.RmVarInstruction(["x", "never_existed"]).execute(ctx)
+        assert not ctx.has("x")
+
+
+class TestAggregates:
+    def test_var_of_scalar_rejected(self, ctx):
+        instr = cp.AggregateUnaryInstruction(
+            "var", Direction.FULL, Operand.lit(3.0), "out"
+        )
+        with pytest.raises(RuntimeDMLError, match="undefined"):
+            instr.execute(ctx)
+
+    def test_sum_of_scalar_identity(self, ctx):
+        instr = cp.AggregateUnaryInstruction(
+            "sum", Direction.FULL, Operand.lit(3.0), "out"
+        )
+        instr.execute(ctx)
+        assert ctx.get("out").value == 3.0
+
+
+class TestNaryAndFrames:
+    def test_cbind_frames(self, ctx):
+        ctx.set("f1", FrameObject(Frame.from_dict({"a": [1.0]})))
+        ctx.set("f2", FrameObject(Frame.from_dict({"b": [2.0]})))
+        cp.NaryInstruction("cbind", [Operand.var("f1"), Operand.var("f2")], "out").execute(ctx)
+        assert ctx.get("out").frame.names == ["a", "b"]
+
+    def test_rbind_frames(self, ctx):
+        ctx.set("f1", FrameObject(Frame.from_dict({"a": [1.0]})))
+        ctx.set("f2", FrameObject(Frame.from_dict({"a": [2.0]})))
+        cp.NaryInstruction("rbind", [Operand.var("f1"), Operand.var("f2")], "out").execute(ctx)
+        assert ctx.get("out").frame.num_rows == 2
+
+    def test_frame_row_slice_via_indexing(self, ctx):
+        ctx.set("f", FrameObject(Frame.from_dict({"a": [1.0, 2.0, 3.0], "b": [4.0, 5.0, 6.0]})))
+        instr = cp.IndexingInstruction(
+            [Operand.var("f"), Operand.lit(2), Operand.lit(3), Operand.lit(1), Operand.lit(1)],
+            "out",
+        )
+        instr.execute(ctx)
+        frame = ctx.get("out").frame
+        assert frame.shape == (2, 1)
+        np.testing.assert_array_equal(frame.column(0), [2.0, 3.0])
+
+
+class TestEvalErrors:
+    def test_eval_unknown_function(self, ctx):
+        instr = cp.NaryInstruction("eval", [Operand.lit("missing_fn")], "out")
+        with pytest.raises(RuntimeDMLError, match="undefined function"):
+            instr.execute(ctx)

@@ -1,0 +1,243 @@
+"""Integration tests for the control program: DML language semantics."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.errors import DMLStopError, RuntimeDMLError
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=2))
+
+
+def run(ml, source, inputs=None, outputs=None):
+    return ml.execute(source, inputs=inputs or {}, outputs=outputs or [])
+
+
+class TestScalars:
+    def test_integer_arithmetic(self, ml):
+        result = run(ml, "x = (7 %/% 2) * 3 + 7 %% 2", outputs=["x"])
+        assert result.scalar("x") == 10
+
+    def test_float_propagation(self, ml):
+        result = run(ml, "x = 1 / 2", outputs=["x"])
+        assert result.scalar("x") == 0.5
+
+    def test_string_concat(self, ml):
+        result = run(ml, 'x = "n=" + 5', outputs=["x"])
+        assert result.scalar("x") == "n=5"
+
+    def test_boolean_logic(self, ml):
+        result = run(ml, "x = (1 < 2) & !(3 <= 2) | FALSE", outputs=["x"])
+        assert result.scalar("x") is True
+
+    def test_power_right_assoc(self, ml):
+        result = run(ml, "x = 2 ^ 3 ^ 2", outputs=["x"])
+        assert result.scalar("x") == 512
+
+    def test_unary_minus_power(self, ml):
+        result = run(ml, "x = -2 ^ 2", outputs=["x"])
+        assert result.scalar("x") == -4
+
+
+class TestControlFlow:
+    def test_if_else_chain(self, ml):
+        source = """
+        if (a == 1) { x = "one" } else if (a == 2) { x = "two" } else { x = "many" }
+        """
+        for value, expected in [(1, "one"), (2, "two"), (9, "many")]:
+            result = run(ml, source, inputs={"a": value}, outputs=["x"])
+            assert result.scalar("x") == expected
+
+    def test_while_loop(self, ml):
+        result = run(ml, "i = 0\nwhile (i < 10) { i = i + 3 }", outputs=["i"])
+        assert result.scalar("i") == 12
+
+    def test_for_loop_sum(self, ml):
+        result = run(ml, "s = 0\nfor (i in 1:100) { s = s + i }", outputs=["s"])
+        assert result.scalar("s") == 5050
+
+    def test_for_loop_step(self, ml):
+        result = run(ml, "s = 0\nfor (i in seq(10, 1, -3)) { s = s + i }", outputs=["s"])
+        assert result.scalar("s") == 10 + 7 + 4 + 1
+
+    def test_for_loop_descending_default(self, ml):
+        result = run(ml, "s = 0\nfor (i in 3:1) { s = s + i }", outputs=["s"])
+        assert result.scalar("s") == 6
+
+    def test_zero_iteration_loop(self, ml):
+        result = run(ml, "s = 7\nfor (i in 2:1) { s = 0 }\nwhile (FALSE) { s = 0 }",
+                     outputs=["s"])
+        # 2:1 iterates descending [2,1] in R semantics; our for uses
+        # auto-negative step, so s is overwritten
+        assert result.scalar("s") == 0
+
+    def test_accumulate_assignment(self, ml):
+        result = run(ml, "x = 1\nx += 4", outputs=["x"])
+        assert result.scalar("x") == 5
+
+    def test_stop_raises(self, ml):
+        with pytest.raises(DMLStopError, match="boom"):
+            run(ml, 'stop("boom")')
+
+    def test_assert_failure(self, ml):
+        with pytest.raises(DMLStopError, match="assertion"):
+            run(ml, "assert(1 > 2)")
+
+    def test_print_captured(self, ml):
+        result = run(ml, 'print("hello")\nprint(1 + 1)')
+        assert result.prints == ["hello", "2"]
+
+
+class TestMatricesInScripts:
+    def test_matrix_pipeline(self, ml):
+        x = np.arange(20, dtype=float).reshape(5, 4)
+        source = """
+        Y = (X - colMeans(X)) / (colSds(X) + 0.0000001)
+        Z = t(Y) %*% Y
+        s = sum(diag(Z))
+        """
+        result = run(ml, source, inputs={"X": x}, outputs=["s"])
+        y = (x - x.mean(0)) / (x.std(0, ddof=1) + 1e-7)
+        assert result.scalar("s") == pytest.approx(np.trace(y.T @ y))
+
+    def test_indexing_read_write(self, ml):
+        x = np.zeros((4, 4))
+        source = """
+        X[2, ] = matrix(1, 1, ncol(X))
+        X[, 3] = matrix(2, nrow(X), 1)
+        v = as.scalar(X[2, 3])
+        s = sum(X)
+        """
+        result = run(ml, source, inputs={"X": x}, outputs=["v", "s"])
+        assert result.scalar("v") == 2.0
+        assert result.scalar("s") == 3 * 1 + 4 * 2
+
+    def test_scalar_matrix_interplay(self, ml):
+        x = np.ones((3, 3))
+        result = run(ml, "y = 2 * X + 1\nz = as.scalar(y[1,1])",
+                     inputs={"X": x}, outputs=["z"])
+        assert result.scalar("z") == 3.0
+
+    def test_ifelse_matrix(self, ml):
+        x = np.asarray([[-1.0, 2.0], [3.0, -4.0]])
+        result = run(ml, "y = ifelse(X > 0, X, 0)", inputs={"X": x}, outputs=["y"])
+        np.testing.assert_array_equal(result.matrix("y"), np.maximum(x, 0))
+
+    def test_dynamic_recompilation_adapts(self, ml):
+        # removeEmpty output size is data dependent -> recompile kicks in
+        x = np.asarray([[1.0, 0.0], [0.0, 0.0], [2.0, 3.0]])
+        source = "Y = removeEmpty(target=X, margin=\"rows\")\nn = nrow(Y)"
+        result = run(ml, source, inputs={"X": x}, outputs=["n"])
+        assert result.scalar("n") == 2
+        assert result.metrics["recompiles"] >= 1
+
+
+class TestFunctions:
+    def test_defaults_and_named_args(self, ml):
+        source = """
+        f = function(Double a, Double b = 10, Double c = 100) return (Double r) {
+          r = a + b + c
+        }
+        x = f(1)
+        y = f(1, 2)
+        z = f(1, c = 3)
+        """
+        result = run(ml, source, outputs=["x", "y", "z"])
+        assert result.scalar("x") == 111
+        assert result.scalar("y") == 103
+        assert result.scalar("z") == 14
+
+    def test_missing_argument_rejected(self, ml):
+        source = "f = function(Double a) return (Double r) { r = a }\nx = f()"
+        with pytest.raises(RuntimeDMLError, match="missing argument"):
+            run(ml, source, outputs=["x"])
+
+    def test_multi_return(self, ml):
+        source = """
+        stats = function(Matrix[Double] X) return (Double mu, Double sigma) {
+          mu = mean(X)
+          sigma = sd(X)
+        }
+        [m, s] = stats(X)
+        """
+        x = np.arange(10, dtype=float).reshape(-1, 1)
+        result = run(ml, source, inputs={"X": x}, outputs=["m", "s"])
+        assert result.scalar("m") == pytest.approx(4.5)
+        assert result.scalar("s") == pytest.approx(np.std(x, ddof=1))
+
+    def test_function_scoping_isolated(self, ml):
+        source = """
+        f = function(Double a) return (Double r) {
+          hidden = a * 2
+          r = hidden
+        }
+        x = f(5)
+        """
+        result = run(ml, source, outputs=["x"])
+        assert result.scalar("x") == 10
+        with pytest.raises(RuntimeDMLError):
+            result.get("hidden")
+
+    def test_recursive_function(self, ml):
+        source = """
+        fact = function(Double n) return (Double r) {
+          if (n <= 1) { r = 1 } else { r = n * fact(n - 1) }
+        }
+        x = fact(6)
+        """
+        result = run(ml, source, outputs=["x"])
+        assert result.scalar("x") == 720
+
+    def test_call_in_expression_position(self, ml):
+        source = """
+        sq = function(Matrix[Double] A) return (Matrix[Double] R) {
+          dummy = 0
+          if (nrow(A) > 0) { dummy = 1 }
+          R = A * A
+        }
+        s = sum(sq(X) + sq(X))
+        """
+        x = np.full((2, 2), 3.0)
+        result = run(ml, source, inputs={"X": x}, outputs=["s"])
+        assert result.scalar("s") == 8 * 9
+
+    def test_eval_second_order(self, ml):
+        source = """
+        twice = function(Matrix[Double] A) return (Matrix[Double] R) { R = A * 2 }
+        y = eval("twice", X)
+        """
+        x = np.ones((2, 2))
+        result = run(ml, source, inputs={"X": x}, outputs=["y"])
+        np.testing.assert_array_equal(result.matrix("y"), 2 * x)
+
+
+class TestLists:
+    def test_list_construction_and_access(self, ml):
+        source = """
+        l = list(X, 42)
+        A = as.matrix(l[1])
+        v = as.scalar(l[2])
+        n = length(l)
+        """
+        x = np.ones((2, 2))
+        result = run(ml, source, inputs={"X": x}, outputs=["A", "v", "n"])
+        np.testing.assert_array_equal(result.matrix("A"), x)
+        assert result.scalar("v") == 42
+        assert result.scalar("n") == 2
+
+    def test_list_index_out_of_range(self, ml):
+        with pytest.raises(RuntimeDMLError, match="out of range"):
+            run(ml, "l = list(1)\nx = as.scalar(l[5])", outputs=["x"])
+
+
+class TestVariableLifecycle:
+    def test_nonlive_variables_removed(self, ml):
+        source = "a = 1\nb = a + 1\nif (b > 0) { c = b }\nd = c"
+        result = run(ml, source, outputs=["d"])
+        assert result.scalar("d") == 2
+        with pytest.raises(RuntimeDMLError):
+            result.get("a")  # dead after its last read

@@ -1,0 +1,112 @@
+"""Tests for the parameter server (BSP and ASP mini-batch training)."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.errors import RuntimeDMLError
+
+_SGD_SCRIPT = """
+gradients = function(List[Double] model, Matrix[Double] X, Matrix[Double] y,
+                     List[Double] hyperparams)
+  return (List[Double] grads)
+{
+  W = as.matrix(model[1])
+  g = t(X) %*% (X %*% W - y) / nrow(X)
+  grads = list(g)
+}
+aggregate = function(List[Double] model, List[Double] grads, List[Double] hyperparams)
+  return (List[Double] newmodel)
+{
+  W = as.matrix(model[1])
+  g = as.matrix(grads[1])
+  lr = as.scalar(hyperparams[1])
+  newmodel = list(W - lr * g)
+}
+W0 = matrix(0, ncol(X), 1)
+model = paramserv(model=list(W0), features=X, labels=y,
+                  upd="gradients", agg="aggregate",
+                  mode="{mode}", k={k}, epochs={epochs}, batchsize=40,
+                  hyperparams=list(0.4))
+W = as.matrix(model[1])
+"""
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(11)
+    X = rng.random((240, 4))
+    w = rng.random((4, 1))
+    return X, w, X @ w
+
+
+def _train(mode, k, epochs, problem):
+    X, __, y = problem
+    ml = MLContext(ReproConfig(parallelism=4))
+    source = (
+        _SGD_SCRIPT.replace("{mode}", mode)
+        .replace("{k}", str(k))
+        .replace("{epochs}", str(epochs))
+    )
+    return ml.execute(source, inputs={"X": X, "y": y}, outputs=["W"]).matrix("W")
+
+
+class TestBSP:
+    def test_converges(self, problem):
+        __, w, ___ = problem
+        trained = _train("BSP", 2, 80, problem)
+        assert np.abs(trained - w).max() < 0.01
+
+    def test_single_worker_equivalent_to_sgd(self, problem):
+        __, w, ___ = problem
+        trained = _train("BSP", 1, 80, problem)
+        assert np.abs(trained - w).max() < 0.01
+
+    def test_deterministic_across_runs(self, problem):
+        first = _train("BSP", 3, 10, problem)
+        second = _train("BSP", 3, 10, problem)
+        np.testing.assert_allclose(first, second)
+
+
+class TestASP:
+    def test_converges(self, problem):
+        __, w, ___ = problem
+        trained = _train("ASP", 3, 80, problem)
+        assert np.abs(trained - w).max() < 0.05
+
+
+class TestValidation:
+    def _run(self, source, inputs):
+        # request the output so the paramserv assignment is not dead code
+        MLContext().execute(source, inputs=inputs, outputs=["m"])
+
+    def test_missing_upd_rejected(self):
+        with pytest.raises(RuntimeDMLError, match="upd="):
+            self._run(
+                "m = paramserv(model=list(matrix(0,2,1)), features=X, labels=y)",
+                {"X": np.ones((4, 2)), "y": np.ones((4, 1))},
+            )
+
+    def test_unknown_mode_rejected(self):
+        source = (
+            'g = function(List[Double] m, Matrix[Double] X, Matrix[Double] y, List[Double] h)'
+            ' return (List[Double] r) { r = m }\n'
+            'a = function(List[Double] m, List[Double] g2, List[Double] h)'
+            ' return (List[Double] r) { r = m }\n'
+            'm = paramserv(model=list(matrix(0,2,1)), features=X, labels=y,'
+            ' upd="g", agg="a", mode="WILD")'
+        )
+        with pytest.raises(RuntimeDMLError, match="unknown mode"):
+            self._run(source, {"X": np.ones((4, 2)), "y": np.ones((4, 1))})
+
+    def test_mismatched_rows_rejected(self):
+        source = (
+            'g = function(List[Double] m, Matrix[Double] X, Matrix[Double] y, List[Double] h)'
+            ' return (List[Double] r) { r = m }\n'
+            'a = function(List[Double] m, List[Double] g2, List[Double] h)'
+            ' return (List[Double] r) { r = m }\n'
+            'm = paramserv(model=list(matrix(0,2,1)), features=X, labels=y, upd="g", agg="a")'
+        )
+        with pytest.raises(RuntimeDMLError, match="row counts"):
+            self._run(source, {"X": np.ones((4, 2)), "y": np.ones((3, 1))})

@@ -1,0 +1,140 @@
+"""Tests for the parfor backend: dependency analysis, execution, merge."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.runtime.parfor import ParForDependencyError, _expr_is_linear_in
+from repro.lang.parser import parse
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return MLContext(ReproConfig(parallelism=3))
+
+
+class TestLinearityAnalysis:
+    def _expr(self, source):
+        return parse(f"x = {source}").statements[0].value
+
+    @pytest.mark.parametrize("source", ["i", "i + 1", "2 * i", "i * 3", "3 + 2 * i",
+                                        "(i - 1) * 4 + 2"])
+    def test_linear_accepted(self, source):
+        assert _expr_is_linear_in(self._expr(source), "i")
+
+    @pytest.mark.parametrize("source", ["i * i", "j", "i * j", "0 * i", "i * c"])
+    def test_nonlinear_rejected(self, source):
+        assert not _expr_is_linear_in(self._expr(source), "i")
+
+
+class TestExecution:
+    def test_column_writes_merge(self, ml):
+        source = """
+        B = matrix(0, 3, 10)
+        parfor (i in 1:10) {
+          B[, i] = matrix(i, 3, 1)
+        }
+        s = sum(B)
+        """
+        result = ml.execute(source, outputs=["B", "s"])
+        expected = np.tile(np.arange(1, 11, dtype=float), (3, 1))
+        np.testing.assert_array_equal(result.matrix("B"), expected)
+
+    def test_row_writes_with_offset(self, ml):
+        source = """
+        B = matrix(0, 20, 2)
+        parfor (i in 1:10) {
+          B[2 * i - 1, ] = matrix(i, 1, 2)
+        }
+        """
+        result = ml.execute(source, outputs=["B"])
+        out = result.matrix("B")
+        np.testing.assert_array_equal(out[0], [1, 1])
+        np.testing.assert_array_equal(out[18], [10, 10])
+        np.testing.assert_array_equal(out[1], [0, 0])
+
+    def test_matches_sequential_for(self, ml):
+        body = """
+        R = matrix(0, 1, 8)
+        {kw} (i in 1:8{opts}) {{
+          R[1, i] = i * i
+        }}
+        """
+        par = ml.execute(body.format(kw="parfor", opts=""), outputs=["R"]).matrix("R")
+        seq = ml.execute(body.format(kw="for", opts=""), outputs=["R"]).matrix("R")
+        np.testing.assert_array_equal(par, seq)
+
+    def test_body_local_temps_allowed(self, ml):
+        x = np.random.default_rng(0).random((10, 6))
+        source = """
+        S = matrix(0, 1, ncol(X))
+        parfor (j in 1:ncol(X)) {
+          col = X[, j]
+          centered = col - mean(col)
+          S[1, j] = sum(centered * centered)
+        }
+        """
+        result = ml.execute(source, inputs={"X": x}, outputs=["S"])
+        expected = ((x - x.mean(0)) ** 2).sum(0, keepdims=True)
+        np.testing.assert_allclose(result.matrix("S"), expected)
+
+    def test_degree_of_parallelism_option(self, ml):
+        source = """
+        B = matrix(0, 1, 6)
+        parfor (i in 1:6, par=2) {
+          B[1, i] = i
+        }
+        """
+        result = ml.execute(source, outputs=["B"])
+        np.testing.assert_array_equal(result.matrix("B"), [[1, 2, 3, 4, 5, 6]])
+
+    def test_nested_control_flow_in_body(self, ml):
+        source = """
+        B = matrix(0, 1, 10)
+        parfor (i in 1:10) {
+          if (i %% 2 == 0) {
+            B[1, i] = i
+          } else {
+            B[1, i] = -i
+          }
+        }
+        """
+        result = ml.execute(source, outputs=["B"])
+        expected = [[-1, 2, -3, 4, -5, 6, -7, 8, -9, 10]]
+        np.testing.assert_array_equal(result.matrix("B"), expected)
+
+
+class TestDependencyErrors:
+    def test_scalar_accumulation_rejected(self, ml):
+        source = """
+        s = 0
+        parfor (i in 1:10) {
+          s = s + i
+        }
+        t = s
+        """
+        with pytest.raises(ParForDependencyError, match="loop-carried"):
+            ml.execute(source, outputs=["t"])
+
+    def test_nonlinear_subscript_rejected(self, ml):
+        source = """
+        B = matrix(0, 1, 100)
+        parfor (i in 1:10) {
+          B[1, i * i] = i
+        }
+        z = sum(B)
+        """
+        with pytest.raises(ParForDependencyError, match="linear"):
+            ml.execute(source, outputs=["z"])
+
+    def test_check_zero_bypasses(self, ml):
+        source = """
+        B = matrix(0, 1, 100)
+        parfor (i in 1:10, check=0) {
+          B[1, i * i] = i
+        }
+        z = sum(B)
+        """
+        result = ml.execute(source, outputs=["z"])
+        assert result.scalar("z") == 55

@@ -1,0 +1,185 @@
+"""Tests for dynamic recompilation (paper section 2.3(3))."""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.compiler.compile import compile_script
+from repro.compiler.recompile import recompile_basic_block, stats_from_symbol_table
+from repro.compiler.sizes import VarStats
+from repro.config import ReproConfig
+from repro.runtime.context import ExecutionContext
+from repro.runtime.data import MatrixObject, ScalarObject
+from repro.tensor import BasicTensorBlock
+from repro.types import DataType, ExecType
+
+
+class TestStatsFromSymbolTable:
+    def test_collects_all_kinds(self):
+        program = compile_script("x = 1", outputs=["x"])
+        ctx = ExecutionContext(program, ReproConfig())
+        ctx.set("s", ScalarObject(3.5))
+        ctx.set("M", MatrixObject.from_block(BasicTensorBlock.rand((10, 4), seed=1)))
+        stats = stats_from_symbol_table(ctx)
+        assert stats["s"].data_type == DataType.SCALAR
+        assert (stats["M"].rows, stats["M"].cols) == (10, 4)
+        assert stats["M"].nnz >= 0
+
+
+class TestRecompilation:
+    def test_recompiled_instructions_fold_metadata(self):
+        program = compile_script("n = ncol(X)\ny = n * 2", outputs=["y"])
+        block = program.blocks[0]
+        assert block.requires_recompile
+        ctx = ExecutionContext(program, ReproConfig())
+        ctx.set("X", MatrixObject.from_block(BasicTensorBlock.rand((5, 7), seed=1)))
+        instructions = recompile_basic_block(block, ctx)
+        # ncol folds to the live value: only the assignments remain
+        literals = [op.literal.value for i in instructions for op in i.inputs if op.is_literal]
+        assert 14 in literals or 7 in literals
+
+    def test_recompile_switches_to_spark(self):
+        cfg = ReproConfig(memory_budget=200 * 1024, block_size=64)
+        program = compile_script("G = X %*% t(X)\ns = sum(G)", config=cfg, outputs=["s"])
+        block = program.blocks[0]
+        assert block.requires_recompile  # X unknown at compile time
+        ctx = ExecutionContext(program, cfg)
+        ctx.set("X", MatrixObject.from_block(BasicTensorBlock.rand((400, 64), seed=2)))
+        instructions = recompile_basic_block(block, ctx)
+        assert any(i.exec_type == ExecType.SPARK for i in instructions)
+
+    def test_recompile_stays_cp_for_small(self):
+        program = compile_script("G = X %*% t(X)\ns = sum(G)", outputs=["s"])
+        ctx = ExecutionContext(program, ReproConfig())
+        ctx.set("X", MatrixObject.from_block(BasicTensorBlock.rand((20, 4), seed=2)))
+        instructions = recompile_basic_block(program.blocks[0], ctx)
+        assert all(i.exec_type in (ExecType.CP, None) for i in instructions)
+
+    def test_recompile_counted_in_metrics(self):
+        ml = MLContext()
+        result = ml.execute(
+            "Y = removeEmpty(target=X, margin=\"rows\")\nn = nrow(Y)",
+            inputs={"X": np.asarray([[1.0], [0.0], [2.0]])},
+            outputs=["n"],
+        )
+        assert result.metrics["recompiles"] >= 1
+        assert result.scalar("n") == 2
+
+    def test_disable_recompile_still_correct(self):
+        cfg = ReproConfig(enable_recompile=False)
+        result = MLContext(cfg).execute(
+            "Z = X %*% t(X)\ns = sum(Z)",
+            inputs={"X": np.ones((4, 3))},
+            outputs=["s"],
+        )
+        assert result.scalar("s") == 4 * 4 * 3
+        assert result.metrics["recompiles"] == 0
+
+    def test_loop_recompiles_track_growing_matrix(self):
+        # cbind in a loop: the block is recompiled with fresh sizes each
+        # iteration, so nrow/ncol fold to the right literals every time
+        source = """
+        A = X
+        sizes = matrix(0, 3, 1)
+        for (i in 1:3) {
+          A = cbind(A, X)
+          sizes[i, 1] = ncol(A)
+        }
+        """
+        result = MLContext().execute(
+            source, inputs={"X": np.ones((2, 2))}, outputs=["sizes"]
+        )
+        np.testing.assert_array_equal(result.matrix("sizes")[:, 0], [4, 6, 8])
+
+
+class TestPlanCache:
+    def test_same_shapes_reuse_plan(self):
+        from repro.compiler.recompile import _PLAN_CACHE
+
+        program = compile_script(
+            "s = 0\nfor (i in 1:5) { s = s + sum(X %*% t(X)) }", outputs=["s"]
+        )
+        ml_ctx = ExecutionContext(program, ReproConfig())
+        ml_ctx.set("X", MatrixObject.from_block(BasicTensorBlock.rand((10, 4), seed=1)))
+        from repro.runtime.interpreter import execute_program
+
+        execute_program(program, ml_ctx)
+        body_block = program.blocks[1].body[0]
+        plans = _PLAN_CACHE.get(body_block)
+        assert plans is not None
+        # two signatures at most: s is INT64 on entry to iteration 1 and
+        # FP64 afterwards; iterations 2..5 all hit the second plan
+        assert len(plans) <= 2
+
+    def test_changing_shapes_get_distinct_plans(self):
+        from repro.compiler.recompile import _PLAN_CACHE
+
+        source = """
+        A = X
+        sizes = matrix(0, 3, 1)
+        for (i in 1:3) {
+          A = cbind(A, X)
+          sizes[i, 1] = ncol(A)
+        }
+        """
+        result = MLContext().execute(
+            source, inputs={"X": np.ones((2, 2))}, outputs=["sizes"]
+        )
+        # correctness first: folded ncol literals track the growth
+        np.testing.assert_array_equal(result.matrix("sizes")[:, 0], [4, 6, 8])
+
+    def test_unseeded_rand_not_frozen_by_cache(self):
+        source = """
+        t = 0
+        for (i in 1:4) {
+          R = rand(rows=8, cols=8)
+          t = t + sum(R)
+        }
+        first = sum(rand(rows=8, cols=8))
+        """
+        result = MLContext().execute(source, outputs=["t", "first"])
+        # if the cached plan froze a seed, t would be 4x one draw
+        assert result.scalar("t") != pytest.approx(4 * result.scalar("first"))
+
+
+class TestWriteAfterReadHazard:
+    """Regression tests for the snapshot mechanism in instruction generation."""
+
+    def test_swap_via_temps(self):
+        source = "tmp = a\na = b\nb = tmp"
+        result = MLContext().execute(
+            source, inputs={"a": 1, "b": 2}, outputs=["a", "b"]
+        )
+        assert (result.scalar("a"), result.scalar("b")) == (2, 1)
+
+    def test_simultaneous_update_semantics(self):
+        # both updates must read the *entry* values (x, y) = (y+x, x)
+        source = "x = x + y\ny = y * 2"
+        result = MLContext().execute(
+            source, inputs={"x": 3, "y": 10}, outputs=["x", "y"]
+        )
+        assert result.scalar("x") == 13
+        assert result.scalar("y") == 20
+
+    def test_cg_beta_pattern(self):
+        # the lmCG pattern that exposed the original bug: a variable is
+        # both read (old value) and rebound (new value) in one block
+        source = """
+        old = n
+        n = n * 3
+        ratio = n / old
+        """
+        result = MLContext().execute(source, inputs={"n": 4.0}, outputs=["ratio"])
+        assert result.scalar("ratio") == 3.0
+
+    def test_matrix_entry_value_reads(self):
+        source = """
+        B = A * 2
+        A = A + 100
+        s = sum(B)
+        """
+        result = MLContext().execute(
+            source, inputs={"A": np.ones((2, 2))}, outputs=["s", "A"]
+        )
+        assert result.scalar("s") == 8.0
+        assert result.matrix("A")[0, 0] == 101.0

@@ -1,0 +1,148 @@
+"""Tests for compressed linear algebra (simplified CLA)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import BasicTensorBlock
+from repro.tensor.compressed import CompressedBlock, DictColumn, DenseColumn
+
+
+@pytest.fixture
+def categorical_block():
+    """Low-cardinality columns: the CLA sweet spot."""
+    rng = np.random.default_rng(0)
+    data = np.column_stack([
+        rng.choice([0.0, 1.0], size=500),              # binary flag
+        rng.choice([1.0, 2.0, 3.0, 4.0], size=500),    # category code
+        rng.integers(0, 10, size=500).astype(float),   # small-int feature
+    ])
+    return BasicTensorBlock.from_numpy(data), data
+
+
+@pytest.fixture
+def mixed_block():
+    rng = np.random.default_rng(1)
+    data = np.column_stack([
+        rng.choice([0.0, 5.0], size=400),
+        rng.random(400),  # continuous: stays uncompressed
+    ])
+    return BasicTensorBlock.from_numpy(data), data
+
+
+class TestCompression:
+    def test_lossless_roundtrip(self, categorical_block):
+        block, data = categorical_block
+        compressed = CompressedBlock.compress(block)
+        np.testing.assert_array_equal(compressed.decompress().to_numpy(), data)
+
+    def test_ratio_above_one_for_categorical(self, categorical_block):
+        block, __ = categorical_block
+        compressed = CompressedBlock.compress(block)
+        assert compressed.compression_ratio() > 4.0
+        assert compressed.num_compressed_columns() == 3
+
+    def test_continuous_column_stays_dense(self, mixed_block):
+        block, __ = mixed_block
+        compressed = CompressedBlock.compress(block)
+        assert compressed.num_compressed_columns() == 1
+        assert isinstance(compressed.columns[1], DenseColumn)
+
+    def test_code_width_grows_with_cardinality(self):
+        data = np.arange(2000, dtype=np.float64).reshape(-1, 1) % 260
+        compressed = CompressedBlock.compress(BasicTensorBlock.from_numpy(data))
+        column = compressed.columns[0]
+        assert isinstance(column, DictColumn)
+        assert column.codes.dtype == np.uint16  # 260 > 256 distinct
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2D"):
+            CompressedBlock.compress(
+                BasicTensorBlock.from_numpy(np.zeros((2, 2, 2)))
+            )
+
+
+class TestCompressedOps:
+    def test_matvec(self, categorical_block):
+        block, data = categorical_block
+        compressed = CompressedBlock.compress(block)
+        v = np.asarray([2.0, -1.0, 0.5])
+        np.testing.assert_allclose(compressed.matvec(v), (data @ v).reshape(-1, 1))
+
+    def test_matvec_skips_zero_weights(self, categorical_block):
+        block, data = categorical_block
+        compressed = CompressedBlock.compress(block)
+        v = np.asarray([0.0, 1.0, 0.0])
+        np.testing.assert_allclose(compressed.matvec(v), (data @ v).reshape(-1, 1))
+
+    def test_vecmat(self, mixed_block):
+        block, data = mixed_block
+        compressed = CompressedBlock.compress(block)
+        v = np.random.default_rng(2).random(400)
+        np.testing.assert_allclose(
+            compressed.vecmat(v), (data.T @ v).reshape(-1, 1), rtol=1e-12
+        )
+
+    def test_col_sums(self, categorical_block):
+        block, data = categorical_block
+        compressed = CompressedBlock.compress(block)
+        np.testing.assert_allclose(
+            compressed.col_sums(), data.sum(axis=0, keepdims=True)
+        )
+
+    def test_sum(self, categorical_block):
+        block, data = categorical_block
+        compressed = CompressedBlock.compress(block)
+        assert compressed.sum() == pytest.approx(data.sum())
+
+    def test_scalar_op_on_dictionary(self, categorical_block):
+        block, data = categorical_block
+        compressed = CompressedBlock.compress(block)
+        scaled = compressed.scalar_op("*", 3.0)
+        np.testing.assert_array_equal(
+            scaled.decompress().to_numpy(), data * 3.0
+        )
+        # compression is preserved: codes are shared, dictionaries replaced
+        assert scaled.num_compressed_columns() == 3
+        assert scaled.columns[0].codes is compressed.columns[0].codes
+
+    def test_dimension_checks(self, categorical_block):
+        block, __ = categorical_block
+        compressed = CompressedBlock.compress(block)
+        with pytest.raises(ValueError, match="matvec"):
+            compressed.matvec(np.ones(7))
+        with pytest.raises(ValueError, match="vecmat"):
+            compressed.vecmat(np.ones(7))
+
+    def test_unsupported_scalar_op(self, categorical_block):
+        block, __ = categorical_block
+        compressed = CompressedBlock.compress(block)
+        with pytest.raises(ValueError, match="unsupported"):
+            compressed.scalar_op("%%", 2.0)
+
+
+class TestEndToEndUseCase:
+    def test_compressed_ridge_gradient(self):
+        """The CLA training loop: t(X)(Xw - y) computed fully compressed."""
+        rng = np.random.default_rng(3)
+        data = np.column_stack([
+            rng.choice([0.0, 1.0], size=800) for __ in range(6)
+        ])
+        y = data @ rng.random(6) + 0.1
+        compressed = CompressedBlock.compress(BasicTensorBlock.from_numpy(data))
+        w = np.zeros(6)
+        for __ in range(50):
+            predictions = compressed.matvec(w).ravel()
+            gradient = compressed.vecmat(predictions - y).ravel() / 800
+            w = w - 1.0 * gradient
+        np.testing.assert_allclose(
+            compressed.matvec(w).ravel(), y, atol=0.2
+        )
+
+    def test_memory_savings_realistic(self):
+        # one-hot encoded features: the paper's data-prep output shape
+        rng = np.random.default_rng(4)
+        codes = rng.integers(0, 4, size=2000)
+        onehot = np.zeros((2000, 4))
+        onehot[np.arange(2000), codes] = 1.0
+        compressed = CompressedBlock.compress(BasicTensorBlock.from_numpy(onehot))
+        assert compressed.compression_ratio() > 6.0

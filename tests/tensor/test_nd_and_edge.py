@@ -1,0 +1,108 @@
+"""Edge-case and n-dimensional tests for the tensor layer."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import BasicTensorBlock, DataTensorBlock
+from repro.tensor import ops
+from repro.types import ValueType
+
+
+class TestNdTensors:
+    def test_3d_roundtrip(self):
+        data = np.arange(60, dtype=np.float64).reshape(3, 4, 5)
+        block = BasicTensorBlock.from_numpy(data)
+        assert block.ndim == 3
+        np.testing.assert_array_equal(block.to_numpy(), data)
+
+    def test_3d_sparse_coo(self):
+        data = np.zeros((10, 10, 10))
+        data[1, 2, 3] = 5.0
+        data[9, 9, 9] = 7.0
+        block = BasicTensorBlock.from_numpy(data)
+        assert block.is_sparse
+        assert block.nnz == 2
+        assert block.get((1, 2, 3)) == 5.0
+        assert block.get((0, 0, 0)) == 0.0
+        np.testing.assert_array_equal(block.to_numpy(), data)
+
+    def test_3d_sparse_set(self):
+        block = BasicTensorBlock.zeros((8, 8, 8))
+        block.set((2, 2, 2), 1.5)
+        block.set((2, 2, 2), 2.5)  # overwrite, not append
+        assert block.get((2, 2, 2)) == 2.5
+        assert block.nnz == 1
+
+    def test_nd_right_index(self):
+        data = np.random.default_rng(0).random((6, 5, 4))
+        block = BasicTensorBlock.from_numpy(data)
+        result = ops.right_index(block, [(1, 4), (0, 5), (2, 4)])
+        np.testing.assert_array_equal(result.to_numpy(), data[1:4, :, 2:4])
+
+    def test_nd_heterogeneous_data_tensor(self):
+        dt = DataTensorBlock.zeros((4, 3, 2), [ValueType.FP64, ValueType.INT64, ValueType.FP64])
+        dt.set((1, 1, 1), 9)
+        assert dt.get((1, 1, 1)) == 9
+        assert dt.get((0, 0, 0)) == 0.0
+
+
+class TestEdgeCases:
+    def test_1x1_matrix_everything(self):
+        block = BasicTensorBlock.scalar(5.0)
+        assert ops.transpose(block).as_scalar() == 5.0
+        assert ops.aggregate("sum", block) == 5.0
+        assert ops.matmult(block, block).as_scalar() == 25.0
+
+    def test_single_row_and_column(self):
+        row = BasicTensorBlock.from_numpy(np.asarray([[1.0, 2.0, 3.0]]))
+        col = ops.transpose(row)
+        assert ops.matmult(row, col).as_scalar() == 14.0
+        outer_product = ops.matmult(col, row)
+        assert outer_product.shape == (3, 3)
+
+    def test_empty_slice_rejected(self):
+        block = BasicTensorBlock.from_numpy(np.ones((3, 3)))
+        with pytest.raises(IndexError):
+            ops.right_index(block, [(2, 2), (0, 3)])  # empty range
+
+    def test_string_blocks_reject_numeric_kernels(self):
+        block = BasicTensorBlock.from_numpy(
+            np.asarray([["a", "b"]], dtype=object), ValueType.STRING
+        )
+        with pytest.raises(ValueError, match="numeric"):
+            ops.unary_op("exp", block)
+
+    def test_huge_sparsity_roundtrip(self):
+        block = BasicTensorBlock.zeros((1000, 1000))
+        block.set((500, 500), 1.0)
+        assert block.memory_size() < 100_000  # far below dense 8 MB
+        assert ops.aggregate("sum", block) == 1.0
+
+    def test_compact_on_boundary(self):
+        # exactly at the sparsity turn point: stays dense (threshold is <)
+        from repro.tensor.block import SPARSITY_TURN_POINT
+
+        n = 40
+        data = np.zeros((n, n))
+        count = int(SPARSITY_TURN_POINT * n * n)
+        data.ravel()[:count] = 1.0
+        block = BasicTensorBlock.from_numpy(data)
+        assert not block.is_sparse
+
+    def test_binary_on_int_blocks(self):
+        a = BasicTensorBlock.from_numpy(np.asarray([[1, 2]], dtype=np.int64))
+        b = BasicTensorBlock.from_numpy(np.asarray([[3, 4]], dtype=np.int64))
+        result = ops.binary_op("+", a, b)
+        np.testing.assert_array_equal(result.to_numpy(), [[4, 6]])
+
+    def test_fp32_preserved_through_astype(self):
+        block = BasicTensorBlock.from_numpy(np.ones((2, 2), dtype=np.float32))
+        assert block.value_type == ValueType.FP32
+        widened = block.astype(ValueType.FP64)
+        assert widened.value_type == ValueType.FP64
+
+    def test_rand_poisson_pdf(self):
+        block = BasicTensorBlock.rand((100, 100), max_value=4.0, pdf="poisson", seed=1)
+        data = block.to_numpy()
+        assert data.min() >= 0
+        assert 3.0 < data.mean() < 5.0

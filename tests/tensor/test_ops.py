@@ -1,0 +1,425 @@
+"""Unit tests for the local operation library against NumPy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import BasicTensorBlock
+from repro.tensor import ops
+from repro.types import Direction
+
+B = BasicTensorBlock
+
+
+def _rand(shape, seed=0, sparsity=1.0):
+    return B.rand(shape, seed=seed, sparsity=sparsity)
+
+
+class TestBinary:
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "^", "min", "max"])
+    def test_arithmetic_matches_numpy(self, op):
+        a, b = _rand((7, 5), 1), _rand((7, 5), 2)
+        expected = {
+            "+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide,
+            "^": np.power, "min": np.minimum, "max": np.maximum,
+        }[op](a.to_numpy(), b.to_numpy())
+        np.testing.assert_allclose(ops.binary_op(op, a, b).to_numpy(), expected)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "==", "!="])
+    def test_comparisons_return_binary_fp64(self, op):
+        a, b = _rand((4, 4), 1), _rand((4, 4), 2)
+        result = ops.binary_op(op, a, b).to_numpy()
+        assert set(np.unique(result)).issubset({0.0, 1.0})
+
+    def test_modulo_and_intdiv(self):
+        a = B.from_numpy(np.asarray([[7.0, 9.0], [4.0, 5.0]]))
+        b = B.from_numpy(np.asarray([[2.0, 4.0], [3.0, 2.0]]))
+        np.testing.assert_array_equal(ops.binary_op("%%", a, b).to_numpy(), [[1, 1], [1, 1]])
+        np.testing.assert_array_equal(ops.binary_op("%/%", a, b).to_numpy(), [[3, 2], [1, 2]])
+
+    def test_row_vector_broadcast(self):
+        a = _rand((6, 4), 1)
+        v = _rand((1, 4), 2)
+        np.testing.assert_allclose(
+            ops.binary_op("+", a, v).to_numpy(), a.to_numpy() + v.to_numpy()
+        )
+
+    def test_col_vector_broadcast(self):
+        a = _rand((6, 4), 1)
+        v = _rand((6, 1), 2)
+        np.testing.assert_allclose(
+            ops.binary_op("*", a, v).to_numpy(), a.to_numpy() * v.to_numpy()
+        )
+
+    def test_sparse_sparse_multiply_stays_sparse(self):
+        a = _rand((60, 60), 1, sparsity=0.05)
+        b = _rand((60, 60), 2, sparsity=0.05)
+        result = ops.binary_op("*", a, b)
+        np.testing.assert_allclose(result.to_numpy(), a.to_numpy() * b.to_numpy())
+        assert result.is_sparse
+
+    def test_sparse_plus_sparse(self):
+        a = _rand((60, 60), 1, sparsity=0.05)
+        b = _rand((60, 60), 2, sparsity=0.05)
+        np.testing.assert_allclose(
+            ops.binary_op("+", a, b).to_numpy(), a.to_numpy() + b.to_numpy()
+        )
+
+    def test_scalar_ops_both_sides(self):
+        a = _rand((5, 5), 1)
+        np.testing.assert_allclose(ops.binary_scalar("-", a, 2.0).to_numpy(), a.to_numpy() - 2.0)
+        np.testing.assert_allclose(
+            ops.binary_scalar("-", a, 2.0, scalar_left=True).to_numpy(), 2.0 - a.to_numpy()
+        )
+
+    def test_scalar_multiply_sparse_fast_path(self):
+        a = _rand((60, 60), 1, sparsity=0.05)
+        result = ops.binary_scalar("*", a, 3.0)
+        assert result.is_sparse
+        np.testing.assert_allclose(result.to_numpy(), a.to_numpy() * 3.0)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown binary op"):
+            ops.binary_op("@@", _rand((2, 2)), _rand((2, 2)))
+
+
+class TestUnary:
+    @pytest.mark.parametrize("op,func", [
+        ("exp", np.exp), ("sqrt", np.sqrt), ("abs", np.abs), ("round", np.round),
+        ("floor", np.floor), ("ceil", np.ceil), ("sign", np.sign), ("sin", np.sin),
+    ])
+    def test_unary_matches_numpy(self, op, func):
+        a = _rand((6, 6), 3)
+        np.testing.assert_allclose(ops.unary_op(op, a).to_numpy(), func(a.to_numpy()))
+
+    def test_uminus(self):
+        a = _rand((3, 3), 1)
+        np.testing.assert_allclose(ops.unary_op("uminus", a).to_numpy(), -a.to_numpy())
+
+    def test_not(self):
+        a = B.from_numpy(np.asarray([[0.0, 1.0], [2.0, 0.0]]))
+        np.testing.assert_array_equal(ops.unary_op("!", a).to_numpy(), [[1, 0], [0, 1]])
+
+    def test_sigmoid(self):
+        a = _rand((4, 4), 1)
+        np.testing.assert_allclose(
+            ops.unary_op("sigmoid", a).to_numpy(), 1 / (1 + np.exp(-a.to_numpy()))
+        )
+
+    def test_sparse_safe_unary_preserves_sparsity(self):
+        a = _rand((60, 60), 1, sparsity=0.05)
+        result = ops.unary_op("abs", a)
+        assert result.is_sparse
+        np.testing.assert_allclose(result.to_numpy(), np.abs(a.to_numpy()))
+
+    def test_cumsum(self):
+        a = _rand((5, 3), 1)
+        np.testing.assert_allclose(
+            ops.cumulative_op("cumsum", a).to_numpy(), np.cumsum(a.to_numpy(), axis=0)
+        )
+
+
+class TestAggregate:
+    def test_full_aggregates(self):
+        a = _rand((8, 6), 4)
+        data = a.to_numpy()
+        assert ops.aggregate("sum", a) == pytest.approx(data.sum())
+        assert ops.aggregate("mean", a) == pytest.approx(data.mean())
+        assert ops.aggregate("min", a) == pytest.approx(data.min())
+        assert ops.aggregate("max", a) == pytest.approx(data.max())
+        assert ops.aggregate("var", a) == pytest.approx(data.var(ddof=1))
+        assert ops.aggregate("sd", a) == pytest.approx(data.std(ddof=1))
+
+    def test_row_and_col_aggregates_shapes(self):
+        a = _rand((8, 6), 4)
+        rows = ops.aggregate("sum", a, Direction.ROW)
+        cols = ops.aggregate("sum", a, Direction.COL)
+        assert rows.shape == (8, 1)
+        assert cols.shape == (1, 6)
+        np.testing.assert_allclose(rows.to_numpy()[:, 0], a.to_numpy().sum(axis=1))
+        np.testing.assert_allclose(cols.to_numpy()[0], a.to_numpy().sum(axis=0))
+
+    def test_sparse_aggregates(self):
+        a = _rand((80, 60), 1, sparsity=0.05)
+        assert ops.aggregate("sum", a) == pytest.approx(a.to_numpy().sum())
+        np.testing.assert_allclose(
+            ops.aggregate("sum", a, Direction.COL).to_numpy()[0], a.to_numpy().sum(axis=0)
+        )
+
+    def test_trace(self):
+        a = _rand((5, 5), 1)
+        assert ops.trace(a) == pytest.approx(np.trace(a.to_numpy()))
+
+    def test_trace_requires_square(self):
+        with pytest.raises(ValueError, match="square"):
+            ops.trace(_rand((3, 4)))
+
+    def test_row_index_max(self):
+        a = B.from_numpy(np.asarray([[1.0, 5.0, 2.0], [9.0, 0.0, 3.0]]))
+        np.testing.assert_array_equal(ops.row_index_extreme(a).to_numpy(), [[2], [1]])
+        np.testing.assert_array_equal(
+            ops.row_index_extreme(a, use_max=False).to_numpy(), [[1], [2]]
+        )
+
+
+class TestMatMult:
+    def test_dense_blas(self):
+        a, b = _rand((9, 7), 1), _rand((7, 4), 2)
+        np.testing.assert_allclose(
+            ops.matmult(a, b).to_numpy(), a.to_numpy() @ b.to_numpy()
+        )
+
+    def test_dense_tiled_matches_blas(self):
+        a, b = _rand((33, 17), 1), _rand((17, 21), 2)
+        np.testing.assert_allclose(
+            ops.matmult(a, b, native_blas=False, tile=8).to_numpy(),
+            a.to_numpy() @ b.to_numpy(),
+        )
+
+    def test_sparse_dense(self):
+        a = _rand((40, 50), 1, sparsity=0.05)
+        b = _rand((50, 6), 2)
+        np.testing.assert_allclose(
+            ops.matmult(a, b).to_numpy(), a.to_numpy() @ b.to_numpy()
+        )
+
+    def test_sparse_sparse(self):
+        a = _rand((40, 50), 1, sparsity=0.05)
+        b = _rand((50, 40), 2, sparsity=0.05)
+        np.testing.assert_allclose(
+            ops.matmult(a, b).to_numpy(), a.to_numpy() @ b.to_numpy()
+        )
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ops.matmult(_rand((3, 4)), _rand((5, 2)))
+
+    def test_tsmm_matches_explicit(self):
+        x = _rand((30, 8), 5)
+        np.testing.assert_allclose(ops.tsmm(x).to_numpy(), x.to_numpy().T @ x.to_numpy())
+
+    def test_tsmm_sparse(self):
+        x = _rand((60, 20), 5, sparsity=0.1)
+        np.testing.assert_allclose(
+            ops.tsmm(x).to_numpy(), x.to_numpy().T @ x.to_numpy(), atol=1e-12
+        )
+
+    def test_tsmm_tiled(self):
+        x = _rand((30, 8), 5)
+        np.testing.assert_allclose(
+            ops.tsmm(x, native_blas=False, tile=4).to_numpy(),
+            x.to_numpy().T @ x.to_numpy(),
+        )
+
+    def test_fused_transpose_left(self):
+        x, y = _rand((30, 8), 5), _rand((30, 1), 6)
+        np.testing.assert_allclose(
+            ops.mapmm_transpose_left(x, y).to_numpy(), x.to_numpy().T @ y.to_numpy()
+        )
+
+    def test_fused_transpose_left_sparse(self):
+        x = _rand((60, 20), 5, sparsity=0.1)
+        y = _rand((60, 1), 6)
+        np.testing.assert_allclose(
+            ops.mapmm_transpose_left(x, y).to_numpy(),
+            x.to_numpy().T @ y.to_numpy(),
+            atol=1e-12,
+        )
+
+
+class TestReorg:
+    def test_transpose(self):
+        a = _rand((5, 3), 1)
+        np.testing.assert_array_equal(ops.transpose(a).to_numpy(), a.to_numpy().T)
+
+    def test_transpose_sparse(self):
+        a = _rand((60, 30), 1, sparsity=0.05)
+        result = ops.transpose(a)
+        assert result.is_sparse
+        np.testing.assert_allclose(result.to_numpy(), a.to_numpy().T)
+
+    def test_rev(self):
+        a = _rand((5, 3), 1)
+        np.testing.assert_array_equal(ops.rev(a).to_numpy(), a.to_numpy()[::-1])
+
+    def test_diag_vector_to_matrix(self):
+        v = B.from_numpy(np.asarray([[1.0], [2.0], [3.0]]))
+        np.testing.assert_array_equal(ops.diag(v).to_numpy(), np.diag([1.0, 2.0, 3.0]))
+
+    def test_diag_matrix_to_vector(self):
+        a = _rand((4, 4), 1)
+        np.testing.assert_array_equal(
+            ops.diag(a).to_numpy()[:, 0], np.diagonal(a.to_numpy())
+        )
+
+    def test_reshape_byrow_and_bycol(self):
+        a = B.from_numpy(np.arange(6, dtype=np.float64).reshape(2, 3))
+        np.testing.assert_array_equal(
+            ops.reshape(a, 3, 2, byrow=True).to_numpy(), [[0, 1], [2, 3], [4, 5]]
+        )
+        np.testing.assert_array_equal(
+            ops.reshape(a, 3, 2, byrow=False).to_numpy(), [[0, 4], [3, 2], [1, 5]]
+        )
+
+    def test_cbind_rbind(self):
+        a, b = _rand((4, 2), 1), _rand((4, 3), 2)
+        assert ops.cbind([a, b]).shape == (4, 5)
+        c = _rand((2, 2), 3)
+        assert ops.rbind([a, c]).shape == (6, 2)
+
+    def test_cbind_sparse_stays_sparse(self):
+        a = _rand((60, 30), 1, sparsity=0.05)
+        b = _rand((60, 30), 2, sparsity=0.05)
+        result = ops.cbind([a, b])
+        assert result.is_sparse
+        np.testing.assert_allclose(
+            result.to_numpy(), np.hstack([a.to_numpy(), b.to_numpy()])
+        )
+
+    def test_cbind_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cbind"):
+            ops.cbind([_rand((4, 2)), _rand((5, 2))])
+
+
+class TestIndexing:
+    def test_right_index(self):
+        a = _rand((10, 8), 1)
+        result = ops.right_index(a, [(2, 7), (1, 4)])
+        np.testing.assert_array_equal(result.to_numpy(), a.to_numpy()[2:7, 1:4])
+
+    def test_right_index_sparse(self):
+        a = _rand((60, 40), 1, sparsity=0.05)
+        result = ops.right_index(a, [(5, 50), (0, 20)])
+        np.testing.assert_allclose(result.to_numpy(), a.to_numpy()[5:50, 0:20])
+
+    def test_right_index_out_of_bounds(self):
+        with pytest.raises(IndexError):
+            ops.right_index(_rand((5, 5)), [(0, 6), (0, 5)])
+
+    def test_left_index_copy_on_write(self):
+        a = _rand((6, 6), 1)
+        before = a.to_numpy().copy()
+        patch = B.from_numpy(np.zeros((2, 3)))
+        result = ops.left_index(a, patch, [(1, 3), (2, 5)])
+        np.testing.assert_array_equal(a.to_numpy(), before)  # original untouched
+        assert result.to_numpy()[1:3, 2:5].sum() == 0.0
+
+    def test_left_index_shape_mismatch(self):
+        with pytest.raises(ValueError, match="left-index"):
+            ops.left_index(_rand((6, 6)), B.from_numpy(np.zeros((2, 2))), [(0, 2), (0, 3)])
+
+    def test_left_index_scalar(self):
+        a = _rand((4, 4), 1)
+        result = ops.left_index_scalar(a, 9.0, [(0, 2), (0, 2)])
+        assert np.all(result.to_numpy()[:2, :2] == 9.0)
+
+
+class TestSolvers:
+    def test_solve(self):
+        a = B.from_numpy(np.asarray([[3.0, 1.0], [1.0, 2.0]]))
+        b = B.from_numpy(np.asarray([[9.0], [8.0]]))
+        x = ops.solve(a, b)
+        np.testing.assert_allclose(a.to_numpy() @ x.to_numpy(), b.to_numpy())
+
+    def test_inverse(self):
+        a = B.from_numpy(np.asarray([[4.0, 7.0], [2.0, 6.0]]))
+        np.testing.assert_allclose(
+            ops.inverse(a).to_numpy() @ a.to_numpy(), np.eye(2), atol=1e-12
+        )
+
+    def test_cholesky(self):
+        a = _rand((5, 5), 1)
+        spd = B.from_numpy(a.to_numpy() @ a.to_numpy().T + 5 * np.eye(5))
+        lower = ops.cholesky(spd).to_numpy()
+        np.testing.assert_allclose(lower @ lower.T, spd.to_numpy())
+
+    def test_eigen(self):
+        a = _rand((4, 4), 2)
+        sym = B.from_numpy(a.to_numpy() + a.to_numpy().T)
+        values, vectors = ops.eigen(sym)
+        v, w = values.to_numpy()[:, 0], vectors.to_numpy()
+        for i in range(4):
+            np.testing.assert_allclose(sym.to_numpy() @ w[:, i], v[i] * w[:, i], atol=1e-9)
+
+    def test_svd_reconstruction(self):
+        a = _rand((6, 4), 3)
+        u, s, v = ops.svd(a)
+        reconstructed = u.to_numpy() @ np.diag(s.to_numpy()[:, 0]) @ v.to_numpy().T
+        np.testing.assert_allclose(reconstructed, a.to_numpy(), atol=1e-9)
+
+
+class TestDataOps:
+    def test_table(self):
+        rows = B.from_numpy(np.asarray([[1.0], [2.0], [1.0], [3.0]]))
+        cols = B.from_numpy(np.asarray([[1.0], [1.0], [2.0], [1.0]]))
+        result = ops.table(rows, cols).to_numpy()
+        np.testing.assert_array_equal(result, [[1, 1], [1, 0], [1, 0]])
+
+    def test_table_with_weights(self):
+        rows = B.from_numpy(np.asarray([[1.0], [1.0]]))
+        cols = B.from_numpy(np.asarray([[1.0], [1.0]]))
+        weights = B.from_numpy(np.asarray([[0.5], [0.25]]))
+        assert ops.table(rows, cols, weights).to_numpy()[0, 0] == pytest.approx(0.75)
+
+    def test_order_ascending_descending(self):
+        a = B.from_numpy(np.asarray([[3.0, 1.0], [1.0, 2.0], [2.0, 3.0]]))
+        np.testing.assert_array_equal(
+            ops.order(a, by=1).to_numpy()[:, 0], [1.0, 2.0, 3.0]
+        )
+        np.testing.assert_array_equal(
+            ops.order(a, by=1, decreasing=True).to_numpy()[:, 0], [3.0, 2.0, 1.0]
+        )
+
+    def test_order_index_return(self):
+        a = B.from_numpy(np.asarray([[3.0], [1.0], [2.0]]))
+        np.testing.assert_array_equal(
+            ops.order(a, by=1, index_return=True).to_numpy()[:, 0], [2.0, 3.0, 1.0]
+        )
+
+    def test_remove_empty_rows(self):
+        a = B.from_numpy(np.asarray([[1.0, 0.0], [0.0, 0.0], [0.0, 2.0]]))
+        np.testing.assert_array_equal(
+            ops.remove_empty(a, "rows").to_numpy(), [[1, 0], [0, 2]]
+        )
+
+    def test_remove_empty_cols_with_select(self):
+        a = _rand((4, 3), 1)
+        select = B.from_numpy(np.asarray([[1.0, 0.0, 1.0]]))
+        result = ops.remove_empty(a, "cols", select=select)
+        np.testing.assert_array_equal(result.to_numpy(), a.to_numpy()[:, [0, 2]])
+
+    def test_replace_value(self):
+        a = B.from_numpy(np.asarray([[1.0, 2.0], [2.0, 3.0]]))
+        np.testing.assert_array_equal(
+            ops.replace(a, 2.0, 9.0).to_numpy(), [[1, 9], [9, 3]]
+        )
+
+    def test_replace_nan(self):
+        a = B.from_numpy(np.asarray([[np.nan, 1.0]]))
+        np.testing.assert_array_equal(ops.replace(a, np.nan, 0.0).to_numpy(), [[0, 1]])
+
+    def test_outer(self):
+        u = B.from_numpy(np.asarray([[1.0], [2.0]]))
+        v = B.from_numpy(np.asarray([[3.0], [4.0]]))
+        np.testing.assert_array_equal(ops.outer(u, v).to_numpy(), [[3, 4], [6, 8]])
+
+    def test_ifelse(self):
+        cond = B.from_numpy(np.asarray([[1.0, 0.0]]))
+        result = ops.ternary_ifelse(cond, 5.0, -5.0)
+        np.testing.assert_array_equal(result.to_numpy(), [[5, -5]])
+
+    def test_quantile_median(self):
+        a = B.from_numpy(np.arange(1, 101, dtype=np.float64).reshape(-1, 1))
+        probs = B.from_numpy(np.asarray([[0.5]]))
+        assert ops.quantile(a, probs).to_numpy()[0, 0] == 50.0
+
+    def test_seq(self):
+        np.testing.assert_array_equal(ops.seq(1, 5).to_numpy()[:, 0], [1, 2, 3, 4, 5])
+        np.testing.assert_array_equal(ops.seq(0, 1, 0.5).to_numpy()[:, 0], [0, 0.5, 1])
+        np.testing.assert_array_equal(ops.seq(5, 1, -2).to_numpy()[:, 0], [5, 3, 1])
+
+    def test_sample_range_and_determinism(self):
+        s1 = ops.sample(100, 10, seed=3).to_numpy()
+        s2 = ops.sample(100, 10, seed=3).to_numpy()
+        np.testing.assert_array_equal(s1, s2)
+        assert s1.min() >= 1 and s1.max() <= 100
+        assert len(np.unique(s1)) == 10  # without replacement

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for tensor-layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import BasicTensorBlock
+from repro.tensor import ops
+from repro.types import Direction
+
+B = BasicTensorBlock
+
+_FINITE = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def _matrices(max_dim=12):
+    return st.integers(1, max_dim).flatmap(
+        lambda n: st.integers(1, max_dim).flatmap(
+            lambda m: arrays(np.float64, (n, m), elements=_FINITE)
+        )
+    )
+
+
+@st.composite
+def _mult_pair(draw, max_dim=10):
+    n = draw(st.integers(1, max_dim))
+    k = draw(st.integers(1, max_dim))
+    m = draw(st.integers(1, max_dim))
+    a = draw(arrays(np.float64, (n, k), elements=_FINITE))
+    b = draw(arrays(np.float64, (k, m), elements=_FINITE))
+    return a, b
+
+
+@given(_matrices())
+@settings(max_examples=60, deadline=None)
+def test_dense_sparse_roundtrip_identity(data):
+    block = B.from_numpy(data)
+    np.testing.assert_array_equal(block.copy().to_sparse().to_numpy(), data)
+    np.testing.assert_array_equal(block.copy().to_dense().to_numpy(), data)
+
+
+@given(_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(data):
+    block = B.from_numpy(data)
+    np.testing.assert_array_equal(
+        ops.transpose(ops.transpose(block)).to_numpy(), data
+    )
+
+
+@given(_mult_pair())
+@settings(max_examples=40, deadline=None)
+def test_matmult_kernels_agree(pair):
+    a, b = pair
+    blas = ops.matmult(B.from_numpy(a), B.from_numpy(b), native_blas=True)
+    tiled = ops.matmult(
+        B.from_numpy(a).to_dense(), B.from_numpy(b).to_dense(), native_blas=False, tile=3
+    )
+    np.testing.assert_allclose(blas.to_numpy(), tiled.to_numpy(), rtol=1e-9, atol=1e-6)
+
+
+@given(_matrices())
+@settings(max_examples=40, deadline=None)
+def test_tsmm_symmetry_and_equivalence(data):
+    block = B.from_numpy(data)
+    result = ops.tsmm(block).to_numpy()
+    np.testing.assert_allclose(result, result.T, atol=1e-8)
+    np.testing.assert_allclose(result, data.T @ data, rtol=1e-9, atol=1e-6)
+
+
+@given(_matrices())
+@settings(max_examples=60, deadline=None)
+def test_aggregate_sum_consistency(data):
+    block = B.from_numpy(data)
+    total = ops.aggregate("sum", block)
+    by_rows = ops.aggregate("sum", ops.aggregate("sum", block, Direction.ROW))
+    by_cols = ops.aggregate("sum", ops.aggregate("sum", block, Direction.COL))
+    assert abs(total - by_rows) <= 1e-6 * max(1.0, abs(total))
+    assert abs(total - by_cols) <= 1e-6 * max(1.0, abs(total))
+
+
+@given(_matrices(), st.integers(0, 10**9))
+@settings(max_examples=40, deadline=None)
+def test_cbind_rbind_inverse_by_indexing(data, __seed):
+    block = B.from_numpy(data)
+    n, m = data.shape
+    stacked = ops.cbind([block, block])
+    left = ops.right_index(stacked, [(0, n), (0, m)])
+    right = ops.right_index(stacked, [(0, n), (m, 2 * m)])
+    np.testing.assert_array_equal(left.to_numpy(), data)
+    np.testing.assert_array_equal(right.to_numpy(), data)
+
+
+@given(_matrices())
+@settings(max_examples=40, deadline=None)
+def test_binary_add_commutes(data):
+    a = B.from_numpy(data)
+    shifted = B.from_numpy(data + 1.0)
+    ab = ops.binary_op("+", a, shifted).to_numpy()
+    ba = ops.binary_op("+", shifted, a).to_numpy()
+    np.testing.assert_array_equal(ab, ba)
+
+
+@given(_matrices())
+@settings(max_examples=40, deadline=None)
+def test_left_index_then_right_index_roundtrip(data):
+    n, m = data.shape
+    target = B.from_numpy(np.zeros((n + 2, m + 2)))
+    written = ops.left_index(target, B.from_numpy(data), [(1, n + 1), (1, m + 1)])
+    read_back = ops.right_index(written, [(1, n + 1), (1, m + 1)])
+    np.testing.assert_array_equal(read_back.to_numpy(), data)
+
+
+@given(st.integers(1, 50), st.integers(1, 50))
+@settings(max_examples=40, deadline=None)
+def test_seq_length(a, b):
+    lo, hi = min(a, b), max(a, b)
+    result = ops.seq(lo, hi, 1.0)
+    assert result.shape == (hi - lo + 1, 1)
+
+
+@given(_matrices())
+@settings(max_examples=40, deadline=None)
+def test_replace_is_idempotent(data):
+    block = B.from_numpy(data)
+    once = ops.replace(block, 0.0, -1.0)
+    twice = ops.replace(once, 0.0, -1.0)
+    np.testing.assert_array_equal(once.to_numpy(), twice.to_numpy())
