@@ -1,0 +1,81 @@
+"""Serving bench S1: micro-batched vs. one-at-a-time scoring throughput.
+
+A 1000-request burst of single-row scoring requests against one prepared
+linear model.  With micro-batching the service coalesces rows into one
+matrix multiply per tick; the acceptance bar is >= 2x the un-batched
+throughput, with bounded-queue overload behaviour and live percentiles.
+
+    PYTHONPATH=src python benchmarks/bench_serving.py   # writes results/BENCH_serving.json
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceOverloadedError
+from repro.serving import ModelRegistry, ScoringService
+from repro.serving.bench import SCORING_SCRIPT, run_smoke_bench
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+REQUESTS = max(int(1000 * SCALE), 100)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_smoke_bench(requests=REQUESTS)
+
+
+def test_s1_batching_speedup(report):
+    assert report["unbatched"]["throughput_rps"] > 0
+    assert report["batched"]["throughput_rps"] > 0
+    assert report["batching_speedup"] >= 2.0, (
+        f"micro-batching speedup {report['batching_speedup']:.2f}x < 2x"
+    )
+
+
+def test_s1_metrics_surface(report):
+    model = report["batched"]["metrics"]["models"]["lm-score@v1"]
+    for key in ("p50", "p95", "p99"):
+        assert model["latency_ms"][key] >= 0.0
+    assert "queue_depth" in report["batched"]["metrics"]
+    # batching actually coalesced: some batch larger than a single request
+    assert any(int(size) > 1 for size in model["batch_sizes"])
+    # the model-side sub-DAG (weights-only tsmm) reused across requests
+    assert model["reuse"]["hits_full"] > 0
+
+
+def test_s1_overload_rejects_not_hangs():
+    registry = ModelRegistry()
+    registry.register("lm-score", SCORING_SCRIPT,
+                      weights={"B": np.ones((8, 1))}, max_concurrency=1)
+    try:
+        service = ScoringService(registry, workers=1, queue_limit=4,
+                                 batching=False)
+        # service not started: the queue can only fill up
+        rejected = 0
+        for _ in range(32):
+            try:
+                service.submit("lm-score", np.ones(8))
+            except ServiceOverloadedError:
+                rejected += 1
+        assert rejected == 32 - 4
+    finally:
+        registry.close()
+
+
+def main():
+    out_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    bench = run_smoke_bench(requests=REQUESTS)
+    path = os.path.join(out_dir, "BENCH_serving.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"speedup {bench['batching_speedup']:.2f}x -> {path}")
+
+
+if __name__ == "__main__":
+    main()

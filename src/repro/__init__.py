@@ -7,6 +7,8 @@ The public API surface is intentionally small:
 * :func:`matrix` — the lazy Python language binding that collects operation
   DAGs and compiles them on demand.
 * :class:`ReproConfig` — compiler/runtime configuration.
+* :class:`ModelRegistry` / :class:`ScoringService` — the concurrent
+  model-scoring subsystem (deployment/serving stage).
 * The tensor data model (:class:`BasicTensorBlock`, :class:`DataTensorBlock`,
   :class:`Frame`).
 
@@ -24,8 +26,10 @@ __all__ = [
     "DataTensorBlock",
     "Frame",
     "MLContext",
+    "ModelRegistry",
     "PreparedScript",
     "ReproConfig",
+    "ScoringService",
     "default_config",
     "dml",
     "matrix",
@@ -48,4 +52,8 @@ def __getattr__(name):
         from repro.api.matrix import matrix
 
         return matrix
+    if name in ("ModelRegistry", "ScoringService"):
+        from repro.serving import ModelRegistry, ScoringService
+
+        return {"ModelRegistry": ModelRegistry, "ScoringService": ScoringService}[name]
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

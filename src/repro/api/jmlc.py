@@ -11,12 +11,18 @@ path (paper Figure 3, step 1).
 
 Input identity is tracked per slot: when the same object is passed again,
 its lineage guid is stable, so a shared reuse cache can serve repeated
-sub-computations across calls.
+sub-computations across calls.  ``execute`` is safe for concurrent callers:
+each call gets a fresh execution context, the slot-guid table is locked,
+and the shared reuse cache is internally synchronised — the serving
+subsystem (``repro.serving``) scores one prepared script from many worker
+threads at once.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+import weakref
 from typing import Dict, List, Optional, Sequence
 
 from repro.compiler.compile import compile_script
@@ -25,6 +31,7 @@ from repro.config import ReproConfig, default_config
 from repro.errors import RuntimeDMLError
 from repro.lineage import ReuseCache
 from repro.api.mlcontext import Results, _stats_of, _to_data_object
+from repro.runtime.bufferpool import BufferPool
 from repro.runtime.context import ExecutionContext
 from repro.runtime.interpreter import execute_program
 
@@ -41,6 +48,7 @@ class PreparedScript:
         outputs: Sequence[str],
         config: Optional[ReproConfig] = None,
         reuse_cache: Optional[ReuseCache] = None,
+        pool: Optional[BufferPool] = None,
     ):
         self.source = source
         self.input_names = list(inputs)
@@ -55,19 +63,34 @@ class PreparedScript:
             self._reuse = ReuseCache(
                 self.config.reuse_cache_size, self.config.partial_reuse_enabled
             )
-        self._guids: Dict[str, tuple] = {}  # slot -> (object id, guid)
+        # shared buffer pool for all executions (serving); None means each
+        # execution context creates its own private pool
+        self._pool = pool
+        # slot -> (anchor, guid): the anchor is a weakref to the bound object
+        # (or the object itself when it is not weak-referenceable), so a
+        # recycled id() of a dead object can never inherit the old guid
+        self._guids: Dict[str, tuple] = {}
+        self._guid_lock = threading.Lock()
 
     @property
     def reuse_cache(self) -> Optional[ReuseCache]:
         return self._reuse
 
     def _slot_guid(self, name: str, value) -> int:
-        previous = self._guids.get(name)
-        if previous is not None and previous[0] == id(value):
-            return previous[1]
-        guid = next(_GUIDS)
-        self._guids[name] = (id(value), guid)
-        return guid
+        with self._guid_lock:
+            previous = self._guids.get(name)
+            if previous is not None:
+                anchor, guid = previous
+                target = anchor() if isinstance(anchor, weakref.ref) else anchor
+                if target is value:
+                    return guid
+            guid = next(_GUIDS)
+            try:
+                anchor = weakref.ref(value)
+            except TypeError:
+                anchor = value  # e.g. scalars: keep it alive, identity stays valid
+            self._guids[name] = (anchor, guid)
+            return guid
 
     def execute(self, **bindings) -> Results:
         missing = [name for name in self.input_names if name not in bindings]
@@ -77,7 +100,7 @@ class PreparedScript:
         if unexpected:
             raise RuntimeDMLError(f"unexpected prepared-script inputs: {unexpected}")
         ctx = ExecutionContext(
-            self.program, self.config, reuse=self._reuse,
+            self.program, self.config, pool=self._pool, reuse=self._reuse,
             print_handler=lambda text: None,
         )
         for name in self.input_names:
@@ -87,4 +110,4 @@ class PreparedScript:
             if ctx.tracer is not None:
                 ctx.tracer.bind_input(name, self._slot_guid(name, raw))
         execute_program(self.program, ctx)
-        return Results(ctx, self.output_names)
+        return Results(ctx, self.output_names, protected=self.input_names)

@@ -42,11 +42,26 @@ InputValue = Union[np.ndarray, BasicTensorBlock, Frame, int, float, bool, str]
 class Results:
     """Outputs of one script execution."""
 
-    def __init__(self, ctx: ExecutionContext, outputs: Sequence[str]):
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        outputs: Sequence[str],
+        protected: Sequence[str] = (),
+    ):
         self._ctx = ctx
         self.output_names = list(outputs)
         self.prints = list(ctx.prints)
         self.metrics = dict(ctx.metrics)
+        self._protected = tuple(protected)
+
+    def close(self) -> None:
+        """Release the execution context's payloads (after extracting outputs).
+
+        Caller-owned input bindings are protected: their payloads survive.
+        Serving hot paths call this once the outputs are copied out, so the
+        shared buffer pool is not left waiting on garbage collection.
+        """
+        self._ctx.close(keep=self._protected)
 
     def get(self, name: str):
         value = self._ctx.get_or_none(name)

@@ -7,6 +7,11 @@ Named arguments are bound as scalar input variables (ints, floats,
 booleans, or strings).  ``--stats`` prints runtime metrics after execution,
 ``--explain`` the compiled runtime program, ``--lineage`` enables lineage
 tracing and ``--reuse`` lineage-based reuse of intermediates.
+
+``--serve-bench`` runs the concurrent model-scoring smoke bench instead of
+a script (micro-batched vs. one-at-a-time throughput; see
+``repro.serving.bench``), optionally writing ``BENCH_serving.json`` via
+``--serve-out``.
 """
 
 from __future__ import annotations
@@ -50,7 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-dml",
         description="Execute a DML script on the repro SystemDS reproduction.",
     )
-    parser.add_argument("script", help="path to the .dml script")
+    parser.add_argument("script", nargs="?", default=None,
+                        help="path to the .dml script")
     parser.add_argument("--args", nargs="*", metavar="NAME=VALUE",
                         help="scalar input bindings")
     parser.add_argument("--stats", action="store_true",
@@ -67,12 +73,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="degree of parallelism (0 = all cores)")
     parser.add_argument("--no-rewrites", action="store_true",
                         help="disable optimizer rewrites (debugging)")
+    serving = parser.add_argument_group("model serving")
+    serving.add_argument("--serve-bench", action="store_true",
+                         help="run the concurrent scoring smoke bench")
+    serving.add_argument("--serve-requests", type=int, default=1000,
+                         help="serve-bench burst size")
+    serving.add_argument("--serve-workers", type=int, default=4,
+                         help="serve-bench worker threads")
+    serving.add_argument("--serve-batch", type=int, default=32,
+                         help="serve-bench micro-batch size cap")
+    serving.add_argument("--serve-out", metavar="PATH", default=None,
+                         help="write the serve-bench JSON report")
     return parser
 
 
 def main(argv=None) -> int:
     """Entry point of ``repro-dml``; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.serve_bench:
+        from repro.serving.bench import main as serve_bench_main
+
+        bench_args = [
+            "--requests", str(args.serve_requests),
+            "--workers", str(args.serve_workers),
+            "--max-batch", str(args.serve_batch),
+        ]
+        if args.serve_out:
+            bench_args += ["--out", args.serve_out]
+        return serve_bench_main(bench_args)
+    if args.script is None:
+        parser.error("a script path is required unless --serve-bench is given")
     overrides = {}
     if args.mem > 0:
         overrides["memory_budget"] = args.mem * 1024 * 1024

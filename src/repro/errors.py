@@ -52,3 +52,19 @@ class PrivacyError(FederatedError):
 
 class IOFormatError(ReproError):
     """Raised on malformed persistent data or format descriptors."""
+
+
+class ServingError(ReproError):
+    """Root of the model-serving subsystem's errors."""
+
+
+class UnknownModelError(ServingError):
+    """Raised when scoring references a model/version that is not registered."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Raised when the bounded admission queue is full (backpressure)."""
+
+
+class ScoreTimeoutError(ServingError):
+    """Raised when a scoring request misses its deadline."""

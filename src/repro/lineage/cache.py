@@ -78,10 +78,22 @@ class ReuseCache:
 
     @property
     def used(self) -> int:
-        return self._used
+        with self._lock:
+            return self._used
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        """A consistent copy of the statistics plus the derived hit rate."""
+        with self._lock:
+            stats = dict(self.stats)
+            stats["entries"] = len(self._entries)
+            stats["used_bytes"] = self._used
+        hits = stats["hits_full"] + stats["hits_partial"]
+        stats["hit_rate"] = hits / stats["probes"] if stats["probes"] else 0.0
+        return stats
 
     # --- partial reuse -------------------------------------------------------------------
 
@@ -103,7 +115,8 @@ class ReuseCache:
         k = input_block.num_cols
         if not 0 < ka < k:
             return None
-        self.stats["hits_partial"] += 1
+        with self._lock:
+            self.stats["hits_partial"] += 1
         x = input_block.to_numpy() if not input_block.is_sparse else input_block.to_scipy()
         if input_block.is_sparse:
             delta = np.asarray(x[:, ka:].todense())
@@ -139,7 +152,8 @@ class ReuseCache:
         k = left_block.num_cols
         if not 0 < ka < k:
             return None
-        self.stats["hits_partial"] += 1
+        with self._lock:
+            self.stats["hits_partial"] += 1
         if left_block.is_sparse:
             delta = left_block.to_scipy()[:, ka:]
             thin = np.asarray((delta.T @ right_block.to_numpy()))
@@ -150,8 +164,10 @@ class ReuseCache:
         return BasicTensorBlock.from_numpy(out)
 
     def _probe_quiet(self, item: LineageItem):
-        entry = self._entries.get(item.key)
-        if entry is None:
-            return None
-        self._entries.move_to_end(item.key)
-        return entry[0]
+        # called from partial-reuse probes that run outside probe()'s lock
+        with self._lock:
+            entry = self._entries.get(item.key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(item.key)
+            return entry[0]

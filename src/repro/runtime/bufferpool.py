@@ -53,23 +53,34 @@ class BufferPool:
         self._ids = itertools.count(1)
         self._lock = threading.RLock()
         self._used = 0
+        self._evictable = 0  # entries in memory with pin_count == 0
         self.stats = {
             "puts": 0,
             "gets": 0,
             "evictions": 0,
             "restores": 0,
             "bytes_spilled": 0,
+            "evict_scans": 0,
         }
 
     # --- public protocol -------------------------------------------------------
 
-    def put(self, payload, size: int) -> int:
-        """Register a payload; returns the entry id used for later access."""
+    def put(self, payload, size: int, pinned: bool = False) -> int:
+        """Register a payload; returns the entry id used for later access.
+
+        With ``pinned=True`` the entry is born pinned (long-lived model
+        weights on a serving path): it never competes for eviction until a
+        matching :meth:`unpin`.
+        """
         with self._lock:
             entry = CacheEntry(next(self._ids), payload, max(int(size), 0))
             self._entries[entry.entry_id] = entry
             self._lru[entry.entry_id] = None
             self._used += entry.size
+            if pinned:
+                entry.pin_count = 1
+            else:
+                self._evictable += 1
             self.stats["puts"] += 1
             self._evict_if_needed()
             return entry.entry_id
@@ -90,6 +101,8 @@ class BufferPool:
             entry = self._require(entry_id)
             if not entry.in_memory:
                 self._restore(entry)
+            if entry.pin_count == 0:
+                self._evictable -= 1
             entry.pin_count += 1
             self._touch(entry)
             return entry.payload
@@ -100,6 +113,8 @@ class BufferPool:
             if entry.pin_count <= 0:
                 raise BufferPoolError(f"unpin of unpinned entry {entry_id}")
             entry.pin_count -= 1
+            if entry.pin_count == 0 and entry.in_memory:
+                self._evictable += 1
             self._evict_if_needed()
 
     def update(self, entry_id: int, payload, size: int) -> None:
@@ -108,6 +123,8 @@ class BufferPool:
             entry = self._require(entry_id)
             if entry.in_memory:
                 self._used -= entry.size
+            elif entry.pin_count == 0:
+                self._evictable += 1  # evicted entry becomes resident again
             entry.payload = payload
             entry.size = max(int(size), 0)
             entry.dirty = True
@@ -124,6 +141,8 @@ class BufferPool:
             self._lru.pop(entry_id, None)
             if entry.in_memory:
                 self._used -= entry.size
+                if entry.pin_count == 0:
+                    self._evictable -= 1
             if entry.spill_path and os.path.exists(entry.spill_path):
                 os.unlink(entry.spill_path)
 
@@ -140,6 +159,20 @@ class BufferPool:
             for entry_id in list(self._entries):
                 self.free(entry_id)
 
+    def close(self) -> None:
+        """Drop all entries and remove the spill directory.
+
+        The directory is only removed when it ends up empty: the spill dir
+        may be shared by other pools of the same config, whose files must
+        survive.  Safe to call more than once.
+        """
+        with self._lock:
+            self.clear()
+            try:
+                os.rmdir(self.spill_dir)
+            except OSError:
+                pass  # never created, already gone, or other pools still spill here
+
     # --- internals ------------------------------------------------------------------
 
     def _require(self, entry_id: int) -> CacheEntry:
@@ -153,10 +186,11 @@ class BufferPool:
         self._lru[entry.entry_id] = None
 
     def _evict_if_needed(self) -> None:
-        if self._used <= self.budget:
-            return
+        if self._used <= self.budget or self._evictable == 0:
+            return  # under budget, or every resident entry is pinned
+        self.stats["evict_scans"] += 1
         for entry_id in list(self._lru):
-            if self._used <= self.budget:
+            if self._used <= self.budget or self._evictable == 0:
                 return
             entry = self._entries[entry_id]
             if entry.pin_count > 0 or not entry.in_memory:
@@ -175,6 +209,7 @@ class BufferPool:
             self.stats["bytes_spilled"] += entry.size
         entry.payload = None
         self._used -= entry.size
+        self._evictable -= 1
         self._lru.pop(entry.entry_id, None)
         self.stats["evictions"] += 1
 
@@ -186,4 +221,6 @@ class BufferPool:
         with open(entry.spill_path, "rb") as handle:
             entry.payload = pickle.load(handle)
         self._used += entry.size
+        if entry.pin_count == 0:
+            self._evictable += 1
         self.stats["restores"] += 1

@@ -101,6 +101,26 @@ class ExecutionContext:
             if name.startswith("_t") or name not in live:
                 self.remove(name)
 
+    def close(self, keep=()) -> None:
+        """Eagerly release every bound payload except the ``keep`` names.
+
+        Serving hot paths run many short-lived contexts against one shared
+        buffer pool; closing a context returns its intermediates to the pool
+        immediately instead of waiting for garbage collection.  Caller-owned
+        bindings (pinned model weights) are listed in ``keep``: they are
+        unbound but their payloads stay alive.
+        """
+        protected = set(keep)
+        for name in list(self.variables):
+            value = self.variables.pop(name)
+            if name in protected:
+                continue
+            release = getattr(value, "free", None)
+            if release is not None:
+                release()
+        if self.tracer is not None:
+            self.tracer.items.clear()
+
     # --- child frames ----------------------------------------------------------------
 
     def child(self) -> "ExecutionContext":

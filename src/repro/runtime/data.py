@@ -220,6 +220,17 @@ class MatrixObject:
         finally:
             self._pool.unpin(self._entry_id)
 
+    def pin_persistent(self) -> None:
+        """Permanently pin the pooled payload (long-lived model weights).
+
+        Unlike :meth:`pinned`, the pin is never released: the entry stays
+        resident for the lifetime of the handle, so serving hot paths never
+        pay an eviction/restore round-trip for weights.  A no-op for
+        payloads held outside a pool.
+        """
+        if self._pool is not None and self._entry_id is not None:
+            self._pool.pin(self._entry_id)
+
     def free(self) -> None:
         """Release the payload (variable removed from the symbol table)."""
         if self._pool is not None and self._entry_id is not None:

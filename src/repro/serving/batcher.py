@@ -1,0 +1,161 @@
+"""Bounded admission queue with per-model request coalescing.
+
+The batcher is the single synchronisation point of the scoring service:
+
+* ``offer`` admits a request or rejects it immediately when the bounded
+  queue is full (backpressure instead of unbounded buffering);
+* ``take`` hands a worker a *batch*: the oldest pending model's requests,
+  coalesced up to ``max_batch_size``.  When a batch is still short, the
+  worker lingers up to ``max_wait_ms`` for stragglers — the classic
+  throughput/latency knob of model-serving systems;
+* per-model in-flight counts enforce each model's concurrency limit, so
+  one hot model cannot monopolise every worker.
+
+With ``max_batch_size=1`` the batcher degenerates into a plain bounded
+FIFO queue (the un-batched baseline of the serving bench).
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceOverloadedError, ServingError
+
+
+class MicroBatcher:
+    """Admission queue + coalescing of single-row requests into batches."""
+
+    def __init__(
+        self,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        queue_limit: int = 256,
+        limit_of: Optional[Callable[[str], Optional[int]]] = None,
+    ):
+        if max_batch_size < 1:
+            raise ServingError("max_batch_size must be >= 1")
+        if queue_limit < 1:
+            raise ServingError("queue_limit must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.max_wait = max(max_wait_ms, 0.0) / 1e3
+        self.queue_limit = queue_limit
+        self._limit_of = limit_of
+        self._cond = threading.Condition()
+        # model -> FIFO of pending requests; insertion order doubles as the
+        # round-robin order across models
+        self._pending: "collections.OrderedDict[str, collections.deque]" = (
+            collections.OrderedDict()
+        )
+        self._depth = 0
+        self._running: Dict[str, int] = collections.Counter()
+        self._closed = False
+
+    # --- admission ----------------------------------------------------------
+
+    def offer(self, request) -> None:
+        """Admit a request (``request.model`` names its queue) or reject."""
+        with self._cond:
+            if self._closed:
+                raise ServingError("batcher is closed")
+            if self._depth >= self.queue_limit:
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self.queue_limit} pending)"
+                )
+            queue = self._pending.get(request.model)
+            if queue is None:
+                queue = self._pending[request.model] = collections.deque()
+            queue.append(request)
+            self._depth += 1
+            self._cond.notify_all()
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return self._depth
+
+    # --- batch formation ----------------------------------------------------
+
+    def _capacity(self, model: str) -> bool:
+        if self._limit_of is None:
+            return True
+        limit = self._limit_of(model)
+        return limit is None or self._running[model] < limit
+
+    def _next_model(self) -> Optional[str]:
+        for model, queue in self._pending.items():
+            if queue and self._capacity(model):
+                return model
+        return None
+
+    def _drain(self, model: str, room: int) -> List:
+        queue = self._pending.get(model)
+        batch: List = []
+        while queue and room > 0:
+            batch.append(queue.popleft())
+            room -= 1
+        self._depth -= len(batch)
+        if queue is not None and not queue:
+            # rotate: an empty queue re-registers at the tail on next offer
+            self._pending.pop(model, None)
+        return batch
+
+    def take(self, timeout: float = 0.1) -> Optional[Tuple[str, List]]:
+        """The next (model, requests) batch, or None on timeout/shutdown.
+
+        Marks the model as running; the worker must call :meth:`done` after
+        executing the batch so concurrency slots free up.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed and self._depth == 0:
+                    return None
+                model = self._next_model()
+                if model is not None:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            batch = self._drain(model, self.max_batch_size)
+            if self.max_wait > 0 and len(batch) < self.max_batch_size \
+                    and not self._closed:
+                # linger briefly for stragglers to fill the batch
+                linger = time.monotonic() + self.max_wait
+                while len(batch) < self.max_batch_size:
+                    remaining = linger - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                    batch.extend(
+                        self._drain(model, self.max_batch_size - len(batch))
+                    )
+                    if self._closed:
+                        break
+            self._running[model] += 1
+            return model, batch
+
+    def done(self, model: str) -> None:
+        """Release the model's concurrency slot after a batch completes."""
+        with self._cond:
+            self._running[model] = max(self._running[model] - 1, 0)
+            self._cond.notify_all()
+
+    # --- shutdown -----------------------------------------------------------
+
+    def close(self) -> List:
+        """Refuse new work; returns the requests still pending (undrained)."""
+        with self._cond:
+            self._closed = True
+            leftovers = [
+                request
+                for queue in self._pending.values()
+                for request in queue
+            ]
+            self._pending.clear()
+            self._depth = 0
+            self._cond.notify_all()
+            return leftovers

@@ -1,0 +1,158 @@
+"""Serving smoke bench: micro-batching vs. one-request-at-a-time.
+
+Registers a linear scoring model, fires a burst of single-row requests at
+the service twice — once with batching disabled (every request is its own
+script execution) and once with micro-batching — and reports throughput,
+latency percentiles, queue depth, and the batch-size histogram.
+
+Runs as ``repro-serve-bench``, via ``repro-dml --serve-bench``, or through
+``benchmarks/bench_serving.py``; writes ``BENCH_serving.json`` with
+``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import ReproConfig
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import ScoringService
+
+#: DML scoring script of the bench model: linear scores plus a model-side
+#: normaliser (a weights-only tsmm) so lineage reuse on the weight sub-DAG
+#: is observable: its key is stable across requests while X changes.
+SCORING_SCRIPT = """
+norm = sum(t(B) %*% B)
+yhat = (X %*% B) / sqrt(norm)
+"""
+
+
+def _make_registry(features: int, seed: int) -> ModelRegistry:
+    config = ReproConfig(enable_lineage=True, reuse_policy="full")
+    registry = ModelRegistry(config)
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal((features, 1))
+    registry.register("lm-score", SCORING_SCRIPT, weights={"B": weights})
+    return registry
+
+
+def _fire_burst(service: ScoringService, rows: List[np.ndarray],
+                timeout: float) -> float:
+    """Submit every row, wait for all futures; returns the elapsed seconds."""
+    start = time.monotonic()
+    futures = [service.submit("lm-score", row, timeout=timeout) for row in rows]
+    for future in futures:
+        future.result(timeout)
+    return time.monotonic() - start
+
+
+def run_smoke_bench(
+    requests: int = 1000,
+    features: int = 16,
+    workers: int = 4,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    timeout: float = 120.0,
+    seed: int = 7,
+) -> dict:
+    """The smoke-bench report dict (see module docstring)."""
+    rng = np.random.default_rng(seed + 1)
+    rows = [rng.standard_normal(features) for _ in range(requests)]
+
+    def run(batching: bool) -> dict:
+        registry = _make_registry(features, seed)
+        expected = None
+        try:
+            service = ScoringService(
+                registry, workers=workers, queue_limit=requests,
+                max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+                batching=batching, default_timeout=timeout,
+            )
+            with service:
+                elapsed = _fire_burst(service, rows, timeout)
+                # correctness spot check against the closed form
+                sample = service.score("lm-score", rows[0], timeout=timeout)
+                weights = registry.get("lm-score").weights["B"].acquire_local()
+                b = weights.to_numpy()
+                expected = float(
+                    (rows[0].reshape(1, -1) @ b / np.sqrt((b * b).sum()))[0, 0]
+                )
+                assert abs(float(sample[0, 0]) - expected) < 1e-9
+                snapshot = service.snapshot()
+        finally:
+            registry.close()
+        return {
+            "elapsed_s": elapsed,
+            "throughput_rps": requests / elapsed if elapsed > 0 else 0.0,
+            "metrics": snapshot,
+        }
+
+    unbatched = run(batching=False)
+    batched = run(batching=True)
+    speedup = (
+        batched["throughput_rps"] / unbatched["throughput_rps"]
+        if unbatched["throughput_rps"] > 0 else 0.0
+    )
+    return {
+        "bench": "serving_smoke",
+        "requests": requests,
+        "features": features,
+        "workers": workers,
+        "max_batch_size": max_batch_size,
+        "max_wait_ms": max_wait_ms,
+        "unbatched": unbatched,
+        "batched": batched,
+        "batching_speedup": speedup,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-bench",
+        description="Concurrent model-scoring smoke bench (micro-batching).",
+    )
+    parser.add_argument("--requests", type=int, default=1000,
+                        help="burst size (single-row scoring requests)")
+    parser.add_argument("--features", type=int, default=16,
+                        help="feature-vector width")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="scoring worker threads")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="micro-batch size cap")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="micro-batch linger time")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the JSON report (e.g. BENCH_serving.json)")
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.features < 1:
+        parser.error("--features must be >= 1")
+
+    report = run_smoke_bench(
+        requests=args.requests, features=args.features, workers=args.workers,
+        max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out:
+        write_report(report, args.out)
+    if report["batched"]["throughput_rps"] <= 0:
+        print("error: batched throughput is zero", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

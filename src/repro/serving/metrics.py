@@ -1,0 +1,138 @@
+"""Observability for the scoring service.
+
+One :class:`ServingMetrics` instance aggregates per-model counters, a
+sliding window of request latencies (for percentiles), and a batch-size
+histogram.  ``snapshot()`` returns a plain dict so benches and operators
+can serialise it directly (``BENCH_serving.json``).
+
+All record methods are thread-safe: workers, the admission path, and
+readers share one lock, and snapshots are consistent copies.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import threading
+from typing import Callable, Dict, Optional
+
+#: Latencies kept per model for percentile estimation (sliding window).
+DEFAULT_WINDOW = 4096
+
+
+def percentile(samples, q: float) -> float:
+    """The q-th percentile (0..100) of a sample list, nearest-rank method."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+class _ModelStats:
+    """Mutable per-model counters (guarded by the owning metrics lock)."""
+
+    __slots__ = (
+        "submitted", "completed", "rejected", "timeouts", "errors",
+        "latencies", "batch_sizes",
+    )
+
+    def __init__(self, window: int):
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.latencies = collections.deque(maxlen=window)
+        self.batch_sizes: Dict[int, int] = collections.Counter()
+
+
+class ServingMetrics:
+    """Thread-safe counters + latency/batch histograms for one service."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._window = window
+        self._lock = threading.Lock()
+        self._models: Dict[str, _ModelStats] = {}
+        #: Callable returning the live admission-queue depth (wired by the
+        #: service); kept as a probe so snapshots never go stale.
+        self.depth_probe: Optional[Callable[[], int]] = None
+        #: Per-model reuse-cache snapshot probes (wired by the service).
+        self._reuse_probes: Dict[str, Callable[[], dict]] = {}
+
+    def _stats(self, model: str) -> _ModelStats:
+        stats = self._models.get(model)
+        if stats is None:
+            stats = self._models[model] = _ModelStats(self._window)
+        return stats
+
+    # --- recording (called by the service) ---------------------------------
+
+    def record_submitted(self, model: str) -> None:
+        with self._lock:
+            self._stats(model).submitted += 1
+
+    def record_rejected(self, model: str) -> None:
+        with self._lock:
+            self._stats(model).rejected += 1
+
+    def record_timeout(self, model: str) -> None:
+        with self._lock:
+            self._stats(model).timeouts += 1
+
+    def record_error(self, model: str, count: int = 1) -> None:
+        with self._lock:
+            self._stats(model).errors += count
+
+    def record_batch(self, model: str, size: int) -> None:
+        with self._lock:
+            self._stats(model).batch_sizes[int(size)] += 1
+
+    def record_completed(self, model: str, latency_s: float) -> None:
+        with self._lock:
+            stats = self._stats(model)
+            stats.completed += 1
+            stats.latencies.append(latency_s)
+
+    def attach_reuse_probe(self, model: str, probe: Callable[[], dict]) -> None:
+        with self._lock:
+            self._reuse_probes[model] = probe
+
+    # --- reading ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A serialisable view: queue depth, per-model latency percentiles,
+        batch-size histogram, counters, and reuse-cache hit rates."""
+        with self._lock:
+            models = {
+                name: (stats, list(stats.latencies), dict(stats.batch_sizes))
+                for name, stats in self._models.items()
+            }
+            probes = dict(self._reuse_probes)
+            depth_probe = self.depth_probe
+        result = {
+            "queue_depth": depth_probe() if depth_probe is not None else 0,
+            "models": {},
+        }
+        for name, (stats, latencies, batch_sizes) in models.items():
+            entry = {
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "rejected": stats.rejected,
+                "timeouts": stats.timeouts,
+                "errors": stats.errors,
+                "latency_ms": {
+                    "p50": percentile(latencies, 50) * 1e3,
+                    "p95": percentile(latencies, 95) * 1e3,
+                    "p99": percentile(latencies, 99) * 1e3,
+                    "max": max(latencies) * 1e3 if latencies else 0.0,
+                    "mean": (sum(latencies) / len(latencies)) * 1e3
+                    if latencies else 0.0,
+                },
+                "batch_sizes": batch_sizes,
+            }
+            probe = probes.get(name)
+            if probe is not None:
+                entry["reuse"] = probe()
+            result["models"][name] = entry
+        return result

@@ -1,0 +1,203 @@
+"""Model registry: versioned scoring scripts with pinned weights.
+
+Registering a model compiles its DML scoring script once (the JMLC path)
+and converts its weights into buffer-pool-backed matrix objects that are
+*persistently pinned*: under memory pressure the pool evicts request
+intermediates, never the weights, so the serving hot path is free of
+restore round-trips.
+
+All models of one registry share a single buffer pool and per-model
+lineage reuse caches.  The weight objects are bound by identity on every
+``execute``, so their slot guids are stable and the model-side sub-DAG
+(anything derived from the weights alone) gets full lineage reuse across
+requests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.api.jmlc import PreparedScript
+from repro.config import ReproConfig
+from repro.errors import ServingError, UnknownModelError
+from repro.runtime.bufferpool import BufferPool
+from repro.runtime.data import MatrixObject
+from repro.tensor import BasicTensorBlock
+
+
+def _to_weight_object(value, pool: BufferPool) -> MatrixObject:
+    """Convert a weight to a pool-backed, persistently pinned matrix."""
+    if isinstance(value, MatrixObject):
+        block = value.acquire_local()
+    elif isinstance(value, BasicTensorBlock):
+        block = value
+    elif isinstance(value, np.ndarray):
+        array = value if value.ndim == 2 else np.atleast_2d(value).T
+        block = BasicTensorBlock.from_numpy(np.asarray(array, dtype=np.float64))
+    elif hasattr(value, "tocsr"):  # scipy sparse
+        block = BasicTensorBlock.from_scipy(value.tocsr())
+    else:
+        raise ServingError(
+            f"model weights must be matrices, got {type(value).__name__}"
+        )
+    weight = MatrixObject.from_block(block, pool)
+    weight.pin_persistent()
+    return weight
+
+
+class ServableModel:
+    """One registered (model, version): prepared script + pinned weights."""
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        script: PreparedScript,
+        weights: Dict[str, MatrixObject],
+        data_input: str,
+        output: str,
+        max_concurrency: Optional[int] = None,
+    ):
+        self.name = name
+        self.version = version
+        self.script = script
+        self.weights = weights
+        self.data_input = data_input
+        self.output = output
+        #: Cap on concurrent executions of this model (None = unbounded).
+        self.max_concurrency = max_concurrency
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@v{self.version}"
+
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        """Score a stacked feature matrix; one script execution per call.
+
+        The weights are bound by identity (stable slot guids), the feature
+        matrix is the only per-call binding.  Outputs are copied out and the
+        execution context is closed, returning intermediates to the shared
+        pool immediately.
+        """
+        results = self.script.execute(
+            **{self.data_input: features}, **self.weights
+        )
+        try:
+            return results.matrix(self.output)
+        finally:
+            results.close()
+
+    def reuse_snapshot(self) -> dict:
+        cache = self.script.reuse_cache
+        return cache.snapshot() if cache is not None else {}
+
+    def release(self) -> None:
+        """Free the pinned weights (model unregistered)."""
+        for weight in self.weights.values():
+            weight.free()
+        self.weights = {}
+
+
+class ModelRegistry:
+    """Versioned, thread-safe store of servable models over a shared pool."""
+
+    def __init__(self, config: Optional[ReproConfig] = None):
+        if config is None:
+            # serving wants lineage reuse on by default: the model-side
+            # sub-DAG is identical across requests
+            config = ReproConfig(enable_lineage=True, reuse_policy="full")
+        self.config = config
+        self.pool = BufferPool(config.bufferpool_budget, config.resolve_spill_dir())
+        self._models: Dict[str, Dict[int, ServableModel]] = {}
+        self._lock = threading.RLock()
+
+    def register(
+        self,
+        name: str,
+        source: str,
+        weights: Optional[Dict[str, object]] = None,
+        data_input: str = "X",
+        output: str = "yhat",
+        version: Optional[int] = None,
+        max_concurrency: Optional[int] = None,
+    ) -> ServableModel:
+        """Compile a scoring script and pin its weights; returns the model.
+
+        ``source`` reads the feature matrix from ``data_input`` and writes
+        the scores to ``output``; every weight name becomes an additional
+        script input bound to the pinned weight object on each request.
+        """
+        weights = weights or {}
+        if data_input in weights:
+            raise ServingError(
+                f"data input {data_input!r} collides with a weight name"
+            )
+        inputs = [data_input] + list(weights)
+        script = PreparedScript(
+            source, inputs=inputs, outputs=[output],
+            config=self.config, pool=self.pool,
+        )
+        pinned = {
+            wname: _to_weight_object(value, self.pool)
+            for wname, value in weights.items()
+        }
+        with self._lock:
+            versions = self._models.setdefault(name, {})
+            if version is None:
+                version = max(versions) + 1 if versions else 1
+            elif version in versions:
+                raise ServingError(f"model {name!r} v{version} already registered")
+            model = ServableModel(
+                name, version, script, pinned, data_input, output,
+                max_concurrency=max_concurrency,
+            )
+            versions[version] = model
+            return model
+
+    def get(self, name: str, version: Optional[int] = None) -> ServableModel:
+        """The given (or latest) version of a model; raises when unknown."""
+        with self._lock:
+            versions = self._models.get(name)
+            if not versions:
+                raise UnknownModelError(f"no model registered under {name!r}")
+            if version is None:
+                return versions[max(versions)]
+            model = versions.get(version)
+            if model is None:
+                raise UnknownModelError(f"model {name!r} has no version {version}")
+            return model
+
+    def models(self) -> Sequence[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def versions(self, name: str) -> Sequence[int]:
+        with self._lock:
+            versions = self._models.get(name)
+            if not versions:
+                raise UnknownModelError(f"no model registered under {name!r}")
+            return sorted(versions)
+
+    def unregister(self, name: str, version: Optional[int] = None) -> None:
+        """Drop one version (or all versions) of a model and free weights."""
+        with self._lock:
+            versions = self._models.get(name)
+            if not versions:
+                raise UnknownModelError(f"no model registered under {name!r}")
+            doomed = list(versions.values()) if version is None \
+                else [self.get(name, version)]
+            for model in doomed:
+                versions.pop(model.version, None)
+                model.release()
+            if not versions:
+                self._models.pop(name, None)
+
+    def close(self) -> None:
+        """Unregister everything and tear down the shared buffer pool."""
+        with self._lock:
+            for name in list(self._models):
+                self.unregister(name)
+            self.pool.close()

@@ -1,5 +1,8 @@
 """Tests for the JMLC prepared-script API and the lazy matrix binding."""
 
+import gc
+import threading
+
 import numpy as np
 import pytest
 
@@ -51,6 +54,65 @@ class TestPreparedScript:
         a = np.ones((10, 2))
         b = np.full((10, 2), 3.0)
         assert ps.execute(X=a).scalar("s") != ps.execute(X=b).scalar("s")
+
+    def test_slot_guid_stable_for_same_object(self):
+        ps = PreparedScript("y = X * 2", inputs=["X"], outputs=["y"])
+        value = np.ones((2, 2))
+        guid = ps._slot_guid("X", value)
+        assert ps._slot_guid("X", value) == guid
+        assert ps._slot_guid("X", np.ones((2, 2))) != guid
+
+    def test_slot_guid_not_inherited_via_recycled_id(self):
+        # a dead object's id() can be recycled by a new allocation; the guid
+        # table anchors a weakref, so the recycled id gets a fresh guid
+        ps = PreparedScript("y = X * 2", inputs=["X"], outputs=["y"])
+        value = np.ones((4, 4))
+        old_id = id(value)
+        old_guid = ps._slot_guid("X", value)
+        del value
+        gc.collect()
+        for _ in range(100):  # provoke CPython into recycling the address
+            replacement = np.zeros((4, 4))
+            if id(replacement) == old_id:
+                assert ps._slot_guid("X", replacement) != old_guid
+                break
+            del replacement
+
+    def test_slot_guid_holds_no_strong_ref_to_arrays(self):
+        import weakref
+
+        ps = PreparedScript("y = X * 2", inputs=["X"], outputs=["y"])
+        value = np.ones((2, 2))
+        ps._slot_guid("X", value)
+        watcher = weakref.ref(value)
+        del value
+        gc.collect()
+        assert watcher() is None  # the guid table must not leak inputs
+
+    def test_concurrent_execute_from_8_threads(self):
+        cfg = ReproConfig(enable_lineage=True, reuse_policy="full")
+        ps = PreparedScript("yhat = X %*% B", inputs=["X", "B"],
+                            outputs=["yhat"], config=cfg)
+        model = np.random.default_rng(0).random((6, 1))
+        errors = []
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(25):
+                    batch = rng.random((3, 6))
+                    out = ps.execute(X=batch, B=model).matrix("yhat")
+                    np.testing.assert_allclose(out, batch @ model)
+            except Exception as exc:  # noqa: BLE001 - collect for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(seed,))
+                   for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
 
 
 class TestLazyMatrix:
@@ -182,3 +244,23 @@ class TestCli:
         assert _parse_value("TRUE") is True
         assert _parse_value("text") == "text"
         assert _parse_args(["a=1", "b=x"]) == {"a": 1, "b": "x"}
+
+    def test_no_script_without_serve_bench(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_serve_bench_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_serving.json"
+        rc = main(["--serve-bench", "--serve-requests", "40",
+                   "--serve-out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["batched"]["throughput_rps"] > 0
+        assert "batching_speedup" in report
+        assert "lm-score@v1" in report["batched"]["metrics"]["models"]

@@ -60,6 +60,18 @@ def test_lifecycle_optimization(capsys):
     assert "diff of the two runs" in out
 
 
+def test_model_serving(capsys):
+    out = _run_example("model_serving.py", capsys)
+    assert "trained lm model" in out
+    assert "max error" in out
+    assert "latency p50/p95/p99" in out
+    assert "batch sizes" in out
+    assert "reuse hit rate" in out
+    for line in out.splitlines():
+        if "max error" in line:
+            assert float(line.rsplit("max error ", 1)[1]) < 1e-9
+
+
 def test_all_examples_have_docstrings():
     for name in os.listdir(_EXAMPLES_DIR):
         if not name.endswith(".py"):

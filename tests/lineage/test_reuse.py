@@ -196,3 +196,46 @@ class TestPartialReuse:
         result = cache.probe_partial_tsmm(out_item, combined)
         full = np.hstack([dense, delta])
         np.testing.assert_allclose(result.to_numpy(), full.T @ full, atol=1e-10)
+
+
+class TestPreparedScriptServingReuse:
+    """Reuse across repeated PreparedScript.execute: the serving hot path."""
+
+    SCRIPT = """
+    norm = sum(t(B) %*% B)
+    yhat = (X %*% B) / sqrt(norm)
+    """
+
+    def _prepared(self):
+        from repro.api.jmlc import PreparedScript
+
+        cfg = ReproConfig(enable_lineage=True, reuse_policy="full")
+        return PreparedScript(self.SCRIPT, inputs=["X", "B"],
+                              outputs=["yhat"], config=cfg)
+
+    def test_model_side_subdag_reused_as_data_changes(self):
+        ps = self._prepared()
+        rng = np.random.default_rng(8)
+        model = rng.random((6, 1))
+        hits = [ps.reuse_cache.stats["hits_full"]]
+        for _ in range(4):
+            batch = rng.random((5, 6))
+            out = ps.execute(X=batch, B=model).matrix("yhat")
+            expected = batch @ model / np.sqrt(float((model.T @ model)[0, 0]))
+            np.testing.assert_allclose(out, expected, atol=1e-12)
+            hits.append(ps.reuse_cache.stats["hits_full"])
+        # first call only fills the cache; every later call hits the
+        # weights-only tsmm even though X changed
+        assert hits[1] == hits[0]
+        for before, after in zip(hits[1:], hits[2:]):
+            assert after > before
+
+    def test_new_model_object_misses(self):
+        ps = self._prepared()
+        rng = np.random.default_rng(9)
+        batch = rng.random((5, 6))
+        ps.execute(X=batch, B=rng.random((6, 1)))
+        hits = ps.reuse_cache.stats["hits_full"]
+        # a *different* weights object must not inherit the cached sub-DAG
+        ps.execute(X=batch, B=rng.random((6, 1)))
+        assert ps.reuse_cache.stats["hits_full"] == hits

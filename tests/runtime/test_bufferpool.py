@@ -96,6 +96,60 @@ class TestEviction:
         assert pool.num_entries == 0
         assert pool.used == 0
 
+    def test_scan_short_circuits_when_all_pinned(self, pool):
+        a = pool.put("a", 600, pinned=True)
+        pool.put("b", 600, pinned=True)  # over budget, nothing evictable
+        scans = pool.stats["evict_scans"]
+        for _ in range(5):
+            pool.put("c", 0, pinned=True)  # over-budget puts, still no scan
+        assert pool.stats["evict_scans"] == scans == 0
+        pool.unpin(a)  # now one entry is evictable: the scan runs
+        assert pool.stats["evict_scans"] == 1
+        assert not pool._entries[a].in_memory
+
+    def test_put_pinned_never_evicted(self, pool):
+        a = pool.put("weights", 600, pinned=True)
+        pool.put("b", 600)
+        pool.put("c", 600)
+        assert pool._entries[a].in_memory
+        pool.unpin(a)
+
+    def test_evictable_accounting_through_lifecycle(self, pool):
+        a = pool.put("a", 100)
+        assert pool._evictable == 1
+        pool.pin(a)
+        assert pool._evictable == 0
+        pool.unpin(a)
+        assert pool._evictable == 1
+        pool.free(a)
+        assert pool._evictable == 0
+
+
+class TestClose:
+    def test_close_removes_spill_dir(self, tmp_path):
+        spill = tmp_path / "spill"
+        pool = BufferPool(budget=1000, spill_dir=str(spill))
+        a = pool.put("a" * 100, 600)
+        pool.put("b", 600)  # evicts a into the spill dir
+        assert spill.exists()
+        pool.close()
+        assert pool.num_entries == 0
+        assert not spill.exists()
+
+    def test_close_without_spill_is_fine(self, tmp_path):
+        pool = BufferPool(budget=1000, spill_dir=str(tmp_path / "never"))
+        pool.put("a", 10)
+        pool.close()
+        pool.close()  # idempotent
+
+    def test_close_leaves_shared_dir_with_foreign_files(self, tmp_path):
+        pool = BufferPool(budget=1000, spill_dir=str(tmp_path))
+        other = tmp_path / "someone-elses-spill.bin"
+        other.write_bytes(b"keep me")
+        pool.put("a", 10)
+        pool.close()
+        assert other.exists()  # a shared spill dir is never clobbered
+
 
 class TestIntegrationWithExecution:
     def test_script_runs_under_tiny_bufferpool(self):

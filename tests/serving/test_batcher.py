@@ -1,0 +1,131 @@
+"""Unit tests for the bounded admission queue + micro-batcher."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceOverloadedError, ServingError
+from repro.serving.batcher import MicroBatcher
+
+
+class FakeRequest:
+    __slots__ = ("model",)
+
+    def __init__(self, model="m@v1"):
+        self.model = model
+
+
+class TestAdmission:
+    def test_offer_take_roundtrip(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=0.0)
+        request = FakeRequest()
+        batcher.offer(request)
+        model, batch = batcher.take(timeout=0.1)
+        assert model == "m@v1"
+        assert batch == [request]
+
+    def test_bounded_queue_rejects(self):
+        batcher = MicroBatcher(queue_limit=2, max_wait_ms=0.0)
+        batcher.offer(FakeRequest())
+        batcher.offer(FakeRequest())
+        with pytest.raises(ServiceOverloadedError, match="full"):
+            batcher.offer(FakeRequest())
+        assert batcher.depth == 2
+
+    def test_take_timeout_on_empty(self):
+        batcher = MicroBatcher(max_wait_ms=0.0)
+        start = time.monotonic()
+        assert batcher.take(timeout=0.02) is None
+        assert time.monotonic() - start < 1.0
+
+    def test_offer_after_close_rejected(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        with pytest.raises(ServingError, match="closed"):
+            batcher.offer(FakeRequest())
+
+
+class TestCoalescing:
+    def test_batch_caps_at_max_size(self):
+        batcher = MicroBatcher(max_batch_size=3, max_wait_ms=0.0)
+        for _ in range(5):
+            batcher.offer(FakeRequest())
+        __, first = batcher.take(timeout=0.1)
+        assert len(first) == 3
+        batcher.done("m@v1")
+        __, second = batcher.take(timeout=0.1)
+        assert len(second) == 2
+
+    def test_batches_never_mix_models(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=0.0)
+        batcher.offer(FakeRequest("a@v1"))
+        batcher.offer(FakeRequest("b@v1"))
+        batcher.offer(FakeRequest("a@v1"))
+        model, batch = batcher.take(timeout=0.1)
+        assert model == "a@v1"
+        assert all(request.model == "a@v1" for request in batch)
+        assert len(batch) == 2
+
+    def test_linger_collects_stragglers(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=200.0)
+        batcher.offer(FakeRequest())
+
+        def straggler():
+            time.sleep(0.02)
+            batcher.offer(FakeRequest())
+
+        thread = threading.Thread(target=straggler)
+        thread.start()
+        __, batch = batcher.take(timeout=0.5)
+        thread.join()
+        assert len(batch) == 2
+
+
+class TestConcurrencyLimits:
+    def test_limit_blocks_further_takes(self):
+        limits = {"m@v1": 1}
+        batcher = MicroBatcher(max_batch_size=1, max_wait_ms=0.0,
+                               limit_of=limits.get)
+        batcher.offer(FakeRequest())
+        batcher.offer(FakeRequest())
+        taken = batcher.take(timeout=0.05)
+        assert taken is not None
+        # the model is at its limit: the second request must wait
+        assert batcher.take(timeout=0.05) is None
+        batcher.done("m@v1")
+        assert batcher.take(timeout=0.05) is not None
+
+    def test_other_models_proceed_when_one_is_capped(self):
+        limits = {"a@v1": 1}
+        batcher = MicroBatcher(max_batch_size=1, max_wait_ms=0.0,
+                               limit_of=limits.get)
+        batcher.offer(FakeRequest("a@v1"))
+        batcher.offer(FakeRequest("a@v1"))
+        batcher.offer(FakeRequest("b@v1"))
+        first_model, __ = batcher.take(timeout=0.05)
+        assert first_model == "a@v1"
+        second_model, __ = batcher.take(timeout=0.05)
+        assert second_model == "b@v1"
+
+
+class TestShutdown:
+    def test_close_returns_leftovers_and_wakes_takers(self):
+        batcher = MicroBatcher(max_wait_ms=0.0)
+        batcher.offer(FakeRequest())
+        taken = []
+
+        def taker():
+            taken.append(batcher.take(timeout=5.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        time.sleep(0.02)
+        leftovers = batcher.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        # the pending request went either to the taker or to the leftovers
+        delivered = len(leftovers) + sum(
+            len(batch) for item in taken if item for __, batch in [item]
+        )
+        assert delivered == 1

@@ -1,0 +1,79 @@
+"""Unit tests for the serving metrics aggregation."""
+
+import threading
+
+from repro.serving.metrics import ServingMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile(samples, 50) == 50
+        assert percentile(samples, 95) == 95
+        assert percentile(samples, 99) == 99
+        assert percentile(samples, 100) == 100
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+
+class TestSnapshot:
+    def test_counters_and_histogram(self):
+        metrics = ServingMetrics()
+        metrics.record_submitted("m@v1")
+        metrics.record_submitted("m@v1")
+        metrics.record_batch("m@v1", 2)
+        metrics.record_completed("m@v1", 0.010)
+        metrics.record_completed("m@v1", 0.030)
+        metrics.record_rejected("m@v1")
+        metrics.record_timeout("m@v1")
+        snap = metrics.snapshot()
+        model = snap["models"]["m@v1"]
+        assert model["submitted"] == 2
+        assert model["completed"] == 2
+        assert model["rejected"] == 1
+        assert model["timeouts"] == 1
+        assert model["batch_sizes"] == {2: 1}
+        assert model["latency_ms"]["p50"] == 10.0
+        assert model["latency_ms"]["max"] == 30.0
+
+    def test_queue_depth_probe(self):
+        metrics = ServingMetrics()
+        metrics.depth_probe = lambda: 17
+        assert metrics.snapshot()["queue_depth"] == 17
+
+    def test_reuse_probe_included(self):
+        metrics = ServingMetrics()
+        metrics.record_submitted("m@v1")
+        metrics.attach_reuse_probe("m@v1", lambda: {"hit_rate": 0.5})
+        assert metrics.snapshot()["models"]["m@v1"]["reuse"] == {"hit_rate": 0.5}
+
+    def test_latency_window_bounded(self):
+        metrics = ServingMetrics(window=8)
+        for i in range(100):
+            metrics.record_completed("m@v1", float(i))
+        snap = metrics.snapshot()["models"]["m@v1"]
+        # only the last 8 samples survive: 92..99
+        assert snap["latency_ms"]["p50"] == 95 * 1e3
+
+    def test_concurrent_recording(self):
+        metrics = ServingMetrics()
+
+        def hammer():
+            for _ in range(500):
+                metrics.record_submitted("m@v1")
+                metrics.record_completed("m@v1", 0.001)
+                metrics.record_batch("m@v1", 4)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = metrics.snapshot()["models"]["m@v1"]
+        assert snap["submitted"] == 4000
+        assert snap["completed"] == 4000
+        assert snap["batch_sizes"][4] == 4000

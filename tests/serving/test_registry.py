@@ -1,0 +1,130 @@
+"""Unit tests for the model registry: versioning, pinned weights, scoring."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.errors import ServingError, UnknownModelError
+from repro.serving.registry import ModelRegistry
+
+SCRIPT = "yhat = X %*% B"
+
+
+@pytest.fixture
+def registry():
+    reg = ModelRegistry()
+    yield reg
+    reg.close()
+
+
+class TestRegistration:
+    def test_register_and_get_latest(self, registry):
+        weights = np.ones((4, 1))
+        model = registry.register("lm", SCRIPT, weights={"B": weights})
+        assert model.version == 1
+        assert registry.get("lm") is model
+        assert registry.models() == ["lm"]
+
+    def test_versions_increment(self, registry):
+        registry.register("lm", SCRIPT, weights={"B": np.ones((4, 1))})
+        v2 = registry.register("lm", SCRIPT, weights={"B": np.full((4, 1), 2.0)})
+        assert v2.version == 2
+        assert registry.versions("lm") == [1, 2]
+        assert registry.get("lm") is v2  # latest wins
+        assert registry.get("lm", version=1).version == 1
+
+    def test_duplicate_version_rejected(self, registry):
+        registry.register("lm", SCRIPT, weights={"B": np.ones((2, 1))}, version=3)
+        with pytest.raises(ServingError, match="already registered"):
+            registry.register("lm", SCRIPT, weights={"B": np.ones((2, 1))}, version=3)
+
+    def test_unknown_model_rejected(self, registry):
+        with pytest.raises(UnknownModelError, match="no model"):
+            registry.get("nope")
+        registry.register("lm", SCRIPT, weights={"B": np.ones((2, 1))})
+        with pytest.raises(UnknownModelError, match="version"):
+            registry.get("lm", version=9)
+
+    def test_weight_name_collision_rejected(self, registry):
+        with pytest.raises(ServingError, match="collides"):
+            registry.register("lm", SCRIPT, weights={"X": np.ones((2, 1))})
+
+    def test_unregister_frees_and_forgets(self, registry):
+        registry.register("lm", SCRIPT, weights={"B": np.ones((2, 1))})
+        entries_before = registry.pool.num_entries
+        assert entries_before > 0
+        registry.unregister("lm")
+        assert registry.pool.num_entries < entries_before
+        with pytest.raises(UnknownModelError):
+            registry.get("lm")
+
+
+class TestPinnedWeights:
+    def test_weights_pinned_in_pool(self, registry):
+        model = registry.register("lm", SCRIPT, weights={"B": np.ones((4, 1))})
+        weight = model.weights["B"]
+        entry = registry.pool._entries[weight._entry_id]
+        assert entry.pin_count == 1
+
+    def test_weights_survive_memory_pressure(self):
+        # pool budget so small that every request's intermediates must evict
+        config = ReproConfig(
+            enable_lineage=True, reuse_policy="full",
+            memory_budget=200_000, bufferpool_fraction=0.5,
+        )
+        registry = ModelRegistry(config)
+        try:
+            rng = np.random.default_rng(0)
+            model = registry.register(
+                "lm", SCRIPT, weights={"B": rng.random((64, 1))}
+            )
+            weight = model.weights["B"]
+            for _ in range(5):
+                batch = rng.random((200, 64))
+                scores = model.score_batch(batch)
+                np.testing.assert_allclose(
+                    scores, batch @ weight.acquire_local().to_numpy()
+                )
+            entry = registry.pool._entries[weight._entry_id]
+            assert entry.in_memory  # never evicted, despite the tiny budget
+        finally:
+            registry.close()
+
+
+class TestScoring:
+    def test_score_batch_correct(self, registry):
+        rng = np.random.default_rng(1)
+        weights = rng.random((6, 1))
+        model = registry.register("lm", SCRIPT, weights={"B": weights})
+        batch = rng.random((10, 6))
+        np.testing.assert_allclose(model.score_batch(batch), batch @ weights)
+
+    def test_score_batch_releases_intermediates(self, registry):
+        model = registry.register("lm", SCRIPT, weights={"B": np.ones((4, 1))})
+        baseline = registry.pool.num_entries
+        for _ in range(10):
+            model.score_batch(np.ones((3, 4)))
+        # request-scoped entries were returned to the pool; only the pinned
+        # weights (plus nothing else) persist
+        assert registry.pool.num_entries == baseline
+
+    def test_reuse_snapshot_exposed(self, registry):
+        model = registry.register(
+            "lm", "norm = sum(t(B) %*% B)\nyhat = (X %*% B) / sqrt(norm)",
+            weights={"B": np.ones((4, 1))},
+        )
+        model.score_batch(np.ones((2, 4)))
+        model.score_batch(np.zeros((2, 4)))
+        snap = model.reuse_snapshot()
+        assert snap["probes"] > 0
+        assert snap["hits_full"] > 0  # the weights-only tsmm reused
+        assert 0.0 <= snap["hit_rate"] <= 1.0
+
+    def test_close_removes_spill_dir(self, tmp_path):
+        config = ReproConfig(spill_dir=str(tmp_path / "spill"))
+        registry = ModelRegistry(
+            config.copy(enable_lineage=True, reuse_policy="full")
+        )
+        registry.register("lm", SCRIPT, weights={"B": np.ones((2, 1))})
+        registry.close()
+        assert not (tmp_path / "spill").exists()
