@@ -9,6 +9,8 @@ The public API surface is intentionally small:
 * :class:`ReproConfig` — compiler/runtime configuration.
 * :class:`ModelRegistry` / :class:`ScoringService` — the concurrent
   model-scoring subsystem (deployment/serving stage).
+* :mod:`repro.obs` — the unified runtime statistics layer
+  (``repro-dml --stats``, ``MLContext.set_stats``).
 * The tensor data model (:class:`BasicTensorBlock`, :class:`DataTensorBlock`,
   :class:`Frame`).
 
@@ -56,4 +58,8 @@ def __getattr__(name):
         from repro.serving import ModelRegistry, ScoringService
 
         return {"ModelRegistry": ModelRegistry, "ScoringService": ScoringService}[name]
+    if name == "obs":
+        import repro.obs as obs
+
+        return obs
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -49,6 +49,7 @@ class PreparedScript:
         config: Optional[ReproConfig] = None,
         reuse_cache: Optional[ReuseCache] = None,
         pool: Optional[BufferPool] = None,
+        stats=None,
     ):
         self.source = source
         self.input_names = list(inputs)
@@ -56,8 +57,8 @@ class PreparedScript:
         self.config = config or default_config()
         # unknown input sizes at prepare time: blocks flagged for dynamic
         # recompilation adapt to each call's actual shapes
-        stats: Dict[str, VarStats] = {}
-        self.program = compile_script(source, self.config, stats, self.output_names)
+        var_stats: Dict[str, VarStats] = {}
+        self.program = compile_script(source, self.config, var_stats, self.output_names)
         self._reuse = reuse_cache
         if self._reuse is None and self.config.reuse_enabled:
             self._reuse = ReuseCache(
@@ -66,6 +67,13 @@ class PreparedScript:
         # shared buffer pool for all executions (serving); None means each
         # execution context creates its own private pool
         self._pool = pool
+        # one stats registry for all executions of this prepared script:
+        # concurrent serving workers fold into the same heavy-hitter table
+        self._stats = stats
+        if self._stats is None and self.config.enable_stats:
+            from repro.obs import StatsRegistry
+
+            self._stats = StatsRegistry()
         # slot -> (anchor, guid): the anchor is a weakref to the bound object
         # (or the object itself when it is not weak-referenceable), so a
         # recycled id() of a dead object can never inherit the old guid
@@ -75,6 +83,24 @@ class PreparedScript:
     @property
     def reuse_cache(self) -> Optional[ReuseCache]:
         return self._reuse
+
+    def stats(self):
+        """The script's :class:`repro.obs.StatsRegistry` (None when off).
+
+        Enable by preparing with ``config.enable_stats`` or an explicit
+        ``stats=StatsRegistry()``; all ``execute`` calls — including
+        concurrent serving workers — aggregate into it.
+        """
+        return self._stats
+
+    def set_stats(self, registry) -> "PreparedScript":
+        """Attach a stats registry (or ``None`` to detach) after preparing.
+
+        Subsequent ``execute`` calls record into it; in-flight executions
+        keep whatever registry they started with.
+        """
+        self._stats = registry
+        return self
 
     def _slot_guid(self, name: str, value) -> int:
         with self._guid_lock:
@@ -101,7 +127,7 @@ class PreparedScript:
             raise RuntimeDMLError(f"unexpected prepared-script inputs: {unexpected}")
         ctx = ExecutionContext(
             self.program, self.config, pool=self._pool, reuse=self._reuse,
-            print_handler=lambda text: None,
+            print_handler=lambda text: None, stats=self._stats,
         )
         for name in self.input_names:
             raw = bindings[name]

@@ -108,10 +108,32 @@ class MLContext:
             self._reuse = ReuseCache(
                 self.config.reuse_cache_size, self.config.partial_reuse_enabled
             )
+        self._stats = None
+        if self.config.enable_stats:
+            self.set_stats(True)
 
     @property
     def reuse_cache(self) -> Optional[ReuseCache]:
         return self._reuse
+
+    def set_stats(self, enabled: bool = True) -> "MLContext":
+        """Toggle unified runtime statistics (SystemDS ``setStatistics``).
+
+        When enabled, every subsequent :meth:`execute` profiles per
+        instruction into one session-scoped :class:`repro.obs.StatsRegistry`;
+        read it via :meth:`stats`.
+        """
+        if enabled and self._stats is None:
+            from repro.obs import StatsRegistry
+
+            self._stats = StatsRegistry()
+        elif not enabled:
+            self._stats = None
+        return self
+
+    def stats(self):
+        """The session's :class:`repro.obs.StatsRegistry` (None when off)."""
+        return self._stats
 
     def execute(
         self,
@@ -127,7 +149,8 @@ class MLContext:
         program = compile_script(script, self.config, stats, outputs)
         handler = (lambda text: None) if capture_prints else None
         ctx = ExecutionContext(
-            program, self.config, reuse=self._reuse, print_handler=handler
+            program, self.config, reuse=self._reuse, print_handler=handler,
+            stats=self._stats,
         )
         for name, value in bound.items():
             ctx.set(name, value)

@@ -60,7 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--args", nargs="*", metavar="NAME=VALUE",
                         help="scalar input bindings")
     parser.add_argument("--stats", action="store_true",
-                        help="print runtime statistics after execution")
+                        help="print unified runtime statistics (heavy-hitter "
+                             "instructions + per-subsystem sections)")
+    parser.add_argument("--stats-top-k", type=int, default=10,
+                        help="rows of the heavy-hitter table (default 10)")
+    parser.add_argument("--stats-json", metavar="PATH", default=None,
+                        help="also write the stats snapshot as JSON")
     parser.add_argument("--explain", action="store_true",
                         help="print the compiled runtime program")
     parser.add_argument("--lineage", action="store_true",
@@ -112,6 +117,9 @@ def main(argv=None) -> int:
     if args.lineage or args.reuse != "none":
         overrides["enable_lineage"] = True
         overrides["reuse_policy"] = args.reuse
+    if args.stats:
+        overrides["enable_stats"] = True
+        overrides["stats_top_k"] = max(args.stats_top_k, 1)
     if args.no_rewrites:
         overrides["enable_rewrites"] = False
         overrides["enable_cse"] = False
@@ -144,9 +152,18 @@ def main(argv=None) -> int:
         return 1
     elapsed = time.time() - start
     if args.stats:
+        from repro import obs
+
+        registry = ml.stats()
+        obs.attach_federated(registry)  # default worker registry, if used
         print(f"-- execution time: {elapsed:.3f}s", file=sys.stderr)
         for key, value in sorted(results.metrics.items()):
             print(f"-- {key}: {value}", file=sys.stderr)
+        print(registry.report(top_k=config.stats_top_k), file=sys.stderr)
+        if args.stats_json:
+            snapshot = registry.snapshot(config.stats_top_k)
+            with open(args.stats_json, "w", encoding="utf-8") as out:
+                out.write(obs.render_json(snapshot))
     return 0
 
 

@@ -64,6 +64,13 @@ class ReproConfig:
     #: Budget (bytes) of the lineage reuse cache.
     reuse_cache_size: int = 512 * 1024**2
 
+    # --- observability --------------------------------------------------------
+    #: Per-instruction profiling + unified stats (``repro-dml --stats``).
+    #: Off by default: the interpreter keeps a zero-overhead fast path.
+    enable_stats: bool = False
+    #: Rows of the heavy-hitter instruction table in stats reports.
+    stats_top_k: int = 10
+
     # --- kernels --------------------------------------------------------------
     #: When False, dense matrix multiplies use the blocked pure-Python-driven
     #: kernel that models SystemDS' Java matmult; when True they call the

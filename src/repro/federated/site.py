@@ -47,10 +47,12 @@ class FederatedSite:
             self._constraints[name] = constraint or PrivacyConstraint()
 
     def has(self, name: str) -> bool:
-        return name in self._data
+        with self._lock:
+            return name in self._data
 
     def constraint(self, name: str) -> PrivacyConstraint:
-        entry = self._constraints.get(name)
+        with self._lock:
+            entry = self._constraints.get(name)
         if entry is None:
             raise FederatedError(f"site {self.address}: unknown tensor {name!r}")
         return entry
@@ -70,13 +72,17 @@ class FederatedSite:
     # --- request protocol ---------------------------------------------------------
 
     def fetch(self, name: str) -> BasicTensorBlock:
-        """Ship the raw hosted tensor (checked against its constraint)."""
+        """Ship a copy of the hosted tensor (checked against its constraint).
+
+        The copy models the serialisation boundary of a real transfer:
+        callers can never mutate the tensor the site keeps hosting.
+        """
         with self._lock:
             block = self._require(name)
             self.constraint(name).check_raw_transfer(name)
             self.metrics["requests"] += 1
             self.metrics["bytes_sent"] += block.memory_size()
-            return block
+            return block.copy()
 
     def execute_local(
         self,

@@ -115,8 +115,7 @@ class ReuseCache:
         k = input_block.num_cols
         if not 0 < ka < k:
             return None
-        with self._lock:
-            self.stats["hits_partial"] += 1
+        self._count_partial_hit()
         x = input_block.to_numpy() if not input_block.is_sparse else input_block.to_scipy()
         if input_block.is_sparse:
             delta = np.asarray(x[:, ka:].todense())
@@ -152,8 +151,7 @@ class ReuseCache:
         k = left_block.num_cols
         if not 0 < ka < k:
             return None
-        with self._lock:
-            self.stats["hits_partial"] += 1
+        self._count_partial_hit()
         if left_block.is_sparse:
             delta = left_block.to_scipy()[:, ka:]
             thin = np.asarray((delta.T @ right_block.to_numpy()))
@@ -162,6 +160,17 @@ class ReuseCache:
             thin = delta.T @ right_block.to_numpy()
         out = np.vstack([cached.to_numpy(), thin])
         return BasicTensorBlock.from_numpy(out)
+
+    def _count_partial_hit(self) -> None:
+        """Reclassify the preceding full-probe miss as a partial hit.
+
+        Partial probes run only after :meth:`probe` already counted the
+        same lookup as a miss; without the decrement, ``misses`` overcounts
+        and ``hit_rate`` in :meth:`snapshot` is skewed low.
+        """
+        with self._lock:
+            self.stats["hits_partial"] += 1
+            self.stats["misses"] = max(self.stats["misses"] - 1, 0)
 
     def _probe_quiet(self, item: LineageItem):
         # called from partial-reuse probes that run outside probe()'s lock

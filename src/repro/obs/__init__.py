@@ -1,0 +1,64 @@
+"""``repro.obs`` — unified runtime statistics (SystemDS ``-stats``).
+
+A :class:`StatsRegistry` aggregates counters, nested-scope timers, and
+per-instruction heavy-hitter profiles; section probes fold in the metric
+dicts of the buffer pool, reuse cache, simulated Spark context, federated
+sites, and the serving layer, so one ``snapshot()``/``report()`` shows
+every layer of the system at once.
+
+Module-level ``snapshot()``/``report()`` operate on the process-wide
+default registry for ad-hoc use::
+
+    from repro import obs
+    with obs.default_registry().time("train"):
+        ...
+    print(obs.report())
+"""
+
+from repro.obs.registry import (
+    CANONICAL_SECTIONS,
+    InstructionStat,
+    StatsRegistry,
+    Timer,
+    default_registry,
+)
+from repro.obs.report import (
+    attach_federated,
+    attach_pool,
+    attach_reuse,
+    attach_serving,
+    attach_spark,
+    observe_context,
+    render_heavy_hitters,
+    render_json,
+    render_report,
+)
+
+__all__ = [
+    "CANONICAL_SECTIONS",
+    "InstructionStat",
+    "StatsRegistry",
+    "Timer",
+    "default_registry",
+    "snapshot",
+    "report",
+    "attach_pool",
+    "attach_reuse",
+    "attach_spark",
+    "attach_federated",
+    "attach_serving",
+    "observe_context",
+    "render_heavy_hitters",
+    "render_report",
+    "render_json",
+]
+
+
+def snapshot(top_k: int = 10) -> dict:
+    """Snapshot of the process-wide default registry."""
+    return default_registry().snapshot(top_k)
+
+
+def report(top_k: int = 10) -> str:
+    """Text report of the process-wide default registry."""
+    return default_registry().report(top_k)

@@ -1,0 +1,228 @@
+"""Process-wide runtime statistics registry (SystemDS ``-stats`` model).
+
+One :class:`StatsRegistry` collects three kinds of data:
+
+* **counters** — monotonically increasing named integers (cheap,
+  thread-safe increments on hot paths);
+* **timers** — named wall-time accumulators fed by the nested-scope
+  :class:`Timer` context manager (``with stats.time("compile"):``); scope
+  names nest (``compile/parse``) via a per-thread stack, mirroring the
+  phase breakdown of SystemDS' ``-stats`` header;
+* **instruction records** — per-opcode execution count, total wall time,
+  and output bytes, from which :meth:`StatsRegistry.heavy_hitters`
+  derives the top-K table the paper prints for Figure-5-style runs.
+
+Subsystems with their own ad-hoc metric dicts (buffer pool, reuse cache,
+simulated Spark, federated sites, serving) are folded in through
+*section probes*: ``attach(name, probe)`` registers a zero-argument
+callable whose dict result appears under ``snapshot()[name]``.  Probes
+are called at snapshot time, so sections are never stale.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+#: Section names every snapshot carries, probe attached or not.  Keeping
+#: the set fixed lets ``report()`` always print the same section skeleton.
+CANONICAL_SECTIONS = ("bufferpool", "reuse", "spark", "federated", "serving")
+
+
+class InstructionStat:
+    """Accumulated cost of one opcode (guarded by the registry lock)."""
+
+    __slots__ = ("opcode", "count", "total_s", "bytes_out", "max_s")
+
+    def __init__(self, opcode: str):
+        self.opcode = opcode
+        self.count = 0
+        self.total_s = 0.0
+        self.bytes_out = 0
+        self.max_s = 0.0
+
+    def as_dict(self) -> dict:
+        mean_ms = (self.total_s / self.count) * 1e3 if self.count else 0.0
+        return {
+            "opcode": self.opcode,
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_ms": mean_ms,
+            "max_ms": self.max_s * 1e3,
+            "bytes": self.bytes_out,
+        }
+
+
+class Timer:
+    """Nested-scope wall timer; records into the registry on exit.
+
+    Scopes stack per thread: a ``Timer("b")`` entered while ``Timer("a")``
+    is active records under ``a/b``.  Re-entrant use of one Timer object
+    is not supported — ask the registry for a fresh scope each time.
+    """
+
+    __slots__ = ("_registry", "_name", "_full", "_start")
+
+    def __init__(self, registry: "StatsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._full: Optional[str] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        stack = self._registry._scope_stack()
+        stack.append(self._name)
+        self._full = "/".join(stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        stack = self._registry._scope_stack()
+        if stack and stack[-1] == self._name:
+            stack.pop()
+        self._registry._record_timer(self._full or self._name, elapsed)
+
+
+class StatsRegistry:
+    """Thread-safe counters, timers, and per-instruction profiles."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, List[float]] = {}  # name -> [count, total_s]
+        self._instructions: Dict[str, InstructionStat] = {}
+        self._probes: Dict[str, Callable[[], dict]] = {}
+        self._local = threading.local()
+        self._created = time.perf_counter()
+
+    # --- counters -----------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter (thread-safe, hot-path cheap)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # --- timers -------------------------------------------------------------
+
+    def time(self, name: str) -> Timer:
+        """A nested-scope timer context manager for a named phase."""
+        return Timer(self, name)
+
+    def _scope_stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record_timer(self, name: str, elapsed: float) -> None:
+        with self._lock:
+            cell = self._timers.get(name)
+            if cell is None:
+                cell = self._timers[name] = [0, 0.0]
+            cell[0] += 1
+            cell[1] += elapsed
+
+    def timer_total(self, name: str) -> float:
+        with self._lock:
+            cell = self._timers.get(name)
+            return cell[1] if cell else 0.0
+
+    # --- per-instruction profiling -----------------------------------------
+
+    def record_instruction(self, opcode: str, elapsed_s: float,
+                           bytes_out: int = 0) -> None:
+        """Fold one instruction execution into its opcode's accumulator."""
+        with self._lock:
+            stat = self._instructions.get(opcode)
+            if stat is None:
+                stat = self._instructions[opcode] = InstructionStat(opcode)
+            stat.count += 1
+            stat.total_s += elapsed_s
+            stat.bytes_out += bytes_out
+            if elapsed_s > stat.max_s:
+                stat.max_s = elapsed_s
+
+    def heavy_hitters(self, k: int = 10) -> List[dict]:
+        """Top-k opcodes by total wall time (the SystemDS -stats table)."""
+        with self._lock:
+            stats = sorted(
+                self._instructions.values(),
+                key=lambda s: s.total_s,
+                reverse=True,
+            )[: max(k, 0)]
+            return [s.as_dict() for s in stats]
+
+    # --- section probes -----------------------------------------------------
+
+    def attach(self, section: str, probe: Callable[[], dict]) -> None:
+        """Register (or replace) the probe feeding one snapshot section."""
+        with self._lock:
+            self._probes[section] = probe
+
+    def detach(self, section: str) -> None:
+        with self._lock:
+            self._probes.pop(section, None)
+
+    # --- snapshot / report --------------------------------------------------
+
+    def snapshot(self, top_k: int = 10) -> dict:
+        """One consistent, JSON-serialisable view of every layer's stats."""
+        with self._lock:
+            counters = dict(self._counters)
+            timers = {
+                name: {"count": cell[0], "total_s": cell[1]}
+                for name, cell in self._timers.items()
+            }
+            probes = dict(self._probes)
+            elapsed = time.perf_counter() - self._created
+        result = {
+            "elapsed_s": elapsed,
+            "counters": counters,
+            "timers": timers,
+            "instructions": self.heavy_hitters(top_k),
+        }
+        for section in CANONICAL_SECTIONS:
+            result[section] = {}
+        for section, probe in probes.items():
+            try:
+                result[section] = probe() or {}
+            except Exception as exc:  # pragma: no cover - defensive
+                result[section] = {"error": repr(exc)}
+        return result
+
+    def report(self, top_k: int = 10) -> str:
+        """The SystemDS-style text report of :meth:`snapshot`."""
+        from repro.obs.report import render_report
+
+        return render_report(self.snapshot(top_k), top_k=top_k)
+
+    def reset(self) -> None:
+        """Zero all counters/timers/instruction records (probes survive)."""
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._instructions.clear()
+            self._created = time.perf_counter()
+
+
+# ---------------------------------------------------------------------------
+# process-wide default registry
+# ---------------------------------------------------------------------------
+
+_GLOBAL: Optional[StatsRegistry] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def default_registry() -> StatsRegistry:
+    """The process-wide registry (created on first use)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is None:
+            _GLOBAL = StatsRegistry()
+        return _GLOBAL

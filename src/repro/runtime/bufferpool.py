@@ -92,6 +92,15 @@ class BufferPool:
             self.stats["gets"] += 1
             if not entry.in_memory:
                 self._restore(entry)
+                payload = entry.payload
+                # restoring added entry.size back to _used: without an
+                # eviction pass, repeated gets of evicted entries push the
+                # pool arbitrarily over budget until the next put.  The
+                # restored entry was just touched (MRU), so the LRU scan
+                # only takes it when nothing else is evictable.
+                self._touch(entry)
+                self._evict_if_needed()
+                return payload
             self._touch(entry)
             return entry.payload
 

@@ -30,6 +30,7 @@ class ExecutionContext:
         reuse: Optional[ReuseCache] = None,
         print_handler: Optional[Callable[[str], None]] = None,
         metrics: Optional[Dict[str, float]] = None,
+        stats=None,
     ):
         self.program = program
         self.config = config
@@ -40,6 +41,17 @@ class ExecutionContext:
         if reuse is None and config.reuse_enabled:
             reuse = ReuseCache(config.reuse_cache_size, config.partial_reuse_enabled)
         self.reuse = reuse
+        if stats is None and config.enable_stats:
+            from repro.obs import StatsRegistry
+
+            stats = StatsRegistry()
+        #: Optional :class:`repro.obs.StatsRegistry`; None keeps the
+        #: interpreter on its unprofiled fast path.
+        self.stats = stats
+        if stats is not None:
+            from repro.obs import observe_context
+
+            observe_context(stats, self)
         self.variables: Dict[str, object] = {}
         self.prints: List[str] = []
         self.print_handler = print_handler
@@ -138,6 +150,7 @@ class ExecutionContext:
             reuse=self.reuse,
             print_handler=self.print_handler,
             metrics=self.metrics,
+            stats=self.stats,
         )
         frame.prints = self.prints  # shared output stream
         frame._seed_state = self._next_seed_state()

@@ -65,6 +65,11 @@ class Instruction:
         self.output = output
         self.params = dict(params or {})
 
+    @property
+    def stat_key(self) -> str:
+        """Profiling key of this instruction (``cp.ba+*``, ``spark.tsmm``)."""
+        return f"{self.exec_type.value}.{self.opcode}"
+
     # --- operand resolution ------------------------------------------------------
 
     def _resolve(self, operand: Operand, ctx):

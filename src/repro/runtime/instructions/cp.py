@@ -628,6 +628,9 @@ class ReadInstruction(Instruction):
             for name, operand in zip(self.params.get("names", []), self.inputs[1:])
         }
         result = readers.read_any(path, named, ctx.config)
+        if ctx.stats is not None:
+            ctx.stats.count("persistent_reads")
+            ctx.stats.count("bytes_read", int(result.memory_size()))
         if isinstance(result, Frame):
             self.bind_frame(ctx, result)
         else:
@@ -734,9 +737,16 @@ class FunctionCallInstruction(Instruction):
         arg_items = None
         if ctx.tracer is not None:
             arg_items = [ctx.tracer.operand_item(operand) for operand in self.inputs]
-        results, items = call_function(
-            ctx, self.params["func"], args, self.params["arg_names"], arg_items
-        )
+        if ctx.stats is not None:
+            # nested scope: recursive calls stack as fcall:f/fcall:g
+            with ctx.stats.time(f"fcall:{self.params['func']}"):
+                results, items = call_function(
+                    ctx, self.params["func"], args, self.params["arg_names"], arg_items
+                )
+        else:
+            results, items = call_function(
+                ctx, self.params["func"], args, self.params["arg_names"], arg_items
+            )
         for name, value, item in zip(self.params["outputs"], results, items):
             ctx.set(name, value)
             if ctx.tracer is not None and item is not None:

@@ -32,6 +32,9 @@ class SparkInstruction(Instruction):
         sizes = block_sizes_for(block.ndim, ctx.config.block_size)
         blocked = BlockedTensor.from_local(block, ctx.spark(), sizes)
         matrix.rdd = blocked  # remember the distributed view
+        if ctx.stats is not None:
+            ctx.stats.count("sp_parallelize")
+            ctx.stats.count("sp_parallelize_bytes", int(block.memory_size()))
         return blocked
 
     def bind_blocked(self, ctx, blocked: BlockedTensor) -> None:
@@ -67,6 +70,8 @@ class BinarySPInstruction(SparkInstruction):
                 result_block = local_ops.binary_op(
                     self.opcode, a.collect_local(), b.collect_local()
                 )
+                if ctx.stats is not None:
+                    ctx.stats.count("sp_local_fallbacks")
                 self.bind_block(ctx, result_block)
                 return
             if a.block_sizes != b.block_sizes:
@@ -129,6 +134,9 @@ class MatMultSPInstruction(SparkInstruction):
             blocked = self.blocked_in(0, ctx)
             result = dist_ops.mapmm(blocked, right.acquire_local(ctx.collect),
                                     ctx.config.native_blas)
+            if ctx.stats is not None:
+                ctx.stats.count("sp_broadcast_mapmm")
+                ctx.stats.count("sp_broadcast_bytes", int(right_size))
             self.bind_blocked(ctx, result)
             return
         a = self.blocked_in(0, ctx)

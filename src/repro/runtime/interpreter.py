@@ -9,6 +9,7 @@ reuse-cache probing wrap every instruction execution.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from repro.compiler.blocks import (
@@ -119,17 +120,43 @@ def eval_predicate(block: PredicateBlock, ctx: ExecutionContext) -> ScalarObject
 
 
 def execute_instruction(instruction: Instruction, ctx: ExecutionContext) -> None:
-    """Run one instruction with lineage tracing and reuse-cache probing."""
+    """Run one instruction with lineage tracing and reuse-cache probing.
+
+    With a stats registry attached the execution is wall-timed and folded
+    into the per-opcode heavy-hitter profile; without one, the unprofiled
+    fast path below runs with a single extra attribute check.
+    """
+    stats = ctx.stats
+    if stats is None:
+        _execute_instruction_inner(instruction, ctx)
+        return
+    start = time.perf_counter()
+    reused = _execute_instruction_inner(instruction, ctx)
+    elapsed = time.perf_counter() - start
+    bytes_out = 0
+    if instruction.output is not None:
+        value = ctx.get_or_none(instruction.output)
+        size_of = getattr(value, "memory_size", None)
+        if size_of is not None:
+            bytes_out = int(size_of())
+    stats.record_instruction(instruction.stat_key, elapsed, bytes_out)
+    if reused:
+        stats.count("lineage_reuse_hits")
+
+
+def _execute_instruction_inner(instruction: Instruction, ctx: ExecutionContext) -> bool:
+    """Core execute; True when the result came from the reuse cache."""
     ctx.metrics["instructions"] += 1
     tracer = ctx.tracer
     if tracer is not None and ctx.reuse is not None and instruction.reusable:
         if _try_reuse(instruction, ctx):
-            return
+            return True
     instruction.execute(ctx)
     if tracer is not None and not _self_traced(instruction):
         tracer.trace(instruction)
     if tracer is not None and ctx.reuse is not None and instruction.reusable:
         _cache_result(instruction, ctx)
+    return False
 
 
 def _self_traced(instruction: Instruction) -> bool:

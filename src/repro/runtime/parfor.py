@@ -210,7 +210,10 @@ def _merge_results(ctx, result_vars: Set[str], snapshots, workers) -> None:
                     f"{initial.shape} -> {candidate.shape}"
                 )
             data = candidate.to_numpy()
-            changed = data != base
+            # NaN-aware merge-with-compare: NaN != NaN is True, so a plain
+            # comparison would treat every untouched NaN cell as "changed"
+            # and let a later worker overwrite an earlier worker's write.
+            changed = (data != base) & ~(np.isnan(data) & np.isnan(base))
             merged = np.where(changed, data, merged)
             if worker.tracer is not None:
                 item = worker.tracer.get(name)

@@ -120,6 +120,12 @@ class MicroBatcher:
                 if remaining <= 0:
                     return None
                 self._cond.wait(remaining)
+            # Reserve the model's concurrency slot *before* draining and
+            # lingering: the linger wait below releases the lock, and a
+            # second worker must see this model at capacity rather than
+            # take its next requests concurrently (per-model limits and
+            # FIFO ordering would both break otherwise).
+            self._running[model] += 1
             batch = self._drain(model, self.max_batch_size)
             if self.max_wait > 0 and len(batch) < self.max_batch_size \
                     and not self._closed:
@@ -135,7 +141,6 @@ class MicroBatcher:
                     )
                     if self._closed:
                         break
-            self._running[model] += 1
             return model, batch
 
     def done(self, model: str) -> None:

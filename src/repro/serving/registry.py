@@ -113,6 +113,7 @@ class ModelRegistry:
         self.pool = BufferPool(config.bufferpool_budget, config.resolve_spill_dir())
         self._models: Dict[str, Dict[int, ServableModel]] = {}
         self._lock = threading.RLock()
+        self._stats = None
 
     def register(
         self,
@@ -138,7 +139,7 @@ class ModelRegistry:
         inputs = [data_input] + list(weights)
         script = PreparedScript(
             source, inputs=inputs, outputs=[output],
-            config=self.config, pool=self.pool,
+            config=self.config, pool=self.pool, stats=self._stats,
         )
         pinned = {
             wname: _to_weight_object(value, self.pool)
@@ -173,6 +174,18 @@ class ModelRegistry:
     def models(self) -> Sequence[str]:
         with self._lock:
             return sorted(self._models)
+
+    def set_stats(self, registry) -> None:
+        """Route instruction profiling of all models into ``registry``.
+
+        Applies to already-registered scripts and to future ``register``
+        calls, so serving workers fold into one heavy-hitter table.
+        """
+        with self._lock:
+            self._stats = registry
+            for versions in self._models.values():
+                for model in versions.values():
+                    model.script.set_stats(registry)
 
     def versions(self, name: str) -> Sequence[int]:
         with self._lock:

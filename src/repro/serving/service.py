@@ -189,6 +189,22 @@ class ScoringService:
         """Live metrics: latency percentiles, queue depth, batches, reuse."""
         return self.metrics.snapshot()
 
+    def attach_stats(self, stats_registry) -> "ScoringService":
+        """Fold this service into a :class:`repro.obs.StatsRegistry`.
+
+        Wires the ``serving`` section to the live metrics snapshot, the
+        ``bufferpool`` section to the model registry's shared pool, and
+        routes per-instruction profiling of every model's prepared script
+        into the registry, so one ``obs.report()`` shows the scoring layer
+        next to the runtime heavy hitters.
+        """
+        from repro.obs import attach_pool, attach_serving
+
+        attach_serving(stats_registry, self.metrics)
+        attach_pool(stats_registry, self.registry.pool)
+        self.registry.set_stats(stats_registry)
+        return self
+
     # --- workers ------------------------------------------------------------
 
     def _worker_loop(self) -> None:

@@ -1,5 +1,8 @@
 """Tests for the federated backend: sites, tensors, push-down, privacy."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -205,3 +208,56 @@ class TestDMLIntegration:
                 source, inputs={"R1": np.asarray([[0.0, 0.0, 5.0, 5.0]])},
                 outputs=["s"],
             )
+
+
+class TestSiteConcurrencyAndIsolation:
+    def test_fetch_returns_a_defensive_copy(self, registry):
+        """Regression: fetch() returned the hosted block itself, so a
+        caller mutating the "transferred" tensor corrupted the site."""
+        site = registry.start_site("host1:9001")
+        original = np.arange(12, dtype=float).reshape(3, 4)
+        site.put("X", BasicTensorBlock.from_numpy(original.copy()))
+        fetched = site.fetch("X")
+        fetched.to_numpy()[:] = -1.0
+        hosted = site.fetch("X").to_numpy()
+        np.testing.assert_array_equal(hosted, original)
+
+    def test_has_and_constraint_are_locked_and_consistent(self, registry):
+        site = registry.start_site("host1:9002")
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            index = 0
+            while not stop.is_set():
+                site.put(f"T{index % 8}", BasicTensorBlock.from_numpy(np.ones((2, 2))))
+                index += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for index in range(8):
+                        name = f"T{index}"
+                        if site.has(name):
+                            constraint = site.constraint(name)
+                            assert constraint is not None
+            except FederatedError:
+                pass  # name vanished between has() and constraint(): fine
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for __ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.15)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=2.0)
+        assert errors == []
+
+    def test_constraint_unknown_name_raises(self, registry):
+        site = registry.start_site("host1:9003")
+        with pytest.raises(FederatedError, match="unknown tensor"):
+            site.constraint("missing")

@@ -167,6 +167,43 @@ class TestPartialReuse:
         out_item = LineageItem("tsmm", [LineageItem("cbind", [input_item("A", 1), input_item("d", 2)])])
         assert cache.probe_partial_tsmm(out_item, BasicTensorBlock.from_numpy(np.ones((4, 3)))) is None
 
+    def test_partial_hit_reclassifies_the_probe_miss(self):
+        """Regression: a partial hit bumped hits_partial after probe() had
+        already counted the same lookup as a miss, so misses overcounted
+        and snapshot()'s hit_rate came out skewed low."""
+        cache = ReuseCache(1 << 20, allow_partial=True)
+        rng = np.random.default_rng(5)
+        a = rng.random((30, 4))
+        d = rng.random((30, 1))
+        item_a, item_d = input_item("A", 1), input_item("d", 2)
+        cache.put(LineageItem("tsmm", [item_a]),
+                  BasicTensorBlock.from_numpy(a.T @ a), 128)
+        out_item = LineageItem("tsmm", [LineageItem("cbind", [item_a, item_d])])
+        # the interpreter's probe order: full probe (miss) then partial
+        assert cache.probe(out_item) is None
+        combined = BasicTensorBlock.from_numpy(np.hstack([a, d]))
+        assert cache.probe_partial_tsmm(out_item, combined) is not None
+        snap = cache.snapshot()
+        assert snap["probes"] == 1
+        assert snap["hits_partial"] == 1
+        assert snap["misses"] == 0, "the partial hit must reclassify the miss"
+        assert snap["hit_rate"] == pytest.approx(1.0)
+        # accounting invariant: every probe is a hit or a miss, never both
+        assert snap["hits_full"] + snap["hits_partial"] + snap["misses"] \
+            == snap["probes"]
+
+    def test_steplm_hit_rate_is_consistent(self):
+        ml = _ml("full_partial", parallelism=2)
+        rng = np.random.default_rng(11)
+        x = rng.random((60, 4))
+        y = x[:, [1]] + 0.01 * rng.standard_normal((60, 1))
+        ml.execute("[B, S] = steplm(X, y)", inputs={"X": x, "y": y},
+                   outputs=["B", "S"])
+        snap = ml.reuse_cache.snapshot()
+        assert snap["hits_partial"] > 0
+        assert snap["hits_full"] + snap["hits_partial"] + snap["misses"] \
+            == snap["probes"]
+
     def test_steplm_uses_partial_reuse(self):
         ml = _ml("full_partial", parallelism=2)
         rng = np.random.default_rng(7)

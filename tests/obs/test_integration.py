@@ -1,0 +1,206 @@
+"""End-to-end tests: obs wired through the interpreter, APIs, CLI, serving."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.jmlc import PreparedScript
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.obs import StatsRegistry
+
+
+class TestInterpreterProfiling:
+    def test_instructions_profiled_with_bytes(self):
+        ml = MLContext(ReproConfig(enable_stats=True))
+        x = np.random.default_rng(0).random((40, 6))
+        ml.execute("B = t(X) %*% X\ns = sum(B)", inputs={"X": x},
+                   outputs=["B", "s"])
+        snap = ml.stats().snapshot()
+        opcodes = {h["opcode"]: h for h in snap["instructions"]}
+        assert "cp.tsmm" in opcodes
+        assert opcodes["cp.tsmm"]["count"] == 1
+        assert opcodes["cp.tsmm"]["bytes"] == 6 * 6 * 8
+        assert snap["bufferpool"]["puts"] >= 1
+
+    def test_disabled_stats_leave_no_registry(self):
+        ml = MLContext(ReproConfig())
+        result = ml.execute("x = 1 + 1", outputs=["x"])
+        assert ml.stats() is None
+        assert result._ctx.stats is None
+
+    def test_set_stats_toggles(self):
+        ml = MLContext(ReproConfig())
+        assert ml.stats() is None
+        ml.set_stats(True)
+        ml.execute("x = 1 + 1\ny = x * 3", outputs=["y"])
+        assert ml.stats().snapshot()["instructions"]
+        ml.set_stats(False)
+        assert ml.stats() is None
+
+    def test_session_registry_aggregates_across_executes(self):
+        ml = MLContext(ReproConfig()).set_stats(True)
+        for __ in range(3):
+            # a matrix input defeats constant folding: cp.+ really executes
+            ml.execute("x = X + 1", inputs={"X": np.ones((2, 2))},
+                       outputs=["x"])
+        opcodes = {h["opcode"]: h for h in ml.stats().snapshot()["instructions"]}
+        assert opcodes["cp.+"]["count"] == 3
+
+    def test_fcall_timer_scopes(self):
+        # IPA off: the tiny function must stay a real fcall, not inline
+        ml = MLContext(ReproConfig(enable_stats=True, enable_ipa=False))
+        source = """
+        f = function(Double a) return (Double b) { b = a * 2 }
+        y = f(21)
+        """
+        ml.execute(source, outputs=["y"])
+        timers = ml.stats().snapshot()["timers"]
+        assert any(name.startswith("fcall:") for name in timers)
+
+    def test_reuse_section_and_hit_counter(self):
+        ml = MLContext(ReproConfig(enable_lineage=True, reuse_policy="full",
+                                   enable_stats=True))
+        x = np.random.default_rng(1).random((30, 4))
+        for __ in range(2):
+            ml.execute("B = t(X) %*% X", inputs={"X": x}, outputs=["B"])
+        snap = ml.stats().snapshot()
+        assert snap["reuse"]["probes"] >= 1
+        assert snap["reuse"]["hits_full"] + snap["reuse"]["misses"] \
+            + snap["reuse"]["hits_partial"] == snap["reuse"]["probes"]
+
+
+class TestPreparedScriptStats:
+    def test_stats_accessor_default_off(self):
+        ps = PreparedScript("yhat = X %*% B", inputs=["X", "B"],
+                            outputs=["yhat"])
+        assert ps.stats() is None
+
+    def test_stats_aggregate_across_concurrent_executes(self):
+        ps = PreparedScript(
+            "yhat = X %*% B", inputs=["X", "B"], outputs=["yhat"],
+            config=ReproConfig(enable_stats=True),
+        )
+        weights = np.ones((5, 1))
+        errors = []
+
+        def caller():
+            try:
+                for __ in range(5):
+                    out = ps.execute(X=np.ones((2, 5)), B=weights)
+                    np.testing.assert_allclose(out.matrix("yhat"), 5.0)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        opcodes = {h["opcode"]: h
+                   for h in ps.stats().snapshot()["instructions"]}
+        matmults = [h for key, h in opcodes.items()
+                    if key in ("cp.mm", "cp.ba+*", "cp.mapmm")]
+        assert sum(h["count"] for h in matmults) == 4 * 5
+
+    def test_explicit_registry_shared(self):
+        registry = StatsRegistry()
+        ps = PreparedScript("y = X * 2", inputs=["X"], outputs=["y"],
+                            stats=registry)
+        ps.execute(X=np.ones((2, 2)))
+        assert ps.stats() is registry
+        assert registry.snapshot()["instructions"]
+
+
+class TestServingStats:
+    def test_attach_stats_folds_serving_and_pool(self):
+        from repro.serving import ModelRegistry, ScoringService
+
+        registry = ModelRegistry()
+        try:
+            registry.register(
+                "lin", "yhat = X %*% B", weights={"B": np.ones((3, 1))},
+            )
+            stats = StatsRegistry()
+            with ScoringService(registry, workers=2).attach_stats(stats) as service:
+                out = service.score("lin", np.ones((1, 3)))
+                np.testing.assert_allclose(out, 3.0)
+                snap = stats.snapshot()
+                assert "lin@v1" in snap["serving"]["models"]
+                assert snap["serving"]["models"]["lin@v1"]["completed"] == 1
+                assert snap["bufferpool"]["puts"] >= 1
+                # worker-thread executions profile into the same table
+                assert snap["instructions"]
+        finally:
+            registry.close()
+
+
+class TestCliStats:
+    def test_stats_prints_heavy_hitters_and_sections(self, tmp_path, capsys):
+        from repro.cli import main
+
+        script = tmp_path / "s.dml"
+        script.write_text("X = rand(rows=20, cols=3, seed=1)\n"
+                          "B = t(X) %*% X\n"
+                          "print(sum(B))\n")
+        rc = main([str(script), "--stats"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "Heavy hitter instructions" in err
+        assert "cp.tsmm" in err
+        for title in ("Buffer pool", "Lineage reuse cache",
+                      "Distributed backend", "Federated sites", "Serving"):
+            assert title in err
+
+    def test_stats_json_written(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        script = tmp_path / "s.dml"
+        script.write_text("x = 1 + 1\nprint(x)\n")
+        out = tmp_path / "stats.json"
+        rc = main([str(script), "--stats", "--stats-json", str(out)])
+        assert rc == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["instructions"]
+        assert "bufferpool" in snapshot
+
+    def test_stats_off_skips_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        script = tmp_path / "s.dml"
+        script.write_text("x = 1\nprint(x)\n")
+        rc = main([str(script)])
+        assert rc == 0
+        assert "Heavy hitter" not in capsys.readouterr().err
+
+
+class TestOverhead:
+    def test_disabled_stats_overhead_is_small(self):
+        """The steplm bench with stats disabled must stay within 5% of the
+        pre-obs fast path; proxied here by comparing two disabled runs and
+        asserting the profiled hook adds nothing when ctx.stats is None."""
+        import time as _time
+
+        rng = np.random.default_rng(3)
+        x = rng.random((120, 6))
+        y = x[:, [0]] + 0.01 * rng.standard_normal((120, 1))
+        source = "[B, S] = steplm(X, y)"
+
+        def run(config):
+            ml = MLContext(config)
+            ml.execute(source, inputs={"X": x, "y": y}, outputs=["B", "S"])
+            start = _time.perf_counter()
+            for __ in range(3):
+                ml.execute(source, inputs={"X": x, "y": y}, outputs=["B", "S"])
+            return _time.perf_counter() - start
+
+        disabled = run(ReproConfig(parallelism=2))
+        enabled = run(ReproConfig(parallelism=2, enable_stats=True))
+        # sanity only: enabled profiling must not be catastrophically slower
+        # (the <5% disabled-overhead criterion is bench-level; see
+        # benchmarks/bench_obs_overhead.py)
+        assert enabled < disabled * 3 + 0.5

@@ -1,0 +1,148 @@
+"""Unit tests for the StatsRegistry: counters, timers, heavy hitters."""
+
+import threading
+import time
+
+from repro.obs import CANONICAL_SECTIONS, StatsRegistry, default_registry
+from repro.obs.report import render_heavy_hitters, render_json, render_report
+
+
+class TestCounters:
+    def test_count_and_read(self):
+        stats = StatsRegistry()
+        stats.count("x")
+        stats.count("x", 4)
+        assert stats.counter("x") == 5
+        assert stats.counter("unknown") == 0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        stats = StatsRegistry()
+
+        def hammer():
+            for __ in range(2000):
+                stats.count("hits")
+
+        threads = [threading.Thread(target=hammer) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.counter("hits") == 8 * 2000
+
+
+class TestTimers:
+    def test_timer_records_elapsed(self):
+        stats = StatsRegistry()
+        with stats.time("phase"):
+            time.sleep(0.01)
+        assert stats.timer_total("phase") >= 0.009
+        assert stats.snapshot()["timers"]["phase"]["count"] == 1
+
+    def test_nested_scopes_join_names(self):
+        stats = StatsRegistry()
+        with stats.time("outer"):
+            with stats.time("inner"):
+                pass
+        timers = stats.snapshot()["timers"]
+        assert "outer" in timers
+        assert "outer/inner" in timers
+
+    def test_scopes_are_per_thread(self):
+        stats = StatsRegistry()
+        seen = []
+
+        def worker():
+            with stats.time("w"):
+                time.sleep(0.005)
+            seen.append(True)
+
+        with stats.time("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        timers = stats.snapshot()["timers"]
+        # the worker's scope must not nest under the main thread's
+        assert "w" in timers
+        assert "main/w" not in timers
+        assert seen == [True]
+
+
+class TestInstructionProfile:
+    def test_heavy_hitters_sorted_by_total_time(self):
+        stats = StatsRegistry()
+        stats.record_instruction("cp.fast", 0.001, bytes_out=10)
+        for __ in range(3):
+            stats.record_instruction("cp.slow", 0.1, bytes_out=100)
+        hitters = stats.heavy_hitters(k=5)
+        assert [h["opcode"] for h in hitters] == ["cp.slow", "cp.fast"]
+        assert hitters[0]["count"] == 3
+        assert hitters[0]["bytes"] == 300
+        assert abs(hitters[0]["mean_ms"] - 100.0) < 1e-9
+
+    def test_top_k_truncates(self):
+        stats = StatsRegistry()
+        for index in range(20):
+            stats.record_instruction(f"cp.op{index}", 0.001 * (index + 1))
+        assert len(stats.heavy_hitters(k=7)) == 7
+
+    def test_reset_clears_everything_but_probes(self):
+        stats = StatsRegistry()
+        stats.count("c")
+        stats.record_instruction("cp.x", 0.1)
+        stats.attach("bufferpool", lambda: {"alive": 1})
+        stats.reset()
+        snap = stats.snapshot()
+        assert snap["counters"] == {}
+        assert snap["instructions"] == []
+        assert snap["bufferpool"] == {"alive": 1}
+
+
+class TestSnapshotAndReport:
+    def test_snapshot_always_has_canonical_sections(self):
+        snap = StatsRegistry().snapshot()
+        for section in CANONICAL_SECTIONS:
+            assert section in snap
+        assert set(("bufferpool", "reuse", "spark", "federated", "serving")) \
+            <= set(snap)
+
+    def test_probes_feed_sections_live(self):
+        stats = StatsRegistry()
+        cell = {"n": 0}
+        stats.attach("reuse", lambda: dict(cell))
+        cell["n"] = 7
+        assert stats.snapshot()["reuse"] == {"n": 7}
+
+    def test_report_renders_all_sections_and_table(self):
+        stats = StatsRegistry()
+        stats.record_instruction("cp.ba+*", 0.25, bytes_out=1 << 20)
+        text = stats.report()
+        assert "Heavy hitter instructions" in text
+        assert "cp.ba+*" in text
+        for title in ("Buffer pool", "Lineage reuse cache",
+                      "Distributed backend", "Federated sites", "Serving"):
+            assert title in text
+
+    def test_empty_table_renders_placeholder(self):
+        text = render_heavy_hitters([])
+        assert "(no instructions executed)" in text
+
+    def test_render_json_roundtrips(self):
+        import json
+
+        stats = StatsRegistry()
+        stats.count("a", 3)
+        parsed = json.loads(render_json(stats.snapshot()))
+        assert parsed["counters"]["a"] == 3
+
+    def test_failing_probe_is_contained(self):
+        stats = StatsRegistry()
+        stats.attach("serving", lambda: 1 / 0)
+        snap = stats.snapshot()
+        assert "error" in snap["serving"]
+        assert "ZeroDivisionError" in snap["serving"]["error"]
+        render_report(snap)  # must not raise
+
+
+class TestDefaultRegistry:
+    def test_process_wide_singleton(self):
+        assert default_registry() is default_registry()

@@ -61,6 +61,26 @@ class TestEviction:
         assert not entry_b.in_memory
         assert pool._entries[a].in_memory
 
+    def test_restore_on_get_stays_within_budget(self, pool):
+        """Regression: get() of an evicted entry restored it without an
+        eviction pass, so repeated gets pushed the pool over budget."""
+        entries = [pool.put(np.full(8, i), 600) for i in range(3)]
+        assert pool.used <= 1000
+        for __ in range(4):  # each round restores an evicted entry
+            for index, entry in enumerate(entries):
+                np.testing.assert_array_equal(pool.get(entry), np.full(8, index))
+                assert pool.used <= 1000, "get() left the pool over budget"
+
+    def test_restore_under_pin_may_exceed_budget(self, pool):
+        # pin() must still restore and hold the payload even when the pool
+        # cannot make room (everything else pinned): correctness over budget
+        a = pool.put("a", 600)
+        b = pool.put("b", 600)  # evicts a
+        pool.pin(b)
+        assert pool.pin(a) == "a"
+        pool.unpin(a)
+        pool.unpin(b)
+
     def test_pinned_entries_not_evicted(self, pool):
         a = pool.put("a", 600)
         pool.pin(a)

@@ -105,6 +105,37 @@ class TestExecution:
         np.testing.assert_array_equal(result.matrix("B"), expected)
 
 
+    def test_merge_preserves_writes_into_nan_seeded_result(self, ml):
+        """Regression: merge-with-compare used ``data != base``, and since
+        NaN != NaN is True, a worker that never touched a NaN cell
+        "changed" it back to NaN — clobbering another worker's real write."""
+        seeded = np.full((2, 6), np.nan)
+        seeded[1, :] = 7.0
+        source = """
+        parfor (i in 1:6, par=3) {
+          B[1, i] = i
+        }
+        s = sum(B[2, ])
+        """
+        result = ml.execute(source, inputs={"B": seeded}, outputs=["B", "s"])
+        out = result.matrix("B")
+        np.testing.assert_array_equal(out[0], [1, 2, 3, 4, 5, 6])
+        np.testing.assert_array_equal(out[1], np.full(6, 7.0))
+        assert result.scalar("s") == pytest.approx(42.0)
+
+    def test_merge_keeps_untouched_nan_cells_nan(self, ml):
+        seeded = np.full((2, 4), np.nan)
+        source = """
+        parfor (i in 1:4, par=2) {
+          B[1, i] = i * 10
+        }
+        """
+        result = ml.execute(source, inputs={"B": seeded}, outputs=["B"])
+        out = result.matrix("B")
+        np.testing.assert_array_equal(out[0], [10, 20, 30, 40])
+        assert np.isnan(out[1]).all()
+
+
 class TestDependencyErrors:
     def test_scalar_accumulation_rejected(self, ml):
         source = """

@@ -109,6 +109,71 @@ class TestConcurrencyLimits:
         assert second_model == "b@v1"
 
 
+    def test_linger_reserves_the_model_before_waiting(self):
+        """Regression: while one worker lingered for stragglers the model's
+        slot was not yet reserved, so a second worker could take the same
+        limit=1 model concurrently (and steal requests out of FIFO order)."""
+        limits = {"m@v1": 1}
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=150.0,
+                               limit_of=limits.get)
+        batcher.offer(FakeRequest("m@v1"))
+        first_take = []
+
+        def lingering_worker():
+            first_take.append(batcher.take(timeout=1.0))
+
+        worker = threading.Thread(target=lingering_worker)
+        worker.start()
+        time.sleep(0.03)  # the worker is now inside its linger wait
+        # a straggler arrives while the first worker lingers
+        batcher.offer(FakeRequest("m@v1"))
+        # a second worker must NOT get the model: it is at its limit
+        stolen = batcher.take(timeout=0.05)
+        worker.join(timeout=2.0)
+        assert stolen is None
+        assert len(first_take) == 1 and first_take[0] is not None
+        model, batch = first_take[0]
+        assert model == "m@v1"
+        # the straggler joined the lingering worker's batch instead
+        assert len(batch) == 2
+
+    def test_two_workers_never_overlap_on_limit_one(self):
+        limits = {"m@v1": 1}
+        batcher = MicroBatcher(max_batch_size=2, max_wait_ms=40.0,
+                               limit_of=limits.get)
+        in_flight = []
+        overlaps = []
+        lock = threading.Lock()
+
+        def worker():
+            for __ in range(10):
+                taken = batcher.take(timeout=0.2)
+                if taken is None:
+                    continue
+                model, batch = taken
+                with lock:
+                    if in_flight:
+                        overlaps.append(model)
+                    in_flight.append(model)
+                time.sleep(0.002)
+                with lock:
+                    in_flight.remove(model)
+                batcher.done(model)
+
+        threads = [threading.Thread(target=worker) for __ in range(2)]
+        for thread in threads:
+            thread.start()
+        for __ in range(20):
+            try:
+                batcher.offer(FakeRequest("m@v1"))
+            except Exception:
+                pass
+            time.sleep(0.005)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert overlaps == []
+
+
 class TestShutdown:
     def test_close_returns_leftovers_and_wakes_takers(self):
         batcher = MicroBatcher(max_wait_ms=0.0)
