@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve-bench micro-batch size cap")
     serving.add_argument("--serve-out", metavar="PATH", default=None,
                          help="write the serve-bench JSON report")
+    resilience = parser.add_argument_group("resilience / fault injection")
+    resilience.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="deterministic fault-injection spec, e.g. "
+             "'site.request:p=0.1;spill.write:fail=2' ('*' = every point); "
+             "implies the tolerance machinery (retries, failover, breaker)")
+    resilience.add_argument("--fault-seed", type=int, default=None,
+                            help="seed of the injection/jitter streams "
+                                 "(default 1234)")
+    resilience.add_argument("--retry-budget", type=int, default=None,
+                            help="retries per request/task/spill after the "
+                                 "first attempt (default 2); enables the "
+                                 "tolerance machinery even without faults")
     return parser
 
 
@@ -124,7 +137,17 @@ def main(argv=None) -> int:
         overrides["enable_rewrites"] = False
         overrides["enable_cse"] = False
         overrides["enable_fusion"] = False
-    config = ReproConfig(**overrides)
+    if args.inject_faults is not None:
+        overrides["fault_spec"] = args.inject_faults
+    if args.fault_seed is not None:
+        overrides["fault_seed"] = args.fault_seed
+    if args.retry_budget is not None:
+        overrides["retry_budget"] = args.retry_budget
+        overrides["enable_resilience"] = True
+    try:
+        config = ReproConfig(**overrides)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     try:
         with open(args.script, "r", encoding="utf-8") as handle:

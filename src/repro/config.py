@@ -71,6 +71,32 @@ class ReproConfig:
     #: Rows of the heavy-hitter instruction table in stats reports.
     stats_top_k: int = 10
 
+    # --- resilience / fault injection -----------------------------------------
+    #: Master switch for the tolerance machinery (retries, backoff, breaker,
+    #: site failover).  Off by default: the interpreter keeps a single
+    #: ``ctx.faults is None`` fast path.  A non-empty ``fault_spec`` implies it.
+    enable_resilience: bool = False
+    #: Deterministic fault-injection spec (``repro-dml --inject-faults``),
+    #: e.g. ``"site.request:p=0.1;spill.write:fail=2"``.  None injects nothing.
+    fault_spec: Optional[str] = None
+    #: Seed of the per-point injection and backoff-jitter streams.
+    fault_seed: int = 1234
+    #: Retries after the first attempt, per request/task/spill.
+    retry_budget: int = 2
+    #: First backoff delay (ms); doubles per retry up to the cap.
+    retry_backoff_ms: float = 10.0
+    retry_backoff_max_ms: float = 200.0
+    #: Deadline for one federated site request (None disables).
+    federated_timeout_s: Optional[float] = 5.0
+    #: Consecutive exhausted requests before a site is blacklisted.
+    blacklist_after: int = 3
+    #: How long a blacklisted site is skipped before being retried.
+    blacklist_cooldown_s: float = 30.0
+    #: Consecutive scoring-batch failures that open a model's breaker.
+    breaker_threshold: int = 5
+    #: Open -> half-open cooldown of the serving circuit breaker.
+    breaker_cooldown_s: float = 10.0
+
     # --- kernels --------------------------------------------------------------
     #: When False, dense matrix multiplies use the blocked pure-Python-driven
     #: kernel that models SystemDS' Java matmult; when True they call the
@@ -96,6 +122,12 @@ class ReproConfig:
             raise ValueError("block_size must be >= 1")
         if self.reuse_policy not in ("none", "full", "full_partial"):
             raise ValueError(f"unknown reuse policy: {self.reuse_policy!r}")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.fault_spec is not None:
+            from repro.resilience.faults import FaultPlan
+
+            FaultPlan.parse(self.fault_spec, seed=self.fault_seed)  # fail fast
 
     @property
     def operator_memory_budget(self) -> int:
@@ -114,6 +146,11 @@ class ReproConfig:
     @property
     def partial_reuse_enabled(self) -> bool:
         return self.enable_lineage and self.reuse_policy == "full_partial"
+
+    @property
+    def resilience_enabled(self) -> bool:
+        """True when contexts should carry a :class:`ResilienceManager`."""
+        return self.enable_resilience or self.fault_spec is not None
 
     def resolve_spill_dir(self) -> str:
         """The spill directory, creating a temporary one on first use."""

@@ -19,6 +19,8 @@ import concurrent.futures
 import threading
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import InjectedFaultError, TaskRetryExhaustedError
+
 
 def _default_size(item) -> int:
     """Rough byte size of one record (for shuffle accounting)."""
@@ -29,11 +31,19 @@ def _default_size(item) -> int:
 
 
 class SimSparkContext:
-    """Scheduler and metrics for one simulated cluster."""
+    """Scheduler and metrics for one simulated cluster.
 
-    def __init__(self, parallelism: int = 4, default_partitions: int = 0):
+    With a :class:`repro.resilience.ResilienceManager` attached, every task
+    gets bounded retries against transient failures (``rdd.task`` injection
+    point) and cached RDDs recompute lost partitions from their lineage
+    (``rdd.cache_loss``); without one, scheduling is a plain direct call.
+    """
+
+    def __init__(self, parallelism: int = 4, default_partitions: int = 0,
+                 resilience=None):
         self.parallelism = max(1, parallelism)
         self.default_partitions = default_partitions or self.parallelism
+        self.resilience = resilience
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._lock = threading.RLock()
         self.metrics = {
@@ -42,6 +52,8 @@ class SimSparkContext:
             "shuffles": 0,
             "records_shuffled": 0,
             "bytes_shuffled": 0,
+            "task_retries": 0,
+            "recomputed_partitions": 0,
         }
 
     def parallelize(self, items: Iterable, num_partitions: int = 0) -> "SimRDD":
@@ -64,10 +76,31 @@ class SimSparkContext:
         with self._lock:
             self.metrics["jobs"] += 1
             self.metrics["tasks"] += len(tasks)
+        run = self._run_resilient if self.resilience is not None else _run_plain
         if len(tasks) == 1:
-            return [tasks[0]()]
+            return [run(tasks[0])]
         executor = self._executor()
-        return list(executor.map(lambda task: task(), tasks))
+        return list(executor.map(run, tasks))
+
+    def _run_resilient(self, task: Callable[[], List]) -> List:
+        """One task with bounded retry (Spark's task-attempt model)."""
+        resilience = self.resilience
+        policy = resilience.retry_policy
+        attempt = 0
+        while True:
+            try:
+                resilience.fire("rdd.task")
+                return task()
+            except (InjectedFaultError, OSError) as exc:
+                if attempt >= policy.max_retries:
+                    raise TaskRetryExhaustedError("rdd.task", attempt + 1) from exc
+                delay = policy.delay_s(attempt, resilience.rng)
+                attempt += 1
+                with self._lock:
+                    self.metrics["task_retries"] += 1
+                resilience.stats.record_retry("task", delay)
+                if resilience.sleep is not None and delay > 0.0:
+                    resilience.sleep(delay)
 
     def account_shuffle(self, records: int, size: int) -> None:
         with self._lock:
@@ -75,11 +108,28 @@ class SimSparkContext:
             self.metrics["records_shuffled"] += records
             self.metrics["bytes_shuffled"] += size
 
-    def shutdown(self) -> None:
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the task pool; by default block until in-flight tasks finish.
+
+        ``wait=False`` reproduces the old fire-and-forget behaviour (leaked
+        in-flight tasks keep running on daemon-less threads); the pool is
+        detached under the lock but joined outside it so concurrent jobs
+        are not blocked behind the join.
+        """
         with self._lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False)
-                self._pool = None
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SimSparkContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _run_plain(task: Callable[[], List]) -> List:
+    return task()
 
 
 class SimRDD:
@@ -97,13 +147,52 @@ class SimRDD:
     # --- materialisation -------------------------------------------------------
 
     def _partitions(self) -> List[List]:
+        """Materialised partitions, from cache when available.
+
+        Upstream materialisation runs *outside* the lock: holding it for
+        the whole computation serialised concurrent actions on the same
+        RDD and could deadlock through nested jobs.  Only the publish of
+        the cached result happens under the lock (first writer wins, so
+        concurrent racers observe one consistent cached value).
+        """
+        with self._lock:
+            cached = self._cached
+        if cached is not None:
+            return self._recover_lost(cached)
+        partitions = self._materialize_fn()
+        if self._cache_requested:
+            with self._lock:
+                if self._cached is None:
+                    self._cached = partitions
+                else:
+                    partitions = self._cached
+        return partitions
+
+    def _recover_lost(self, cached: List[List]) -> List[List]:
+        """Recompute cached partitions lost at the ``rdd.cache_loss`` point.
+
+        Mirrors Spark's lineage-based recovery: a lost partition is rebuilt
+        by re-running this RDD's materialisation (its parent chain), not by
+        failing the job.  Deterministic upstreams therefore yield results
+        identical to a loss-free run.
+        """
+        resilience = self.ctx.resilience
+        if resilience is None or not resilience.active("rdd.cache_loss"):
+            return cached
+        lost = [i for i in range(len(cached)) if resilience.trip("rdd.cache_loss")]
+        if not lost:
+            return cached
+        fresh = self._materialize_fn()
+        repaired = list(cached)
+        for index in lost:
+            repaired[index] = fresh[index]
         with self._lock:
             if self._cached is not None:
-                return self._cached
-            partitions = self._materialize_fn()
-            if self._cache_requested:
-                self._cached = partitions
-            return partitions
+                self._cached = repaired
+        with self.ctx._lock:
+            self.ctx.metrics["recomputed_partitions"] += len(lost)
+        resilience.stats.incr("recomputed_partitions", len(lost))
+        return repaired
 
     def cache(self) -> "SimRDD":
         self._cache_requested = True

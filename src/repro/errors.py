@@ -42,8 +42,60 @@ class BufferPoolError(ReproError):
     """Raised on buffer-pool protocol violations (double free, missing spill)."""
 
 
+class InjectedFaultError(ReproError):
+    """A deterministic fault fired by :mod:`repro.resilience` at an injection
+    point.  Tolerance layers treat it as a transient failure (retryable)."""
+
+    def __init__(self, point: str):
+        self.point = point
+        super().__init__(f"injected fault at {point!r}")
+
+
+class TaskRetryExhaustedError(RuntimeDMLError):
+    """A distributed task kept failing past the per-task retry budget."""
+
+    def __init__(self, point: str, attempts: int):
+        self.point = point
+        self.attempts = attempts
+        super().__init__(
+            f"task failed at injection point {point!r} after {attempts} attempts"
+        )
+
+
+class SpillFailureError(BufferPoolError):
+    """A buffer-pool spill read kept failing past the retry budget."""
+
+    def __init__(self, point: str, entry_id: int):
+        self.point = point
+        self.entry_id = entry_id
+        super().__init__(
+            f"buffer pool entry {entry_id} unrecoverable at injection point "
+            f"{point!r} (retries exhausted)"
+        )
+
+
 class FederatedError(ReproError):
     """Raised by the federated backend (unknown site, range overlap, ...)."""
+
+
+class SiteDownError(FederatedError):
+    """A federated worker is stopped/dead; requests to it cannot be served."""
+
+    def __init__(self, address: str):
+        self.address = address
+        super().__init__(f"federated site {address} is down")
+
+
+class FederatedSiteUnavailableError(FederatedError):
+    """A site request kept failing past retries, blacklisting, and failover."""
+
+    def __init__(self, point: str, address: str):
+        self.point = point
+        self.address = address
+        super().__init__(
+            f"site {address} unavailable at injection point {point!r} "
+            f"(retry budget and failover exhausted)"
+        )
 
 
 class PrivacyError(FederatedError):
@@ -68,3 +120,12 @@ class ServiceOverloadedError(ServingError):
 
 class ScoreTimeoutError(ServingError):
     """Raised when a scoring request misses its deadline."""
+
+
+class ServiceUnavailableError(ServingError):
+    """Raised when a model's circuit breaker is open or load is being shed.
+
+    Unlike :class:`ServiceOverloadedError` (hard queue bound) this is the
+    resilience layer failing fast: the model is known to be erroring, so
+    requests are rejected before they occupy admission-queue slots.
+    """

@@ -28,17 +28,49 @@ def _require_row_partitioned(fed: FederatedTensor, op: str) -> None:
         raise FederatedError(f"{op} requires a row-partitioned federated tensor")
 
 
-def collect_federated(fed: FederatedTensor) -> BasicTensorBlock:
-    """Assemble the full tensor at the master (raw transfer, checked)."""
+def channel_of(ctx):
+    """The context's :class:`~repro.resilience.ResilientChannel`, or None.
+
+    Call sites pass the result as ``channel=``; a None channel keeps every
+    federated operation on the direct, zero-overhead request path.
+    """
+    faults = getattr(ctx, "faults", None)
+    return faults.channel if faults is not None else None
+
+
+def _site_call(channel, site, thunk, fallback=None):
+    """One site request, through the resilient channel when one is given.
+
+    ``thunk(target)`` receives the site actually serving the request so
+    operations that leave results at a site record the live target, not
+    the (possibly failed-over) primary.
+    """
+    if channel is None:
+        return thunk(site)
+    return channel.call(site, "site.request", thunk, fallback=fallback)
+
+
+def collect_federated(fed: FederatedTensor, channel=None) -> BasicTensorBlock:
+    """Assemble the full tensor at the master (raw transfer, checked).
+
+    With a resilient channel, an unreachable partition degrades to zeros
+    (a counted ``degraded_reads``) instead of failing the whole collect.
+    """
     out = np.zeros(fed.shape, dtype=np.float64)
     for part in fed.partitions:
-        block = part.site.fetch(part.tensor_name)
+        block = _site_call(
+            channel, part.site,
+            lambda target, name=part.tensor_name: target.fetch(name),
+            fallback=lambda: None,
+        )
+        if block is None:
+            continue  # degraded read: this partition stays zero
         (r0, c0), (r1, c1) = part.range.begin, part.range.end
         out[r0:r1, c0:c1] = block.to_numpy()
     return BasicTensorBlock.from_numpy(out)
 
 
-def fed_tsmm(fed: FederatedTensor) -> BasicTensorBlock:
+def fed_tsmm(fed: FederatedTensor, channel=None) -> BasicTensorBlock:
     """t(X) %*% X over a row-federated X: sum of per-site local TSMMs.
 
     Only k x k aggregates leave the sites — the federated counterpart of
@@ -47,17 +79,19 @@ def fed_tsmm(fed: FederatedTensor) -> BasicTensorBlock:
     _require_row_partitioned(fed, "federated tsmm")
     total: Optional[np.ndarray] = None
     for part in fed.partitions:
-        result = part.site.execute_and_return(
-            part.tensor_name,
-            local_ops.tsmm,
-            flops=2 * part.range.rows * fed.num_cols**2,
+        result = _site_call(
+            channel, part.site,
+            lambda target, name=part.tensor_name, rows=part.range.rows:
+                target.execute_and_return(
+                    name, local_ops.tsmm, flops=2 * rows * fed.num_cols**2
+                ),
         )
         data = result.to_numpy()
         total = data if total is None else total + data
     return BasicTensorBlock.from_numpy(total)
 
 
-def fed_tmm(fed: FederatedTensor, y: BasicTensorBlock) -> BasicTensorBlock:
+def fed_tmm(fed: FederatedTensor, y: BasicTensorBlock, channel=None) -> BasicTensorBlock:
     """t(X) %*% y: ship each site its y-slice, aggregate k x m results."""
     _require_row_partitioned(fed, "federated tmm")
     if y.num_rows != fed.num_rows:
@@ -67,18 +101,23 @@ def fed_tmm(fed: FederatedTensor, y: BasicTensorBlock) -> BasicTensorBlock:
     for part in fed.partitions:
         r0, r1 = part.range.begin[0], part.range.end[0]
         y_slice = BasicTensorBlock.from_numpy(y_data[r0:r1].copy())
-        result = part.site.execute_and_return(
-            part.tensor_name,
-            lambda block, ys=y_slice: local_ops.mapmm_transpose_left(block, ys),
-            payload_bytes=y_slice.memory_size(),
-            flops=2 * part.range.rows * fed.num_cols * y.num_cols,
+        result = _site_call(
+            channel, part.site,
+            lambda target, name=part.tensor_name, ys=y_slice, rows=part.range.rows:
+                target.execute_and_return(
+                    name,
+                    lambda block, y_part=ys: local_ops.mapmm_transpose_left(block, y_part),
+                    payload_bytes=ys.memory_size(),
+                    flops=2 * rows * fed.num_cols * y.num_cols,
+                ),
         )
         data = result.to_numpy()
         total = data if total is None else total + data
     return BasicTensorBlock.from_numpy(total)
 
 
-def fed_matmult(fed: FederatedTensor, right: BasicTensorBlock) -> FederatedTensor:
+def fed_matmult(fed: FederatedTensor, right: BasicTensorBlock,
+                channel=None) -> FederatedTensor:
     """X %*% B: broadcast B to the sites; per-site results stay federated."""
     _require_row_partitioned(fed, "federated matmult")
     if fed.num_cols != right.num_rows:
@@ -86,17 +125,22 @@ def fed_matmult(fed: FederatedTensor, right: BasicTensorBlock) -> FederatedTenso
     partitions = []
     for part in fed.partitions:
         out_name = f"_fedtmp{next(_TMP_NAMES)}"
-        result = part.site.execute_local(
-            part.tensor_name,
-            lambda block, b=right: local_ops.matmult(block, b),
-            payload_bytes=right.memory_size(),
-            flops=2 * part.range.rows * fed.num_cols * right.num_cols,
-        )
-        part.site.put(out_name, result, part.site.constraint(part.tensor_name))
+
+        def run(target, name=part.tensor_name, out=out_name, rows=part.range.rows):
+            result = target.execute_local(
+                name,
+                lambda block, b=right: local_ops.matmult(block, b),
+                payload_bytes=right.memory_size(),
+                flops=2 * rows * fed.num_cols * right.num_cols,
+            )
+            target.put(out, result, target.constraint(name))
+            return target  # the site now hosting the output partition
+
+        live_site = _site_call(channel, part.site, run)
         r0, r1 = part.range.begin[0], part.range.end[0]
         partitions.append(
             FederatedPartition(
-                part.site, out_name,
+                live_site, out_name,
                 FederatedRange((r0, 0), (r1, right.num_cols)),
             )
         )
@@ -104,22 +148,28 @@ def fed_matmult(fed: FederatedTensor, right: BasicTensorBlock) -> FederatedTenso
 
 
 def fed_elementwise_scalar(op: str, fed: FederatedTensor, scalar: float,
-                           scalar_left: bool = False) -> FederatedTensor:
+                           scalar_left: bool = False, channel=None) -> FederatedTensor:
     """Elementwise op with a scalar: pushed down, results stay at the sites."""
     partitions = []
     for part in fed.partitions:
         out_name = f"_fedtmp{next(_TMP_NAMES)}"
-        result = part.site.execute_local(
-            part.tensor_name,
-            lambda block: local_ops.binary_scalar(op, block, scalar, scalar_left),
-            payload_bytes=8,
-        )
-        part.site.put(out_name, result, part.site.constraint(part.tensor_name))
-        partitions.append(FederatedPartition(part.site, out_name, part.range))
+
+        def run(target, name=part.tensor_name, out=out_name):
+            result = target.execute_local(
+                name,
+                lambda block: local_ops.binary_scalar(op, block, scalar, scalar_left),
+                payload_bytes=8,
+            )
+            target.put(out, result, target.constraint(name))
+            return target
+
+        live_site = _site_call(channel, part.site, run)
+        partitions.append(FederatedPartition(live_site, out_name, part.range))
     return FederatedTensor(partitions)
 
 
-def fed_binary_rowsliced(op: str, fed: FederatedTensor, other: BasicTensorBlock) -> FederatedTensor:
+def fed_binary_rowsliced(op: str, fed: FederatedTensor, other: BasicTensorBlock,
+                         channel=None) -> FederatedTensor:
     """Elementwise op with a local matrix, sliced per partition range."""
     _require_row_partitioned(fed, f"federated {op}")
     data = other.to_numpy()
@@ -130,17 +180,22 @@ def fed_binary_rowsliced(op: str, fed: FederatedTensor, other: BasicTensorBlock)
         piece = data if broadcast_row else data[r0:r1]
         operand = BasicTensorBlock.from_numpy(np.ascontiguousarray(piece))
         out_name = f"_fedtmp{next(_TMP_NAMES)}"
-        result = part.site.execute_local(
-            part.tensor_name,
-            lambda block, o=operand: local_ops.binary_op(op, block, o),
-            payload_bytes=operand.memory_size(),
-        )
-        part.site.put(out_name, result, part.site.constraint(part.tensor_name))
-        partitions.append(FederatedPartition(part.site, out_name, part.range))
+
+        def run(target, name=part.tensor_name, out=out_name, o=operand):
+            result = target.execute_local(
+                name,
+                lambda block, other_part=o: local_ops.binary_op(op, block, other_part),
+                payload_bytes=o.memory_size(),
+            )
+            target.put(out, result, target.constraint(name))
+            return target
+
+        live_site = _site_call(channel, part.site, run)
+        partitions.append(FederatedPartition(live_site, out_name, part.range))
     return FederatedTensor(partitions)
 
 
-def fed_aggregate(op: str, fed: FederatedTensor, direction: Direction):
+def fed_aggregate(op: str, fed: FederatedTensor, direction: Direction, channel=None):
     """sum/min/max/mean aggregates with per-site partials (aggregate-checked)."""
     if direction == Direction.COL or direction == Direction.FULL:
         _require_row_partitioned(fed, f"federated {op}")
@@ -148,9 +203,13 @@ def fed_aggregate(op: str, fed: FederatedTensor, direction: Direction):
         counts = []
         for part in fed.partitions:
             inner = "sum" if op == "mean" else op
-            result = part.site.execute_and_return(
-                part.tensor_name,
-                lambda block, o=inner, d=direction: _local_partial(o, block, d),
+            result = _site_call(
+                channel, part.site,
+                lambda target, name=part.tensor_name, o=inner, d=direction:
+                    target.execute_and_return(
+                        name,
+                        lambda block, oo=o, dd=d: _local_partial(oo, block, dd),
+                    ),
             )
             partials.append(result.to_numpy())
             counts.append(part.range.rows)
@@ -175,9 +234,14 @@ def fed_aggregate(op: str, fed: FederatedTensor, direction: Direction):
     _require_row_partitioned(fed, f"federated {op}")
     out = np.zeros((fed.num_rows, 1))
     for part in fed.partitions:
-        result = part.site.execute_and_return(
-            part.tensor_name,
-            lambda block, o=op: local_ops.aggregate(o if o != "mean" else "mean", block, Direction.ROW),
+        result = _site_call(
+            channel, part.site,
+            lambda target, name=part.tensor_name, o=op: target.execute_and_return(
+                name,
+                lambda block, oo=o: local_ops.aggregate(
+                    oo if oo != "mean" else "mean", block, Direction.ROW
+                ),
+            ),
         )
         r0, r1 = part.range.begin[0], part.range.end[0]
         out[r0:r1] = result.to_numpy()

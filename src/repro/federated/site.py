@@ -11,9 +11,10 @@ the address book (host:port -> site).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, Optional
 
-from repro.errors import FederatedError
+from repro.errors import FederatedError, SiteDownError
 from repro.federated.privacy import PrivacyConstraint, PrivacyLevel
 from repro.tensor import BasicTensorBlock
 from repro.tensor import ops as local_ops
@@ -27,12 +28,34 @@ class FederatedSite:
         self._data: Dict[str, BasicTensorBlock] = {}
         self._constraints: Dict[str, PrivacyConstraint] = {}
         self._lock = threading.RLock()
+        self._down = False
         self.metrics = {
             "requests": 0,
             "bytes_received": 0,
             "bytes_sent": 0,
             "local_flops": 0,
         }
+
+    # --- lifecycle (dead-site modelling for the resilience layer) -----------
+
+    def stop(self) -> None:
+        """Kill the worker: data-plane requests raise :class:`SiteDownError`."""
+        with self._lock:
+            self._down = True
+
+    def start(self) -> None:
+        """Bring a stopped worker back up (hosted data survived)."""
+        with self._lock:
+            self._down = False
+
+    @property
+    def is_down(self) -> bool:
+        with self._lock:
+            return self._down
+
+    def _check_up(self) -> None:
+        if self._down:
+            raise SiteDownError(self.address)
 
     # --- hosting -------------------------------------------------------------
 
@@ -59,6 +82,7 @@ class FederatedSite:
 
     def metadata(self, name: str):
         with self._lock:
+            self._check_up()
             block = self._require(name)
             self.metrics["requests"] += 1
             return {"shape": block.shape, "nnz": block.nnz}
@@ -78,6 +102,7 @@ class FederatedSite:
         callers can never mutate the tensor the site keeps hosting.
         """
         with self._lock:
+            self._check_up()
             block = self._require(name)
             self.constraint(name).check_raw_transfer(name)
             self.metrics["requests"] += 1
@@ -91,13 +116,22 @@ class FederatedSite:
         payload_bytes: int = 0,
         flops: int = 0,
     ) -> BasicTensorBlock:
-        """Run an operation on the hosted tensor; result stays at the site."""
+        """Run an operation on the hosted tensor; result stays at the site.
+
+        The hosted block is snapshotted under the site lock, but the user
+        operation runs *outside* it — a long local computation must not
+        block concurrent ``has``/``metadata``/``fetch`` on the same site.
+        Metrics commit after the operation succeeds.
+        """
         with self._lock:
+            self._check_up()
             block = self._require(name)
+        result = operation(block)
+        with self._lock:
             self.metrics["requests"] += 1
             self.metrics["bytes_received"] += payload_bytes
             self.metrics["local_flops"] += flops
-            return operation(block)
+        return result
 
     def execute_and_return(
         self,
@@ -116,6 +150,7 @@ class FederatedSite:
     def update(self, name: str, block: BasicTensorBlock) -> None:
         """Replace the hosted tensor (e.g. with a locally computed update)."""
         with self._lock:
+            self._check_up()
             if name not in self._data:
                 raise FederatedError(f"site {self.address}: unknown tensor {name!r}")
             self._data[name] = block
@@ -138,6 +173,8 @@ class FederatedWorkerRegistry:
     def __init__(self):
         self._sites: Dict[str, FederatedSite] = {}
         self._lock = threading.RLock()
+        self._unhealthy: Dict[str, float] = {}  # address -> blacklisted-until
+        self._replicas: Dict[str, str] = {}  # primary address -> replica address
 
     @classmethod
     def default(cls) -> "FederatedWorkerRegistry":
@@ -168,6 +205,49 @@ class FederatedWorkerRegistry:
     def clear(self) -> None:
         with self._lock:
             self._sites.clear()
+            self._unhealthy.clear()
+            self._replicas.clear()
+
+    # --- health / failover (used by repro.resilience.ResilientChannel) -------
+
+    def set_replica(self, primary: str, replica: str) -> None:
+        """Declare a failover target: requests to ``primary`` may be served
+        by ``replica`` when the primary is blacklisted or keeps failing."""
+        with self._lock:
+            self._replicas[primary] = replica
+
+    def replica_of(self, address: str) -> Optional[str]:
+        with self._lock:
+            return self._replicas.get(address)
+
+    def mark_unhealthy(self, address: str, until: float) -> None:
+        """Blacklist a site until the given monotonic-clock instant."""
+        with self._lock:
+            self._unhealthy[address] = until
+
+    def is_healthy(self, address: str, now: Optional[float] = None) -> bool:
+        """True unless the site is inside a blacklist cooldown window."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            until = self._unhealthy.get(address)
+            if until is None:
+                return True
+            if now >= until:
+                del self._unhealthy[address]  # cooldown elapsed: rehabilitate
+                return True
+            return False
+
+    def blacklisted(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Currently blacklisted addresses -> remaining cooldown seconds."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            return {
+                address: until - now
+                for address, until in self._unhealthy.items()
+                if until > now
+            }
 
     def total_bytes_transferred(self) -> int:
         with self._lock:

@@ -25,6 +25,7 @@ from repro.obs.registry import (
 from repro.obs.report import (
     attach_federated,
     attach_pool,
+    attach_resilience,
     attach_reuse,
     attach_serving,
     attach_spark,
@@ -46,6 +47,7 @@ __all__ = [
     "attach_reuse",
     "attach_spark",
     "attach_federated",
+    "attach_resilience",
     "attach_serving",
     "observe_context",
     "render_heavy_hitters",

@@ -23,6 +23,7 @@ _SECTION_TITLES = {
     "spark": "Distributed backend (shuffle)",
     "federated": "Federated sites",
     "serving": "Serving",
+    "resilience": "Resilience",
 }
 
 
@@ -93,12 +94,19 @@ def attach_serving(registry: StatsRegistry, metrics) -> None:
     registry.attach("serving", metrics.snapshot)
 
 
+def attach_resilience(registry: StatsRegistry, manager) -> None:
+    """Feed a ``ResilienceManager.snapshot()`` into the ``resilience`` section."""
+    registry.attach("resilience", manager.snapshot)
+
+
 def observe_context(registry: StatsRegistry, ctx) -> None:
     """Attach the standard probes of one execution context's services."""
     attach_pool(registry, ctx.pool)
     if ctx.reuse is not None:
         attach_reuse(registry, ctx.reuse)
     attach_spark(registry, lambda: ctx._spark)
+    if getattr(ctx, "faults", None) is not None:
+        attach_resilience(registry, ctx.faults)
 
 
 # ---------------------------------------------------------------------------
@@ -157,6 +165,23 @@ def _render_serving(section: dict, lines: List[str]) -> None:
         )
 
 
+def _render_resilience(section: dict, lines: List[str]) -> None:
+    scalars = {k: v for k, v in section.items() if not isinstance(v, dict)}
+    lines.append("  " + _kv_line(scalars))
+    injected = section.get("injected_by_point", {})
+    if injected:
+        lines.append(
+            "  injected: "
+            + "  ".join(f"{point}={n}" for point, n in sorted(injected.items()))
+        )
+    breakers = section.get("breakers", {})
+    if breakers:
+        lines.append(
+            "  breakers: "
+            + "  ".join(f"{key}={state}" for key, state in sorted(breakers.items()))
+        )
+
+
 def _render_federated(section: dict, lines: List[str]) -> None:
     totals = section.get("totals", {})
     lines.append("  " + _kv_line(totals))
@@ -189,6 +214,8 @@ def render_report(snapshot: dict, top_k: int = 10) -> str:
             _render_serving(data, lines)
         elif section == "federated":
             _render_federated(data, lines)
+        elif section == "resilience":
+            _render_resilience(data, lines)
         else:
             lines.append("  " + _kv_line(data))
     return "\n".join(lines)

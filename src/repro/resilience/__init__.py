@@ -1,0 +1,44 @@
+"""``repro.resilience`` — deterministic fault injection and fault tolerance.
+
+The subsystem has two halves that meet at *named injection points*:
+
+* **chaos** — :class:`FaultPlan`/:class:`FaultInjector` fire seeded,
+  reproducible failures (probabilistic, fail-N-then-succeed, latency) at
+  the points listed in :data:`KNOWN_POINTS`;
+* **tolerance** — :class:`RetryPolicy` + :func:`call_with_retry`,
+  :class:`CircuitBreaker`, and :class:`ResilientChannel` survive those
+  failures (and their real-world counterparts): distributed tasks retry
+  and lost cached partitions recompute from lineage, federated requests
+  back off / blacklist / fail over, serving trips per-model breakers and
+  sheds load, and buffer-pool spills retry then pin in memory.
+
+Everything is off by default: ``ExecutionContext.faults`` is ``None``
+unless :class:`repro.config.ReproConfig` enables resilience, keeping hot
+paths on a single ``is None`` check (the ``ctx.stats`` pattern).
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.channel import TRANSIENT_ERRORS, ResilientChannel
+from repro.resilience.faults import (
+    KNOWN_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from repro.resilience.manager import ResilienceManager
+from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "KNOWN_POINTS",
+    "TRANSIENT_ERRORS",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "ResilienceManager",
+    "ResilienceStats",
+    "ResilientChannel",
+    "RetryPolicy",
+    "call_with_retry",
+]

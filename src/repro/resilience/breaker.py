@@ -1,0 +1,113 @@
+"""A closed/open/half-open circuit breaker (per-model serving protection).
+
+State machine:
+
+* **closed** — normal operation; consecutive failures count up, a success
+  resets the count, and reaching ``failure_threshold`` opens the circuit;
+* **open** — every ``allow()`` is rejected until ``cooldown_s`` has
+  elapsed, then the breaker moves to half-open;
+* **half-open** — up to ``half_open_probes`` trial calls are admitted;
+  one success closes the circuit, one failure re-opens it.  If a probe is
+  admitted but never reports back (e.g. the request was dropped), a fresh
+  probe is allowed after another cooldown so the breaker cannot wedge.
+
+The clock is injected so tests step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class CircuitBreaker:
+    """Thread-safe three-state breaker with an injectable monotonic clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 10.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_used = 0
+        self._probing_since = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition(self, state: str) -> None:
+        # caller holds self._lock
+        self._state = state
+        if self._on_transition is not None:
+            self._on_transition(state)
+
+    def allow(self) -> bool:
+        """Admit or reject one call; may move open -> half-open on cooldown."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            now = self._clock()
+            if self._state == self.OPEN:
+                if now - self._opened_at < self.cooldown_s:
+                    return False
+                self._transition(self.HALF_OPEN)
+                self._probes_used = 1
+                self._probing_since = now
+                return True
+            # half-open: bounded trial admissions
+            if self._probes_used < self.half_open_probes:
+                self._probes_used += 1
+                return True
+            if now - self._probing_since >= self.cooldown_s:
+                # earlier probes never reported back; allow a fresh one
+                self._probes_used = 1
+                self._probing_since = now
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != self.CLOSED:
+                self._transition(self.CLOSED)
+                self._probes_used = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._transition(self.OPEN)
+                self._opened_at = self._clock()
+                self._probes_used = 0
+                return
+            self._failures += 1
+            if self._state == self.CLOSED and self._failures >= self.failure_threshold:
+                self._transition(self.OPEN)
+                self._opened_at = self._clock()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"state": self._state, "consecutive_failures": self._failures}

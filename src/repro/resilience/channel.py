@@ -1,0 +1,148 @@
+"""Resilient request channel for federated site calls.
+
+Every coordinator-to-site request goes through :meth:`ResilientChannel.call`
+when resilience is enabled: the call is retried with capped exponential
+backoff and jitter on *transient* failures (injected faults, dead sites,
+I/O errors), responses slower than the timeout are treated as failures,
+sites that keep failing are blacklisted in the worker registry for a
+cooldown, and the request fails over to a configured replica site.  When
+every candidate is exhausted, the caller either degrades (reads pass a
+``fallback``) or gets a typed :class:`FederatedSiteUnavailableError`
+naming the injection point — the coordinator never sees a raw crash from
+one flaky worker.
+
+Permanent errors — privacy-constraint violations, unknown tensors — are
+*not* retried or failed over: masking those with degraded data would turn
+a correctness error into silent corruption.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.errors import (
+    FederatedError,
+    FederatedSiteUnavailableError,
+    InjectedFaultError,
+    SiteDownError,
+)
+from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.resilience.stats import ResilienceStats
+
+#: Failures worth retrying/failing over.  ConnectionError and TimeoutError
+#: are OSError subclasses; FederatedError deliberately is NOT here.
+TRANSIENT_ERRORS = (InjectedFaultError, SiteDownError, OSError)
+
+
+class ResilientChannel:
+    """Retry + timeout + blacklist + failover around site requests."""
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        injector=None,
+        stats: Optional[ResilienceStats] = None,
+        registry=None,
+        timeout_s: Optional[float] = 5.0,
+        blacklist_after: int = 3,
+        blacklist_cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Optional[Callable[[float], None]] = time.sleep,
+        rng=None,
+    ):
+        self.policy = policy or RetryPolicy()
+        self.injector = injector
+        self.stats = stats or ResilienceStats()
+        self.timeout_s = timeout_s
+        self.blacklist_after = max(1, int(blacklist_after))
+        self.blacklist_cooldown_s = blacklist_cooldown_s
+        self._registry = registry
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng
+        self._strikes = {}  # address -> consecutive exhausted requests
+
+    def _resolve_registry(self):
+        if self._registry is not None:
+            return self._registry
+        from repro.federated.site import FederatedWorkerRegistry
+
+        return FederatedWorkerRegistry.default()
+
+    def _candidates(self, site, registry) -> List:
+        """The primary site followed by its (transitive) replica chain."""
+        chain = [site]
+        seen = {site.address}
+        address = registry.replica_of(site.address)
+        while address is not None and address not in seen:
+            seen.add(address)
+            try:
+                chain.append(registry.site(address))
+            except FederatedError:
+                break  # replica not started; stop following the chain
+            address = registry.replica_of(address)
+        return chain
+
+    def call(self, site, point: str, thunk: Callable, fallback: Optional[Callable] = None):
+        """Run ``thunk(site)`` resiliently; returns its result.
+
+        ``thunk`` receives the site actually serving the request (the
+        primary or a replica), so operations that leave results at the
+        site can record *where*.  ``fallback`` (when given) is invoked
+        instead of raising once every candidate is exhausted — the
+        degraded-read path.
+        """
+        registry = self._resolve_registry()
+        attempted = 0
+        last_error: Optional[BaseException] = None
+        for target in self._candidates(site, registry):
+            if not registry.is_healthy(target.address, self._clock()):
+                continue  # blacklisted: fail over without burning retries
+            if attempted > 0:
+                self.stats.incr("site_failovers")
+            attempted += 1
+            try:
+                result = self._attempt(target, point, thunk)
+            except TRANSIENT_ERRORS as exc:
+                last_error = exc
+                self._strike(registry, target.address)
+                continue
+            self._strikes.pop(target.address, None)
+            return result
+        if fallback is not None:
+            self.stats.incr("degraded_reads")
+            return fallback()
+        raise FederatedSiteUnavailableError(point, site.address) from last_error
+
+    def _attempt(self, target, point: str, thunk: Callable):
+        """One request against one site: inject, run, check the deadline."""
+
+        def once():
+            start = self._clock()
+            if self.injector is not None:
+                self.injector.fire(point)
+            result = thunk(target)
+            if self.timeout_s is not None and self._clock() - start > self.timeout_s:
+                self.stats.incr("timeouts")
+                raise TimeoutError(
+                    f"{point} on {target.address}: response exceeded "
+                    f"{self.timeout_s}s deadline"
+                )
+            return result
+
+        return call_with_retry(
+            once, self.policy, TRANSIENT_ERRORS,
+            sleep=self._sleep, rng=self._rng, stats=self.stats, kind="site",
+        )
+
+    def _strike(self, registry, address: str) -> None:
+        """Count one exhausted request; blacklist after ``blacklist_after``."""
+        strikes = self._strikes.get(address, 0) + 1
+        self._strikes[address] = strikes
+        if strikes >= self.blacklist_after:
+            registry.mark_unhealthy(
+                address, self._clock() + self.blacklist_cooldown_s
+            )
+            self.stats.incr("sites_blacklisted")
+            self._strikes.pop(address, None)

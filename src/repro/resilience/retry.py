@@ -1,0 +1,78 @@
+"""Bounded retry with capped exponential backoff and deterministic jitter.
+
+The policy is data (how many retries, how the delays grow); the mechanics
+live in :func:`call_with_retry`.  Both take the clock pieces as arguments
+— a ``sleep`` callable and an ``rng`` for jitter — so tests drive them
+with a fake monotonic clock and a seeded RNG instead of real time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a transient failure is retried."""
+
+    #: Retries after the first attempt (total attempts = max_retries + 1).
+    max_retries: int = 2
+    #: First backoff delay; doubles per retry.
+    backoff_ms: float = 10.0
+    #: Cap on a single backoff delay.
+    max_backoff_ms: float = 200.0
+    #: Fraction of each delay randomised downward (0 disables jitter).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_s(self, attempt: int, rng=None) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered via ``rng``.
+
+        The delay lands in ``[base * (1 - jitter), base]`` where ``base``
+        is the capped exponential ``min(backoff * 2^attempt, max_backoff)``
+        — full determinism with a seeded rng, plain cap without one.
+        """
+        base = min(self.backoff_ms * (2.0 ** attempt), self.max_backoff_ms) / 1e3
+        if rng is None or self.jitter <= 0.0 or base <= 0.0:
+            return base
+        return base * (1.0 - self.jitter * rng.random())
+
+
+def call_with_retry(
+    thunk: Callable[[], object],
+    policy: RetryPolicy,
+    retryable: Tuple[type, ...],
+    sleep: Optional[Callable[[float], None]] = time.sleep,
+    rng=None,
+    stats=None,
+    kind: Optional[str] = None,
+):
+    """Run ``thunk``, retrying ``retryable`` failures per ``policy``.
+
+    Non-retryable exceptions propagate immediately; the last retryable
+    error propagates once the budget is exhausted.  ``sleep=None`` retries
+    immediately (used where a lock is held and blocking would stall other
+    threads); retries and backoff time are folded into ``stats``.
+    """
+    attempt = 0
+    while True:
+        try:
+            return thunk()
+        except retryable:
+            if attempt >= policy.max_retries:
+                raise
+            delay = policy.delay_s(attempt, rng) if sleep is not None else 0.0
+            if stats is not None:
+                stats.record_retry(kind, delay)
+            if sleep is not None and delay > 0.0:
+                sleep(delay)
+            attempt += 1

@@ -1,0 +1,87 @@
+"""Thread-safe counters for the resilience layer (obs ``resilience`` section).
+
+One :class:`ResilienceStats` instance is shared by every tolerance
+mechanism of a run — the fault injector, the retry helpers, the federated
+channel, the circuit breakers, and the buffer-pool spill fallback — so a
+single ``snapshot()`` answers "what did the resilience layer do": faults
+injected (total and per point), retries taken (total and per kind), time
+spent backing off, breaker transitions, blacklists, failovers, and
+degraded reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+#: Counters every snapshot carries, recorded or not, so reports and CI
+#: assertions can rely on a stable key set.
+_STANDARD_COUNTERS = (
+    "faults_injected",
+    "retries",
+    "timeouts",
+    "site_retries",
+    "task_retries",
+    "spill_retries",
+    "serve_retries",
+    "recomputed_partitions",
+    "site_failovers",
+    "sites_blacklisted",
+    "degraded_reads",
+    "spill_pin_fallbacks",
+    "shed_requests",
+    "breaker_rejections",
+)
+
+
+class ResilienceStats:
+    """Lock-guarded counters shared by all tolerance mechanisms of a run."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in _STANDARD_COUNTERS}
+        self._by_point: Dict[str, int] = {}
+        self._transitions: Dict[str, int] = {}
+        self._backoff_s = 0.0
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def record_injection(self, point: str) -> None:
+        """One fault fired at ``point`` (called by the injector)."""
+        with self._lock:
+            self._counters["faults_injected"] += 1
+            self._by_point[point] = self._by_point.get(point, 0) + 1
+
+    def record_retry(self, kind: str = None, backoff_s: float = 0.0) -> None:
+        """One retry taken; ``kind`` is site/task/spill/serve (or None)."""
+        with self._lock:
+            self._counters["retries"] += 1
+            if kind is not None:
+                key = f"{kind}_retries"
+                self._counters[key] = self._counters.get(key, 0) + 1
+            self._backoff_s += backoff_s
+
+    def record_transition(self, state: str) -> None:
+        """One circuit-breaker transition into ``state``."""
+        with self._lock:
+            self._transitions[state] = self._transitions.get(state, 0) + 1
+
+    @property
+    def backoff_s(self) -> float:
+        with self._lock:
+            return self._backoff_s
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable view (stable keys; see module docstring)."""
+        with self._lock:
+            result = dict(self._counters)
+            result["backoff_s"] = self._backoff_s
+            result["injected_by_point"] = dict(self._by_point)
+            result["breaker_transitions"] = dict(self._transitions)
+        return result

@@ -19,7 +19,7 @@ import pickle
 import threading
 from typing import Dict, Optional
 
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, InjectedFaultError, SpillFailureError
 
 
 class CacheEntry:
@@ -43,11 +43,16 @@ class CacheEntry:
 class BufferPool:
     """LRU buffer pool with pinning and spill-to-disk eviction."""
 
-    def __init__(self, budget: int, spill_dir: str):
+    def __init__(self, budget: int, spill_dir: str, resilience=None):
         if budget <= 0:
             raise ValueError("buffer pool budget must be positive")
         self.budget = budget
         self.spill_dir = spill_dir
+        #: Optional :class:`repro.resilience.ResilienceManager`.  When set,
+        #: spill writes/reads retry transient I/O failures (``spill.write``
+        #: and ``spill.read`` injection points); writes that stay broken
+        #: fall back to pinning the entry in memory instead of losing it.
+        self.resilience = resilience
         self._entries: Dict[int, CacheEntry] = {}
         self._lru = collections.OrderedDict()  # entry_id -> None, oldest first
         self._ids = itertools.count(1)
@@ -208,12 +213,16 @@ class BufferPool:
 
     def _evict(self, entry: CacheEntry) -> None:
         if entry.dirty or entry.spill_path is None:
-            os.makedirs(self.spill_dir, exist_ok=True)
-            entry.spill_path = os.path.join(
-                self.spill_dir, f"entry-{id(self)}-{entry.entry_id}.bin"
-            )
-            with open(entry.spill_path, "wb") as handle:
-                pickle.dump(entry.payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                self._spill_write(entry)
+            except (InjectedFaultError, OSError):
+                # Write retries exhausted (resilience on): never drop the
+                # payload — pin it in memory so it stops competing for
+                # eviction until the entry is freed or updated.
+                entry.pin_count += 1
+                self._evictable -= 1
+                self.resilience.stats.incr("spill_pin_fallbacks")
+                return
             entry.dirty = False
             self.stats["bytes_spilled"] += entry.size
         entry.payload = None
@@ -222,13 +231,61 @@ class BufferPool:
         self._lru.pop(entry.entry_id, None)
         self.stats["evictions"] += 1
 
+    def _spill_write(self, entry: CacheEntry) -> None:
+        """Serialise a payload to its spill file (``spill.write`` point).
+
+        Retries run with ``sleep=None`` — the pool lock is held, so backoff
+        sleeps here would stall every other pool user.
+        """
+        resilience = self.resilience
+
+        def write_once() -> None:
+            if resilience is not None:
+                resilience.fire("spill.write")
+            os.makedirs(self.spill_dir, exist_ok=True)
+            path = os.path.join(
+                self.spill_dir, f"entry-{id(self)}-{entry.entry_id}.bin"
+            )
+            with open(path, "wb") as handle:
+                pickle.dump(entry.payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            entry.spill_path = path
+
+        if resilience is None:
+            write_once()
+            return
+        from repro.resilience.retry import call_with_retry
+
+        call_with_retry(
+            write_once, resilience.retry_policy, (InjectedFaultError, OSError),
+            sleep=None, stats=resilience.stats, kind="spill",
+        )
+
     def _restore(self, entry: CacheEntry) -> None:
         if entry.spill_path is None or not os.path.exists(entry.spill_path):
             raise BufferPoolError(
                 f"entry {entry.entry_id} evicted without a spill file"
             )
-        with open(entry.spill_path, "rb") as handle:
-            entry.payload = pickle.load(handle)
+        resilience = self.resilience
+
+        def read_once():
+            if resilience is not None:
+                resilience.fire("spill.read")
+            with open(entry.spill_path, "rb") as handle:
+                return pickle.load(handle)
+
+        if resilience is None:
+            entry.payload = read_once()
+        else:
+            from repro.resilience.retry import call_with_retry
+
+            try:
+                entry.payload = call_with_retry(
+                    read_once, resilience.retry_policy,
+                    (InjectedFaultError, OSError),
+                    sleep=None, stats=resilience.stats, kind="spill",
+                )
+            except (InjectedFaultError, OSError) as exc:
+                raise SpillFailureError("spill.read", entry.entry_id) from exc
         self._used += entry.size
         if entry.pin_count == 0:
             self._evictable += 1

@@ -31,10 +31,20 @@ class ExecutionContext:
         print_handler: Optional[Callable[[str], None]] = None,
         metrics: Optional[Dict[str, float]] = None,
         stats=None,
+        faults=None,
     ):
         self.program = program
         self.config = config
-        self.pool = pool or BufferPool(config.bufferpool_budget, config.resolve_spill_dir())
+        if faults is None and config.resilience_enabled:
+            from repro.resilience import ResilienceManager
+
+            faults = ResilienceManager.from_config(config)
+        #: Optional :class:`repro.resilience.ResilienceManager`; None keeps
+        #: every tolerance hook on its zero-overhead fast path.
+        self.faults = faults
+        self.pool = pool or BufferPool(
+            config.bufferpool_budget, config.resolve_spill_dir(), resilience=faults
+        )
         if tracer is None and config.enable_lineage:
             tracer = LineageTracer(dedup=config.enable_lineage_dedup)
         self.tracer = tracer
@@ -71,7 +81,8 @@ class ExecutionContext:
             from repro.distributed.rdd import SimSparkContext
 
             self._spark = SimSparkContext(
-                self.config.parallelism, self.config.default_partitions
+                self.config.parallelism, self.config.default_partitions,
+                resilience=self.faults,
             )
         return self._spark
 
@@ -151,6 +162,7 @@ class ExecutionContext:
             print_handler=self.print_handler,
             metrics=self.metrics,
             stats=self.stats,
+            faults=self.faults,
         )
         frame.prints = self.prints  # shared output stream
         frame._seed_state = self._next_seed_state()
@@ -182,7 +194,8 @@ class ExecutionContext:
         elif matrix.federated is not None:
             from repro.federated.instructions import collect_federated
 
-            block = collect_federated(matrix.federated)
+            channel = self.faults.channel if self.faults is not None else None
+            block = collect_federated(matrix.federated, channel=channel)
         else:
             raise RuntimeDMLError("collect on a local matrix")
         self.metrics["bytes_collected"] += block.memory_size()

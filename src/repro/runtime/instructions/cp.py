@@ -162,18 +162,21 @@ class BinaryInstruction(Instruction):
         """Push the elementwise op to the federated sites."""
         from repro.federated import instructions as fed_ops
 
+        channel = fed_ops.channel_of(ctx)
         if isinstance(right, ScalarObject):
             result = fed_ops.fed_elementwise_scalar(
-                self.opcode, left.federated, right.as_float()
+                self.opcode, left.federated, right.as_float(), channel=channel
             )
         elif isinstance(right, MatrixObject) and right.federated is None:
             result = fed_ops.fed_binary_rowsliced(
-                self.opcode, left.federated, right.acquire_local(ctx.collect)
+                self.opcode, left.federated, right.acquire_local(ctx.collect),
+                channel=channel,
             )
         else:
             # federated op federated: collect the right side (checked)
             result = fed_ops.fed_binary_rowsliced(
-                self.opcode, left.federated, self.block_in(1, ctx)
+                self.opcode, left.federated, self.block_in(1, ctx),
+                channel=channel,
             )
         ctx.set(self.output, MatrixObject.from_federated(result))
 
@@ -318,7 +321,9 @@ class AggregateUnaryInstruction(Instruction):
                 and op in ("sum", "mean", "min", "max"):
             from repro.federated import instructions as fed_ops
 
-            result = fed_ops.fed_aggregate(op, value.federated, direction)
+            result = fed_ops.fed_aggregate(
+                op, value.federated, direction, channel=fed_ops.channel_of(ctx)
+            )
             if direction == Direction.FULL:
                 self.bind_scalar(ctx, float(result))
             else:
@@ -371,15 +376,16 @@ class MatMultInstruction(Instruction):
         from repro.federated import instructions as fed_ops
 
         fed = left_obj.federated
+        channel = fed_ops.channel_of(ctx)
         if self.opcode == "tsmm":
-            self.bind_block(ctx, fed_ops.fed_tsmm(fed))
+            self.bind_block(ctx, fed_ops.fed_tsmm(fed, channel=channel))
             return
         if self.opcode == "tmm":
             right = self.block_in(1, ctx)
-            self.bind_block(ctx, fed_ops.fed_tmm(fed, right))
+            self.bind_block(ctx, fed_ops.fed_tmm(fed, right, channel=channel))
             return
         right = self.block_in(1, ctx)
-        result = fed_ops.fed_matmult(fed, right)
+        result = fed_ops.fed_matmult(fed, right, channel=channel)
         ctx.set(self.output, MatrixObject.from_federated(result))
 
 

@@ -20,7 +20,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ScoreTimeoutError, ServingError
+from repro.errors import (
+    InjectedFaultError,
+    ScoreTimeoutError,
+    ServiceUnavailableError,
+    ServingError,
+)
 from repro.serving.batcher import MicroBatcher
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry, ServableModel
@@ -88,12 +93,19 @@ class ScoringService:
         batching: bool = True,
         default_timeout: Optional[float] = 30.0,
         metrics: Optional[ServingMetrics] = None,
+        resilience=None,
     ):
         if workers < 1:
             raise ServingError("workers must be >= 1")
         self.registry = registry
         self.default_timeout = default_timeout
         self.metrics = metrics or ServingMetrics()
+        #: Optional :class:`repro.resilience.ResilienceManager`.  When set,
+        #: scoring batches retry transient failures (``serve.score`` point),
+        #: each model gets a circuit breaker, and a nearly full queue sheds
+        #: load with fast :class:`ServiceUnavailableError` rejections.
+        self.resilience = resilience
+        self._shed_watermark = max(1, int(queue_limit * 0.9))
         self._limits = {}
         self._batcher = MicroBatcher(
             max_batch_size=max_batch_size if batching else 1,
@@ -166,6 +178,8 @@ class ScoringService:
         deadline = time.monotonic() + timeout if timeout is not None else None
         request = _Request(servable, matrix, deadline)
         self.metrics.record_submitted(servable.key)
+        if self.resilience is not None:
+            self._admission_check(servable.key)
         try:
             self._batcher.offer(request)
         except ServingError:
@@ -205,6 +219,56 @@ class ScoringService:
         self.registry.set_stats(stats_registry)
         return self
 
+    # --- resilience ---------------------------------------------------------
+
+    def _admission_check(self, model_key) -> None:
+        """Fast-fail before enqueueing: open breaker or shedding watermark.
+
+        Both paths return a typed :class:`ServiceUnavailableError` in
+        microseconds instead of letting the request queue behind work that
+        is already doomed or drowning.
+        """
+        resilience = self.resilience
+        breaker = resilience.breaker_for(model_key)
+        if not breaker.allow():
+            resilience.stats.incr("breaker_rejections")
+            self.metrics.record_rejected(model_key)
+            raise ServiceUnavailableError(
+                f"model {model_key!r}: circuit open at point 'serve.score'"
+            )
+        if self._batcher.depth >= self._shed_watermark:
+            resilience.stats.incr("shed_requests")
+            self.metrics.record_rejected(model_key)
+            raise ServiceUnavailableError(
+                f"model {model_key!r}: load shed (queue depth "
+                f">= {self._shed_watermark})"
+            )
+
+    def _score_batch(self, servable: ServableModel, stacked: np.ndarray):
+        """Run one coalesced batch, with retry + breaker when resilience is on."""
+        resilience = self.resilience
+        if resilience is None:
+            return servable.score_batch(stacked)
+        from repro.resilience.retry import call_with_retry
+
+        breaker = resilience.breaker_for(servable.key)
+
+        def score_once():
+            resilience.fire("serve.score")
+            return servable.score_batch(stacked)
+
+        try:
+            scores = call_with_retry(
+                score_once, resilience.retry_policy, (InjectedFaultError,),
+                sleep=resilience.sleep, rng=resilience.rng,
+                stats=resilience.stats, kind="serve",
+            )
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return scores
+
     # --- workers ------------------------------------------------------------
 
     def _worker_loop(self) -> None:
@@ -242,7 +306,7 @@ class ScoringService:
             [request.features for request in requests]
         )
         try:
-            scores = servable.score_batch(stacked)
+            scores = self._score_batch(servable, stacked)
         except Exception as exc:  # noqa: BLE001 - fail the batch, not the worker
             self.metrics.record_error(servable.key, count=len(requests))
             for request in requests:

@@ -1,0 +1,37 @@
+"""Shared fixtures for the resilience tests: fake time, fresh registries."""
+
+import pytest
+
+from repro.federated.site import FederatedWorkerRegistry
+
+
+class FakeClock:
+    """A manually stepped monotonic clock (no real sleeps in these tests)."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+        self.sleeps = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """A sleep that just advances the clock (and records the request)."""
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def worker_registry():
+    """A private (non-default) federated worker registry per test."""
+    registry = FederatedWorkerRegistry()
+    yield registry
+    registry.clear()

@@ -1,0 +1,181 @@
+"""The resilient federated channel: retry, timeout, blacklist, failover."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FederatedError, FederatedSiteUnavailableError
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    ResilienceStats,
+    ResilientChannel,
+    RetryPolicy,
+)
+from repro.tensor import BasicTensorBlock
+
+
+def _channel(clock, worker_registry, injector=None, **kwargs):
+    kwargs.setdefault("policy", RetryPolicy(max_retries=2, jitter=0.0))
+    kwargs.setdefault("stats", ResilienceStats())
+    return ResilientChannel(
+        injector=injector, registry=worker_registry,
+        clock=clock, sleep=clock.sleep, **kwargs,
+    )
+
+
+def _site_with_data(registry, address, rows=4):
+    site = registry.start_site(address)
+    site.put("X", BasicTensorBlock.from_numpy(np.full((rows, 2), 7.0)))
+    return site
+
+
+def fetch_x(target):
+    return target.fetch("X")
+
+
+class TestRetry:
+    def test_transient_faults_retried_to_success(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        injector = FaultInjector(FaultPlan.parse("site.request:fail=2"))
+        channel = _channel(clock, worker_registry, injector)
+        block = channel.call(site, "site.request", fetch_x)
+        assert block.to_numpy()[0, 0] == 7.0
+        assert channel.stats.counter("site_retries") == 2
+        assert clock.sleeps  # backoff consumed (fake) time
+
+    def test_permanent_errors_are_not_retried(self, clock, worker_registry):
+        site = worker_registry.start_site("a:1")  # hosts nothing
+        channel = _channel(clock, worker_registry)
+        with pytest.raises(FederatedError, match="unknown tensor"):
+            channel.call(site, "site.request", fetch_x)
+        assert channel.stats.counter("retries") == 0
+
+    def test_exhaustion_raises_typed_error_naming_the_point(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        site.stop()
+        channel = _channel(clock, worker_registry)
+        with pytest.raises(FederatedSiteUnavailableError) as excinfo:
+            channel.call(site, "site.request", fetch_x)
+        assert excinfo.value.point == "site.request"
+        assert excinfo.value.address == "a:1"
+        assert "site.request" in str(excinfo.value)
+
+    def test_slow_response_counts_as_timeout(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        channel = _channel(clock, worker_registry, timeout_s=1.0,
+                           policy=RetryPolicy(max_retries=0))
+
+        def slow(target):
+            clock.advance(5.0)
+            return target.fetch("X")
+
+        with pytest.raises(FederatedSiteUnavailableError):
+            channel.call(site, "site.request", slow)
+        assert channel.stats.counter("timeouts") == 1
+
+
+class TestFailover:
+    def test_dead_primary_fails_over_to_replica(self, clock, worker_registry):
+        primary = _site_with_data(worker_registry, "a:1")
+        _site_with_data(worker_registry, "b:1", rows=4)
+        worker_registry.set_replica("a:1", "b:1")
+        primary.stop()
+        channel = _channel(clock, worker_registry)
+        block = channel.call(primary, "site.request", fetch_x)
+        assert block.shape == (4, 2)
+        assert channel.stats.counter("site_failovers") == 1
+
+    def test_thunk_receives_the_live_target(self, clock, worker_registry):
+        primary = _site_with_data(worker_registry, "a:1")
+        replica = _site_with_data(worker_registry, "b:1")
+        worker_registry.set_replica("a:1", "b:1")
+        primary.stop()
+        channel = _channel(clock, worker_registry)
+
+        def fetch_and_report(target):
+            target.fetch("X")  # raises SiteDownError on the dead primary
+            return target
+
+        served_by = channel.call(primary, "site.request", fetch_and_report)
+        assert served_by is replica
+
+    def test_missing_replica_stops_the_chain(self, clock, worker_registry):
+        primary = _site_with_data(worker_registry, "a:1")
+        worker_registry.set_replica("a:1", "never-started:1")
+        primary.stop()
+        channel = _channel(clock, worker_registry)
+        with pytest.raises(FederatedSiteUnavailableError):
+            channel.call(primary, "site.request", fetch_x)
+
+    def test_degraded_read_fallback(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        site.stop()
+        channel = _channel(clock, worker_registry)
+        sentinel = object()
+        result = channel.call(site, "site.request", fetch_x,
+                              fallback=lambda: sentinel)
+        assert result is sentinel
+        assert channel.stats.counter("degraded_reads") == 1
+
+
+class TestBlacklist:
+    def test_repeated_exhaustion_blacklists_the_site(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        site.stop()
+        channel = _channel(clock, worker_registry, blacklist_after=2,
+                           blacklist_cooldown_s=30.0)
+        for __ in range(2):
+            with pytest.raises(FederatedSiteUnavailableError):
+                channel.call(site, "site.request", fetch_x)
+        assert not worker_registry.is_healthy("a:1", clock())
+        assert channel.stats.counter("sites_blacklisted") == 1
+        assert "a:1" in worker_registry.blacklisted(clock())
+
+    def test_blacklisted_site_is_skipped_without_burning_retries(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        _site_with_data(worker_registry, "b:1")
+        worker_registry.set_replica("a:1", "b:1")
+        worker_registry.mark_unhealthy("a:1", clock() + 100.0)
+        channel = _channel(clock, worker_registry)
+        block = channel.call(site, "site.request", fetch_x)
+        assert block is not None
+        assert channel.stats.counter("retries") == 0  # primary never attempted
+
+    def test_cooldown_expiry_rehabilitates(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        worker_registry.mark_unhealthy("a:1", clock() + 10.0)
+        assert not worker_registry.is_healthy("a:1", clock())
+        clock.advance(11.0)
+        assert worker_registry.is_healthy("a:1", clock())
+        channel = _channel(clock, worker_registry)
+        assert channel.call(site, "site.request", fetch_x) is not None
+
+    def test_success_resets_strikes(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        channel = _channel(clock, worker_registry, blacklist_after=2)
+        site.stop()
+        with pytest.raises(FederatedSiteUnavailableError):
+            channel.call(site, "site.request", fetch_x)
+        site.start()
+        channel.call(site, "site.request", fetch_x)  # success clears strikes
+        site.stop()
+        with pytest.raises(FederatedSiteUnavailableError):
+            channel.call(site, "site.request", fetch_x)
+        assert channel.stats.counter("sites_blacklisted") == 0
+
+
+class TestInjectedFaults:
+    def test_injected_faults_count_and_are_survivable(self, clock, worker_registry):
+        site = _site_with_data(worker_registry, "a:1")
+        stats = ResilienceStats()
+        injector = FaultInjector(
+            FaultPlan.parse("site.request:p=0.3", seed=11), stats=stats
+        )
+        channel = _channel(clock, worker_registry, injector,
+                           policy=RetryPolicy(max_retries=5, jitter=0.0),
+                           stats=stats)
+        for __ in range(50):
+            assert channel.call(site, "site.request", fetch_x) is not None
+        assert stats.counter("faults_injected") > 0
+        assert stats.counter("retries") > 0
+        assert stats.snapshot()["injected_by_point"]["site.request"] > 0

@@ -1,0 +1,201 @@
+"""Chaos end-to-end: seeded 10% transient faults must not change results.
+
+The acceptance bar of the resilience subsystem: a federated L2SVM training
+loop and a distributed blocked matmul, run under a deterministic FaultPlan
+injecting transient failures at the site-request / rdd-task / spill points,
+produce results *identical* to a fault-free run — the tolerance machinery
+absorbs every injected fault.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.distributed import ops as dist_ops
+from repro.distributed.blocked import BlockedTensor
+from repro.distributed.rdd import SimSparkContext
+from repro.federated.site import FederatedWorkerRegistry
+from repro.resilience import FaultInjector, FaultPlan, ResilienceManager, RetryPolicy
+from repro.tensor import BasicTensorBlock
+
+# An L2SVM-flavoured iterative trainer over a row-federated X: every sweep
+# pushes matmult/elementwise down to the sites and aggregates t(X) %*% g.
+L2SVM_SCRIPT = """
+Xf = federated(addresses=list("chaos-a:9001/X", "chaos-b:9001/X"),
+               ranges=list(R1, R2))
+w = matrix(0, ncol(Xf), 1)
+for (i in 1:10) {
+  margin = Xf %*% w
+  diff = margin - y
+  grad = t(Xf) %*% diff
+  w = w - (0.1 / nrow(Xf)) * grad
+}
+obj = sum(diff * diff)
+"""
+
+
+def _host_federated_x(rows=80, features=5, seed=3):
+    rng = np.random.default_rng(seed)
+    data = rng.random((rows, features))
+    labels = (data @ rng.standard_normal((features, 1))
+              + 0.01 * rng.standard_normal((rows, 1)))
+    registry = FederatedWorkerRegistry.default()
+    registry.clear()
+    split = rows // 2
+    registry.start_site("chaos-a:9001").put(
+        "X", BasicTensorBlock.from_numpy(data[:split])
+    )
+    registry.start_site("chaos-b:9001").put(
+        "X", BasicTensorBlock.from_numpy(data[split:])
+    )
+    inputs = {
+        "y": labels,
+        "R1": np.asarray([[0.0, 0.0, float(split), float(features)]]),
+        "R2": np.asarray([[float(split), 0.0, float(rows), float(features)]]),
+    }
+    return registry, inputs
+
+
+def _run_l2svm(config):
+    registry, inputs = _host_federated_x()
+    try:
+        result = MLContext(config).execute(
+            L2SVM_SCRIPT, inputs=inputs, outputs=["w", "obj"]
+        )
+        return result.matrix("w"), result.scalar("obj")
+    finally:
+        registry.clear()
+
+
+class TestFederatedChaos:
+    def test_l2svm_identical_under_site_request_faults(self):
+        clean_w, clean_obj = _run_l2svm(ReproConfig())
+        chaos = ReproConfig(
+            fault_spec="site.request:p=0.1",
+            fault_seed=7,
+            retry_budget=5,
+            retry_backoff_ms=0.0,  # keep the test fast: no real backoff
+            retry_backoff_max_ms=0.0,
+        )
+        chaos_w, chaos_obj = _run_l2svm(chaos)
+        np.testing.assert_array_equal(chaos_w, clean_w)
+        assert chaos_obj == clean_obj
+
+    def test_faults_were_actually_injected_and_survived(self):
+        config = ReproConfig(
+            fault_spec="site.request:p=0.1", fault_seed=7, retry_budget=5,
+            retry_backoff_ms=0.0, retry_backoff_max_ms=0.0,
+            enable_stats=True,
+        )
+        registry, inputs = _host_federated_x()
+        try:
+            ml = MLContext(config)
+            ml.execute(L2SVM_SCRIPT, inputs=inputs, outputs=["w"])
+            section = ml.stats().snapshot()["resilience"]
+        finally:
+            registry.clear()
+        assert section["faults_injected"] > 0
+        assert section["retries"] > 0
+        assert section["site_retries"] == section["retries"]
+        assert section["injected_by_point"]["site.request"] > 0
+
+    def test_dead_site_fails_over_to_replica(self):
+        registry, inputs = _host_federated_x()
+        try:
+            # replicate site a's shard onto a third site, then kill a
+            replica = registry.start_site("chaos-a-replica:9001")
+            replica.put("X", registry.site("chaos-a:9001").fetch("X"))
+            registry.set_replica("chaos-a:9001", "chaos-a-replica:9001")
+
+            clean_w, __ = _run_l2svm_inline(ReproConfig(), inputs)
+            registry.site("chaos-a:9001").stop()
+            chaos_w, __ = _run_l2svm_inline(
+                ReproConfig(retry_budget=1, enable_resilience=True,
+                            retry_backoff_ms=0.0, retry_backoff_max_ms=0.0),
+                inputs,
+            )
+            np.testing.assert_array_equal(chaos_w, clean_w)
+        finally:
+            registry.clear()
+
+
+def _run_l2svm_inline(config, inputs):
+    """Run against already-hosted sites (no re-hosting, no registry clear)."""
+    result = MLContext(config).execute(
+        L2SVM_SCRIPT, inputs=inputs, outputs=["w", "obj"]
+    )
+    return result.matrix("w"), result.scalar("obj")
+
+
+class TestDistributedChaos:
+    def _blocked_matmul(self, sctx):
+        rng = np.random.default_rng(17)
+        a = rng.random((96, 64))
+        b = rng.random((64, 48))
+        blocked_a = BlockedTensor.from_local(
+            BasicTensorBlock.from_numpy(a), sctx, (32, 32)
+        )
+        blocked_b = BlockedTensor.from_local(
+            BasicTensorBlock.from_numpy(b), sctx, (32, 32)
+        )
+        product = dist_ops.cpmm(blocked_a, blocked_b)
+        return a @ b, product.collect_local().to_numpy()
+
+    def test_blocked_matmul_identical_under_task_faults(self):
+        with SimSparkContext(parallelism=4) as clean_sctx:
+            expected, clean = self._blocked_matmul(clean_sctx)
+        np.testing.assert_allclose(clean, expected, atol=1e-12)
+
+        resilience = ResilienceManager(
+            injector=FaultInjector(FaultPlan.parse("rdd.task:p=0.1", seed=5)),
+            retry_policy=RetryPolicy(max_retries=5, jitter=0.0),
+            sleep=None,
+        )
+        with SimSparkContext(parallelism=4, resilience=resilience) as sctx:
+            __, chaotic = self._blocked_matmul(sctx)
+        np.testing.assert_array_equal(chaotic, clean)
+        assert resilience.stats.counter("faults_injected") > 0
+        assert resilience.stats.counter("task_retries") > 0
+
+    def test_cached_rdd_with_partition_loss_still_correct(self):
+        resilience = ResilienceManager(
+            injector=FaultInjector(
+                FaultPlan.parse("rdd.cache_loss:p=0.5", seed=21)
+            ),
+            retry_policy=RetryPolicy(max_retries=2, jitter=0.0),
+            sleep=None,
+        )
+        with SimSparkContext(parallelism=4, resilience=resilience) as sctx:
+            rng = np.random.default_rng(23)
+            data = rng.random((96, 32))
+            blocked = BlockedTensor.from_local(
+                BasicTensorBlock.from_numpy(data), sctx, (32, 32)
+            )
+            blocked.rdd.cache()
+            first = blocked.collect_local().to_numpy()
+            second = blocked.collect_local().to_numpy()  # after cache losses
+            np.testing.assert_array_equal(first, data)
+            np.testing.assert_array_equal(second, data)
+        assert resilience.stats.counter("recomputed_partitions") > 0
+
+
+class TestSpillChaos:
+    def test_script_survives_spill_faults_with_identical_output(self, tmp_path):
+        script = """
+X = rand(rows=200, cols=120, seed=42)
+Y = rand(rows=120, cols=80, seed=43)
+P = X %*% Y
+s = sum(P)
+"""
+        clean = MLContext(ReproConfig()).execute(script, outputs=["s"]).scalar("s")
+        chaos_config = ReproConfig(
+            memory_budget=400 * 1024,  # tiny pool: forces eviction + restore
+            fault_spec="spill.write:p=0.2;spill.read:fail=1",
+            fault_seed=13,
+            retry_budget=4,
+            spill_dir=str(tmp_path / "spill"),
+        )
+        ml = MLContext(chaos_config)
+        chaotic = ml.execute(script, outputs=["s"]).scalar("s")
+        assert chaotic == clean

@@ -1,0 +1,126 @@
+"""Deterministic fault injection: spec grammar, seeded schedules, modes."""
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.errors import InjectedFaultError
+from repro.resilience import KNOWN_POINTS, FaultInjector, FaultPlan, FaultRule
+
+
+class TestSpecGrammar:
+    def test_single_clause(self):
+        plan = FaultPlan.parse("site.request:p=0.25")
+        rule = plan.rules["site.request"]
+        assert rule.probability == 0.25
+        assert rule.fail_first == 0
+        assert rule.latency_ms == 0.0
+
+    def test_multiple_clauses_and_params(self):
+        plan = FaultPlan.parse("site.request:p=0.1;spill.write:fail=2,latency_ms=5")
+        assert set(plan.rules) == {"site.request", "spill.write"}
+        rule = plan.rules["spill.write"]
+        assert rule.fail_first == 2
+        assert rule.latency_ms == 5.0
+
+    def test_param_aliases(self):
+        plan = FaultPlan.parse("rdd.task:prob=0.5;spill.read:latency=3")
+        assert plan.rules["rdd.task"].probability == 0.5
+        assert plan.rules["spill.read"].latency_ms == 3.0
+
+    def test_wildcard_expands_to_all_points(self):
+        plan = FaultPlan.parse("*:p=0.1")
+        assert set(plan.rules) == set(KNOWN_POINTS)
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultPlan.parse("bogus.point:p=0.1")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault param"):
+            FaultPlan.parse("rdd.task:chance=0.1")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="bad value"):
+            FaultPlan.parse("rdd.task:p=lots")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan.parse("rdd.task:p=1.5")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty fault spec"):
+            FaultPlan.parse(" ; ")
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(ValueError, match="point:param"):
+            FaultPlan.parse("rdd.task")
+
+    def test_config_validates_spec_eagerly(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            ReproConfig(fault_spec="nope:p=0.1")
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule("rdd.task", fail_first=-1)
+        with pytest.raises(ValueError):
+            FaultRule("rdd.task", latency_ms=-1.0)
+
+
+def _schedule(spec: str, seed: int, point: str, n: int = 200):
+    injector = FaultInjector(FaultPlan.parse(spec, seed=seed))
+    return [injector.trip(point) for __ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = _schedule("rdd.task:p=0.3", seed=42, point="rdd.task")
+        b = _schedule("rdd.task:p=0.3", seed=42, point="rdd.task")
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_different_seed_different_schedule(self):
+        a = _schedule("rdd.task:p=0.3", seed=42, point="rdd.task")
+        b = _schedule("rdd.task:p=0.3", seed=43, point="rdd.task")
+        assert a != b
+
+    def test_streams_are_independent_per_point(self):
+        # adding a rule for another point must not shift this point's schedule
+        alone = _schedule("rdd.task:p=0.3", seed=7, point="rdd.task")
+        combined = _schedule(
+            "rdd.task:p=0.3;site.request:p=0.9", seed=7, point="rdd.task"
+        )
+        assert alone == combined
+
+
+class TestInjectionModes:
+    def test_fail_first_then_succeed(self):
+        injector = FaultInjector(FaultPlan.parse("spill.write:fail=3"))
+        results = [injector.trip("spill.write") for __ in range(6)]
+        assert results == [True, True, True, False, False, False]
+
+    def test_fire_raises_typed_error_naming_the_point(self):
+        injector = FaultInjector(FaultPlan.parse("site.request:fail=1"))
+        with pytest.raises(InjectedFaultError, match="site.request") as excinfo:
+            injector.fire("site.request")
+        assert excinfo.value.point == "site.request"
+        injector.fire("site.request")  # second call succeeds silently
+
+    def test_unconfigured_point_never_trips(self):
+        injector = FaultInjector(FaultPlan.parse("rdd.task:p=1.0"))
+        assert not injector.active("spill.read")
+        assert not injector.trip("spill.read")
+
+    def test_latency_uses_injected_sleep(self):
+        sleeps = []
+        injector = FaultInjector(
+            FaultPlan.parse("serve.score:latency_ms=25"), sleep=sleeps.append
+        )
+        assert not injector.trip("serve.score")  # slow, not broken
+        assert sleeps == [0.025]
+
+    def test_snapshot_counts_calls_and_injections(self):
+        injector = FaultInjector(FaultPlan.parse("rdd.task:fail=2"))
+        for __ in range(5):
+            injector.trip("rdd.task")
+        snap = injector.snapshot()
+        assert snap["rdd.task"] == {"calls": 5, "injected": 2}

@@ -1,0 +1,96 @@
+"""Buffer-pool spill tolerance: write/read retry, pin fallback, typed errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpillFailureError
+from repro.runtime.bufferpool import BufferPool
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    ResilienceManager,
+    RetryPolicy,
+)
+
+
+def _manager(spec, retries=2):
+    return ResilienceManager(
+        injector=FaultInjector(FaultPlan.parse(spec)),
+        retry_policy=RetryPolicy(max_retries=retries, jitter=0.0),
+        sleep=None,
+    )
+
+
+def _pool(tmp_path, resilience=None, budget=1000):
+    return BufferPool(budget, str(tmp_path / "spill"), resilience=resilience)
+
+
+def _fill(pool, entries=3, size=400):
+    """Payloads big enough that the third put forces evictions."""
+    return [pool.put(np.full(4, i), size) for i in range(entries)]
+
+
+class TestSpillWrite:
+    def test_write_faults_are_retried(self, tmp_path):
+        resilience = _manager("spill.write:fail=2", retries=2)
+        pool = _pool(tmp_path, resilience)
+        ids = _fill(pool)
+        assert pool.stats["evictions"] >= 1  # eviction survived the faults
+        assert resilience.stats.counter("spill_retries") == 2
+        assert pool.get(ids[0])[0] == 0.0  # restored from the spill file
+        pool.close()
+
+    def test_unwritable_spill_falls_back_to_pinning(self, tmp_path):
+        resilience = _manager("spill.write:p=1.0", retries=1)
+        pool = _pool(tmp_path, resilience)
+        ids = _fill(pool)
+        # nothing could spill: every eviction candidate got pinned instead
+        assert pool.stats["evictions"] == 0
+        assert resilience.stats.counter("spill_pin_fallbacks") >= 1
+        for index, entry_id in enumerate(ids):
+            assert pool.get(entry_id)[0] == float(index)  # data never lost
+        pool.close()
+
+    def test_pinned_fallback_entries_can_still_be_freed(self, tmp_path):
+        resilience = _manager("spill.write:p=1.0")
+        pool = _pool(tmp_path, resilience)
+        ids = _fill(pool)
+        for entry_id in ids:
+            pool.free(entry_id)
+        assert pool.num_entries == 0
+        assert pool.used == 0
+        pool.close()
+
+
+class TestSpillRead:
+    def test_read_faults_are_retried(self, tmp_path):
+        resilience = _manager("spill.read:fail=2", retries=2)
+        pool = _pool(tmp_path, resilience)
+        ids = _fill(pool)
+        evicted = [i for i in ids if not pool._entries[i].in_memory]
+        assert evicted
+        assert pool.get(evicted[0]) is not None
+        assert resilience.stats.counter("spill_retries") == 2
+        pool.close()
+
+    def test_read_exhaustion_raises_typed_error(self, tmp_path):
+        resilience = _manager("spill.read:fail=50", retries=2)
+        pool = _pool(tmp_path, resilience)
+        ids = _fill(pool)
+        evicted = [i for i in ids if not pool._entries[i].in_memory]
+        with pytest.raises(SpillFailureError, match="spill.read") as excinfo:
+            pool.get(evicted[0])
+        assert excinfo.value.point == "spill.read"
+        assert excinfo.value.entry_id == evicted[0]
+        pool.close()
+
+
+class TestWithoutResilience:
+    def test_plain_pool_behaviour_is_unchanged(self, tmp_path):
+        pool = _pool(tmp_path)
+        ids = _fill(pool)
+        assert pool.stats["evictions"] >= 1
+        for index, entry_id in enumerate(ids):
+            assert pool.get(entry_id)[0] == float(index)
+        assert pool.resilience is None
+        pool.close()

@@ -1,0 +1,165 @@
+"""Retry/backoff mechanics and the circuit breaker, on a fake clock."""
+
+import random
+
+import pytest
+
+from repro.resilience import CircuitBreaker, ResilienceStats, RetryPolicy, call_with_retry
+
+
+class Flaky:
+    """A callable that fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures: int, value="ok", error=OSError("boom")):
+        self.remaining = failures
+        self.value = value
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_delays_double_up_to_cap(self):
+        policy = RetryPolicy(max_retries=6, backoff_ms=10, max_backoff_ms=50,
+                             jitter=0.0)
+        delays = [policy.delay_s(attempt) for attempt in range(5)]
+        assert delays == [0.010, 0.020, 0.040, 0.050, 0.050]
+
+    def test_jitter_stays_in_band_and_is_seeded(self):
+        policy = RetryPolicy(backoff_ms=100, max_backoff_ms=100, jitter=0.5)
+        delays = [policy.delay_s(0, random.Random(9)) for __ in range(20)]
+        assert all(0.05 <= d <= 0.1 for d in delays)
+        replay = [policy.delay_s(0, random.Random(9)) for __ in range(20)]
+        assert delays == replay
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestCallWithRetry:
+    def test_success_passthrough(self):
+        assert call_with_retry(lambda: 5, RetryPolicy(), (OSError,), sleep=None) == 5
+
+    def test_retries_then_succeeds(self):
+        thunk = Flaky(2)
+        stats = ResilienceStats()
+        result = call_with_retry(
+            thunk, RetryPolicy(max_retries=2), (OSError,),
+            sleep=None, stats=stats, kind="site",
+        )
+        assert result == "ok"
+        assert thunk.calls == 3
+        assert stats.counter("retries") == 2
+        assert stats.counter("site_retries") == 2
+
+    def test_exhaustion_propagates_last_error(self):
+        thunk = Flaky(10, error=OSError("still down"))
+        with pytest.raises(OSError, match="still down"):
+            call_with_retry(thunk, RetryPolicy(max_retries=3), (OSError,), sleep=None)
+        assert thunk.calls == 4  # initial + 3 retries
+
+    def test_non_retryable_fails_immediately(self):
+        thunk = Flaky(5, error=KeyError("permanent"))
+        with pytest.raises(KeyError):
+            call_with_retry(thunk, RetryPolicy(max_retries=3), (OSError,), sleep=None)
+        assert thunk.calls == 1
+
+    def test_sleep_receives_backoff_delays(self):
+        sleeps = []
+        thunk = Flaky(3)
+        call_with_retry(
+            thunk, RetryPolicy(max_retries=3, backoff_ms=10, jitter=0.0),
+            (OSError,), sleep=sleeps.append,
+        )
+        assert sleeps == [0.010, 0.020, 0.040]
+
+    def test_sleep_none_never_blocks(self):
+        # sleep=None is the under-a-lock mode: retries must be immediate
+        thunk = Flaky(2)
+        stats = ResilienceStats()
+        call_with_retry(thunk, RetryPolicy(max_retries=2), (OSError,),
+                        sleep=None, stats=stats, kind="spill")
+        assert stats.backoff_s == 0.0
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, cooldown=10.0, **kwargs):
+        return CircuitBreaker(failure_threshold=threshold, cooldown_s=cooldown,
+                              clock=clock, **kwargs)
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = self._breaker(clock)
+        for __ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self, clock):
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = self._breaker(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # only one probe admitted
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self, clock):
+        breaker = self._breaker(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_lost_probe_does_not_wedge(self, clock):
+        # a probe that never reports back frees up after another cooldown
+        breaker = self._breaker(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # fresh probe instead of a wedged breaker
+
+    def test_transitions_are_reported(self, clock):
+        seen = []
+        breaker = self._breaker(clock, on_transition=seen.append)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == ["open", "half_open", "closed"]
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0, clock=clock)
