@@ -108,6 +108,10 @@ class ReproConfig:
     # --- misc -------------------------------------------------------------------
     #: Seed used for generated randomness when a script does not specify one.
     random_seed: int = 7
+    #: Abort execution after this many interpreted instructions (None =
+    #: unlimited).  The qa fuzzer sets it so delta-debugging candidates
+    #: that lose a loop's exit condition terminate instead of spinning.
+    max_instructions: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.memory_budget <= 0:
@@ -124,6 +128,8 @@ class ReproConfig:
             raise ValueError(f"unknown reuse policy: {self.reuse_policy!r}")
         if self.retry_budget < 0:
             raise ValueError("retry_budget must be >= 0")
+        if self.max_instructions is not None and self.max_instructions < 1:
+            raise ValueError("max_instructions must be >= 1 (or None)")
         if self.fault_spec is not None:
             from repro.resilience.faults import FaultPlan
 

@@ -310,20 +310,38 @@ def rand(
     sparsity: float = 1.0,
     seed: int = 7,
 ) -> BlockedTensor:
-    """Distributed random matrix with deterministic per-block seeds."""
+    """Distributed random matrix, bit-identical to the single-block CP
+    generator (:meth:`BasicTensorBlock.rand`) for the same seed.
+
+    CP draws the whole matrix row-major from ``default_rng(seed)`` (one
+    64-bit draw per double, then — when sparse — one more draw per cell
+    for the mask).  Each block therefore reconstructs its row span by
+    advancing a fresh PCG64 stream to ``row_start * cols`` draws and
+    slices its columns out, so the blocked result is independent of the
+    block size and agrees exactly with the CP plan.
+    """
     row_blocks = max(1, math.ceil(rows / block_sizes[0]))
     col_blocks = max(1, math.ceil(cols / block_sizes[1]))
     indexes = [(bi, bj) for bi in range(row_blocks) for bj in range(col_blocks)]
 
     def generate(index):
         bi, bj = index
-        extent_r = min(block_sizes[0], rows - bi * block_sizes[0])
-        extent_c = min(block_sizes[1], cols - bj * block_sizes[1])
-        block_seed = (seed * 1000003 + bi * 1009 + bj) % (2**31)
-        tile = BasicTensorBlock.rand(
-            (extent_r, extent_c), min_value, max_value, sparsity, seed=block_seed
-        )
-        return (index, tile)
+        row_start = bi * block_sizes[0]
+        col_start = bj * block_sizes[1]
+        extent_r = min(block_sizes[0], rows - row_start)
+        extent_c = min(block_sizes[1], cols - col_start)
+        rng = np.random.default_rng(seed)
+        rng.bit_generator.advance(row_start * cols)
+        span = rng.uniform(min_value, max_value, size=(extent_r, cols))
+        data = span[:, col_start:col_start + extent_c]
+        if sparsity < 1.0:
+            mask_rng = np.random.default_rng(seed)
+            mask_rng.bit_generator.advance(rows * cols + row_start * cols)
+            mask = mask_rng.random(size=(extent_r, cols))
+            data = np.where(
+                mask[:, col_start:col_start + extent_c] < sparsity, data, 0.0
+            )
+        return (index, BasicTensorBlock.from_numpy(data))
 
     rdd = sctx.parallelize(indexes).map(generate)
     nnz = int(rows * cols * min(max(sparsity, 0.0), 1.0))

@@ -8,5 +8,15 @@ the compiler (:mod:`repro.compiler`).
 
 from repro.lang.lexer import Lexer, Token, TokenType, tokenize
 from repro.lang.parser import Parser, parse
+from repro.lang.unparse import ast_equal, unparse
 
-__all__ = ["Lexer", "Parser", "Token", "TokenType", "parse", "tokenize"]
+__all__ = [
+    "Lexer",
+    "Parser",
+    "Token",
+    "TokenType",
+    "ast_equal",
+    "parse",
+    "tokenize",
+    "unparse",
+]

@@ -1,0 +1,242 @@
+"""Unparser (pretty-printer) for the DML AST.
+
+``unparse`` renders a :class:`repro.lang.ast.Program` (or any statement /
+expression node) back into DML source such that re-parsing yields an AST
+equal to the original, modulo source locations::
+
+    ast_equal(parse(unparse(program)), program)  # always True
+
+The printer is deliberately conservative: every nested binary/unary
+expression is fully parenthesised (parentheses create no AST nodes, so
+round-tripping is exact without re-deriving the precedence table), blocks
+always use braces, and one statement is printed per line.
+
+Two parser normalisations are worth knowing when *constructing* ASTs by
+hand (parser-produced ASTs are unaffected):
+
+* ``-`` applied to an int/float literal is constant-folded by the parser
+  into a negative literal, so ``UnaryExpr("-", IntLiteral(2))`` cannot
+  round-trip — build ``IntLiteral(-2)`` instead;
+* ``<-`` is lexed as ``=`` and ``&&``/``||`` as ``&``/``|``, so only the
+  canonical spellings are ever printed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+from repro.types import DataType, ValueType
+
+_INDENT = "  "
+
+# canonical type names the parser maps back onto the identical TypeSpec
+_SCALAR_NAMES = {
+    ValueType.FP64: "Double",
+    ValueType.INT64: "Integer",
+    ValueType.BOOLEAN: "Boolean",
+    ValueType.STRING: "String",
+}
+_DATA_NAMES = {
+    DataType.MATRIX: "Matrix",
+    DataType.TENSOR: "Tensor",
+    DataType.FRAME: "Frame",
+    DataType.LIST: "List",
+    DataType.SCALAR: "Scalar",
+}
+_VALUE_NAMES = {
+    ValueType.FP64: "double",
+    ValueType.FP32: "fp32",
+    ValueType.INT64: "integer",
+    ValueType.INT32: "int32",
+    ValueType.BOOLEAN: "boolean",
+    ValueType.STRING: "string",
+}
+
+_STRING_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t"}
+
+
+def unparse(node) -> str:
+    """DML source for a program, statement, or expression node."""
+    if isinstance(node, ast.Program):
+        return unparse_program(node)
+    if isinstance(node, ast.Statement):
+        return "\n".join(_statement_lines(node, 0))
+    if isinstance(node, (ast.Expr, ast.IndexRange)):
+        return unparse_expr(node)
+    raise TypeError(f"cannot unparse {type(node).__name__}")
+
+
+def unparse_program(program: ast.Program) -> str:
+    """The full script: function definitions first, then statements."""
+    lines: List[str] = []
+    for function in program.functions.values():
+        lines.extend(_function_lines(function))
+    for statement in program.statements:
+        lines.extend(_statement_lines(statement, 0))
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+def unparse_expr(expr) -> str:
+    """One expression, fully parenthesised where nesting is possible."""
+    if isinstance(expr, ast.IntLiteral):
+        text = str(expr.value)
+        return f"({text})" if expr.value < 0 else text
+    if isinstance(expr, ast.FloatLiteral):
+        if expr.value != expr.value or expr.value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite float literal cannot be unparsed: {expr.value}")
+        text = repr(expr.value)
+        return f"({text})" if expr.value < 0 else text
+    if isinstance(expr, ast.StringLiteral):
+        body = "".join(_STRING_ESCAPES.get(c, c) for c in expr.value)
+        return f'"{body}"'
+    if isinstance(expr, ast.BoolLiteral):
+        return "TRUE" if expr.value else "FALSE"
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.BinaryExpr):
+        return f"({unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryExpr):
+        return f"({expr.op}{unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.Call):
+        args = [unparse_expr(a) for a in expr.args]
+        args += [f"{k}={unparse_expr(v)}" for k, v in expr.named_args.items()]
+        return f"{expr.name}({', '.join(args)})"
+    if isinstance(expr, ast.IndexExpr):
+        ranges = ",".join(_range_text(r) for r in expr.ranges)
+        return f"{unparse_expr(expr.target)}[{ranges}]"
+    if isinstance(expr, ast.IndexRange):
+        return _range_text(expr)
+    raise TypeError(f"cannot unparse expression {type(expr).__name__}")
+
+
+def _range_text(rng: ast.IndexRange) -> str:
+    if rng.is_all:
+        return ""
+    if rng.is_single:
+        return unparse_expr(rng.lower)
+    return f"{unparse_expr(rng.lower)}:{unparse_expr(rng.upper)}"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+def _statement_lines(statement: ast.Statement, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(statement, ast.FunctionDef):
+        return _function_lines(statement, depth)
+    if isinstance(statement, ast.Assign):
+        op = "+=" if statement.accumulate else "="
+        return [f"{pad}{statement.target} {op} {unparse_expr(statement.value)}"]
+    if isinstance(statement, ast.IndexedAssign):
+        ranges = ",".join(_range_text(r) for r in statement.ranges)
+        return [f"{pad}{statement.target}[{ranges}] = {unparse_expr(statement.value)}"]
+    if isinstance(statement, ast.MultiAssign):
+        targets = ", ".join(statement.targets)
+        return [f"{pad}[{targets}] = {unparse_expr(statement.value)}"]
+    if isinstance(statement, ast.ExprStatement):
+        return [f"{pad}{unparse_expr(statement.value)}"]
+    if isinstance(statement, ast.If):
+        lines = [f"{pad}if ({unparse_expr(statement.condition)}) {{"]
+        lines.extend(_body_lines(statement.then_body, depth + 1))
+        if statement.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_body_lines(statement.else_body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(statement, ast.While):
+        lines = [f"{pad}while ({unparse_expr(statement.condition)}) {{"]
+        lines.extend(_body_lines(statement.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(statement, (ast.For, ast.ParFor)):
+        keyword = "parfor" if isinstance(statement, ast.ParFor) else "for"
+        if statement.step_expr is not None:
+            header = (f"seq({unparse_expr(statement.from_expr)}, "
+                      f"{unparse_expr(statement.to_expr)}, "
+                      f"{unparse_expr(statement.step_expr)})")
+        else:
+            header = (f"{unparse_expr(statement.from_expr)}:"
+                      f"{unparse_expr(statement.to_expr)}")
+        opts = ""
+        if isinstance(statement, ast.ParFor) and statement.opts:
+            opts = "".join(
+                f", {name}={unparse_expr(value)}"
+                for name, value in statement.opts.items()
+            )
+        lines = [f"{pad}{keyword} ({statement.var} in {header}{opts}) {{"]
+        lines.extend(_body_lines(statement.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"cannot unparse statement {type(statement).__name__}")
+
+
+def _body_lines(body: List[ast.Statement], depth: int) -> List[str]:
+    lines: List[str] = []
+    for statement in body:
+        lines.extend(_statement_lines(statement, depth))
+    return lines
+
+
+def _function_lines(function: ast.FunctionDef, depth: int = 0) -> List[str]:
+    pad = _INDENT * depth
+    params = ", ".join(_param_text(p) for p in function.params)
+    returns = ", ".join(_param_text(p) for p in function.returns)
+    lines = [f"{pad}{function.name} = function({params}) return ({returns}) {{"]
+    lines.extend(_body_lines(function.body, depth + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def _param_text(param: ast.Param) -> str:
+    text = f"{_type_text(param.type_spec)} {param.name}"
+    if param.default is not None:
+        text += f" = {unparse_expr(param.default)}"
+    return text
+
+
+def _type_text(spec: ast.TypeSpec) -> str:
+    if spec.data_type == DataType.SCALAR:
+        name = _SCALAR_NAMES.get(spec.value_type)
+        if name is not None:
+            return name
+        return f"Scalar[{_VALUE_NAMES[spec.value_type]}]"
+    base = _DATA_NAMES.get(spec.data_type)
+    if base is None:
+        raise ValueError(f"cannot unparse type {spec.data_type!r}")
+    if spec.value_type == ValueType.FP64:
+        return base  # the parser's default for a bare container name
+    return f"{base}[{_VALUE_NAMES[spec.value_type]}]"
+
+
+# ---------------------------------------------------------------------------
+# structural AST equality (ignoring source locations)
+# ---------------------------------------------------------------------------
+
+
+def ast_equal(a, b) -> bool:
+    """Structural equality of two AST fragments, ignoring line/column."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.Node):
+        for field in a.__dataclass_fields__:
+            if field in ("line", "column"):
+                continue
+            if not ast_equal(getattr(a, field), getattr(b, field)):
+                return False
+        return True
+    if isinstance(a, list):
+        return len(a) == len(b) and all(ast_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return (
+            list(a.keys()) == list(b.keys())
+            and all(ast_equal(a[k], b[k]) for k in a)
+        )
+    return a == b

@@ -25,6 +25,7 @@ from repro.obs.registry import (
 from repro.obs.report import (
     attach_federated,
     attach_pool,
+    attach_qa,
     attach_resilience,
     attach_reuse,
     attach_serving,
@@ -49,6 +50,7 @@ __all__ = [
     "attach_federated",
     "attach_resilience",
     "attach_serving",
+    "attach_qa",
     "observe_context",
     "render_heavy_hitters",
     "render_report",

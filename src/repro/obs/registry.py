@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional
 #: Section names every snapshot carries, probe attached or not.  Keeping
 #: the set fixed lets ``report()`` always print the same section skeleton.
 CANONICAL_SECTIONS = (
-    "bufferpool", "reuse", "spark", "federated", "serving", "resilience"
+    "bufferpool", "reuse", "spark", "federated", "serving", "resilience", "qa"
 )
 
 
@@ -76,11 +76,11 @@ class Timer:
         stack = self._registry._scope_stack()
         stack.append(self._name)
         self._full = "/".join(stack)
-        self._start = time.perf_counter()
+        self._start = self._registry._clock()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        elapsed = time.perf_counter() - self._start
+        elapsed = self._registry._clock() - self._start
         stack = self._registry._scope_stack()
         if stack and stack[-1] == self._name:
             stack.pop()
@@ -90,14 +90,17 @@ class Timer:
 class StatsRegistry:
     """Thread-safe counters, timers, and per-instruction profiles."""
 
-    def __init__(self):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, List[float]] = {}  # name -> [count, total_s]
         self._instructions: Dict[str, InstructionStat] = {}
         self._probes: Dict[str, Callable[[], dict]] = {}
         self._local = threading.local()
-        self._created = time.perf_counter()
+        #: Injectable time source: tests pass a fake clock so timer
+        #: assertions never depend on real wall time.
+        self._clock = clock
+        self._created = self._clock()
 
     # --- counters -----------------------------------------------------------
 
@@ -182,7 +185,7 @@ class StatsRegistry:
                 for name, cell in self._timers.items()
             }
             probes = dict(self._probes)
-            elapsed = time.perf_counter() - self._created
+            elapsed = self._clock() - self._created
         result = {
             "elapsed_s": elapsed,
             "counters": counters,
@@ -210,7 +213,7 @@ class StatsRegistry:
             self._counters.clear()
             self._timers.clear()
             self._instructions.clear()
-            self._created = time.perf_counter()
+            self._created = self._clock()
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ _SECTION_TITLES = {
     "federated": "Federated sites",
     "serving": "Serving",
     "resilience": "Resilience",
+    "qa": "Differential fuzzing",
 }
 
 
@@ -97,6 +98,11 @@ def attach_serving(registry: StatsRegistry, metrics) -> None:
 def attach_resilience(registry: StatsRegistry, manager) -> None:
     """Feed a ``ResilienceManager.snapshot()`` into the ``resilience`` section."""
     registry.attach("resilience", manager.snapshot)
+
+
+def attach_qa(registry: StatsRegistry, stats) -> None:
+    """Feed a ``repro.qa.FuzzStats.snapshot()`` into the ``qa`` section."""
+    registry.attach("qa", stats.snapshot)
 
 
 def observe_context(registry: StatsRegistry, ctx) -> None:

@@ -1,0 +1,45 @@
+"""``repro.qa`` — differential DML fuzzing across the optimizer/backend lattice.
+
+The paper's core claim is that one declarative DML program yields the same
+result under many physical plans: rewrites on/off, codegen on/off, local
+vs. distributed vs. federated execution, lineage reuse, and (since PR 3)
+seeded fault injection.  This package turns that claim into an executable
+property:
+
+* :class:`ProgramGenerator` emits whole, deterministic DML programs
+  (control flow, user functions, indexing, builtins) from a per-seed RNG;
+* :class:`Lattice` enumerates named configurations of the plan space;
+* :class:`DifferentialRunner` executes each program under every
+  configuration and compares all declared outputs against the reference
+  configuration, bit-identically for chaos configs and within a small
+  tolerance where plans legitimately reorder float arithmetic;
+* :class:`Shrinker` delta-debugs a diverging program down to a minimal
+  reproducer (statement-level, then expression-level);
+* :mod:`repro.qa.corpus` stores shrunk reproducers under
+  ``tests/qa/corpus/`` where ``tests/qa/test_corpus_replay.py`` replays
+  them on every tier-1 run;
+* the ``repro-fuzz`` CLI (:mod:`repro.qa.fuzz`) drives seeded campaigns.
+"""
+
+from repro.qa.corpus import CorpusEntry, load_corpus, load_entry, save_entry
+from repro.qa.generator import GeneratedProgram, InputSpec, ProgramGenerator
+from repro.qa.lattice import Lattice, LatticeConfig
+from repro.qa.runner import DifferentialRunner, Divergence, FuzzStats, RunResult
+from repro.qa.shrinker import Shrinker
+
+__all__ = [
+    "CorpusEntry",
+    "DifferentialRunner",
+    "Divergence",
+    "FuzzStats",
+    "GeneratedProgram",
+    "InputSpec",
+    "Lattice",
+    "LatticeConfig",
+    "ProgramGenerator",
+    "RunResult",
+    "Shrinker",
+    "load_corpus",
+    "load_entry",
+    "save_entry",
+]

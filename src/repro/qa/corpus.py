@@ -1,0 +1,159 @@
+"""The replayable corpus of shrunk fuzzer findings.
+
+Every divergence the fuzzer finds is shrunk and saved as one ``.dml``
+file under ``tests/qa/corpus/``: plain DML source preceded by ``#``
+header comments that carry the replay metadata (seed, diverging config,
+divergence kind, declared outputs, and the deterministic input specs).
+Because the metadata lives in comments, a corpus file is also directly
+runnable with ``repro-dml`` while ``tests/qa/test_corpus_replay.py``
+re-executes each entry across the lattice on every tier-1 run —
+regression tests that were once live bugs.
+
+Header format (order-insensitive, unknown keys ignored)::
+
+    # repro-qa corpus entry
+    # name: seed17-spark-sum
+    # seed: 17
+    # config: spark
+    # kind: value
+    # note: <free text, optional>
+    # output: s scalar
+    # input: M0 rows=5 cols=3 data_seed=123456
+
+    s = sum(M0)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.qa.generator import InputSpec
+
+_MAGIC = "# repro-qa corpus entry"
+
+
+@dataclasses.dataclass
+class CorpusEntry:
+    """One shrunk reproducer: metadata plus replayable DML source."""
+
+    name: str
+    seed: int
+    config: str
+    kind: str
+    source: str
+    outputs: List[Tuple[str, str]]
+    inputs: Dict[str, InputSpec] = dataclasses.field(default_factory=dict)
+    note: Optional[str] = None
+
+    @property
+    def filename(self) -> str:
+        return f"{self.name}.dml"
+
+    def materialized_inputs(self):
+        return {name: spec.materialize() for name, spec in self.inputs.items()}
+
+    def render(self) -> str:
+        lines = [
+            _MAGIC,
+            f"# name: {self.name}",
+            f"# seed: {self.seed}",
+            f"# config: {self.config}",
+            f"# kind: {self.kind}",
+        ]
+        if self.note:
+            lines.append(f"# note: {self.note}")
+        for output_name, output_kind in self.outputs:
+            lines.append(f"# output: {output_name} {output_kind}")
+        for input_name, spec in sorted(self.inputs.items()):
+            lines.append(
+                f"# input: {input_name} rows={spec.rows} cols={spec.cols} "
+                f"data_seed={spec.data_seed}"
+            )
+        return "\n".join(lines) + "\n\n" + self.source.rstrip("\n") + "\n"
+
+
+def save_entry(directory: str, entry: CorpusEntry) -> str:
+    """Write ``entry`` under ``directory``; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, entry.filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(entry.render())
+    return path
+
+
+def load_entry(path: str) -> CorpusEntry:
+    """Parse one corpus file back into a :class:`CorpusEntry`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    fields: Dict[str, str] = {}
+    outputs: List[Tuple[str, str]] = []
+    inputs: Dict[str, InputSpec] = {}
+    source_lines: List[str] = []
+    in_header = True
+    for line in text.splitlines():
+        stripped = line.strip()
+        if in_header and stripped.startswith("#"):
+            body = stripped.lstrip("#").strip()
+            if ":" not in body:
+                continue
+            key, __, value = body.partition(":")
+            key, value = key.strip(), value.strip()
+            if key == "output":
+                parts = value.split()
+                if len(parts) != 2:
+                    raise ValueError(f"{path}: bad output line {value!r}")
+                outputs.append((parts[0], parts[1]))
+            elif key == "input":
+                inputs.update([_parse_input(path, value)])
+            else:
+                fields[key] = value
+        elif in_header and not stripped:
+            continue
+        else:
+            in_header = False
+            source_lines.append(line)
+    missing = {"name", "seed", "config", "kind"} - set(fields)
+    if missing:
+        raise ValueError(f"{path}: missing header fields {sorted(missing)}")
+    if not outputs:
+        raise ValueError(f"{path}: corpus entry declares no outputs")
+    return CorpusEntry(
+        name=fields["name"],
+        seed=int(fields["seed"]),
+        config=fields["config"],
+        kind=fields["kind"],
+        note=fields.get("note"),
+        source="\n".join(source_lines).strip("\n") + "\n",
+        outputs=outputs,
+        inputs=inputs,
+    )
+
+
+def _parse_input(path: str, value: str) -> Tuple[str, InputSpec]:
+    parts = value.split()
+    if not parts:
+        raise ValueError(f"{path}: empty input line")
+    name, attrs = parts[0], {}
+    for part in parts[1:]:
+        key, __, raw = part.partition("=")
+        attrs[key] = int(raw)
+    try:
+        spec = InputSpec(
+            rows=attrs["rows"], cols=attrs["cols"], data_seed=attrs["data_seed"]
+        )
+    except KeyError as exc:
+        raise ValueError(f"{path}: input {name!r} missing {exc}") from exc
+    return name, spec
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    """All corpus entries under ``directory``, sorted by file name."""
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for filename in sorted(os.listdir(directory)):
+        if filename.endswith(".dml"):
+            entries.append(load_entry(os.path.join(directory, filename)))
+    return entries

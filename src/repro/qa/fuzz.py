@@ -1,0 +1,184 @@
+"""``repro-fuzz`` — the differential fuzzing CLI.
+
+Runs a seeded campaign: generate ``--iters`` deterministic DML programs
+(iteration ``i`` uses seed ``base_seed * 1_000_003 + i``), execute each
+across the ``--lattice`` configurations, and report divergences.  Each
+divergence is delta-debugged down to a minimal reproducer and written to
+the ``--corpus`` directory (unless ``--no-shrink``), where the tier-1
+suite replays it forever after.
+
+Exit status: 0 when the campaign is divergence-free, 1 when any
+divergence was found, 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.qa.corpus import CorpusEntry, save_entry
+from repro.qa.generator import ProgramGenerator
+from repro.qa.lattice import Lattice
+from repro.qa.runner import DifferentialRunner, Divergence, FuzzStats
+
+#: Spreads iteration indices across seed space deterministically.
+SEED_STRIDE = 1_000_003
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="differential DML fuzzing across the optimizer/backend "
+                    "lattice",
+    )
+    parser.add_argument("--seed", type=int, default=1,
+                        help="base campaign seed (default: 1)")
+    parser.add_argument("--iters", type=int, default=50,
+                        help="number of programs to generate (default: 50)")
+    parser.add_argument("--lattice", default="all",
+                        help="'all', 'quick', or comma-separated config names "
+                             f"(available: {', '.join(Lattice.default().names)})")
+    parser.add_argument("--corpus", default="tests/qa/corpus",
+                        help="directory for shrunk reproducers "
+                             "(default: tests/qa/corpus)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report divergences without shrinking or saving")
+    parser.add_argument("--max-statements", type=int, default=10,
+                        help="program size knob forwarded to the generator")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="print every generated program's verdict")
+    return parser
+
+
+def iteration_seed(base_seed: int, iteration: int) -> int:
+    return base_seed * SEED_STRIDE + iteration
+
+
+def run_campaign(
+    args: argparse.Namespace,
+    stats: Optional[FuzzStats] = None,
+    out=None,
+) -> int:
+    out = out if out is not None else sys.stdout
+    lattice = Lattice.parse(args.lattice)
+    stats = stats if stats is not None else FuzzStats()
+    runner = DifferentialRunner(lattice, stats=stats)
+    # surface campaign counters in the unified stats layer ("qa" section)
+    from repro.obs import attach_qa, default_registry
+
+    attach_qa(default_registry(), stats)
+    print(
+        f"repro-fuzz: seed={args.seed} iters={args.iters} "
+        f"lattice=[{', '.join(lattice.names)}]",
+        file=out,
+    )
+    found: List[Divergence] = []
+    for iteration in range(args.iters):
+        seed = iteration_seed(args.seed, iteration)
+        program = ProgramGenerator(
+            seed, max_statements=args.max_statements
+        ).generate()
+        results, divergences = runner.run_program(program)
+        baseline = results[0]
+        if not baseline.ok:
+            print(f"  [{iteration:4d}] seed={seed} INVALID ({baseline.error})",
+                  file=out)
+            continue
+        if not divergences:
+            if args.verbose:
+                print(f"  [{iteration:4d}] seed={seed} ok "
+                      f"({len(results)} configs)", file=out)
+            continue
+        for divergence in divergences:
+            print(f"  [{iteration:4d}] DIVERGENCE {divergence.describe()}",
+                  file=out)
+            found.append(divergence)
+            if not args.no_shrink:
+                entry = shrink_to_corpus(
+                    runner, program, divergence, args.corpus, stats, out=out
+                )
+                if entry is not None:
+                    print(f"         shrunk reproducer -> "
+                          f"{args.corpus}/{entry.filename}", file=out)
+    snapshot = stats.snapshot()
+    print(
+        f"repro-fuzz: {snapshot['programs']} programs, "
+        f"{snapshot['executions']} executions, "
+        f"{snapshot['comparisons']} comparisons, "
+        f"{snapshot['invalid_programs']} invalid, "
+        f"{len(found)} divergences",
+        file=out,
+    )
+    return 1 if found else 0
+
+
+def shrink_to_corpus(
+    runner: DifferentialRunner,
+    program,
+    divergence: Divergence,
+    corpus_dir: str,
+    stats: FuzzStats,
+    out=None,
+) -> Optional[CorpusEntry]:
+    """Shrink one divergence and persist it as a corpus entry."""
+    out = out if out is not None else sys.stdout
+    from repro.qa.shrinker import Shrinker
+
+    inputs = program.materialized_inputs()
+
+    def still_diverges(source: str, outputs: Sequence[Tuple[str, str]]) -> bool:
+        stats.increment("shrink_checks")
+        __, divergences = runner.run_source(
+            source, inputs, outputs, seed=program.seed
+        )
+        return any(
+            d.config_name == divergence.config_name and d.kind == divergence.kind
+            for d in divergences
+        )
+
+    shrinker = Shrinker(still_diverges)
+    try:
+        source, outputs = shrinker.shrink(program.source, program.outputs)
+    except Exception as exc:  # noqa: BLE001 - keep the campaign going
+        print(f"         shrink failed ({type(exc).__name__}: {exc}); "
+              f"saving unshrunk program", file=out)
+        source, outputs = program.source, program.outputs
+    used_inputs = {
+        name: spec for name, spec in program.inputs.items() if name in source
+    }
+    entry = CorpusEntry(
+        name=f"seed{program.seed}-{divergence.config_name}-{divergence.kind}",
+        seed=program.seed,
+        config=divergence.config_name,
+        kind=divergence.kind,
+        note=divergence.detail,
+        source=source,
+        outputs=list(outputs),
+        inputs=used_inputs,
+    )
+    save_entry(corpus_dir, entry)
+    stats.increment("corpus_entries")
+    return entry
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    if args.iters < 0 or args.seed < 0:
+        parser.print_usage(sys.stderr)
+        print("repro-fuzz: --seed and --iters must be non-negative",
+              file=sys.stderr)
+        return 2
+    try:
+        return run_campaign(args)
+    except ValueError as exc:  # e.g. unknown lattice config names
+        print(f"repro-fuzz: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,473 @@
+"""Seeded whole-program DML generator.
+
+``ProgramGenerator(seed).generate()`` emits one deterministic
+:class:`GeneratedProgram`: DML source with control flow (``if`` / ``while``
+/ ``for`` / ``parfor``), an optional user-defined function, left/right
+indexing, and a numerically *safe* expression vocabulary (no division by
+unguarded data, no ``exp`` overflow), plus the declared inputs and outputs
+the differential runner binds and compares.
+
+Determinism is the whole point: the same seed produces byte-identical
+source and input data on every run and platform (``random.Random`` and
+``numpy.random.default_rng`` are both stable), so any divergence the
+fuzzer finds is replayable from its seed alone.
+
+Shape discipline: the generator tracks the concrete shape of every live
+matrix variable and only composes shape-valid operations, mirroring the
+expression-level oracle in ``tests/integration/test_dml_oracle.py`` but
+at whole-program granularity.  A ``while`` loop may deliberately grow a
+matrix with ``rbind`` (exercising dynamic recompilation); such "ragged"
+variables leave the shape environment and are only observed through
+shape-agnostic outputs (``sum``, ``nrow``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Output kinds the runner knows how to extract and compare.
+MATRIX, SCALAR = "matrix", "scalar"
+
+
+@dataclasses.dataclass(frozen=True)
+class InputSpec:
+    """One bound input matrix: shape plus the seed of its data stream."""
+
+    rows: int
+    cols: int
+    data_seed: int
+
+    def materialize(self) -> np.ndarray:
+        """The deterministic input data (values in ``[0, 1)``)."""
+        return np.random.default_rng(self.data_seed).random((self.rows, self.cols))
+
+
+@dataclasses.dataclass
+class GeneratedProgram:
+    """One fuzz case: source, bound inputs, and the outputs to compare."""
+
+    seed: int
+    source: str
+    inputs: Dict[str, InputSpec]
+    outputs: List[Tuple[str, str]]  # (variable name, MATRIX | SCALAR)
+
+    def materialized_inputs(self) -> Dict[str, np.ndarray]:
+        return {name: spec.materialize() for name, spec in self.inputs.items()}
+
+
+class ProgramGenerator:
+    """Generates deterministic random DML programs from one seed."""
+
+    def __init__(
+        self,
+        seed: int,
+        max_statements: int = 10,
+        max_depth: int = 3,
+    ):
+        self.seed = seed
+        self.max_statements = max_statements
+        self.max_depth = max_depth
+        self._rng = random.Random(seed)
+        #: live matrix variables -> (rows, cols)
+        self._matrices: Dict[str, Tuple[int, int]] = {}
+        #: live scalar variable names
+        self._scalars: List[str] = []
+        #: matrices whose shape changed in a loop (observable via sum/nrow only)
+        self._ragged: List[str] = []
+        self._fresh = 0
+        self._function: Optional[str] = None
+
+    # --- public ----------------------------------------------------------
+
+    def generate(self) -> GeneratedProgram:
+        rng = self._rng
+        lines: List[str] = []
+        inputs: Dict[str, InputSpec] = {}
+
+        num_inputs = 1 + (rng.random() < 0.6)
+        for index in range(num_inputs):
+            name = f"M{index}"
+            rows = rng.randint(4, 7)
+            cols = rng.randint(3, 5)
+            inputs[name] = InputSpec(
+                rows=rows, cols=cols,
+                data_seed=(self.seed * 1_000_003 + index * 7919) % 2**31,
+            )
+            self._matrices[name] = (rows, cols)
+
+        if rng.random() < 0.5:
+            lines.extend(self._emit_function())
+
+        for __ in range(rng.randint(5, self.max_statements)):
+            lines.extend(self._statement(depth=0))
+
+        outputs = self._declare_outputs(lines)
+        source = "\n".join(lines) + "\n"
+        return GeneratedProgram(
+            seed=self.seed, source=source, inputs=inputs, outputs=outputs
+        )
+
+    # --- naming ----------------------------------------------------------
+
+    def _name(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    # --- statements -------------------------------------------------------
+
+    def _statement(self, depth: int) -> List[str]:
+        rng = self._rng
+        kinds = ["matrix_assign", "scalar_assign", "rebind", "indexed_assign"]
+        if depth == 0:
+            kinds += ["if", "while", "for", "parfor"]
+            if self._function is not None:
+                kinds.append("call")
+        kind = rng.choice(kinds)
+        if kind == "matrix_assign":
+            name = self._name("V")
+            rows = rng.randint(2, 6)
+            cols = rng.randint(2, 5)
+            line = f"{name} = {self._matrix_expr(rows, cols, depth=0)}"
+            self._matrices[name] = (rows, cols)
+            return [line]
+        if kind == "scalar_assign":
+            name = self._name("s")
+            line = f"{name} = {self._scalar_expr(depth=0)}"
+            if name not in self._scalars:
+                self._scalars.append(name)
+            return [line]
+        if kind == "rebind":
+            name = self._pick_matrix()
+            if name is None:
+                return []
+            rows, cols = self._matrices[name]
+            return [f"{name} = {self._matrix_expr(rows, cols, depth=0)}"]
+        if kind == "indexed_assign":
+            return self._indexed_assign()
+        if kind == "if":
+            return self._if_block(depth)
+        if kind == "while":
+            return self._while_block(depth)
+        if kind == "for":
+            return self._for_block()
+        if kind == "parfor":
+            return self._parfor_block()
+        if kind == "call":
+            return self._call_function()
+        return []
+
+    def _indexed_assign(self) -> List[str]:
+        rng = self._rng
+        name = self._pick_matrix()
+        if name is None:
+            return []
+        rows, cols = self._matrices[name]
+        if rng.random() < 0.5:
+            # single cell from a scalar expression
+            i = rng.randint(1, rows)
+            j = rng.randint(1, cols)
+            return [f"{name}[{i}, {j}] = {self._scalar_expr(depth=1)}"]
+        lo = rng.randint(1, rows)
+        hi = rng.randint(lo, rows)
+        value = self._matrix_expr(hi - lo + 1, cols, depth=1)
+        return [f"{name}[{lo}:{hi}, ] = {value}"]
+
+    def _if_block(self, depth: int) -> List[str]:
+        rng = self._rng
+        condition = self._condition()
+        lines = [f"if ({condition}) {{"]
+        for __ in range(rng.randint(1, 2)):
+            lines.extend("  " + l for l in self._body_statement())
+        if rng.random() < 0.5:
+            lines.append("} else {")
+            for __ in range(rng.randint(1, 2)):
+                lines.extend("  " + l for l in self._body_statement())
+        lines.append("}")
+        return lines
+
+    def _while_block(self, depth: int) -> List[str]:
+        rng = self._rng
+        counter = self._name("qa_i")
+        limit = rng.randint(2, 4)
+        lines = [f"{counter} = 0", f"while ({counter} < {limit}) {{"]
+        grow = rng.random() < 0.3
+        if grow:
+            name = self._pick_matrix(exclude_inputs=False)
+            if name is not None:
+                # shape changes across iterations: dynamic recompilation fodder
+                lines.append(f"  {name} = rbind({name}, {name}[1:1, ])")
+                self._matrices.pop(name, None)
+                if name not in self._ragged:
+                    self._ragged.append(name)
+                grow = True
+            else:
+                grow = False
+        if not grow:
+            for __ in range(rng.randint(1, 2)):
+                lines.extend("  " + l for l in self._body_statement())
+        lines.append(f"  {counter} = {counter} + 1")
+        lines.append("}")
+        if counter not in self._scalars:
+            self._scalars.append(counter)
+        return lines
+
+    def _for_block(self) -> List[str]:
+        rng = self._rng
+        acc = self._name("acc")
+        iterations = rng.randint(2, 5)
+        step = rng.choice(["", ""]) if True else ""
+        var = self._name("qa_f")
+        lines = [f"{acc} = 0"]
+        if rng.random() < 0.3:
+            lines.append(f"for ({var} in seq(1, {iterations}, 1)) {{")
+        else:
+            lines.append(f"for ({var} in 1:{iterations}) {{")
+        body = rng.random()
+        if body < 0.5 or not self._matrices:
+            lines.append(f"  {acc} = {acc} + {var} * {self._literal()}")
+        else:
+            name = self._pick_matrix()
+            lines.append(f"  {acc} = {acc} + sum({name}) / ({var} + 1)")
+        lines.append("}")
+        if acc not in self._scalars:
+            self._scalars.append(acc)
+        return lines
+
+    def _parfor_block(self) -> List[str]:
+        rng = self._rng
+        source_name = self._pick_matrix()
+        if source_name is None:
+            return []
+        rows, cols = self._matrices[source_name]
+        result = self._name("R")
+        lines = [f"{result} = matrix(0, rows={rows}, cols={cols})"]
+        scale = rng.choice(["(i + 1)", "(i * 0.5)", f"({self._literal()} + i)"])
+        lines.append(f"parfor (i in 1:{rows}) {{")
+        lines.append(f"  {result}[i, ] = {source_name}[i, ] * {scale}")
+        lines.append("}")
+        self._matrices[result] = (rows, cols)
+        return lines
+
+    def _body_statement(self) -> List[str]:
+        """A control-flow body statement: rebinds only, so every variable
+        referenced after the block is defined on all paths."""
+        rng = self._rng
+        choices = []
+        if self._matrices:
+            choices.append("rebind")
+            choices.append("indexed")
+        if self._scalars:
+            choices.append("scalar")
+        if not choices:
+            return []
+        kind = rng.choice(choices)
+        if kind == "rebind":
+            name = self._pick_matrix()
+            rows, cols = self._matrices[name]
+            return [f"{name} = {self._matrix_expr(rows, cols, depth=1)}"]
+        if kind == "indexed":
+            return self._indexed_assign()
+        name = rng.choice(self._scalars)
+        return [f"{name} = {self._scalar_expr(depth=1)}"]
+
+    # --- user functions ---------------------------------------------------
+
+    def _emit_function(self) -> List[str]:
+        rng = self._rng
+        name = "qa_fun"
+        self._function = name
+        ops = [
+            "Y = X * a",
+            "Y = abs(X) + a",
+            "Y = (X + t(t(X))) * a",
+            "Y = X * a + X",
+            "Y = round(X * a)",
+        ]
+        body = rng.sample(ops, k=1)[0]
+        extra = ""
+        if rng.random() < 0.5:
+            body = "T_qa = X * a"
+            extra = "  Y = T_qa + abs(T_qa)\n"
+        lines = [
+            f"{name} = function(Matrix[double] X, Double a)"
+            " return (Matrix[double] Y) {",
+            f"  {body}",
+        ]
+        if extra:
+            lines.append(extra.rstrip("\n"))
+        lines.append("}")
+        return lines
+
+    def _call_function(self) -> List[str]:
+        source_name = self._pick_matrix()
+        if source_name is None or self._function is None:
+            return []
+        rows, cols = self._matrices[source_name]
+        out = self._name("F")
+        factor = self._literal()
+        self._matrices[out] = (rows, cols)
+        return [f"{out} = {self._function}({source_name}, {factor})"]
+
+    # --- expressions ------------------------------------------------------
+
+    def _pick_matrix(self, exclude_inputs: bool = False) -> Optional[str]:
+        names = [
+            n for n in self._matrices
+            if not (exclude_inputs and n.startswith("M"))
+        ]
+        if not names:
+            return None
+        return self._rng.choice(names)
+
+    def _matrix_of_shape(self, rows: int, cols: int) -> Optional[str]:
+        names = [n for n, s in self._matrices.items() if s == (rows, cols)]
+        if not names:
+            return None
+        return self._rng.choice(names)
+
+    def _literal(self) -> str:
+        rng = self._rng
+        if rng.random() < 0.5:
+            return str(rng.randint(1, 4))
+        return repr(round(rng.uniform(0.1, 2.5), 3))
+
+    def _matrix_expr(self, rows: int, cols: int, depth: int) -> str:
+        rng = self._rng
+        if depth >= self.max_depth or rng.random() < 0.25:
+            return self._matrix_leaf(rows, cols)
+        kind = rng.choice([
+            "ew", "ew", "scalar_op", "unary", "transpose", "matmul",
+            "safe_div", "power", "index", "cbind", "rbind",
+        ])
+        if kind == "ew":
+            op = rng.choice(["+", "-", "*"])
+            left = self._matrix_expr(rows, cols, depth + 1)
+            right = self._matrix_expr(rows, cols, depth + 1)
+            return f"({left} {op} {right})"
+        if kind == "scalar_op":
+            op = rng.choice(["+", "-", "*"])
+            inner = self._matrix_expr(rows, cols, depth + 1)
+            if rng.random() < 0.5:
+                return f"({inner} {op} {self._literal()})"
+            return f"({self._literal()} {op} {inner})"
+        if kind == "unary":
+            fn = rng.choice(["abs", "round", "floor", "ceil", "sign"])
+            return f"{fn}({self._matrix_expr(rows, cols, depth + 1)})"
+        if kind == "transpose":
+            return f"t({self._matrix_expr(cols, rows, depth + 1)})"
+        if kind == "matmul":
+            k = rng.randint(2, 4)
+            left = self._matrix_expr(rows, k, depth + 1)
+            right = self._matrix_expr(k, cols, depth + 1)
+            return f"({left} %*% {right})"
+        if kind == "safe_div":
+            num = self._matrix_expr(rows, cols, depth + 1)
+            den = self._matrix_expr(rows, cols, depth + 1)
+            return f"({num} / (abs({den}) + 0.5))"
+        if kind == "power":
+            return f"({self._matrix_expr(rows, cols, depth + 1)} ^ 2)"
+        if kind == "index":
+            # slice a window out of a larger generated matrix
+            extra_r = rng.randint(0, 2)
+            extra_c = rng.randint(0, 2)
+            inner = self._matrix_expr(rows + extra_r, cols + extra_c, depth + 1)
+            r0 = rng.randint(1, extra_r + 1)
+            c0 = rng.randint(1, extra_c + 1)
+            return (f"({inner})[{r0}:{r0 + rows - 1}, "
+                    f"{c0}:{c0 + cols - 1}]")
+        if kind == "cbind" and cols >= 2:
+            split = rng.randint(1, cols - 1)
+            left = self._matrix_expr(rows, split, depth + 1)
+            right = self._matrix_expr(rows, cols - split, depth + 1)
+            return f"cbind({left}, {right})"
+        if kind == "rbind" and rows >= 2:
+            split = rng.randint(1, rows - 1)
+            top = self._matrix_expr(split, cols, depth + 1)
+            bottom = self._matrix_expr(rows - split, cols, depth + 1)
+            return f"rbind({top}, {bottom})"
+        return self._matrix_leaf(rows, cols)
+
+    def _matrix_leaf(self, rows: int, cols: int) -> str:
+        rng = self._rng
+        existing = self._matrix_of_shape(rows, cols)
+        roll = rng.random()
+        if existing is not None and roll < 0.55:
+            return existing
+        if roll < 0.8:
+            seed = rng.randrange(1, 10**6)
+            return f"rand(rows={rows}, cols={cols}, seed={seed})"
+        return f"matrix({self._literal()}, rows={rows}, cols={cols})"
+
+    def _scalar_expr(self, depth: int) -> str:
+        rng = self._rng
+        if depth >= self.max_depth or rng.random() < 0.3:
+            return self._scalar_leaf()
+        kind = rng.choice(["binary", "agg", "minmax", "abs", "safe_div", "meta"])
+        if kind == "binary":
+            op = rng.choice(["+", "-", "*"])
+            return (f"({self._scalar_expr(depth + 1)} {op} "
+                    f"{self._scalar_expr(depth + 1)})")
+        if kind == "agg":
+            name = self._pick_matrix()
+            if name is not None:
+                fn = rng.choice(["sum", "mean", "min", "max"])
+                return f"{fn}({name})"
+        if kind == "minmax":
+            fn = rng.choice(["min", "max"])
+            return (f"{fn}({self._scalar_expr(depth + 1)}, "
+                    f"{self._scalar_expr(depth + 1)})")
+        if kind == "abs":
+            return f"abs({self._scalar_expr(depth + 1)})"
+        if kind == "safe_div":
+            num = self._scalar_expr(depth + 1)
+            den = self._scalar_expr(depth + 1)
+            return f"({num} / (abs({den}) + 1))"
+        if kind == "meta":
+            name = self._pick_matrix()
+            if name is not None:
+                fn = rng.choice(["nrow", "ncol"])
+                return f"{fn}({name})"
+        return self._scalar_leaf()
+
+    def _scalar_leaf(self) -> str:
+        rng = self._rng
+        if self._scalars and rng.random() < 0.4:
+            return rng.choice(self._scalars)
+        if rng.random() < 0.5:
+            return str(rng.randint(-3, 5))
+        return repr(round(rng.uniform(-2.0, 2.0), 3))
+
+    def _condition(self) -> str:
+        rng = self._rng
+        op = rng.choice([">", "<", ">=", "<="])
+        roll = rng.random()
+        if roll < 0.5 and self._matrices:
+            name = self._pick_matrix()
+            return f"sum({name}) {op} {self._literal()}"
+        if roll < 0.8 and self._scalars:
+            return f"{rng.choice(self._scalars)} {op} {self._literal()}"
+        return f"{self._literal()} {op} {self._literal()}"
+
+    # --- outputs ----------------------------------------------------------
+
+    def _declare_outputs(self, lines: List[str]) -> List[Tuple[str, str]]:
+        outputs: List[Tuple[str, str]] = []
+        matrix_names = list(self._matrices)[-5:]
+        for name in matrix_names:
+            outputs.append((name, MATRIX))
+        for name in self._ragged:
+            out = f"qa_sum_{name}"
+            lines.append(f"{out} = sum({name})")
+            lines.append(f"qa_nrow_{name} = nrow({name})")
+            outputs.append((out, SCALAR))
+            outputs.append((f"qa_nrow_{name}", SCALAR))
+        for name in self._scalars[-5:]:
+            outputs.append((name, SCALAR))
+        if not outputs:
+            lines.append("qa_out = sum(M0)")
+            outputs.append(("qa_out", SCALAR))
+        return outputs

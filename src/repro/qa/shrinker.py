@@ -1,0 +1,207 @@
+"""Delta-debugging shrinker for diverging DML programs.
+
+Given a program that reproduces a divergence (as judged by a caller-
+supplied ``check(source, outputs)`` predicate), the shrinker greedily
+minimises it with three AST-level passes run to a fixed point:
+
+1. **statement deletion** at every nesting level (program body, function
+   bodies, ``if``/``while``/``for``/``parfor`` bodies) plus deletion of
+   whole function definitions;
+2. **body hoisting** — replacing a control-flow statement by its body,
+   which strips loops and branches that are incidental to the bug;
+3. **expression simplification** — replacing an assignment's right-hand
+   side by one of its own sub-expressions or by a literal.
+
+Outputs are pruned first (dropping compared outputs is the cheapest big
+win).  Every candidate is round-tripped through the unparser
+(:mod:`repro.lang.unparse`), so the result is always valid, replayable
+DML source — which is what ends up in ``tests/qa/corpus/``.
+
+The predicate must return ``True`` only when the candidate still
+reproduces the *original* divergence (same config, same kind); the
+driver in :mod:`repro.qa.fuzz` builds such a predicate from a
+:class:`~repro.qa.runner.DifferentialRunner`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.unparse import unparse
+
+#: A body path: which statement list, and how to descend into it.
+#: root = ("statements", None) | ("function", name); steps = [(index, field)].
+_Root = Tuple[str, object]
+_Steps = List[Tuple[int, str]]
+
+_CONTROL_FIELDS = {
+    ast.If: ("then_body", "else_body"),
+    ast.While: ("body",),
+    ast.For: ("body",),
+    ast.ParFor: ("body",),
+}
+
+
+def _resolve(program: ast.Program, root: _Root, steps: _Steps) -> List[ast.Statement]:
+    if root[0] == "statements":
+        body = program.statements
+    else:
+        body = program.functions[root[1]].body
+    for index, field in steps:
+        body = getattr(body[index], field)
+    return body
+
+
+def _body_paths(program: ast.Program) -> List[Tuple[_Root, _Steps]]:
+    paths: List[Tuple[_Root, _Steps]] = []
+
+    def descend(root: _Root, steps: _Steps, body: Sequence[ast.Statement]) -> None:
+        paths.append((root, list(steps)))
+        for index, statement in enumerate(body):
+            for fields in (_CONTROL_FIELDS.get(type(statement), ()),):
+                for field in fields:
+                    nested = getattr(statement, field, None)
+                    if nested:
+                        descend(root, steps + [(index, field)], nested)
+
+    descend(("statements", None), [], program.statements)
+    for name, function in program.functions.items():
+        descend(("function", name), [], function.body)
+    return paths
+
+
+def _sub_expressions(expr: ast.Expr) -> List[ast.Expr]:
+    """Direct sub-expressions a right-hand side could collapse to."""
+    if isinstance(expr, ast.BinaryExpr):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.UnaryExpr):
+        return [expr.operand]
+    if isinstance(expr, ast.Call):
+        return list(expr.args) + list(expr.named_args.values())
+    if isinstance(expr, ast.IndexExpr):
+        return [expr.target]
+    return []
+
+
+class Shrinker:
+    """Greedy fixed-point minimiser over (source, outputs) candidates."""
+
+    def __init__(
+        self,
+        check: Callable[[str, Sequence[Tuple[str, str]]], bool],
+        max_checks: int = 500,
+    ):
+        self._check = check
+        self.max_checks = max_checks
+        self.checks_spent = 0
+
+    # --- public ------------------------------------------------------------
+
+    def shrink(
+        self,
+        source: str,
+        outputs: Sequence[Tuple[str, str]],
+    ) -> Tuple[str, List[Tuple[str, str]]]:
+        """The smallest (source, outputs) found that still reproduces."""
+        program = parse(source)
+        outputs = list(outputs)
+        outputs = self._prune_outputs(program, outputs)
+        improved = True
+        while improved and self._budget_left():
+            improved = False
+            for candidates in (
+                self._deletions, self._hoists, self._simplifications
+            ):
+                accepted = self._first_improvement(candidates, program, outputs)
+                if accepted is not None:
+                    program = accepted
+                    improved = True
+                    break  # re-enumerate edits against the smaller program
+        outputs = self._prune_outputs(program, outputs)
+        return unparse(program), outputs
+
+    # --- plumbing ----------------------------------------------------------
+
+    def _budget_left(self) -> bool:
+        return self.checks_spent < self.max_checks
+
+    def _try(self, source: str, outputs: Sequence[Tuple[str, str]]) -> bool:
+        if not self._budget_left():
+            return False
+        self.checks_spent += 1
+        try:
+            return bool(self._check(source, outputs))
+        except Exception:  # noqa: BLE001 - a crashing candidate is a "no"
+            return False
+
+    def _first_improvement(self, candidates, program, outputs):
+        for candidate in candidates(program):
+            if not self._budget_left():
+                return None
+            try:
+                source = unparse(candidate)
+            except (TypeError, ValueError):
+                continue
+            if self._try(source, outputs):
+                return candidate
+        return None
+
+    def _prune_outputs(self, program, outputs):
+        source = unparse(program)
+        index = len(outputs) - 1
+        while index >= 0 and len(outputs) > 1 and self._budget_left():
+            trial = outputs[:index] + outputs[index + 1:]
+            if self._try(source, trial):
+                outputs = trial
+            index -= 1
+        return outputs
+
+    # --- candidate generators ----------------------------------------------
+
+    def _deletions(self, program: ast.Program) -> Iterator[ast.Program]:
+        for root, steps in _body_paths(program):
+            body = _resolve(program, root, steps)
+            for index in range(len(body) - 1, -1, -1):
+                candidate = copy.deepcopy(program)
+                del _resolve(candidate, root, steps)[index]
+                yield candidate
+        for name in list(program.functions):
+            candidate = copy.deepcopy(program)
+            del candidate.functions[name]
+            yield candidate
+
+    def _hoists(self, program: ast.Program) -> Iterator[ast.Program]:
+        for root, steps in _body_paths(program):
+            body = _resolve(program, root, steps)
+            for index, statement in enumerate(body):
+                fields = _CONTROL_FIELDS.get(type(statement))
+                if not fields:
+                    continue
+                candidate = copy.deepcopy(program)
+                target = _resolve(candidate, root, steps)
+                hoisted: List[ast.Statement] = []
+                for field in fields:
+                    hoisted.extend(getattr(target[index], field, None) or [])
+                target[index:index + 1] = hoisted
+                yield candidate
+
+    def _simplifications(self, program: ast.Program) -> Iterator[ast.Program]:
+        literals = (
+            ast.FloatLiteral(value=1.0),
+            ast.FloatLiteral(value=0.0),
+        )
+        for root, steps in _body_paths(program):
+            body = _resolve(program, root, steps)
+            for index, statement in enumerate(body):
+                if not isinstance(statement, (ast.Assign, ast.IndexedAssign)):
+                    continue
+                replacements = _sub_expressions(statement.value) + list(literals)
+                for replacement in replacements:
+                    candidate = copy.deepcopy(program)
+                    _resolve(candidate, root, steps)[index].value = (
+                        copy.deepcopy(replacement)
+                    )
+                    yield candidate

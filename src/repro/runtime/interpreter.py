@@ -147,6 +147,12 @@ def execute_instruction(instruction: Instruction, ctx: ExecutionContext) -> None
 def _execute_instruction_inner(instruction: Instruction, ctx: ExecutionContext) -> bool:
     """Core execute; True when the result came from the reuse cache."""
     ctx.metrics["instructions"] += 1
+    limit = ctx.config.max_instructions
+    if limit is not None and ctx.metrics["instructions"] > limit:
+        raise RuntimeDMLError(
+            f"instruction budget exceeded (max_instructions={limit}); "
+            f"likely a non-terminating loop"
+        )
     tracer = ctx.tracer
     if tracer is not None and ctx.reuse is not None and instruction.reusable:
         if _try_reuse(instruction, ctx):

@@ -1,0 +1,19 @@
+"""Repo-wide test fixtures.
+
+Every test starts from the same global RNG state so suites cannot leak
+nondeterminism into each other through the module-level ``random`` /
+``numpy.random`` generators (tests that want their own streams should use
+``np.random.default_rng(seed)`` locally, which is unaffected).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    random.seed(0xC0FFEE)
+    np.random.seed(0xC0FFEE)
+    yield

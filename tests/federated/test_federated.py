@@ -228,10 +228,10 @@ class TestSiteConcurrencyAndIsolation:
         stop = threading.Event()
 
         def writer():
-            index = 0
-            while not stop.is_set():
+            # a fixed amount of work (not wall-clock) bounds the stress run
+            for index in range(400):
                 site.put(f"T{index % 8}", BasicTensorBlock.from_numpy(np.ones((2, 2))))
-                index += 1
+            stop.set()
 
         def reader():
             try:
@@ -251,10 +251,9 @@ class TestSiteConcurrencyAndIsolation:
         ]
         for thread in threads:
             thread.start()
-        time.sleep(0.15)
-        stop.set()
         for thread in threads:
-            thread.join(timeout=2.0)
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
         assert errors == []
 
     def test_constraint_unknown_name_raises(self, registry):

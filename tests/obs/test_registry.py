@@ -1,10 +1,24 @@
 """Unit tests for the StatsRegistry: counters, timers, heavy hitters."""
 
 import threading
-import time
+
+import pytest
 
 from repro.obs import CANONICAL_SECTIONS, StatsRegistry, default_registry
 from repro.obs.report import render_heavy_hitters, render_json, render_report
+
+
+class ManualClock:
+    """A hand-stepped clock injected into StatsRegistry (no real sleeps)."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
 
 
 class TestCounters:
@@ -32,10 +46,11 @@ class TestCounters:
 
 class TestTimers:
     def test_timer_records_elapsed(self):
-        stats = StatsRegistry()
+        clock = ManualClock()
+        stats = StatsRegistry(clock=clock)
         with stats.time("phase"):
-            time.sleep(0.01)
-        assert stats.timer_total("phase") >= 0.009
+            clock.advance(0.25)
+        assert stats.timer_total("phase") == pytest.approx(0.25)
         assert stats.snapshot()["timers"]["phase"]["count"] == 1
 
     def test_nested_scopes_join_names(self):
@@ -48,12 +63,13 @@ class TestTimers:
         assert "outer/inner" in timers
 
     def test_scopes_are_per_thread(self):
-        stats = StatsRegistry()
+        clock = ManualClock()
+        stats = StatsRegistry(clock=clock)
         seen = []
 
         def worker():
             with stats.time("w"):
-                time.sleep(0.005)
+                clock.advance(0.005)
             seen.append(True)
 
         with stats.time("main"):

@@ -1,0 +1,77 @@
+"""Corpus file format: render/parse round trips and validation."""
+
+import pytest
+
+from repro.qa.corpus import CorpusEntry, load_corpus, load_entry, save_entry
+from repro.qa.generator import InputSpec
+
+
+def entry():
+    return CorpusEntry(
+        name="seed9-spark-value",
+        seed=9,
+        config="spark",
+        kind="value",
+        note="max abs delta 2.0",
+        source="X = M0 * 2\ns = sum(X)\n",
+        outputs=[("X", "matrix"), ("s", "scalar")],
+        inputs={"M0": InputSpec(rows=4, cols=3, data_seed=77)},
+    )
+
+
+class TestRoundTrip:
+    def test_save_then_load_preserves_everything(self, tmp_path):
+        path = save_entry(str(tmp_path), entry())
+        loaded = load_entry(path)
+        original = entry()
+        assert loaded.name == original.name
+        assert loaded.seed == original.seed
+        assert loaded.config == original.config
+        assert loaded.kind == original.kind
+        assert loaded.note == original.note
+        assert loaded.outputs == original.outputs
+        assert loaded.inputs == original.inputs
+        assert loaded.source == original.source
+
+    def test_rendered_file_is_plain_dml_with_comment_header(self, tmp_path):
+        text = entry().render()
+        header, __, body = text.partition("\n\n")
+        assert all(line.startswith("#") for line in header.splitlines())
+        assert body.strip().startswith("X = M0 * 2")
+
+    def test_load_corpus_sorted_and_filtered(self, tmp_path):
+        save_entry(str(tmp_path), entry())
+        second = entry()
+        second.name = "aaa-first"
+        save_entry(str(tmp_path), second)
+        (tmp_path / "README.md").write_text("not a corpus entry")
+        names = [e.name for e in load_corpus(str(tmp_path))]
+        assert names == ["aaa-first", "seed9-spark-value"]
+
+    def test_load_corpus_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nope")) == []
+
+
+class TestValidation:
+    def test_missing_required_header_raises(self, tmp_path):
+        path = tmp_path / "broken.dml"
+        path.write_text("# name: x\n# seed: 1\n\nX = 1\n")
+        with pytest.raises(ValueError, match="missing header"):
+            load_entry(str(path))
+
+    def test_entry_without_outputs_raises(self, tmp_path):
+        path = tmp_path / "broken.dml"
+        path.write_text(
+            "# name: x\n# seed: 1\n# config: spark\n# kind: value\n\nX = 1\n"
+        )
+        with pytest.raises(ValueError, match="no outputs"):
+            load_entry(str(path))
+
+    def test_malformed_input_line_raises(self, tmp_path):
+        path = tmp_path / "broken.dml"
+        path.write_text(
+            "# name: x\n# seed: 1\n# config: spark\n# kind: value\n"
+            "# output: X matrix\n# input: M0 rows=3\n\nX = 1\n"
+        )
+        with pytest.raises(ValueError, match="missing"):
+            load_entry(str(path))

@@ -1,0 +1,49 @@
+"""Replay every checked-in corpus entry across the full lattice.
+
+Each ``tests/qa/corpus/*.dml`` file is a shrunk reproducer of a
+divergence the fuzzer once found (or a hand-curated sentinel).  Replaying
+them here on every tier-1 run turns past bugs into permanent regression
+tests: the program must now execute cleanly under *every* lattice config
+and produce agreeing results.
+"""
+
+import os
+
+import pytest
+
+from repro.qa.corpus import load_corpus
+from repro.qa.lattice import Lattice
+from repro.qa.runner import DifferentialRunner
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_no_longer_diverges(entry):
+    runner = DifferentialRunner(Lattice.default())
+    results, divergences = runner.run_source(
+        entry.source, entry.materialized_inputs(), entry.outputs, seed=entry.seed
+    )
+    baseline = results[0]
+    assert baseline.ok, f"baseline failed: {baseline.error}"
+    assert divergences == [], "\n".join(d.describe() for d in divergences)
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_agrees_on_its_original_config(entry):
+    """The config that once diverged must now match its reference exactly
+    as the lattice demands (bitwise for chaos configs)."""
+    if entry.config == "baseline":
+        pytest.skip("sentinel entries reference the baseline itself")
+    lattice = Lattice.default().subset([entry.config])
+    runner = DifferentialRunner(lattice)
+    results, divergences = runner.run_source(
+        entry.source, entry.materialized_inputs(), entry.outputs, seed=entry.seed
+    )
+    assert results[0].ok
+    assert divergences == [], "\n".join(d.describe() for d in divergences)

@@ -1,0 +1,134 @@
+"""The repro-fuzz CLI: argument handling, determinism, smoke campaigns."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.distributed.ops as dist_ops
+from repro.qa.fuzz import build_parser, iteration_seed, main, run_campaign
+from repro.qa.runner import FuzzStats
+from repro.tensor import BasicTensorBlock
+
+
+class TestArguments:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.seed == 1
+        assert args.iters == 50
+        assert args.lattice == "all"
+        assert args.corpus == "tests/qa/corpus"
+
+    def test_bad_lattice_name_exits_2(self, capsys):
+        assert main(["--lattice", "bogus", "--iters", "1"]) == 2
+        assert "unknown lattice" in capsys.readouterr().err
+
+    def test_negative_iters_exits_2(self):
+        assert main(["--iters", "-3"]) == 2
+
+    def test_unknown_flag_exits_2(self, capsys):
+        assert main(["--frobnicate"]) == 2
+
+    def test_iteration_seeds_are_disjoint_across_base_seeds(self):
+        a = {iteration_seed(1, i) for i in range(1000)}
+        b = {iteration_seed(2, i) for i in range(1000)}
+        assert not (a & b)
+
+
+class TestSmokeCampaign:
+    def test_quick_campaign_is_divergence_free(self, capsys):
+        code = main(["--seed", "4", "--iters", "5", "--lattice", "quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 divergences" in out
+        assert "5 programs" in out
+
+    def test_campaign_output_is_deterministic(self, capsys):
+        argv = ["--seed", "11", "--iters", "4", "--lattice",
+                "baseline,no_rewrites", "--verbose"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_stats_are_reported_via_obs(self):
+        from repro.obs import default_registry
+
+        args = build_parser().parse_args(
+            ["--seed", "2", "--iters", "2", "--lattice", "baseline,no_codegen"]
+        )
+        stats = FuzzStats()
+        code = run_campaign(args, stats=stats)
+        assert code == 0
+        assert stats.counter("programs") == 2
+        assert default_registry().snapshot()["qa"]["programs"] == 2
+
+
+class TestDivergencePath:
+    @pytest.fixture()
+    def broken_distributed_rand(self, monkeypatch):
+        """Reintroduce the pre-fix per-block rand seeding (the real bug
+        this fuzzer caught) so the full find->shrink->corpus path runs."""
+        from repro.distributed.blocked import BlockedTensor
+        from repro.types import ValueType
+
+        def old_rand(sctx, rows, cols, block_sizes, min_value=0.0,
+                     max_value=1.0, sparsity=1.0, seed=7):
+            row_blocks = max(1, math.ceil(rows / block_sizes[0]))
+            col_blocks = max(1, math.ceil(cols / block_sizes[1]))
+            indexes = [(bi, bj)
+                       for bi in range(row_blocks) for bj in range(col_blocks)]
+
+            def generate(index):
+                bi, bj = index
+                extent_r = min(block_sizes[0], rows - bi * block_sizes[0])
+                extent_c = min(block_sizes[1], cols - bj * block_sizes[1])
+                block_seed = (seed * 1000003 + bi * 1009 + bj) % (2 ** 31)
+                tile = BasicTensorBlock.rand(
+                    (extent_r, extent_c), min_value, max_value, sparsity,
+                    seed=block_seed,
+                )
+                return (index, tile)
+
+            rdd = sctx.parallelize(indexes).map(generate)
+            nnz = int(rows * cols * min(max(sparsity, 0.0), 1.0))
+            return BlockedTensor(sctx, rdd, (rows, cols), block_sizes,
+                                 ValueType.FP64, nnz)
+
+        import repro.runtime.instructions.spark as spark_instructions
+
+        monkeypatch.setattr(dist_ops, "rand", old_rand)
+        monkeypatch.setattr(spark_instructions.dist_ops, "rand", old_rand)
+
+    def test_finds_shrinks_and_saves_the_rand_divergence(
+        self, broken_distributed_rand, tmp_path, capsys
+    ):
+        corpus_dir = tmp_path / "corpus"
+        code = main([
+            "--seed", "1", "--iters", "1", "--lattice", "baseline,spark",
+            "--corpus", str(corpus_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGENCE" in out
+        saved = sorted(corpus_dir.glob("*.dml"))
+        assert saved, "no corpus entry written"
+        from repro.qa.corpus import load_entry
+
+        entry = load_entry(str(saved[0]))
+        assert entry.config == "spark"
+        # the shrunk reproducer is tiny compared to the generated program
+        assert len(entry.source.splitlines()) <= 4
+        assert "rand(" in entry.source
+
+    def test_no_shrink_flag_skips_corpus_writes(
+        self, broken_distributed_rand, tmp_path, capsys
+    ):
+        corpus_dir = tmp_path / "corpus"
+        code = main([
+            "--seed", "1", "--iters", "1", "--lattice", "baseline,spark",
+            "--corpus", str(corpus_dir), "--no-shrink",
+        ])
+        assert code == 1
+        assert not corpus_dir.exists()

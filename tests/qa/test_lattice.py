@@ -1,0 +1,87 @@
+"""The configuration lattice: structure, subsetting, config building."""
+
+import pytest
+
+from repro.qa.lattice import Lattice, LatticeConfig
+
+
+class TestDefaultLattice:
+    def test_baseline_is_first_and_unmodified(self):
+        lattice = Lattice.default()
+        assert lattice.baseline.name == "baseline"
+        assert lattice.baseline.overrides == {}
+        assert not lattice.baseline.federated
+
+    def test_covers_the_paper_axes(self):
+        names = set(Lattice.default().names)
+        assert {"no_rewrites", "no_codegen", "no_recompile", "spark",
+                "lineage_reuse", "federated"} <= names
+
+    def test_chaos_configs_are_bitwise_against_their_twin(self):
+        lattice = Lattice.default()
+        assert lattice["chaos_federated"].bitwise
+        assert lattice["chaos_federated"].reference == "federated"
+        assert lattice["chaos_spark"].reference == "spark"
+        assert lattice["chaos_spill"].reference == "baseline"
+        for name in ("chaos_spill", "chaos_federated", "chaos_spark"):
+            config = lattice[name]
+            assert config.overrides["fault_spec"], name
+            assert config.overrides["retry_backoff_ms"] == 0.0, name
+
+    def test_build_config_applies_overrides(self):
+        lattice = Lattice.default()
+        config = lattice["no_rewrites"].build_config()
+        assert not config.enable_rewrites
+        assert not config.enable_cse
+        spark = lattice["spark"].build_config()
+        # small enough that even a tiny matrix exceeds the operator budget
+        assert spark.operator_memory_budget < 300
+        baseline = lattice.baseline.build_config()
+        assert baseline.enable_rewrites
+
+    def test_chaos_spill_keeps_cp_plans_but_forces_eviction(self):
+        config = Lattice.default()["chaos_spill"].build_config()
+        # op budget far above fuzz-sized matrices -> same CP plan as baseline
+        assert config.operator_memory_budget >= 8 * 1024
+        # pool small enough that a handful of blocks trigger eviction
+        assert config.bufferpool_budget < 1024
+
+
+class TestSubset:
+    def test_subset_always_includes_baseline(self):
+        subset = Lattice.default().subset(["no_codegen"])
+        assert subset.names == ["baseline", "no_codegen"]
+
+    def test_subset_pulls_in_references(self):
+        subset = Lattice.default().subset(["chaos_federated"])
+        assert "federated" in subset.names  # the bitwise comparison twin
+
+    def test_subset_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown lattice"):
+            Lattice.default().subset(["nope"])
+
+    def test_parse_specs(self):
+        assert Lattice.parse("all").names == Lattice.default().names
+        quick = Lattice.parse("quick")
+        assert quick.baseline.name == "baseline"
+        assert len(quick) < len(Lattice.default())
+        two = Lattice.parse("baseline,spark")
+        assert two.names == ["baseline", "spark"]
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        config = LatticeConfig(name="x", description="")
+        with pytest.raises(ValueError, match="duplicate"):
+            Lattice([config, config])
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Lattice([
+                LatticeConfig(name="base", description=""),
+                LatticeConfig(name="c", description="", reference="ghost"),
+            ])
+
+    def test_empty_lattice_rejected(self):
+        with pytest.raises(ValueError):
+            Lattice([])

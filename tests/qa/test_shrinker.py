@@ -1,0 +1,137 @@
+"""The delta-debugging shrinker, against synthetic predicates.
+
+These tests drive :class:`repro.qa.Shrinker` with cheap string-level
+predicates instead of real differential runs, so the minimisation logic
+(statement deletion, body hoisting, expression simplification, output
+pruning, budget accounting) is exercised in milliseconds.
+"""
+
+from repro.lang.parser import parse
+from repro.qa.shrinker import Shrinker
+
+
+def statements_of(source):
+    return parse(source).statements
+
+
+class TestStatementDeletion:
+    def test_deletes_irrelevant_statements(self):
+        source = (
+            "a = 1\n"
+            "bad = a * 3\n"
+            "c = 2\n"
+            "d = c + 1\n"
+        )
+        shrinker = Shrinker(lambda src, outs: "bad" in src)
+        shrunk, outputs = shrinker.shrink(source, [("bad", "scalar")])
+        assert "bad" in shrunk
+        assert len(statements_of(shrunk)) == 1
+
+    def test_deletes_function_definitions(self):
+        source = (
+            "f = function(Double a) return (Double b) { b = a + 1 }\n"
+            "bad = 3\n"
+        )
+        shrinker = Shrinker(lambda src, outs: "bad" in src)
+        shrunk, __ = shrinker.shrink(source, [("bad", "scalar")])
+        assert "function" not in shrunk
+        assert "bad" in shrunk
+
+
+class TestHoisting:
+    def test_hoists_relevant_body_out_of_loops(self):
+        source = (
+            "i = 0\n"
+            "while (i < 3) {\n"
+            "  bad = i * 2\n"
+            "  i = i + 1\n"
+            "}\n"
+        )
+        shrinker = Shrinker(lambda src, outs: "bad" in src)
+        shrunk, __ = shrinker.shrink(source, [("bad", "scalar")])
+        assert "while" not in shrunk
+        assert "bad" in shrunk
+
+    def test_hoists_if_else_bodies(self):
+        source = (
+            "x = 1\n"
+            "if (x > 0) {\n"
+            "  y = 1\n"
+            "} else {\n"
+            "  bad = 2\n"
+            "}\n"
+        )
+        shrinker = Shrinker(lambda src, outs: "bad" in src)
+        shrunk, __ = shrinker.shrink(source, [("bad", "scalar")])
+        assert "if" not in shrunk
+        assert "bad" in shrunk
+
+
+class TestExpressionSimplification:
+    def test_collapses_rhs_to_the_interesting_subexpression(self):
+        shrinker = Shrinker(lambda src, outs: "bad(" in src)
+        shrunk, __ = shrinker.shrink(
+            "y = (1 + (2 * bad(3))) - 4\n", [("y", "scalar")]
+        )
+        assert shrunk.strip() == "y = bad(3)"
+
+    def test_collapses_to_literal_when_anything_reproduces(self):
+        shrinker = Shrinker(lambda src, outs: True)
+        shrunk, outputs = shrinker.shrink(
+            "y = (a + b) * (c - d)\nz = y + 1\n",
+            [("y", "scalar"), ("z", "scalar")],
+        )
+        # everything deletable but the last output-defining statement
+        assert len(statements_of(shrunk)) <= 1
+        assert len(outputs) == 1
+
+
+class TestOutputPruning:
+    def test_prunes_outputs_not_needed_to_reproduce(self):
+        outputs = [("a", "scalar"), ("b", "scalar"), ("c", "scalar")]
+        shrinker = Shrinker(lambda src, outs: ("b", "scalar") in outs)
+        __, shrunk_outputs = shrinker.shrink(
+            "a = 1\nb = 2\nc = 3\n", outputs
+        )
+        assert shrunk_outputs == [("b", "scalar")]
+
+
+class TestBudget:
+    def test_stops_at_max_checks(self):
+        calls = []
+
+        def check(src, outs):
+            calls.append(1)
+            return "bad" in src
+
+        source = "\n".join(f"s{i} = {i}" for i in range(30)) + "\nbad = 1\n"
+        shrinker = Shrinker(check, max_checks=10)
+        shrinker.shrink(source, [("bad", "scalar")])
+        assert shrinker.checks_spent <= 10
+        assert len(calls) <= 10
+
+    def test_crashing_predicate_counts_as_rejection(self):
+        def check(src, outs):
+            if "keep" not in src:
+                raise RuntimeError("boom")
+            return True
+
+        shrunk, __ = Shrinker(check).shrink(
+            "keep = 1\nother = 2\n", [("keep", "scalar")]
+        )
+        assert "keep" in shrunk
+
+
+class TestResultAlwaysValid:
+    def test_shrunk_source_reparses(self):
+        source = (
+            "a = rand(rows=3, cols=3, seed=1)\n"
+            "b = t(a) %*% a\n"
+            "if (sum(b) > 0) {\n"
+            "  bad = sum(b)\n"
+            "}\n"
+        )
+        shrinker = Shrinker(lambda src, outs: "bad" in src)
+        shrunk, __ = shrinker.shrink(source, [("bad", "scalar")])
+        parse(shrunk)  # must stay valid DML
+        assert "bad" in shrunk

@@ -143,12 +143,13 @@ class TestLifecycleFixes:
     def test_shutdown_waits_for_inflight_tasks_by_default(self):
         sctx = SimSparkContext(parallelism=2)
         started = threading.Event()
+        release = threading.Event()
         finished = []
+        completed_at_return = []
 
         def slow_task():
             started.set()
-            import time
-            time.sleep(0.1)
+            release.wait(timeout=5.0)  # held in flight until released
             finished.append(True)
             return []
 
@@ -158,9 +159,18 @@ class TestLifecycleFixes:
         )
         runner.start()
         started.wait(timeout=5.0)
-        sctx.shutdown()  # wait=True: must block until tasks complete
-        assert len(finished) == 2
+
+        def do_shutdown():
+            sctx.shutdown()  # wait=True: must block until tasks complete
+            completed_at_return.append(len(finished))
+
+        shutter = threading.Thread(target=do_shutdown)
+        shutter.start()
+        release.set()
+        shutter.join(timeout=5.0)
         runner.join(timeout=5.0)
+        # shutdown returned only after both in-flight tasks finished
+        assert completed_at_return == [2]
 
     def test_context_manager_shuts_down(self):
         with SimSparkContext(parallelism=2) as sctx:

@@ -183,3 +183,102 @@ class TestWriteAfterReadHazard:
         )
         assert result.scalar("s") == 8.0
         assert result.matrix("A")[0, 0] == 101.0
+
+
+class TestWhileLoopShapeChanges:
+    """Recompilation must track shapes that change across while iterations
+    (the growth pattern the fuzzer's rbind-growing while loops exercise)."""
+
+    def test_while_rbind_growth_is_tracked(self):
+        source = """
+        A = X
+        i = 1
+        while (i < 4) {
+          A = rbind(A, X)
+          i = i + 1
+        }
+        n = nrow(A)
+        s = sum(A)
+        """
+        result = MLContext().execute(
+            source, inputs={"X": np.ones((2, 3))}, outputs=["n", "s"]
+        )
+        assert result.scalar("n") == 8  # 2 + 3 * 2 rows
+        assert result.scalar("s") == 8 * 3
+
+    def test_while_folds_fresh_ncol_each_iteration(self):
+        # ncol(A) is metadata-folded at recompile time; a stale plan would
+        # freeze the first iteration's literal into every later one
+        source = """
+        A = X
+        i = 1
+        total = 0
+        while (i < 4) {
+          A = cbind(A, X)
+          total = total + ncol(A)
+          i = i + 1
+        }
+        """
+        result = MLContext().execute(
+            source, inputs={"X": np.ones((2, 2))}, outputs=["total"]
+        )
+        assert result.scalar("total") == 4 + 6 + 8
+
+    def test_while_shape_growth_with_recompile_disabled_still_correct(self):
+        cfg = ReproConfig(enable_recompile=False)
+        source = """
+        A = X
+        i = 1
+        while (i < 3) {
+          A = rbind(A, A)
+          i = i + 1
+        }
+        n = nrow(A)
+        """
+        result = MLContext(cfg).execute(
+            source, inputs={"X": np.ones((2, 2))}, outputs=["n"]
+        )
+        assert result.scalar("n") == 8
+
+
+class TestPlanCacheBounds:
+    def _recompile_block(self):
+        program = compile_script("s = sum(X %*% t(X))", outputs=["s"])
+        block = program.blocks[0]
+        assert block.requires_recompile
+        return program, block
+
+    def test_eviction_cap_bounds_plans_per_block(self):
+        from repro.compiler.recompile import _MAX_PLANS_PER_BLOCK, _PLAN_CACHE
+
+        program, block = self._recompile_block()
+        config = ReproConfig()
+        for rows in range(2, 2 + _MAX_PLANS_PER_BLOCK + 8):
+            ctx = ExecutionContext(program, config)
+            ctx.set("X", MatrixObject.from_block(
+                BasicTensorBlock.rand((rows, 3), seed=rows)
+            ))
+            instructions = recompile_basic_block(block, ctx)
+            assert instructions  # still served beyond the cap, just uncached
+        assert len(_PLAN_CACHE[block]) <= _MAX_PLANS_PER_BLOCK
+
+    def test_cache_keys_include_the_config(self):
+        from repro.compiler.recompile import _PLAN_CACHE
+
+        program, block = self._recompile_block()
+        for config in (ReproConfig(), ReproConfig(enable_rewrites=False)):
+            ctx = ExecutionContext(program, config)
+            ctx.set("X", MatrixObject.from_block(
+                BasicTensorBlock.rand((6, 3), seed=9)
+            ))
+            recompile_basic_block(block, ctx)
+        # same statistics under two configs: two distinct cached plans
+        assert len(_PLAN_CACHE[block]) == 2
+
+    def test_same_context_hits_the_cached_plan(self):
+        program, block = self._recompile_block()
+        ctx = ExecutionContext(program, ReproConfig())
+        ctx.set("X", MatrixObject.from_block(BasicTensorBlock.rand((5, 4), seed=3)))
+        first = recompile_basic_block(block, ctx)
+        second = recompile_basic_block(block, ctx)
+        assert first is second  # identity: the cached instruction list

@@ -16,6 +16,14 @@ class FakeRequest:
         self.model = model
 
 
+def wait_until(predicate, timeout=5.0):
+    """Poll ``predicate`` until true (bounded); replaces fixed sleeps."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.001)
+
+
 class TestAdmission:
     def test_offer_take_roundtrip(self):
         batcher = MicroBatcher(max_batch_size=4, max_wait_ms=0.0)
@@ -68,16 +76,18 @@ class TestCoalescing:
         assert len(batch) == 2
 
     def test_linger_collects_stragglers(self):
-        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=200.0)
+        # a full batch ends the linger, so a huge max_wait_ms cannot stall
+        # the test and the straggler can never miss the linger window
+        batcher = MicroBatcher(max_batch_size=2, max_wait_ms=60_000.0)
         batcher.offer(FakeRequest())
 
         def straggler():
-            time.sleep(0.02)
+            wait_until(lambda: batcher._running.get("m@v1", 0) == 1)
             batcher.offer(FakeRequest())
 
         thread = threading.Thread(target=straggler)
         thread.start()
-        __, batch = batcher.take(timeout=0.5)
+        __, batch = batcher.take(timeout=60.0)
         thread.join()
         assert len(batch) == 2
 
@@ -114,22 +124,24 @@ class TestConcurrencyLimits:
         slot was not yet reserved, so a second worker could take the same
         limit=1 model concurrently (and steal requests out of FIFO order)."""
         limits = {"m@v1": 1}
-        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=150.0,
+        batcher = MicroBatcher(max_batch_size=2, max_wait_ms=60_000.0,
                                limit_of=limits.get)
         batcher.offer(FakeRequest("m@v1"))
         first_take = []
 
         def lingering_worker():
-            first_take.append(batcher.take(timeout=1.0))
+            first_take.append(batcher.take(timeout=60.0))
 
         worker = threading.Thread(target=lingering_worker)
         worker.start()
-        time.sleep(0.03)  # the worker is now inside its linger wait
+        # the slot is reserved before the linger wait begins, so seeing it
+        # held means the worker is lingering (or already draining)
+        wait_until(lambda: batcher._running.get("m@v1", 0) == 1)
         # a straggler arrives while the first worker lingers
         batcher.offer(FakeRequest("m@v1"))
         # a second worker must NOT get the model: it is at its limit
         stolen = batcher.take(timeout=0.05)
-        worker.join(timeout=2.0)
+        worker.join(timeout=5.0)
         assert stolen is None
         assert len(first_take) == 1 and first_take[0] is not None
         model, batch = first_take[0]
@@ -185,7 +197,8 @@ class TestShutdown:
 
         thread = threading.Thread(target=taker)
         thread.start()
-        time.sleep(0.02)
+        # max_wait_ms=0: an empty queue parks the taker on the condition
+        wait_until(lambda: len(batcher._cond._waiters) > 0 or taken)
         leftovers = batcher.close()
         thread.join(timeout=2.0)
         assert not thread.is_alive()

@@ -123,6 +123,8 @@ class TestConcurrentLoad:
         peak = [0]
         active = [0]
         gate = threading.Lock()
+        first_entered = threading.Event()
+        release = threading.Event()
         servable = registry.get("lm")
         inner = servable.score_batch
 
@@ -131,7 +133,10 @@ class TestConcurrentLoad:
                 active[0] += 1
                 peak[0] = max(peak[0], active[0])
             try:
-                time.sleep(0.005)
+                first_entered.set()
+                # hold the slot until every request is queued: a broken
+                # limit would let the three idle workers overlap here
+                release.wait(timeout=10.0)
                 return inner(matrix)
             finally:
                 with gate:
@@ -140,6 +145,8 @@ class TestConcurrentLoad:
         servable.score_batch = tracked
         with ScoringService(registry, workers=4, batching=False) as service:
             futures = [service.submit("lm", np.ones(6)) for _ in range(12)]
+            assert first_entered.wait(timeout=10.0)
+            release.set()
             for future in futures:
                 future.result(timeout=30.0)
         assert peak[0] == 1  # never more than the model's limit in flight
@@ -170,8 +177,9 @@ class TestOverloadAndTimeouts:
     def test_expired_requests_dropped_not_scored(self, registry):
         _register_lm(registry)
         service = ScoringService(registry, workers=1, batching=False)
-        future = service.submit("lm", np.ones(6), timeout=0.01)
-        time.sleep(0.05)  # the deadline passes while queued
+        # timeout=0 puts the deadline in the past: expired while queued,
+        # with no real sleep (deadline checks use a strict now > deadline)
+        future = service.submit("lm", np.ones(6), timeout=0.0)
         with service:
             with pytest.raises(ScoreTimeoutError, match="expired"):
                 future.result(timeout=10.0)

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
 from repro.tensor import BasicTensorBlock
 from repro.tensor.compressed import CompressedBlock, DictColumn, DenseColumn
 
@@ -138,6 +140,23 @@ class TestEndToEndUseCase:
             compressed.matvec(w).ravel(), y, atol=0.2
         )
 
+    def test_all_scalar_ops_roundtrip(self, categorical_block):
+        block, data = categorical_block
+        compressed = CompressedBlock.compress(block)
+        for op, expected in [("+", data + 2.0), ("-", data - 2.0),
+                             ("*", data * 2.0), ("/", data / 2.0),
+                             ("^", data ** 2.0)]:
+            np.testing.assert_allclose(
+                compressed.scalar_op(op, 2.0).decompress().to_numpy(), expected
+            )
+
+    def test_constant_column_compresses_to_one_entry(self):
+        data = np.column_stack([np.full(300, 7.0), np.zeros(300)])
+        compressed = CompressedBlock.compress(BasicTensorBlock.from_numpy(data))
+        assert all(len(c.values) == 1 for c in compressed.columns)
+        np.testing.assert_array_equal(compressed.decompress().to_numpy(), data)
+        np.testing.assert_allclose(compressed.col_sums(), [[2100.0, 0.0]])
+
     def test_memory_savings_realistic(self):
         # one-hot encoded features: the paper's data-prep output shape
         rng = np.random.default_rng(4)
@@ -146,3 +165,48 @@ class TestEndToEndUseCase:
         onehot[np.arange(2000), codes] = 1.0
         compressed = CompressedBlock.compress(BasicTensorBlock.from_numpy(onehot))
         assert compressed.compression_ratio() > 6.0
+
+
+class TestAgreementWithCodegenEngine:
+    """Compressed-space operations must agree with the DML engine evaluating
+    the same expression — with codegen's fused cell templates on AND off —
+    on the decompressed data (the differential check the fuzzer runs for
+    ordinary matrices, specialised here to the CLA path)."""
+
+    def _engine(self, source, inputs, output, codegen):
+        config = ReproConfig(enable_codegen=codegen)
+        result = MLContext(config).execute(source, inputs=inputs,
+                                           outputs=[output])
+        return result.matrix(output)
+
+    @pytest.mark.parametrize("codegen", [True, False], ids=["fused", "plain"])
+    def test_scalar_chain_matches_engine(self, categorical_block, codegen):
+        block, data = categorical_block
+        chained = (CompressedBlock.compress(block)
+                   .scalar_op("*", 2.0).scalar_op("+", 1.0).scalar_op("^", 2.0))
+        expected = self._engine("Y = (X * 2 + 1) ^ 2", {"X": data}, "Y", codegen)
+        np.testing.assert_allclose(chained.decompress().to_numpy(), expected)
+
+    @pytest.mark.parametrize("codegen", [True, False], ids=["fused", "plain"])
+    def test_matvec_matches_engine(self, categorical_block, codegen):
+        block, data = categorical_block
+        compressed = CompressedBlock.compress(block)
+        v = np.asarray([[2.0], [-1.0], [0.5]])
+        expected = self._engine("p = X %*% v", {"X": data, "v": v}, "p", codegen)
+        np.testing.assert_allclose(compressed.matvec(v), expected, rtol=1e-12)
+
+    @pytest.mark.parametrize("codegen", [True, False], ids=["fused", "plain"])
+    def test_vecmat_matches_engine(self, mixed_block, codegen):
+        block, data = mixed_block
+        compressed = CompressedBlock.compress(block)
+        v = np.random.default_rng(5).random((400, 1))
+        expected = self._engine("g = t(X) %*% v", {"X": data, "v": v}, "g",
+                                codegen)
+        np.testing.assert_allclose(compressed.vecmat(v), expected, rtol=1e-10)
+
+    @pytest.mark.parametrize("codegen", [True, False], ids=["fused", "plain"])
+    def test_colsums_of_scaled_matches_engine(self, categorical_block, codegen):
+        block, data = categorical_block
+        scaled = CompressedBlock.compress(block).scalar_op("*", 3.0)
+        expected = self._engine("c = colSums(X * 3)", {"X": data}, "c", codegen)
+        np.testing.assert_allclose(scaled.col_sums(), expected, rtol=1e-12)
