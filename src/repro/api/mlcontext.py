@@ -111,6 +111,11 @@ class MLContext:
         self._stats = None
         if self.config.enable_stats:
             self.set_stats(True)
+        self._checkpoints = None
+        if self.config.checkpoint_dir is not None:
+            from repro.checkpoint import CheckpointManager
+
+            self._checkpoints = CheckpointManager.from_config(self.config)
 
     @property
     def reuse_cache(self) -> Optional[ReuseCache]:
@@ -135,6 +140,10 @@ class MLContext:
         """The session's :class:`repro.obs.StatsRegistry` (None when off)."""
         return self._stats
 
+    def checkpoints(self):
+        """The session's :class:`CheckpointManager` (None when off)."""
+        return self._checkpoints
+
     def execute(
         self,
         script: str,
@@ -148,9 +157,13 @@ class MLContext:
         stats = {name: _stats_of(value) for name, value in bound.items()}
         program = compile_script(script, self.config, stats, outputs)
         handler = (lambda text: None) if capture_prints else None
+        if self._checkpoints is not None:
+            from repro.checkpoint.manager import script_fingerprint
+
+            self._checkpoints.bind_fingerprint(script_fingerprint(script))
         ctx = ExecutionContext(
             program, self.config, reuse=self._reuse, print_handler=handler,
-            stats=self._stats,
+            stats=self._stats, checkpoints=self._checkpoints,
         )
         for name, value in bound.items():
             ctx.set(name, value)

@@ -1,0 +1,24 @@
+"""Crash-consistent checkpoint/restore for long-running DML programs.
+
+A :class:`CheckpointManager` rides on the main interpretation frame
+(``ctx.checkpoints``, ``None`` fast path like ``ctx.stats``/``ctx.faults``)
+and snapshots the live symbol table plus the loop cursor at while/for/
+parfor iteration boundaries.  Snapshots are incremental — a variable whose
+lineage hash (or content checksum) is unchanged since the last checkpoint
+reuses its existing data file — and land through the atomic-write
+primitive of :mod:`repro.io.atomic` under a versioned JSON manifest, so a
+kill at any instant leaves either the previous checkpoint or the new one,
+never a torn state.  ``repro-dml --resume`` restores the manifest and
+fast-forwards the program to the saved block/iteration; resumed runs are
+bit-identical to uninterrupted ones.
+"""
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.manifest import MANIFEST_NAME, MANIFEST_VERSION, load_manifest
+
+__all__ = [
+    "CheckpointManager",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "load_manifest",
+]

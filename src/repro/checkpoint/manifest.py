@@ -1,0 +1,135 @@
+"""The versioned checkpoint manifest: load, validate, verify.
+
+A checkpoint directory holds one ``manifest.json`` (the commit point —
+always written atomically, last) and a ``data/`` directory of
+content-addressed pickle files, one per non-scalar variable payload::
+
+    manifest.json             # version, cursor path, variables, seed state
+    data/ck-<checksum>.bin    # pickled payload, named by its blake2b hash
+
+The manifest's ``path`` is the loop-cursor stack at the snapshot: a list
+of frames, outermost first, each ``["seq", index]``, ``["for", next_i,
+stop, step]``, ``["while", iterations]``, or ``["if", branch]``.  Resume
+replays the frames to fast-forward the interpreter to the exact boundary
+the snapshot was taken at.
+
+``load_manifest`` performs all structural and checksum validation up
+front and raises :class:`CheckpointError`/:class:`CorruptCheckpointError`
+with actionable messages, so ``repro-dml --resume`` can turn any broken
+state into a clean diagnostic instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import CheckpointError, CorruptCheckpointError
+from repro.io.atomic import checksum_file
+
+#: Manifest schema version; bump on any incompatible layout change.
+MANIFEST_VERSION = 1
+
+#: File name of the manifest inside a checkpoint directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Subdirectory of the checkpoint directory holding payload files.
+DATA_DIR = "data"
+
+_REQUIRED_KEYS = ("checkpoint_id", "boundary", "path", "seed_state", "variables")
+
+_FRAME_KINDS = ("seq", "for", "while", "if")
+
+
+def manifest_path(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_NAME)
+
+
+def load_manifest(directory: str, verify_data: bool = True) -> dict:
+    """Load and validate the manifest of a checkpoint directory.
+
+    Raises :class:`CheckpointError` when there is nothing to resume
+    (missing manifest, completed run) and :class:`CorruptCheckpointError`
+    when the manifest or a referenced data file fails validation.
+    """
+    path = manifest_path(directory)
+    if not os.path.exists(path):
+        raise CheckpointError(
+            f"no checkpoint manifest at {path} — nothing to resume "
+            f"(was the run started with --checkpoint-dir?)"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CorruptCheckpointError(
+            f"checkpoint manifest {path} is unreadable or not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise CorruptCheckpointError(
+            f"checkpoint manifest {path} is not a JSON object"
+        )
+    version = data.get("version")
+    if version != MANIFEST_VERSION:
+        raise CorruptCheckpointError(
+            f"checkpoint manifest {path} has unsupported version {version!r} "
+            f"(this build reads version {MANIFEST_VERSION})"
+        )
+    if data.get("completed"):
+        raise CheckpointError(
+            f"checkpoint at {directory} marks a completed run — nothing to resume"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in data]
+    if missing:
+        raise CorruptCheckpointError(
+            f"checkpoint manifest {path} is missing required keys: {missing}"
+        )
+    _validate_path(data["path"], path)
+    if not isinstance(data["variables"], dict):
+        raise CorruptCheckpointError(
+            f"checkpoint manifest {path}: 'variables' must be an object"
+        )
+    if verify_data:
+        verify_data_files(directory, data)
+    return data
+
+
+def _validate_path(frames, path: str) -> None:
+    if not isinstance(frames, list):
+        raise CorruptCheckpointError(
+            f"checkpoint manifest {path}: 'path' must be a list of frames"
+        )
+    for frame in frames:
+        if (not isinstance(frame, list) or not frame
+                or frame[0] not in _FRAME_KINDS):
+            raise CorruptCheckpointError(
+                f"checkpoint manifest {path}: malformed cursor frame {frame!r}"
+            )
+
+
+def verify_data_files(directory: str, manifest: dict) -> None:
+    """Checksum-verify every data file the manifest references."""
+    for name, entry in manifest["variables"].items():
+        if not isinstance(entry, dict):
+            raise CorruptCheckpointError(
+                f"checkpoint variable {name!r} has a malformed entry"
+            )
+        if entry.get("kind") == "scalar":
+            continue
+        filename = entry.get("file")
+        expected = entry.get("checksum")
+        if not filename or not expected:
+            raise CorruptCheckpointError(
+                f"checkpoint variable {name!r} lacks a data file or checksum"
+            )
+        full = os.path.join(directory, filename)
+        if not os.path.exists(full):
+            raise CorruptCheckpointError(
+                f"checkpoint data file {full} (variable {name!r}) is missing"
+            )
+        actual = checksum_file(full)
+        if actual != expected:
+            raise CorruptCheckpointError(
+                f"checkpoint data file {full} (variable {name!r}) is corrupt: "
+                f"checksum {actual} != recorded {expected}"
+            )

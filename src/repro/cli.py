@@ -12,6 +12,12 @@ tracing and ``--reuse`` lineage-based reuse of intermediates.
 a script (micro-batched vs. one-at-a-time throughput; see
 ``repro.serving.bench``), optionally writing ``BENCH_serving.json`` via
 ``--serve-out``.
+
+``--checkpoint-dir DIR`` snapshots live variables at loop/top-level block
+boundaries (``--checkpoint-every N`` thins the cadence); after a crash,
+``--resume`` restores the manifest and fast-forwards the program to the
+saved block/iteration.  Exit codes: 2 for a missing/corrupt manifest on
+``--resume``, 3 when an injected ``crash=`` fault killed the run.
 """
 
 from __future__ import annotations
@@ -102,6 +108,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="retries per request/task/spill after the "
                                  "first attempt (default 2); enables the "
                                  "tolerance machinery even without faults")
+    checkpoint = parser.add_argument_group("checkpoint / restore")
+    checkpoint.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="directory for crash-consistent checkpoints; enables "
+             "checkpointing at loop/top-level block boundaries (implies "
+             "--lineage for incremental snapshots)")
+    checkpoint.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot every N interpreter boundaries (default 1)")
+    checkpoint.add_argument(
+        "--resume", action="store_true",
+        help="resume from the manifest in --checkpoint-dir, fast-forwarding "
+             "the program to the saved block/iteration")
     return parser
 
 
@@ -144,6 +163,13 @@ def main(argv=None) -> int:
     if args.retry_budget is not None:
         overrides["retry_budget"] = args.retry_budget
         overrides["enable_resilience"] = True
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.checkpoint_dir is not None:
+        overrides["checkpoint_dir"] = args.checkpoint_dir
+        overrides["checkpoint_every"] = args.checkpoint_every
+        # Incremental snapshots key off lineage hashes.
+        overrides["enable_lineage"] = True
     try:
         config = ReproConfig(**overrides)
     except ValueError as exc:
@@ -165,12 +191,31 @@ def main(argv=None) -> int:
         print(program.explain(), file=sys.stderr)
 
     ml = MLContext(config)
+    if args.resume:
+        from repro.errors import CheckpointError
+
+        try:
+            ml.checkpoints().prepare_resume()
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     start = time.time()
     try:
         results = ml.execute(
             source, inputs=_parse_args(args.args), capture_prints=False
         )
     except Exception as exc:  # noqa: BLE001 - report any script failure
+        from repro.errors import InjectedCrashError
+
+        if isinstance(exc, InjectedCrashError):
+            print(f"error: {exc}", file=sys.stderr)
+            if args.checkpoint_dir is not None:
+                print(
+                    "note: rerun with --resume to continue from the last "
+                    "checkpoint",
+                    file=sys.stderr,
+                )
+            return 3
         print(f"error: {exc}", file=sys.stderr)
         return 1
     elapsed = time.time() - start

@@ -97,6 +97,16 @@ class ReproConfig:
     #: Open -> half-open cooldown of the serving circuit breaker.
     breaker_cooldown_s: float = 10.0
 
+    # --- checkpoint / restore --------------------------------------------------
+    #: Directory for crash-consistent checkpoints (``repro-dml
+    #: --checkpoint-dir``).  None disables checkpointing: contexts then
+    #: carry no :class:`repro.checkpoint.CheckpointManager` and the
+    #: interpreter keeps a single ``ctx.checkpoints is None`` fast path.
+    checkpoint_dir: Optional[str] = None
+    #: Snapshot cadence: a checkpoint is taken every N interpreter loop /
+    #: top-level block boundaries.
+    checkpoint_every: int = 1
+
     # --- kernels --------------------------------------------------------------
     #: When False, dense matrix multiplies use the blocked pure-Python-driven
     #: kernel that models SystemDS' Java matmult; when True they call the
@@ -130,6 +140,8 @@ class ReproConfig:
             raise ValueError("retry_budget must be >= 0")
         if self.max_instructions is not None and self.max_instructions < 1:
             raise ValueError("max_instructions must be >= 1 (or None)")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         if self.fault_spec is not None:
             from repro.resilience.faults import FaultPlan
 

@@ -51,6 +51,30 @@ class InjectedFaultError(ReproError):
         super().__init__(f"injected fault at {point!r}")
 
 
+class InjectedCrashError(ReproError):
+    """A deterministic process-crash fault (``crash=N`` in a fault spec).
+
+    Deliberately *not* an :class:`InjectedFaultError`: crashes model the
+    process dying, so no retry layer may swallow one — it propagates
+    straight out of the interpreter, exactly like a kill would, and only a
+    checkpoint resume brings the run back.
+    """
+
+    def __init__(self, point: str):
+        self.point = point
+        super().__init__(f"injected crash at {point!r}")
+
+
+class CheckpointError(ReproError):
+    """Raised by :mod:`repro.checkpoint` on resume/manifest protocol errors
+    (missing manifest, completed run, script fingerprint mismatch)."""
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A checkpoint manifest or data file failed validation (unparsable
+    JSON, checksum mismatch, missing data file, structural mismatch)."""
+
+
 class TaskRetryExhaustedError(RuntimeDMLError):
     """A distributed task kept failing past the per-task retry budget."""
 

@@ -1,0 +1,99 @@
+"""Crash-consistent file writes shared by io, checkpointing, and spilling.
+
+Every writer in the system funnels through :func:`atomic_open`: the
+content is written to a temporary file in the *same* directory as the
+target and published with a single ``os.replace`` — so a reader (or a
+restarted process) either sees the complete previous file or the complete
+new one, never a truncated mix.  Any failure mid-write unlinks the
+temporary file, leaving the target untouched.
+
+Checkpoint manifests additionally want durability, not just atomicity:
+``fsync=True`` flushes the temp file to stable storage before the rename.
+Spill files skip the fsync — a crashed process loses its spills anyway,
+only torn files would be a problem.
+
+``checksum_bytes``/``checksum_file`` provide the blake2b content hashes
+the checkpoint manifest stores next to every data file, so a restore can
+detect corruption instead of resuming from garbage.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+
+#: Digest size (bytes) of the content checksums; 16 bytes matches the
+#: lineage item keys, and collisions are astronomically unlikely.
+DIGEST_SIZE = 16
+
+
+def checksum_bytes(data: bytes) -> str:
+    """Hex blake2b content hash of a byte string."""
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE).hexdigest()
+
+
+def checksum_file(path: str, chunk_size: int = 1 << 20) -> str:
+    """Hex blake2b content hash of a file, streamed in chunks."""
+    digest = hashlib.blake2b(digest_size=DIGEST_SIZE)
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@contextlib.contextmanager
+def atomic_open(path: str, mode: str = "w", encoding=None, newline=None,
+                fsync: bool = False):
+    """Open a temp file that atomically replaces ``path`` on clean exit.
+
+    The temp file lives in the target's directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX).  On any
+    exception the temp file is removed and the target is left untouched.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_open supports write modes only, got {mode!r}")
+    target = os.path.abspath(path)
+    directory = os.path.dirname(target)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding, newline=newline) as handle:
+            yield handle
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = False) -> None:
+    """Atomically publish ``data`` as the content of ``path``."""
+    with atomic_open(path, "wb", fsync=fsync) as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8",
+                      fsync: bool = False) -> None:
+    """Atomically publish ``text`` as the content of ``path``."""
+    with atomic_open(path, "w", encoding=encoding, fsync=fsync) as handle:
+        handle.write(text)
+
+
+def atomic_write_json(path: str, obj, fsync: bool = True) -> None:
+    """Atomically publish ``obj`` as pretty JSON (fsynced by default:
+    manifests are commit points)."""
+    atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True),
+                      fsync=fsync)

@@ -13,6 +13,8 @@ import json
 import numpy as np
 import scipy.sparse as sp
 
+from repro.io.atomic import atomic_open
+
 from repro.errors import IOFormatError
 from repro.tensor import BasicTensorBlock
 from repro.types import ValueType
@@ -21,7 +23,7 @@ _MAGIC = b"RPBB"
 
 
 def write_binary_matrix(block: BasicTensorBlock, path: str) -> None:
-    with open(path, "wb") as handle:
+    with atomic_open(path, "wb") as handle:
         handle.write(_MAGIC)
         if block.is_sparse and block.ndim == 2:
             csr = block.to_scipy()

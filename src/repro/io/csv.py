@@ -14,6 +14,8 @@ import io
 import warnings
 from typing import List, Optional, Sequence
 
+from repro.io.atomic import atomic_open
+
 import numpy as np
 
 from repro.errors import IOFormatError
@@ -93,7 +95,7 @@ def write_csv_matrix(block: BasicTensorBlock, path: str, sep: str = ",") -> None
     data = block.to_numpy()
     if data.ndim != 2:
         raise IOFormatError("CSV writer requires a 2D block")
-    with open(path, "w", encoding="utf-8", newline="") as handle:
+    with atomic_open(path, "w", encoding="utf-8", newline="") as handle:
         buffer = io.StringIO()
         np.savetxt(buffer, data, delimiter=sep, fmt="%.17g")
         handle.write(buffer.getvalue())
@@ -188,7 +190,7 @@ def _convert_column(column: np.ndarray, value_type: ValueType, na_strings) -> np
 
 
 def write_csv_frame(frame: Frame, path: str, sep: str = ",", header: bool = True) -> None:
-    with open(path, "w", encoding="utf-8", newline="") as handle:
+    with atomic_open(path, "w", encoding="utf-8", newline="") as handle:
         if header:
             handle.write(sep.join(frame.names) + "\n")
         for i in range(frame.num_rows):

@@ -12,6 +12,7 @@ import os
 from typing import Optional
 
 from repro.errors import IOFormatError
+from repro.io.atomic import atomic_open
 
 
 def mtd_path(path: str) -> str:
@@ -38,7 +39,7 @@ def write_mtd(
     }
     if schema is not None:
         meta["schema"] = schema
-    with open(mtd_path(path), "w", encoding="utf-8") as handle:
+    with atomic_open(mtd_path(path), "w", encoding="utf-8") as handle:
         json.dump(meta, handle, indent=2)
 
 

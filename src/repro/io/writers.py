@@ -3,6 +3,11 @@
 Writes the payload in the requested format and always emits the ``.mtd``
 metadata file next to it, so later reads (and compile-time size
 propagation) know dimensions without scanning.
+
+Every write is crash-consistent: data lands in a temp file in the target
+directory and is published with an atomic rename
+(:func:`repro.io.atomic.atomic_open`), so a process killed mid-write
+never leaves a partial file visible at the destination path.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from typing import Dict
 from repro.errors import IOFormatError
 from repro.io import binary as binary_io
 from repro.io import csv as csv_io
+from repro.io.atomic import atomic_open
 from repro.io.mtd import write_mtd
 from repro.runtime.data import ScalarObject
 from repro.tensor import BasicTensorBlock, Frame
@@ -53,7 +59,7 @@ def write_matrix(block: BasicTensorBlock, path: str, params: Dict) -> None:
 
 def _write_text_cells(block: BasicTensorBlock, path: str) -> None:
     csr = block.to_scipy().tocoo()
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_open(path, "w", encoding="utf-8") as handle:
         for i, j, v in zip(csr.row, csr.col, csr.data):
             handle.write(f"{i + 1} {j + 1} {v:.17g}\n")
 
@@ -72,6 +78,6 @@ def write_frame(frame: Frame, path: str, params: Dict) -> None:
 
 
 def write_scalar(value, path: str, params: Dict) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_open(path, "w", encoding="utf-8") as handle:
         handle.write(f"{value}\n")
     write_mtd(path, 1, 1, 1, data_type="scalar", format_name="text")

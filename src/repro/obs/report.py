@@ -24,6 +24,7 @@ _SECTION_TITLES = {
     "federated": "Federated sites",
     "serving": "Serving",
     "resilience": "Resilience",
+    "checkpoint": "Checkpoint",
     "qa": "Differential fuzzing",
 }
 
@@ -105,6 +106,11 @@ def attach_qa(registry: StatsRegistry, stats) -> None:
     registry.attach("qa", stats.snapshot)
 
 
+def attach_checkpoint(registry: StatsRegistry, manager) -> None:
+    """Feed a ``CheckpointManager.snapshot()`` into ``checkpoint``."""
+    registry.attach("checkpoint", manager.snapshot)
+
+
 def observe_context(registry: StatsRegistry, ctx) -> None:
     """Attach the standard probes of one execution context's services."""
     attach_pool(registry, ctx.pool)
@@ -113,6 +119,8 @@ def observe_context(registry: StatsRegistry, ctx) -> None:
     attach_spark(registry, lambda: ctx._spark)
     if getattr(ctx, "faults", None) is not None:
         attach_resilience(registry, ctx.faults)
+    if getattr(ctx, "checkpoints", None) is not None:
+        attach_checkpoint(registry, ctx.checkpoints)
 
 
 # ---------------------------------------------------------------------------

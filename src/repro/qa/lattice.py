@@ -21,6 +21,7 @@ lineage_reuse      lineage tracing + full reuse of repeated subcomputations
 federated          inputs hosted on two federated sites, row-partitioned
 chaos_spill        buffer-pool spill faults + retries; must be bit-identical
 chaos_federated    federated request faults + failover; bit-identical
+chaos_crash        crash mid-program + checkpoint resume; bit-identical
 chaos_spark        distributed task faults + task retry; bit-identical
 =================  =========================================================
 
@@ -61,6 +62,10 @@ class LatticeConfig:
     federated: bool = False
     #: Compare bit-identically instead of within tolerance.
     bitwise: bool = False
+    #: Run with checkpointing, crash the interpreter mid-program via an
+    #: injected ``crash=`` fault, then resume from the manifest; the
+    #: resumed outputs are what gets compared.
+    crash_resume: bool = False
     #: Name of the config whose results this one must match
     #: (None = the lattice baseline).
     reference: Optional[str] = None
@@ -220,6 +225,16 @@ class Lattice:
                 },
                 bitwise=True,
                 reference="federated",
+            ),
+            LatticeConfig(
+                name="chaos_crash",
+                description="interpreter killed mid-program by an injected "
+                            "crash, then resumed from the last checkpoint; "
+                            "bit-identical to the uninterrupted baseline",
+                overrides={"enable_lineage": True},
+                bitwise=True,
+                reference="baseline",
+                crash_resume=True,
             ),
             LatticeConfig(
                 name="chaos_spark",

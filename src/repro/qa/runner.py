@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import dataclasses
 import shutil
+import tempfile
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.mlcontext import MLContext
+from repro.errors import InjectedCrashError
 from repro.federated.site import FederatedWorkerRegistry
 from repro.qa.generator import MATRIX, SCALAR, GeneratedProgram
 from repro.qa.lattice import Lattice, LatticeConfig
@@ -173,9 +175,15 @@ class DifferentialRunner:
                 run_source, run_inputs, hosted = self._federate_inputs(
                     config, source, inputs, seed, registry
                 )
-            result = MLContext(repro_config).execute(
-                run_source, inputs=run_inputs, outputs=[name for name, __ in outputs]
-            )
+            output_names = [name for name, __ in outputs]
+            if config.crash_resume:
+                result = self._execute_crash_resume(
+                    repro_config, run_source, run_inputs, output_names
+                )
+            else:
+                result = MLContext(repro_config).execute(
+                    run_source, inputs=run_inputs, outputs=output_names
+                )
             values: Dict[str, object] = {}
             for name, kind in outputs:
                 if kind == MATRIX:
@@ -194,6 +202,44 @@ class DifferentialRunner:
                 registry.stop_site(address)
             if repro_config.spill_dir is not None:
                 shutil.rmtree(repro_config.spill_dir, ignore_errors=True)
+
+    def _execute_crash_resume(
+        self,
+        repro_config,
+        source: str,
+        inputs: Dict[str, np.ndarray],
+        output_names: Sequence[str],
+    ):
+        """Run with checkpointing, crash at the 2nd boundary, resume.
+
+        Returns the resumed run's :class:`~repro.api.mlcontext.Results`
+        (or the uninterrupted result when the program is too short to
+        reach the injected crash).
+        """
+        ckpt_dir = tempfile.mkdtemp(prefix="repro-qa-ckpt-")
+        crash_config = repro_config.copy(
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=1,
+            fault_spec="checkpoint.boundary:crash=2",
+        )
+        resume_config = repro_config.copy(
+            checkpoint_dir=ckpt_dir, checkpoint_every=1
+        )
+        try:
+            try:
+                return MLContext(crash_config).execute(
+                    source, inputs=inputs, outputs=output_names
+                )
+            except InjectedCrashError:
+                pass
+            ml = MLContext(resume_config)
+            ml.checkpoints().prepare_resume()
+            return ml.execute(source, inputs=inputs, outputs=output_names)
+        finally:
+            shutil.rmtree(ckpt_dir, ignore_errors=True)
+            for cfg in (crash_config, resume_config):
+                if cfg.spill_dir is not None and cfg.spill_dir != repro_config.spill_dir:
+                    shutil.rmtree(cfg.spill_dir, ignore_errors=True)
 
     def _federate_inputs(
         self,

@@ -3,8 +3,12 @@
 A :class:`FaultPlan` names *injection points* — fixed places in the
 runtime where the tolerance machinery can be made to face failure — and
 assigns each a rule: a per-call failure probability (``p=``), a
-fail-N-then-succeed count (``fail=``), and/or an added latency
-(``latency_ms=``).  The :class:`FaultInjector` executes a plan with one
+fail-N-then-succeed count (``fail=``), an added latency
+(``latency_ms=``), and/or a deterministic process kill (``crash=N``: the
+N-th call at the point raises :class:`InjectedCrashError`, which no retry
+layer catches — the run dies exactly like a real crash and only a
+checkpoint resume continues it).  The :class:`FaultInjector` executes a
+plan with one
 seeded RNG stream *per point*, so a given (spec, seed) pair injects the
 same fault schedule on every run — chaos tests are reproducible and a
 failing seed can be replayed.
@@ -13,7 +17,7 @@ Fault-spec grammar (the ``repro-dml --inject-faults`` argument)::
 
     SPEC   := CLAUSE (';' CLAUSE)*
     CLAUSE := POINT ':' PARAM (',' PARAM)*
-    PARAM  := 'p=' FLOAT | 'fail=' INT | 'latency_ms=' FLOAT
+    PARAM  := 'p=' FLOAT | 'fail=' INT | 'latency_ms=' FLOAT | 'crash=' INT
     POINT  := one of KNOWN_POINTS, or '*' for all of them
 
 Example: ``site.request:p=0.1;spill.write:fail=2,latency_ms=5``.
@@ -28,7 +32,7 @@ import time
 import zlib
 from typing import Callable, Dict, Optional
 
-from repro.errors import InjectedFaultError
+from repro.errors import InjectedCrashError, InjectedFaultError
 
 #: Every injection point wired into the runtime.  Parsing rejects unknown
 #: names so a typo in a chaos spec fails loudly instead of injecting nothing.
@@ -39,6 +43,7 @@ KNOWN_POINTS = (
     "spill.read",     # buffer-pool restore from a spill file
     "spill.write",    # buffer-pool eviction write to a spill file
     "serve.score",    # one scoring batch execution in the serving layer
+    "checkpoint.boundary",  # a loop/top-level block boundary of the interpreter
 )
 
 
@@ -50,6 +55,7 @@ class FaultRule:
     probability: float = 0.0  # chance each call fails (seeded, per point)
     fail_first: int = 0       # the first N calls fail, then calls succeed
     latency_ms: float = 0.0   # added delay on every call (slow, not broken)
+    crash_after: int = 0      # the N-th call raises InjectedCrashError (0 = never)
 
     def __post_init__(self) -> None:
         if self.point not in KNOWN_POINTS:
@@ -63,6 +69,8 @@ class FaultRule:
             raise ValueError("fail= count must be >= 0")
         if self.latency_ms < 0:
             raise ValueError("latency_ms= must be >= 0")
+        if self.crash_after < 0:
+            raise ValueError("crash= count must be >= 0")
 
 
 class FaultPlan:
@@ -102,9 +110,12 @@ class FaultPlan:
                         kwargs["fail_first"] = int(value)
                     elif key in ("latency", "latency_ms"):
                         kwargs["latency_ms"] = float(value)
+                    elif key == "crash":
+                        kwargs["crash_after"] = int(value)
                     else:
                         raise ValueError(
-                            f"unknown fault param {key!r} (use p=, fail=, latency_ms=)"
+                            f"unknown fault param {key!r} "
+                            f"(use p=, fail=, latency_ms=, crash=)"
                         )
                 except (TypeError, ValueError) as exc:
                     if "unknown fault param" in str(exc):
@@ -158,26 +169,34 @@ class FaultInjector:
         Applies the rule's latency either way; returns True when the call
         should fail without raising — used by loss-style points such as
         ``rdd.cache_loss`` where "failure" is an event, not an exception.
+
+        A ``crash=N`` rule raises :class:`InjectedCrashError` on the N-th
+        call instead of returning: the crash models the process dying, so
+        it must escape every retry wrapper above this frame.
         """
         state = self._states.get(point)
         if state is None:
             return False
         rule = state.rule
+        crash = False
+        fail = False
         with state.lock:
             state.calls += 1
-            if state.failed_so_far < rule.fail_first:
+            if rule.crash_after and state.calls == rule.crash_after:
+                crash = True
+            elif state.failed_so_far < rule.fail_first:
                 state.failed_so_far += 1
                 fail = True
             elif rule.probability > 0.0:
                 fail = state.rng.random() < rule.probability
-            else:
-                fail = False
-            if fail:
+            if fail or crash:
                 state.injected += 1
         if rule.latency_ms > 0.0:
             self._sleep(rule.latency_ms / 1e3)
-        if fail and self.stats is not None:
+        if (fail or crash) and self.stats is not None:
             self.stats.record_injection(point)
+        if crash:
+            raise InjectedCrashError(point)
         return fail
 
     def fire(self, point: str) -> None:

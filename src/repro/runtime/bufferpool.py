@@ -16,10 +16,78 @@ import collections
 import itertools
 import os
 import pickle
+import shutil
 import threading
 from typing import Dict, Optional
 
 from repro.errors import BufferPoolError, InjectedFaultError, SpillFailureError
+from repro.io.atomic import atomic_write_bytes
+
+#: Name of the ownership marker inside each spill directory.  It holds the
+#: owning process id; scavenging only removes directories whose owner is
+#: provably dead, so concurrent pools of live processes are never touched.
+PID_FILE = "owner.pid"
+
+#: Prefix of spill directories created by ``ReproConfig.resolve_spill_dir``.
+SPILL_PREFIX = "repro-spill-"
+
+#: Parent directories already scavenged by this process (scavenging is an
+#: O(listdir) scan — once per root per process is enough).
+_SCAVENGED_ROOTS = set()
+_SCAVENGE_LOCK = threading.Lock()
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when a process with this pid exists (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but owned by someone else — leave it alone
+    return True
+
+
+def scavenge_spill_dirs(root: str, prefix: str = SPILL_PREFIX,
+                        skip: tuple = ()) -> int:
+    """Remove orphaned spill directories under ``root``.
+
+    A directory qualifies when its name starts with ``prefix``, it is not
+    listed in ``skip``, and its :data:`PID_FILE` names a process that no
+    longer exists.  Directories without a readable pid marker are left
+    alone (conservative: they may belong to an older version or another
+    tool).  Returns the number of directories removed.
+    """
+    removed = 0
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        candidate = os.path.join(root, name)
+        if candidate in skip or not os.path.isdir(candidate):
+            continue
+        try:
+            with open(os.path.join(candidate, PID_FILE), "r",
+                      encoding="utf-8") as handle:
+                pid = int(handle.read().strip())
+        except (OSError, ValueError):
+            continue  # no marker — not provably ours/dead
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        shutil.rmtree(candidate, ignore_errors=True)
+        removed += 1
+    return removed
+
+
+def _scavenge_once(root: str, own_dir: str) -> None:
+    with _SCAVENGE_LOCK:
+        if root in _SCAVENGED_ROOTS:
+            return
+        _SCAVENGED_ROOTS.add(root)
+    scavenge_spill_dirs(root, skip=(own_dir,))
 
 
 class CacheEntry:
@@ -53,6 +121,11 @@ class BufferPool:
         #: and ``spill.read`` injection points); writes that stay broken
         #: fall back to pinning the entry in memory instead of losing it.
         self.resilience = resilience
+        self._pid_written = False
+        # One startup scavenge per parent directory: reclaim spill dirs a
+        # crashed process left behind (its pid is gone, ours differs).
+        _scavenge_once(os.path.dirname(os.path.abspath(spill_dir)),
+                       os.path.abspath(spill_dir))
         self._entries: Dict[int, CacheEntry] = {}
         self._lru = collections.OrderedDict()  # entry_id -> None, oldest first
         self._ids = itertools.count(1)
@@ -176,16 +249,31 @@ class BufferPool:
     def close(self) -> None:
         """Drop all entries and remove the spill directory.
 
-        The directory is only removed when it ends up empty: the spill dir
-        may be shared by other pools of the same config, whose files must
-        survive.  Safe to call more than once.
+        The directory is only removed when it ends up empty (modulo our own
+        pid marker): the spill dir may be shared by other pools of the same
+        config, whose files must survive.  Also scavenges orphaned sibling
+        spill dirs left behind by crashed processes.  Safe to call more
+        than once.
         """
         with self._lock:
             self.clear()
+            if self._pid_written:
+                try:
+                    leftover = [n for n in os.listdir(self.spill_dir)
+                                if n != PID_FILE]
+                    if not leftover:
+                        os.unlink(os.path.join(self.spill_dir, PID_FILE))
+                        self._pid_written = False
+                except OSError:
+                    pass
             try:
                 os.rmdir(self.spill_dir)
             except OSError:
                 pass  # never created, already gone, or other pools still spill here
+        scavenge_spill_dirs(
+            os.path.dirname(os.path.abspath(self.spill_dir)),
+            skip=(os.path.abspath(self.spill_dir),),
+        )
 
     # --- internals ------------------------------------------------------------------
 
@@ -243,11 +331,19 @@ class BufferPool:
             if resilience is not None:
                 resilience.fire("spill.write")
             os.makedirs(self.spill_dir, exist_ok=True)
+            if not self._pid_written:
+                atomic_write_bytes(
+                    os.path.join(self.spill_dir, PID_FILE),
+                    f"{os.getpid()}\n".encode("ascii"),
+                )
+                self._pid_written = True
             path = os.path.join(
                 self.spill_dir, f"entry-{id(self)}-{entry.entry_id}.bin"
             )
-            with open(path, "wb") as handle:
-                pickle.dump(entry.payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            # Atomic publish: a crash mid-write leaves only a temp file, so
+            # a later restore never unpickles a truncated payload.
+            payload = pickle.dumps(entry.payload, protocol=pickle.HIGHEST_PROTOCOL)
+            atomic_write_bytes(path, payload)
             entry.spill_path = path
 
         if resilience is None:

@@ -32,6 +32,7 @@ class ExecutionContext:
         metrics: Optional[Dict[str, float]] = None,
         stats=None,
         faults=None,
+        checkpoints=None,
     ):
         self.program = program
         self.config = config
@@ -42,6 +43,11 @@ class ExecutionContext:
         #: Optional :class:`repro.resilience.ResilienceManager`; None keeps
         #: every tolerance hook on its zero-overhead fast path.
         self.faults = faults
+        #: Optional :class:`repro.checkpoint.CheckpointManager`; None keeps
+        #: every interpreter boundary on its zero-overhead fast path.  Only
+        #: the main frame carries one — :meth:`child` drops it, so function
+        #: and parfor frames never snapshot.
+        self.checkpoints = checkpoints
         self.pool = pool or BufferPool(
             config.bufferpool_budget, config.resolve_spill_dir(), resilience=faults
         )

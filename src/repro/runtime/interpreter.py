@@ -28,18 +28,57 @@ from repro.tensor import BasicTensorBlock
 
 def execute_program(program, ctx: ExecutionContext) -> None:
     """Interpret a compiled runtime program against a fresh context."""
+    checkpoints = ctx.checkpoints
+    if checkpoints is not None:
+        checkpoints.begin(ctx)
     execute_blocks(program.blocks, ctx, top_level=True)
+    if checkpoints is not None:
+        checkpoints.finish(ctx)
+
+
+def _boundary(ctx: ExecutionContext) -> None:
+    """One loop-iteration/top-level boundary of the main frame.
+
+    The injection point fires first (so ``crash=`` kills the run even in
+    frames without a checkpoint manager), then the manager snapshots on
+    its cadence.  Callers guard with the same ``is None`` fast-path checks
+    as ``ctx.stats``, so boundary costs nothing when both are off.
+    """
+    if ctx.faults is not None:
+        ctx.faults.fire("checkpoint.boundary")
+    if ctx.checkpoints is not None:
+        ctx.checkpoints.boundary(ctx)
 
 
 def execute_blocks(blocks, ctx: ExecutionContext, top_level: bool = False) -> None:
     """Run a block sequence; after top-level blocks, non-live variables die."""
-    for block in blocks:
-        execute_block(block, ctx)
-        if top_level:
-            live = set(block.live_out) | set(ctx.program.outputs)
-            ctx.cleanup_nonlive(live)
-        else:
-            ctx.cleanup_temps()
+    checkpoints = ctx.checkpoints
+    if checkpoints is None:
+        for block in blocks:
+            execute_block(block, ctx)
+            if top_level:
+                live = set(block.live_out) | set(ctx.program.outputs)
+                ctx.cleanup_nonlive(live)
+                if ctx.faults is not None:
+                    ctx.faults.fire("checkpoint.boundary")
+            else:
+                ctx.cleanup_temps()
+        return
+    start = checkpoints.enter_seq()
+    try:
+        for index, block in enumerate(blocks):
+            if index < start:
+                continue  # fast-forward past blocks a checkpoint completed
+            checkpoints.advance_seq(index)
+            execute_block(block, ctx)
+            if top_level:
+                live = set(block.live_out) | set(ctx.program.outputs)
+                ctx.cleanup_nonlive(live)
+                _boundary(ctx)
+            else:
+                ctx.cleanup_temps()
+    finally:
+        checkpoints.exit_seq()
 
 
 def execute_block(block, ctx: ExecutionContext) -> None:
@@ -47,15 +86,59 @@ def execute_block(block, ctx: ExecutionContext) -> None:
     if isinstance(block, BasicBlock):
         _execute_basic(block, ctx)
     elif isinstance(block, IfBlock):
-        condition = eval_predicate(block.predicate, ctx).as_bool()
-        execute_blocks(block.then_blocks if condition else block.else_blocks, ctx)
+        _execute_if(block, ctx)
     elif isinstance(block, WhileBlock):
-        while eval_predicate(block.predicate, ctx).as_bool():
-            execute_blocks(block.body, ctx)
+        _execute_while(block, ctx)
     elif isinstance(block, ForBlock):
         _execute_for(block, ctx)
     else:
         raise RuntimeDMLError(f"unknown block type: {type(block).__name__}")
+
+
+def _execute_if(block: IfBlock, ctx: ExecutionContext) -> None:
+    checkpoints = ctx.checkpoints
+    if checkpoints is None:
+        condition = eval_predicate(block.predicate, ctx).as_bool()
+        execute_blocks(block.then_blocks if condition else block.else_blocks, ctx)
+        return
+    if checkpoints.resuming:
+        # replay the recorded decision: the restored state is mid-branch,
+        # so the predicate may no longer evaluate the way it did then
+        condition = checkpoints.resume_if()
+    else:
+        condition = eval_predicate(block.predicate, ctx).as_bool()
+        checkpoints.enter_if(condition)
+    try:
+        execute_blocks(block.then_blocks if condition else block.else_blocks, ctx)
+    finally:
+        checkpoints.exit_if()
+
+
+def _execute_while(block: WhileBlock, ctx: ExecutionContext) -> None:
+    checkpoints = ctx.checkpoints
+    if checkpoints is None:
+        fire = ctx.faults is not None
+        while eval_predicate(block.predicate, ctx).as_bool():
+            execute_blocks(block.body, ctx)
+            if fire:
+                ctx.faults.fire("checkpoint.boundary")
+        return
+    iterations = checkpoints.enter_while()
+    # a resume with deeper frames left was checkpointed mid-body: re-enter
+    # the body directly, skipping one predicate evaluation
+    skip_predicate = checkpoints.resuming
+    try:
+        while True:
+            if skip_predicate:
+                skip_predicate = False
+            elif not eval_predicate(block.predicate, ctx).as_bool():
+                break
+            execute_blocks(block.body, ctx)
+            iterations += 1
+            checkpoints.while_iter(iterations)
+            _boundary(ctx)
+    finally:
+        checkpoints.exit_loop()
 
 
 def _execute_basic(block: BasicBlock, ctx: ExecutionContext) -> None:
@@ -70,7 +153,7 @@ def _execute_basic(block: BasicBlock, ctx: ExecutionContext) -> None:
     ctx.cleanup_temps()
 
 
-def _execute_for(block: ForBlock, ctx: ExecutionContext) -> None:
+def _for_bounds(block: ForBlock, ctx: ExecutionContext):
     start = eval_predicate(block.from_block, ctx).as_int()
     stop = eval_predicate(block.to_block, ctx).as_int()
     step = 1
@@ -80,19 +163,48 @@ def _execute_for(block: ForBlock, ctx: ExecutionContext) -> None:
             raise RuntimeDMLError("for loop step must be non-zero")
     elif stop < start:
         step = -1
+    return start, stop, step
+
+
+def _execute_for(block: ForBlock, ctx: ExecutionContext) -> None:
     if block.parallel:
+        # parfor checkpoints at whole-loop granularity: no cursor frame is
+        # pushed, so a snapshot at the completion boundary resumes *after*
+        # the loop, and a crash mid-parfor re-runs it from the start
+        start, stop, step = _for_bounds(block, ctx)
         from repro.runtime.parfor import execute_parfor
 
         execute_parfor(block, ctx, start, stop, step)
+        if ctx.faults is not None or ctx.checkpoints is not None:
+            _boundary(ctx)
         return
-    i = start
-    while (step > 0 and i <= stop) or (step < 0 and i >= stop):
-        ctx.set(block.var, ScalarObject(int(i)))
-        if ctx.tracer is not None:
-            ctx.tracer.items[block.var] = ctx.tracer.make("lit", (), f"int:{int(i)}")
-        execute_blocks(block.body, ctx)
-        i += step
-    ctx.remove(block.var)
+    checkpoints = ctx.checkpoints
+    resume = checkpoints.enter_for() if checkpoints is not None else None
+    try:
+        if resume is not None:
+            # resume at the saved iteration with the *originally evaluated*
+            # bounds: the restored symbol state is mid-loop, so the bound
+            # expressions may no longer evaluate to their entry values
+            i, stop, step = resume
+        else:
+            i, stop, step = _for_bounds(block, ctx)
+            if checkpoints is not None:
+                checkpoints.set_for_bounds(i, stop, step)
+        fire = ctx.faults is not None or checkpoints is not None
+        while (step > 0 and i <= stop) or (step < 0 and i >= stop):
+            ctx.set(block.var, ScalarObject(int(i)))
+            if ctx.tracer is not None:
+                ctx.tracer.items[block.var] = ctx.tracer.make("lit", (), f"int:{int(i)}")
+            if checkpoints is not None:
+                checkpoints.for_iter(i)
+            execute_blocks(block.body, ctx)
+            if fire:
+                _boundary(ctx)
+            i += step
+        ctx.remove(block.var)
+    finally:
+        if checkpoints is not None:
+            checkpoints.exit_loop()
 
 
 def eval_predicate(block: PredicateBlock, ctx: ExecutionContext) -> ScalarObject:

@@ -15,6 +15,9 @@ requests.
 
 from __future__ import annotations
 
+import json
+import os
+import pickle
 import threading
 from typing import Dict, Optional, Sequence
 
@@ -23,9 +26,13 @@ import numpy as np
 from repro.api.jmlc import PreparedScript
 from repro.config import ReproConfig
 from repro.errors import ServingError, UnknownModelError
+from repro.io.atomic import atomic_write_bytes, atomic_write_json, checksum_bytes
 from repro.runtime.bufferpool import BufferPool
 from repro.runtime.data import MatrixObject
 from repro.tensor import BasicTensorBlock
+
+#: Name of the registry manifest written by :meth:`ModelRegistry.checkpoint_to`.
+SERVING_MANIFEST = "registry.json"
 
 
 def _to_weight_object(value, pool: BufferPool) -> MatrixObject:
@@ -207,6 +214,108 @@ class ModelRegistry:
                 model.release()
             if not versions:
                 self._models.pop(name, None)
+
+    # --- warm restart -------------------------------------------------------
+
+    def checkpoint_to(self, directory: str) -> str:
+        """Persist every registered model for a later :meth:`warm_restart`.
+
+        Weight blocks land as content-addressed pickle files under
+        ``directory/weights/`` via atomic writes; the registry manifest is
+        written last (the commit point), so a crash mid-checkpoint never
+        leaves a manifest referencing missing weights.  Returns the
+        manifest path.
+        """
+        weights_dir = os.path.join(directory, "weights")
+        os.makedirs(weights_dir, exist_ok=True)
+        with self._lock:
+            models = [
+                model for versions in self._models.values()
+                for model in versions.values()
+            ]
+        entries = []
+        for model in sorted(models, key=lambda m: (m.name, m.version)):
+            weight_meta = {}
+            for wname, weight in sorted(model.weights.items()):
+                block = weight.acquire_local()
+                payload = pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL)
+                checksum = checksum_bytes(payload)
+                filename = os.path.join("weights", f"w-{checksum}.bin")
+                target = os.path.join(directory, filename)
+                if not os.path.exists(target):
+                    atomic_write_bytes(target, payload, fsync=True)
+                weight_meta[wname] = {"file": filename, "checksum": checksum}
+            entries.append({
+                "name": model.name,
+                "version": model.version,
+                "source": model.script.source,
+                "data_input": model.data_input,
+                "output": model.output,
+                "max_concurrency": model.max_concurrency,
+                "weights": weight_meta,
+            })
+        manifest_path = os.path.join(directory, SERVING_MANIFEST)
+        atomic_write_json(
+            manifest_path, {"version": 1, "models": entries}, fsync=True
+        )
+        return manifest_path
+
+    @classmethod
+    def warm_restart(
+        cls, directory: str, config: Optional[ReproConfig] = None
+    ) -> "ModelRegistry":
+        """Rebuild a registry from the last :meth:`checkpoint_to` manifest.
+
+        Scripts are recompiled and weights re-pinned into a fresh buffer
+        pool, so a restarted scoring service is hot (no lazy compile on the
+        first request).  Raises :class:`ServingError` when the manifest is
+        missing or corrupt.
+        """
+        manifest_path = os.path.join(directory, SERVING_MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except OSError as exc:
+            raise ServingError(
+                f"no serving manifest at {manifest_path} — nothing to "
+                f"warm-restart from"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ServingError(
+                f"corrupt serving manifest {manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("version") != 1:
+            raise ServingError(
+                f"unsupported serving manifest version "
+                f"{manifest.get('version')!r} in {manifest_path}"
+            )
+        registry = cls(config)
+        for entry in manifest.get("models", []):
+            weights = {}
+            for wname, meta in entry.get("weights", {}).items():
+                path = os.path.join(directory, meta["file"])
+                try:
+                    with open(path, "rb") as handle:
+                        payload = handle.read()
+                except OSError as exc:
+                    raise ServingError(
+                        f"serving manifest references missing weight file "
+                        f"{path}"
+                    ) from exc
+                if checksum_bytes(payload) != meta.get("checksum"):
+                    raise ServingError(
+                        f"weight file {path} fails its checksum — refusing "
+                        f"to warm-restart from corrupt state"
+                    )
+                weights[wname] = pickle.loads(payload)
+            registry.register(
+                entry["name"], entry["source"], weights=weights,
+                data_input=entry.get("data_input", "X"),
+                output=entry.get("output", "yhat"),
+                version=entry.get("version"),
+                max_concurrency=entry.get("max_concurrency"),
+            )
+        return registry
 
     def close(self) -> None:
         """Unregister everything and tear down the shared buffer pool."""

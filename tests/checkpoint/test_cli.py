@@ -1,0 +1,160 @@
+"""The repro-dml checkpoint flags: exit codes and clean diagnostics.
+
+Satellite of the checkpoint PR: ``--resume`` against a missing or corrupt
+manifest must exit non-zero with a one-line ``error:`` diagnostic, never
+a traceback; an injected crash exits 3 and points at ``--resume``.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+SCRIPT = """
+w = matrix(0, rows=4, cols=1)
+for (i in 1:6) {
+  w = w + i * 0.5
+}
+write(w, out, format="csv")
+"""
+
+
+@pytest.fixture
+def script_path(tmp_path):
+    path = tmp_path / "train.dml"
+    path.write_text(SCRIPT)
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.err
+
+
+class TestResumeDiagnostics:
+    def test_resume_requires_checkpoint_dir(self, script_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([script_path, "--resume"])
+        assert excinfo.value.code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_missing_manifest_exits_2_without_traceback(
+        self, script_path, tmp_path, capsys
+    ):
+        code, err = run_cli(
+            capsys, script_path,
+            "--args", f"out={tmp_path}/w.csv",
+            "--checkpoint-dir", str(tmp_path / "empty"), "--resume",
+        )
+        assert code == 2
+        assert err.startswith("error:")
+        assert "nothing to resume" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_manifest_exits_2_without_traceback(
+        self, script_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "manifest.json").write_text("{broken json")
+        code, err = run_cli(
+            capsys, script_path,
+            "--args", f"out={tmp_path}/w.csv",
+            "--checkpoint-dir", str(ckpt), "--resume",
+        )
+        assert code == 2
+        assert err.startswith("error:")
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_data_file_exits_2(self, script_path, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        out = f"{tmp_path}/w.csv"
+        code, err = run_cli(
+            capsys, script_path, "--args", f"out={out}",
+            "--checkpoint-dir", ckpt, "--checkpoint-every", "1",
+            "--inject-faults", "checkpoint.boundary:crash=3",
+        )
+        assert code == 3
+        # flip bits in one referenced data file
+        manifest = json.load(open(os.path.join(ckpt, "manifest.json")))
+        entry = next(
+            e for e in manifest["variables"].values() if e.get("file")
+        )
+        with open(os.path.join(ckpt, entry["file"]), "r+b") as handle:
+            handle.write(b"\xff\xff\xff\xff")
+        code, err = run_cli(
+            capsys, script_path, "--args", f"out={out}",
+            "--checkpoint-dir", ckpt, "--resume",
+        )
+        assert code == 2
+        assert "corrupt" in err
+        assert "Traceback" not in err
+
+
+class TestCrashExitCode:
+    def test_injected_crash_exits_3_and_suggests_resume(
+        self, script_path, tmp_path, capsys
+    ):
+        code, err = run_cli(
+            capsys, script_path,
+            "--args", f"out={tmp_path}/w.csv",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--inject-faults", "checkpoint.boundary:crash=2",
+        )
+        assert code == 3
+        assert "injected crash" in err
+        assert "--resume" in err
+
+    def test_crash_without_checkpoint_dir_omits_resume_hint(
+        self, script_path, tmp_path, capsys
+    ):
+        code, err = run_cli(
+            capsys, script_path,
+            "--args", f"out={tmp_path}/w.csv",
+            "--inject-faults", "checkpoint.boundary:crash=2",
+        )
+        assert code == 3
+        assert "--resume" not in err
+
+
+class TestEndToEnd:
+    def test_crash_resume_produces_identical_output_file(
+        self, script_path, tmp_path, capsys
+    ):
+        ref = str(tmp_path / "ref.csv")
+        out = str(tmp_path / "out.csv")
+        ckpt = str(tmp_path / "ckpt")
+        assert run_cli(capsys, script_path, "--args", f"out={ref}")[0] == 0
+        code, __ = run_cli(
+            capsys, script_path, "--args", f"out={out}",
+            "--checkpoint-dir", ckpt, "--checkpoint-every", "2",
+            "--inject-faults", "checkpoint.boundary:crash=4",
+        )
+        assert code == 3
+        assert not os.path.exists(out)  # atomic writers: no partial file
+        code, __ = run_cli(
+            capsys, script_path, "--args", f"out={out}",
+            "--checkpoint-dir", ckpt, "--checkpoint-every", "2", "--resume",
+        )
+        assert code == 0
+        assert open(ref).read() == open(out).read()
+
+    def test_stats_json_reports_checkpoint_section(
+        self, script_path, tmp_path, capsys
+    ):
+        stats_path = str(tmp_path / "stats.json")
+        code, __ = run_cli(
+            capsys, script_path,
+            "--args", f"out={tmp_path}/w.csv",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--stats", "--stats-json", stats_path,
+        )
+        assert code == 0
+        section = json.load(open(stats_path))["checkpoint"]
+        assert section["checkpoints_written"] > 0
+        assert section["restores"] == 0

@@ -1,0 +1,178 @@
+"""CheckpointManager snapshot/restore round trips at the API level."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.checkpoint import CheckpointManager
+from repro.checkpoint.manifest import DATA_DIR, manifest_path
+from repro.config import ReproConfig
+from repro.errors import CheckpointError, InjectedCrashError
+
+
+def _ckpt_config(tmp_path, **overrides):
+    return ReproConfig(
+        checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=1,
+        enable_lineage=True, **overrides,
+    )
+
+
+LOOP = """
+X = rand(rows=30, cols=5, seed=11)
+w = matrix(0, rows=5, cols=1)
+for (i in 1:6) {
+  w = w + t(colSums(X)) * 0.01
+}
+s = sum(w)
+"""
+
+
+class TestLifecycle:
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(str(tmp_path), every=0)
+
+    def test_run_writes_manifest_and_data(self, tmp_path):
+        config = _ckpt_config(tmp_path)
+        MLContext(config).execute(LOOP, outputs=["w"])
+        manifest = json.loads(
+            open(manifest_path(config.checkpoint_dir)).read()
+        )
+        assert manifest["completed"] is True  # finish() committed
+
+    def test_completed_run_cannot_be_resumed(self, tmp_path):
+        config = _ckpt_config(tmp_path)
+        ml = MLContext(config)
+        ml.execute(LOOP, outputs=["w"])
+        with pytest.raises(CheckpointError, match="completed run"):
+            ml.checkpoints().prepare_resume()
+
+    def test_finish_garbage_collects_data_files(self, tmp_path):
+        config = _ckpt_config(tmp_path)
+        MLContext(config).execute(LOOP, outputs=["w"])
+        data_dir = os.path.join(config.checkpoint_dir, DATA_DIR)
+        assert os.listdir(data_dir) == []
+
+    def test_crash_leaves_resumable_state(self, tmp_path):
+        config = _ckpt_config(
+            tmp_path, fault_spec="checkpoint.boundary:crash=3"
+        )
+        with pytest.raises(InjectedCrashError):
+            MLContext(config).execute(LOOP, outputs=["w"])
+        manifest = json.loads(
+            open(manifest_path(config.checkpoint_dir)).read()
+        )
+        assert manifest["completed"] is False
+        assert manifest["path"]  # mid-loop cursor recorded
+
+
+class TestIncrementalSnapshots:
+    def test_unchanged_variables_are_lineage_skipped(self, tmp_path):
+        config = _ckpt_config(tmp_path)
+        ml = MLContext(config)
+        ml.execute(LOOP, outputs=["w"])
+        stats = ml.checkpoints().snapshot()
+        # X never changes across the 6 iterations: after its first write
+        # every later snapshot skips it via the lineage hash
+        assert stats["entries_skipped"] > 0
+        assert stats["skip_rate"] > 0.0
+        assert stats["checkpoints_written"] >= 6
+
+    def test_gc_drops_files_of_dead_intermediates(self, tmp_path):
+        config = _ckpt_config(
+            tmp_path, fault_spec="checkpoint.boundary:crash=5"
+        )
+        with pytest.raises(InjectedCrashError):
+            MLContext(config).execute(LOOP, outputs=["w"])
+        data_dir = os.path.join(config.checkpoint_dir, DATA_DIR)
+        manifest = json.loads(
+            open(manifest_path(config.checkpoint_dir)).read()
+        )
+        referenced = {
+            os.path.basename(entry["file"])
+            for entry in manifest["variables"].values()
+            if entry.get("file")
+        }
+        assert set(os.listdir(data_dir)) == referenced
+
+
+class TestResume:
+    def test_resume_restores_bit_identical_state(self, tmp_path):
+        ref = MLContext(ReproConfig(enable_lineage=True)).execute(
+            LOOP, outputs=["w"]
+        ).matrix("w")
+        crash = _ckpt_config(tmp_path, fault_spec="checkpoint.boundary:crash=4")
+        with pytest.raises(InjectedCrashError):
+            MLContext(crash).execute(LOOP, outputs=["w"])
+        resume = _ckpt_config(tmp_path)
+        ml = MLContext(resume)
+        ml.checkpoints().prepare_resume()
+        got = ml.execute(LOOP, outputs=["w"]).matrix("w")
+        assert np.array_equal(ref, got)
+        assert ml.checkpoints().snapshot()["restores"] == 1
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        crash = _ckpt_config(tmp_path, fault_spec="checkpoint.boundary:crash=3")
+        with pytest.raises(InjectedCrashError):
+            MLContext(crash).execute(LOOP, outputs=["w"])
+        ml = MLContext(_ckpt_config(tmp_path))
+        ml.checkpoints().prepare_resume()
+        other_script = LOOP.replace("seed=11", "seed=12")
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            ml.execute(other_script, outputs=["w"])
+
+    def test_resume_without_manifest_raises_cleanly(self, tmp_path):
+        ml = MLContext(_ckpt_config(tmp_path))
+        with pytest.raises(CheckpointError, match="nothing to resume"):
+            ml.checkpoints().prepare_resume()
+
+    def test_post_resume_snapshots_still_lineage_skip(self, tmp_path):
+        crash = _ckpt_config(tmp_path, fault_spec="checkpoint.boundary:crash=2")
+        with pytest.raises(InjectedCrashError):
+            MLContext(crash).execute(LOOP, outputs=["w"])
+        ml = MLContext(_ckpt_config(tmp_path))
+        ml.checkpoints().prepare_resume()
+        ml.execute(LOOP, outputs=["w"])
+        stats = ml.checkpoints().snapshot()
+        # restored X gets a ckpt lineage leaf re-registered in the skip
+        # map, so the first post-resume snapshot does not rewrite it
+        assert stats["entries_skipped"] > 0
+
+
+class TestCadence:
+    def test_every_n_thins_snapshots(self, tmp_path):
+        dense = _ckpt_config(tmp_path)
+        ml1 = MLContext(dense)
+        ml1.execute(LOOP, outputs=["w"])
+        sparse = ReproConfig(
+            checkpoint_dir=str(tmp_path / "ckpt3"), checkpoint_every=3,
+            enable_lineage=True,
+        )
+        ml3 = MLContext(sparse)
+        ml3.execute(LOOP, outputs=["w"])
+        written1 = ml1.checkpoints().snapshot()["checkpoints_written"]
+        written3 = ml3.checkpoints().snapshot()["checkpoints_written"]
+        assert written3 < written1
+        assert ml3.checkpoints().snapshot()["boundaries"] == \
+            ml1.checkpoints().snapshot()["boundaries"]
+
+    def test_boundary_counter_survives_resume(self, tmp_path):
+        """The cadence phase is part of the checkpoint: a resumed run
+        snapshots at the same boundaries the uninterrupted run would."""
+        config = ReproConfig(
+            checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=2,
+            enable_lineage=True, fault_spec="checkpoint.boundary:crash=5",
+        )
+        with pytest.raises(InjectedCrashError):
+            MLContext(config).execute(LOOP, outputs=["w"])
+        resume = ReproConfig(
+            checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=2,
+            enable_lineage=True,
+        )
+        ml = MLContext(resume)
+        manifest = ml.checkpoints().prepare_resume()
+        assert manifest["boundary"] % 2 == 0  # last snapshot on cadence
+        ml.execute(LOOP, outputs=["w"])

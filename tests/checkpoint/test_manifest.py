@@ -1,0 +1,129 @@
+"""Manifest validation: every broken state becomes a clean diagnostic."""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import MANIFEST_NAME, MANIFEST_VERSION, load_manifest
+from repro.checkpoint.manifest import DATA_DIR, manifest_path, verify_data_files
+from repro.errors import CheckpointError, CorruptCheckpointError
+from repro.io.atomic import atomic_write_bytes, checksum_bytes
+
+
+def _valid_manifest(**overrides):
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "completed": False,
+        "checkpoint_id": 1,
+        "fingerprint": None,
+        "boundary": 3,
+        "path": [["seq", 1], ["for", 4, 10, 1]],
+        "seed_state": 12345,
+        "metrics": {},
+        "variables": {},
+    }
+    manifest.update(overrides)
+    return manifest
+
+
+def _write(tmp_path, manifest):
+    with open(manifest_path(str(tmp_path)), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+
+
+class TestLoadManifest:
+    def test_missing_manifest_names_the_flag(self, tmp_path):
+        with pytest.raises(CheckpointError, match="nothing to resume"):
+            load_manifest(str(tmp_path))
+        with pytest.raises(CheckpointError, match="--checkpoint-dir"):
+            load_manifest(str(tmp_path))
+
+    def test_valid_manifest_loads(self, tmp_path):
+        _write(tmp_path, _valid_manifest())
+        data = load_manifest(str(tmp_path))
+        assert data["boundary"] == 3
+        assert data["path"][1] == ["for", 4, 10, 1]
+
+    def test_garbage_json_is_corrupt(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(CorruptCheckpointError, match="not valid JSON"):
+            load_manifest(str(tmp_path))
+
+    def test_non_object_is_corrupt(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("[1, 2]")
+        with pytest.raises(CorruptCheckpointError, match="not a JSON object"):
+            load_manifest(str(tmp_path))
+
+    def test_wrong_version_is_corrupt(self, tmp_path):
+        _write(tmp_path, _valid_manifest(version=99))
+        with pytest.raises(CorruptCheckpointError, match="unsupported version"):
+            load_manifest(str(tmp_path))
+
+    def test_completed_run_has_nothing_to_resume(self, tmp_path):
+        _write(tmp_path, _valid_manifest(completed=True))
+        with pytest.raises(CheckpointError, match="completed run"):
+            load_manifest(str(tmp_path))
+
+    def test_missing_keys_are_corrupt(self, tmp_path):
+        manifest = _valid_manifest()
+        del manifest["seed_state"]
+        _write(tmp_path, manifest)
+        with pytest.raises(CorruptCheckpointError, match="seed_state"):
+            load_manifest(str(tmp_path))
+
+    def test_malformed_cursor_frame_is_corrupt(self, tmp_path):
+        _write(tmp_path, _valid_manifest(path=[["jump", 3]]))
+        with pytest.raises(CorruptCheckpointError, match="malformed cursor"):
+            load_manifest(str(tmp_path))
+
+    def test_variables_must_be_an_object(self, tmp_path):
+        _write(tmp_path, _valid_manifest(variables=[1]))
+        with pytest.raises(CorruptCheckpointError, match="variables"):
+            load_manifest(str(tmp_path))
+
+
+class TestVerifyDataFiles:
+    def _manifest_with_data(self, tmp_path, payload=b"payload"):
+        checksum = checksum_bytes(payload)
+        filename = os.path.join(DATA_DIR, f"ck-{checksum}.bin")
+        atomic_write_bytes(str(tmp_path / filename), payload)
+        entry = {
+            "kind": "data", "type": "matrix",
+            "file": filename, "checksum": checksum, "lineage": None,
+        }
+        return _valid_manifest(variables={"X": entry})
+
+    def test_intact_data_verifies(self, tmp_path):
+        _write(tmp_path, self._manifest_with_data(tmp_path))
+        load_manifest(str(tmp_path))  # no raise
+
+    def test_missing_data_file_is_corrupt(self, tmp_path):
+        manifest = self._manifest_with_data(tmp_path)
+        os.unlink(tmp_path / manifest["variables"]["X"]["file"])
+        _write(tmp_path, manifest)
+        with pytest.raises(CorruptCheckpointError, match="missing"):
+            load_manifest(str(tmp_path))
+
+    def test_bit_flipped_data_file_is_corrupt(self, tmp_path):
+        manifest = self._manifest_with_data(tmp_path)
+        target = tmp_path / manifest["variables"]["X"]["file"]
+        target.write_bytes(b"Xayload")
+        _write(tmp_path, manifest)
+        with pytest.raises(CorruptCheckpointError, match="checksum"):
+            load_manifest(str(tmp_path))
+
+    def test_scalar_entries_need_no_file(self, tmp_path):
+        entry = {"kind": "scalar", "value_type": "INT64", "value": 7}
+        verify_data_files(str(tmp_path), _valid_manifest(variables={"i": entry}))
+
+    def test_entry_without_file_is_corrupt(self, tmp_path):
+        entry = {"kind": "data", "type": "matrix"}
+        with pytest.raises(CorruptCheckpointError, match="lacks"):
+            verify_data_files(str(tmp_path), _valid_manifest(variables={"X": entry}))
+
+    def test_verify_can_be_skipped(self, tmp_path):
+        manifest = self._manifest_with_data(tmp_path)
+        os.unlink(tmp_path / manifest["variables"]["X"]["file"])
+        _write(tmp_path, manifest)
+        load_manifest(str(tmp_path), verify_data=False)  # no raise

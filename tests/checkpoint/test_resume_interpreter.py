@@ -1,0 +1,234 @@
+"""Crash-and-resume bit-identity across every control-flow shape.
+
+Each case runs a program three ways: uninterrupted (the reference), with
+an injected ``crash=`` fault at a checkpoint boundary, and resumed from
+the manifest the crashed run left behind.  The resumed outputs must be
+bit-identical to the reference — the core guarantee of the checkpoint
+subsystem.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.mlcontext import MLContext
+from repro.config import ReproConfig
+from repro.errors import InjectedCrashError
+
+
+def crash_resume(tmp_path, script, crash_at, outputs, every=1):
+    """(reference values, resumed values) for one program."""
+    ref_ml = MLContext(ReproConfig(enable_lineage=True))
+    ref_res = ref_ml.execute(script, outputs=outputs)
+    ref = {name: ref_res.matrix(name) for name in outputs}
+
+    crash = ReproConfig(
+        checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=every,
+        enable_lineage=True,
+        fault_spec=f"checkpoint.boundary:crash={crash_at}",
+    )
+    with pytest.raises(InjectedCrashError):
+        MLContext(crash).execute(script, outputs=outputs)
+
+    resume = ReproConfig(
+        checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=every,
+        enable_lineage=True,
+    )
+    ml = MLContext(resume)
+    ml.checkpoints().prepare_resume()
+    res = ml.execute(script, outputs=outputs)
+    got = {name: res.matrix(name) for name in outputs}
+    return ref, got
+
+
+def assert_identical(ref, got):
+    for name in ref:
+        assert np.array_equal(ref[name], got[name]), name
+
+
+class TestForLoops:
+    def test_mid_loop_crash(self, tmp_path):
+        script = """
+X = rand(rows=40, cols=6, seed=5)
+w = matrix(0, rows=6, cols=1)
+for (i in 1:8) {
+  w = w + t(colSums(X)) * (0.001 * i)
+}
+"""
+        ref, got = crash_resume(tmp_path, script, 4, ["w"])
+        assert_identical(ref, got)
+
+    def test_negative_step_loop(self, tmp_path):
+        script = """
+acc = matrix(0, rows=1, cols=1)
+for (i in 6:1) {
+  acc = acc + i * i
+}
+"""
+        ref, got = crash_resume(tmp_path, script, 3, ["acc"])
+        assert_identical(ref, got)
+
+    def test_loop_bounds_not_reevaluated_on_resume(self, tmp_path):
+        """The loop variable's stop is itself mutated inside the loop; the
+        saved bounds must win over a re-evaluation of the expression."""
+        script = """
+n = 5
+acc = matrix(0, rows=1, cols=1)
+for (i in 1:n) {
+  acc = acc + i
+  n = 100
+}
+"""
+        ref, got = crash_resume(tmp_path, script, 2, ["acc"])
+        assert_identical(ref, got)
+
+
+class TestWhileLoops:
+    def test_mid_while_crash(self, tmp_path):
+        script = """
+X = rand(rows=20, cols=4, seed=9)
+s = 0.0
+i = 1
+while (i <= 7) {
+  s = s + sum(X * i)
+  i = i + 1
+}
+out = matrix(s, rows=1, cols=1)
+"""
+        ref, got = crash_resume(tmp_path, script, 4, ["out"])
+        assert_identical(ref, got)
+
+
+class TestNestedControlFlow:
+    def test_nested_for_with_if(self, tmp_path):
+        script = """
+A = rand(rows=15, cols=5, seed=1)
+acc = matrix(0, rows=5, cols=1)
+for (i in 1:4) {
+  for (j in 1:3) {
+    acc = acc + t(colSums(A)) * (i + j)
+  }
+  if (i > 2) {
+    acc = acc * 0.5
+  } else {
+    acc = acc + 1
+  }
+}
+"""
+        for crash_at in (2, 5, 9):
+            ref, got = crash_resume(
+                tmp_path / f"c{crash_at}", script, crash_at, ["acc"]
+            )
+            assert_identical(ref, got)
+
+    def test_for_inside_if_branch(self, tmp_path):
+        script = """
+x = 10
+y = matrix(0, rows=2, cols=2)
+if (x > 5) {
+  for (i in 1:5) {
+    y = y + i
+  }
+} else {
+  y = y - 1
+}
+w = y * 2
+"""
+        ref, got = crash_resume(tmp_path, script, 3, ["w"])
+        assert_identical(ref, got)
+
+    def test_while_inside_for(self, tmp_path):
+        script = """
+acc = matrix(0, rows=1, cols=1)
+for (i in 1:3) {
+  j = 0
+  while (j < 4) {
+    acc = acc + i * 10 + j
+    j = j + 1
+  }
+}
+"""
+        ref, got = crash_resume(tmp_path, script, 6, ["acc"])
+        assert_identical(ref, got)
+
+
+class TestParfor:
+    def test_parfor_checkpoints_at_whole_loop_granularity(self, tmp_path):
+        """parfor bodies run in child frames that never snapshot; the
+        boundary after a completed parfor resumes *past* the loop."""
+        script = """
+X = rand(rows=30, cols=6, seed=3)
+R = matrix(0, rows=6, cols=1)
+parfor (i in 1:6) {
+  R[i,1] = sum(X[,i])
+}
+for (k in 1:4) {
+  R = R * 1.25
+}
+"""
+        for crash_at in (2, 4):
+            ref, got = crash_resume(
+                tmp_path / f"c{crash_at}", script, crash_at, ["R"]
+            )
+            assert_identical(ref, got)
+
+
+class TestDataKinds:
+    def test_seeded_rand_after_resume_is_identical(self, tmp_path):
+        """The deterministic seed stream is part of the snapshot: rand()
+        calls after the crash point replay identically."""
+        script = """
+acc = matrix(0, rows=4, cols=4)
+for (i in 1:5) {
+  acc = acc + rand(rows=4, cols=4, seed=i * 7)
+}
+"""
+        ref, got = crash_resume(tmp_path, script, 3, ["acc"])
+        assert_identical(ref, got)
+
+    def test_frames_and_scalars_survive(self, tmp_path):
+        script = """
+s = "tag"
+count = 0
+acc = matrix(0, rows=1, cols=1)
+for (i in 1:5) {
+  count = count + 1
+  acc = acc + count
+}
+"""
+        ref, got = crash_resume(tmp_path, script, 3, ["acc"])
+        assert_identical(ref, got)
+
+    def test_sparser_cadence_still_identical(self, tmp_path):
+        script = """
+w = matrix(0, rows=3, cols=1)
+for (i in 1:9) {
+  w = w + i
+}
+"""
+        ref, got = crash_resume(tmp_path, script, 7, ["w"], every=3)
+        assert_identical(ref, got)
+
+
+class TestFastPathIsolation:
+    def test_no_manager_means_no_checkpoint_attribute_work(self):
+        """Without a checkpoint dir the context carries None and child
+        frames never see a manager."""
+        ml = MLContext(ReproConfig())
+        assert ml.checkpoints() is None
+        res = ml.execute("x = 1 + 1", outputs=["x"])
+        assert res.scalar("x") == 2
+
+    def test_child_frames_drop_the_manager(self, tmp_path):
+        from repro.compiler.compile import compile_script
+        from repro.runtime.context import ExecutionContext
+
+        config = ReproConfig(
+            checkpoint_dir=str(tmp_path / "ck"), enable_lineage=True
+        )
+        from repro.checkpoint import CheckpointManager
+
+        manager = CheckpointManager.from_config(config)
+        program = compile_script("x = 1", config)
+        ctx = ExecutionContext(program, config, checkpoints=manager)
+        assert ctx.checkpoints is manager
+        assert ctx.child().checkpoints is None

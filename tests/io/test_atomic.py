@@ -1,0 +1,145 @@
+"""The crash-consistent write primitive and atomic output writers.
+
+Satellite of the checkpoint PR: every writer publishes through a temp
+file + ``os.replace``, so a process killed mid-write never leaves a
+partial file visible at the destination path.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.io.atomic import (
+    atomic_open,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    checksum_bytes,
+    checksum_file,
+)
+from repro.io.mtd import write_mtd
+from repro.tensor import BasicTensorBlock
+
+
+class TestAtomicOpen:
+    def test_success_publishes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_open(str(target), "w") as handle:
+            handle.write("hello")
+        assert target.read_text() == "hello"
+
+    def test_binary_mode(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_open(str(target), "wb") as handle:
+            handle.write(b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_failure_mid_write_leaves_no_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_open(str(target), "w") as handle:
+                handle.write("partial data that must never be seen")
+                raise RuntimeError("crash mid-write")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # temp file cleaned up too
+
+    def test_failure_preserves_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old and complete")
+        with pytest.raises(RuntimeError):
+            with atomic_open(str(target), "w") as handle:
+                handle.write("new but truncat")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "old and complete"
+
+    def test_rejects_read_modes(self, tmp_path):
+        with pytest.raises(ValueError):
+            with atomic_open(str(tmp_path / "x"), "r"):
+                pass
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(str(target), "new")
+        assert target.read_text() == "new"
+
+
+class TestHelpers:
+    def test_atomic_write_bytes_and_checksum(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        payload = b"payload" * 100
+        atomic_write_bytes(str(target), payload)
+        assert target.read_bytes() == payload
+        assert checksum_file(str(target)) == checksum_bytes(payload)
+
+    def test_atomic_write_json_sorted(self, tmp_path):
+        target = tmp_path / "m.json"
+        atomic_write_json(str(target), {"b": 2, "a": 1})
+        loaded = json.loads(target.read_text())
+        assert loaded == {"a": 1, "b": 2}
+
+    def test_checksums_differ_on_content(self):
+        assert checksum_bytes(b"a") != checksum_bytes(b"b")
+
+
+class TestKilledProcess:
+    def test_sigkill_mid_write_leaves_no_partial_file(self, tmp_path):
+        """A process hard-killed inside atomic_open leaves only temp
+        debris, never a partial file at the destination path."""
+        target = tmp_path / "victim.bin"
+        script = (
+            "import os, sys\n"
+            "sys.path.insert(0, {src!r})\n"
+            "from repro.io.atomic import atomic_open\n"
+            "with atomic_open({target!r}, 'wb') as handle:\n"
+            "    handle.write(b'x' * 1024)\n"
+            "    handle.flush()\n"
+            "    os.kill(os.getpid(), 9)\n"
+        ).format(
+            src=os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+            target=str(target),
+        )
+        proc = subprocess.run([sys.executable, "-c", script], timeout=60)
+        assert proc.returncode == -9  # killed by SIGKILL
+        assert not target.exists()
+
+
+class TestWritersAreAtomic:
+    def test_mtd_write_failing_mid_stream_preserves_old_file(self, tmp_path):
+        """json.dump streams into the handle; an unserialisable entry
+        raises after a prefix is written.  The old .mtd must survive."""
+        data_path = str(tmp_path / "m.csv")
+        write_mtd(data_path, 2, 2, 4)
+        old = (tmp_path / "m.csv.mtd").read_text()
+        with pytest.raises(TypeError):
+            write_mtd(data_path, 3, 3, 9, schema=[object()])
+        assert (tmp_path / "m.csv.mtd").read_text() == old
+
+    def test_csv_matrix_roundtrip_still_works(self, tmp_path):
+        from repro.io.csv import read_csv_matrix, write_csv_matrix
+
+        block = BasicTensorBlock.from_numpy(np.arange(6.0).reshape(2, 3))
+        path = str(tmp_path / "m.csv")
+        write_csv_matrix(block, path)
+        assert np.array_equal(read_csv_matrix(path).to_numpy(), block.to_numpy())
+
+    def test_binary_matrix_roundtrip_still_works(self, tmp_path):
+        from repro.io.binary import read_binary_matrix, write_binary_matrix
+
+        block = BasicTensorBlock.from_numpy(np.arange(6.0).reshape(3, 2))
+        path = str(tmp_path / "m.bin")
+        write_binary_matrix(block, path)
+        assert np.array_equal(read_binary_matrix(path).to_numpy(), block.to_numpy())
+
+    def test_no_temp_debris_after_successful_writes(self, tmp_path):
+        from repro.io.csv import write_csv_matrix
+
+        block = BasicTensorBlock.from_numpy(np.ones((2, 2)))
+        write_csv_matrix(block, str(tmp_path / "m.csv"))
+        write_mtd(str(tmp_path / "m.csv"), 2, 2, 4)
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []

@@ -178,6 +178,30 @@ class TestCliStats:
         assert "Heavy hitter" not in capsys.readouterr().err
 
 
+class TestCheckpointStats:
+    def test_checkpoint_section_reports_manager_counters(self, tmp_path, capsys):
+        from repro.cli import main
+
+        script = tmp_path / "s.dml"
+        script.write_text("w = matrix(0, rows=2, cols=1)\n"
+                          "for (i in 1:4) {\n  w = w + i\n}\n"
+                          "print(sum(w))\n")
+        rc = main([str(script), "--stats",
+                   "--checkpoint-dir", str(tmp_path / "ckpt")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "Checkpoint" in err
+
+    def test_checkpoint_section_absent_without_manager(self):
+        from repro.api.mlcontext import MLContext
+        from repro.config import ReproConfig
+
+        ml = MLContext(ReproConfig(enable_stats=True))
+        ml.execute("x = 1 + 1", outputs=["x"])
+        # the canonical section exists but stays empty: no manager attached
+        assert ml.stats().snapshot()["checkpoint"] == {}
+
+
 class TestOverhead:
     def test_disabled_stats_overhead_is_small(self):
         """The steplm bench with stats disabled must stay within 5% of the

@@ -124,3 +124,44 @@ class TestInjectionModes:
             injector.trip("rdd.task")
         snap = injector.snapshot()
         assert snap["rdd.task"] == {"calls": 5, "injected": 2}
+
+
+class TestCrashMode:
+    def test_crash_param_parses(self):
+        plan = FaultPlan.parse("checkpoint.boundary:crash=3")
+        assert plan.rules["checkpoint.boundary"].crash_after == 3
+
+    def test_negative_crash_count_rejected(self):
+        with pytest.raises(ValueError, match="crash= count must be >= 0"):
+            FaultPlan.parse("checkpoint.boundary:crash=-1")
+
+    def test_crash_fires_exactly_on_the_nth_call(self):
+        from repro.errors import InjectedCrashError
+
+        injector = FaultInjector(FaultPlan.parse("checkpoint.boundary:crash=3"))
+        injector.fire("checkpoint.boundary")
+        injector.fire("checkpoint.boundary")
+        with pytest.raises(InjectedCrashError, match="checkpoint.boundary"):
+            injector.fire("checkpoint.boundary")
+        injector.fire("checkpoint.boundary")  # the process "restarted": silent
+
+    def test_crash_is_not_an_injected_fault(self):
+        """crash= models the process dying: no retry layer may catch it."""
+        from repro.errors import InjectedCrashError
+
+        assert not issubclass(InjectedCrashError, InjectedFaultError)
+
+    def test_crash_escapes_retry(self):
+        from repro.errors import InjectedCrashError
+        from repro.resilience.retry import RetryPolicy, call_with_retry
+
+        injector = FaultInjector(FaultPlan.parse("checkpoint.boundary:crash=1"))
+
+        def flaky():
+            injector.fire("checkpoint.boundary")
+
+        with pytest.raises(InjectedCrashError):
+            call_with_retry(
+                flaky, RetryPolicy(max_retries=5),
+                (InjectedFaultError, OSError), sleep=None,
+            )

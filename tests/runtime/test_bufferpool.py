@@ -171,6 +171,80 @@ class TestClose:
         assert other.exists()  # a shared spill dir is never clobbered
 
 
+class TestScavenging:
+    """Orphaned spill directories of dead processes are reclaimed."""
+
+    def _spill_once(self, spill_dir):
+        pool = BufferPool(budget=1000, spill_dir=str(spill_dir))
+        pool.put("a" * 100, 600)
+        pool.put("b" * 100, 600)  # forces the first entry to spill
+        return pool
+
+    def test_pid_marker_written_on_first_spill(self, tmp_path):
+        from repro.runtime.bufferpool import PID_FILE
+
+        spill = tmp_path / "repro-spill-x"
+        pool = self._spill_once(spill)
+        assert (spill / PID_FILE).read_text().strip() == str(os.getpid())
+        pool.close()
+
+    def test_dead_owner_dir_is_removed(self, tmp_path):
+        from repro.runtime.bufferpool import PID_FILE, scavenge_spill_dirs
+
+        orphan = tmp_path / "repro-spill-orphan"
+        orphan.mkdir()
+        (orphan / "entry-1.bin").write_bytes(b"stale")
+        # pid from a long-gone process: max_pid+1 can't be running
+        (orphan / PID_FILE).write_text("99999999\n")
+        assert scavenge_spill_dirs(str(tmp_path)) == 1
+        assert not orphan.exists()
+
+    def test_live_owner_dir_is_kept(self, tmp_path):
+        from repro.runtime.bufferpool import PID_FILE, scavenge_spill_dirs
+
+        active = tmp_path / "repro-spill-active"
+        active.mkdir()
+        (active / PID_FILE).write_text(f"{os.getpid()}\n")
+        assert scavenge_spill_dirs(str(tmp_path)) == 0
+        assert active.exists()
+
+    def test_unmarked_dir_is_kept(self, tmp_path):
+        from repro.runtime.bufferpool import scavenge_spill_dirs
+
+        unmarked = tmp_path / "repro-spill-unknown"
+        unmarked.mkdir()
+        (unmarked / "data.bin").write_bytes(b"?")
+        assert scavenge_spill_dirs(str(tmp_path)) == 0
+        assert unmarked.exists()  # conservative: no marker, no reclaim
+
+    def test_non_prefix_dirs_are_never_touched(self, tmp_path):
+        from repro.runtime.bufferpool import PID_FILE, scavenge_spill_dirs
+
+        other = tmp_path / "important-data"
+        other.mkdir()
+        (other / PID_FILE).write_text("99999999\n")
+        assert scavenge_spill_dirs(str(tmp_path)) == 0
+        assert other.exists()
+
+    def test_startup_scavenge_reclaims_orphans(self, tmp_path):
+        import repro.runtime.bufferpool as bp
+
+        orphan = tmp_path / "repro-spill-dead"
+        orphan.mkdir()
+        (orphan / bp.PID_FILE).write_text("99999999\n")
+        with bp._SCAVENGE_LOCK:
+            bp._SCAVENGED_ROOTS.discard(str(tmp_path))
+        pool = BufferPool(budget=1000, spill_dir=str(tmp_path / "repro-spill-me"))
+        assert not orphan.exists()
+        pool.close()
+
+    def test_close_scavenge_skips_own_dir(self, tmp_path):
+        spill = tmp_path / "repro-spill-self"
+        pool = self._spill_once(spill)
+        pool.close()
+        assert not spill.exists()  # removed as empty, not as an orphan
+
+
 class TestIntegrationWithExecution:
     def test_script_runs_under_tiny_bufferpool(self):
         import numpy as np

@@ -128,3 +128,91 @@ class TestScoring:
         registry.register("lm", SCRIPT, weights={"B": np.ones((2, 1))})
         registry.close()
         assert not (tmp_path / "spill").exists()
+
+
+class TestWarmRestart:
+    """checkpoint_to / warm_restart: a restarted registry scores identically."""
+
+    def test_round_trip_preserves_models_and_scores(self, registry, tmp_path):
+        rng = np.random.default_rng(7)
+        weights = rng.random((5, 1))
+        registry.register(
+            "lm", SCRIPT, weights={"B": weights}, max_concurrency=4
+        )
+        registry.register("lm", SCRIPT, weights={"B": weights * 2})
+        registry.checkpoint_to(str(tmp_path))
+
+        restarted = ModelRegistry.warm_restart(str(tmp_path))
+        try:
+            assert restarted.versions("lm") == [1, 2]
+            assert restarted.get("lm", version=1).max_concurrency == 4
+            batch = rng.random((8, 5))
+            np.testing.assert_array_equal(
+                registry.get("lm").score_batch(batch),
+                restarted.get("lm").score_batch(batch),
+            )
+        finally:
+            restarted.close()
+
+    def test_restarted_weights_are_pinned(self, registry, tmp_path):
+        registry.register("lm", SCRIPT, weights={"B": np.ones((3, 1))})
+        registry.checkpoint_to(str(tmp_path))
+        restarted = ModelRegistry.warm_restart(str(tmp_path))
+        try:
+            weight = restarted.get("lm").weights["B"]
+            entry = restarted.pool._entries[weight._entry_id]
+            assert entry.pin_count == 1
+        finally:
+            restarted.close()
+
+    def test_scoring_service_over_restarted_registry(self, registry, tmp_path):
+        from repro.serving.service import ScoringService
+
+        rng = np.random.default_rng(11)
+        weights = rng.random((4, 1))
+        registry.register("lm", SCRIPT, weights={"B": weights})
+        registry.checkpoint_to(str(tmp_path))
+        restarted = ModelRegistry.warm_restart(str(tmp_path))
+        try:
+            with ScoringService(restarted) as service:
+                features = rng.random((6, 4))
+                scores = service.score("lm", features)
+                np.testing.assert_allclose(scores, features @ weights)
+        finally:
+            restarted.close()
+
+    def test_missing_manifest_is_a_clean_error(self, tmp_path):
+        with pytest.raises(ServingError, match="nothing to warm-restart"):
+            ModelRegistry.warm_restart(str(tmp_path))
+
+    def test_corrupt_manifest_is_a_clean_error(self, tmp_path):
+        from repro.serving.registry import SERVING_MANIFEST
+
+        (tmp_path / SERVING_MANIFEST).write_text("{oops")
+        with pytest.raises(ServingError, match="corrupt serving manifest"):
+            ModelRegistry.warm_restart(str(tmp_path))
+
+    def test_corrupt_weight_file_refuses_restart(self, registry, tmp_path):
+        import json
+        import os
+
+        registry.register("lm", SCRIPT, weights={"B": np.ones((3, 1))})
+        manifest_path = registry.checkpoint_to(str(tmp_path))
+        manifest = json.load(open(manifest_path))
+        weight_file = manifest["models"][0]["weights"]["B"]["file"]
+        with open(os.path.join(str(tmp_path), weight_file), "r+b") as handle:
+            handle.write(b"\x00\x00\x00\x00")
+        with pytest.raises(ServingError, match="checksum"):
+            ModelRegistry.warm_restart(str(tmp_path))
+
+    def test_missing_weight_file_refuses_restart(self, registry, tmp_path):
+        import json
+        import os
+
+        registry.register("lm", SCRIPT, weights={"B": np.ones((3, 1))})
+        manifest_path = registry.checkpoint_to(str(tmp_path))
+        manifest = json.load(open(manifest_path))
+        weight_file = manifest["models"][0]["weights"]["B"]["file"]
+        os.unlink(os.path.join(str(tmp_path), weight_file))
+        with pytest.raises(ServingError, match="missing weight file"):
+            ModelRegistry.warm_restart(str(tmp_path))
