@@ -74,6 +74,14 @@ class PreparedScript:
             from repro.obs import StatsRegistry
 
             self._stats = StatsRegistry()
+        # one trace cache for all executions of this prepared script: the
+        # compiled program (and its basic blocks) is shared across calls,
+        # so hot-loop traces compiled in one call serve every later call
+        self._traces = None
+        if self.config.enable_trace and self._reuse is None:
+            from repro.trace import TraceCache
+
+            self._traces = TraceCache(self.config.trace_threshold)
         # slot -> (anchor, guid): the anchor is a weakref to the bound object
         # (or the object itself when it is not weak-referenceable), so a
         # recycled id() of a dead object can never inherit the old guid
@@ -128,6 +136,7 @@ class PreparedScript:
         ctx = ExecutionContext(
             self.program, self.config, pool=self._pool, reuse=self._reuse,
             print_handler=lambda text: None, stats=self._stats,
+            traces=self._traces,
         )
         for name in self.input_names:
             raw = bindings[name]

@@ -117,6 +117,17 @@ class CheckpointManager:
         """True while the interpreter is still fast-forwarding."""
         return bool(self._resume_path)
 
+    @property
+    def resumed(self) -> bool:
+        """True once this run restored state from a checkpoint.
+
+        Unlike :attr:`resuming` this stays set after the fast-forward path
+        drains — the trace cache keys invalidation on it, because restored
+        symbol tables may not match the shapes hot traces were compiled
+        against.
+        """
+        return self._stats["restores"] > 0
+
     def begin(self, ctx) -> None:
         """Start (or resume) a program run against ``ctx``."""
         self._stack = []

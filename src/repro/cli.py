@@ -84,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="degree of parallelism (0 = all cores)")
     parser.add_argument("--no-rewrites", action="store_true",
                         help="disable optimizer rewrites (debugging)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="disable trace compilation of hot basic blocks")
+    parser.add_argument("--trace-threshold", type=int, default=None,
+                        metavar="N",
+                        help="block executions before a trace is compiled "
+                             "(default 8)")
     serving = parser.add_argument_group("model serving")
     serving.add_argument("--serve-bench", action="store_true",
                          help="run the concurrent scoring smoke bench")
@@ -156,6 +162,10 @@ def main(argv=None) -> int:
         overrides["enable_rewrites"] = False
         overrides["enable_cse"] = False
         overrides["enable_fusion"] = False
+    if args.no_trace:
+        overrides["enable_trace"] = False
+    if args.trace_threshold is not None:
+        overrides["trace_threshold"] = args.trace_threshold
     if args.inject_faults is not None:
         overrides["fault_spec"] = args.inject_faults
     if args.fault_seed is not None:

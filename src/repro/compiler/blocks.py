@@ -39,14 +39,20 @@ class BasicBlock(StatementBlock):
         self.hop_roots = []  # filled by the DAG builder
         self.instructions = []  # filled by instruction generation
         self.requires_recompile = False
+        self._reads: Optional[frozenset] = None
 
     def reads(self) -> Set[str]:
-        names: Set[str] = set()
-        defined: Set[str] = set()
-        for statement in self.statements:
-            names |= read_variables(statement) - defined
-            defined |= written_variables(statement)
-        return names
+        # memoized: statements are fixed at construction, but the dynamic
+        # recompiler consults the read-set on every plan-cache lookup
+        cached = self._reads
+        if cached is None:
+            names: Set[str] = set()
+            defined: Set[str] = set()
+            for statement in self.statements:
+                names |= read_variables(statement) - defined
+                defined |= written_variables(statement)
+            cached = self._reads = frozenset(names)
+        return cached
 
     def writes(self) -> Set[str]:
         names: Set[str] = set()

@@ -62,32 +62,66 @@ def stats_from_symbol_table(ctx) -> Dict[str, VarStats]:
     return stats
 
 
-def _stats_signature(block: BasicBlock, stats: Dict[str, VarStats]) -> Tuple:
-    """A hashable key over the statistics the recompiled plan depends on."""
+def _live_signature(names: Tuple[str, ...], variables: Dict) -> Tuple:
+    """A hashable key over the statistics the recompiled plan depends on.
+
+    Built straight from the symbol table for just the block's read names —
+    this sits on the per-iteration hot path of every loop (plan-cache
+    lookups happen before each basic-block execution), so it avoids the
+    full ``stats_from_symbol_table`` materialization on cache hits.  The
+    tuples mirror ``VarStats`` field-for-field so equal statistics always
+    map to equal keys.
+    """
     parts = []
-    for name in sorted(block.reads()):
-        entry = stats.get(name)
-        if entry is None:
-            parts.append((name, None))
-        else:
+    for name in names:
+        value = variables.get(name)
+        if isinstance(value, ScalarObject):
             parts.append(
-                (name, entry.data_type.value, entry.value_type.value
-                 if entry.value_type else None, entry.rows, entry.cols, entry.nnz)
+                (name, DataType.SCALAR.value, value.value_type.value, 0, 0, 0)
             )
+        elif isinstance(value, MatrixObject):
+            parts.append(
+                (name, DataType.MATRIX.value, value.value_type.value,
+                 value.num_rows, value.num_cols, value.nnz)
+            )
+        elif isinstance(value, FrameObject):
+            schema = value.frame.schema
+            parts.append(
+                (name, DataType.FRAME.value,
+                 schema[0].value if schema else None,
+                 value.num_rows, value.num_cols, -1)
+            )
+        elif isinstance(value, ListObject):
+            parts.append((name, DataType.LIST.value, None, len(value), 1, -1))
+        else:
+            parts.append((name, None))
     return tuple(parts)
+
+
+_SORTED_READS: "weakref.WeakKeyDictionary[BasicBlock, Tuple[str, ...]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def recompile_basic_block(block: BasicBlock, ctx) -> List:
     """Instructions for one basic block given live statistics (plan-cached)."""
     config = ctx.config
-    stats = stats_from_symbol_table(ctx)
-    signature = (_stats_signature(block, stats), id(config))
+    names = _SORTED_READS.get(block)
+    if names is None:
+        names = _SORTED_READS[block] = tuple(sorted(block.reads()))
+    signature = (_live_signature(names, ctx.variables), id(config))
     with _CACHE_LOCK:
         plans = _PLAN_CACHE.get(block)
         if plans is not None:
             cached = plans.get(signature)
             if cached is not None:
                 return cached
+    stats = stats_from_symbol_table(ctx)
+    traces = getattr(ctx, "traces", None)
+    if traces is not None:
+        # plan-cache miss: the block's shapes drifted, so any compiled
+        # trace over a previous plan of this block is stale
+        traces.on_recompile(block)
     builder = DagBuilder(ctx.program.ast_functions)
     roots = builder.build_roots(block.statements, block.live_out)
     roots = apply_rewrites(roots, config)

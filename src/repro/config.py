@@ -64,6 +64,15 @@ class ReproConfig:
     #: Budget (bytes) of the lineage reuse cache.
     reuse_cache_size: int = 512 * 1024**2
 
+    # --- trace compilation ----------------------------------------------------
+    #: Fuse hot basic blocks into compiled traces (``repro-dml --no-trace``
+    #: disables).  Tracing stands down automatically when lineage reuse is
+    #: on (per-instruction reuse probes cannot be hoisted to trace edges).
+    enable_trace: bool = True
+    #: Executions of a basic block (same plan, stable operand kinds) before
+    #: its instruction sequence is compiled into a trace.
+    trace_threshold: int = 8
+
     # --- observability --------------------------------------------------------
     #: Per-instruction profiling + unified stats (``repro-dml --stats``).
     #: Off by default: the interpreter keeps a zero-overhead fast path.
@@ -142,6 +151,8 @@ class ReproConfig:
             raise ValueError("max_instructions must be >= 1 (or None)")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.trace_threshold < 1:
+            raise ValueError("trace_threshold must be >= 1")
         if self.fault_spec is not None:
             from repro.resilience.faults import FaultPlan
 

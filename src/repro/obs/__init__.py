@@ -30,6 +30,7 @@ from repro.obs.report import (
     attach_reuse,
     attach_serving,
     attach_spark,
+    attach_trace,
     observe_context,
     render_heavy_hitters,
     render_json,
@@ -51,6 +52,7 @@ __all__ = [
     "attach_resilience",
     "attach_serving",
     "attach_qa",
+    "attach_trace",
     "observe_context",
     "render_heavy_hitters",
     "render_report",

@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional
 #: the set fixed lets ``report()`` always print the same section skeleton.
 CANONICAL_SECTIONS = (
     "bufferpool", "reuse", "spark", "federated", "serving", "resilience",
-    "checkpoint", "qa",
+    "checkpoint", "trace", "qa",
 )
 
 

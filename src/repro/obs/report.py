@@ -25,6 +25,7 @@ _SECTION_TITLES = {
     "serving": "Serving",
     "resilience": "Resilience",
     "checkpoint": "Checkpoint",
+    "trace": "Trace compilation",
     "qa": "Differential fuzzing",
 }
 
@@ -111,6 +112,11 @@ def attach_checkpoint(registry: StatsRegistry, manager) -> None:
     registry.attach("checkpoint", manager.snapshot)
 
 
+def attach_trace(registry: StatsRegistry, cache) -> None:
+    """Feed a ``repro.trace.TraceCache.snapshot()`` into ``trace``."""
+    registry.attach("trace", cache.snapshot)
+
+
 def observe_context(registry: StatsRegistry, ctx) -> None:
     """Attach the standard probes of one execution context's services."""
     attach_pool(registry, ctx.pool)
@@ -121,6 +127,8 @@ def observe_context(registry: StatsRegistry, ctx) -> None:
         attach_resilience(registry, ctx.faults)
     if getattr(ctx, "checkpoints", None) is not None:
         attach_checkpoint(registry, ctx.checkpoints)
+    if getattr(ctx, "traces", None) is not None:
+        attach_trace(registry, ctx.traces)
 
 
 # ---------------------------------------------------------------------------

@@ -11,13 +11,15 @@ transparent:
 =================  =========================================================
 name               what it exercises
 =================  =========================================================
-baseline           default config — the reference for everything else
+baseline           default config, tracing off — the pure-interpreter
+                   reference for everything else
 no_rewrites        rewrites/CSE/fusion/IPA off (raw HOP DAG semantics)
 no_codegen         cell-template code generation off
 no_recompile       dynamic recompilation off (static plans only)
 python_kernels     non-BLAS tiled matmult kernel (SysDS vs. SysDS-B)
 spark              distributed operators forced via a tiny operator budget
 lineage_reuse      lineage tracing + full reuse of repeated subcomputations
+traced             hot blocks fused into compiled traces; bit-identical
 federated          inputs hosted on two federated sites, row-partitioned
 chaos_spill        buffer-pool spill faults + retries; must be bit-identical
 chaos_federated    federated request faults + failover; bit-identical
@@ -147,7 +149,9 @@ class Lattice:
         return cls([
             LatticeConfig(
                 name="baseline",
-                description="default configuration (reference)",
+                description="default configuration, tracing off "
+                            "(pure-interpreter reference)",
+                overrides={"enable_trace": False},
             ),
             LatticeConfig(
                 name="no_rewrites",
@@ -186,6 +190,15 @@ class Lattice:
                 name="lineage_reuse",
                 description="lineage tracing with full reuse",
                 overrides={"enable_lineage": True, "reuse_policy": "full"},
+            ),
+            LatticeConfig(
+                name="traced",
+                description="hot basic blocks fused into compiled traces "
+                            "(threshold 2); bit-identical to the untraced "
+                            "pure-interpreter baseline",
+                overrides={"trace_threshold": 2},
+                bitwise=True,
+                reference="baseline",
             ),
             LatticeConfig(
                 name="federated",
@@ -252,7 +265,10 @@ class Lattice:
         ])
 
     #: Cheap sub-lattice for smoke runs (CI fuzz step, quick local checks).
-    QUICK = ("baseline", "no_rewrites", "no_codegen", "spark", "lineage_reuse")
+    QUICK = (
+        "baseline", "no_rewrites", "no_codegen", "spark", "lineage_reuse",
+        "traced",
+    )
 
     @classmethod
     def parse(cls, spec: str) -> "Lattice":

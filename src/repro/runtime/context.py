@@ -33,9 +33,16 @@ class ExecutionContext:
         stats=None,
         faults=None,
         checkpoints=None,
+        traces=None,
     ):
         self.program = program
         self.config = config
+        # per-instruction hook slots behind properties: assigning any of
+        # them recomputes the precomputed ``fast_hooks`` flag below
+        self._tracer = None
+        self._reuse = None
+        self._stats = None
+        self.fast_hooks = True
         if faults is None and config.resilience_enabled:
             from repro.resilience import ResilienceManager
 
@@ -64,6 +71,17 @@ class ExecutionContext:
         #: Optional :class:`repro.obs.StatsRegistry`; None keeps the
         #: interpreter on its unprofiled fast path.
         self.stats = stats
+        if traces is None and config.enable_trace and self.reuse is None:
+            from repro.trace import TraceCache
+
+            traces = TraceCache(config.trace_threshold)
+        elif traces is not None and self.reuse is not None:
+            # lineage reuse probes per instruction and cannot be hoisted
+            # to trace boundaries: reuse wins, tracing stands down
+            traces = None
+        #: Optional :class:`repro.trace.TraceCache`; None keeps every basic
+        #: block on the per-instruction interpreter loop.
+        self.traces = traces
         if stats is not None:
             from repro.obs import observe_context
 
@@ -80,6 +98,48 @@ class ExecutionContext:
         }
         self._seed_state = (config.random_seed * 2654435761 + 1) % (2**63)
         self._spark = None
+
+    # --- per-instruction hook flag ------------------------------------------------
+
+    def _refresh_hooks(self) -> None:
+        """Recompute the hoisted is-None checks of ``execute_instruction``.
+
+        ``fast_hooks`` folds the per-instruction subsystem probes (stats
+        timing, lineage tracing, reuse probing) into one precomputed flag,
+        refreshed whenever a subsystem attaches or detaches — so the
+        interpreter's hot loop pays a single attribute read instead of
+        three, and trace compilation knows the hooks it must hoist.
+        """
+        self.fast_hooks = (
+            self._stats is None and self._tracer is None and self._reuse is None
+        )
+
+    @property
+    def stats(self):
+        return self._stats
+
+    @stats.setter
+    def stats(self, value) -> None:
+        self._stats = value
+        self._refresh_hooks()
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
+        self._refresh_hooks()
+
+    @property
+    def reuse(self):
+        return self._reuse
+
+    @reuse.setter
+    def reuse(self, value) -> None:
+        self._reuse = value
+        self._refresh_hooks()
 
     def spark(self):
         """The lazily created simulated Spark context (shared with children)."""
@@ -169,6 +229,7 @@ class ExecutionContext:
             metrics=self.metrics,
             stats=self.stats,
             faults=self.faults,
+            traces=self.traces,
         )
         frame.prints = self.prints  # shared output stream
         frame._seed_state = self._next_seed_state()

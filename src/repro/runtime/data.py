@@ -37,6 +37,16 @@ class Representation(enum.Enum):
     FEDERATED = "federated"
 
 
+#: Exact Python type -> ValueType for the ScalarObject fast path (bool
+#: must map before int semantics apply, which exact-type keys guarantee).
+_VALUE_TYPES_BY_PY_TYPE = {
+    bool: ValueType.BOOLEAN,
+    int: ValueType.INT64,
+    float: ValueType.FP64,
+    str: ValueType.STRING,
+}
+
+
 class ScalarObject:
     """An immutable scalar value."""
 
@@ -46,6 +56,13 @@ class ScalarObject:
 
     def __init__(self, value, value_type: Optional[ValueType] = None):
         if value_type is None:
+            # exact-type fast path: the value already is its canonical
+            # representation, so the conversion below would be an identity
+            value_type = _VALUE_TYPES_BY_PY_TYPE.get(type(value))
+            if value_type is not None:
+                self.value = value
+                self.value_type = value_type
+                return
             if isinstance(value, bool):
                 value_type = ValueType.BOOLEAN
             elif isinstance(value, (int, np.integer)):

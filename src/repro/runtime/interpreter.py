@@ -31,6 +31,10 @@ def execute_program(program, ctx: ExecutionContext) -> None:
     checkpoints = ctx.checkpoints
     if checkpoints is not None:
         checkpoints.begin(ctx)
+        if checkpoints.resumed and ctx.traces is not None:
+            # the restored symbol table may diverge from the shapes hot
+            # traces were compiled against; re-heat from scratch
+            ctx.traces.invalidate_all("resume")
     execute_blocks(program.blocks, ctx, top_level=True)
     if checkpoints is not None:
         checkpoints.finish(ctx)
@@ -142,12 +146,19 @@ def _execute_while(block: WhileBlock, ctx: ExecutionContext) -> None:
 
 
 def _execute_basic(block: BasicBlock, ctx: ExecutionContext) -> None:
+    traces = ctx.traces
     instructions = block.instructions
     if block.requires_recompile and ctx.config.enable_recompile:
+        # trace-first: a guard-matching trace proves the plan-cache lookup
+        # would return the very plan it fused, so skip the lookup outright
+        if traces is not None and traces.execute_block(block, ctx):
+            return
         from repro.compiler.recompile import recompile_basic_block
 
         instructions = recompile_basic_block(block, ctx)
         ctx.metrics["recompiles"] += 1
+    if traces is not None and traces.execute(block, instructions, ctx):
+        return  # traced: exports applied, hooks replayed, no temps bound
     for instruction in instructions:
         execute_instruction(instruction, ctx)
     ctx.cleanup_temps()
@@ -237,7 +248,22 @@ def execute_instruction(instruction: Instruction, ctx: ExecutionContext) -> None
     With a stats registry attached the execution is wall-timed and folded
     into the per-opcode heavy-hitter profile; without one, the unprofiled
     fast path below runs with a single extra attribute check.
+
+    ``ctx.fast_hooks`` pre-folds the stats/tracer/reuse is-None probes
+    into one flag (refreshed on attach/detach), so the fully unhooked hot
+    path skips straight to ``instruction.execute``.
     """
+    if ctx.fast_hooks:
+        metrics = ctx.metrics
+        metrics["instructions"] += 1
+        limit = ctx.config.max_instructions
+        if limit is not None and metrics["instructions"] > limit:
+            raise RuntimeDMLError(
+                f"instruction budget exceeded (max_instructions={limit}); "
+                f"likely a non-terminating loop"
+            )
+        instruction.execute(ctx)
+        return
     stats = ctx.stats
     if stats is None:
         _execute_instruction_inner(instruction, ctx)

@@ -140,16 +140,26 @@ class BasicTensorBlock:
     # --- representation control -------------------------------------------------------
 
     def compact(self) -> "BasicTensorBlock":
-        """Re-evaluate the dense/sparse layout decision in place."""
-        if (
-            not self.is_sparse
-            and self.value_type.is_numeric
-            and self.size >= MIN_SPARSE_SIZE
-            and self.sparsity < SPARSITY_TURN_POINT
+        """Re-evaluate the dense/sparse layout decision in place.
+
+        Works on the store directly (no property chains): this runs once
+        per materialized intermediate, making it one of the hottest
+        scalar-code paths in the runtime.
+        """
+        store = self.store
+        if type(store) is DenseStore:
+            array = store.array
+            if (
+                array.size >= MIN_SPARSE_SIZE
+                and store.value_type.is_numeric
+                and np.count_nonzero(array) < array.size * SPARSITY_TURN_POINT
+            ):
+                self.store = SparseStore.from_numpy(array, store.value_type)
+        elif (
+            store.nnz >= store.size * SPARSITY_TURN_POINT
+            or store.size < MIN_SPARSE_SIZE
         ):
-            self.store = SparseStore.from_numpy(self.store.to_numpy(), self.value_type)
-        elif self.is_sparse and (self.sparsity >= SPARSITY_TURN_POINT or self.size < MIN_SPARSE_SIZE):
-            self.store = DenseStore(self.store.to_numpy(), self.value_type)
+            self.store = DenseStore(store.to_numpy(), store.value_type)
         return self
 
     def to_dense(self) -> "BasicTensorBlock":

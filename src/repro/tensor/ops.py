@@ -183,6 +183,16 @@ def cumulative_op(op: str, block: Block) -> Block:
 # aggregations
 # ---------------------------------------------------------------------------
 
+_AGGREGATE_FUNCS = {
+    "sum": np.sum,
+    "mean": np.mean,
+    "min": np.min,
+    "max": np.max,
+    "var": lambda a, axis: np.var(a, axis=axis, ddof=1),
+    "sd": lambda a, axis: np.std(a, axis=axis, ddof=1),
+    "prod": np.prod,
+}
+
 
 def aggregate(op: str, block: Block, direction: Direction = Direction.FULL):
     """Full/row/column aggregates.
@@ -194,16 +204,7 @@ def aggregate(op: str, block: Block, direction: Direction = Direction.FULL):
         return _aggregate_sparse(op, block, direction)
     data = _numeric(block)
     axis = None if direction == Direction.FULL else (1 if direction == Direction.ROW else 0)
-    funcs = {
-        "sum": np.sum,
-        "mean": np.mean,
-        "min": np.min,
-        "max": np.max,
-        "var": lambda a, axis: np.var(a, axis=axis, ddof=1),
-        "sd": lambda a, axis: np.std(a, axis=axis, ddof=1),
-        "prod": np.prod,
-    }
-    func = funcs.get(op)
+    func = _AGGREGATE_FUNCS.get(op)
     if func is None:
         raise ValueError(f"unknown aggregate: {op!r}")
     result = func(data, axis=axis)

@@ -1,0 +1,15 @@
+"""Compiled instruction traces for hot loops (a poor-man's JIT).
+
+After a basic block executes ``trace_threshold`` times with a stable plan
+and stable operand kinds, its instruction sequence is fused into one
+compiled callable (:mod:`repro.trace.compiler`) and cached
+(:mod:`repro.trace.cache`).  Traced execution is bit-identical to
+interpretation — verified differentially by the ``traced`` qa lattice
+config — while skipping per-instruction dispatch, symbol-table traffic,
+and buffer-pool round-trips for block-local temporaries.
+"""
+
+from repro.trace.cache import TraceCache
+from repro.trace.compiler import CompiledTrace, TraceVeto, compile_trace
+
+__all__ = ["TraceCache", "CompiledTrace", "TraceVeto", "compile_trace"]

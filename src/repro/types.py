@@ -37,17 +37,15 @@ class ValueType(enum.Enum):
     @classmethod
     def from_numpy_dtype(cls, dtype) -> "ValueType":
         """Map a NumPy dtype (or anything ``np.dtype`` accepts) to a ValueType."""
+        # dict fast path: dtype instances hash by identity semantics, and
+        # this mapping sits on the per-intermediate hot path of the runtime
+        value_type = _VALUE_TYPES_BY_DTYPE.get(dtype)
+        if value_type is not None:
+            return value_type
         dtype = np.dtype(dtype)
-        if dtype == np.float32:
-            return cls.FP32
-        if dtype == np.float64:
-            return cls.FP64
-        if dtype == np.int32:
-            return cls.INT32
-        if dtype in (np.int64, np.dtype("int")):
-            return cls.INT64
-        if dtype == np.bool_:
-            return cls.BOOLEAN
+        value_type = _VALUE_TYPES_BY_DTYPE.get(dtype)
+        if value_type is not None:
+            return value_type
         if dtype.kind in ("U", "S", "O"):
             return cls.STRING
         raise ValueError(f"unsupported numpy dtype: {dtype}")
@@ -78,6 +76,18 @@ _NUMPY_DTYPES = {
     ValueType.BOOLEAN: np.dtype(np.bool_),
     ValueType.STRING: np.dtype(object),
     ValueType.UNKNOWN: np.dtype(np.float64),
+}
+
+#: Reverse mapping for ``from_numpy_dtype`` (object dtype maps to STRING;
+#: UNKNOWN shares FP64 and must not shadow it).
+_VALUE_TYPES_BY_DTYPE = {
+    np.dtype(np.float32): ValueType.FP32,
+    np.dtype(np.float64): ValueType.FP64,
+    np.dtype(np.int32): ValueType.INT32,
+    np.dtype(np.int64): ValueType.INT64,
+    np.dtype("int"): ValueType.INT64,
+    np.dtype(np.bool_): ValueType.BOOLEAN,
+    np.dtype(object): ValueType.STRING,
 }
 
 

@@ -6,16 +6,26 @@ from repro.qa.lattice import Lattice, LatticeConfig
 
 
 class TestDefaultLattice:
-    def test_baseline_is_first_and_unmodified(self):
+    def test_baseline_is_first_and_pure_interpreter(self):
         lattice = Lattice.default()
         assert lattice.baseline.name == "baseline"
-        assert lattice.baseline.overrides == {}
+        # the reference runs the untraced interpreter: every other config
+        # (including `traced`) is judged against it
+        assert lattice.baseline.overrides == {"enable_trace": False}
         assert not lattice.baseline.federated
 
     def test_covers_the_paper_axes(self):
         names = set(Lattice.default().names)
         assert {"no_rewrites", "no_codegen", "no_recompile", "spark",
-                "lineage_reuse", "federated"} <= names
+                "lineage_reuse", "traced", "federated"} <= names
+
+    def test_traced_is_bitwise_against_baseline(self):
+        lattice = Lattice.default()
+        traced = lattice["traced"]
+        assert traced.bitwise
+        assert traced.reference == "baseline"
+        # hot after two runs: fuzz loops are short
+        assert traced.build_config().trace_threshold == 2
 
     def test_chaos_configs_are_bitwise_against_their_twin(self):
         lattice = Lattice.default()

@@ -1,0 +1,39 @@
+"""Shared helpers for the trace-compilation suite."""
+
+import pytest
+
+from repro.compiler.compile import compile_script
+from repro.config import ReproConfig
+from repro.runtime.context import ExecutionContext
+from repro.runtime.data import MatrixObject, ScalarObject
+from repro.runtime.interpreter import execute_program
+
+
+def run_script(script, outputs, config, **ctx_kwargs):
+    """(output values, context) after one full program execution."""
+    program = compile_script(script, config, {}, list(outputs))
+    ctx = ExecutionContext(
+        program, config, print_handler=lambda text: None, **ctx_kwargs
+    )
+    execute_program(program, ctx)
+    values = {}
+    for name in outputs:
+        value = ctx.get(name)
+        if isinstance(value, MatrixObject):
+            values[name] = value.acquire_local(ctx.collect).to_numpy()
+        elif isinstance(value, ScalarObject):
+            values[name] = value.value
+        else:  # pragma: no cover - battery scripts only produce the above
+            values[name] = value
+    return values, ctx
+
+
+@pytest.fixture
+def traced_config():
+    """A config that traces aggressively (hot after two executions)."""
+    return ReproConfig(enable_trace=True, trace_threshold=2)
+
+
+@pytest.fixture
+def untraced_config():
+    return ReproConfig(enable_trace=False)

@@ -1,0 +1,90 @@
+"""Injected faults must still fire inside traced regions.
+
+Traces hoist per-instruction hooks, but the fault surfaces that remain —
+buffer-pool restores at trace entry (spill.read) and evictions when
+exports re-enter the pool (spill.write) — must keep firing, and recovery
+must stay bit-identical.
+"""
+
+import numpy as np
+
+from repro.config import ReproConfig
+
+from tests.trace.conftest import run_script
+
+#: A tiny pool forces eviction+restore of the loop's live matrices, so
+#: every trace entry/exit crosses the spill fault points.
+_TINY_POOL = {
+    "memory_budget": 16 * 1024,
+    "operator_memory_fraction": 1.0,
+    "bufferpool_fraction": 0.03,
+}
+
+_SPILL_FAULTS = {
+    "fault_spec": "spill.write:p=0.3;spill.read:fail=2",
+    "fault_seed": 77,
+    "retry_budget": 5,
+    "retry_backoff_ms": 0.0,
+    "retry_backoff_max_ms": 0.0,
+}
+
+_LOOP = """
+X = rand(rows=24, cols=8, seed=5)
+w = matrix(0, rows=8, cols=1)
+y = rand(rows=24, cols=1, seed=6)
+for (i in 1:10) {
+  g = t(X) %*% (X %*% w - y)
+  w = w - 0.001 * g
+}
+"""
+
+
+class TestSpillFaultsInTracedRegions:
+    def test_faults_fire_and_recovery_is_bit_identical(self):
+        fault_free = ReproConfig(
+            enable_trace=True, trace_threshold=2, **_TINY_POOL
+        )
+        expected, ref_ctx = run_script(_LOOP, ["w"], fault_free)
+        assert ref_ctx.traces.snapshot()["trace_hits"] >= 1
+
+        chaotic = ReproConfig(
+            enable_trace=True, trace_threshold=2, **_TINY_POOL,
+            **_SPILL_FAULTS,
+        )
+        got, ctx = run_script(_LOOP, ["w"], chaotic)
+        assert np.array_equal(expected["w"], got["w"])
+        snap = ctx.traces.snapshot()
+        assert snap["trace_hits"] >= 1, "loop must actually run traced"
+        injected = ctx.faults.snapshot()["injected_by_point"]
+        assert injected.get("spill.write", 0) + injected.get("spill.read", 0) > 0
+
+    def test_traced_equals_untraced_under_identical_faults(self):
+        """Same fault plan, traced vs untraced: recovery must converge to
+        the same bits either way."""
+        traced = ReproConfig(
+            enable_trace=True, trace_threshold=2, **_TINY_POOL,
+            **_SPILL_FAULTS,
+        )
+        untraced = ReproConfig(
+            enable_trace=False, **_TINY_POOL, **_SPILL_FAULTS
+        )
+        got_traced, ctx = run_script(_LOOP, ["w"], traced)
+        got_interp, _ = run_script(_LOOP, ["w"], untraced)
+        assert ctx.traces.snapshot()["trace_hits"] >= 1
+        assert np.array_equal(got_traced["w"], got_interp["w"])
+
+
+class TestBoundaryFaultsStayVisible:
+    def test_crash_fault_at_loop_boundary_still_kills_traced_loop(self):
+        """checkpoint.boundary fires between iterations — outside traces —
+        so an injected crash terminates a traced loop exactly on cue."""
+        import pytest
+
+        from repro.errors import InjectedCrashError
+
+        cfg = ReproConfig(
+            enable_trace=True, trace_threshold=2,
+            fault_spec="checkpoint.boundary:crash=6", fault_seed=1,
+        )
+        with pytest.raises(InjectedCrashError):
+            run_script(_LOOP, ["w"], cfg)

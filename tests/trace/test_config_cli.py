@@ -1,0 +1,70 @@
+"""The enable_trace / trace_threshold config block and its CLI flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import ReproConfig
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        cfg = ReproConfig()
+        assert cfg.enable_trace is True
+        assert cfg.trace_threshold == 8
+
+    def test_eager_threshold_validation(self):
+        with pytest.raises(ValueError, match="trace_threshold"):
+            ReproConfig(trace_threshold=0)
+        with pytest.raises(ValueError, match="trace_threshold"):
+            ReproConfig(trace_threshold=-3)
+
+    def test_copy_preserves_trace_block(self):
+        cfg = ReproConfig(enable_trace=False, trace_threshold=3)
+        copied = cfg.copy(parallelism=2)
+        assert copied.enable_trace is False
+        assert copied.trace_threshold == 3
+
+
+class TestCliFlags:
+    SCRIPT = """
+s = 0.0
+for (i in 1:12) {
+  s = s + i
+}
+print(s)
+"""
+
+    def _run(self, tmp_path, *extra):
+        script = tmp_path / "loop.dml"
+        script.write_text(self.SCRIPT)
+        stats_json = tmp_path / "stats.json"
+        code = main([
+            str(script), "--stats", "--stats-json", str(stats_json), *extra,
+        ])
+        assert code == 0
+        return json.loads(stats_json.read_text())
+
+    def test_tracing_on_by_default(self, tmp_path, capsys):
+        snapshot = self._run(tmp_path, "--trace-threshold", "2")
+        capsys.readouterr()
+        assert snapshot["trace"]["traces_compiled"] >= 1
+        assert snapshot["trace"]["trace_hits"] >= 1
+
+    def test_no_trace_disables(self, tmp_path, capsys):
+        snapshot = self._run(tmp_path, "--no-trace", "--trace-threshold", "2")
+        capsys.readouterr()
+        assert snapshot["trace"] == {}
+
+    def test_invalid_threshold_rejected(self, tmp_path):
+        script = tmp_path / "x.dml"
+        script.write_text("print(1)")
+        with pytest.raises(SystemExit):
+            main([str(script), "--trace-threshold", "0"])
+
+    def test_stats_report_names_the_section(self, tmp_path, capsys):
+        self._run(tmp_path, "--trace-threshold", "2")
+        err = capsys.readouterr().err
+        assert "Trace compilation:" in err
+        assert "traces_compiled=" in err

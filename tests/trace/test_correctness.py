@@ -1,0 +1,250 @@
+"""Traced execution must be bit-identical to interpretation.
+
+Every script here runs a loop body often enough to cross the trace
+threshold, once with tracing and once without; outputs are compared with
+``np.array_equal`` (no tolerance) and the traced run must actually have
+compiled and hit a trace — otherwise the comparison proves nothing.
+"""
+
+import numpy as np
+
+from repro.config import ReproConfig
+
+from tests.trace.conftest import run_script
+
+
+def assert_traced_identical(script, outputs, min_hits=1, **config_overrides):
+    traced_cfg = ReproConfig(
+        enable_trace=True, trace_threshold=2, **config_overrides
+    )
+    untraced_cfg = ReproConfig(enable_trace=False, **config_overrides)
+    expected, _ = run_script(script, outputs, untraced_cfg)
+    got, ctx = run_script(script, outputs, traced_cfg)
+    snap = ctx.traces.snapshot()
+    assert snap["traces_compiled"] >= 1, snap
+    assert snap["trace_hits"] >= min_hits, snap
+    for name in outputs:
+        assert np.array_equal(expected[name], got[name]), name
+    return snap
+
+
+class TestLinearAlgebraLoops:
+    def test_gradient_descent_loop(self):
+        script = """
+X = rand(rows=30, cols=6, seed=3)
+y = rand(rows=30, cols=1, seed=4)
+w = matrix(0, rows=6, cols=1)
+i = 0
+while (i < 12) {
+  g = t(X) %*% (X %*% w - y)
+  w = w - 0.001 * g
+  i = i + 1
+}
+loss = sum((X %*% w - y)^2)
+"""
+        assert_traced_identical(script, ["w", "loss"], min_hits=5)
+
+    def test_python_kernel_matmult(self):
+        script = """
+A = rand(rows=9, cols=7, seed=1)
+acc = matrix(0, rows=9, cols=9)
+for (i in 1:8) {
+  acc = acc + A %*% t(A)
+}
+"""
+        assert_traced_identical(
+            script, ["acc"], native_blas=False, matmult_tile=3
+        )
+
+    def test_tsmm_and_solve(self):
+        script = """
+X = rand(rows=20, cols=4, seed=8)
+y = rand(rows=20, cols=1, seed=9)
+w = matrix(0, rows=4, cols=1)
+for (i in 1:6) {
+  A = t(X) %*% X + diag(matrix(0.001 * i, rows=4, cols=1))
+  b = t(X) %*% y
+  w = solve(A, b)
+}
+"""
+        assert_traced_identical(script, ["w"])
+
+
+class TestElementwiseAndScalars:
+    def test_scalar_arithmetic_loop(self):
+        script = """
+s = 1.0
+p = 1
+for (i in 1:20) {
+  s = s * 1.1 + i
+  p = p + 2
+}
+"""
+        assert_traced_identical(script, ["s", "p"])
+
+    def test_elementwise_and_unary(self):
+        script = """
+A = rand(rows=8, cols=8, seed=11)
+B = rand(rows=8, cols=8, seed=12)
+out = matrix(0, rows=8, cols=8)
+for (i in 1:7) {
+  out = out + exp(-abs(A - B)) / (1 + A * A)
+}
+total = sum(out)
+"""
+        assert_traced_identical(script, ["out", "total"])
+
+    def test_comparisons_and_ifelse(self):
+        script = """
+A = rand(rows=6, cols=6, seed=13)
+M = matrix(0, rows=6, cols=6)
+for (i in 1:6) {
+  M = M + ifelse(A > 0.5, A, -A)
+}
+"""
+        assert_traced_identical(script, ["M"])
+
+
+class TestAggregatesAndReorg:
+    def test_row_col_aggregates(self):
+        script = """
+A = rand(rows=10, cols=5, seed=21)
+acc = matrix(0, rows=1, cols=1)
+r = matrix(0, rows=10, cols=1)
+c = matrix(0, rows=1, cols=5)
+for (i in 1:6) {
+  r = r + rowSums(A * i)
+  c = c + colSums(A / i)
+  acc = acc + sum(A) + min(A) + max(A)
+}
+"""
+        assert_traced_identical(script, ["r", "c", "acc"])
+
+    def test_cumsum_rev_reshape(self):
+        script = """
+A = rand(rows=4, cols=6, seed=31)
+out = matrix(0, rows=24, cols=1)
+for (i in 1:5) {
+  B = cumsum(rev(A))
+  out = out + matrix(B, rows=24, cols=1)
+}
+"""
+        assert_traced_identical(script, ["out"])
+
+    def test_indexing_loop(self):
+        script = """
+A = rand(rows=12, cols=12, seed=41)
+acc = matrix(0, rows=3, cols=3)
+for (i in 1:9) {
+  acc = acc + A[2:4, 5:7] * i
+}
+A[1:3, 1:3] = acc
+"""
+        assert_traced_identical(script, ["A", "acc"])
+
+    def test_fill_and_seq(self):
+        script = """
+total = 0
+for (i in 1:8) {
+  v = seq(1, 10)
+  F = matrix(i, rows=3, cols=3)
+  total = total + sum(v) * sum(F)
+}
+"""
+        assert_traced_identical(script, ["total"])
+
+
+class TestControlFlowShapes:
+    def test_while_with_function_call_keeps_interpreting_call_block(self):
+        """fcall vetoes the calling block, but the *body* blocks of the
+        function are themselves traced (frames share the cache)."""
+        script = """
+accumulate = function(matrix[double] M, double k)
+    return (matrix[double] out) {
+  out = M
+  for (j in 1:5) {
+    out = out + k * j
+  }
+}
+A = rand(rows=5, cols=5, seed=51)
+i = 0
+while (i < 6) {
+  A = accumulate(A, 0.01)
+  i = i + 1
+}
+"""
+        snap = assert_traced_identical(script, ["A"])
+        assert snap["vetoes"] >= 1  # the fcall-carrying block
+
+    def test_nested_loops(self):
+        script = """
+acc = 0.0
+for (i in 1:5) {
+  for (j in 1:5) {
+    acc = acc + i * j
+  }
+}
+"""
+        assert_traced_identical(script, ["acc"], min_hits=10)
+
+    def test_branchy_loop(self):
+        script = """
+s = 0.0
+for (i in 1:12) {
+  if (i %% 2 == 0) {
+    s = s + i * 2
+  } else {
+    s = s - i
+  }
+}
+"""
+        assert_traced_identical(script, ["s"])
+
+
+class TestStandDowns:
+    def test_reuse_disables_tracing(self):
+        """Lineage reuse probes per instruction; tracing must stand down."""
+        cfg = ReproConfig(
+            enable_trace=True, trace_threshold=2,
+            enable_lineage=True, reuse_policy="full",
+        )
+        _, ctx = run_script("x = sum(rand(rows=3, cols=3, seed=1))", ["x"], cfg)
+        assert ctx.traces is None
+
+    def test_disabled_by_config(self):
+        cfg = ReproConfig(enable_trace=False)
+        _, ctx = run_script("x = 1 + 1", ["x"], cfg)
+        assert ctx.traces is None
+
+    def test_lineage_identical_under_tracing(self):
+        """Replayed lineage DAGs must hash identically to interpreted ones.
+
+        Fused-cell signatures are per-compilation, so the comparison must
+        run the *same* compiled program twice: once with the context's
+        trace cache detached (pure interpretation), once traced.
+        """
+        from repro.compiler.compile import compile_script
+        from repro.runtime.context import ExecutionContext
+        from repro.runtime.interpreter import execute_program
+
+        script = """
+A = rand(rows=6, cols=4, seed=2)
+w = matrix(0, rows=4, cols=1)
+for (i in 1:6) {
+  w = w + t(colSums(A)) * 0.1
+}
+"""
+        cfg = ReproConfig(
+            enable_trace=True, trace_threshold=2, enable_lineage=True
+        )
+        program = compile_script(script, cfg, {}, ["w"])
+
+        ref_ctx = ExecutionContext(program, cfg, print_handler=lambda t: None)
+        ref_ctx.traces = None  # detach: force pure interpretation
+        execute_program(program, ref_ctx)
+
+        ctx = ExecutionContext(program, cfg, print_handler=lambda t: None)
+        execute_program(program, ctx)
+
+        assert ctx.traces.snapshot()["trace_hits"] >= 1
+        assert ref_ctx.tracer.get("w").key == ctx.tracer.get("w").key

@@ -1,0 +1,87 @@
+"""The precomputed per-instruction hooks flag on ExecutionContext.
+
+``fast_hooks`` folds the interpreter's per-instruction is-None probes
+(stats, lineage tracer, reuse cache) into one flag refreshed on attach/
+detach.  The regression risk is a subsystem attached *after* context
+creation silently not counting — exactly what these tests pin down.
+"""
+
+from repro.compiler.compile import compile_script
+from repro.config import ReproConfig
+from repro.obs import StatsRegistry, observe_context
+from repro.runtime.context import ExecutionContext
+from repro.runtime.interpreter import execute_program
+
+
+def _fresh(script="x = 1 + 2", **config_kwargs):
+    cfg = ReproConfig(**config_kwargs)
+    program = compile_script(script, cfg, {}, ["x"])
+    return program, ExecutionContext(program, cfg, print_handler=lambda t: None)
+
+
+class TestFlagMaintenance:
+    def test_bare_context_is_fast(self):
+        _, ctx = _fresh()
+        assert ctx.stats is None and ctx.tracer is None and ctx.reuse is None
+        assert ctx.fast_hooks
+
+    def test_attach_detach_refreshes(self):
+        _, ctx = _fresh()
+        ctx.stats = StatsRegistry()
+        assert not ctx.fast_hooks
+        ctx.stats = None
+        assert ctx.fast_hooks
+
+    def test_config_enabled_subsystems_clear_the_flag(self):
+        _, ctx = _fresh(enable_lineage=True)
+        assert ctx.tracer is not None
+        assert not ctx.fast_hooks
+        _, ctx = _fresh(enable_stats=True)
+        assert not ctx.fast_hooks
+        _, ctx = _fresh(enable_lineage=True, reuse_policy="full")
+        assert not ctx.fast_hooks
+
+
+class TestLateAttachedStatsStillCount:
+    SCRIPT = """
+s = 0.0
+for (i in 1:5) {
+  s = s + i * 2
+}
+"""
+
+    def test_stats_attached_after_creation_record_instructions(self):
+        cfg = ReproConfig(enable_trace=False)
+        program = compile_script(self.SCRIPT, cfg, {}, ["s"])
+        ctx = ExecutionContext(program, cfg, print_handler=lambda t: None)
+        assert ctx.fast_hooks
+        registry = StatsRegistry()
+        ctx.stats = registry  # late attach, the PreparedScript.set_stats path
+        observe_context(registry, ctx)
+        execute_program(program, ctx)
+        snapshot = registry.snapshot()
+        counted = sum(row["count"] for row in snapshot["instructions"])
+        assert counted == ctx.metrics["instructions"]
+        assert counted > 0
+
+    def test_late_attached_stats_see_traced_blocks(self):
+        cfg = ReproConfig(enable_trace=True, trace_threshold=2)
+        program = compile_script(self.SCRIPT, cfg, {}, ["s"])
+        ctx = ExecutionContext(program, cfg, print_handler=lambda t: None)
+        registry = StatsRegistry()
+        ctx.stats = registry
+        observe_context(registry, ctx)
+        execute_program(program, ctx)
+        snapshot = registry.snapshot()
+        assert snapshot["trace"]["trace_hits"] >= 1
+        counted = sum(row["count"] for row in snapshot["instructions"])
+        assert counted == ctx.metrics["instructions"]
+
+    def test_detached_stats_stop_counting(self):
+        cfg = ReproConfig(enable_stats=True, enable_trace=False)
+        program = compile_script(self.SCRIPT, cfg, {}, ["s"])
+        ctx = ExecutionContext(program, cfg, print_handler=lambda t: None)
+        registry = ctx.stats
+        ctx.stats = None
+        execute_program(program, ctx)
+        assert sum(r["count"] for r in registry.snapshot()["instructions"]) == 0

@@ -1,0 +1,189 @@
+"""Trace invalidation: recompile, shape drift, config change, resume."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+
+from tests.trace.conftest import run_script
+
+
+class TestRecompileInvalidation:
+    def test_rbind_growth_recompiles_and_retraces(self):
+        """The classic mid-loop shape change: rbind grows a matrix every
+        iteration, so the plan signature changes each time and no trace
+        may serve a stale shape."""
+        script = """
+M = matrix(1, rows=1, cols=3)
+for (i in 1:9) {
+  M = rbind(M, matrix(i, rows=1, cols=3))
+}
+total = sum(M)
+"""
+        cfg = ReproConfig(enable_trace=True, trace_threshold=2)
+        got, ctx = run_script(script, ["M", "total"], cfg)
+        expected, _ = run_script(
+            script, ["M", "total"], ReproConfig(enable_trace=False)
+        )
+        assert np.array_equal(expected["M"], got["M"])
+        assert got["M"].shape == (10, 3)
+        snap = ctx.traces.snapshot()
+        # every iteration recompiles: entries churn, traces never go hot
+        assert snap["invalidations_recompile"] >= 1
+        assert snap["trace_hits"] == 0
+
+    def test_stable_then_growing_shape(self):
+        """A loop that is stable long enough to trace, then grows: the
+        recompile drops the trace, results stay exact."""
+        script = """
+M = matrix(1, rows=2, cols=2)
+acc = 0.0
+for (i in 1:12) {
+  acc = acc + sum(M) * i
+  if (i == 8) {
+    M = rbind(M, matrix(7, rows=1, cols=2))
+  }
+}
+"""
+        cfg = ReproConfig(enable_trace=True, trace_threshold=2)
+        got, ctx = run_script(script, ["acc", "M"], cfg)
+        expected, _ = run_script(
+            script, ["acc", "M"], ReproConfig(enable_trace=False)
+        )
+        assert expected["acc"] == got["acc"]
+        assert np.array_equal(expected["M"], got["M"])
+        snap = ctx.traces.snapshot()
+        assert snap["trace_hits"] >= 1  # traced while stable
+        assert snap["invalidations"] >= 1  # dropped when M grew
+
+
+class TestGuardFailures:
+    def test_kind_change_falls_back(self):
+        """A variable that flips between scalar and matrix across block
+        executions fails the entry guard and re-interprets.
+
+        Recompilation is off: with it on, kind drift surfaces as a
+        plan-cache miss (the plan signature covers what guards cover) and
+        the trace is invalidated before its guards ever run.  The guards
+        are the backstop for exactly this static-plan configuration.
+        """
+        from repro.compiler.compile import compile_script
+        from repro.runtime.context import ExecutionContext
+        from repro.runtime.data import MatrixObject, ScalarObject
+        from repro.runtime.interpreter import _execute_basic
+        from repro.tensor import BasicTensorBlock
+
+        cfg = ReproConfig(
+            enable_trace=True, trace_threshold=2, enable_recompile=False
+        )
+        program = compile_script("y = x + 1", cfg, {}, ["y"])
+        block = program.blocks[0]
+        ctx = ExecutionContext(program, cfg, print_handler=lambda t: None)
+        # heat and compile with a scalar x
+        for _ in range(3):
+            ctx.set("x", ScalarObject(2.0))
+            _execute_basic(block, ctx)
+        assert ctx.traces.snapshot()["trace_hits"] >= 1
+        # now bind a matrix x: the guard must fail, the interpreter runs,
+        # and the result is still correct
+        ctx.set(
+            "x",
+            MatrixObject.from_block(
+                BasicTensorBlock.from_numpy(np.full((2, 2), 5.0)), ctx.pool
+            ),
+        )
+        _execute_basic(block, ctx)
+        got = ctx.get("y").acquire_local().to_numpy()
+        assert np.array_equal(got, np.full((2, 2), 6.0))
+        snap = ctx.traces.snapshot()
+        assert snap["guard_failures"] == 1
+        assert snap["fallbacks"] == 1
+
+    def test_config_identity_guard(self):
+        """A trace compiled against one config object never runs under
+        another (kernel choices like native_blas are baked in)."""
+        from repro.compiler.compile import compile_script
+        from repro.runtime.context import ExecutionContext
+        from repro.runtime.data import ScalarObject
+        from repro.runtime.interpreter import _execute_basic
+
+        cfg = ReproConfig(
+            enable_trace=True, trace_threshold=2, enable_recompile=False
+        )
+        program = compile_script("y = x * 3", cfg, {}, ["y"])
+        block = program.blocks[0]
+        ctx = ExecutionContext(program, cfg, print_handler=lambda t: None)
+        for _ in range(3):
+            ctx.set("x", ScalarObject(2.0))
+            _execute_basic(block, ctx)
+        traces = ctx.traces
+        assert traces.snapshot()["trace_hits"] >= 1
+        # same cache, same program, different (equal-valued) config object
+        other = ExecutionContext(
+            program, cfg.copy(), print_handler=lambda t: None, traces=traces
+        )
+        other.set("x", ScalarObject(2.0))
+        _execute_basic(block, other)
+        assert other.get("y").as_float() == 6.0
+        assert traces.snapshot()["guard_failures"] >= 1
+
+
+class TestResumeInvalidation:
+    def test_resume_lands_inside_previously_traced_loop(self, tmp_path):
+        """Crash after the loop went hot; the resumed process re-executes
+        the remaining iterations bit-identically (its fresh cache is also
+        explicitly flushed via invalidate_all on restore)."""
+        from repro.api.mlcontext import MLContext
+        from repro.errors import InjectedCrashError
+
+        script = """
+X = rand(rows=20, cols=5, seed=42)
+w = matrix(0, rows=5, cols=1)
+y = rand(rows=20, cols=1, seed=7)
+i = 0
+while (i < 12) {
+  g = t(X) %*% (X %*% w - y)
+  w = w - 0.001 * g
+  i = i + 1
+}
+"""
+        ref = (
+            MLContext(ReproConfig(enable_lineage=True, trace_threshold=2))
+            .execute(script, outputs=["w"])
+            .matrix("w")
+        )
+        # crash at boundary 8: well past the threshold, so the loop was
+        # running traced when the run died
+        crash = ReproConfig(
+            checkpoint_dir=str(tmp_path / "ckpt"), enable_lineage=True,
+            trace_threshold=2,
+            fault_spec="checkpoint.boundary:crash=8",
+        )
+        with pytest.raises(InjectedCrashError):
+            MLContext(crash).execute(script, outputs=["w"])
+        resume = ReproConfig(
+            checkpoint_dir=str(tmp_path / "ckpt"), enable_lineage=True,
+            trace_threshold=2,
+        )
+        ml = MLContext(resume)
+        ml.checkpoints().prepare_resume()
+        got = ml.execute(script, outputs=["w"]).matrix("w")
+        assert np.array_equal(ref, got)
+
+    def test_invalidate_all_flushes_and_counts(self):
+        cfg = ReproConfig(enable_trace=True, trace_threshold=2)
+        script = """
+A = rand(rows=4, cols=4, seed=1)
+s = 0.0
+for (i in 1:6) {
+  s = s + sum(A)
+}
+"""
+        _, ctx = run_script(script, ["s"], cfg)
+        traces = ctx.traces
+        before = traces.snapshot()
+        assert before["entries"] >= 1
+        traces.invalidate_all("resume")
+        after = traces.snapshot()
+        assert after["entries"] == 0
+        assert after["invalidations_resume"] == before["entries"]
