@@ -1,9 +1,17 @@
-"""Serving bench S1: micro-batched vs. one-at-a-time scoring throughput.
+"""Serving bench S1: micro-batched vs. one-at-a-time scoring throughput,
+plus S2: the multi-process worker scaling curve.
 
-A 1000-request burst of single-row scoring requests against one prepared
-linear model.  With micro-batching the service coalesces rows into one
-matrix multiply per tick; the acceptance bar is >= 2x the un-batched
-throughput, with bounded-queue overload behaviour and live percentiles.
+S1 is a 1000-request burst of single-row scoring requests against one
+prepared linear model.  With micro-batching the service coalesces rows
+into one matrix multiply per tick; the acceptance bar is >= 2x the
+un-batched throughput, with bounded-queue overload behaviour and live
+percentiles.
+
+S2 shards the service across OS worker processes scoring against
+shared-memory weights (1/2/4/8-worker curve, counts capped at the bench
+host's cores).  Scaling gates are core-count-aware: a 1-core container
+still runs the mechanism (and the kill-one-worker chaos point) but only
+multi-core hosts assert speedup bars.
 
     PYTHONPATH=src python benchmarks/bench_serving.py   # writes results/BENCH_serving.json
     PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
@@ -17,15 +25,35 @@ import pytest
 
 from repro.errors import ServiceOverloadedError
 from repro.serving import ModelRegistry, ScoringService
-from repro.serving.bench import SCORING_SCRIPT, run_smoke_bench
+from repro.serving.bench import (
+    SCORING_SCRIPT,
+    run_scaling_bench,
+    run_smoke_bench,
+)
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 REQUESTS = max(int(1000 * SCALE), 100)
+SCALING_REQUESTS = max(int(400 * SCALE), 100)
+CORES = os.cpu_count() or 1
+#: Worker counts for the scaling curve, capped at 2x the host's cores
+#: (oversubscribing further only measures scheduler noise).  Override
+#: with REPRO_BENCH_PROCS=1,2,4,8 to force the full curve regardless.
+_PROCS_ENV = os.environ.get("REPRO_BENCH_PROCS")
+WORKER_COUNTS = (
+    [int(part) for part in _PROCS_ENV.split(",")] if _PROCS_ENV
+    else [n for n in (1, 2, 4, 8) if n <= max(2 * CORES, 2)]
+)
 
 
 @pytest.fixture(scope="module")
 def report():
     return run_smoke_bench(requests=REQUESTS)
+
+
+@pytest.fixture(scope="module")
+def scaling_report():
+    return run_scaling_bench(requests=SCALING_REQUESTS,
+                             worker_counts=WORKER_COUNTS, kill_worker=True)
 
 
 def test_s1_batching_speedup(report):
@@ -66,15 +94,53 @@ def test_s1_overload_rejects_not_hangs():
         registry.close()
 
 
+def test_s2_multiproc_curve_has_throughput(scaling_report):
+    for point in scaling_report["curve"].values():
+        assert point["throughput_rps"] > 0
+    # every worker of every point attached + checksum-verified its weights
+    for point in scaling_report["curve"].values():
+        assert point["shm_segments_attached"] >= point["procs"]
+        assert point["shm_checksums_verified"] \
+            == point["shm_segments_attached"]
+
+
+@pytest.mark.skipif(CORES < 2, reason="scaling gates need >= 2 cores")
+def test_s2_two_worker_speedup(scaling_report):
+    assert scaling_report["scaling"]["2"] >= 1.3, (
+        f"2-worker scaling {scaling_report['scaling']['2']:.2f}x < 1.3x"
+    )
+
+
+@pytest.mark.skipif(CORES < 4, reason="4-worker gate needs >= 4 cores")
+def test_s2_four_worker_speedup(scaling_report):
+    assert scaling_report["scaling"]["4"] >= 2.5, (
+        f"4-worker scaling {scaling_report['scaling']['4']:.2f}x < 2.5x"
+    )
+
+
+def test_s2_kill_one_worker_recovers(scaling_report):
+    chaos = scaling_report["kill_worker"]
+    assert chaos["worker_deaths"] >= 1
+    assert chaos["worker_respawns"] >= 1
+    assert chaos["resent_requests"] >= 1
+    assert chaos["resilience"]["worker_deaths"] >= 1
+
+
 def main():
     out_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(out_dir, exist_ok=True)
     bench = run_smoke_bench(requests=REQUESTS)
+    bench["scaling_curve"] = run_scaling_bench(
+        requests=SCALING_REQUESTS, worker_counts=WORKER_COUNTS,
+        kill_worker=True,
+    )
     path = os.path.join(out_dir, "BENCH_serving.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(bench, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"speedup {bench['batching_speedup']:.2f}x -> {path}")
+    curve = bench["scaling_curve"]["scaling"]
+    print(f"speedup {bench['batching_speedup']:.2f}x, "
+          f"scaling {curve} -> {path}")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,10 @@ tracing and ``--reuse`` lineage-based reuse of intermediates.
 ``--serve-bench`` runs the concurrent model-scoring smoke bench instead of
 a script (micro-batched vs. one-at-a-time throughput; see
 ``repro.serving.bench``), optionally writing ``BENCH_serving.json`` via
-``--serve-out``.
+``--serve-out``.  ``--serve-procs 1,2,4`` instead measures the
+multi-process data plane (OS worker processes scoring against
+shared-memory weights) as a scaling curve, and ``--serve-kill-worker``
+adds a SIGKILL-one-worker chaos run with recovery counters.
 
 ``--checkpoint-dir DIR`` snapshots live variables at loop/top-level block
 boundaries (``--checkpoint-every N`` thins the cadence); after a crash,
@@ -99,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve-bench worker threads")
     serving.add_argument("--serve-batch", type=int, default=32,
                          help="serve-bench micro-batch size cap")
+    serving.add_argument("--serve-procs", metavar="N[,N...]", default=None,
+                         help="run the multi-process serving scaling bench "
+                              "over these worker-process counts (e.g. "
+                              "1,2,4,8); workers score against shared-memory "
+                              "weights")
+    serving.add_argument("--serve-kill-worker", action="store_true",
+                         help="add a kill-one-worker chaos run to the "
+                              "scaling bench (SIGKILL mid-batch, seeded)")
     serving.add_argument("--serve-out", metavar="PATH", default=None,
                          help="write the serve-bench JSON report")
     resilience = parser.add_argument_group("resilience / fault injection")
@@ -134,7 +145,7 @@ def main(argv=None) -> int:
     """Entry point of ``repro-dml``; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.serve_bench:
+    if args.serve_bench or args.serve_procs or args.serve_kill_worker:
         from repro.serving.bench import main as serve_bench_main
 
         bench_args = [
@@ -142,6 +153,10 @@ def main(argv=None) -> int:
             "--workers", str(args.serve_workers),
             "--max-batch", str(args.serve_batch),
         ]
+        if args.serve_procs:
+            bench_args += ["--procs", args.serve_procs]
+        if args.serve_kill_worker:
+            bench_args += ["--kill-worker"]
         if args.serve_out:
             bench_args += ["--out", args.serve_out]
         return serve_bench_main(bench_args)

@@ -130,6 +130,12 @@ class IOFormatError(ReproError):
     """Raised on malformed persistent data or format descriptors."""
 
 
+class SharedSegmentError(ReproError):
+    """Raised by :mod:`repro.io.shm` on shared-memory segment protocol
+    violations: missing/uncommitted segments, header/spec mismatches, or
+    payload checksum failures on attach."""
+
+
 class ServingError(ReproError):
     """Root of the model-serving subsystem's errors."""
 
@@ -153,3 +159,18 @@ class ServiceUnavailableError(ServingError):
     resilience layer failing fast: the model is known to be erroring, so
     requests are rejected before they occupy admission-queue slots.
     """
+
+
+class TenantThrottledError(ServingError):
+    """Raised when a tenant's token bucket is empty (per-tenant QoS rate
+    limit), before the request touches the shared admission queue."""
+
+    def __init__(self, tenant: str):
+        self.tenant = tenant
+        super().__init__(f"tenant {tenant!r} exceeded its request rate limit")
+
+
+class WorkerDiedError(ServingError):
+    """A scoring worker process died.  Internal to the sharded service:
+    in-flight batches of a dead worker are resent to its respawn, so
+    requests only ever observe this when respawning itself keeps failing."""

@@ -7,11 +7,21 @@ readers/writers from high-level format descriptors.
 
 from repro.io.formats import DelimitedFormat, FormatDescriptor, JsonLinesFormat
 from repro.io.generator import generate_reader, generate_writer
+from repro.io.shm import (
+    SegmentSpec,
+    SharedSegment,
+    SharedWeightStore,
+    scavenge_orphan_segments,
+)
 
 __all__ = [
     "DelimitedFormat",
     "FormatDescriptor",
     "JsonLinesFormat",
+    "SegmentSpec",
+    "SharedSegment",
+    "SharedWeightStore",
     "generate_reader",
     "generate_writer",
+    "scavenge_orphan_segments",
 ]

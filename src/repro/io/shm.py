@@ -1,0 +1,454 @@
+"""Content-addressed shared-memory weight segments for multi-process serving.
+
+The single-process serving layer pins model weights in the buffer pool;
+the multi-process data plane promotes them into POSIX shared memory so N
+scoring workers read the *same* physical pages — zero copies per worker,
+zero serialisation per request.
+
+The design mirrors the crash-consistency idioms used elsewhere:
+
+* **content addressing** — a segment's name derives from the blake2b
+  checksum of its payload (the same :func:`~repro.io.atomic.checksum_bytes`
+  scheme the checkpoint manifest uses for ``w-<checksum>.bin`` weight
+  files), so publishing the same weights twice dedupes to one segment;
+* **atomic publish** — shared memory cannot ``os.replace``, so the commit
+  point is a single ``committed`` flag byte in the segment header written
+  *after* the payload; attachers treat an uncommitted segment exactly like
+  a missing file;
+* **orphan scavenging** — the header carries the publisher's pid; on
+  store construction, segments whose owner is provably dead are unlinked
+  (the spill-directory ``owner.pid`` pattern of the buffer pool).
+
+Workers attach with :meth:`SharedWeightStore.attach`, which verifies the
+payload checksum end-to-end and yields a **read-only, zero-copy** NumPy
+view; :meth:`SharedSegment.as_block` wraps it as a dense tensor block
+with the nnz metadata threaded from the header (no re-scan on attach).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SharedSegmentError
+from repro.io.atomic import checksum_bytes
+from repro.tensor.block import BasicTensorBlock
+from repro.tensor.dense import DenseStore
+from repro.types import ValueType
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when a process with this pid exists (signal-0 probe).
+
+    Same semantics as the buffer pool's spill-dir scavenger (not imported
+    from there: ``bufferpool`` itself imports :mod:`repro.io`).
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but owned by someone else — leave it alone
+    return True
+
+#: Segment-name prefix (also the scavenging filter under ``/dev/shm``).
+SHM_PREFIX = "rshm-"
+
+#: Where POSIX shared memory surfaces as files (Linux); scavenging is a
+#: no-op on platforms without it.
+SHM_DIR = "/dev/shm"
+
+#: Header layout: magic, version, committed flag, owner pid, payload
+#: checksum (hex ascii), payload bytes, nnz, ndim, shape (up to 6 dims),
+#: value-type string.  The committed byte at :data:`_COMMIT_OFFSET` is
+#: the publish commit point — written last, checked first.
+_MAGIC = b"RSHM"
+_VERSION = 1
+_HEADER = struct.Struct("<4sBB2xQ32sQqQ6Q16s")
+_COMMIT_OFFSET = 5
+_MAX_DIMS = 6
+HEADER_SIZE = 160
+
+#: How long an attacher waits for a concurrent publisher's commit flag.
+_COMMIT_WAIT_S = 2.0
+
+
+class SegmentSpec:
+    """Picklable descriptor of one published segment (sent to workers)."""
+
+    __slots__ = ("name", "shape", "value_type", "nnz", "checksum", "nbytes")
+
+    def __init__(self, name: str, shape: Tuple[int, ...], value_type: str,
+                 nnz: int, checksum: str, nbytes: int):
+        self.name = name
+        self.shape = tuple(int(d) for d in shape)
+        self.value_type = value_type
+        self.nnz = int(nnz)
+        self.checksum = checksum
+        self.nbytes = int(nbytes)
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SegmentSpec({self.name}, shape={self.shape}, "
+            f"vt={self.value_type}, nnz={self.nnz})"
+        )
+
+
+class SharedSegment:
+    """An attached segment: a read-only zero-copy array over shared pages."""
+
+    __slots__ = ("spec", "array", "_shm")
+
+    def __init__(self, spec: SegmentSpec, shm, array: np.ndarray):
+        self.spec = spec
+        self.array = array
+        self._shm = shm
+
+    def as_block(self) -> BasicTensorBlock:
+        """The payload as a dense tensor block (still zero-copy).
+
+        The nnz from the segment header seeds the dense store's cache, so
+        binding the weights into a MatrixObject never re-scans the array.
+        """
+        value_type = ValueType(self.spec.value_type)
+        nnz = self.spec.nnz if self.spec.nnz >= 0 else None
+        return BasicTensorBlock(DenseStore(self.array, value_type, nnz))
+
+    def close(self) -> None:
+        self.array = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                # blocks built over this segment are still alive somewhere;
+                # leak the mapping (the OS reclaims it at process exit) but
+                # drop the fd and disarm __del__'s doomed close() retry
+                try:
+                    fd = getattr(self._shm, "_fd", -1)
+                    if fd >= 0:
+                        os.close(fd)
+                        self._shm._fd = -1
+                    self._shm._mmap = None
+                except (OSError, AttributeError):  # pragma: no cover
+                    pass
+            self._shm = None
+
+
+#: Segment names this *process* created.  Attach-side untracking must not
+#: strip the creator's own resource-tracker registration (its ``unlink``
+#: unregisters, and a double-unregister trips tracker warnings).
+_PUBLISHED_HERE = set()
+
+#: Whether attaches unregister from the resource tracker.  True for
+#: standalone processes (each has its *own* tracker, which would unlink
+#: attached segments at exit — bpo-38119).  Scoring workers spawned by
+#: the sharded service *share* the parent's tracker, where the parent's
+#: registration must stay; they flip this off first thing.
+UNTRACK_ON_ATTACH = True
+
+
+def _untrack(shm) -> None:
+    """Detach an attach-only segment handle from the resource tracker.
+
+    Attaching registers the segment with ``multiprocessing``'s resource
+    tracker, which *unlinks* everything still registered when the process
+    exits — so a cleanly exiting worker would tear the weights out from
+    under its siblings.  Attach-only handles must therefore unregister;
+    the publishing process keeps its registration as a leak backstop.
+    """
+    if not UNTRACK_ON_ATTACH or shm.name in _PUBLISHED_HERE:
+        return
+    try:  # pragma: no branch
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(getattr(shm, "_name", shm.name),
+                                    "shared_memory")
+    except Exception:  # noqa: BLE001 - best effort, platform-dependent
+        pass
+
+
+def _segment_name(checksum: str) -> str:
+    # 5 + 24 chars stays under macOS's 31-char PSHMNAMLEN limit
+    return SHM_PREFIX + checksum[:24]
+
+
+def _pack_header(buf, pid: int, checksum: str, nbytes: int, nnz: int,
+                 shape: Tuple[int, ...], value_type: str) -> None:
+    dims = list(shape) + [0] * (_MAX_DIMS - len(shape))
+    _HEADER.pack_into(
+        buf, 0, _MAGIC, _VERSION, 0, pid, checksum.encode("ascii"),
+        nbytes, nnz, len(shape), *dims, value_type.encode("ascii").ljust(16, b"\0"),
+    )
+
+
+def _read_header(buf) -> Optional[dict]:
+    """Parsed header dict, or None when the buffer is not one of ours."""
+    if len(buf) < HEADER_SIZE:
+        return None
+    fields = _HEADER.unpack_from(buf, 0)
+    magic, version, committed, pid, checksum = fields[:5]
+    nbytes, nnz, ndim = fields[5:8]
+    dims = fields[8:8 + _MAX_DIMS]
+    value_type = fields[8 + _MAX_DIMS]
+    if magic != _MAGIC or version != _VERSION or ndim > _MAX_DIMS:
+        return None
+    return {
+        "committed": bool(committed),
+        "pid": int(pid),
+        "checksum": checksum.decode("ascii", errors="replace"),
+        "nbytes": int(nbytes),
+        "nnz": int(nnz),
+        "shape": tuple(int(d) for d in dims[:ndim]),
+        "value_type": value_type.rstrip(b"\0").decode("ascii", errors="replace"),
+    }
+
+
+def scavenge_orphan_segments(prefix: str = SHM_PREFIX) -> int:
+    """Unlink shared-memory segments whose publisher is provably dead.
+
+    Scans :data:`SHM_DIR` (no-op where it does not exist), attaches each
+    ``prefix`` segment, and removes it when the owner pid in its header no
+    longer maps to a live process — including never-committed husks from
+    a publisher that died mid-write.  Segments without a parsable header
+    are left alone (conservative, like the spill-dir scavenger).  Returns
+    the number of segments removed.
+    """
+    removed = 0
+    try:
+        names = os.listdir(SHM_DIR)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError):
+            continue
+        try:
+            header = _read_header(shm.buf)
+            dead = (
+                header is not None
+                and header["pid"] != os.getpid()
+                and not _pid_alive(header["pid"])
+            )
+            if dead:
+                try:
+                    # unlink itself unregisters from the resource tracker;
+                    # untracking first would double-unregister
+                    shm.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - raced another scavenger
+                    pass
+            else:
+                _untrack(shm)
+        finally:
+            shm.close()
+    return removed
+
+
+class SharedWeightStore:
+    """Publish/attach lifecycle of content-addressed weight segments.
+
+    One store instance lives in the parent (publisher) and one per worker
+    (attacher).  The parent's ``close(unlink=True)`` removes its published
+    segments; worker stores just detach.  Thread-safe.
+    """
+
+    def __init__(self, scavenge: bool = True):
+        self._lock = threading.Lock()
+        self._owned: Dict[str, shared_memory.SharedMemory] = {}
+        self._attached: Dict[str, SharedSegment] = {}
+        self.metrics = {
+            "published": 0, "deduped": 0, "attached": 0,
+            "verified": 0, "scavenged": 0,
+        }
+        if scavenge:
+            self.metrics["scavenged"] = scavenge_orphan_segments()
+
+    # --- publishing (parent side) --------------------------------------------
+
+    def publish_block(self, block: BasicTensorBlock) -> SegmentSpec:
+        """Publish a tensor block's dense payload; returns its spec.
+
+        Content-addressed: publishing identical payloads (same bytes)
+        returns the same segment.  Sparse blocks are densified — shared
+        weights are score-path operands, where the dense matmul kernels
+        dominate anyway.
+        """
+        if block.value_type == ValueType.STRING:
+            raise SharedSegmentError("string blocks cannot be shared")
+        array = np.ascontiguousarray(block.to_numpy())
+        return self.publish(array, block.value_type, nnz=block.nnz)
+
+    def publish(self, array: np.ndarray, value_type: ValueType,
+                nnz: int = -1) -> SegmentSpec:
+        array = np.ascontiguousarray(array)
+        if len(array.shape) > _MAX_DIMS:
+            raise SharedSegmentError(
+                f"cannot share {array.ndim}-d payloads (max {_MAX_DIMS})"
+            )
+        payload = array.tobytes()
+        checksum = checksum_bytes(payload)
+        spec = SegmentSpec(
+            _segment_name(checksum), array.shape, value_type.value,
+            -1 if nnz is None else int(nnz), checksum, len(payload),
+        )
+        with self._lock:
+            if spec.name in self._owned:
+                self.metrics["deduped"] += 1
+                return spec
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, name=spec.name, size=HEADER_SIZE + len(payload)
+            )
+        except FileExistsError:
+            # someone (an earlier registry in this or another live process)
+            # already published these bytes; wait for its commit flag
+            self._await_commit(spec)
+            with self._lock:
+                self.metrics["deduped"] += 1
+            return spec
+        try:
+            _pack_header(shm.buf, os.getpid(), checksum, len(payload),
+                         spec.nnz, array.shape, value_type.value)
+            shm.buf[HEADER_SIZE:HEADER_SIZE + len(payload)] = payload
+            shm.buf[_COMMIT_OFFSET] = 1  # commit point: flag written last
+        except BaseException:
+            shm.close()
+            try:
+                shm.unlink()
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self._owned[spec.name] = shm
+            self.metrics["published"] += 1
+        _PUBLISHED_HERE.add(spec.name)
+        return spec
+
+    def _await_commit(self, spec: SegmentSpec) -> None:
+        deadline = time.monotonic() + _COMMIT_WAIT_S
+        while True:
+            try:
+                shm = shared_memory.SharedMemory(name=spec.name)
+            except FileNotFoundError:
+                if time.monotonic() > deadline:
+                    raise SharedSegmentError(
+                        f"segment {spec.name} vanished while publishing"
+                    ) from None
+                time.sleep(0.001)
+                continue
+            try:
+                _untrack(shm)
+                if shm.buf[_COMMIT_OFFSET] == 1:
+                    return
+            finally:
+                shm.close()
+            if time.monotonic() > deadline:
+                raise SharedSegmentError(
+                    f"segment {spec.name} never committed (publisher died "
+                    f"mid-write?)"
+                )
+            time.sleep(0.001)
+
+    # --- attaching (worker side) ---------------------------------------------
+
+    def attach(self, spec: SegmentSpec, verify: bool = True) -> SharedSegment:
+        """Attach a published segment as a read-only zero-copy view.
+
+        ``verify=True`` (the default, and what workers use) recomputes the
+        payload checksum and compares it to both the header and the spec —
+        an end-to-end guarantee that the worker scores against exactly the
+        bytes the parent pinned.
+        """
+        with self._lock:
+            cached = self._attached.get(spec.name)
+            if cached is not None:
+                return cached
+        try:
+            shm = shared_memory.SharedMemory(name=spec.name)
+        except FileNotFoundError:
+            raise SharedSegmentError(
+                f"shared segment {spec.name} does not exist (parent gone "
+                f"or never published)"
+            ) from None
+        _untrack(shm)
+        header = _read_header(shm.buf)
+        if header is None or not header["committed"]:
+            shm.close()
+            raise SharedSegmentError(
+                f"segment {spec.name} is not a committed weight segment"
+            )
+        if header["checksum"] != spec.checksum \
+                or header["nbytes"] != spec.nbytes \
+                or header["shape"] != spec.shape:
+            shm.close()
+            raise SharedSegmentError(
+                f"segment {spec.name} header does not match its spec"
+            )
+        payload = shm.buf[HEADER_SIZE:HEADER_SIZE + spec.nbytes]
+        if verify:
+            if checksum_bytes(bytes(payload)) != spec.checksum:
+                payload.release()  # else close() trips on the exported view
+                shm.close()
+                raise SharedSegmentError(
+                    f"segment {spec.name} fails its content checksum — "
+                    f"refusing to score against corrupt weights"
+                )
+            with self._lock:
+                self.metrics["verified"] += 1
+        value_type = ValueType(spec.value_type)
+        array = np.frombuffer(
+            payload, dtype=value_type.numpy_dtype
+        ).reshape(spec.shape)
+        array.flags.writeable = False
+        segment = SharedSegment(spec, shm, array)
+        with self._lock:
+            self._attached[spec.name] = segment
+            self.metrics["attached"] += 1
+        return segment
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            snap = dict(self.metrics)
+            snap["owned"] = len(self._owned)
+        return snap
+
+    def close(self, unlink: Optional[bool] = None) -> None:
+        """Detach everything; publishers also unlink their segments.
+
+        ``unlink`` defaults to True for segments this store created and
+        False otherwise (a worker detaching must never remove the pages
+        its siblings still score against).
+        """
+        with self._lock:
+            attached = list(self._attached.values())
+            owned = list(self._owned.items())
+            self._attached.clear()
+            self._owned.clear()
+        for segment in attached:
+            segment.close()
+        for name, shm in owned:
+            shm.close()
+            if unlink is None or unlink:
+                try:
+                    shm.unlink()
+                except OSError:  # pragma: no cover - already scavenged
+                    pass
+                _PUBLISHED_HERE.discard(name)

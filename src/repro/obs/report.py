@@ -185,6 +185,22 @@ def _render_serving(section: dict, lines: List[str]) -> None:
             f"p50={latency.get('p50', 0.0):.2f}ms "
             f"p99={latency.get('p99', 0.0):.2f}ms"
         )
+    for name, entry in sorted(section.get("tenants", {}).items()):
+        lines.append(
+            f"  tenant {name}: submitted={entry.get('submitted', 0)} "
+            f"completed={entry.get('completed', 0)} "
+            f"throttled={entry.get('throttled', 0)} "
+            f"rejected={entry.get('rejected', 0)}"
+        )
+    for worker, entry in sorted(section.get("workers", {}).items()):
+        lines.append(
+            f"  worker {worker}: batches={entry.get('batches', 0)} "
+            f"requests={entry.get('requests', 0)} "
+            f"deaths={entry.get('deaths', 0)} "
+            f"respawns={entry.get('respawns', 0)} "
+            f"shm={entry.get('shm_segments_attached', 0)}/"
+            f"{entry.get('shm_checksums_verified', 0)}"
+        )
 
 
 def _render_resilience(section: dict, lines: List[str]) -> None:

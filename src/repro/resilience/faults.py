@@ -43,6 +43,7 @@ KNOWN_POINTS = (
     "spill.read",     # buffer-pool restore from a spill file
     "spill.write",    # buffer-pool eviction write to a spill file
     "serve.score",    # one scoring batch execution in the serving layer
+    "serve.worker",   # a sharded-serving worker process (trip = SIGKILL mid-batch)
     "checkpoint.boundary",  # a loop/top-level block boundary of the interpreter
 )
 

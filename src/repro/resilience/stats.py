@@ -31,6 +31,9 @@ _STANDARD_COUNTERS = (
     "spill_pin_fallbacks",
     "shed_requests",
     "breaker_rejections",
+    "worker_deaths",
+    "worker_respawns",
+    "resent_requests",
 )
 
 

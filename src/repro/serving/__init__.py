@@ -26,16 +26,20 @@ from repro.errors import (
     ScoreTimeoutError,
     ServiceOverloadedError,
     ServingError,
+    TenantThrottledError,
     UnknownModelError,
 )
-from repro.serving.batcher import MicroBatcher
+from repro.serving.batcher import MicroBatcher, shard_of
 from repro.serving.metrics import ServingMetrics
+from repro.serving.qos import QosController, TenantPolicy, TokenBucket
 from repro.serving.registry import ModelRegistry, ServableModel
 from repro.serving.service import ScoreFuture, ScoringService
+from repro.serving.workers import ShardedScoringService
 
 __all__ = [
     "MicroBatcher",
     "ModelRegistry",
+    "QosController",
     "ScoreFuture",
     "ScoreTimeoutError",
     "ScoringService",
@@ -43,5 +47,10 @@ __all__ = [
     "ServiceOverloadedError",
     "ServingError",
     "ServingMetrics",
+    "ShardedScoringService",
+    "TenantPolicy",
+    "TenantThrottledError",
+    "TokenBucket",
     "UnknownModelError",
+    "shard_of",
 ]

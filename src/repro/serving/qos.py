@@ -1,0 +1,160 @@
+"""Per-tenant quality of service: token-bucket rate limits + weighted
+fair queueing.
+
+The PR 3 load-shed watermark protects the *service* from aggregate
+overload; this module protects *tenants from each other*:
+
+* a :class:`TokenBucket` per tenant caps sustained request rate (with a
+  configurable burst), rejecting excess with
+  :class:`~repro.errors.TenantThrottledError` before the request touches
+  the shared admission queue;
+* weighted fair queueing (WFQ) orders admitted requests by per-tenant
+  *virtual finish time* — each tenant's virtual clock advances by
+  ``rows / weight`` per request, so over any congested interval tenants
+  drain in proportion to their weights regardless of offered load.
+
+Requests without a tenant (or tenants without a policy, when no default
+is set) bypass both mechanisms: single-tenant deployments pay nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import ServingError
+
+
+class TenantPolicy:
+    """Rate/weight configuration of one tenant (or the default tenant)."""
+
+    __slots__ = ("rate", "burst", "weight")
+
+    def __init__(self, rate: Optional[float] = None,
+                 burst: Optional[float] = None, weight: float = 1.0):
+        if rate is not None and rate <= 0:
+            raise ServingError("tenant rate must be > 0 (or None = unlimited)")
+        if weight <= 0:
+            raise ServingError("tenant weight must be > 0")
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate if rate else None)
+        self.weight = float(weight)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)  # start full: first burst is free
+        self._clock = clock
+        self._stamp = clock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+
+class QosController:
+    """Admission + ordering decisions for all tenants of one service.
+
+    Thread-safe; one instance is shared by the admission path (token
+    buckets, WFQ tags) and the snapshot reader.
+    """
+
+    def __init__(self, default_policy: Optional[TenantPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._policies: Dict[str, TenantPolicy] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        #: Per-tenant virtual clocks plus the global virtual time floor.
+        self._vtime: Dict[str, float] = {}
+        self._vnow = 0.0
+        self.default_policy = default_policy
+        self.metrics = {"admitted": 0, "throttled": 0}
+
+    def set_policy(self, tenant: str, rate: Optional[float] = None,
+                   burst: Optional[float] = None,
+                   weight: float = 1.0) -> TenantPolicy:
+        policy = TenantPolicy(rate=rate, burst=burst, weight=weight)
+        with self._lock:
+            self._policies[tenant] = policy
+            self._buckets.pop(tenant, None)  # rebuilt from the new policy
+        return policy
+
+    def policy_for(self, tenant: str) -> Optional[TenantPolicy]:
+        with self._lock:
+            return self._policies.get(tenant, self.default_policy)
+
+    # --- admission (token bucket) --------------------------------------------
+
+    def admit(self, tenant: Optional[str], rows: int = 1) -> bool:
+        """True when the tenant's bucket covers the request.
+
+        Un-policied tenants (and tenant-less requests) are always
+        admitted; the aggregate queue bound still applies downstream.
+        """
+        if tenant is None:
+            return True
+        with self._lock:
+            policy = self._policies.get(tenant, self.default_policy)
+            if policy is None or policy.rate is None:
+                return True
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    policy.rate, policy.burst or policy.rate, self._clock
+                )
+            admitted = bucket.try_acquire(rows)
+            self.metrics["admitted" if admitted else "throttled"] += 1
+            return admitted
+
+    # --- ordering (weighted fair queueing) -----------------------------------
+
+    def tag(self, tenant: Optional[str], rows: int = 1) -> float:
+        """The request's WFQ virtual finish time (its queue priority).
+
+        An idle tenant's clock restarts at the current global virtual
+        time (no credit accrues while idle — the standard start-time
+        rule), then advances by ``rows / weight``: heavier tenants drain
+        proportionally faster under congestion.
+        """
+        if tenant is None:
+            return 0.0  # tenant-less requests keep plain FIFO order
+        with self._lock:
+            policy = self._policies.get(tenant, self.default_policy)
+            weight = policy.weight if policy is not None else 1.0
+            start = max(self._vtime.get(tenant, 0.0), self._vnow)
+            finish = start + max(rows, 1) / weight
+            self._vtime[tenant] = finish
+            self._vnow = max(self._vnow, start)
+            return finish
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "admitted": self.metrics["admitted"],
+                "throttled": self.metrics["throttled"],
+                "tenants": {
+                    tenant: {
+                        "weight": policy.weight,
+                        "rate": policy.rate,
+                        "vtime": self._vtime.get(tenant, 0.0),
+                    }
+                    for tenant, policy in self._policies.items()
+                },
+            }

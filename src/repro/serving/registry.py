@@ -101,6 +101,17 @@ class ServableModel:
         cache = self.script.reuse_cache
         return cache.snapshot() if cache is not None else {}
 
+    def spec(self) -> dict:
+        """Picklable description (sans weights) for worker-side rebuild."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "source": self.script.source,
+            "data_input": self.data_input,
+            "output": self.output,
+            "max_concurrency": self.max_concurrency,
+        }
+
     def release(self) -> None:
         """Free the pinned weights (model unregistered)."""
         for weight in self.weights.values():
@@ -214,6 +225,59 @@ class ModelRegistry:
                 model.release()
             if not versions:
                 self._models.pop(name, None)
+
+    # --- multi-process data plane -------------------------------------------
+
+    def share_weights(self, store) -> list:
+        """Publish every model's weights into shared memory.
+
+        ``store`` is a :class:`repro.io.shm.SharedWeightStore`.  Returns a
+        picklable list of model entries — :meth:`ServableModel.spec` plus a
+        ``weights`` map of segment specs — which is the complete bootstrap
+        payload a scoring worker needs to rebuild the registry with
+        zero-copy weight views (:meth:`from_shared`).  Content addressing
+        dedupes identical weights across models and across calls.
+        """
+        with self._lock:
+            models = [
+                model for versions in self._models.values()
+                for model in versions.values()
+            ]
+        entries = []
+        for model in sorted(models, key=lambda m: (m.name, m.version)):
+            entry = model.spec()
+            entry["weights"] = {
+                wname: store.publish_block(weight.acquire_local())
+                for wname, weight in sorted(model.weights.items())
+            }
+            entries.append(entry)
+        return entries
+
+    @classmethod
+    def from_shared(cls, entries, store,
+                    config: Optional[ReproConfig] = None) -> "ModelRegistry":
+        """Rebuild a registry in a worker from :meth:`share_weights` output.
+
+        Each weight attaches checksum-verified and stays a zero-copy view
+        over the parent's shared pages; the nnz threaded through the
+        segment header means no weight is ever re-scanned.  Scripts are
+        recompiled locally (compilation is per-process by design — plan
+        caches and reuse caches are not shareable).
+        """
+        registry = cls(config)
+        for entry in entries:
+            weights = {
+                wname: store.attach(spec).as_block()
+                for wname, spec in entry.get("weights", {}).items()
+            }
+            registry.register(
+                entry["name"], entry["source"], weights=weights,
+                data_input=entry.get("data_input", "X"),
+                output=entry.get("output", "yhat"),
+                version=entry.get("version"),
+                max_concurrency=entry.get("max_concurrency"),
+            )
+        return registry
 
     # --- warm restart -------------------------------------------------------
 

@@ -25,9 +25,11 @@ from repro.errors import (
     ScoreTimeoutError,
     ServiceUnavailableError,
     ServingError,
+    TenantThrottledError,
 )
 from repro.serving.batcher import MicroBatcher
 from repro.serving.metrics import ServingMetrics
+from repro.serving.qos import QosController
 from repro.serving.registry import ModelRegistry, ServableModel
 
 
@@ -67,10 +69,11 @@ class _Request:
     """One admitted scoring request (internal)."""
 
     __slots__ = ("model", "servable", "features", "rows", "future",
-                 "enqueued", "deadline")
+                 "enqueued", "deadline", "tenant", "priority")
 
     def __init__(self, servable: ServableModel, features: np.ndarray,
-                 deadline: Optional[float]):
+                 deadline: Optional[float], tenant: Optional[str] = None,
+                 priority: float = 0.0):
         self.model = servable.key
         self.servable = servable
         self.features = features
@@ -78,6 +81,9 @@ class _Request:
         self.future = ScoreFuture()
         self.enqueued = time.monotonic()
         self.deadline = deadline
+        self.tenant = tenant
+        #: WFQ virtual finish time (the batcher's heap key); 0.0 = FIFO.
+        self.priority = priority
 
 
 class ScoringService:
@@ -94,6 +100,8 @@ class ScoringService:
         default_timeout: Optional[float] = 30.0,
         metrics: Optional[ServingMetrics] = None,
         resilience=None,
+        qos: Optional[QosController] = None,
+        shards: int = 1,
     ):
         if workers < 1:
             raise ServingError("workers must be >= 1")
@@ -105,6 +113,8 @@ class ScoringService:
         #: each model gets a circuit breaker, and a nearly full queue sheds
         #: load with fast :class:`ServiceUnavailableError` rejections.
         self.resilience = resilience
+        #: Optional per-tenant QoS (token buckets + WFQ ordering).
+        self.qos = qos
         self._shed_watermark = max(1, int(queue_limit * 0.9))
         self._limits = {}
         self._batcher = MicroBatcher(
@@ -112,6 +122,7 @@ class ScoringService:
             max_wait_ms=max_wait_ms if batching else 0.0,
             queue_limit=queue_limit,
             limit_of=self._limits.get,
+            shards=shards,
         )
         self.metrics.depth_probe = lambda: self._batcher.depth
         self._workers: List[threading.Thread] = []
@@ -162,11 +173,14 @@ class ScoringService:
         features,
         version: Optional[int] = None,
         timeout: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> ScoreFuture:
         """Admit one request (a feature row or a small row batch).
 
-        Raises :class:`UnknownModelError` for unregistered models and
-        :class:`ServiceOverloadedError` when the admission queue is full.
+        Raises :class:`UnknownModelError` for unregistered models,
+        :class:`ServiceOverloadedError` when the admission queue is full,
+        and :class:`TenantThrottledError` when ``tenant`` exceeds its
+        QoS rate limit (only with a :class:`QosController` attached).
         """
         servable = self.registry.get(model, version)
         if servable.key not in self._limits:
@@ -174,16 +188,25 @@ class ScoringService:
             self._limits[servable.key] = servable.max_concurrency
             self.metrics.attach_reuse_probe(servable.key, servable.reuse_snapshot)
         matrix = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        priority = 0.0
+        if self.qos is not None and tenant is not None:
+            # throttle *before* the shared queue: an over-rate tenant never
+            # consumes an admission slot, so it cannot starve its peers
+            if not self.qos.admit(tenant, matrix.shape[0]):
+                self.metrics.record_throttled(servable.key, tenant)
+                raise TenantThrottledError(tenant)
+            priority = self.qos.tag(tenant, matrix.shape[0])
         timeout = self.default_timeout if timeout is None else timeout
         deadline = time.monotonic() + timeout if timeout is not None else None
-        request = _Request(servable, matrix, deadline)
-        self.metrics.record_submitted(servable.key)
+        request = _Request(servable, matrix, deadline, tenant=tenant,
+                           priority=priority)
+        self.metrics.record_submitted(servable.key, tenant=tenant)
         if self.resilience is not None:
-            self._admission_check(servable.key)
+            self._admission_check(servable.key, tenant)
         try:
             self._batcher.offer(request)
         except ServingError:
-            self.metrics.record_rejected(servable.key)
+            self.metrics.record_rejected(servable.key, tenant=tenant)
             raise
         return request.future
 
@@ -193,10 +216,12 @@ class ScoringService:
         features,
         version: Optional[int] = None,
         timeout: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> np.ndarray:
         """Submit and wait; returns the score rows for this request."""
         timeout = self.default_timeout if timeout is None else timeout
-        future = self.submit(model, features, version=version, timeout=timeout)
+        future = self.submit(model, features, version=version,
+                             timeout=timeout, tenant=tenant)
         return future.result(timeout)
 
     def snapshot(self) -> dict:
@@ -221,7 +246,7 @@ class ScoringService:
 
     # --- resilience ---------------------------------------------------------
 
-    def _admission_check(self, model_key) -> None:
+    def _admission_check(self, model_key, tenant=None) -> None:
         """Fast-fail before enqueueing: open breaker or shedding watermark.
 
         Both paths return a typed :class:`ServiceUnavailableError` in
@@ -232,13 +257,13 @@ class ScoringService:
         breaker = resilience.breaker_for(model_key)
         if not breaker.allow():
             resilience.stats.incr("breaker_rejections")
-            self.metrics.record_rejected(model_key)
+            self.metrics.record_rejected(model_key, tenant=tenant)
             raise ServiceUnavailableError(
                 f"model {model_key!r}: circuit open at point 'serve.score'"
             )
         if self._batcher.depth >= self._shed_watermark:
             resilience.stats.incr("shed_requests")
-            self.metrics.record_rejected(model_key)
+            self.metrics.record_rejected(model_key, tenant=tenant)
             raise ServiceUnavailableError(
                 f"model {model_key!r}: load shed (queue depth "
                 f">= {self._shed_watermark})"
@@ -318,5 +343,6 @@ class ScoringService:
             request.future.set_result(scores[offset:offset + request.rows])
             offset += request.rows
             self.metrics.record_completed(
-                servable.key, finished - request.enqueued
+                servable.key, finished - request.enqueued,
+                tenant=request.tenant,
             )

@@ -149,12 +149,14 @@ class BasicTensorBlock:
         store = self.store
         if type(store) is DenseStore:
             array = store.array
-            if (
-                array.size >= MIN_SPARSE_SIZE
-                and store.value_type.is_numeric
-                and np.count_nonzero(array) < array.size * SPARSITY_TURN_POINT
-            ):
-                self.store = SparseStore.from_numpy(array, store.value_type)
+            if array.size >= MIN_SPARSE_SIZE and store.value_type.is_numeric:
+                # one scan serves both the layout decision and the nnz
+                # cache — exports (MatrixObject.from_block, trace exits)
+                # then read the count without rescanning the array
+                nnz = int(np.count_nonzero(array))
+                store._nnz = nnz
+                if nnz < array.size * SPARSITY_TURN_POINT:
+                    self.store = SparseStore.from_numpy(array, store.value_type)
         elif (
             store.nnz >= store.size * SPARSITY_TURN_POINT
             or store.size < MIN_SPARSE_SIZE

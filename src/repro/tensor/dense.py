@@ -8,7 +8,7 @@ on lives here rather than leaking raw ``ndarray`` objects through the stack.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,14 +18,20 @@ from repro.types import ValueType
 class DenseStore:
     """Dense, linearised storage for one :class:`BasicTensorBlock`."""
 
-    __slots__ = ("array", "value_type")
+    __slots__ = ("array", "value_type", "_nnz")
 
-    def __init__(self, array: np.ndarray, value_type: ValueType):
+    def __init__(self, array: np.ndarray, value_type: ValueType,
+                 nnz: Optional[int] = None):
         expected = value_type.numpy_dtype
         if array.dtype != expected:
             array = array.astype(expected)
         self.array = array
         self.value_type = value_type
+        #: Cached non-zero count: computing it is a full-array scan, and the
+        #: runtime asks for it repeatedly (metadata refresh on every
+        #: MatrixObject bind, trace guards, plan signatures).  ``compact()``
+        #: seeds it from the count it takes anyway; cell writes invalidate.
+        self._nnz = nnz
 
     # --- constructors -------------------------------------------------------
 
@@ -63,10 +69,13 @@ class DenseStore:
 
     @property
     def nnz(self) -> int:
-        """Number of non-zero (non-empty for strings) cells."""
-        if self.value_type == ValueType.STRING:
-            return int(np.count_nonzero(self.array != ""))
-        return int(np.count_nonzero(self.array))
+        """Number of non-zero (non-empty for strings) cells (cached)."""
+        if self._nnz is None:
+            if self.value_type == ValueType.STRING:
+                self._nnz = int(np.count_nonzero(self.array != ""))
+            else:
+                self._nnz = int(np.count_nonzero(self.array))
+        return self._nnz
 
     def memory_size(self) -> int:
         """Approximate in-memory footprint in bytes."""
@@ -85,6 +94,7 @@ class DenseStore:
 
     def set(self, index: Tuple[int, ...], value) -> None:
         self.array[tuple(index)] = value
+        self._nnz = None  # cell write: the cached count is stale
 
     # --- conversions ----------------------------------------------------------
 
@@ -97,7 +107,7 @@ class DenseStore:
         return DenseStore(self.array.astype(value_type.numpy_dtype), value_type)
 
     def copy(self) -> "DenseStore":
-        return DenseStore(self.array.copy(), self.value_type)
+        return DenseStore(self.array.copy(), self.value_type, self._nnz)
 
     def iter_cells(self) -> Iterable[Tuple[Tuple[int, ...], object]]:
         """Iterate (index, value) over all cells (test/debug helper)."""

@@ -67,6 +67,7 @@ class TraceCache:
             "invalidations_recompile": 0,
             "invalidations_shape": 0,
             "invalidations_resume": 0,
+            "veto_reprobes": 0,
         }
 
     # --- hot path -----------------------------------------------------------
@@ -214,6 +215,19 @@ class TraceCache:
             if stale:
                 self.metrics["invalidations"] += len(stale)
                 self.metrics["invalidations_recompile"] += len(stale)
+            # Vetoed entries of *other* blocks get a second chance: veto
+            # reasons are often transient (an operand that was distributed
+            # or frame-typed at first contact, a callee whose own blocks
+            # had not compiled yet), and a recompile anywhere signals the
+            # program's plans are still shifting.  Clearing the veto makes
+            # the block re-heat and re-attempt compilation; a genuinely
+            # untraceable block simply vetoes again — at most one compile
+            # attempt per ``threshold`` runs per recompile event.
+            for entry in self._entries.values():
+                if entry.veto is not None:
+                    entry.veto = None
+                    entry.runs = 0
+                    self.metrics["veto_reprobes"] += 1
 
     def invalidate_all(self, reason: str = "resume") -> None:
         """Flush the whole cache (checkpoint restore, config change)."""

@@ -1,0 +1,229 @@
+"""Unit tests for content-addressed shared-memory weight segments."""
+
+import os
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import SharedSegmentError
+from repro.io.atomic import checksum_bytes
+from repro.io.shm import (
+    HEADER_SIZE,
+    SHM_DIR,
+    SHM_PREFIX,
+    SegmentSpec,
+    SharedWeightStore,
+    _pack_header,
+    _segment_name,
+    scavenge_orphan_segments,
+)
+from repro.tensor.block import BasicTensorBlock
+from repro.tensor.dense import DenseStore
+from repro.types import ValueType
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR), reason="POSIX shared memory not exposed"
+)
+
+
+@pytest.fixture
+def store():
+    st = SharedWeightStore(scavenge=False)
+    yield st
+    st.close(unlink=True)
+
+
+def _block(array):
+    return BasicTensorBlock(DenseStore(np.asarray(array, dtype=np.float64),
+                                       ValueType.FP64))
+
+
+class TestPublishAttach:
+    def test_round_trip_zero_copy(self, store):
+        array = np.arange(24, dtype=np.float64).reshape(4, 6)
+        spec = store.publish(array, ValueType.FP64, nnz=23)
+        assert spec.name.startswith(SHM_PREFIX)
+        assert spec.shape == (4, 6)
+        assert spec.nnz == 23
+        assert spec.checksum == checksum_bytes(array.tobytes())
+
+        attacher = SharedWeightStore(scavenge=False)
+        try:
+            segment = attacher.attach(spec)
+            np.testing.assert_array_equal(segment.array, array)
+            assert not segment.array.flags.writeable
+            assert attacher.metrics["verified"] == 1
+            # nnz from the header seeds the block; no re-scan on attach
+            block = segment.as_block()
+            assert block.nnz == 23
+        finally:
+            attacher.close(unlink=False)
+
+    def test_publish_block_carries_nnz(self, store):
+        array = np.array([[1.0, 0.0], [0.0, 2.0]])
+        spec = store.publish_block(_block(array))
+        assert spec.nnz == 2
+        segment = store.attach(spec)
+        assert segment.as_block().nnz == 2
+
+    def test_content_addressing_dedupes(self, store):
+        array = np.ones((8, 2))
+        first = store.publish(array, ValueType.FP64)
+        second = store.publish(array.copy(), ValueType.FP64)
+        assert first.name == second.name
+        assert store.metrics["published"] == 1
+        assert store.metrics["deduped"] == 1
+
+    def test_cross_store_dedupe_waits_for_commit(self, store):
+        array = np.full((3, 3), 7.0)
+        spec = store.publish(array, ValueType.FP64)
+        other = SharedWeightStore(scavenge=False)
+        try:
+            again = other.publish(array, ValueType.FP64)
+            assert again.name == spec.name
+            assert other.metrics["deduped"] == 1
+            assert other.metrics["published"] == 0
+        finally:
+            other.close(unlink=False)
+
+    def test_spec_pickles(self, store):
+        spec = store.publish(np.zeros((2, 5)), ValueType.FP64, nnz=0)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.name == spec.name
+        assert clone.shape == spec.shape
+        assert clone.checksum == spec.checksum
+        assert clone.nnz == 0
+
+    def test_too_many_dims_rejected(self, store):
+        with pytest.raises(SharedSegmentError, match="7-d"):
+            store.publish(np.zeros((1,) * 7), ValueType.FP64)
+
+
+class TestVerification:
+    def test_missing_segment(self):
+        spec = SegmentSpec(_segment_name("0" * 32), (2, 2), "FP64", -1,
+                           "0" * 32, 32)
+        attacher = SharedWeightStore(scavenge=False)
+        try:
+            with pytest.raises(SharedSegmentError, match="does not exist"):
+                attacher.attach(spec)
+        finally:
+            attacher.close(unlink=False)
+
+    def test_corrupt_payload_rejected(self, store):
+        from multiprocessing import shared_memory
+
+        array = np.arange(16, dtype=np.float64)
+        spec = store.publish(array, ValueType.FP64)
+        raw = shared_memory.SharedMemory(name=spec.name)
+        try:
+            raw.buf[HEADER_SIZE] ^= 0xFF
+        finally:
+            raw.close()
+        attacher = SharedWeightStore(scavenge=False)
+        try:
+            with pytest.raises(SharedSegmentError, match="checksum"):
+                attacher.attach(spec)
+            # verify=False attaches anyway (debugging escape hatch)
+            segment = attacher.attach(spec, verify=False)
+            assert segment.array.shape == (16,)
+        finally:
+            attacher.close(unlink=False)
+
+    def test_spec_header_mismatch_rejected(self, store):
+        array = np.arange(6, dtype=np.float64)
+        spec = store.publish(array, ValueType.FP64)
+        lying = SegmentSpec(spec.name, (3, 2), spec.value_type, spec.nnz,
+                            spec.checksum, spec.nbytes)
+        attacher = SharedWeightStore(scavenge=False)
+        try:
+            with pytest.raises(SharedSegmentError, match="does not match"):
+                attacher.attach(lying)
+        finally:
+            attacher.close(unlink=False)
+
+    def test_uncommitted_segment_rejected(self):
+        from multiprocessing import shared_memory
+
+        from repro.io import shm as shm_mod
+
+        name = SHM_PREFIX + "test-uncommitted"
+        shm = shared_memory.SharedMemory(create=True, name=name,
+                                         size=HEADER_SIZE + 8)
+        # mark as published-here so attach-side untracking leaves our
+        # resource-tracker registration alone (what publish() does)
+        shm_mod._PUBLISHED_HERE.add(name)
+        try:
+            _pack_header(shm.buf, os.getpid(), "f" * 32, 8, -1, (1,), "FP64")
+            # commit byte deliberately left 0: publisher "died mid-write"
+            spec = SegmentSpec(name, (1,), "FP64", -1, "f" * 32, 8)
+            attacher = SharedWeightStore(scavenge=False)
+            try:
+                with pytest.raises(SharedSegmentError, match="not a committed"):
+                    attacher.attach(spec)
+            finally:
+                attacher.close(unlink=False)
+        finally:
+            shm.close()
+            shm.unlink()
+            shm_mod._PUBLISHED_HERE.discard(name)
+
+
+class TestScavenging:
+    def test_dead_owner_is_scavenged(self):
+        import subprocess
+        from multiprocessing import shared_memory
+
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        dead_pid = proc.pid
+
+        name = SHM_PREFIX + "test-orphan"
+        shm = shared_memory.SharedMemory(create=True, name=name,
+                                         size=HEADER_SIZE + 8)
+        payload = struct.pack("<d", 3.5)
+        _pack_header(shm.buf, dead_pid, checksum_bytes(payload), 8, 1,
+                     (1,), "FP64")
+        shm.buf[HEADER_SIZE:HEADER_SIZE + 8] = payload
+        shm.buf[5] = 1  # committed
+        shm.close()
+
+        assert os.path.exists(os.path.join(SHM_DIR, name))
+        removed = scavenge_orphan_segments()
+        assert removed >= 1
+        assert not os.path.exists(os.path.join(SHM_DIR, name))
+
+    def test_live_owner_is_kept(self, store):
+        spec = store.publish(np.ones(4), ValueType.FP64)
+        path = os.path.join(SHM_DIR, spec.name)
+        assert os.path.exists(path)
+        scavenge_orphan_segments()
+        assert os.path.exists(path)  # we are alive; segment must survive
+
+
+class TestLifecycle:
+    def test_close_unlinks_owned_segments(self):
+        st = SharedWeightStore(scavenge=False)
+        spec = st.publish(np.ones(3), ValueType.FP64)
+        path = os.path.join(SHM_DIR, spec.name)
+        assert os.path.exists(path)
+        st.close(unlink=True)
+        assert not os.path.exists(path)
+
+    def test_worker_close_keeps_pages(self, store):
+        spec = store.publish(np.ones(3), ValueType.FP64)
+        attacher = SharedWeightStore(scavenge=False)
+        attacher.attach(spec)
+        attacher.close(unlink=False)
+        # a worker detaching never removes its siblings' pages
+        assert os.path.exists(os.path.join(SHM_DIR, spec.name))
+
+    def test_snapshot_counts(self, store):
+        store.publish(np.ones(2), ValueType.FP64)
+        store.publish(np.ones(2), ValueType.FP64)
+        snap = store.snapshot()
+        assert snap["published"] == 1
+        assert snap["deduped"] == 1
+        assert snap["owned"] == 1

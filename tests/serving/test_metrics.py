@@ -59,6 +59,73 @@ class TestSnapshot:
         # only the last 8 samples survive: 92..99
         assert snap["latency_ms"]["p50"] == 95 * 1e3
 
+    def test_tenant_counters(self):
+        metrics = ServingMetrics()
+        metrics.record_submitted("m@v1", tenant="acme")
+        metrics.record_completed("m@v1", 0.001, tenant="acme")
+        metrics.record_throttled("m@v1", tenant="free-tier")
+        snap = metrics.snapshot()
+        assert snap["tenants"]["acme"] == {
+            "submitted": 1, "completed": 1, "throttled": 0, "rejected": 0,
+        }
+        assert snap["tenants"]["free-tier"]["throttled"] == 1
+        # a throttle counts against the model's rejected too
+        assert snap["models"]["m@v1"]["rejected"] == 1
+
+    def test_worker_counters(self):
+        metrics = ServingMetrics()
+        metrics.record_worker_attach(0, segments=2, verified=2)
+        metrics.record_worker_batch(0, requests=8)
+        metrics.record_worker_death(0)
+        metrics.record_worker_respawn(0, resent=3)
+        snap = metrics.snapshot()["workers"]["0"]
+        assert snap["shm_segments_attached"] == 2
+        assert snap["shm_checksums_verified"] == 2
+        assert snap["batches"] == 1
+        assert snap["requests"] == 8
+        assert snap["deaths"] == 1
+        assert snap["respawns"] == 1
+        assert snap["resent_requests"] == 3
+
+    def test_no_empty_sections(self):
+        metrics = ServingMetrics()
+        metrics.record_submitted("m@v1")
+        snap = metrics.snapshot()
+        assert "tenants" not in snap
+        assert "workers" not in snap
+
+    def test_snapshot_never_torn(self):
+        """Regression: snapshot() used to read the counters *outside* the
+        lock after copying the latency window, so a concurrent reader
+        could observe completed > submitted (torn percentile/counter
+        reads).  Every recorder increments submitted before completed, so
+        any consistent snapshot must satisfy completed <= submitted."""
+        metrics = ServingMetrics()
+        stop = threading.Event()
+        torn = []
+
+        def hammer():
+            while not stop.is_set():
+                metrics.record_submitted("m@v1")
+                metrics.record_completed("m@v1", 0.001)
+
+        def watch():
+            for _ in range(400):
+                snap = metrics.snapshot()["models"].get("m@v1")
+                if snap and snap["completed"] > snap["submitted"]:
+                    torn.append(snap)
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        reader = threading.Thread(target=watch)
+        for thread in writers:
+            thread.start()
+        reader.start()
+        reader.join()
+        stop.set()
+        for thread in writers:
+            thread.join()
+        assert not torn, f"torn snapshots observed: {torn[:3]}"
+
     def test_concurrent_recording(self):
         metrics = ServingMetrics()
 

@@ -1,0 +1,174 @@
+"""Unit + integration tests for per-tenant QoS (rate limits, WFQ)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError, TenantThrottledError
+from repro.serving import ModelRegistry, ScoringService
+from repro.serving.batcher import MicroBatcher
+from repro.serving.qos import QosController, TenantPolicy, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_acquire(2)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 0.5s * 2/s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.try_acquire(2)
+        assert not bucket.try_acquire()  # idle time never banks > burst
+
+
+class TestPolicies:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ServingError):
+            TenantPolicy(rate=0.0)
+        with pytest.raises(ServingError):
+            TenantPolicy(weight=0.0)
+
+    def test_burst_defaults_to_rate(self):
+        policy = TenantPolicy(rate=5.0)
+        assert policy.burst == 5.0
+
+
+class TestAdmission:
+    def test_unpolicied_tenants_bypass(self):
+        qos = QosController()
+        assert qos.admit("anyone")
+        assert qos.admit(None)
+
+    def test_rate_limit_throttles(self):
+        clock = FakeClock()
+        qos = QosController(clock=clock)
+        qos.set_policy("t1", rate=1.0, burst=2.0)
+        assert qos.admit("t1")
+        assert qos.admit("t1")
+        assert not qos.admit("t1")
+        clock.advance(1.0)
+        assert qos.admit("t1")
+        snap = qos.snapshot()
+        assert snap["admitted"] == 3
+        assert snap["throttled"] == 1
+
+    def test_default_policy_applies_to_unknown_tenants(self):
+        clock = FakeClock()
+        qos = QosController(default_policy=TenantPolicy(rate=1.0, burst=1.0),
+                            clock=clock)
+        assert qos.admit("new-tenant")
+        assert not qos.admit("new-tenant")
+
+
+class TestWfq:
+    def test_tenantless_requests_stay_fifo(self):
+        qos = QosController()
+        assert qos.tag(None) == 0.0
+        assert qos.tag(None) == 0.0
+
+    def test_heavier_tenant_drains_faster(self):
+        qos = QosController()
+        qos.set_policy("gold", weight=4.0)
+        qos.set_policy("bronze", weight=1.0)
+        gold = [qos.tag("gold") for _ in range(4)]
+        bronze = [qos.tag("bronze") for _ in range(4)]
+        # gold's virtual clock advances 1/4 per request, bronze 1/1 (and
+        # bronze starts at the global virtual-time floor gold advanced to)
+        assert gold == [0.25, 0.5, 0.75, 1.0]
+        assert bronze == [1.75, 2.75, 3.75, 4.75]
+        merged = sorted(gold + bronze)
+        assert merged[:4] == gold
+
+    def test_idle_tenant_accrues_no_credit(self):
+        qos = QosController()
+        qos.set_policy("busy", weight=1.0)
+        qos.set_policy("idle", weight=1.0)
+        for _ in range(5):
+            qos.tag("busy")
+        # an idle tenant restarts at the global virtual time, not at 0 —
+        # it cannot starve the busy tenant with banked history
+        assert qos.tag("idle") >= 4.0
+
+    def test_rows_scale_the_charge(self):
+        qos = QosController()
+        qos.set_policy("t", weight=2.0)
+        assert qos.tag("t", rows=8) == pytest.approx(4.0)
+
+
+class TestBatcherPriorityOrder:
+    class Req:
+        def __init__(self, model, priority):
+            self.model = model
+            self.priority = priority
+
+    def test_lower_tag_drains_first(self):
+        batcher = MicroBatcher(queue_limit=16, max_batch_size=16,
+                               max_wait_ms=0.0)
+        for priority in (3.0, 1.0, 2.0):
+            batcher.offer(self.Req("m", priority))
+        model, batch = batcher.take(timeout=0.5)
+        assert model == "m"
+        assert [r.priority for r in batch] == [1.0, 2.0, 3.0]
+        batcher.done(model)
+
+
+class TestServiceIntegration:
+    def test_throttled_submit_raises_and_counts(self):
+        registry = ModelRegistry()
+        try:
+            registry.register("lm", "yhat = X %*% B",
+                              weights={"B": np.ones((4, 1))})
+            qos = QosController()
+            qos.set_policy("capped", rate=0.001, burst=2.0)
+            service = ScoringService(registry, workers=1, qos=qos)
+            # not started: admission runs, nothing drains
+            service.submit("lm", np.ones(4), tenant="capped")
+            service.submit("lm", np.ones(4), tenant="capped")
+            with pytest.raises(TenantThrottledError):
+                service.submit("lm", np.ones(4), tenant="capped")
+            snap = service.metrics.snapshot()
+            tenant = snap["tenants"]["capped"]
+            assert tenant["submitted"] == 2
+            assert tenant["throttled"] == 1
+        finally:
+            registry.close()
+
+    def test_scoring_with_tenants_end_to_end(self):
+        registry = ModelRegistry()
+        try:
+            weights = np.random.default_rng(0).random((6, 1))
+            registry.register("lm", "yhat = X %*% B", weights={"B": weights})
+            qos = QosController()
+            qos.set_policy("gold", weight=3.0)
+            with ScoringService(registry, workers=2, qos=qos) as service:
+                row = np.arange(6, dtype=float)
+                score = service.score("lm", row, timeout=10.0,
+                                      tenant="gold")
+                np.testing.assert_allclose(score, row.reshape(1, -1) @ weights)
+                snap = service.metrics.snapshot()
+                assert snap["tenants"]["gold"]["completed"] == 1
+        finally:
+            registry.close()

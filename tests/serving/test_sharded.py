@@ -1,0 +1,128 @@
+"""Integration tests for the multi-process sharded scoring service.
+
+Workers are spawned OS processes attaching shared-memory weights, so one
+module-scoped service is reused across tests to keep spawn cost down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError, UnknownModelError
+from repro.serving import (
+    ModelRegistry,
+    QosController,
+    ShardedScoringService,
+    shard_of,
+)
+
+FEATURES = 6
+SCRIPT = "yhat = X %*% B"
+
+
+@pytest.fixture(scope="module")
+def rig():
+    rng = np.random.default_rng(42)
+    weights = {
+        "alpha": rng.standard_normal((FEATURES, 1)),
+        "beta": rng.standard_normal((FEATURES, 1)),
+    }
+    registry = ModelRegistry()
+    for name, b in weights.items():
+        registry.register(name, SCRIPT, weights={"B": b})
+    qos = QosController()
+    qos.set_policy("gold", weight=3.0)
+    service = ShardedScoringService(registry, procs=2, qos=qos)
+    service.start()
+    yield service, weights
+    service.stop()
+    registry.close()
+
+
+class TestShardedScoring:
+    def test_exact_results_both_models(self, rig):
+        service, weights = rig
+        rng = np.random.default_rng(1)
+        for name, b in weights.items():
+            x = rng.standard_normal((5, FEATURES))
+            got = service.score(name, x, timeout=30.0)
+            np.testing.assert_allclose(got, x @ b)
+
+    def test_burst_with_tenants(self, rig):
+        service, weights = rig
+        rng = np.random.default_rng(2)
+        rows = [rng.standard_normal((1, FEATURES)) for _ in range(24)]
+        futures = [
+            service.submit("alpha", row, tenant="gold" if i % 2 else None)
+            for i, row in enumerate(rows)
+        ]
+        got = np.vstack([future.result(30.0) for future in futures])
+        np.testing.assert_allclose(got, np.vstack(rows) @ weights["alpha"])
+        snap = service.snapshot()
+        assert snap["tenants"]["gold"]["completed"] >= 12
+
+    def test_workers_attached_and_verified_shm(self, rig):
+        service, _ = rig
+        snap = service.snapshot()
+        workers = snap["workers"]
+        assert len(workers) == 2
+        for stats in workers.values():
+            # each worker attached every published segment, checksum-verified
+            assert stats["shm_segments_attached"] >= 1
+            assert stats["shm_checksums_verified"] \
+                == stats["shm_segments_attached"]
+        assert snap["shared_memory"]["published"] >= 1
+        assert snap["shared_memory"]["owned"] >= 1
+
+    def test_models_route_to_their_shard(self, rig):
+        service, _ = rig
+        snap = service.snapshot()
+        busy = {
+            shard_of(name, 2) for name in ("alpha", "beta")
+        }
+        batched = {
+            int(worker) for worker, stats in snap["workers"].items()
+            if stats["batches"] > 0
+        }
+        assert batched <= busy  # only routed shards executed batches
+
+    def test_unknown_model_rejected_in_parent(self, rig):
+        service, _ = rig
+        with pytest.raises(UnknownModelError):
+            service.submit("nope", np.ones(FEATURES))
+
+    def test_worker_errors_surface_to_caller(self, rig):
+        service, _ = rig
+        # wrong feature width: the worker's matmul fails; the error must
+        # cross the process boundary and fail only this request
+        future = service.submit("alpha", np.ones((1, FEATURES + 1)))
+        with pytest.raises(Exception):
+            future.result(30.0)
+        x = np.ones((1, FEATURES))
+        got = service.score("alpha", x, timeout=30.0)
+        assert got.shape == (1, 1)  # plane still healthy afterwards
+
+
+class TestConstruction:
+    def test_procs_must_be_positive(self):
+        registry = ModelRegistry()
+        try:
+            with pytest.raises(ServingError):
+                ShardedScoringService(registry, procs=0)
+        finally:
+            registry.close()
+
+    def test_identical_weights_share_one_segment(self):
+        b = np.ones((4, 1))
+        registry = ModelRegistry()
+        try:
+            registry.register("twin-a", SCRIPT, weights={"B": b})
+            registry.register("twin-b", SCRIPT, weights={"B": b.copy()})
+            service = ShardedScoringService(registry, procs=1)
+            with service:
+                snap = service.snapshot()
+                assert snap["shared_memory"]["published"] == 1
+                assert snap["shared_memory"]["deduped"] >= 1
+                got = service.score("twin-b", np.ones(4), timeout=30.0)
+                np.testing.assert_allclose(got, [[4.0]])
+        finally:
+            registry.close()

@@ -1,0 +1,96 @@
+"""Regression tests for the cached dense nnz (trace-exit export fix).
+
+``MatrixObject.from_block`` refreshes metadata (including nnz) every time
+a block is exported — once per ``CompiledTrace`` exit on the trace hot
+path.  ``compact()`` already scans the array for the layout decision, so
+the count must be cached there and never recomputed on export.
+"""
+
+import numpy as np
+
+from repro.runtime.data import MatrixObject
+from repro.tensor import BasicTensorBlock
+from repro.tensor.dense import DenseStore
+from repro.types import ValueType
+
+
+def _forbid_count_nonzero(monkeypatch):
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("full-array nnz scan on export path")
+
+    monkeypatch.setattr(np, "count_nonzero", boom)
+
+
+class TestDenseNnzCache:
+    def test_compact_seeds_the_cache(self):
+        array = np.arange(1024, dtype=np.float64).reshape(32, 32)
+        block = BasicTensorBlock.from_numpy(array)
+        assert isinstance(block.store, DenseStore)
+        assert block.store._nnz == 1023  # one zero cell
+
+    def test_nnz_lazy_without_compact(self):
+        store = DenseStore.from_numpy(np.array([[0.0, 2.0, 3.0]]))
+        assert store._nnz is None
+        assert store.nnz == 2
+        assert store._nnz == 2  # memoized
+
+    def test_set_invalidates(self):
+        store = DenseStore.from_numpy(np.array([[0.0, 2.0, 3.0]]))
+        assert store.nnz == 2
+        store.set((0, 0), 5.0)
+        assert store._nnz is None
+        assert store.nnz == 3
+
+    def test_copy_propagates(self):
+        store = DenseStore.from_numpy(np.array([[0.0, 2.0, 3.0]]))
+        assert store.nnz == 2
+        assert store.copy()._nnz == 2
+
+    def test_astype_does_not_propagate(self):
+        # float -> int truncation can change the count (0.5 -> 0)
+        store = DenseStore.from_numpy(np.array([[0.5, 2.0, 0.0]]))
+        assert store.nnz == 2
+        cast = store.astype(ValueType.INT64)
+        assert cast._nnz is None
+        assert cast.nnz == 1
+
+    def test_string_nnz(self):
+        store = DenseStore(
+            np.array([["a", "", "b"]], dtype=object), ValueType.STRING
+        )
+        assert store.nnz == 2
+
+
+class TestExportDoesNotScan:
+    def test_from_block_uses_cached_nnz(self, monkeypatch):
+        """The trace-exit export path: binding a compacted block into a
+        MatrixObject must not trigger a full-array nnz scan."""
+        array = np.arange(1024, dtype=np.float64).reshape(32, 32)
+        block = BasicTensorBlock.from_numpy(array)
+        _forbid_count_nonzero(monkeypatch)
+        obj = MatrixObject.from_block(block)
+        assert obj.nnz == 1023
+
+    def test_traced_loop_export_does_not_scan(self, monkeypatch):
+        """End to end: a hot traced loop exports its outputs every exit;
+        after warm-up, further trace exits take zero nnz scans."""
+        from repro.config import ReproConfig
+
+        from tests.trace.conftest import run_script
+
+        script = """
+X = rand(rows=32, cols=32, seed=1)
+acc = matrix(0, rows=32, cols=32)
+for (i in 1:6) {
+  acc = acc + X %*% X
+}
+s = sum(acc)
+"""
+        cfg = ReproConfig(enable_trace=True, trace_threshold=2)
+        got, ctx = run_script(script, ["s", "acc"], cfg)
+        assert ctx.traces.snapshot()["trace_hits"] >= 1
+        # the loop intermediates were compacted when materialized, so the
+        # export metadata refresh reads the cached counts
+        acc = ctx.get("acc")
+        _forbid_count_nonzero(monkeypatch)
+        assert acc.nnz == acc.acquire_local().nnz

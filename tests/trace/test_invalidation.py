@@ -128,6 +128,68 @@ class TestGuardFailures:
         assert traces.snapshot()["guard_failures"] >= 1
 
 
+class TestVetoReprobe:
+    def test_recompile_clears_vetoes_elsewhere(self):
+        """A block vetoed on first contact gets a second chance after any
+        recompile: veto reasons (fcall into a not-yet-compiled function,
+        transiently non-local operands) are often transient."""
+        from repro.compiler.compile import compile_script
+        from repro.runtime.context import ExecutionContext
+        from repro.runtime.interpreter import _execute_basic
+
+        cfg = ReproConfig(
+            enable_trace=True, trace_threshold=2, enable_recompile=False
+        )
+        program = compile_script('print("x")', cfg, {}, [])
+        block = program.blocks[0]
+        ctx = ExecutionContext(program, cfg, print_handler=lambda t: None)
+        for _ in range(3):
+            _execute_basic(block, ctx)
+        traces = ctx.traces
+        snap = traces.snapshot()
+        assert snap["vetoes"] == 1
+        assert snap["vetoed"] == 1
+        # an unrelated block recompiles: the veto is cleared for re-probe
+        traces.on_recompile(object())
+        snap = traces.snapshot()
+        assert snap["vetoed"] == 0
+        assert snap["veto_reprobes"] == 1
+        # the block re-heats and re-attempts compilation; printing is
+        # genuinely untraceable, so it vetoes again (but only after
+        # another full threshold of runs — re-probing is bounded)
+        _execute_basic(block, ctx)
+        assert traces.snapshot()["vetoes"] == 1
+        _execute_basic(block, ctx)
+        snap = traces.snapshot()
+        assert snap["vetoes"] == 2
+        assert snap["vetoed"] == 1
+
+    def test_e2e_veto_reprobe_keeps_results_exact(self):
+        """Integration: a vetoed loop body followed by a recompiling loop —
+        the re-probe path fires and results stay bit-identical."""
+        script = """
+s = 0.0
+for (i in 1:6) {
+  s = s + i
+  print("hi")
+}
+M = matrix(1, rows=1, cols=2)
+for (i in 1:4) {
+  M = rbind(M, matrix(i, rows=1, cols=2))
+}
+total = sum(M) + s
+"""
+        cfg = ReproConfig(enable_trace=True, trace_threshold=2)
+        got, ctx = run_script(script, ["total"], cfg)
+        expected, _ = run_script(
+            script, ["total"], ReproConfig(enable_trace=False)
+        )
+        assert expected["total"] == got["total"]
+        snap = ctx.traces.snapshot()
+        assert snap["vetoes"] >= 1
+        assert snap["veto_reprobes"] >= 1
+
+
 class TestResumeInvalidation:
     def test_resume_lands_inside_previously_traced_loop(self, tmp_path):
         """Crash after the loop went hot; the resumed process re-executes
