@@ -89,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable optimizer rewrites (debugging)")
     parser.add_argument("--no-trace", action="store_true",
                         help="disable trace compilation of hot basic blocks")
+    parser.add_argument("--transport", choices=["inproc", "proc"],
+                        default="inproc",
+                        help="where federated sites and RDD tasks execute: "
+                             "in-process thread sims (default) or real "
+                             "SIGKILL-able worker processes (repro.net)")
     parser.add_argument("--trace-threshold", type=int, default=None,
                         metavar="N",
                         help="block executions before a trace is compiled "
@@ -179,6 +184,8 @@ def main(argv=None) -> int:
         overrides["enable_fusion"] = False
     if args.no_trace:
         overrides["enable_trace"] = False
+    if args.transport != "inproc":
+        overrides["transport"] = args.transport
     if args.trace_threshold is not None:
         overrides["trace_threshold"] = args.trace_threshold
     if args.inject_faults is not None:

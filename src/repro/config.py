@@ -47,6 +47,13 @@ class ReproConfig:
     #: Side length of square matrix blocks (paper: 1024).  Tests shrink this.
     block_size: int = 1024
 
+    # --- transport ------------------------------------------------------------
+    #: Where federated sites and RDD tasks execute: ``"inproc"`` (thread
+    #: simulations, zero overhead — the default) or ``"proc"`` (real
+    #: spawn-context worker processes behind the :mod:`repro.net` frame
+    #: protocol, SIGKILL-able by the fault injector).
+    transport: str = "inproc"
+
     # --- optimizer feature flags (ablations) ---------------------------------
     enable_rewrites: bool = True
     enable_cse: bool = True
@@ -145,6 +152,10 @@ class ReproConfig:
             raise ValueError("block_size must be >= 1")
         if self.reuse_policy not in ("none", "full", "full_partial"):
             raise ValueError(f"unknown reuse policy: {self.reuse_policy!r}")
+        if self.transport not in ("inproc", "proc"):
+            raise ValueError(
+                f"unknown transport {self.transport!r} (use inproc or proc)"
+            )
         if self.retry_budget < 0:
             raise ValueError("retry_budget must be >= 0")
         if self.max_instructions is not None and self.max_instructions < 1:

@@ -40,10 +40,14 @@ class SimSparkContext:
     """
 
     def __init__(self, parallelism: int = 4, default_partitions: int = 0,
-                 resilience=None):
+                 resilience=None, transport=None):
         self.parallelism = max(1, parallelism)
         self.default_partitions = default_partitions or self.parallelism
         self.resilience = resilience
+        #: Optional :class:`repro.net.Transport`; None (or the in-proc
+        #: transport) keeps task execution a direct call on the pool thread,
+        #: a proc transport round-trips each task to an executor process.
+        self.transport = transport
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._lock = threading.RLock()
         self.metrics = {
@@ -76,11 +80,17 @@ class SimSparkContext:
         with self._lock:
             self.metrics["jobs"] += 1
             self.metrics["tasks"] += len(tasks)
-        run = self._run_resilient if self.resilience is not None else _run_plain
+        run = self._run_resilient if self.resilience is not None else self._invoke
         if len(tasks) == 1:
             return [run(tasks[0])]
         executor = self._executor()
         return list(executor.map(run, tasks))
+
+    def _invoke(self, task: Callable[[], List]) -> List:
+        """Execute one task — directly, or via the bound transport."""
+        if self.transport is None:
+            return task()
+        return self.transport.run_task(task)
 
     def _run_resilient(self, task: Callable[[], List]) -> List:
         """One task with bounded retry (Spark's task-attempt model)."""
@@ -90,7 +100,7 @@ class SimSparkContext:
         while True:
             try:
                 resilience.fire("rdd.task")
-                return task()
+                return self._invoke(task)
             except (InjectedFaultError, OSError) as exc:
                 if attempt >= policy.max_retries:
                     raise TaskRetryExhaustedError("rdd.task", attempt + 1) from exc
@@ -126,10 +136,6 @@ class SimSparkContext:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
-
-
-def _run_plain(task: Callable[[], List]) -> List:
-    return task()
 
 
 class SimRDD:

@@ -3,6 +3,12 @@
 All exceptions raised by the library derive from :class:`ReproError` so that
 callers can catch everything from one root.  The split mirrors the phases of
 the system: language (parse), validation (semantic), compilation, and runtime.
+
+Every exception in this module pickle-round-trips with its ``args`` and
+attributes intact: worker processes (:mod:`repro.net`, sharded serving)
+propagate typed errors across the process boundary by pickling them, so a
+class whose ``__init__`` signature differs from its ``args`` tuple defines
+``__reduce__`` returning the *original* constructor arguments.
 """
 
 from __future__ import annotations
@@ -16,10 +22,14 @@ class DMLSyntaxError(ReproError):
     """Raised by the lexer/parser on malformed DML input."""
 
     def __init__(self, message: str, line: int = -1, column: int = -1):
+        self.raw_message = message
         self.line = line
         self.column = column
         location = f" (line {line}, col {column})" if line >= 0 else ""
         super().__init__(f"{message}{location}")
+
+    def __reduce__(self):
+        return (type(self), (self.raw_message, self.line, self.column))
 
 
 class ValidationError(ReproError):
@@ -50,6 +60,9 @@ class InjectedFaultError(ReproError):
         self.point = point
         super().__init__(f"injected fault at {point!r}")
 
+    def __reduce__(self):
+        return (type(self), (self.point,))
+
 
 class InjectedCrashError(ReproError):
     """A deterministic process-crash fault (``crash=N`` in a fault spec).
@@ -63,6 +76,9 @@ class InjectedCrashError(ReproError):
     def __init__(self, point: str):
         self.point = point
         super().__init__(f"injected crash at {point!r}")
+
+    def __reduce__(self):
+        return (type(self), (self.point,))
 
 
 class CheckpointError(ReproError):
@@ -85,6 +101,9 @@ class TaskRetryExhaustedError(RuntimeDMLError):
             f"task failed at injection point {point!r} after {attempts} attempts"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.point, self.attempts))
+
 
 class SpillFailureError(BufferPoolError):
     """A buffer-pool spill read kept failing past the retry budget."""
@@ -96,6 +115,9 @@ class SpillFailureError(BufferPoolError):
             f"buffer pool entry {entry_id} unrecoverable at injection point "
             f"{point!r} (retries exhausted)"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.point, self.entry_id))
 
 
 class FederatedError(ReproError):
@@ -109,17 +131,38 @@ class SiteDownError(FederatedError):
         self.address = address
         super().__init__(f"federated site {address} is down")
 
+    def __reduce__(self):
+        return (type(self), (self.address,))
+
 
 class FederatedSiteUnavailableError(FederatedError):
-    """A site request kept failing past retries, blacklisting, and failover."""
+    """A site request kept failing past retries, blacklisting, and failover.
 
-    def __init__(self, point: str, address: str):
+    ``reason`` distinguishes *how* the candidates ran out:
+
+    * ``"candidates_exhausted"`` — every reachable candidate was attempted
+      and kept failing past its retry budget;
+    * ``"all_blacklisted"`` — no candidate was even attempted because all
+      of them sat inside a blacklist cooldown window.
+    """
+
+    def __init__(self, point: str, address: str,
+                 reason: str = "candidates_exhausted", detail: str = ""):
         self.point = point
         self.address = address
-        super().__init__(
-            f"site {address} unavailable at injection point {point!r} "
-            f"(retry budget and failover exhausted)"
-        )
+        self.reason = reason
+        self.detail = detail
+        if reason == "all_blacklisted":
+            text = (f"site {address} unavailable at injection point {point!r}: "
+                    f"all replicas blacklisted{f' ({detail})' if detail else ''}")
+        else:
+            text = (f"site {address} unavailable at injection point {point!r} "
+                    f"(retry budget and failover exhausted"
+                    f"{f'; {detail}' if detail else ''})")
+        super().__init__(text)
+
+    def __reduce__(self):
+        return (type(self), (self.point, self.address, self.reason, self.detail))
 
 
 class PrivacyError(FederatedError):
@@ -128,6 +171,44 @@ class PrivacyError(FederatedError):
 
 class IOFormatError(ReproError):
     """Raised on malformed persistent data or format descriptors."""
+
+
+class TransportError(ReproError):
+    """Root of the :mod:`repro.net` process-boundary transport errors."""
+
+
+class FrameProtocolError(TransportError):
+    """A received frame failed validation (bad magic, length, or checksum).
+
+    A SIGKILLed peer can tear a connection mid-write; the framing layer
+    turns the resulting garbage into this typed error so the transport
+    treats the connection as dead instead of misinterpreting bytes.
+    """
+
+
+class TransportClosedError(TransportError, ConnectionError):
+    """The peer's connection is gone (EOF, reset, or the worker died).
+
+    Also a :class:`ConnectionError` (hence :class:`OSError`) so every
+    retry layer that treats I/O errors as transient — the resilient
+    channel, the RDD task retry — covers worker deaths for free.
+    """
+
+
+class WorkerRespawnError(TransportError):
+    """A transport worker kept dying past the respawn limit."""
+
+    def __init__(self, role: str, index: int, deaths: int):
+        self.role = role
+        self.index = index
+        self.deaths = deaths
+        super().__init__(
+            f"{role} worker {index} died {deaths} times on one request "
+            f"(respawn limit exhausted)"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.role, self.index, self.deaths))
 
 
 class SharedSegmentError(ReproError):
@@ -168,6 +249,9 @@ class TenantThrottledError(ServingError):
     def __init__(self, tenant: str):
         self.tenant = tenant
         super().__init__(f"tenant {tenant!r} exceeded its request rate limit")
+
+    def __reduce__(self):
+        return (type(self), (self.tenant,))
 
 
 class WorkerDiedError(ServingError):

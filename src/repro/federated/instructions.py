@@ -127,13 +127,12 @@ def fed_matmult(fed: FederatedTensor, right: BasicTensorBlock,
         out_name = f"_fedtmp{next(_TMP_NAMES)}"
 
         def run(target, name=part.tensor_name, out=out_name, rows=part.range.rows):
-            result = target.execute_local(
-                name,
+            target.execute_and_store(
+                name, out,
                 lambda block, b=right: local_ops.matmult(block, b),
                 payload_bytes=right.memory_size(),
                 flops=2 * rows * fed.num_cols * right.num_cols,
             )
-            target.put(out, result, target.constraint(name))
             return target  # the site now hosting the output partition
 
         live_site = _site_call(channel, part.site, run)
@@ -155,12 +154,11 @@ def fed_elementwise_scalar(op: str, fed: FederatedTensor, scalar: float,
         out_name = f"_fedtmp{next(_TMP_NAMES)}"
 
         def run(target, name=part.tensor_name, out=out_name):
-            result = target.execute_local(
-                name,
+            target.execute_and_store(
+                name, out,
                 lambda block: local_ops.binary_scalar(op, block, scalar, scalar_left),
                 payload_bytes=8,
             )
-            target.put(out, result, target.constraint(name))
             return target
 
         live_site = _site_call(channel, part.site, run)
@@ -182,12 +180,11 @@ def fed_binary_rowsliced(op: str, fed: FederatedTensor, other: BasicTensorBlock,
         out_name = f"_fedtmp{next(_TMP_NAMES)}"
 
         def run(target, name=part.tensor_name, out=out_name, o=operand):
-            result = target.execute_local(
-                name,
+            target.execute_and_store(
+                name, out,
                 lambda block, other_part=o: local_ops.binary_op(op, block, other_part),
                 payload_bytes=o.memory_size(),
             )
-            target.put(out, result, target.constraint(name))
             return target
 
         live_site = _site_call(channel, part.site, run)

@@ -147,6 +147,25 @@ class FederatedSite:
             self.metrics["bytes_sent"] += result.memory_size()
         return result
 
+    def execute_and_store(
+        self,
+        name: str,
+        out: str,
+        operation: Callable[[BasicTensorBlock], BasicTensorBlock],
+        payload_bytes: int = 0,
+        flops: int = 0,
+    ) -> dict:
+        """Run an operation and host the result at the site under ``out``.
+
+        The fused push-down write path: compute + store is one request, so
+        the result never ships to the coordinator (only its metadata does)
+        and a process-boundary transport pays a single round trip.  The
+        output inherits the input's privacy constraint.
+        """
+        result = self.execute_local(name, operation, payload_bytes, flops)
+        self.put(out, result, self.constraint(name))
+        return {"shape": result.shape, "nnz": result.nnz}
+
     def update(self, name: str, block: BasicTensorBlock) -> None:
         """Replace the hosted tensor (e.g. with a locally computed update)."""
         with self._lock:

@@ -97,7 +97,11 @@ def build_federated_matrix(ctx, addresses, ranges) -> FederatedTensor:
     """
     from repro.runtime.data import ListObject, MatrixObject, ScalarObject
 
-    registry = FederatedWorkerRegistry.default()
+    transport = getattr(ctx, "transport", None)
+    registry = (
+        transport.registry() if transport is not None
+        else FederatedWorkerRegistry.default()
+    )
     address_list: List[str] = []
     if isinstance(addresses, ListObject):
         for item in addresses.items:

@@ -1,0 +1,38 @@
+"""repro.net: the process-boundary transport layer (DESIGN.md §13).
+
+Selects *where* federated sites and RDD tasks execute:
+
+* :class:`InProcTransport` — thread simulations, zero overhead, the
+  tier-1 default;
+* :class:`ProcTransport` — real spawn-context OS processes speaking the
+  length-prefixed, checksummed, request-id-tagged frame protocol of
+  :mod:`repro.net.frames`, with heartbeat liveness, idempotent retry by
+  request-id dedup, and worker respawn that replays published state.
+
+``for_config``/``registry_for`` resolve the mode from a
+:class:`~repro.config.ReproConfig` (``transport="inproc"|"proc"``).
+"""
+
+from repro.net.transport import (
+    InProcTransport,
+    Transport,
+    for_config,
+    registry_for,
+)
+
+__all__ = [
+    "InProcTransport",
+    "ProcTransport",
+    "Transport",
+    "for_config",
+    "registry_for",
+]
+
+
+def __getattr__(name):
+    # ProcTransport pulls in multiprocessing; import it only when asked for.
+    if name == "ProcTransport":
+        from repro.net.proc import ProcTransport
+
+        return ProcTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,129 @@
+"""Length-prefixed, checksummed, request-id-tagged frames (DESIGN.md §13).
+
+Every message between the coordinator and a transport worker is one frame
+on a byte stream (a TCP socket on localhost).  The fixed 16-byte header
+carries a magic/version, the frame kind, a 64-bit request id, and the
+payload length; the payload is followed by its CRC32.  The request id is
+what makes retries *idempotent*: a worker that already served an id
+replays the recorded response instead of re-executing the operation, so
+a retry after a lost ACK can never double-execute a side-effecting op.
+
+A SIGKILL can land mid-write, leaving a partial or torn frame on the
+stream.  The framing layer converts every such corruption — short reads,
+bad magic, oversized lengths, checksum mismatches — into a typed
+:class:`FrameProtocolError` / :class:`TransportClosedError` so the
+transport declares the connection dead instead of misreading bytes.
+
+Wire layout (network byte order)::
+
+    MAGIC(2) VERSION(1) KIND(1) REQUEST_ID(8) LENGTH(4) PAYLOAD... CRC32(4)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import struct
+import zlib
+
+from repro.errors import FrameProtocolError, TransportClosedError
+
+MAGIC = b"RN"
+VERSION = 1
+
+#: Frame kinds.
+REQ = 1        # coordinator -> worker: execute the payload
+RES = 2        # worker -> coordinator: successful result payload
+ERR = 3        # worker -> coordinator: pickled exception payload
+HEARTBEAT = 4  # worker -> coordinator: liveness beacon (empty payload)
+READY = 5      # worker -> coordinator: bootstrap handshake
+BYE = 6        # coordinator -> worker: orderly shutdown request
+
+KINDS = (REQ, RES, ERR, HEARTBEAT, READY, BYE)
+
+_HEADER = struct.Struct("!2sBBQI")
+HEADER_SIZE = _HEADER.size
+_CRC = struct.Struct("!I")
+
+#: Hard bound on one frame's payload (guards against reading a torn
+#: length field as a multi-gigabyte allocation).
+MAX_PAYLOAD = 1 << 31
+
+
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """One decoded frame."""
+
+    kind: int
+    request_id: int
+    payload: bytes
+
+
+def encode(kind: int, request_id: int, payload: bytes = b"") -> bytes:
+    """The full wire bytes of one frame (header + payload + CRC trailer)."""
+    if kind not in KINDS:
+        raise FrameProtocolError(f"unknown frame kind {kind}")
+    if len(payload) > MAX_PAYLOAD:
+        raise FrameProtocolError(f"frame payload too large: {len(payload)}")
+    header = _HEADER.pack(MAGIC, VERSION, kind, request_id, len(payload))
+    return header + payload + _CRC.pack(zlib.crc32(payload))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`TransportClosedError`."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        try:
+            chunk = sock.recv(remaining)
+        except (ConnectionError, BrokenPipeError) as exc:
+            raise TransportClosedError(f"connection lost mid-frame: {exc}") from exc
+        if not chunk:
+            raise TransportClosedError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, kind: int, request_id: int,
+               payload: bytes = b"") -> int:
+    """Write one frame; returns the bytes put on the wire."""
+    data = encode(kind, request_id, payload)
+    try:
+        sock.sendall(data)
+    except (ConnectionError, BrokenPipeError) as exc:
+        raise TransportClosedError(f"connection lost mid-send: {exc}") from exc
+    return len(data)
+
+
+def recv_frame(sock: socket.socket) -> Frame:
+    """Read and validate one frame (blocking; honours the socket timeout).
+
+    Raises :class:`TransportClosedError` on EOF/reset and
+    :class:`FrameProtocolError` on any header/checksum violation.
+    ``socket.timeout`` propagates to the caller, which uses the timeout
+    slices to probe peer liveness.
+    """
+    header = _recv_exactly(sock, HEADER_SIZE)
+    try:
+        magic, version, kind, request_id, length = _HEADER.unpack(header)
+    except struct.error as exc:  # pragma: no cover - size is exact
+        raise FrameProtocolError(f"unreadable frame header: {exc}") from exc
+    if magic != MAGIC:
+        raise FrameProtocolError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise FrameProtocolError(f"unsupported frame version {version}")
+    if kind not in KINDS:
+        raise FrameProtocolError(f"unknown frame kind {kind}")
+    if length > MAX_PAYLOAD:
+        raise FrameProtocolError(f"frame payload too large: {length}")
+    payload = _recv_exactly(sock, length) if length else b""
+    (crc,) = _CRC.unpack(_recv_exactly(sock, _CRC.size))
+    if crc != zlib.crc32(payload):
+        raise FrameProtocolError(
+            f"frame checksum mismatch on request {request_id} "
+            f"(payload torn mid-write?)"
+        )
+    return Frame(kind=kind, request_id=request_id, payload=payload)

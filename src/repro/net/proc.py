@@ -1,0 +1,546 @@
+"""ProcTransport: federated sites and RDD executors as real OS processes.
+
+The coordinator keeps two small fixed pools of spawn-context workers —
+site hosts (federated data plane) and task executors (RDD tasks) — each
+connected over a localhost TCP socket speaking the :mod:`repro.net.frames`
+protocol.  Pools are deliberately small and shared: a qa fuzz sweep hosts
+hundreds of site addresses, so addresses hash onto site workers by
+``crc32(address) % n`` instead of mapping one process per address.
+
+Failure model
+-------------
+* **Liveness** — workers heartbeat on their socket; while awaiting a
+  response the coordinator counts silent grace windows
+  (``heartbeats_missed``) and probes the process.  EOF, a torn frame, or
+  a dead-and-silent process all mean the worker died.
+* **Respawn + replay** — a dead site worker loses its hosted tensors.
+  The coordinator keeps a per-address *publication log* (every ``put``,
+  ``update``, ``execute_and_store``, ``stop``/``start``, in order) and
+  replays it into the fresh incarnation — lineage-style recovery: the
+  ops are deterministic, so the republished state is bit-identical.
+  Task executors are stateless and respawn bare.
+* **Idempotent resend** — the in-flight request is resent with the SAME
+  request id.  If the old incarnation had executed it and only the ACK
+  was lost (wedged worker, resend-on-timeout), the worker's dedup cache
+  replays the recorded response instead of double-executing
+  (``dedup_hits``).
+* **Chaos** — with a resilience manager bound, the ``fed.worker`` /
+  ``rdd.worker`` fault points SIGKILL the worker right after a request
+  is sent, exercising exactly this recovery path on a seeded schedule.
+
+The transport is a process-global singleton (:meth:`ProcTransport.default`)
+so repeated runs — the qa lattice, benches — reuse warm workers instead
+of paying a Python+numpy spawn per run.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import signal
+import socket
+import threading
+import time
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    FederatedError,
+    FrameProtocolError,
+    TransportClosedError,
+    TransportError,
+    WorkerRespawnError,
+)
+from repro.federated.site import FederatedWorkerRegistry
+from repro.net import frames, serde
+from repro.net.transport import STAT_KEYS, Transport
+from repro.net.worker import STATUS_REPLAY, worker_main
+
+#: How long one worker gets to spawn, import, connect, and handshake.
+READY_TIMEOUT_S = 60.0
+
+#: Silent grace windows (multiples of the heartbeat interval) before a
+#: missed heartbeat is counted and the process is probed.
+_MISS_GRACE = 3.0
+
+
+class _Handle:
+    """One worker incarnation: process + its connected socket."""
+
+    __slots__ = ("role", "index", "incarnation", "process", "sock", "pid")
+
+    def __init__(self, role: str, index: int, incarnation: int, process,
+                 sock: socket.socket, pid: int):
+        self.role = role
+        self.index = index
+        self.incarnation = incarnation
+        self.process = process
+        self.sock = sock
+        self.pid = pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        if self.alive():
+            try:
+                os.kill(self.pid, signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - raced the death
+                pass
+
+
+class RemoteSiteProxy:
+    """The :class:`~repro.federated.site.FederatedSite` surface over RPC.
+
+    Federated instructions and the resilient channel only see this
+    surface, so the push-down semantics, privacy checks, and byte
+    accounting all run *worker-side*, unchanged.  Mutating calls are
+    recorded in the transport's publication log after they succeed.
+    """
+
+    def __init__(self, transport: "ProcTransport", address: str):
+        self._transport = transport
+        self.address = address
+
+    def _call(self, method: str, *args, mutate: bool = False, **kwargs):
+        return self._transport.site_call(
+            self.address, method, args, kwargs, mutate=mutate
+        )
+
+    # hosting / reads
+    def put(self, name, block, constraint=None) -> None:
+        self._call("put", name, block, constraint, mutate=True)
+
+    def has(self, name) -> bool:
+        return self._call("has", name)
+
+    def constraint(self, name):
+        return self._call("constraint", name)
+
+    def metadata(self, name):
+        return self._call("metadata", name)
+
+    def fetch(self, name):
+        return self._call("fetch", name)
+
+    # execution
+    def execute_local(self, name, operation, payload_bytes=0, flops=0):
+        return self._call("execute_local", name, operation, payload_bytes, flops)
+
+    def execute_and_return(self, name, operation, payload_bytes=0, flops=0):
+        return self._call(
+            "execute_and_return", name, operation, payload_bytes, flops
+        )
+
+    def execute_and_store(self, name, out, operation, payload_bytes=0, flops=0):
+        return self._call(
+            "execute_and_store", name, out, operation, payload_bytes, flops,
+            mutate=True,
+        )
+
+    def update(self, name, block) -> None:
+        self._call("update", name, block, mutate=True)
+
+    # lifecycle (logged so a respawned incarnation lands in the same state)
+    def stop(self) -> None:
+        self._call("stop", mutate=True)
+
+    def start(self) -> None:
+        self._call("start", mutate=True)
+
+    @property
+    def is_down(self) -> bool:
+        return self._call("get_is_down")
+
+    @property
+    def metrics(self) -> dict:
+        """A fresh snapshot of the worker-side site's transfer accounting."""
+        return self._call("get_metrics")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RemoteSiteProxy({self.address})"
+
+
+class ProxyRegistry(FederatedWorkerRegistry):
+    """An address book of :class:`RemoteSiteProxy` objects.
+
+    Subclasses the in-process registry so the coordinator-side health
+    machinery — blacklists, cooldowns, replica chains, used verbatim by
+    :class:`~repro.resilience.channel.ResilientChannel` — is inherited
+    unchanged; only site creation/lookup crosses the process boundary.
+    """
+
+    def __init__(self, transport: "ProcTransport"):
+        super().__init__()
+        self._transport = transport
+
+    def start_site(self, address: str) -> RemoteSiteProxy:
+        with self._lock:
+            proxy = self._sites.get(address)
+        if proxy is not None:
+            return proxy
+        self._transport.registry_call(address, "start_site")
+        with self._lock:
+            proxy = self._sites.get(address)
+            if proxy is None:
+                proxy = self._sites[address] = RemoteSiteProxy(
+                    self._transport, address
+                )
+        return proxy
+
+    def site(self, address: str) -> RemoteSiteProxy:
+        with self._lock:
+            proxy = self._sites.get(address)
+        if proxy is None:
+            raise FederatedError(f"no federated worker at {address!r}")
+        return proxy
+
+    def stop_site(self, address: str) -> None:
+        self._transport.registry_call(address, "stop_site", log=False)
+        self._transport.forget_address(address)
+        with self._lock:
+            self._sites.pop(address, None)
+
+    def clear(self) -> None:
+        self._transport.clear_sites()
+        super().clear()
+
+    def total_bytes_transferred(self) -> int:
+        with self._lock:
+            proxies = list(self._sites.values())
+        return sum(
+            proxy.metrics["bytes_sent"] + proxy.metrics["bytes_received"]
+            for proxy in proxies
+        )
+
+
+class ProcTransport(Transport):
+    """Process-boundary transport (see module docstring)."""
+
+    name = "proc"
+
+    _instance: Optional["ProcTransport"] = None
+    _instance_lock = threading.Lock()
+
+    def __init__(self, site_workers: int = 2, task_workers: int = 2,
+                 heartbeat_s: float = 0.25, request_timeout_s: float = 60.0,
+                 respawn_limit: int = 3):
+        if site_workers < 1 or task_workers < 1:
+            raise TransportError("transport needs at least one worker per pool")
+        import multiprocessing
+
+        self._mp = multiprocessing.get_context("spawn")
+        self.heartbeat_s = heartbeat_s
+        self.request_timeout_s = request_timeout_s
+        self.respawn_limit = respawn_limit
+        self._pools: Dict[str, List[Optional[_Handle]]] = {
+            "fed": [None] * site_workers,
+            "rdd": [None] * task_workers,
+        }
+        self._slot_locks: Dict[str, List[threading.RLock]] = {
+            role: [threading.RLock() for __ in pool]
+            for role, pool in self._pools.items()
+        }
+        self._seq = itertools.count(1)
+        self._seq_lock = threading.Lock()
+        self._task_rr = itertools.count()
+        self._stats = {key: 0 for key in STAT_KEYS}
+        self._stats_lock = threading.Lock()
+        #: address -> ordered request tuples to replay into a respawn.
+        self._log: Dict[str, List[Tuple]] = {}
+        self._log_lock = threading.RLock()
+        self._registry = ProxyRegistry(self)
+        self._resilience = None
+        self._closed = False
+
+    @classmethod
+    def default(cls) -> "ProcTransport":
+        """The process-global transport (created on first use)."""
+        with cls._instance_lock:
+            if cls._instance is None or cls._instance._closed:
+                cls._instance = cls()
+                atexit.register(cls._instance.close)
+            return cls._instance
+
+    # --- Transport interface -------------------------------------------------
+
+    def registry(self) -> ProxyRegistry:
+        return self._registry
+
+    def run_task(self, task) -> List:
+        index = next(self._task_rr) % len(self._pools["rdd"])
+        return self._round_trip("rdd", index, ("task", task), "rdd.worker")
+
+    def bind_resilience(self, resilience) -> None:
+        self._resilience = resilience
+
+    def snapshot(self) -> dict:
+        with self._stats_lock:
+            snap = dict(self._stats)
+        snap["mode"] = self.name
+        snap["site_workers"] = len(self._pools["fed"])
+        snap["task_workers"] = len(self._pools["rdd"])
+        snap["live_workers"] = sum(
+            1 for pool in self._pools.values()
+            for handle in pool if handle is not None and handle.alive()
+        )
+        return snap
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for role, pool in self._pools.items():
+            for index, handle in enumerate(pool):
+                if handle is None:
+                    continue
+                try:
+                    frames.send_frame(handle.sock, frames.BYE, 0)
+                except (OSError, TransportError):
+                    pass
+                try:
+                    handle.sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                handle.process.join(timeout=2.0)
+                if handle.alive():  # pragma: no cover - wedged worker
+                    handle.kill()
+                    handle.process.join(timeout=2.0)
+                pool[index] = None
+
+    # --- request plumbing ----------------------------------------------------
+
+    def site_call(self, address: str, method: str, args: Tuple = (),
+                  kwargs: Optional[dict] = None, mutate: bool = False):
+        """One RPC to the worker hosting ``address``; log mutations."""
+        kwargs = kwargs or {}
+        request = ("site", address, method, args, kwargs)
+        result = self._round_trip(
+            "fed", self._owner(address), request, "fed.worker"
+        )
+        if mutate:
+            with self._log_lock:
+                self._log.setdefault(address, []).append(request)
+        return result
+
+    def registry_call(self, address: str, method: str, log: bool = True) -> None:
+        """A registry-level RPC (site creation/removal) for one address."""
+        request = ("reg", method, (address,))
+        self._round_trip("fed", self._owner(address), request, "fed.worker")
+        if log:
+            with self._log_lock:
+                self._log.setdefault(address, []).append(request)
+
+    def forget_address(self, address: str) -> None:
+        with self._log_lock:
+            self._log.pop(address, None)
+
+    def clear_sites(self) -> None:
+        """Wipe hosted state on every live site worker and drop the log."""
+        with self._log_lock:
+            self._log.clear()
+        for index, handle in enumerate(self._pools["fed"]):
+            if handle is None:
+                continue
+            try:
+                self._round_trip("fed", index, ("reg", "clear", ()), None)
+            except (TransportError, OSError):  # pragma: no cover - dying pool
+                pass
+
+    def _owner(self, address: str) -> int:
+        return zlib.crc32(address.encode()) % len(self._pools["fed"])
+
+    def _next_id(self) -> int:
+        with self._seq_lock:
+            return next(self._seq)
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._stats[key] += amount
+
+    # --- worker lifecycle ----------------------------------------------------
+
+    def _spawn(self, role: str, index: int, incarnation: int) -> _Handle:
+        if self._closed:
+            raise TransportError("transport is closed")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            listener.settimeout(READY_TIMEOUT_S)
+            port = listener.getsockname()[1]
+            process = self._mp.Process(
+                target=worker_main,
+                args=("127.0.0.1", port, role, index, self.heartbeat_s),
+                name=f"net-{role}-{index}.{incarnation}",
+                daemon=True,
+            )
+            process.start()
+            try:
+                sock, __ = listener.accept()
+            except socket.timeout:
+                process.kill()
+                raise TransportError(
+                    f"{role} worker {index} did not connect within "
+                    f"{READY_TIMEOUT_S:.0f}s"
+                ) from None
+        finally:
+            listener.close()
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(READY_TIMEOUT_S)
+        ready = frames.recv_frame(sock)
+        if ready.kind != frames.READY:
+            raise FrameProtocolError(
+                f"{role} worker {index}: expected READY, got kind {ready.kind}"
+            )
+        hello = serde.loads(ready.payload)
+        sock.settimeout(self.heartbeat_s)
+        return _Handle(role, index, incarnation, process, sock, hello["pid"])
+
+    def _ensure(self, role: str, index: int) -> _Handle:
+        # caller holds the slot lock
+        handle = self._pools[role][index]
+        if handle is None:
+            handle = self._spawn(role, index, incarnation=0)
+            self._pools[role][index] = handle
+        return handle
+
+    def _respawn(self, role: str, index: int) -> _Handle:
+        """Fresh incarnation + publication replay (site workers only)."""
+        dead = self._pools[role][index]
+        try:
+            dead.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        handle = self._spawn(role, index, incarnation=dead.incarnation + 1)
+        self._pools[role][index] = handle
+        self._bump("worker_respawns")
+        if self._resilience is not None:
+            self._resilience.stats.incr("worker_respawns")
+        if role == "fed":
+            self._replay(handle, index)
+        return handle
+
+    def _replay(self, handle: _Handle, index: int) -> None:
+        """Republish every logged mutation owned by this worker, in order.
+
+        Raises :class:`TransportClosedError` if the fresh worker dies mid
+        replay — the caller's death loop counts it and respawns again
+        (replay restarts from scratch; puts overwrite, so it converges).
+        """
+        with self._log_lock:
+            batches = [
+                (address, list(entries))
+                for address, entries in sorted(self._log.items())
+                if self._owner(address) == index
+            ]
+        replayed = 0
+        for __, entries in batches:
+            for request in entries:
+                self._attempt(handle, self._next_id(), serde.dumps(request))
+                replayed += 1
+        if replayed:
+            self._bump("replayed_publications", replayed)
+
+    # --- the round trip ------------------------------------------------------
+
+    def _round_trip(self, role: str, index: int, request: Tuple,
+                    point: Optional[str]):
+        """Send one request; survive worker deaths by respawn + resend."""
+        body = serde.dumps(request)
+        request_id = self._next_id()
+        deaths = 0
+        with self._slot_locks[role][index]:
+            while True:
+                handle = self._ensure(role, index)
+                try:
+                    return self._attempt(handle, request_id, body, point)
+                except (TransportClosedError, FrameProtocolError) as exc:
+                    deaths += 1
+                    self._bump("worker_deaths")
+                    if self._resilience is not None:
+                        self._resilience.stats.incr("worker_deaths")
+                    if deaths > self.respawn_limit:
+                        raise WorkerRespawnError(role, index, deaths) from exc
+                    self._respawn(role, index)
+                    self._bump("resent_requests")
+                    if self._resilience is not None:
+                        self._resilience.stats.incr("resent_requests")
+                    # loop: resend with the SAME request id (idempotent)
+
+    def _attempt(self, handle: _Handle, request_id: int, body: bytes,
+                 point: Optional[str] = None):
+        """One send + await on one incarnation; raises on worker death."""
+        self._send(handle, frames.REQ, request_id, body)
+        if point is not None and self._resilience is not None \
+                and self._resilience.trip(point):
+            # seeded chaos: SIGKILL the worker mid-request; the death loop
+            # above must make this invisible to the caller
+            handle.kill()
+        grace_s = self.heartbeat_s * _MISS_GRACE
+        deadline = time.monotonic() + self.request_timeout_s
+        last_frame = time.monotonic()
+        resent = False
+        while True:
+            try:
+                frame = self._recv(handle)
+            except socket.timeout:
+                now = time.monotonic()
+                if now - last_frame > grace_s:
+                    self._bump("heartbeats_missed")
+                    last_frame = now  # one miss per silent grace window
+                    if not handle.alive():
+                        raise TransportClosedError(
+                            f"{handle.role} worker {handle.index} died "
+                            f"(silent and process gone)"
+                        ) from None
+                if now > deadline:
+                    if not resent and handle.alive():
+                        # lost-ACK recovery: resend the SAME id; the dedup
+                        # cache replays if the worker already executed it
+                        self._send(handle, frames.REQ, request_id, body)
+                        self._bump("resent_requests")
+                        resent = True
+                        deadline = now + self.request_timeout_s
+                        continue
+                    handle.kill()
+                    raise TransportClosedError(
+                        f"{handle.role} worker {handle.index} wedged on "
+                        f"request {request_id} (no response in "
+                        f"{self.request_timeout_s:.0f}s)"
+                    ) from None
+                continue
+            last_frame = time.monotonic()
+            if frame.kind == frames.HEARTBEAT:
+                self._bump("heartbeats_seen")
+                continue
+            if frame.request_id != request_id:
+                continue  # stale response to an abandoned id
+            status, data = frame.payload[:1], frame.payload[1:]
+            if status == STATUS_REPLAY:
+                self._bump("dedup_hits")
+            if frame.kind == frames.RES:
+                return serde.loads(data)
+            if frame.kind == frames.ERR:
+                raise pickle.loads(data)
+            raise FrameProtocolError(
+                f"unexpected frame kind {frame.kind} for request {request_id}"
+            )
+
+    def _send(self, handle: _Handle, kind: int, request_id: int,
+              payload: bytes) -> None:
+        sent = frames.send_frame(handle.sock, kind, request_id, payload)
+        with self._stats_lock:
+            self._stats["frames_sent"] += 1
+            self._stats["bytes_sent"] += sent
+
+    def _recv(self, handle: _Handle) -> frames.Frame:
+        frame = frames.recv_frame(handle.sock)
+        with self._stats_lock:
+            self._stats["frames_received"] += 1
+            self._stats["bytes_received"] += (
+                frames.HEADER_SIZE + len(frame.payload) + 4
+            )
+        return frame

@@ -1,0 +1,154 @@
+"""Closure-capable serialisation for the process-boundary transport.
+
+Federated operations and RDD tasks are built from lambdas and nested
+closures — exactly what stdlib :mod:`pickle` refuses to serialise (it
+pickles functions by reference, which fails for anything not importable
+by qualified name).  This module implements the small slice of
+cloudpickle the transport needs:
+
+* importable module-level functions/classes still pickle *by reference*
+  (cheap, and the worker re-imports the same code);
+* lambdas, nested functions, and closures pickle *by value*: the code
+  object goes through :mod:`marshal`, closure cells are captured as
+  their contents, and the globals the code references are captured by
+  name (modules as import references, everything else recursively
+  through this pickler);
+* modules pickle as ``importlib.import_module(name)`` calls.
+
+Workers run the same interpreter from the same source tree (spawn
+context inherits ``PYTHONPATH``), so marshal'd code objects are safe.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import marshal
+import pickle
+import types
+from typing import Any, Dict, Optional, Tuple
+
+_EMPTY_CELL = "__repro_empty_cell__"
+_SELF_CELL = "__repro_self_cell__"
+
+
+def _make_empty_cell() -> types.CellType:
+    return types.CellType()
+
+
+def _import_module(name: str) -> types.ModuleType:
+    return importlib.import_module(name)
+
+
+def _referenced_names(code: types.CodeType) -> set:
+    """Global names referenced by a code object and its nested code objects."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _referenced_names(const)
+    return names
+
+
+def _rebuild_function(
+    code_bytes: bytes,
+    name: str,
+    defaults: Optional[Tuple],
+    kwdefaults: Optional[Dict[str, Any]],
+    closure_values: Optional[Tuple],
+    captured_globals: Dict[str, Any],
+) -> types.FunctionType:
+    """Worker-side reconstruction of a by-value function."""
+    code = marshal.loads(code_bytes)
+    globs: Dict[str, Any] = {"__builtins__": __builtins__}
+    globs.update(captured_globals)
+    closure = None
+    if closure_values is not None:
+        # the sentinel checks must be type-guarded: ``==`` against e.g. a
+        # numpy array in a cell would broadcast instead of returning bool
+        closure = tuple(
+            _make_empty_cell()
+            if type(value) is str and value in (_EMPTY_CELL, _SELF_CELL)
+            else types.CellType(value)
+            for value in closure_values
+        )
+    func = types.FunctionType(code, globs, name, defaults, closure)
+    if kwdefaults:
+        func.__kwdefaults__ = dict(kwdefaults)
+    if closure is not None:
+        # a self-recursive function closes over its own cell: fill it now
+        # that the function object exists
+        for cell, value in zip(closure, closure_values):
+            if type(value) is str and value == _SELF_CELL:
+                cell.cell_contents = func
+    return func
+
+
+def _is_importable(func: types.FunctionType) -> bool:
+    """True when the worker can resolve the function by module.qualname."""
+    qualname = getattr(func, "__qualname__", "")
+    module = getattr(func, "__module__", None)
+    if not module or "<lambda>" in qualname or "<locals>" in qualname:
+        return False
+    try:
+        mod = importlib.import_module(module)
+        obj = mod
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError):
+        return False
+    return obj is func
+
+
+class _TransportPickler(pickle.Pickler):
+    """Pickler with by-value support for closures and module references."""
+
+    def reducer_override(self, obj):
+        if isinstance(obj, types.ModuleType):
+            return (_import_module, (obj.__name__,))
+        if isinstance(obj, types.FunctionType):
+            if _is_importable(obj):
+                return NotImplemented  # default by-reference pickling
+            return self._reduce_function(obj)
+        return NotImplemented
+
+    def _reduce_function(self, func: types.FunctionType):
+        code = func.__code__
+        closure_values: Optional[Tuple] = None
+        if func.__closure__ is not None:
+            values = []
+            for cell in func.__closure__:
+                try:
+                    contents = cell.cell_contents
+                except ValueError:  # unset cell (still being defined)
+                    values.append(_EMPTY_CELL)
+                    continue
+                # a recursive function's cell holds the function itself;
+                # pickling it through args would recurse forever
+                values.append(_SELF_CELL if contents is func else contents)
+            closure_values = tuple(values)
+        captured: Dict[str, Any] = {}
+        func_globals = func.__globals__
+        for name in _referenced_names(code):
+            if name in func_globals:
+                captured[name] = func_globals[name]
+        return (
+            _rebuild_function,
+            (
+                marshal.dumps(code),
+                func.__name__,
+                func.__defaults__,
+                func.__kwdefaults__,
+                closure_values,
+                captured,
+            ),
+        )
+
+
+def dumps(obj: Any) -> bytes:
+    buffer = io.BytesIO()
+    _TransportPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buffer.getvalue()
+
+
+def loads(data: bytes) -> Any:
+    return pickle.loads(data)

@@ -1,0 +1,157 @@
+"""Entry point of one transport worker process.
+
+A worker is a spawn-context OS process that connects back to the
+coordinator's listener, handshakes with a READY frame, then serves REQ
+frames until it reads BYE (or is killed).  One worker serves either
+role — federated site host or RDD task executor — because the request
+payload carries its own dispatch tag.
+
+Idempotency (the dedup cache)
+-----------------------------
+Every request carries a coordinator-assigned id.  The worker records the
+response bytes of the last :data:`DEDUP_CAPACITY` requests; a repeated id
+— the coordinator resending after a lost ACK — replays the recorded
+response instead of re-executing.  A side-effecting op (``put``,
+``update``, ``execute_and_store``) therefore cannot double-execute, and
+the replayed response is flagged so the coordinator can count
+``dedup_hits``.
+
+Liveness
+--------
+A daemon thread emits a HEARTBEAT frame every ``heartbeat_s`` on the same
+socket (sends are serialised by a lock).  The coordinator counts frames
+while awaiting a response; a silent interval with a dead process is a
+worker death, triggering respawn + publication replay.
+
+Errors
+------
+Per-request exceptions are pickled into ERR frames (falling back to a
+stringified :class:`~repro.errors.TransportError` for unpicklable ones —
+though every :mod:`repro.errors` type round-trips by contract) and
+re-raised coordinator-side with their types and attributes intact.  The
+worker only dies by BYE, EOF, or signal.
+"""
+
+from __future__ import annotations
+
+import collections
+import pickle
+import socket
+import threading
+
+from repro.net import frames
+
+#: Responses remembered for request-id dedup, per worker incarnation.
+DEDUP_CAPACITY = 512
+
+#: Response-payload status prefix (first byte of RES/ERR payloads).
+STATUS_OK = b"\x00"
+STATUS_REPLAY = b"\x01"
+STATUS_ERR = b"\x02"
+
+
+def _portable(exc: BaseException) -> bytes:
+    """Pickled form of an exception that is safe to unpickle coordinator-side."""
+    from repro.errors import TransportError
+
+    try:
+        data = pickle.dumps(exc)
+        pickle.loads(data)
+        return data
+    except Exception:  # noqa: BLE001 - unpicklable payload/ctor
+        return pickle.dumps(TransportError(f"{type(exc).__name__}: {exc}"))
+
+
+def _dispatch(registry, request):
+    """Execute one decoded request against worker-local state."""
+    from repro.errors import TransportError
+
+    kind = request[0]
+    if kind == "site":
+        __, address, method, args, kwargs = request
+        site = registry.site(address)
+        if method == "get_metrics":
+            return dict(site.metrics)
+        if method == "get_is_down":
+            return site.is_down
+        return getattr(site, method)(*args, **kwargs)
+    if kind == "reg":
+        __, method, args = request
+        getattr(registry, method)(*args)
+        return True
+    if kind == "task":
+        return request[1]()
+    raise TransportError(f"unknown request kind {kind!r}")
+
+
+def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
+                    interval_s: float, stop: threading.Event) -> None:
+    while not stop.wait(interval_s):
+        try:
+            with send_lock:
+                frames.send_frame(sock, frames.HEARTBEAT, 0)
+        except Exception:  # noqa: BLE001 - coordinator gone; main loop exits too
+            return
+
+
+def worker_main(host: str, port: int, role: str, index: int,
+                heartbeat_s: float) -> None:
+    """Connect back to the coordinator and serve frames until BYE."""
+    import os
+
+    from repro.errors import TransportClosedError
+    from repro.federated.site import FederatedWorkerRegistry
+    from repro.net import serde
+
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    with send_lock:
+        frames.send_frame(
+            sock, frames.READY, 0,
+            serde.dumps({"pid": os.getpid(), "role": role, "index": index}),
+        )
+    beat = threading.Thread(
+        target=_heartbeat_loop, args=(sock, send_lock, heartbeat_s, stop),
+        name=f"{role}-{index}-heartbeat", daemon=True,
+    )
+    beat.start()
+    # worker-local state: a private registry (never the singleton — the
+    # coordinator's publication log is the source of truth) and the dedup cache
+    registry = FederatedWorkerRegistry()
+    dedup: "collections.OrderedDict[int, tuple]" = collections.OrderedDict()
+    try:
+        while True:
+            try:
+                frame = frames.recv_frame(sock)
+            except TransportClosedError:
+                break  # coordinator went away: exit quietly
+            if frame.kind == frames.BYE:
+                break
+            if frame.kind != frames.REQ:
+                continue  # tolerate unexpected kinds instead of dying
+            cached = dedup.get(frame.request_id)
+            if cached is not None:
+                kind, body = cached
+                with send_lock:
+                    frames.send_frame(
+                        sock, kind, frame.request_id, STATUS_REPLAY + body
+                    )
+                continue
+            try:
+                result = _dispatch(registry, serde.loads(frame.payload))
+                kind, body = frames.RES, serde.dumps(result)
+            except BaseException as exc:  # noqa: BLE001 - typed error propagation
+                kind, body = frames.ERR, _portable(exc)
+            dedup[frame.request_id] = (kind, body)
+            while len(dedup) > DEDUP_CAPACITY:
+                dedup.popitem(last=False)
+            with send_lock:
+                frames.send_frame(sock, kind, frame.request_id, STATUS_OK + body)
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass

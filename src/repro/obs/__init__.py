@@ -31,6 +31,7 @@ from repro.obs.report import (
     attach_serving,
     attach_spark,
     attach_trace,
+    attach_transport,
     observe_context,
     render_heavy_hitters,
     render_json,
@@ -53,6 +54,7 @@ __all__ = [
     "attach_serving",
     "attach_qa",
     "attach_trace",
+    "attach_transport",
     "observe_context",
     "render_heavy_hitters",
     "render_report",

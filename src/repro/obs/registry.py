@@ -28,8 +28,8 @@ from typing import Callable, Dict, List, Optional
 #: Section names every snapshot carries, probe attached or not.  Keeping
 #: the set fixed lets ``report()`` always print the same section skeleton.
 CANONICAL_SECTIONS = (
-    "bufferpool", "reuse", "spark", "federated", "serving", "resilience",
-    "checkpoint", "trace", "qa",
+    "bufferpool", "reuse", "spark", "federated", "transport", "serving",
+    "resilience", "checkpoint", "trace", "qa",
 )
 
 

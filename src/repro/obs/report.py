@@ -22,6 +22,7 @@ _SECTION_TITLES = {
     "reuse": "Lineage reuse cache",
     "spark": "Distributed backend (shuffle)",
     "federated": "Federated sites",
+    "transport": "Transport",
     "serving": "Serving",
     "resilience": "Resilience",
     "checkpoint": "Checkpoint",
@@ -76,10 +77,12 @@ def attach_federated(registry: StatsRegistry, worker_registry=None) -> None:
 
         sites = worker_registry or FederatedWorkerRegistry.default()
         with sites._lock:
-            per_site = {
-                address: dict(site.metrics)
-                for address, site in sites._sites.items()
-            }
+            hosted = dict(sites._sites)
+        # metrics reads happen outside the registry lock: against a proc
+        # transport each one is an RPC to the hosting worker process
+        per_site = {
+            address: dict(site.metrics) for address, site in hosted.items()
+        }
         totals = {
             "sites": len(per_site),
             "requests": sum(m["requests"] for m in per_site.values()),
@@ -90,6 +93,11 @@ def attach_federated(registry: StatsRegistry, worker_registry=None) -> None:
         return {"totals": totals, "sites": per_site} if per_site else {}
 
     registry.attach("federated", probe)
+
+
+def attach_transport(registry: StatsRegistry, transport) -> None:
+    """Feed a ``repro.net.Transport.snapshot()`` into ``transport``."""
+    registry.attach("transport", transport.snapshot)
 
 
 def attach_serving(registry: StatsRegistry, metrics) -> None:
@@ -123,6 +131,9 @@ def observe_context(registry: StatsRegistry, ctx) -> None:
     if ctx.reuse is not None:
         attach_reuse(registry, ctx.reuse)
     attach_spark(registry, lambda: ctx._spark)
+    if getattr(ctx, "transport", None) is not None:
+        attach_transport(registry, ctx.transport)
+        attach_federated(registry, ctx.transport.registry())
     if getattr(ctx, "faults", None) is not None:
         attach_resilience(registry, ctx.faults)
     if getattr(ctx, "checkpoints", None) is not None:

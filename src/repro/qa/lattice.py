@@ -25,6 +25,10 @@ chaos_spill        buffer-pool spill faults + retries; must be bit-identical
 chaos_federated    federated request faults + failover; bit-identical
 chaos_crash        crash mid-program + checkpoint resume; bit-identical
 chaos_spark        distributed task faults + task retry; bit-identical
+proc_federated     federated sites in real worker processes (proc
+                   transport); bit-identical to the in-process twin
+proc_spark         RDD tasks in real worker processes (proc transport);
+                   bit-identical to the in-process spark twin
 =================  =========================================================
 
 Chaos configs compare *bitwise* against their fault-free twin: PR 3's
@@ -259,6 +263,26 @@ class Lattice:
                     "fault_seed": 103,
                     **_CHAOS_RETRY,
                 },
+                bitwise=True,
+                reference="spark",
+            ),
+            LatticeConfig(
+                name="proc_federated",
+                description="federated sites hosted by real spawn-context "
+                            "worker processes over the frame protocol; "
+                            "bit-identical to the in-process federated twin "
+                            "(the transport must be semantically invisible)",
+                federated=True,
+                overrides={"transport": "proc"},
+                bitwise=True,
+                reference="federated",
+            ),
+            LatticeConfig(
+                name="proc_spark",
+                description="distributed RDD tasks executed in real worker "
+                            "processes over the frame protocol; bit-identical "
+                            "to the in-process spark twin",
+                overrides={**_SPARK_OVERRIDES, "transport": "proc"},
                 bitwise=True,
                 reference="spark",
             ),

@@ -28,6 +28,7 @@ import numpy as np
 from repro.api.mlcontext import MLContext
 from repro.errors import InjectedCrashError
 from repro.federated.site import FederatedWorkerRegistry
+from repro.net import registry_for
 from repro.qa.generator import MATRIX, SCALAR, GeneratedProgram
 from repro.qa.lattice import Lattice, LatticeConfig
 from repro.tensor import BasicTensorBlock
@@ -165,8 +166,11 @@ class DifferentialRunner:
         run_source = source
         run_inputs = dict(inputs)
         hosted: List[str] = []
-        registry = FederatedWorkerRegistry.default()
         repro_config = config.build_config()
+        # proc-transport configs host inputs on the transport's proxy
+        # registry so the sites live in the worker processes the run
+        # will actually talk to
+        registry = registry_for(repro_config)
         if (self.max_instructions is not None
                 and "max_instructions" not in config.overrides):
             repro_config.max_instructions = self.max_instructions

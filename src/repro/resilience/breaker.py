@@ -92,7 +92,11 @@ class CircuitBreaker:
     def record_success(self) -> None:
         with self._lock:
             self._failures = 0
-            if self._state != self.CLOSED:
+            # Close only from HALF_OPEN.  A success landing while OPEN is a
+            # *stale* probe: admitted during an earlier half-open window,
+            # reporting back after another failure already re-opened the
+            # circuit.  Closing on it would defeat the fresh cooldown.
+            if self._state == self.HALF_OPEN:
                 self._transition(self.CLOSED)
                 self._probes_used = 0
 

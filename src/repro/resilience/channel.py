@@ -113,7 +113,25 @@ class ResilientChannel:
         if fallback is not None:
             self.stats.incr("degraded_reads")
             return fallback()
-        raise FederatedSiteUnavailableError(point, site.address) from last_error
+        if attempted == 0:
+            # Not a single candidate was even tried: every one of them sat
+            # inside a blacklist cooldown.  Distinct from retries running
+            # out — report when the earliest cooldown ends so the caller
+            # knows how long until the request could succeed again.
+            self.stats.incr("all_blacklisted")
+            cooldowns = registry.blacklisted(self._clock())
+            detail = ""
+            if cooldowns:
+                soonest = min(cooldowns.values())
+                detail = f"cooldown ends in {max(0.0, soonest):.1f}s"
+            raise FederatedSiteUnavailableError(
+                point, site.address, reason="all_blacklisted", detail=detail
+            ) from None
+        self.stats.incr("candidates_exhausted")
+        raise FederatedSiteUnavailableError(
+            point, site.address, reason="candidates_exhausted",
+            detail=f"{attempted} candidate(s) attempted",
+        ) from last_error
 
     def _attempt(self, target, point: str, thunk: Callable):
         """One request against one site: inject, run, check the deadline."""

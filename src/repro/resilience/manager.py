@@ -96,6 +96,17 @@ class ResilienceManager:
             seed=config.fault_seed,
         )
 
+    def bind_transport(self, transport) -> None:
+        """Attach a :class:`repro.net.Transport` to this run's resilience.
+
+        Points the federated channel's blacklist/failover registry at the
+        transport's (so breakers and failover work identically against
+        site *proxies*) and hands the transport this manager for its
+        ``fed.worker``/``rdd.worker`` SIGKILL points and death counters.
+        """
+        transport.bind_resilience(self)
+        self.channel._registry = transport.registry()
+
     # --- injection shortcuts (no-ops without an injector) --------------------
 
     def active(self, point: str) -> bool:

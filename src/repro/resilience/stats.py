@@ -27,6 +27,8 @@ _STANDARD_COUNTERS = (
     "recomputed_partitions",
     "site_failovers",
     "sites_blacklisted",
+    "candidates_exhausted",
+    "all_blacklisted",
     "degraded_reads",
     "spill_pin_fallbacks",
     "shed_requests",

@@ -50,6 +50,15 @@ class ExecutionContext:
         #: Optional :class:`repro.resilience.ResilienceManager`; None keeps
         #: every tolerance hook on its zero-overhead fast path.
         self.faults = faults
+        #: Optional :class:`repro.net.Transport`; None is the in-process
+        #: fast path (sites in the default registry, tasks as direct calls).
+        self.transport = None
+        if getattr(config, "transport", "inproc") != "inproc":
+            from repro.net import for_config
+
+            self.transport = for_config(config)
+            if self.transport is not None and faults is not None:
+                faults.bind_transport(self.transport)
         #: Optional :class:`repro.checkpoint.CheckpointManager`; None keeps
         #: every interpreter boundary on its zero-overhead fast path.  Only
         #: the main frame carries one — :meth:`child` drops it, so function
@@ -148,7 +157,7 @@ class ExecutionContext:
 
             self._spark = SimSparkContext(
                 self.config.parallelism, self.config.default_partitions,
-                resilience=self.faults,
+                resilience=self.faults, transport=self.transport,
             )
         return self._spark
 

@@ -1,0 +1,91 @@
+"""Every repro exception pickle-round-trips intact (satellite of repro.net).
+
+Worker processes propagate typed errors across the process boundary by
+pickling them, so *every* exception class in :mod:`repro.errors` must
+survive a round trip with its args, attributes, and message unchanged.
+The parametrization walks the module so a newly added exception with a
+custom ``__init__`` (and a missing ``__reduce__``) fails here first.
+"""
+
+import inspect
+import pickle
+
+import pytest
+
+import repro.errors as errors_module
+
+#: Constructor args per class.  Classes not listed are built with a single
+#: message string (the plain ``Exception.__init__`` signature).
+_SAMPLE_ARGS = {
+    "DMLSyntaxError": ("unexpected token", 3, 17),
+    "InjectedFaultError": ("site.request",),
+    "InjectedCrashError": ("checkpoint.boundary",),
+    "TaskRetryExhaustedError": ("rdd.task", 4),
+    "SpillFailureError": ("spill.read", 12),
+    "SiteDownError": ("host-a:9001",),
+    "FederatedSiteUnavailableError": (
+        "site.request", "host-a:9001", "all_blacklisted", "cooldown ends in 2.0s",
+    ),
+    "WorkerRespawnError": ("fed", 1, 4),
+    "TenantThrottledError": ("tenant-a",),
+}
+
+
+def _exception_classes():
+    classes = []
+    for name, obj in sorted(vars(errors_module).items()):
+        if (inspect.isclass(obj) and issubclass(obj, BaseException)
+                and obj.__module__ == errors_module.__name__):
+            classes.append(pytest.param(obj, id=name))
+    return classes
+
+
+def _build(cls):
+    args = _SAMPLE_ARGS.get(cls.__name__, ("something broke",))
+    return cls(*args)
+
+
+@pytest.mark.parametrize("cls", _exception_classes())
+def test_round_trip_preserves_everything(cls):
+    original = _build(cls)
+    restored = pickle.loads(pickle.dumps(original))
+    assert type(restored) is cls
+    assert restored.args == original.args
+    assert str(restored) == str(original)
+    # attributes set by custom __init__ (point, address, reason, ...)
+    assert vars(restored) == vars(original)
+
+
+@pytest.mark.parametrize("cls", _exception_classes())
+def test_round_trip_is_stable(cls):
+    # pickling the restored instance must not degrade it further
+    once = pickle.loads(pickle.dumps(_build(cls)))
+    twice = pickle.loads(pickle.dumps(once))
+    assert twice.args == once.args
+    assert vars(twice) == vars(once)
+
+
+def test_walk_found_the_whole_module():
+    # guards the parametrization itself against import-shape changes
+    names = {p.id for p in _exception_classes()}
+    assert {"ReproError", "FederatedSiteUnavailableError", "TransportError",
+            "TransportClosedError", "WorkerRespawnError"} <= names
+    assert len(names) >= 25
+
+
+def test_reason_specific_messages_survive():
+    exc = errors_module.FederatedSiteUnavailableError(
+        "site.request", "a:1", reason="all_blacklisted", detail="cooldown ends in 3.0s"
+    )
+    restored = pickle.loads(pickle.dumps(exc))
+    assert restored.reason == "all_blacklisted"
+    assert "all replicas blacklisted" in str(restored)
+    assert "cooldown ends in 3.0s" in str(restored)
+
+
+def test_transport_closed_is_a_connection_error_after_round_trip():
+    restored = pickle.loads(pickle.dumps(
+        errors_module.TransportClosedError("worker died")
+    ))
+    assert isinstance(restored, ConnectionError)
+    assert isinstance(restored, errors_module.TransportError)

@@ -1,0 +1,122 @@
+"""The frame protocol: wire layout, round trips, torn-frame detection."""
+
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import FrameProtocolError, TransportClosedError
+from repro.net import frames
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestEncode:
+    def test_wire_layout(self):
+        payload = b"hello"
+        data = frames.encode(frames.REQ, 42, payload)
+        magic, version, kind, request_id, length = struct.unpack(
+            "!2sBBQI", data[: frames.HEADER_SIZE]
+        )
+        assert magic == frames.MAGIC
+        assert version == frames.VERSION
+        assert kind == frames.REQ
+        assert request_id == 42
+        assert length == len(payload)
+        assert data[frames.HEADER_SIZE:-4] == payload
+        (crc,) = struct.unpack("!I", data[-4:])
+        assert crc == zlib.crc32(payload)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(FrameProtocolError, match="kind"):
+            frames.encode(99, 1, b"")
+
+    def test_request_id_is_64_bit(self):
+        data = frames.encode(frames.RES, 2**63 + 7, b"")
+        assert struct.unpack("!Q", data[4:12])[0] == 2**63 + 7
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", frames.KINDS)
+    @pytest.mark.parametrize("payload", [b"", b"x", b"a" * 70_000])
+    def test_every_kind_and_size(self, pair, kind, payload):
+        a, b = pair
+        frames.send_frame(a, kind, 7, payload)
+        frame = frames.recv_frame(b)
+        assert frame.kind == kind
+        assert frame.request_id == 7
+        assert frame.payload == payload
+
+    def test_back_to_back_frames_stay_delimited(self, pair):
+        a, b = pair
+        frames.send_frame(a, frames.REQ, 1, b"first")
+        frames.send_frame(a, frames.HEARTBEAT, 0)
+        frames.send_frame(a, frames.RES, 2, b"second")
+        assert frames.recv_frame(b).payload == b"first"
+        assert frames.recv_frame(b).kind == frames.HEARTBEAT
+        assert frames.recv_frame(b).request_id == 2
+
+
+class TestCorruption:
+    def test_eof_before_header_is_closed(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(TransportClosedError):
+            frames.recv_frame(b)
+
+    def test_torn_header_is_closed(self, pair):
+        a, b = pair
+        a.sendall(frames.encode(frames.REQ, 1, b"data")[:10])
+        a.close()
+        with pytest.raises(TransportClosedError, match="mid-frame"):
+            frames.recv_frame(b)
+
+    def test_torn_payload_is_closed(self, pair):
+        # a SIGKILL mid-write leaves header + partial payload on the stream
+        a, b = pair
+        data = frames.encode(frames.REQ, 1, b"a" * 1000)
+        a.sendall(data[: frames.HEADER_SIZE + 100])
+        a.close()
+        with pytest.raises(TransportClosedError):
+            frames.recv_frame(b)
+
+    def test_bad_magic_is_protocol_error(self, pair):
+        a, b = pair
+        data = bytearray(frames.encode(frames.REQ, 1, b"x"))
+        data[0:2] = b"ZZ"
+        a.sendall(bytes(data))
+        with pytest.raises(FrameProtocolError, match="magic"):
+            frames.recv_frame(b)
+
+    def test_bad_version_is_protocol_error(self, pair):
+        a, b = pair
+        data = bytearray(frames.encode(frames.REQ, 1, b"x"))
+        data[2] = 9
+        a.sendall(bytes(data))
+        with pytest.raises(FrameProtocolError, match="version"):
+            frames.recv_frame(b)
+
+    def test_corrupt_payload_fails_checksum(self, pair):
+        a, b = pair
+        data = bytearray(frames.encode(frames.REQ, 5, b"payload"))
+        data[frames.HEADER_SIZE] ^= 0xFF  # flip one payload bit
+        a.sendall(bytes(data))
+        with pytest.raises(FrameProtocolError, match="checksum"):
+            frames.recv_frame(b)
+
+    def test_oversized_length_rejected_before_allocation(self, pair):
+        a, b = pair
+        header = struct.pack(
+            "!2sBBQI", frames.MAGIC, frames.VERSION, frames.REQ, 1,
+            frames.MAX_PAYLOAD + 1,
+        )
+        a.sendall(header)
+        with pytest.raises(FrameProtocolError, match="too large"):
+            frames.recv_frame(b)

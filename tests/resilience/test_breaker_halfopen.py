@@ -1,0 +1,128 @@
+"""Half-open circuit-breaker behaviour under concurrency and stale probes.
+
+Two properties PR 3 left untested:
+
+* N threads hammering ``allow()`` while the breaker is half-open must
+  collectively be admitted at most ``half_open_probes`` times per probe
+  window — the whole point of half-open is a *bounded* trial;
+* a probe admitted in an earlier half-open window whose ``record_success``
+  lands only after a newer failure re-opened the circuit (a *stale*
+  probe) must not close the fresh open circuit.
+"""
+
+import threading
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+from tests.resilience.conftest import FakeClock
+
+
+def _open_breaker(clock, probes=1, threshold=1, cooldown=10.0):
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, cooldown_s=cooldown,
+        half_open_probes=probes, clock=clock,
+    )
+    for __ in range(threshold):
+        breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    return breaker
+
+
+class TestConcurrentHalfOpenAdmission:
+    @pytest.mark.parametrize("probes", [1, 3])
+    def test_admissions_bounded_by_probe_budget(self, probes):
+        clock = FakeClock()
+        breaker = _open_breaker(clock, probes=probes)
+        clock.advance(11.0)  # past cooldown: the next allow() opens probing
+        admitted = []
+        barrier = threading.Barrier(16)
+
+        def hammer():
+            barrier.wait()
+            for __ in range(200):
+                if breaker.allow():
+                    admitted.append(True)  # list.append is atomic
+
+        threads = [threading.Thread(target=hammer) for __ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 3200 concurrent calls, at most `probes` admitted in the window
+        assert len(admitted) == probes
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_fresh_probe_after_silent_window_is_also_bounded(self):
+        # probes that never report back would wedge the breaker; after one
+        # more cooldown a fresh window opens, bounded by the same budget
+        clock = FakeClock()
+        breaker = _open_breaker(clock, probes=2)
+        clock.advance(11.0)
+        assert sum(breaker.allow() for __ in range(50)) == 2
+        clock.advance(11.0)  # the admitted probes stayed silent
+        assert sum(breaker.allow() for __ in range(50)) == 2
+
+    def test_one_success_closes_for_everyone(self):
+        clock = FakeClock()
+        breaker = _open_breaker(clock, probes=1)
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert all(breaker.allow() for __ in range(10))
+
+
+class TestStaleProbe:
+    def test_late_success_does_not_close_a_reopened_circuit(self):
+        clock = FakeClock()
+        breaker = _open_breaker(clock, probes=2)
+        clock.advance(11.0)
+        assert breaker.allow()  # probe A (will report late)
+        assert breaker.allow()  # probe B
+        breaker.record_failure()  # B fails -> re-open, fresh cooldown
+        assert breaker.state == CircuitBreaker.OPEN
+        breaker.record_success()  # A's stale success arrives now
+        assert breaker.state == CircuitBreaker.OPEN
+        # and the fresh cooldown still holds: no admission before it ends
+        clock.advance(5.0)
+        assert not breaker.allow()
+        clock.advance(6.0)
+        assert breaker.allow()  # half-open again only after full cooldown
+
+    def test_stale_success_while_closed_only_resets_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.snapshot()["consecutive_failures"] == 0
+
+    def test_threads_racing_success_and_failure_end_terminal(self):
+        # whatever the interleaving, the breaker must end in a legal state
+        # and never close from OPEN via a stale success
+        clock = FakeClock()
+        breaker = _open_breaker(clock, probes=4)
+        clock.advance(11.0)
+        assert breaker.allow()
+        barrier = threading.Barrier(8)
+
+        def report(i):
+            barrier.wait()
+            if i % 2:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+
+        threads = [threading.Thread(target=report, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = breaker.state
+        assert final in (CircuitBreaker.OPEN, CircuitBreaker.CLOSED)
+        if final == CircuitBreaker.OPEN:
+            # any post-hoc stale success must leave it open
+            breaker.record_success()
+            assert breaker.state == CircuitBreaker.OPEN

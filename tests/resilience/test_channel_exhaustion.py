@@ -1,0 +1,114 @@
+"""How ResilientChannel.call reports running out of candidates.
+
+Two different exhaustions, two different stories for the operator:
+
+* ``candidates_exhausted`` — candidates were *attempted* and kept failing
+  past their retry budgets (something is broken right now);
+* ``all_blacklisted`` — nothing was even attempted because every replica
+  sits inside a blacklist cooldown (wait it out; the error says how long).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FederatedSiteUnavailableError
+from repro.resilience import ResilienceStats, ResilientChannel, RetryPolicy
+from repro.tensor import BasicTensorBlock
+
+
+def _channel(clock, registry, **kwargs):
+    kwargs.setdefault("policy", RetryPolicy(max_retries=1, jitter=0.0))
+    kwargs.setdefault("stats", ResilienceStats())
+    return ResilientChannel(
+        registry=registry, clock=clock, sleep=clock.sleep, **kwargs
+    )
+
+
+def _hosted_site(registry, address):
+    site = registry.start_site(address)
+    site.put("X", BasicTensorBlock.from_numpy(np.ones((2, 2))))
+    return site
+
+
+class TestCandidatesExhausted:
+    def test_reason_detail_and_counter(self, clock, worker_registry):
+        primary = _hosted_site(worker_registry, "a:1")
+        _hosted_site(worker_registry, "b:1")
+        worker_registry.set_replica("a:1", "b:1")
+        for address in ("a:1", "b:1"):
+            worker_registry.site(address).stop()
+        channel = _channel(clock, worker_registry)
+        with pytest.raises(FederatedSiteUnavailableError) as excinfo:
+            channel.call(primary, "site.request", lambda t: t.fetch("X"))
+        err = excinfo.value
+        assert err.reason == "candidates_exhausted"
+        assert "2 candidate(s) attempted" in err.detail
+        assert "retry budget and failover exhausted" in str(err)
+        assert channel.stats.counter("candidates_exhausted") == 1
+        assert channel.stats.counter("all_blacklisted") == 0
+        # the last real failure is chained for debugging
+        assert err.__cause__ is not None
+
+    def test_round_trips_through_pickle(self, clock, worker_registry):
+        import pickle
+
+        site = _hosted_site(worker_registry, "a:1")
+        site.stop()
+        channel = _channel(clock, worker_registry)
+        with pytest.raises(FederatedSiteUnavailableError) as excinfo:
+            channel.call(site, "site.request", lambda t: t.fetch("X"))
+        restored = pickle.loads(pickle.dumps(excinfo.value))
+        assert restored.reason == "candidates_exhausted"
+        assert restored.point == "site.request"
+
+
+class TestAllBlacklisted:
+    def test_reason_names_the_cooldown(self, clock, worker_registry):
+        site = _hosted_site(worker_registry, "a:1")
+        worker_registry.mark_unhealthy("a:1", clock() + 30.0)
+        channel = _channel(clock, worker_registry)
+        with pytest.raises(FederatedSiteUnavailableError) as excinfo:
+            channel.call(site, "site.request", lambda t: t.fetch("X"))
+        err = excinfo.value
+        assert err.reason == "all_blacklisted"
+        assert "all replicas blacklisted" in str(err)
+        assert "cooldown ends in 30.0s" in err.detail
+        assert channel.stats.counter("all_blacklisted") == 1
+        assert channel.stats.counter("candidates_exhausted") == 0
+        # no attempt happened, so there is no underlying cause to chain
+        assert err.__cause__ is None
+
+    def test_soonest_cooldown_of_the_replica_chain_is_reported(
+        self, clock, worker_registry
+    ):
+        primary = _hosted_site(worker_registry, "a:1")
+        _hosted_site(worker_registry, "b:1")
+        worker_registry.set_replica("a:1", "b:1")
+        worker_registry.mark_unhealthy("a:1", clock() + 45.0)
+        worker_registry.mark_unhealthy("b:1", clock() + 10.0)
+        channel = _channel(clock, worker_registry)
+        with pytest.raises(FederatedSiteUnavailableError) as excinfo:
+            channel.call(primary, "site.request", lambda t: t.fetch("X"))
+        assert "cooldown ends in 10.0s" in excinfo.value.detail
+
+    def test_cooldown_expiry_restores_service(self, clock, worker_registry):
+        site = _hosted_site(worker_registry, "a:1")
+        worker_registry.mark_unhealthy("a:1", clock() + 5.0)
+        channel = _channel(clock, worker_registry)
+        with pytest.raises(FederatedSiteUnavailableError):
+            channel.call(site, "site.request", lambda t: t.fetch("X"))
+        clock.advance(6.0)
+        block = channel.call(site, "site.request", lambda t: t.fetch("X"))
+        assert block.to_numpy()[0, 0] == 1.0
+
+    def test_fallback_still_wins_over_blacklist(self, clock, worker_registry):
+        site = _hosted_site(worker_registry, "a:1")
+        worker_registry.mark_unhealthy("a:1", clock() + 30.0)
+        channel = _channel(clock, worker_registry)
+        result = channel.call(
+            site, "site.request", lambda t: t.fetch("X"),
+            fallback=lambda: "degraded",
+        )
+        assert result == "degraded"
+        assert channel.stats.counter("degraded_reads") == 1
+        assert channel.stats.counter("all_blacklisted") == 0
