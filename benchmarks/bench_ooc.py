@@ -1,0 +1,154 @@
+"""Out-of-core overhead on a working set ~10x the pool budget (gate: 2x).
+
+The workload streams matmult compute over a read-mostly working set of
+one hundred 192x192 blocks (~28MB) while the buffer pool is pinned to
+one tenth of that (~10 blocks): every loop sweep pages the whole set
+through compressed spills.  The blocks are constant-filled — the shape
+LA intermediates like ones-vectors and scaled identities take — so the
+CLA spill codec reduces each 288KB block to a ~250-byte constant
+dictionary, and the interpreter's sliding lookahead prefetches the
+stream while matmults run.  Both variants run from identically compiled programs:
+fully in memory (default pool) and out-of-core; the gate asserts the
+paged run stays within 2x of the in-memory wall clock and that the
+out-of-core machinery actually engaged (compressed spills and restores
+happened).
+
+Run directly to write ``BENCH_ooc.json``, or via pytest::
+
+    PYTHONPATH=src python benchmarks/bench_ooc.py [out.json]
+    PYTHONPATH=src python -m pytest benchmarks/bench_ooc.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.compiler.compile import compile_script
+from repro.config import ReproConfig
+from repro.runtime.context import ExecutionContext
+from repro.runtime.interpreter import execute_program
+
+#: Maximum out-of-core / in-memory wall-clock ratio the CI gate accepts.
+GATE = 2.0
+
+ROUNDS = 5
+
+#: Square block side and bytes of one FP64 block.  Large enough that the
+#: matmult per touched block is real BLAS work (which releases the GIL,
+#: letting the pool worker overlap restores with compute); the constant
+#: blocks' spill blobs stay ~250 bytes regardless of side.
+BLOCK_SIDE = 192
+BLOCK_BYTES = BLOCK_SIDE * BLOCK_SIDE * 8
+
+#: Read-only input blocks the loop sweeps (working set = these + acc).
+#: Enough that one tenth of the working set still leaves the pool room
+#: for the instruction's own operands plus the prefetch window.
+LIVE_BLOCKS = 100
+
+SWEEPS = 4
+
+
+def _build_script() -> str:
+    # every fill value distinct, or CSE collapses the working set into a
+    # handful of shared blocks and nothing actually pages
+    lines = [
+        f"A{i:02d} = matrix({0.5 + i * 0.001}, "
+        f"rows={BLOCK_SIDE}, cols={BLOCK_SIDE})"
+        for i in range(LIVE_BLOCKS)
+    ]
+    lines.append(f"acc = matrix(0, rows={BLOCK_SIDE}, cols={BLOCK_SIDE})")
+    lines.append("i = 0")
+    lines.append(f"while (i < {SWEEPS}) {{")
+    for j in range(0, LIVE_BLOCKS, 2):
+        lines.append(f"  acc = acc + A{j:02d} %*% A{j + 1:02d}")
+    lines.append("  i = i + 1")
+    lines.append("}")
+    lines.append("out = sum(acc)")
+    return "\n".join(lines) + "\n"
+
+
+SCRIPT = _build_script()
+
+OUTPUTS = ["out"]
+
+
+def _run_once(program, config):
+    """(wall seconds, context) for one fresh-context execution."""
+    ctx = ExecutionContext(program, config, print_handler=lambda t: None)
+    start = time.perf_counter()
+    execute_program(program, ctx)
+    elapsed = time.perf_counter() - start
+    stats = dict(ctx.pool.stats)
+    ctx.pool.close()
+    return elapsed, stats
+
+
+def measure() -> dict:
+    working_set = (LIVE_BLOCKS + 1) * BLOCK_BYTES
+    in_memory_cfg = ReproConfig()
+    ooc_cfg = ReproConfig(
+        bufferpool_budget_override=working_set // 10,
+        spill_compress=True,
+        enable_prefetch=True,
+    )
+    in_memory_prog = compile_script(SCRIPT, in_memory_cfg, {}, OUTPUTS)
+    ooc_prog = compile_script(SCRIPT, ooc_cfg, {}, OUTPUTS)
+    # interleave the variants so CPU-speed drift across the measurement
+    # window cancels out of the ratio instead of polluting it
+    in_memory_s = ooc_s = float("inf")
+    ooc_stats = {}
+    for _ in range(ROUNDS):
+        elapsed, _ = _run_once(in_memory_prog, in_memory_cfg)
+        in_memory_s = min(in_memory_s, elapsed)
+        elapsed, stats = _run_once(ooc_prog, ooc_cfg)
+        if elapsed < ooc_s:
+            ooc_s = elapsed
+            ooc_stats = stats
+    return {
+        "gate": GATE,
+        "working_set_bytes": working_set,
+        "pool_budget_bytes": working_set // 10,
+        "in_memory_s": in_memory_s,
+        "ooc_s": ooc_s,
+        "slowdown": ooc_s / in_memory_s,
+        "compressed_spills": ooc_stats.get("compressed_spills", 0),
+        "raw_spills": ooc_stats.get("raw_spills", 0),
+        "evictions": ooc_stats.get("evictions", 0),
+        "restores": ooc_stats.get("restores", 0),
+        "prefetch_hits": ooc_stats.get("prefetch_hits", 0),
+        "async_writebacks": ooc_stats.get("async_writebacks", 0),
+    }
+
+
+def test_out_of_core_within_2x_of_in_memory():
+    results = measure()
+    assert results["compressed_spills"] > 0, results
+    assert results["restores"] > 0, results
+    assert results["slowdown"] <= GATE, results
+
+
+def main(argv=None) -> int:
+    out_path = (argv or sys.argv[1:] or ["BENCH_ooc.json"])[0]
+    results = measure()
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    ok = (results["slowdown"] <= GATE and results["compressed_spills"] > 0
+          and results["restores"] > 0)
+    print(
+        f"ooc: in-memory {results['in_memory_s'] * 1e3:.1f}ms  "
+        f"paged {results['ooc_s'] * 1e3:.1f}ms  "
+        f"slowdown {results['slowdown']:.2f}x  "
+        f"(compressed_spills={results['compressed_spills']}, "
+        f"restores={results['restores']}, "
+        f"prefetch_hits={results['prefetch_hits']})  "
+        f"[{'ok' if ok else 'BELOW GATE'}]"
+    )
+    print(f"wrote {out_path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="block executions before a trace is compiled "
                              "(default 8)")
+    ooc = parser.add_argument_group("out-of-core")
+    ooc.add_argument("--pool-budget", type=int, default=None, metavar="BYTES",
+                     help="exact buffer-pool budget in bytes (overrides the "
+                          "fraction of --mem); out-of-core smoke runs pin it "
+                          "far below the working set")
+    ooc.add_argument("--no-spill-compress", action="store_true",
+                     help="spill raw pickles instead of CLA-compressing "
+                          "eligible dense FP64 blocks")
+    ooc.add_argument("--no-prefetch", action="store_true",
+                     help="disable the background prefetch/writeback thread")
+    ooc.add_argument("--compressed-exec", action="store_true",
+                     help="let eligible kernels execute directly on "
+                          "still-compressed restored blocks (results match "
+                          "within float tolerance, not bitwise)")
     serving = parser.add_argument_group("model serving")
     serving.add_argument("--serve-bench", action="store_true",
                          help="run the concurrent scoring smoke bench")
@@ -188,6 +202,14 @@ def main(argv=None) -> int:
         overrides["transport"] = args.transport
     if args.trace_threshold is not None:
         overrides["trace_threshold"] = args.trace_threshold
+    if args.pool_budget is not None:
+        overrides["bufferpool_budget_override"] = args.pool_budget
+    if args.no_spill_compress:
+        overrides["spill_compress"] = False
+    if args.no_prefetch:
+        overrides["enable_prefetch"] = False
+    if args.compressed_exec:
+        overrides["compressed_exec"] = True
     if args.inject_faults is not None:
         overrides["fault_spec"] = args.inject_faults
     if args.fault_seed is not None:

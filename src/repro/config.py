@@ -33,8 +33,32 @@ class ReproConfig:
     operator_memory_fraction: float = 0.7
     #: Fraction of the budget managed by the buffer pool before eviction.
     bufferpool_fraction: float = 0.5
+    #: Exact buffer-pool budget in bytes (``repro-dml --pool-budget``);
+    #: overrides the fraction-derived budget when set.  Out-of-core smoke
+    #: runs use it to pin the pool far below the working set.
+    bufferpool_budget_override: Optional[int] = None
     #: Directory for buffer-pool spill files (created lazily).
     spill_dir: Optional[str] = None
+
+    # --- out-of-core (PR 9) -------------------------------------------------
+    #: Compress eligible spilled blocks (dense 2D FP64) with the CLA
+    #: encoders before writing; falls back to raw pickles when the
+    #: compression ratio does not pay.  The codec is bit-exact, so this is
+    #: on by default and safe under bitwise lattice configs.
+    spill_compress: bool = True
+    #: Minimum dense-bytes / compressed-bytes ratio for a compressed
+    #: spill to be worth it (below this the raw pickle wins on restore
+    #: latency).
+    spill_compress_min_ratio: float = 1.2
+    #: Background prefetch/writeback thread: the interpreter's lookahead
+    #: over each basic block's reads warms evicted entries before ``get``
+    #: needs them, and dirty entries are flushed off the eviction hot path.
+    enable_prefetch: bool = True
+    #: Let eligible kernels (scalar arithmetic, full aggregates, matmul
+    #: with a dense RHS) execute directly on still-compressed restored
+    #: blocks.  Off by default: compressed reductions legally reorder
+    #: float arithmetic, so results match within tolerance, not bitwise.
+    compressed_exec: bool = False
 
     # --- parallelism --------------------------------------------------------
     #: Degree of parallelism for multithreaded kernels, parfor, and the
@@ -146,6 +170,11 @@ class ReproConfig:
             raise ValueError("operator_memory_fraction must be in (0, 1]")
         if not 0.0 < self.bufferpool_fraction <= 1.0:
             raise ValueError("bufferpool_fraction must be in (0, 1]")
+        if (self.bufferpool_budget_override is not None
+                and self.bufferpool_budget_override <= 0):
+            raise ValueError("bufferpool_budget_override must be positive")
+        if self.spill_compress_min_ratio < 1.0:
+            raise ValueError("spill_compress_min_ratio must be >= 1.0")
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         if self.block_size < 1:
@@ -177,6 +206,8 @@ class ReproConfig:
     @property
     def bufferpool_budget(self) -> int:
         """Bytes the buffer pool manages before evicting."""
+        if self.bufferpool_budget_override is not None:
+            return int(self.bufferpool_budget_override)
         return int(self.memory_budget * self.bufferpool_fraction)
 
     @property

@@ -29,6 +29,12 @@ proc_federated     federated sites in real worker processes (proc
                    transport); bit-identical to the in-process twin
 proc_spark         RDD tasks in real worker processes (proc transport);
                    bit-identical to the in-process spark twin
+ooc                out-of-core: tiny pool + compressed spills + async
+                   prefetch/writeback; bit-identical to the baseline
+chaos_ooc          ooc under spill read/write faults + retries;
+                   bit-identical (recovery must stay invisible)
+ooc_cla_exec       ooc with compressed-space kernels on; tolerance-only
+                   (compressed reductions reorder float arithmetic)
 =================  =========================================================
 
 Chaos configs compare *bitwise* against their fault-free twin: PR 3's
@@ -54,6 +60,17 @@ _CHAOS_RETRY = {
     "retry_budget": 5,
     "retry_backoff_ms": 0.0,
     "retry_backoff_max_ms": 0.0,
+}
+
+#: Out-of-core overrides: the CP plan stays the baseline plan (full
+#: operator budget) while the buffer pool shrinks to ~500 bytes, so every
+#: intermediate pages through compressed spills with async prefetch on.
+_OOC_OVERRIDES = {
+    "memory_budget": 16 * 1024,
+    "operator_memory_fraction": 1.0,
+    "bufferpool_fraction": 0.03,
+    "spill_compress": True,
+    "enable_prefetch": True,
 }
 
 
@@ -276,6 +293,40 @@ class Lattice:
                 overrides={"transport": "proc"},
                 bitwise=True,
                 reference="federated",
+            ),
+            LatticeConfig(
+                name="ooc",
+                description="out-of-core: ~500-byte pool with compressed "
+                            "spills and async prefetch/writeback; "
+                            "bit-identical to the baseline (the CLA spill "
+                            "codec is bit-exact and layout-preserving)",
+                overrides=dict(_OOC_OVERRIDES),
+                bitwise=True,
+                reference="baseline",
+            ),
+            LatticeConfig(
+                name="chaos_ooc",
+                description="out-of-core paging under spill read/write "
+                            "faults on both the sync and async paths; "
+                            "bit-identical to the baseline",
+                overrides={
+                    **_OOC_OVERRIDES,
+                    "fault_spec": "spill.write:p=0.15;spill.read:p=0.1",
+                    "fault_seed": 107,
+                    **_CHAOS_RETRY,
+                },
+                bitwise=True,
+                reference="baseline",
+            ),
+            LatticeConfig(
+                name="ooc_cla_exec",
+                description="out-of-core with compressed-space kernels "
+                            "(scalar ops, aggregates, matmul on compressed "
+                            "operands); tolerance-only because compressed "
+                            "reductions legally reorder float arithmetic",
+                overrides={**_OOC_OVERRIDES, "compressed_exec": True},
+                rtol=1e-8,
+                atol=1e-8,
             ),
             LatticeConfig(
                 name="proc_spark",

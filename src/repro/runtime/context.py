@@ -65,7 +65,12 @@ class ExecutionContext:
         #: and parfor frames never snapshot.
         self.checkpoints = checkpoints
         self.pool = pool or BufferPool(
-            config.bufferpool_budget, config.resolve_spill_dir(), resilience=faults
+            config.bufferpool_budget, config.resolve_spill_dir(),
+            resilience=faults,
+            compress_spills=config.spill_compress,
+            compress_min_ratio=config.spill_compress_min_ratio,
+            compressed_exec=config.compressed_exec,
+            prefetch=config.enable_prefetch,
         )
         if tracer is None and config.enable_lineage:
             tracer = LineageTracer(dedup=config.enable_lineage_dedup)

@@ -145,9 +145,44 @@ def _execute_while(block: WhileBlock, ctx: ExecutionContext) -> None:
         checkpoints.exit_loop()
 
 
+#: How many instructions ahead of execution the pool is told about reads.
+#: Matched to small out-of-core pools: deep enough that the async worker
+#: has restores in flight while the current instruction computes, shallow
+#: enough that warmed blocks are consumed before room-making pressure
+#: builds (a whole-block burst just thrashes a pool a few blocks wide).
+_PREFETCH_LOOKAHEAD = 4
+
+
+def _prefetch_window(instructions, start: int, stop: int,
+                     ctx: ExecutionContext) -> None:
+    """Announce instructions[start:stop]'s matrix reads to the buffer pool.
+
+    The pool's background worker restores evicted entries while earlier
+    instructions run, so demand ``get``/``pin`` calls find them warm.
+    Bound variables only — temporaries produced inside the block don't
+    exist yet, and pool-less (``_direct``) objects have nothing to warm.
+    """
+    pool = ctx.pool
+    variables = ctx.variables
+    entry_ids = []
+    for instruction in instructions[start:stop]:
+        for operand in instruction.inputs:
+            if operand.is_literal:
+                continue
+            value = variables.get(operand.name)
+            if (value is not None and getattr(value, "_pool", None) is pool
+                    and value._entry_id is not None):
+                entry_ids.append(value._entry_id)
+    if entry_ids:
+        pool.prefetch(entry_ids)
+
+
 def _execute_basic(block: BasicBlock, ctx: ExecutionContext) -> None:
     traces = ctx.traces
     instructions = block.instructions
+    prefetching = ctx.pool.wants_prefetch
+    if prefetching:
+        _prefetch_window(instructions, 0, _PREFETCH_LOOKAHEAD, ctx)
     if block.requires_recompile and ctx.config.enable_recompile:
         # trace-first: a guard-matching trace proves the plan-cache lookup
         # would return the very plan it fused, so skip the lookup outright
@@ -159,9 +194,41 @@ def _execute_basic(block: BasicBlock, ctx: ExecutionContext) -> None:
         ctx.metrics["recompiles"] += 1
     if traces is not None and traces.execute(block, instructions, ctx):
         return  # traced: exports applied, hooks replayed, no temps bound
-    for instruction in instructions:
+    releases = _temp_release_points(instructions)
+    for index, instruction in enumerate(instructions):
+        if prefetching:
+            # slide the window: announce the instruction entering it
+            _prefetch_window(instructions, index + _PREFETCH_LOOKAHEAD,
+                             index + _PREFETCH_LOOKAHEAD + 1, ctx)
         execute_instruction(instruction, ctx)
+        if index in releases:
+            # dead-temp release: a ``_t`` past its last static read holds
+            # a payload (often a full matrix block) hostage in the buffer
+            # pool until block end; dropping the binding at last use keeps
+            # the pool's working set at the instruction's live set
+            for name in releases[index]:
+                ctx.remove(name)
     ctx.cleanup_temps()
+
+
+def _temp_release_points(instructions) -> dict:
+    """instruction index -> temp names whose last static read is there.
+
+    Instruction temps (``_t...``) are block-local by construction (see
+    ``cleanup_temps``), so after the last instruction that reads one, its
+    binding is dead — ``assignvar`` rebinds shared payloads under the real
+    variable name, so dropping the temp name never drops live data.
+    """
+    last_use = {}
+    for index, instruction in enumerate(instructions):
+        for operand in instruction.inputs:
+            if (operand is not None and not operand.is_literal
+                    and operand.name and operand.name.startswith("_t")):
+                last_use[operand.name] = index
+    releases: dict = {}
+    for name, index in last_use.items():
+        releases.setdefault(index, []).append(name)
+    return releases
 
 
 def _for_bounds(block: ForBlock, ctx: ExecutionContext):

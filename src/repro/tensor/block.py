@@ -123,6 +123,11 @@ class BasicTensorBlock:
         return isinstance(self.store, SparseStore)
 
     @property
+    def is_compressed(self) -> bool:
+        """True while the payload is a still-compressed restored spill."""
+        return self.store.compressed
+
+    @property
     def size(self) -> int:
         return self.store.size
 
@@ -147,6 +152,10 @@ class BasicTensorBlock:
         scalar-code paths in the runtime.
         """
         store = self.store
+        if store.compressed:
+            # layout decision is deferred until the block inflates: the
+            # compressed form is strictly smaller than either layout
+            return self
         if type(store) is DenseStore:
             array = store.array
             if array.size >= MIN_SPARSE_SIZE and store.value_type.is_numeric:
@@ -180,10 +189,24 @@ class BasicTensorBlock:
         return self.store.get(index)
 
     def set(self, index: Tuple[int, ...], value) -> None:
+        if self.store.compressed:
+            self.inflate()
         self.store.set(index, value)
 
+    def inflate(self) -> "BasicTensorBlock":
+        """Decompress a restored-compressed payload in place (no-op
+        otherwise).  The swapped-in dense store carries the exact bits
+        and the nnz metadata the spill recorded."""
+        store = self.store
+        if store.compressed:
+            self.store = store.inflate()
+        return self
+
     def to_numpy(self) -> np.ndarray:
-        return self.store.to_numpy()
+        store = self.store
+        if store.compressed:
+            store = self.store = store.inflate()
+        return store.to_numpy()
 
     def to_scipy(self) -> sp.csr_matrix:
         """CSR view for 2D blocks (converts dense blocks on demand)."""

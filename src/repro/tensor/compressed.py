@@ -11,24 +11,86 @@ execute directly on the compressed representation:
   codes weighted by ``v`` once per column, then one tiny dot with the
   dictionary (O(n + #distinct) instead of O(n) multiply-adds with reads
   of decompressed values);
-* ``col_sums`` and elementwise scalar ops: run on the dictionary only,
-  O(#distinct) per column.
+* ``matmult_dense`` / ``t_matmult_dense``: matmul with a dense right-hand
+  side, one (#distinct x k) dictionary product per column — the
+  decompressed left operand is never materialised;
+* ``col_sums``, full aggregates (sum/min/max/mean) and elementwise scalar
+  ops: run on the dictionary only, O(#distinct) per column.
 
 Columns whose dictionaries would not pay for themselves stay uncompressed
 (an "uncompressed column group"), mirroring CLA's per-group decisions.
+
+Two properties matter for the buffer pool, which (PR 9) spills eligible
+blocks in this format:
+
+* **Bit-exactness.**  Dictionaries are built over the *uint64 bit
+  patterns* of the float64 cells, not their numeric values: ``-0.0`` vs
+  ``0.0`` and distinct NaN payloads survive a compress/decompress round
+  trip bit-for-bit, which is what lets chaos lattice configs compare
+  spilled runs bitwise against in-memory baselines.
+* **Metadata.**  A block's ``value_type`` and ``nnz`` ride along (and
+  through pickle), so a restore can seed the dense nnz cache instead of
+  rescanning the decompressed array.
+
+:class:`CompressedStore` adapts a :class:`CompressedBlock` to the
+``BasicTensorBlock`` store protocol: a restored block stays compressed
+until a kernel actually needs the dense array (lazy inflation), and
+kernels listed in :data:`COMPRESSED_OP_ELIGIBILITY` execute on the
+compressed form directly.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.tensor.block import BasicTensorBlock
+from repro.tensor.dense import DenseStore
+from repro.types import ValueType
 
 #: Columns with more distinct values than this fraction of rows stay dense.
 _MAX_DISTINCT_FRACTION = 0.5
+
+#: Which operations may run directly on a compressed block.  Keys are
+#: ``"<kind>:<op>"``; anything absent (or False) falls back to lazy
+#: inflation followed by the ordinary dense kernel.  Compressed-space
+#: execution legally reorders float reductions, so it is only enabled
+#: when ``ReproConfig.compressed_exec`` is on (tolerance-compared in the
+#: qa lattice, never on a bitwise config).
+COMPRESSED_OP_ELIGIBILITY: Dict[str, bool] = {
+    # elementwise scalar arithmetic: applied to dictionaries only; the
+    # same scalar op on the same input bits yields the same output bits,
+    # so these are even bitwise-safe
+    "scalar:+": True,
+    "scalar:-": True,
+    "scalar:*": True,
+    "scalar:/": True,
+    "scalar:^": True,
+    # full aggregates: O(#distinct) per column via code histograms
+    "agg:sum": True,
+    "agg:min": True,
+    "agg:max": True,
+    "agg:mean": True,
+    # var/sd/prod need a different dictionary reduction shape; inflate
+    "agg:var": False,
+    "agg:sd": False,
+    "agg:prod": False,
+    # column sums reuse the full-aggregate histogram machinery
+    "agg_col:sum": True,
+    # matmul with a dense RHS (X %*% B and t(X) %*% B); sparse RHS and
+    # tsmm inflate — the sparse kernels want a concrete CSR operand
+    "matmult:dense_rhs": True,
+    "matmult:transpose_left": True,
+    "matmult:sparse_rhs": False,
+    "matmult:tsmm": False,
+}
+
+
+def compressed_eligible(kind: str, op: str) -> bool:
+    """True when ``op`` may execute on the compressed representation."""
+    return COMPRESSED_OP_ELIGIBILITY.get(f"{kind}:{op}", False)
 
 
 @dataclasses.dataclass
@@ -44,6 +106,14 @@ class DictColumn:
     def decompress(self) -> np.ndarray:
         return self.values[self.codes]
 
+    def count_nonzero(self) -> int:
+        """Non-zero cells without decompressing (code histogram)."""
+        zero_values = self.values == 0.0
+        if not zero_values.any():
+            return int(self.codes.shape[0])
+        counts = np.bincount(self.codes, minlength=len(self.values))
+        return int(self.codes.shape[0] - counts[zero_values].sum())
+
 
 @dataclasses.dataclass
 class DenseColumn:
@@ -57,6 +127,9 @@ class DenseColumn:
     def decompress(self) -> np.ndarray:
         return self.data
 
+    def count_nonzero(self) -> int:
+        return int(np.count_nonzero(self.data))
+
 
 Column = Union[DictColumn, DenseColumn]
 
@@ -64,43 +137,172 @@ Column = Union[DictColumn, DenseColumn]
 class CompressedBlock:
     """A column-compressed matrix supporting compressed-space operations."""
 
-    def __init__(self, columns: List[Column], num_rows: int):
-        self.columns = columns
+    def __init__(self, columns: List[Column], num_rows: int,
+                 value_type: ValueType = ValueType.FP64,
+                 nnz: Optional[int] = None):
+        self._columns: Optional[List[Column]] = columns
+        self._num_cols = len(columns)
         self.num_rows = num_rows
+        #: Value type of the source block (compression coerces to FP64;
+        #: the recorded type is what a restore reconstructs).
+        self.value_type = value_type
+        #: Non-zero count of the source block, carried through spills so
+        #: restores seed the dense nnz cache instead of rescanning.
+        self._nnz = nnz
+        #: Set by the vectorised encoders: ``(values, codes2d)`` when all
+        #: columns share one global dictionary (codes2d is Fortran-order,
+        #: the columns are views of it), ``(values, None)`` for a constant
+        #: block (implicit all-zero codes).  Enables single-gather
+        #: decompression and a compact pickle form; None for blocks built
+        #: by the per-column encoder.
+        self._dict: Optional[Tuple[np.ndarray, Optional[np.ndarray]]] = None
 
     # --- construction -----------------------------------------------------------
 
     @classmethod
     def compress(cls, block: BasicTensorBlock) -> "CompressedBlock":
-        """Compress a matrix block column by column (lossless)."""
+        """Compress a matrix block column by column (lossless, bit-exact).
+
+        Dictionaries are keyed on the uint64 *bit patterns* of the float64
+        cells: ``np.unique`` over raw floats would collapse ``-0.0`` into
+        ``0.0`` and canonicalise NaN payloads, breaking the bitwise
+        spill/restore invariant the buffer pool relies on.
+
+        Encoding is tiered for spill-path latency: a constant block is
+        recognised with one vectorised comparison, a low-cardinality block
+        gets a single *global* dictionary from one ``np.unique`` over the
+        whole array (columns become views of a shared code matrix), and
+        only blocks with high-cardinality columns fall back to the
+        per-column encoder that keeps those columns dense.
+        """
         data = block.to_numpy().astype(np.float64, copy=False)
         if data.ndim != 2:
             raise ValueError("compression requires a 2D block")
-        n = data.shape[0]
+        data = np.ascontiguousarray(data)
+        n, m = data.shape
+        bits = data.view(np.uint64)
+        nnz = int(block.nnz)
+        flat = bits.ravel()
+
+        # tier 1: constant block — one comparison, nothing but the value
+        if n * m > 0 and (flat == flat[0]).all():
+            values = flat[:1].copy().view(np.float64)
+            shared_codes = np.zeros(n, dtype=np.uint8)
+            columns = [DictColumn(values, shared_codes) for _ in range(m)]
+            result = cls(columns, n, ValueType.FP64, nnz)
+            result._dict = (values, None)
+            return result
+
+        # tier 2: one global dictionary when every column is guaranteed
+        # below the distinct-fraction cap (global distinct <= cap implies
+        # per-column distinct <= cap)
+        unique_bits, codes = np.unique(flat, return_inverse=True)
+        K = len(unique_bits)
+        if K <= max(1, int(n * _MAX_DISTINCT_FRACTION)):
+            code_dtype = np.uint8 if K <= 256 else (
+                np.uint16 if K <= 65536 else np.uint32
+            )
+            values = unique_bits.view(np.float64)
+            codes2d = np.asfortranarray(
+                codes.reshape(n, m).astype(code_dtype)
+            )
+            # per-column dictionaries stay *minimal* (a constant column
+            # keeps a 1-entry dictionary): derive which global values each
+            # column actually uses with one bincount + cumsum remap
+            # instead of m per-column sorts
+            keys = codes2d.astype(np.int64) + np.arange(m, dtype=np.int64) * K
+            used = np.bincount(keys.ravel(), minlength=m * K).reshape(m, K) > 0
+            if used.all():
+                columns = [DictColumn(values, codes2d[:, j]) for j in range(m)]
+            else:
+                remap = (np.cumsum(used, axis=1) - 1).astype(code_dtype)
+                columns = [
+                    DictColumn(values[used[j]],
+                               np.ascontiguousarray(remap[j][codes2d[:, j]]))
+                    for j in range(m)
+                ]
+            result = cls(columns, n, ValueType.FP64, nnz)
+            result._dict = (values, codes2d)
+            return result
+
+        # tier 3: per-column dictionaries, dense fallback per column
         columns: List[Column] = []
-        for j in range(data.shape[1]):
+        for j in range(m):
             column = np.ascontiguousarray(data[:, j])
-            values, codes = np.unique(column, return_inverse=True)
-            if len(values) > max(1, int(n * _MAX_DISTINCT_FRACTION)):
+            col_bits = column.view(np.uint64)
+            unique_bits, codes = np.unique(col_bits, return_inverse=True)
+            if len(unique_bits) > max(1, int(n * _MAX_DISTINCT_FRACTION)):
                 columns.append(DenseColumn(column.copy()))
                 continue
-            code_dtype = np.uint8 if len(values) <= 256 else (
-                np.uint16 if len(values) <= 65536 else np.uint32
+            code_dtype = np.uint8 if len(unique_bits) <= 256 else (
+                np.uint16 if len(unique_bits) <= 65536 else np.uint32
             )
+            values = unique_bits.view(np.float64)
             columns.append(DictColumn(values, codes.astype(code_dtype)))
-        return cls(columns, n)
+        return cls(columns, n, ValueType.FP64, nnz)
+
+    # --- pickling ----------------------------------------------------------------
+    # The shared-dictionary forms serialise as one values array plus one
+    # code matrix (or nothing, for constants) instead of per-column
+    # objects: spill blobs stay small and fast to build either way.
+
+    def __getstate__(self):
+        if self._dict is not None:
+            values, codes2d = self._dict
+            return ("shared", values, codes2d, self.num_rows,
+                    self._num_cols, self.value_type, self._nnz)
+        return ("columns", self.columns, self.num_rows,
+                self.value_type, self._nnz)
+
+    def __setstate__(self, state) -> None:
+        if state[0] == "shared":
+            __, values, codes2d, self.num_rows, m, self.value_type, self._nnz = state
+            self._dict = (values, codes2d)
+            self._num_cols = m
+            # column views rebuild lazily: the common restore path (lazy
+            # inflation to dense) reads the global form and never needs them
+            self._columns = None
+        else:
+            __, self._columns, self.num_rows, self.value_type, self._nnz = state
+            self._num_cols = len(self._columns)
+            self._dict = None
+
+    @property
+    def columns(self) -> List[Column]:
+        if self._columns is None:
+            values, codes2d = self._dict
+            if codes2d is None:
+                shared_codes = np.zeros(self.num_rows, dtype=np.uint8)
+                self._columns = [DictColumn(values, shared_codes)
+                                 for _ in range(self._num_cols)]
+            else:
+                self._columns = [DictColumn(values, codes2d[:, j])
+                                 for j in range(self._num_cols)]
+        return self._columns
 
     # --- metadata ---------------------------------------------------------------------
 
     @property
     def num_cols(self) -> int:
-        return len(self.columns)
+        return self._num_cols
 
     @property
-    def shape(self):
+    def shape(self) -> Tuple[int, int]:
         return (self.num_rows, self.num_cols)
 
+    @property
+    def nnz(self) -> int:
+        """Non-zero cells, computed compressed-space on first use."""
+        if self._nnz is None:
+            self._nnz = sum(column.count_nonzero() for column in self.columns)
+        return self._nnz
+
     def memory_size(self) -> int:
+        if self._dict is not None:
+            # shared dictionary: count values once, not once per column
+            values, codes2d = self._dict
+            codes_bytes = codes2d.nbytes if codes2d is not None else self.num_rows
+            return int(values.nbytes + codes_bytes)
         return sum(column.memory_size() for column in self.columns)
 
     def compression_ratio(self) -> float:
@@ -113,9 +315,29 @@ class CompressedBlock:
 
     # --- compressed-space operations ------------------------------------------------------
 
+    def to_dense_array(self) -> np.ndarray:
+        """The exact dense float64 array (bit-for-bit the compressed input)."""
+        if self._dict is not None:
+            values, codes2d = self._dict
+            if codes2d is None:
+                # constant block: broadcast the 1-element dictionary (array
+                # assignment, not a Python scalar round trip — NaN payloads
+                # and -0.0 keep their bits)
+                out = np.empty((self.num_rows, self.num_cols), dtype=np.float64)
+                out[...] = values[:1]
+                return out
+            return np.ascontiguousarray(values[codes2d])
+        out = np.empty((self.num_rows, self.num_cols), dtype=np.float64)
+        for j, column in enumerate(self.columns):
+            out[:, j] = column.decompress()
+        return out
+
+    def to_dense_store(self) -> DenseStore:
+        """A dense store with the nnz cache seeded from the metadata."""
+        return DenseStore(self.to_dense_array(), self.value_type, self._nnz)
+
     def decompress(self) -> BasicTensorBlock:
-        data = np.column_stack([column.decompress() for column in self.columns])
-        return BasicTensorBlock.from_numpy(data)
+        return BasicTensorBlock.from_numpy(self.to_dense_array())
 
     def matvec(self, v: np.ndarray) -> np.ndarray:
         """``X %*% v`` without decompressing (v: (m,) or (m, 1))."""
@@ -148,6 +370,53 @@ class CompressedBlock:
                 out[j] = float(column.data @ weights)
         return out.reshape(-1, 1)
 
+    def matmult_dense(self, rhs: np.ndarray) -> np.ndarray:
+        """``X %*% B`` with a dense RHS, never materialising dense X.
+
+        Per column the contribution is an outer product of the dictionary
+        with one RHS row, gathered through the codes: a (#distinct x k)
+        temporary instead of the (n x m) decompressed operand.
+        """
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.ndim == 1:
+            rhs = rhs.reshape(-1, 1)
+        if rhs.shape[0] != self.num_cols:
+            raise ValueError(
+                f"matmult_dense expects {self.num_cols} RHS rows, got {rhs.shape[0]}"
+            )
+        if rhs.shape[1] == 1:
+            return self.matvec(rhs)
+        out = np.zeros((self.num_rows, rhs.shape[1]))
+        for j, column in enumerate(self.columns):
+            if isinstance(column, DictColumn):
+                out += np.outer(column.values, rhs[j])[column.codes]
+            else:
+                out += np.outer(column.data, rhs[j])
+        return out
+
+    def t_matmult_dense(self, rhs: np.ndarray) -> np.ndarray:
+        """``t(X) %*% B`` with a dense RHS: one weighted bincount per
+        (column, RHS column) pair, then tiny dictionary dots."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.ndim == 1:
+            rhs = rhs.reshape(-1, 1)
+        if rhs.shape[0] != self.num_rows:
+            raise ValueError(
+                f"t_matmult_dense expects {self.num_rows} RHS rows, got {rhs.shape[0]}"
+            )
+        out = np.zeros((self.num_cols, rhs.shape[1]))
+        for j, column in enumerate(self.columns):
+            if isinstance(column, DictColumn):
+                d = len(column.values)
+                for c in range(rhs.shape[1]):
+                    bucket = np.bincount(
+                        column.codes, weights=rhs[:, c], minlength=d
+                    )
+                    out[j, c] = float(bucket @ column.values)
+            else:
+                out[j] = column.data @ rhs
+        return out
+
     def col_sums(self) -> np.ndarray:
         out = np.zeros(self.num_cols)
         for j, column in enumerate(self.columns):
@@ -158,28 +427,56 @@ class CompressedBlock:
                 out[j] = float(column.data.sum())
         return out.reshape(1, -1)
 
-    def scalar_op(self, op: str, scalar: float) -> "CompressedBlock":
+    def scalar_op(self, op: str, scalar: float,
+                  scalar_left: bool = False) -> "CompressedBlock":
         """Elementwise scalar op applied to dictionaries only (O(#distinct))."""
-        funcs = {
-            "+": lambda a: a + scalar,
-            "-": lambda a: a - scalar,
-            "*": lambda a: a * scalar,
-            "/": lambda a: a / scalar,
-            "^": lambda a: a ** scalar,
+        funcs: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+            "+": (lambda a: scalar + a) if scalar_left else (lambda a: a + scalar),
+            "-": (lambda a: scalar - a) if scalar_left else (lambda a: a - scalar),
+            "*": (lambda a: scalar * a) if scalar_left else (lambda a: a * scalar),
+            "/": (lambda a: scalar / a) if scalar_left else (lambda a: a / scalar),
+            "^": (lambda a: scalar ** a) if scalar_left else (lambda a: a ** scalar),
         }
         func = funcs.get(op)
         if func is None:
             raise ValueError(f"unsupported compressed scalar op {op!r}")
+        if self._dict is not None:
+            # shared dictionary: O(#distinct) per column on tiny value
+            # arrays, code arrays reused by identity; the same elementwise
+            # op on the same bits gives the same bits, so the global form
+            # stays consistent with the per-column dictionaries
+            values, codes2d = self._dict
+            columns = [DictColumn(func(column.values), column.codes)
+                       for column in self.columns]
+            result = CompressedBlock(columns, self.num_rows, ValueType.FP64, None)
+            result._dict = (func(values), codes2d)
+            return result
         columns: List[Column] = []
         for column in self.columns:
             if isinstance(column, DictColumn):
                 columns.append(DictColumn(func(column.values), column.codes))
             else:
                 columns.append(DenseColumn(func(column.data)))
-        return CompressedBlock(columns, self.num_rows)
+        return CompressedBlock(columns, self.num_rows, ValueType.FP64, None)
 
     def sum(self) -> float:
         return float(self.col_sums().sum())
+
+    def min(self) -> float:
+        """Full min over dictionaries (every dictionary value occurs)."""
+        return float(np.min([
+            np.min(column.values if isinstance(column, DictColumn) else column.data)
+            for column in self.columns
+        ]))
+
+    def max(self) -> float:
+        return float(np.max([
+            np.max(column.values if isinstance(column, DictColumn) else column.data)
+            for column in self.columns
+        ]))
+
+    def mean(self) -> float:
+        return self.sum() / (self.num_rows * self.num_cols)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -187,3 +484,102 @@ class CompressedBlock:
             f" ratio={self.compression_ratio():.1f}x,"
             f" dict_cols={self.num_compressed_columns()})"
         )
+
+
+class CompressedStore:
+    """Store-protocol adapter so a :class:`BasicTensorBlock` can hold a
+    still-compressed payload.
+
+    A restored spill stays in this form until a kernel asks for the dense
+    array (``BasicTensorBlock`` inflates the store in place on first
+    ``to_numpy``) or an eligible kernel executes compressed-space.  The
+    optional ``on_event`` hook lets the owning buffer pool count
+    inflations and compressed-space kernel dispatches.
+    """
+
+    __slots__ = ("block", "value_type", "_nnz", "on_event")
+
+    #: Store-protocol flag checked by BasicTensorBlock hot paths (class
+    #: attribute so DenseStore/SparseStore pay one attr lookup, no isinstance).
+    compressed = True
+
+    def __init__(self, block: CompressedBlock,
+                 value_type: Optional[ValueType] = None,
+                 nnz: Optional[int] = None,
+                 on_event: Optional[Callable[[str], None]] = None):
+        self.block = block
+        self.value_type = value_type if value_type is not None else block.value_type
+        self._nnz = nnz if nnz is not None else block._nnz
+        self.on_event = on_event
+
+    # --- store protocol -------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.block.shape
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def size(self) -> int:
+        return self.block.num_rows * self.block.num_cols
+
+    @property
+    def nnz(self) -> int:
+        if self._nnz is None:
+            self._nnz = self.block.nnz
+        return self._nnz
+
+    def memory_size(self) -> int:
+        return self.block.memory_size()
+
+    def count(self, event: str) -> None:
+        """Report a pool-visible event (no-op outside a pool)."""
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def inflate(self) -> DenseStore:
+        """The exact dense store (counts a ``lazy_inflates`` pool event)."""
+        self.count("lazy_inflates")
+        return DenseStore(self.block.to_dense_array(), self.value_type, self.nnz)
+
+    def to_numpy(self) -> np.ndarray:
+        return self.block.to_dense_array()
+
+    def get(self, index):
+        row, col = (int(index[0]), int(index[1])) if len(index) == 2 else (int(index[0]), 0)
+        column = self.block.columns[col]
+        if isinstance(column, DictColumn):
+            return float(column.values[column.codes[row]])
+        return float(column.data[row])
+
+    def set(self, index, value) -> None:
+        raise TypeError(
+            "compressed stores are immutable; inflate the block before writing"
+        )
+
+    def astype(self, value_type: ValueType):
+        if value_type == self.value_type:
+            return self
+        return self.inflate().astype(value_type)
+
+    def copy(self) -> "CompressedStore":
+        # the compressed payload is never mutated in place (scalar ops
+        # return new blocks; writes inflate first), so sharing it is safe
+        return CompressedStore(self.block, self.value_type, self._nnz, self.on_event)
+
+    # --- pickling -------------------------------------------------------------
+    # on_event closes over the owning pool and must not travel through
+    # spills/checkpoints; it is re-attached by whoever deserialises.
+
+    def __getstate__(self):
+        return (self.block, self.value_type, self._nnz)
+
+    def __setstate__(self, state) -> None:
+        self.block, self.value_type, self._nnz = state
+        self.on_event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CompressedStore({self.block!r})"

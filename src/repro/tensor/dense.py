@@ -20,6 +20,9 @@ class DenseStore:
 
     __slots__ = ("array", "value_type", "_nnz")
 
+    #: Store-protocol flag: only CompressedStore payloads are compressed.
+    compressed = False
+
     def __init__(self, array: np.ndarray, value_type: ValueType,
                  nnz: Optional[int] = None):
         expected = value_type.numpy_dtype

@@ -23,9 +23,74 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.tensor.block import BasicTensorBlock
+from repro.tensor.compressed import CompressedStore, compressed_eligible
 from repro.types import Direction, ValueType
 
 Block = BasicTensorBlock
+
+
+# ---------------------------------------------------------------------------
+# compressed-space execution (paper section 3.4, CLA)
+# ---------------------------------------------------------------------------
+#
+# When the buffer pool restores a spilled block in compressed form
+# (``ReproConfig.compressed_exec``), eligible kernels below execute on
+# the dictionaries directly; anything not eligible — or any compressed
+# kernel that fails — transparently inflates through ``to_numpy`` and
+# takes the ordinary dense path (guarded fallback).
+
+
+def _compressed_scalar(store: CompressedStore, op: str, scalar: float,
+                       scalar_left: bool) -> Optional[Block]:
+    if not compressed_eligible("scalar", op):
+        return None
+    try:
+        result = store.block.scalar_op(op, float(scalar), scalar_left)
+    except Exception:  # noqa: BLE001 - guarded fallback to the dense kernel
+        store.count("compressed_kernel_fallbacks")
+        return None
+    store.count("compressed_kernel_ops")
+    return Block(CompressedStore(result, on_event=store.on_event))
+
+
+def _compressed_aggregate(store: CompressedStore, op: str, direction: Direction):
+    if direction == Direction.FULL:
+        if not compressed_eligible("agg", op):
+            return None
+        try:
+            value = getattr(store.block, op)()
+        except Exception:  # noqa: BLE001
+            store.count("compressed_kernel_fallbacks")
+            return None
+        store.count("compressed_kernel_ops")
+        return float(value)
+    if direction == Direction.COL and compressed_eligible("agg_col", op):
+        try:
+            sums = store.block.col_sums()
+        except Exception:  # noqa: BLE001
+            store.count("compressed_kernel_fallbacks")
+            return None
+        store.count("compressed_kernel_ops")
+        return Block.from_numpy(sums)
+    return None
+
+
+def _compressed_matmult(store: CompressedStore, right: Block,
+                        transpose_left: bool = False) -> Optional[Block]:
+    kind = "transpose_left" if transpose_left else "dense_rhs"
+    if not compressed_eligible("matmult", kind):
+        return None
+    try:
+        rhs = right.to_numpy()
+        if transpose_left:
+            result = store.block.t_matmult_dense(rhs)
+        else:
+            result = store.block.matmult_dense(rhs)
+    except Exception:  # noqa: BLE001
+        store.count("compressed_kernel_fallbacks")
+        return None
+    store.count("compressed_kernel_ops")
+    return Block.from_numpy(result)
 
 
 # ---------------------------------------------------------------------------
@@ -98,6 +163,10 @@ def binary_scalar(op: str, block: Block, scalar: float, scalar_left: bool = Fals
     func = _BINARY_OPS.get(op)
     if func is None:
         raise ValueError(f"unknown binary op: {op!r}")
+    if block.store.compressed:
+        compressed = _compressed_scalar(block.store, op, scalar, scalar_left)
+        if compressed is not None:
+            return compressed
     if block.is_sparse and block.ndim == 2 and op == "*" and not scalar_left:
         return Block.from_scipy(block.to_scipy() * scalar).compact()
     if block.is_sparse and block.ndim == 2 and op == "/" and not scalar_left:
@@ -200,6 +269,10 @@ def aggregate(op: str, block: Block, direction: Direction = Direction.FULL):
     Full aggregates return a Python float; partial aggregates return a
     vector block (row aggregates -> n x 1, column aggregates -> 1 x m).
     """
+    if block.store.compressed:
+        compressed = _compressed_aggregate(block.store, op, direction)
+        if compressed is not None:
+            return compressed
     if block.is_sparse and block.ndim == 2:
         return _aggregate_sparse(op, block, direction)
     data = _numeric(block)
@@ -282,6 +355,10 @@ def matmult(
         raise ValueError("matmult requires 2D blocks")
     if left.num_cols != right.num_rows:
         raise ValueError(f"dimension mismatch: {left.shape} %*% {right.shape}")
+    if left.store.compressed and not right.is_sparse:
+        compressed = _compressed_matmult(left.store, right)
+        if compressed is not None:
+            return compressed
     if left.is_sparse or right.is_sparse:
         a = left.to_scipy() if left.is_sparse else left.to_numpy()
         b = right.to_scipy() if right.is_sparse else right.to_numpy()
@@ -334,6 +411,10 @@ def tsmm(block: Block, native_blas: bool = True, tile: int = 64) -> Block:
 
 def mapmm_transpose_left(left: Block, right: Block, native_blas: bool = True, tile: int = 64) -> Block:
     """Fused ``t(left) %*% right`` without materialising the transpose."""
+    if left.store.compressed and not right.is_sparse:
+        compressed = _compressed_matmult(left.store, right, transpose_left=True)
+        if compressed is not None:
+            return compressed
     if left.is_sparse:
         a = left.to_scipy().T
         b = right.to_scipy() if right.is_sparse else right.to_numpy()

@@ -28,6 +28,9 @@ class SparseStore:
 
     __slots__ = ("_shape", "value_type", "csr", "coords", "values")
 
+    #: Store-protocol flag: only CompressedStore payloads are compressed.
+    compressed = False
+
     def __init__(
         self,
         shape: Sequence[int],

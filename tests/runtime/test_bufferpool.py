@@ -7,11 +7,20 @@ import pytest
 
 from repro.errors import BufferPoolError
 from repro.runtime.bufferpool import BufferPool
+from repro.tensor.block import BasicTensorBlock
+
+from tests.conftest import wait_until
 
 
 @pytest.fixture
 def pool(tmp_path):
     return BufferPool(budget=1000, spill_dir=str(tmp_path))
+
+
+def compressible_block(rows=64, cols=16, distinct=4):
+    """A dense FP64 block with few distinct values (CLA-friendly)."""
+    column = np.arange(distinct, dtype=np.float64)
+    return BasicTensorBlock.from_numpy(np.tile(column, (rows, cols // distinct or 1)))
 
 
 class TestBasicProtocol:
@@ -243,6 +252,199 @@ class TestScavenging:
         pool = self._spill_once(spill)
         pool.close()
         assert not spill.exists()  # removed as empty, not as an orphan
+
+
+class TestCompressedSpills:
+    def _pool(self, tmp_path, budget, **kw):
+        kw.setdefault("compress_spills", True)
+        return BufferPool(budget=budget, spill_dir=str(tmp_path), **kw)
+
+    def test_eligible_block_spills_compressed(self, tmp_path):
+        block = compressible_block()
+        pool = self._pool(tmp_path, budget=block.memory_size())
+        a = pool.put(block, block.memory_size())
+        pool.put(compressible_block(), block.memory_size())  # evicts a
+        assert pool.stats["compressed_spills"] == 1
+        # the compressed file is materially smaller than the raw pickle
+        assert os.path.getsize(pool._entries[a].spill_path) < block.memory_size()
+        restored = pool.get(a)
+        assert np.array_equal(restored.to_numpy(), block.to_numpy())
+        pool.close()
+
+    def test_incompressible_block_spills_raw(self, tmp_path):
+        # i.i.d. random doubles: every cell distinct, dictionary can't win
+        block = BasicTensorBlock.from_numpy(
+            np.random.default_rng(7).standard_normal((64, 16))
+        )
+        pool = self._pool(tmp_path, budget=block.memory_size())
+        a = pool.put(block, block.memory_size())
+        pool.put(compressible_block(), block.memory_size())
+        assert pool.stats["compressed_spills"] == 0
+        assert pool.stats["raw_spills"] == 1
+        assert pool.stats["compress_rejects"] == 1
+        assert np.array_equal(pool.get(a).to_numpy(), block.to_numpy())
+        pool.close()
+
+    def test_sparse_block_spills_raw_and_stays_sparse(self, tmp_path):
+        dense = np.zeros((64, 64))
+        dense[::16, ::16] = 3.0
+        block = BasicTensorBlock.from_numpy(dense).compact()
+        assert block.is_sparse
+        pool = self._pool(tmp_path, budget=block.memory_size())
+        a = pool.put(block, block.memory_size())
+        pool.put(compressible_block(), 2000)
+        assert pool.stats["raw_spills"] == 1
+        restored = pool.get(a)
+        assert restored.is_sparse  # layout (and thus kernel choice) preserved
+        assert np.array_equal(restored.to_numpy(), dense)
+        pool.close()
+
+    def test_restore_is_lazy_until_touched(self, tmp_path):
+        block = compressible_block()
+        pool = self._pool(tmp_path, budget=block.memory_size())
+        a = pool.put(block, block.memory_size())
+        pool.put(compressible_block(), block.memory_size())
+        restored = pool.get(a)  # compressed_exec off: inflated on the way out
+        assert not restored.store.compressed
+        assert restored.nnz == block.nnz
+
+    def test_compressed_exec_returns_compressed_payload(self, tmp_path):
+        block = compressible_block()
+        pool = self._pool(tmp_path, budget=block.memory_size(),
+                          compressed_exec=True)
+        a = pool.put(block, block.memory_size())
+        pool.put(compressible_block(), block.memory_size())
+        restored = pool.get(a)
+        assert restored.store.compressed
+        assert restored.shape == block.shape
+        assert restored.nnz == block.nnz  # metadata survives the round trip
+        assert np.array_equal(restored.to_numpy(), block.to_numpy())
+        pool.close()
+
+    def test_bitwise_roundtrip_negative_zero_and_nan(self, tmp_path):
+        raw = np.tile(np.array([0.0, -0.0, np.nan, 1.5]), (64, 4))
+        block = BasicTensorBlock.from_numpy(raw)
+        pool = self._pool(tmp_path, budget=block.memory_size())
+        a = pool.put(block, block.memory_size())
+        pool.put(compressible_block(), block.memory_size())
+        assert pool.stats["compressed_spills"] == 1
+        restored = pool.get(a)
+        assert restored.to_numpy().tobytes() == raw.tobytes()
+        pool.close()
+
+
+class TestAsyncPaging:
+    """Prefetch/writeback worker tests — wait_until, never fixed sleeps."""
+
+    def _pool(self, tmp_path, budget, **kw):
+        kw.setdefault("compress_spills", True)
+        kw.setdefault("prefetch", True)
+        return BufferPool(budget=budget, spill_dir=str(tmp_path), **kw)
+
+    def test_prefetch_restores_in_background(self, tmp_path):
+        blocks = [compressible_block() for _ in range(4)]
+        size = blocks[0].memory_size()
+        pool = self._pool(tmp_path, budget=size * 2)
+        ids = [pool.put(b, size) for b in blocks]
+        pool.drain_async()  # let writeback clean the resident entries
+        evicted = [i for i in ids if not pool._entries[i].in_memory]
+        assert evicted
+        pool.prefetch(evicted[:1])
+        wait_until(lambda: pool._entries[evicted[0]].in_memory,
+                   message="prefetch never restored the entry")
+        assert pool.stats["restores"] >= 1
+        pool.get(evicted[0])
+        assert pool.stats["prefetch_hits"] == 1
+        assert pool.used <= pool.budget
+        pool.close()
+
+    def test_prefetch_of_resident_entry_is_noop(self, tmp_path):
+        block = compressible_block()
+        pool = self._pool(tmp_path, budget=block.memory_size() * 4)
+        a = pool.put(block, block.memory_size())
+        pool.prefetch([a, a, 999])  # resident + unknown: nothing queued
+        assert pool.stats["prefetch_requests"] == 0
+        pool.close()
+
+    def test_writeback_cleans_dirty_lru_entries(self, tmp_path):
+        blocks = [compressible_block() for _ in range(3)]
+        size = blocks[0].memory_size()
+        pool = self._pool(tmp_path, budget=size * 3 + 100)
+        ids = [pool.put(b, size) for b in blocks]  # ~watermark, no eviction
+        wait_until(lambda: pool.stats["async_writebacks"] >= 1,
+                   message="writeback worker never cleaned an entry")
+        pool.drain_async()
+        cleaned = [i for i in ids if not pool._entries[i].dirty]
+        assert cleaned
+        # clean entries now evict for free (payload drop, no sync write)
+        written = pool.stats["bytes_spilled"]
+        pool.put(compressible_block(), size)
+        assert pool.stats["evictions"] >= 1
+        assert pool.stats["bytes_spilled"] == written
+        pool.close()
+
+    def test_update_during_writeback_never_leaves_stale_spill(self, tmp_path):
+        blocks = [compressible_block() for _ in range(3)]
+        size = blocks[0].memory_size()
+        pool = self._pool(tmp_path, budget=size * 3 + 100)
+        ids = [pool.put(b, size) for b in blocks]
+        # race updates against the cleaning worker, then force eviction
+        fresh = BasicTensorBlock.from_numpy(np.full((64, 16), 42.0))
+        for i in ids:
+            pool.update(i, fresh, size)
+        pool.drain_async()
+        pool.put(compressible_block(), size * 3)  # evict all of them
+        for i in ids:
+            assert np.array_equal(pool.get(i).to_numpy(), fresh.to_numpy())
+        pool.close()
+
+    def test_free_during_prefetch_is_safe(self, tmp_path):
+        blocks = [compressible_block() for _ in range(4)]
+        size = blocks[0].memory_size()
+        pool = self._pool(tmp_path, budget=size * 2)
+        ids = [pool.put(b, size) for b in blocks]
+        pool.drain_async()
+        evicted = [i for i in ids if not pool._entries[i].in_memory]
+        pool.prefetch(evicted)
+        for i in evicted:
+            pool.free(i)
+        pool.drain_async()
+        assert all(i not in pool._entries for i in evicted)
+        assert pool.used <= pool.budget
+        pool.close()
+
+    def test_spill_faults_fire_on_async_paths(self, tmp_path):
+        from repro.resilience import (
+            FaultInjector, FaultPlan, ResilienceManager, RetryPolicy,
+        )
+
+        faults = ResilienceManager(
+            injector=FaultInjector(
+                FaultPlan.parse("spill.write:p=0.5;spill.read:p=0.5", seed=11)
+            ),
+            retry_policy=RetryPolicy(max_retries=5, jitter=0.0),
+            sleep=None,
+        )
+        blocks = [compressible_block() for _ in range(6)]
+        size = blocks[0].memory_size()
+        pool = self._pool(tmp_path, budget=size * 2, resilience=faults)
+        ids = [pool.put(b, size) for b in blocks]
+        pool.drain_async()
+        pool.prefetch([i for i in ids if not pool._entries[i].in_memory])
+        pool.drain_async()
+        for index, i in enumerate(ids):  # recovery is transparent
+            assert np.array_equal(pool.get(i).to_numpy(), blocks[index].to_numpy())
+        assert faults.stats.counter("retries") > 0 or faults.stats.counter("faults_injected") > 0
+        pool.close()
+
+    def test_close_stops_worker(self, tmp_path):
+        pool = self._pool(tmp_path, budget=2000)
+        block = compressible_block()
+        pool.put(block, block.memory_size())
+        pool.prefetch([])  # ensures no crash on empty request
+        pool.close()
+        worker = pool._worker
+        assert worker is None or not worker.is_alive()
 
 
 class TestIntegrationWithExecution:

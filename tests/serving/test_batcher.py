@@ -8,20 +8,14 @@ import pytest
 from repro.errors import ServiceOverloadedError, ServingError
 from repro.serving.batcher import MicroBatcher
 
+from tests.conftest import wait_until
+
 
 class FakeRequest:
     __slots__ = ("model",)
 
     def __init__(self, model="m@v1"):
         self.model = model
-
-
-def wait_until(predicate, timeout=5.0):
-    """Poll ``predicate`` until true (bounded); replaces fixed sleeps."""
-    deadline = time.monotonic() + timeout
-    while not predicate():
-        assert time.monotonic() < deadline, "condition never became true"
-        time.sleep(0.001)
 
 
 class TestAdmission:
