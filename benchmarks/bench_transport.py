@@ -1,14 +1,16 @@
-"""Proc-transport overhead on a federated L2SVM loop (documented, not gated).
+"""Transport overhead on a federated L2SVM loop (documented, not gated).
 
-Runs the same row-federated L2SVM training loop twice — sites as
-in-process thread sims (``transport=inproc``) and sites as real OS worker
-processes behind the frame protocol (``transport=proc``) — and reports
-the wall-clock ratio plus the proc run's wire accounting.  The ratio is
-*documented* rather than gated: the proc transport buys genuine
-SIGKILL-able process isolation, and its cost (pickling every request,
-socket round trips, heartbeats) depends heavily on the host.  Worker
-spawn cost is excluded by warming the pool before timing, matching the
-long-lived-daemon deployment the transport models.
+Runs the same row-federated L2SVM training loop three times — sites as
+in-process thread sims (``transport=inproc``), sites as real OS worker
+processes behind coordinator-owned sockets (``transport=proc``), and
+sites behind workers listening on dialable loopback addresses
+(``transport=tcp``) — and reports the wall-clock ratios plus each
+process transport's wire accounting.  The ratios are *documented* rather
+than gated: the process transports buy genuine SIGKILL-able isolation
+(and, for tcp, survivable links), and their cost (pickling every
+request, socket round trips, heartbeats) depends heavily on the host.
+Worker spawn cost is excluded by warming each pool before timing,
+matching the long-lived-daemon deployment the transports model.
 
 Run directly to write ``BENCH_transport.json``::
 
@@ -83,31 +85,42 @@ def measure() -> dict:
     data, split, inputs = _inputs()
     inproc_cfg = ReproConfig()
     proc_cfg = ReproConfig(transport="proc")
-    # warm the worker pool (interpreter + numpy import per process) so the
-    # measured ratio reflects steady-state RPC overhead, not spawn cost
+    tcp_cfg = ReproConfig(transport="tcp")
+    # warm the worker pools (interpreter + numpy import per process) so the
+    # measured ratios reflect steady-state RPC overhead, not spawn cost
     _timed_run(proc_cfg, data, split, inputs)
-    inproc_s = proc_s = float("inf")
-    inproc_obj = proc_obj = None
+    _timed_run(tcp_cfg, data, split, inputs)
+    inproc_s = proc_s = tcp_s = float("inf")
+    inproc_obj = proc_obj = tcp_obj = None
     for _ in range(ROUNDS):
         elapsed, inproc_obj = _timed_run(inproc_cfg, data, split, inputs)
         inproc_s = min(inproc_s, elapsed)
         elapsed, proc_obj = _timed_run(proc_cfg, data, split, inputs)
         proc_s = min(proc_s, elapsed)
+        elapsed, tcp_obj = _timed_run(tcp_cfg, data, split, inputs)
+        tcp_s = min(tcp_s, elapsed)
     from repro.net.proc import ProcTransport
+    from repro.net.tcp import TcpTransport
 
     snap = ProcTransport.default().snapshot()
+    tcp_snap = TcpTransport.default().snapshot()
     return {
         "workload": "federated L2SVM, 10 sweeps, "
                     f"{ROWS}x{FEATURES} over 2 sites",
         "rounds": ROUNDS,
         "inproc_s": inproc_s,
         "proc_s": proc_s,
+        "tcp_s": tcp_s,
         "proc_over_inproc": proc_s / inproc_s,
-        "results_identical": bool(inproc_obj == proc_obj),
+        "tcp_over_inproc": tcp_s / inproc_s,
+        "results_identical": bool(inproc_obj == proc_obj == tcp_obj),
         "proc_frames_sent": snap["frames_sent"],
         "proc_bytes_sent": snap["bytes_sent"],
         "proc_bytes_received": snap["bytes_received"],
-        "worker_deaths": snap["worker_deaths"],
+        "tcp_frames_sent": tcp_snap["frames_sent"],
+        "tcp_bytes_sent": tcp_snap["bytes_sent"],
+        "tcp_reconnects": tcp_snap["reconnects"],
+        "worker_deaths": snap["worker_deaths"] + tcp_snap["worker_deaths"],
         "gated": False,
     }
 
@@ -120,8 +133,10 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(
         f"inproc {results['inproc_s'] * 1e3:.1f}ms  "
-        f"proc {results['proc_s'] * 1e3:.1f}ms  "
-        f"ratio {results['proc_over_inproc']:.2f}x  "
+        f"proc {results['proc_s'] * 1e3:.1f}ms "
+        f"({results['proc_over_inproc']:.2f}x)  "
+        f"tcp {results['tcp_s'] * 1e3:.1f}ms "
+        f"({results['tcp_over_inproc']:.2f}x)  "
         f"(identical={results['results_identical']})"
     )
     print(f"wrote {out_path}")

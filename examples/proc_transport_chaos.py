@@ -1,15 +1,24 @@
-"""Proc-transport chaos demo: SIGKILL workers mid-run, lose nothing.
+"""Transport chaos demo: kill workers or sever links mid-run, lose nothing.
 
 Runs the two workloads of the repro.net acceptance bar with federated
-sites and RDD executors as *real OS processes* (``transport="proc"``),
-while a seeded fault plan SIGKILLs one worker mid-run:
+sites and RDD executors as *real OS processes*, under a seeded fault plan:
 
-* a row-federated L2SVM training loop (``fed.worker`` kill point) — the
-  dead site worker respawns and the coordinator replays its publication
-  log, so the re-hosted shards are bit-identical;
-* a distributed blocked matmul (``rdd.worker`` kill point) — the dead
-  executor respawns bare and the in-flight task is resent under the same
-  request id (the dedup cache makes the retry idempotent).
+* a row-federated L2SVM training loop — the faulted site worker recovers
+  (respawn + publication replay, or reconnect + same-id resend) and the
+  re-hosted shards stay bit-identical;
+* a distributed blocked matmul — the faulted executor recovers and the
+  in-flight task is resent under the same request id (the dedup cache
+  makes the retry idempotent).
+
+Two modes:
+
+* ``--transport proc`` (default) — workers behind coordinator-owned
+  pipes; the ``fed.worker``/``rdd.worker`` points SIGKILL one mid-run.
+* ``--transport tcp`` — workers listening on real loopback addresses;
+  the ``net.partition``/``net.drop`` wire points sever the link
+  mid-stream and vanish frames, so recovery is reconnect + resend with
+  the request answered from the worker's dedup cache (STATUS_REPLAY),
+  never re-executed.
 
 Both results are compared bit-for-bit against fault-free in-process
 runs, and a JSON report (CI asserts on it) is written when given a path.
@@ -17,8 +26,11 @@ runs, and a JSON report (CI asserts on it) is written when given a path.
 Run:
 
     PYTHONPATH=src python examples/proc_transport_chaos.py [report.json]
+    PYTHONPATH=src python examples/proc_transport_chaos.py \
+        --transport tcp [report.json]
 """
 
+import argparse
 import json
 import sys
 
@@ -92,49 +104,95 @@ def run_matmul(config):
     return np.asarray(result.matrix("Z")), ml
 
 
+#: Per-mode chaos overrides for the two workloads.  The proc points
+#: SIGKILL a worker mid-request; the tcp points sever the link mid-stream
+#: (reconnect + same-id resend), duplicate frames (absorbed by the dedup
+#: cache — guarantees observed STATUS_REPLAY answers), and vanish the
+#: occasional frame (recovered by the request-timeout resend, so the tcp
+#: runs also shrink the round-trip deadline).
+_CHAOS_MODES = {
+    "proc": {
+        "fed": {"fault_spec": "fed.worker:fail=2", "fault_seed": 61},
+        "rdd": {"fault_spec": "rdd.worker:fail=2", "fault_seed": 67},
+    },
+    "tcp": {
+        "fed": {
+            "fault_spec": "net.partition:fail=2;net.dup:fail=2;"
+                          "net.drop:fail=1",
+            "fault_seed": 71,
+            "heartbeat_interval_s": 0.1,
+            "transport_request_timeout_s": 1.0,
+        },
+        "rdd": {
+            "fault_spec": "net.partition:fail=1;net.dup:fail=2",
+            "fault_seed": 73,
+            "heartbeat_interval_s": 0.1,
+        },
+    },
+}
+
+
 def main(argv=None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    out_path = args[0] if args else None
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("out", nargs="?", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--transport", choices=["proc", "tcp"],
+                        default="proc",
+                        help="which process transport (and fault family) "
+                             "to exercise")
+    args = parser.parse_args(argv)
+    mode = args.transport
+    chaos = _CHAOS_MODES[mode]
 
     clean_w, __ = run_federated(ReproConfig())
     chaos_w, fed_ml = run_federated(ReproConfig(
-        transport="proc", enable_stats=True,
-        fault_spec="fed.worker:fail=2", fault_seed=61, **FAST_RETRY,
+        transport=mode, enable_stats=True, **chaos["fed"], **FAST_RETRY,
     ))
     fed_section = fed_ml.stats().snapshot()["transport"]
     fed_identical = bool(np.array_equal(chaos_w, clean_w))
     print(f"federated L2SVM: identical={fed_identical} "
           f"deaths={fed_section['worker_deaths']} "
           f"respawns={fed_section['worker_respawns']} "
-          f"replayed={fed_section['replayed_publications']}")
+          f"replayed={fed_section['replayed_publications']} "
+          f"partitions={fed_section['partitions']} "
+          f"reconnects={fed_section['reconnects']} "
+          f"dedup_hits={fed_section['dedup_hits']}")
 
     clean_z, __ = run_matmul(ReproConfig(**SPARK))
     chaos_z, rdd_ml = run_matmul(ReproConfig(
-        transport="proc", enable_stats=True,
-        fault_spec="rdd.worker:fail=2", fault_seed=67,
-        **SPARK, **FAST_RETRY,
+        transport=mode, enable_stats=True,
+        **chaos["rdd"], **SPARK, **FAST_RETRY,
     ))
     rdd_section = rdd_ml.stats().snapshot()["transport"]
     rdd_identical = bool(np.array_equal(chaos_z, clean_z))
     print(f"blocked matmul:  identical={rdd_identical} "
           f"deaths={rdd_section['worker_deaths']} "
           f"respawns={rdd_section['worker_respawns']} "
+          f"partitions={rdd_section['partitions']} "
+          f"reconnects={rdd_section['reconnects']} "
           f"dedup_hits={rdd_section['dedup_hits']}")
 
     report = {
+        "transport": mode,
         "federated": {"identical": fed_identical, **fed_section},
         "rdd": {"identical": rdd_identical, **rdd_section},
     }
-    if out_path:
-        with open(out_path, "w", encoding="utf-8") as handle:
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"wrote {out_path}")
-    ok = (fed_identical and rdd_identical
-          and fed_section["worker_respawns"] > 0
-          and rdd_section["worker_respawns"] > 0
-          and fed_section["dedup_hits"] >= 0
-          and rdd_section["dedup_hits"] >= 0)
+        print(f"wrote {args.out}")
+    if mode == "proc":
+        ok = (fed_identical and rdd_identical
+              and fed_section["worker_respawns"] > 0
+              and rdd_section["worker_respawns"] > 0)
+    else:
+        ok = (fed_identical and rdd_identical
+              and fed_section["partitions"] > 0
+              and fed_section["reconnects"] > 0
+              and fed_section["dedup_hits"] > 0
+              and rdd_section["reconnects"] > 0
+              and rdd_section["dedup_hits"] > 0)
     return 0 if ok else 1
 
 

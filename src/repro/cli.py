@@ -89,11 +89,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable optimizer rewrites (debugging)")
     parser.add_argument("--no-trace", action="store_true",
                         help="disable trace compilation of hot basic blocks")
-    parser.add_argument("--transport", choices=["inproc", "proc"],
+    parser.add_argument("--transport", choices=["inproc", "proc", "tcp"],
                         default="inproc",
                         help="where federated sites and RDD tasks execute: "
-                             "in-process thread sims (default) or real "
-                             "SIGKILL-able worker processes (repro.net)")
+                             "in-process thread sims (default), real "
+                             "SIGKILL-able worker processes (repro.net), or "
+                             "workers on dialable TCP addresses with "
+                             "reconnecting links and net.* chaos points")
+    transport = parser.add_argument_group("transport tuning")
+    transport.add_argument("--transport-host", metavar="HOST", default=None,
+                           help="bind/advertise host for tcp workers "
+                                "(default 127.0.0.1)")
+    transport.add_argument("--request-timeout", type=float, default=None,
+                           metavar="S",
+                           help="transport round-trip deadline before the "
+                                "same-id resend / kill escalation "
+                                "(default 60)")
+    transport.add_argument("--heartbeat-interval", type=float, default=None,
+                           metavar="S",
+                           help="worker heartbeat cadence (default 0.25)")
+    transport.add_argument("--heartbeat-grace", type=float, default=None,
+                           metavar="N",
+                           help="silent heartbeat intervals before a miss "
+                                "is counted (default 3)")
+    transport.add_argument("--connect-timeout", type=float, default=None,
+                           metavar="S",
+                           help="tcp dial + READY-greeting deadline "
+                                "(default 5)")
+    transport.add_argument("--reconnect-retries", type=int, default=None,
+                           metavar="N",
+                           help="redials after a severed tcp link before "
+                                "the peer is declared dead (default 4)")
     parser.add_argument("--trace-threshold", type=int, default=None,
                         metavar="N",
                         help="block executions before a trace is compiled "
@@ -200,6 +226,18 @@ def main(argv=None) -> int:
         overrides["enable_trace"] = False
     if args.transport != "inproc":
         overrides["transport"] = args.transport
+    if args.transport_host is not None:
+        overrides["transport_host"] = args.transport_host
+    if args.request_timeout is not None:
+        overrides["transport_request_timeout_s"] = args.request_timeout
+    if args.heartbeat_interval is not None:
+        overrides["heartbeat_interval_s"] = args.heartbeat_interval
+    if args.heartbeat_grace is not None:
+        overrides["heartbeat_miss_grace"] = args.heartbeat_grace
+    if args.connect_timeout is not None:
+        overrides["tcp_connect_timeout_s"] = args.connect_timeout
+    if args.reconnect_retries is not None:
+        overrides["tcp_reconnect_retries"] = args.reconnect_retries
     if args.trace_threshold is not None:
         overrides["trace_threshold"] = args.trace_threshold
     if args.pool_budget is not None:

@@ -73,10 +73,30 @@ class ReproConfig:
 
     # --- transport ------------------------------------------------------------
     #: Where federated sites and RDD tasks execute: ``"inproc"`` (thread
-    #: simulations, zero overhead — the default) or ``"proc"`` (real
+    #: simulations, zero overhead — the default), ``"proc"`` (real
     #: spawn-context worker processes behind the :mod:`repro.net` frame
-    #: protocol, SIGKILL-able by the fault injector).
+    #: protocol, SIGKILL-able by the fault injector), or ``"tcp"``
+    #: (workers listening on real host:port addresses with reconnecting
+    #: links; gains the ``net.*`` wire-level fault points).
     transport: str = "inproc"
+    #: Bind/advertise host of tcp-transport workers.  Loopback by
+    #: default; a LAN address makes workers remotely addressable.
+    transport_host: str = "127.0.0.1"
+    #: Deadline (s) for one transport round trip before the lost-ACK
+    #: same-id resend and the kill escalation kick in.
+    transport_request_timeout_s: float = 60.0
+    #: Worker heartbeat cadence (s) on the transport socket; also the
+    #: coordinator's receive-poll slice while awaiting a response.
+    heartbeat_interval_s: float = 0.25
+    #: Silent grace, in heartbeat intervals, before a missed heartbeat is
+    #: counted and the worker process is probed for liveness.
+    heartbeat_miss_grace: float = 3.0
+    #: Connect + READY-greeting deadline (s) when dialing a tcp worker
+    #: (bounds half-open connection detection).
+    tcp_connect_timeout_s: float = 5.0
+    #: Redial attempts after a severed tcp link before the peer is
+    #: declared dead (escalating to respawn + publication replay).
+    tcp_reconnect_retries: int = 4
 
     # --- optimizer feature flags (ablations) ---------------------------------
     enable_rewrites: bool = True
@@ -181,10 +201,25 @@ class ReproConfig:
             raise ValueError("block_size must be >= 1")
         if self.reuse_policy not in ("none", "full", "full_partial"):
             raise ValueError(f"unknown reuse policy: {self.reuse_policy!r}")
-        if self.transport not in ("inproc", "proc"):
+        if self.transport not in ("inproc", "proc", "tcp"):
             raise ValueError(
-                f"unknown transport {self.transport!r} (use inproc or proc)"
+                f"unknown transport {self.transport!r} "
+                f"(use inproc, proc, or tcp)"
             )
+        if not self.transport_host:
+            raise ValueError("transport_host must be a non-empty host")
+        if self.transport_request_timeout_s <= 0:
+            raise ValueError("transport_request_timeout_s must be positive")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.heartbeat_miss_grace < 1.0:
+            raise ValueError(
+                "heartbeat_miss_grace must be >= 1 heartbeat interval"
+            )
+        if self.tcp_connect_timeout_s <= 0:
+            raise ValueError("tcp_connect_timeout_s must be positive")
+        if self.tcp_reconnect_retries < 0:
+            raise ValueError("tcp_reconnect_retries must be >= 0")
         if self.retry_budget < 0:
             raise ValueError("retry_budget must be >= 0")
         if self.max_instructions is not None and self.max_instructions < 1:

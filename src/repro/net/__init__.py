@@ -7,10 +7,18 @@ Selects *where* federated sites and RDD tasks execute:
 * :class:`ProcTransport` — real spawn-context OS processes speaking the
   length-prefixed, checksummed, request-id-tagged frame protocol of
   :mod:`repro.net.frames`, with heartbeat liveness, idempotent retry by
-  request-id dedup, and worker respawn that replays published state.
+  request-id dedup, and worker respawn that replays published state;
+* :class:`TcpTransport` — workers listening on real, dialable TCP
+  addresses kept in a remote-addressable registry, with connect
+  timeouts, reconnect-with-backoff link repair, and partition semantics
+  (peer dead = respawn + replay; link down = reconnect + same-id resend
+  answered from the dedup cache);
+* :class:`ChaosTransport` — the tcp transport under seeded wire-level
+  fault injection (``net.drop``/``net.delay_ms``/``net.dup``/
+  ``net.corrupt``/``net.partition``).
 
 ``for_config``/``registry_for`` resolve the mode from a
-:class:`~repro.config.ReproConfig` (``transport="inproc"|"proc"``).
+:class:`~repro.config.ReproConfig` (``transport="inproc"|"proc"|"tcp"``).
 """
 
 from repro.net.transport import (
@@ -21,8 +29,10 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "ChaosTransport",
     "InProcTransport",
     "ProcTransport",
+    "TcpTransport",
     "Transport",
     "for_config",
     "registry_for",
@@ -30,9 +40,17 @@ __all__ = [
 
 
 def __getattr__(name):
-    # ProcTransport pulls in multiprocessing; import it only when asked for.
+    # The process transports pull in multiprocessing; import them lazily.
     if name == "ProcTransport":
         from repro.net.proc import ProcTransport
 
         return ProcTransport
+    if name == "TcpTransport":
+        from repro.net.tcp import TcpTransport
+
+        return TcpTransport
+    if name == "ChaosTransport":
+        from repro.net.chaos import ChaosTransport
+
+        return ChaosTransport
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,22 +1,31 @@
 """Length-prefixed, checksummed, request-id-tagged frames (DESIGN.md §13).
 
 Every message between the coordinator and a transport worker is one frame
-on a byte stream (a TCP socket on localhost).  The fixed 16-byte header
-carries a magic/version, the frame kind, a 64-bit request id, and the
-payload length; the payload is followed by its CRC32.  The request id is
-what makes retries *idempotent*: a worker that already served an id
-replays the recorded response instead of re-executing the operation, so
-a retry after a lost ACK can never double-execute a side-effecting op.
+on a byte stream (a TCP socket — localhost pipes for the proc transport,
+loopback/LAN addresses for the tcp transport).  The fixed 20-byte header
+carries a magic/version, the frame kind, a 64-bit request id, the payload
+length, and a CRC32 over those header fields; the payload is followed by
+its own CRC32.  The request id is what makes retries *idempotent*: a
+worker that already served an id replays the recorded response instead of
+re-executing the operation, so a retry after a lost ACK can never
+double-execute a side-effecting op.
 
-A SIGKILL can land mid-write, leaving a partial or torn frame on the
-stream.  The framing layer converts every such corruption — short reads,
-bad magic, oversized lengths, checksum mismatches — into a typed
-:class:`FrameProtocolError` / :class:`TransportClosedError` so the
-transport declares the connection dead instead of misreading bytes.
+A SIGKILL or a severed link can land mid-write, leaving a partial or torn
+frame on the stream, and a faulty wire can flip bits anywhere in a frame.
+The framing layer converts every such corruption — short reads, bad
+magic, oversized lengths, header or payload checksum mismatches — into a
+typed :class:`FrameProtocolError` / :class:`TransportClosedError` so the
+transport declares the connection dead instead of misreading bytes.  The
+header CRC matters: without it a single flipped bit in the request id or
+length field would decode as a *valid* frame with the wrong identity, and
+a corrupt length prefix could read as a multi-gigabyte allocation.
+:data:`MAX_PAYLOAD` bounds one frame at 256 MiB either way, so even a
+corrupt-but-checksummed length can never balloon a read.
 
 Wire layout (network byte order)::
 
-    MAGIC(2) VERSION(1) KIND(1) REQUEST_ID(8) LENGTH(4) PAYLOAD... CRC32(4)
+    MAGIC(2) VERSION(1) KIND(1) REQUEST_ID(8) LENGTH(4) HEADER_CRC32(4)
+    PAYLOAD... PAYLOAD_CRC32(4)
 """
 
 from __future__ import annotations
@@ -29,25 +38,29 @@ import zlib
 from repro.errors import FrameProtocolError, TransportClosedError
 
 MAGIC = b"RN"
-VERSION = 1
+VERSION = 2
 
 #: Frame kinds.
 REQ = 1        # coordinator -> worker: execute the payload
 RES = 2        # worker -> coordinator: successful result payload
 ERR = 3        # worker -> coordinator: pickled exception payload
 HEARTBEAT = 4  # worker -> coordinator: liveness beacon (empty payload)
-READY = 5      # worker -> coordinator: bootstrap handshake
+READY = 5      # worker -> coordinator: bootstrap/session handshake
 BYE = 6        # coordinator -> worker: orderly shutdown request
 
 KINDS = (REQ, RES, ERR, HEARTBEAT, READY, BYE)
 
-_HEADER = struct.Struct("!2sBBQI")
-HEADER_SIZE = _HEADER.size
+_BASE_HEADER = struct.Struct("!2sBBQI")
 _CRC = struct.Struct("!I")
+#: Full header: the base fields plus their CRC32.
+HEADER_SIZE = _BASE_HEADER.size + _CRC.size
+#: The payload CRC32 that trails every frame.
+TRAILER_SIZE = _CRC.size
 
-#: Hard bound on one frame's payload (guards against reading a torn
-#: length field as a multi-gigabyte allocation).
-MAX_PAYLOAD = 1 << 31
+#: Hard bound on one frame's payload.  A corrupt length prefix must raise
+#: a typed error, never attempt a multi-gigabyte allocation — the header
+#: CRC catches random flips, this bound catches everything else.
+MAX_PAYLOAD = 256 * 1024 * 1024
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,14 +72,20 @@ class Frame:
     payload: bytes
 
 
+def frame_size(payload_len: int) -> int:
+    """Total wire bytes of a frame carrying ``payload_len`` payload bytes."""
+    return HEADER_SIZE + payload_len + TRAILER_SIZE
+
+
 def encode(kind: int, request_id: int, payload: bytes = b"") -> bytes:
     """The full wire bytes of one frame (header + payload + CRC trailer)."""
     if kind not in KINDS:
         raise FrameProtocolError(f"unknown frame kind {kind}")
     if len(payload) > MAX_PAYLOAD:
         raise FrameProtocolError(f"frame payload too large: {len(payload)}")
-    header = _HEADER.pack(MAGIC, VERSION, kind, request_id, len(payload))
-    return header + payload + _CRC.pack(zlib.crc32(payload))
+    base = _BASE_HEADER.pack(MAGIC, VERSION, kind, request_id, len(payload))
+    return (base + _CRC.pack(zlib.crc32(base))
+            + payload + _CRC.pack(zlib.crc32(payload)))
 
 
 def _recv_exactly(sock: socket.socket, n: int) -> bytes:
@@ -102,19 +121,28 @@ def recv_frame(sock: socket.socket) -> Frame:
     """Read and validate one frame (blocking; honours the socket timeout).
 
     Raises :class:`TransportClosedError` on EOF/reset and
-    :class:`FrameProtocolError` on any header/checksum violation.
+    :class:`FrameProtocolError` on any header/checksum violation — the
+    length bound and the header CRC are both checked *before* the payload
+    is read, so corruption can never trigger a giant allocation.
     ``socket.timeout`` propagates to the caller, which uses the timeout
     slices to probe peer liveness.
     """
     header = _recv_exactly(sock, HEADER_SIZE)
+    base = header[:_BASE_HEADER.size]
     try:
-        magic, version, kind, request_id, length = _HEADER.unpack(header)
+        magic, version, kind, request_id, length = _BASE_HEADER.unpack(base)
     except struct.error as exc:  # pragma: no cover - size is exact
         raise FrameProtocolError(f"unreadable frame header: {exc}") from exc
     if magic != MAGIC:
         raise FrameProtocolError(f"bad frame magic {magic!r}")
     if version != VERSION:
         raise FrameProtocolError(f"unsupported frame version {version}")
+    (header_crc,) = _CRC.unpack(header[_BASE_HEADER.size:])
+    if header_crc != zlib.crc32(base):
+        raise FrameProtocolError(
+            f"frame header checksum mismatch (kind {kind}, request "
+            f"{request_id}: a flipped header bit cannot be trusted)"
+        )
     if kind not in KINDS:
         raise FrameProtocolError(f"unknown frame kind {kind}")
     if length > MAX_PAYLOAD:
@@ -124,6 +152,6 @@ def recv_frame(sock: socket.socket) -> Frame:
     if crc != zlib.crc32(payload):
         raise FrameProtocolError(
             f"frame checksum mismatch on request {request_id} "
-            f"(payload torn mid-write?)"
+            f"(payload torn or corrupted mid-write?)"
         )
     return Frame(kind=kind, request_id=request_id, payload=payload)

@@ -61,10 +61,6 @@ from repro.net.worker import STATUS_REPLAY, worker_main
 #: How long one worker gets to spawn, import, connect, and handshake.
 READY_TIMEOUT_S = 60.0
 
-#: Silent grace windows (multiples of the heartbeat interval) before a
-#: missed heartbeat is counted and the process is probed.
-_MISS_GRACE = 3.0
-
 
 class _Handle:
     """One worker incarnation: process + its connected socket."""
@@ -226,15 +222,23 @@ class ProcTransport(Transport):
 
     def __init__(self, site_workers: int = 2, task_workers: int = 2,
                  heartbeat_s: float = 0.25, request_timeout_s: float = 60.0,
-                 respawn_limit: int = 3):
+                 respawn_limit: int = 3, miss_grace: float = 3.0):
         if site_workers < 1 or task_workers < 1:
             raise TransportError("transport needs at least one worker per pool")
+        if heartbeat_s <= 0 or miss_grace < 1.0:
+            raise TransportError(
+                "heartbeat interval must be positive and the miss grace "
+                "at least one heartbeat window"
+            )
         import multiprocessing
 
         self._mp = multiprocessing.get_context("spawn")
         self.heartbeat_s = heartbeat_s
         self.request_timeout_s = request_timeout_s
         self.respawn_limit = respawn_limit
+        #: Silent grace windows (multiples of the heartbeat interval)
+        #: before a missed heartbeat is counted and the process probed.
+        self.miss_grace = miss_grace
         self._pools: Dict[str, List[Optional[_Handle]]] = {
             "fed": [None] * site_workers,
             "rdd": [None] * task_workers,
@@ -256,13 +260,41 @@ class ProcTransport(Transport):
         self._closed = False
 
     @classmethod
-    def default(cls) -> "ProcTransport":
-        """The process-global transport (created on first use)."""
+    def _params_from(cls, config) -> dict:
+        """Constructor kwargs derived from a :class:`ReproConfig`.
+
+        ``config=None`` resolves through a default config so a bare
+        ``default()`` and a ``default(ReproConfig())`` agree on the same
+        singleton instead of churning it.
+        """
+        if config is None:
+            from repro.config import ReproConfig
+            config = ReproConfig()
+        return {
+            "heartbeat_s": config.heartbeat_interval_s,
+            "miss_grace": config.heartbeat_miss_grace,
+            "request_timeout_s": config.transport_request_timeout_s,
+        }
+
+    @classmethod
+    def default(cls, config=None) -> "ProcTransport":
+        """The process-global transport for this class (created on first
+        use, recreated only when the config-derived knobs change)."""
+        params = cls._params_from(config)
         with cls._instance_lock:
-            if cls._instance is None or cls._instance._closed:
-                cls._instance = cls()
-                atexit.register(cls._instance.close)
-            return cls._instance
+            instance = cls.__dict__.get("_instance")
+            stale = (
+                instance is None or instance._closed
+                or getattr(instance, "_build_params", None) != params
+            )
+            if stale:
+                if instance is not None and not instance._closed:
+                    instance.close()
+                instance = cls(**params)
+                instance._build_params = params
+                atexit.register(instance.close)
+                cls._instance = instance
+            return instance
 
     # --- Transport interface -------------------------------------------------
 
@@ -479,7 +511,7 @@ class ProcTransport(Transport):
             # seeded chaos: SIGKILL the worker mid-request; the death loop
             # above must make this invisible to the caller
             handle.kill()
-        grace_s = self.heartbeat_s * _MISS_GRACE
+        grace_s = self.heartbeat_s * self.miss_grace
         deadline = time.monotonic() + self.request_timeout_s
         last_frame = time.monotonic()
         resent = False
@@ -516,18 +548,19 @@ class ProcTransport(Transport):
             if frame.kind == frames.HEARTBEAT:
                 self._bump("heartbeats_seen")
                 continue
-            if frame.request_id != request_id:
-                continue  # stale response to an abandoned id
+            if frame.kind not in (frames.RES, frames.ERR):
+                continue  # e.g. a READY greeting after a tcp reconnect
             status, data = frame.payload[:1], frame.payload[1:]
             if status == STATUS_REPLAY:
+                # counted even for stale ids: a duplicated request answers
+                # once normally and once as a replay, and the replay can
+                # land while a later request is already in flight
                 self._bump("dedup_hits")
+            if frame.request_id != request_id:
+                continue  # stale response to an abandoned id
             if frame.kind == frames.RES:
                 return serde.loads(data)
-            if frame.kind == frames.ERR:
-                raise pickle.loads(data)
-            raise FrameProtocolError(
-                f"unexpected frame kind {frame.kind} for request {request_id}"
-            )
+            raise pickle.loads(data)
 
     def _send(self, handle: _Handle, kind: int, request_id: int,
               payload: bytes) -> None:
@@ -540,7 +573,5 @@ class ProcTransport(Transport):
         frame = frames.recv_frame(handle.sock)
         with self._stats_lock:
             self._stats["frames_received"] += 1
-            self._stats["bytes_received"] += (
-                frames.HEADER_SIZE + len(frame.payload) + 4
-            )
+            self._stats["bytes_received"] += frames.frame_size(len(frame.payload))
         return frame

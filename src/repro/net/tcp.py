@@ -1,0 +1,278 @@
+"""TcpTransport: workers on real TCP addresses, links that can die.
+
+The proc transport (:mod:`repro.net.proc`) reaches workers through
+pipes-in-spirit: the coordinator listens, each spawned worker dials back
+once, and that single connection *is* the worker — losing it means the
+worker is gone.  This module inverts the direction to make the link a
+first-class, failable resource, the way it is between real machines:
+
+* each worker **listens** on its own ``host:port`` (loopback by default,
+  a LAN address via ``transport_host``) and registers the address with
+  the coordinator through a one-shot bootstrap connection;
+* the coordinator keeps that **address book** (``(role, index) ->
+  (host, port)``, surfaced in the stats snapshot) and **dials** workers
+  with a connect timeout, verifying the greeting pid so a half-open or
+  recycled port can never be mistaken for the right peer;
+* a severed link is repaired by **reconnect + same-id resend**, and only
+  an actually-dead peer falls back to the proc-style respawn +
+  publication-log replay.
+
+Partition semantics
+-------------------
+The two failure modes the coordinator must distinguish:
+
+==============  =========================================================
+peer dead       process gone: respawn a fresh incarnation at a fresh
+                address, replay the publication log (state rebuild)
+link down       process alive, connection severed: redial with
+                :class:`~repro.resilience.retry.RetryPolicy` capped-expo
+                backoff + jitter, then resend the in-flight request with
+                the SAME id — if the worker executed it during the
+                partition, its dedup cache answers STATUS_REPLAY, so the
+                request is never executed twice
+==============  =========================================================
+
+:meth:`TcpTransport._attempt` implements the link-down path as a repair
+loop *around* the proc attempt: every EOF/torn-frame failure first tries
+:meth:`_reconnect`; only when the peer is provably dead (process exited,
+redial budget exhausted, or a different pid answered) does the error
+propagate to the proc death loop, which respawns and replays.  Worker
+state survives partitions because the tcp worker's registry and dedup
+cache live across connections (:func:`repro.net.worker.tcp_worker_main`).
+
+Everything above the socket — pools, publication log, heartbeat-based
+liveness, request timeouts, the dedup protocol — is inherited from
+:class:`~repro.net.proc.ProcTransport` unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FrameProtocolError, TransportClosedError, TransportError
+from repro.net import frames, serde
+from repro.net.proc import READY_TIMEOUT_S, ProcTransport, _Handle
+from repro.net.worker import tcp_worker_main
+from repro.resilience.retry import RetryPolicy
+
+
+class _TcpHandle(_Handle):
+    """A worker incarnation plus the address it listens on."""
+
+    __slots__ = ("host", "port")
+
+    def __init__(self, role: str, index: int, incarnation: int, process,
+                 sock: socket.socket, pid: int, host: str, port: int):
+        super().__init__(role, index, incarnation, process, sock, pid)
+        self.host = host
+        self.port = port
+
+
+class TcpTransport(ProcTransport):
+    """Process transport over dialable TCP addresses (see module docstring)."""
+
+    name = "tcp"
+
+    _instance: Optional["TcpTransport"] = None
+
+    #: Ceiling on link repairs for ONE attempt, so a link that dies
+    #: instantly every time cannot spin forever (each repair already
+    #: burned a full reconnect budget).
+    MAX_LINK_REPAIRS = 8
+
+    def __init__(self, site_workers: int = 2, task_workers: int = 2,
+                 heartbeat_s: float = 0.25, request_timeout_s: float = 60.0,
+                 respawn_limit: int = 3, miss_grace: float = 3.0,
+                 host: str = "127.0.0.1", connect_timeout_s: float = 5.0,
+                 reconnect_retries: int = 4,
+                 reconnect_backoff_ms: float = 20.0,
+                 reconnect_backoff_max_ms: float = 500.0):
+        super().__init__(site_workers, task_workers, heartbeat_s,
+                         request_timeout_s, respawn_limit,
+                         miss_grace=miss_grace)
+        self.host = host
+        self.connect_timeout_s = connect_timeout_s
+        self.reconnect_policy = RetryPolicy(
+            max_retries=reconnect_retries,
+            backoff_ms=reconnect_backoff_ms,
+            max_backoff_ms=reconnect_backoff_max_ms,
+        )
+        # deterministic jitter stream for reconnect backoff
+        self._reconnect_rng = random.Random(0x7C9D1EB3)
+        #: The remote-addressable registry: (role, index) -> (host, port).
+        self._addresses: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self._addresses_lock = threading.Lock()
+
+    @classmethod
+    def _params_from(cls, config) -> dict:
+        if config is None:
+            from repro.config import ReproConfig
+            config = ReproConfig()
+        params = super()._params_from(config)
+        params.update({
+            "host": config.transport_host,
+            "connect_timeout_s": config.tcp_connect_timeout_s,
+            "reconnect_retries": config.tcp_reconnect_retries,
+        })
+        return params
+
+    # --- connection lifecycle ------------------------------------------------
+
+    def _dial(self, host: str, port: int) -> Tuple[socket.socket, int]:
+        """Connect to a worker's service address and read its greeting.
+
+        Returns ``(socket, pid)``.  The greeting is what detects half-open
+        connections: a listener that accepts but whose process is wedged
+        (or a recycled port owned by a stranger) fails the READY exchange
+        within ``connect_timeout_s`` instead of wedging the coordinator.
+        """
+        sock = socket.create_connection(
+            (host, port), timeout=self.connect_timeout_s
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self.connect_timeout_s)
+            greeting = frames.recv_frame(sock)
+            if greeting.kind != frames.READY:
+                raise FrameProtocolError(
+                    f"worker at {host}:{port}: expected READY greeting, "
+                    f"got kind {greeting.kind}"
+                )
+            hello = serde.loads(greeting.payload)
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            raise
+        sock.settimeout(self.heartbeat_s)
+        return sock, hello["pid"]
+
+    def _spawn(self, role: str, index: int, incarnation: int) -> _TcpHandle:
+        if self._closed:
+            raise TransportError("transport is closed")
+        boot = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            boot.bind((self.host, 0))
+            boot.listen(1)
+            boot.settimeout(READY_TIMEOUT_S)
+            boot_port = boot.getsockname()[1]
+            process = self._mp.Process(
+                target=tcp_worker_main,
+                args=(self.host, boot_port, self.host, role, index,
+                      self.heartbeat_s),
+                name=f"net-tcp-{role}-{index}.{incarnation}",
+                daemon=True,
+            )
+            process.start()
+            try:
+                conn, __ = boot.accept()
+            except socket.timeout:
+                process.kill()
+                raise TransportError(
+                    f"tcp {role} worker {index} did not register within "
+                    f"{READY_TIMEOUT_S:.0f}s"
+                ) from None
+        finally:
+            boot.close()
+        try:
+            conn.settimeout(READY_TIMEOUT_S)
+            ready = frames.recv_frame(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if ready.kind != frames.READY:
+            raise FrameProtocolError(
+                f"tcp {role} worker {index}: expected READY registration, "
+                f"got kind {ready.kind}"
+            )
+        hello = serde.loads(ready.payload)
+        host, port = hello["host"], hello["port"]
+        with self._addresses_lock:
+            self._addresses[(role, index)] = (host, port)
+        sock, pid = self._dial(host, port)
+        if pid != hello["pid"]:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            raise TransportError(
+                f"tcp {role} worker {index} at {host}:{port} answered with "
+                f"pid {pid}, expected {hello['pid']}"
+            )
+        return _TcpHandle(role, index, incarnation, process, sock,
+                          hello["pid"], host, port)
+
+    def _reconnect(self, handle: _TcpHandle) -> bool:
+        """Repair a severed link to a live worker.
+
+        Redials the worker's registered address under the reconnect
+        policy's capped-expo backoff + deterministic jitter.  Returns
+        ``False`` when the peer is dead (process gone, budget exhausted,
+        or a different pid greeted us) — the caller then escalates to
+        respawn + replay.
+        """
+        try:
+            handle.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        attempt = 0
+        while True:
+            if not handle.alive():
+                return False
+            try:
+                sock, pid = self._dial(handle.host, handle.port)
+            except (OSError, TransportError, FrameProtocolError):
+                if attempt >= self.reconnect_policy.max_retries:
+                    return False
+                delay = self.reconnect_policy.delay_s(
+                    attempt, self._reconnect_rng
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            if pid != handle.pid:
+                # a stranger on a recycled port, or a raced incarnation:
+                # either way this is not the peer we were talking to
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                return False
+            handle.sock = sock
+            self._bump("reconnects")
+            return True
+
+    # --- the attempt, wrapped in link repair ---------------------------------
+
+    def _attempt(self, handle: _TcpHandle, request_id: int, body: bytes,
+                 point: Optional[str] = None):
+        repairs = 0
+        while True:
+            try:
+                return super()._attempt(handle, request_id, body, point)
+            except (TransportClosedError, FrameProtocolError):
+                repairs += 1
+                if repairs > self.MAX_LINK_REPAIRS \
+                        or not self._reconnect(handle):
+                    raise  # peer dead: the proc death loop respawns + replays
+                # link repaired: resend the SAME id; a request that
+                # executed during the partition is answered from the
+                # dedup cache (STATUS_REPLAY), never re-executed
+                point = None  # a kill fault gets one shot per attempt
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        with self._addresses_lock:
+            snap["addresses"] = {
+                f"{role}-{index}": f"{host}:{port}"
+                for (role, index), (host, port) in sorted(self._addresses.items())
+            }
+        return snap

@@ -34,6 +34,12 @@ STAT_KEYS = (
     "resent_requests",
     "dedup_hits",
     "replayed_publications",
+    # tcp/chaos link lifecycle (always-zero under inproc/proc)
+    "reconnects",
+    "partitions",
+    "frames_dropped",
+    "frames_duplicated",
+    "frames_corrupt_rejected",
 )
 
 
@@ -92,10 +98,20 @@ def for_config(config) -> Optional[Transport]:
     transport as the direct in-process path, keeping every hot-path check
     a single ``is None`` like the other optional subsystems.
     """
-    if getattr(config, "transport", "inproc") == "proc":
+    mode = getattr(config, "transport", "inproc")
+    if mode == "proc":
         from repro.net.proc import ProcTransport
 
-        return ProcTransport.default()
+        return ProcTransport.default(config)
+    if mode == "tcp":
+        from repro.net.chaos import ChaosTransport, spec_targets_network
+
+        if spec_targets_network(getattr(config, "fault_spec", None)):
+            # wire faults requested: interpose the chaos layer
+            return ChaosTransport.default(config)
+        from repro.net.tcp import TcpTransport
+
+        return TcpTransport.default(config)
     return None
 
 

@@ -1,35 +1,47 @@
 """Entry point of one transport worker process.
 
-A worker is a spawn-context OS process that connects back to the
-coordinator's listener, handshakes with a READY frame, then serves REQ
-frames until it reads BYE (or is killed).  One worker serves either
-role — federated site host or RDD task executor — because the request
-payload carries its own dispatch tag.
+A worker is a spawn-context OS process that serves REQ frames until it
+reads BYE (or is killed).  One worker serves either role — federated site
+host or RDD task executor — because the request payload carries its own
+dispatch tag.  Two bootstraps exist:
+
+* :func:`worker_main` (proc transport) — the worker dials the
+  coordinator's listener and serves that single connection for life.
+* :func:`tcp_worker_main` (tcp transport) — the worker *listens* on its
+  own host:port, registers the address with the coordinator through a
+  one-shot bootstrap connection, then serves connections one at a time
+  from an accept loop.  Worker state (hosted tensors, dedup cache)
+  survives across connections, which is exactly what makes a network
+  partition recoverable: the coordinator reconnects and resends, and the
+  worker either still has the response recorded (replay) or executes it
+  for the first time — never twice.
 
 Idempotency (the dedup cache)
 -----------------------------
 Every request carries a coordinator-assigned id.  The worker records the
 response bytes of the last :data:`DEDUP_CAPACITY` requests; a repeated id
-— the coordinator resending after a lost ACK — replays the recorded
-response instead of re-executing.  A side-effecting op (``put``,
-``update``, ``execute_and_store``) therefore cannot double-execute, and
-the replayed response is flagged so the coordinator can count
-``dedup_hits``.
+— the coordinator resending after a lost ACK or a severed link — replays
+the recorded response instead of re-executing.  A side-effecting op
+(``put``, ``update``, ``execute_and_store``) therefore cannot
+double-execute, and the replayed response is flagged so the coordinator
+can count ``dedup_hits``.
 
 Liveness
 --------
-A daemon thread emits a HEARTBEAT frame every ``heartbeat_s`` on the same
-socket (sends are serialised by a lock).  The coordinator counts frames
-while awaiting a response; a silent interval with a dead process is a
-worker death, triggering respawn + publication replay.
+A daemon thread emits a HEARTBEAT frame every ``heartbeat_s`` on the
+session socket (sends are serialised by a lock).  The coordinator counts
+frames while awaiting a response; a silent interval with a dead process
+is a worker death, triggering respawn + publication replay.
 
 Errors
 ------
 Per-request exceptions are pickled into ERR frames (falling back to a
 stringified :class:`~repro.errors.TransportError` for unpicklable ones —
 though every :mod:`repro.errors` type round-trips by contract) and
-re-raised coordinator-side with their types and attributes intact.  The
-worker only dies by BYE, EOF, or signal.
+re-raised coordinator-side with their types and attributes intact.  A
+corrupt frame on the wire severs the *session* (the framing is no longer
+trustworthy) but never kills the worker: the tcp accept loop just waits
+for the coordinator to reconnect.
 """
 
 from __future__ import annotations
@@ -94,64 +106,155 @@ def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
             return
 
 
-def worker_main(host: str, port: int, role: str, index: int,
-                heartbeat_s: float) -> None:
-    """Connect back to the coordinator and serve frames until BYE."""
-    import os
+def _serve_connection(sock: socket.socket, registry, dedup,
+                      heartbeat_s: float, hello: dict) -> str:
+    """Serve one connection until it ends; state outlives the session.
 
-    from repro.errors import TransportClosedError
-    from repro.federated.site import FederatedWorkerRegistry
+    Greets with a READY frame carrying ``hello`` (the coordinator uses
+    the pid to verify it reconnected to the same incarnation), starts a
+    per-session heartbeat thread, then answers REQ frames.  Returns why
+    the session ended: ``"bye"`` (orderly drain — the worker should
+    exit), ``"closed"`` (EOF/reset — the link died, the worker may
+    accept a new session) or ``"corrupt"`` (undecodable frame — the
+    stream cannot be resynchronised, so the session is severed).
+    """
+    from repro.errors import FrameProtocolError, TransportClosedError
     from repro.net import serde
 
-    sock = socket.create_connection((host, port))
-    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     send_lock = threading.Lock()
     stop = threading.Event()
-    with send_lock:
-        frames.send_frame(
-            sock, frames.READY, 0,
-            serde.dumps({"pid": os.getpid(), "role": role, "index": index}),
-        )
+    try:
+        with send_lock:
+            frames.send_frame(sock, frames.READY, 0, serde.dumps(hello))
+    except (TransportClosedError, OSError):
+        return "closed"
     beat = threading.Thread(
         target=_heartbeat_loop, args=(sock, send_lock, heartbeat_s, stop),
-        name=f"{role}-{index}-heartbeat", daemon=True,
+        name="worker-heartbeat", daemon=True,
     )
     beat.start()
-    # worker-local state: a private registry (never the singleton — the
-    # coordinator's publication log is the source of truth) and the dedup cache
-    registry = FederatedWorkerRegistry()
-    dedup: "collections.OrderedDict[int, tuple]" = collections.OrderedDict()
     try:
         while True:
             try:
                 frame = frames.recv_frame(sock)
             except TransportClosedError:
-                break  # coordinator went away: exit quietly
+                return "closed"
+            except FrameProtocolError:
+                return "corrupt"
             if frame.kind == frames.BYE:
-                break
+                return "bye"
             if frame.kind != frames.REQ:
                 continue  # tolerate unexpected kinds instead of dying
             cached = dedup.get(frame.request_id)
             if cached is not None:
                 kind, body = cached
-                with send_lock:
-                    frames.send_frame(
-                        sock, kind, frame.request_id, STATUS_REPLAY + body
-                    )
+                try:
+                    with send_lock:
+                        frames.send_frame(
+                            sock, kind, frame.request_id, STATUS_REPLAY + body
+                        )
+                except (TransportClosedError, OSError):
+                    return "closed"
                 continue
             try:
                 result = _dispatch(registry, serde.loads(frame.payload))
                 kind, body = frames.RES, serde.dumps(result)
             except BaseException as exc:  # noqa: BLE001 - typed error propagation
                 kind, body = frames.ERR, _portable(exc)
+            # record BEFORE sending: if the link dies mid-send, the resent
+            # request must hit the cache, not execute again
             dedup[frame.request_id] = (kind, body)
             while len(dedup) > DEDUP_CAPACITY:
                 dedup.popitem(last=False)
-            with send_lock:
-                frames.send_frame(sock, kind, frame.request_id, STATUS_OK + body)
+            try:
+                with send_lock:
+                    frames.send_frame(
+                        sock, kind, frame.request_id, STATUS_OK + body
+                    )
+            except (TransportClosedError, OSError):
+                return "closed"
     finally:
         stop.set()
+
+
+def worker_main(host: str, port: int, role: str, index: int,
+                heartbeat_s: float) -> None:
+    """Proc transport: connect back to the coordinator and serve until BYE."""
+    import os
+
+    from repro.federated.site import FederatedWorkerRegistry
+
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    # worker-local state: a private registry (never the singleton — the
+    # coordinator's publication log is the source of truth) and the dedup cache
+    registry = FederatedWorkerRegistry()
+    dedup: "collections.OrderedDict[int, tuple]" = collections.OrderedDict()
+    hello = {"pid": os.getpid(), "role": role, "index": index}
+    try:
+        _serve_connection(sock, registry, dedup, heartbeat_s, hello)
+    finally:
         try:
             sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def tcp_worker_main(boot_host: str, boot_port: int, bind_host: str,
+                    role: str, index: int, heartbeat_s: float) -> None:
+    """TCP transport: listen on a real address and serve sessions until BYE.
+
+    Binds an ephemeral port on ``bind_host``, registers
+    ``{pid, host, port}`` with the coordinator through a one-shot
+    bootstrap connection, then accepts coordinator sessions one at a
+    time.  A severed or corrupted session returns to the accept loop
+    with all hosted state intact — reconnect-and-resend is the
+    coordinator's job; only BYE (graceful drain) ends the process.
+    """
+    import os
+
+    from repro.federated.site import FederatedWorkerRegistry
+    from repro.net import serde
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((bind_host, 0))
+    listener.listen(8)
+    host, port = listener.getsockname()[:2]
+    boot = socket.create_connection((boot_host, boot_port))
+    try:
+        frames.send_frame(boot, frames.READY, 0, serde.dumps({
+            "pid": os.getpid(), "host": host, "port": port,
+            "role": role, "index": index,
+        }))
+    finally:
+        try:
+            boot.close()
+        except OSError:  # pragma: no cover
+            pass
+    registry = FederatedWorkerRegistry()
+    dedup: "collections.OrderedDict[int, tuple]" = collections.OrderedDict()
+    hello = {"pid": os.getpid(), "role": role, "index": index}
+    try:
+        while True:
+            try:
+                sock, __ = listener.accept()
+            except OSError:  # pragma: no cover - listener torn down
+                break
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            try:
+                reason = _serve_connection(
+                    sock, registry, dedup, heartbeat_s, hello
+                )
+            finally:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+            if reason == "bye":
+                break
+    finally:
+        try:
+            listener.close()
         except OSError:  # pragma: no cover
             pass

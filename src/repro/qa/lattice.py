@@ -29,6 +29,11 @@ proc_federated     federated sites in real worker processes (proc
                    transport); bit-identical to the in-process twin
 proc_spark         RDD tasks in real worker processes (proc transport);
                    bit-identical to the in-process spark twin
+tcp                federated sites behind workers on real TCP addresses
+                   (tcp transport); bit-identical to the in-process twin
+chaos_tcp          tcp transport under seeded wire faults — partitions,
+                   duplicated and bit-flipped frames — recovered by
+                   reconnect + same-id resend + dedup; bit-identical
 ooc                out-of-core: tiny pool + compressed spills + async
                    prefetch/writeback; bit-identical to the baseline
 chaos_ooc          ooc under spill read/write faults + retries;
@@ -291,6 +296,39 @@ class Lattice:
                             "(the transport must be semantically invisible)",
                 federated=True,
                 overrides={"transport": "proc"},
+                bitwise=True,
+                reference="federated",
+            ),
+            LatticeConfig(
+                name="tcp",
+                description="federated sites hosted by workers listening on "
+                            "real TCP loopback addresses (dialable host:port "
+                            "registry, reconnecting links); bit-identical to "
+                            "the in-process federated twin",
+                federated=True,
+                overrides={"transport": "tcp"},
+                bitwise=True,
+                reference="federated",
+            ),
+            LatticeConfig(
+                name="chaos_tcp",
+                description="tcp transport under seeded wire-level chaos: "
+                            "mid-stream partitions plus duplicated and "
+                            "bit-flipped frames, recovered by reconnect + "
+                            "same-id resend + dedup replay; bit-identical to "
+                            "the in-process federated twin (recovery must be "
+                            "semantically invisible)",
+                federated=True,
+                overrides={
+                    "transport": "tcp",
+                    # no net.drop here: dropped frames recover via the
+                    # request timeout, which would stall fuzz sweeps
+                    "fault_spec": "net.partition:fail=2;net.dup:p=0.05;"
+                                  "net.corrupt:p=0.03",
+                    "fault_seed": 109,
+                    "heartbeat_interval_s": 0.05,
+                    **_CHAOS_RETRY,
+                },
                 bitwise=True,
                 reference="federated",
             ),

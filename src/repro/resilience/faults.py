@@ -47,6 +47,12 @@ KNOWN_POINTS = (
     "fed.worker",     # a proc-transport federated site worker (trip = SIGKILL mid-request)
     "rdd.worker",     # a proc-transport RDD task executor (trip = SIGKILL mid-task)
     "checkpoint.boundary",  # a loop/top-level block boundary of the interpreter
+    # wire-level points, consulted by the chaos tcp transport per frame
+    "net.drop",       # a frame vanishes (unsent REQ or discarded RES/ERR)
+    "net.delay_ms",   # latency added before a frame hits the wire
+    "net.dup",        # a REQ frame is delivered twice (dedup must absorb it)
+    "net.corrupt",    # one bit of the encoded frame is flipped (CRCs reject)
+    "net.partition",  # the link is severed mid-stream (reconnect + resend)
 )
 
 

@@ -22,21 +22,36 @@ class TestEncode:
     def test_wire_layout(self):
         payload = b"hello"
         data = frames.encode(frames.REQ, 42, payload)
+        base = data[: frames.HEADER_SIZE - 4]
         magic, version, kind, request_id, length = struct.unpack(
-            "!2sBBQI", data[: frames.HEADER_SIZE]
+            "!2sBBQI", base
         )
         assert magic == frames.MAGIC
         assert version == frames.VERSION
         assert kind == frames.REQ
         assert request_id == 42
         assert length == len(payload)
+        (header_crc,) = struct.unpack(
+            "!I", data[frames.HEADER_SIZE - 4: frames.HEADER_SIZE]
+        )
+        assert header_crc == zlib.crc32(base)
         assert data[frames.HEADER_SIZE:-4] == payload
         (crc,) = struct.unpack("!I", data[-4:])
         assert crc == zlib.crc32(payload)
 
+    def test_frame_size_accounts_for_header_and_trailer(self):
+        data = frames.encode(frames.RES, 9, b"abc")
+        assert len(data) == frames.frame_size(3)
+        assert frames.frame_size(0) == frames.HEADER_SIZE + frames.TRAILER_SIZE
+
     def test_rejects_unknown_kind(self):
         with pytest.raises(FrameProtocolError, match="kind"):
             frames.encode(99, 1, b"")
+
+    def test_rejects_oversized_payload(self, monkeypatch):
+        monkeypatch.setattr(frames, "MAX_PAYLOAD", 64)
+        with pytest.raises(FrameProtocolError, match="too large"):
+            frames.encode(frames.REQ, 1, b"a" * 65)
 
     def test_request_id_is_64_bit(self):
         data = frames.encode(frames.RES, 2**63 + 7, b"")
@@ -111,12 +126,33 @@ class TestCorruption:
         with pytest.raises(FrameProtocolError, match="checksum"):
             frames.recv_frame(b)
 
-    def test_oversized_length_rejected_before_allocation(self, pair):
+    def test_corrupt_request_id_fails_header_checksum(self, pair):
+        # without the header CRC this would decode as a VALID frame with
+        # the wrong identity and misroute the response
         a, b = pair
-        header = struct.pack(
+        data = bytearray(frames.encode(frames.RES, 77, b"x"))
+        data[7] ^= 0x01  # flip one bit inside the request-id field
+        a.sendall(bytes(data))
+        with pytest.raises(FrameProtocolError, match="header checksum"):
+            frames.recv_frame(b)
+
+    def test_corrupt_length_fails_header_checksum(self, pair):
+        a, b = pair
+        data = bytearray(frames.encode(frames.REQ, 1, b"x"))
+        data[frames.HEADER_SIZE - 5] ^= 0x40  # inside the length field
+        a.sendall(bytes(data))
+        with pytest.raises(FrameProtocolError, match="header checksum"):
+            frames.recv_frame(b)
+
+    def test_oversized_length_rejected_before_allocation(self, pair):
+        # a length prefix claiming gigabytes — with a *valid* header CRC,
+        # so the MAX_PAYLOAD bound is provably what rejects it — must
+        # raise instead of attempting the allocation
+        a, b = pair
+        base = struct.pack(
             "!2sBBQI", frames.MAGIC, frames.VERSION, frames.REQ, 1,
             frames.MAX_PAYLOAD + 1,
         )
-        a.sendall(header)
+        a.sendall(base + struct.pack("!I", zlib.crc32(base)))
         with pytest.raises(FrameProtocolError, match="too large"):
             frames.recv_frame(b)

@@ -1,0 +1,113 @@
+"""Property tests of the frame codec's corruption guarantees.
+
+The contract under test: for ANY frame and ANY of the corruptions a real
+wire can produce — truncation, a single flipped bit, arbitrary
+re-chunking of the byte stream, duplicated delivery — decoding either
+returns the exact original frame or raises a *typed* error
+(:class:`FrameProtocolError` / :class:`TransportClosedError`).  It never
+returns a wrong payload, a wrong request id, or a wrong kind, because
+the transports route responses and dedup retries by those fields.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import FrameProtocolError, TransportClosedError  # noqa: E402
+from repro.net import frames  # noqa: E402
+
+
+class _ChunkedStream:
+    """A fake socket replaying ``data`` in caller-independent chunks.
+
+    ``recv(n)`` returns at most ``min(n, next chunk size)`` bytes, so a
+    hypothesis-chosen chunking schedule exercises every partial-read
+    interleaving ``_recv_exactly`` can face.
+    """
+
+    def __init__(self, data: bytes, chunk_sizes):
+        self._data = data
+        self._pos = 0
+        self._chunks = list(chunk_sizes) or [1]
+        self._next = 0
+
+    def recv(self, n: int) -> bytes:
+        if self._pos >= len(self._data):
+            return b""
+        size = self._chunks[self._next % len(self._chunks)]
+        self._next += 1
+        take = max(1, min(n, size))
+        chunk = self._data[self._pos:self._pos + take]
+        self._pos += len(chunk)
+        return chunk
+
+
+_FRAMES = st.tuples(
+    st.sampled_from(frames.KINDS),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.binary(max_size=2048),
+)
+_CHUNKS = st.lists(st.integers(min_value=1, max_value=64), max_size=16)
+
+
+@settings(max_examples=60, deadline=None)
+@given(frame=_FRAMES, chunks=_CHUNKS)
+def test_round_trip_survives_any_chunking(frame, chunks):
+    kind, request_id, payload = frame
+    data = frames.encode(kind, request_id, payload)
+    decoded = frames.recv_frame(_ChunkedStream(data, chunks))
+    assert decoded.kind == kind
+    assert decoded.request_id == request_id
+    assert decoded.payload == payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(frame=_FRAMES, data=st.data())
+def test_truncation_is_a_typed_closed_error(frame, data):
+    kind, request_id, payload = frame
+    encoded = frames.encode(kind, request_id, payload)
+    cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    with pytest.raises(TransportClosedError):
+        frames.recv_frame(_ChunkedStream(encoded[:cut], [64]))
+
+
+@settings(max_examples=120, deadline=None)
+@given(frame=_FRAMES, data=st.data())
+def test_single_bit_flip_never_yields_a_wrong_frame(frame, data):
+    # the strongest guarantee the CRCs buy: EVERY single-bit flip,
+    # anywhere in the frame (header, payload, either checksum), is
+    # detected — decoding can never hand back wrong bytes or identity
+    kind, request_id, payload = frame
+    encoded = bytearray(frames.encode(kind, request_id, payload))
+    position = data.draw(
+        st.integers(min_value=0, max_value=len(encoded) * 8 - 1)
+    )
+    encoded[position // 8] ^= 1 << (position % 8)
+    with pytest.raises(FrameProtocolError):
+        frames.recv_frame(_ChunkedStream(bytes(encoded), [64]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(frame=_FRAMES, chunks=_CHUNKS)
+def test_duplicated_delivery_decodes_identically_twice(frame, chunks):
+    kind, request_id, payload = frame
+    stream = _ChunkedStream(frames.encode(kind, request_id, payload) * 2,
+                            chunks)
+    first = frames.recv_frame(stream)
+    second = frames.recv_frame(stream)
+    assert first == second
+    assert second.payload == payload
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_FRAMES, b=_FRAMES, chunks=_CHUNKS)
+def test_back_to_back_frames_stay_delimited(a, b, chunks):
+    stream = _ChunkedStream(
+        frames.encode(*a) + frames.encode(*b), chunks
+    )
+    first = frames.recv_frame(stream)
+    second = frames.recv_frame(stream)
+    assert (first.kind, first.request_id, first.payload) == a
+    assert (second.kind, second.request_id, second.payload) == b

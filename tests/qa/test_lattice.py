@@ -38,6 +38,23 @@ class TestDefaultLattice:
             assert config.overrides["fault_spec"], name
             assert config.overrides["retry_backoff_ms"] == 0.0, name
 
+    def test_tcp_configs_are_bitwise_against_the_federated_twin(self):
+        lattice = Lattice.default()
+        tcp = lattice["tcp"]
+        assert tcp.bitwise
+        assert tcp.reference == "federated"
+        assert tcp.build_config().transport == "tcp"
+        chaos = lattice["chaos_tcp"]
+        assert chaos.bitwise
+        assert chaos.reference == "federated"
+        config = chaos.build_config()
+        assert config.transport == "tcp"
+        # every chaos clause is a wire-level point — the run must route
+        # through the ChaosTransport interposer
+        for clause in config.fault_spec.split(";"):
+            assert clause.startswith("net."), clause
+        assert config.retry_backoff_ms == 0.0
+
     def test_build_config_applies_overrides(self):
         lattice = Lattice.default()
         config = lattice["no_rewrites"].build_config()

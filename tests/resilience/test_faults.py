@@ -31,6 +31,16 @@ class TestSpecGrammar:
         plan = FaultPlan.parse("*:p=0.1")
         assert set(plan.rules) == set(KNOWN_POINTS)
 
+    def test_wire_level_points_are_registered(self):
+        plan = FaultPlan.parse(
+            "net.drop:p=0.1;net.delay_ms:latency_ms=5;net.dup:p=0.1;"
+            "net.corrupt:fail=1;net.partition:fail=2"
+        )
+        assert set(plan.rules) == {
+            "net.drop", "net.delay_ms", "net.dup", "net.corrupt",
+            "net.partition",
+        }
+
     def test_unknown_point_rejected(self):
         with pytest.raises(ValueError, match="unknown injection point"):
             FaultPlan.parse("bogus.point:p=0.1")

@@ -59,10 +59,21 @@ class TestReproConfig:
         {"parallelism": 0},
         {"block_size": 0},
         {"reuse_policy": "sometimes"},
+        {"transport": "carrier-pigeon"},
+        {"transport_host": ""},
+        {"transport_request_timeout_s": 0.0},
+        {"heartbeat_interval_s": 0.0},
+        {"heartbeat_miss_grace": 0.5},
+        {"tcp_connect_timeout_s": 0.0},
+        {"tcp_reconnect_retries": -1},
     ])
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ReproConfig(**kwargs)
+
+    def test_transport_modes_accepted(self):
+        for mode in ("inproc", "proc", "tcp"):
+            assert ReproConfig(transport=mode).transport == mode
 
     def test_budgets_derived(self):
         cfg = ReproConfig(memory_budget=1000, operator_memory_fraction=0.5,
